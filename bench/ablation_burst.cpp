@@ -1,0 +1,50 @@
+// Ablation: FCB burst support on/off — the %burst_support directive's
+// effect on transfer time (§3.2.2: bursts "can greatly reduce the number
+// of clock cycles" for array-based transactions).
+#include "bench_common.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "runtime/platform.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace splice;
+
+std::uint64_t run_transfer(bool burst, unsigned n) {
+  std::string text = std::string("%device_name ab\n%bus_type fcb\n") +
+                     "%bus_width 32\n%burst_support " +
+                     (burst ? "true" : "false") +
+                     "\nvoid sink(char n, int*:n xs);\n";
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  ir::validate(*spec, diags);
+  runtime::VirtualPlatform vp(std::move(*spec), {});
+  std::vector<std::uint64_t> xs(n, 1);
+  (void)vp.call("sink", {{n}, xs});
+  return vp.call("sink", {{n}, xs}).bus_cycles;
+}
+
+}  // namespace
+
+int main() {
+  using namespace splice;
+  bench::print_header("Ablation",
+                      "%burst_support on/off over the FCB (quad/double "
+                      "macro ladder vs single-word macros)");
+  TextTable t;
+  t.set_header({"array words", "singles only", "burst ladder", "saved"});
+  t.set_alignment({TextTable::Align::Right, TextTable::Align::Right,
+                   TextTable::Align::Right, TextTable::Align::Right});
+  for (unsigned n : {2u, 4u, 8u, 16u, 32u}) {
+    const std::uint64_t off = run_transfer(false, n);
+    const std::uint64_t on = run_transfer(true, n);
+    char pct[32];
+    std::snprintf(pct, sizeof pct, "%.0f%%",
+                  (1.0 - static_cast<double>(on) / off) * 100);
+    t.add_row({std::to_string(n), std::to_string(off), std::to_string(on),
+               pct});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: CALC_DONE polling vs interrupt-driven completion (%irq_support,
+// thesis §10.2) on the strictly synchronous APB, swept over calculation
+// length — polling costs bus reads proportional to the calculation time,
+// the interrupt path pays a fixed ISR entry.
+#include "bench_common.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "runtime/cpu.hpp"
+#include "runtime/platform.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace splice;
+
+struct RunStats {
+  std::uint64_t cycles;
+  std::uint64_t polls;
+  std::uint64_t irqs;
+};
+
+RunStats run(bool irq, unsigned calc_cycles) {
+  std::string text = std::string("%device_name ab\n%bus_type apb\n") +
+                     "%bus_width 32\n%base_address 0x80000000\n" +
+                     (irq ? "%irq_support true\n" : "") +
+                     "int f(int x);\n";
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  ir::validate(*spec, diags);
+  elab::BehaviorMap b;
+  b.set("f", [calc_cycles](const elab::CallContext& ctx) {
+    return elab::CalcResult{calc_cycles, {ctx.scalar(0)}};
+  });
+  runtime::VirtualPlatform vp(std::move(*spec), b);
+  (void)vp.call("f", {{1}});
+  auto r = vp.call("f", {{1}});
+  return {r.bus_cycles, vp.cpu().polls_performed(),
+          vp.cpu().interrupts_taken()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace splice;
+  bench::print_header("Ablation",
+                      "%irq_support (§10.2): polling vs interrupt-driven "
+                      "completion on the APB");
+  TextTable t;
+  t.set_header({"calc cycles", "poll cycles/run", "poll reads (2 runs)",
+                "irq cycles/run", "irq reads (2 runs)"});
+  t.set_alignment({TextTable::Align::Right, TextTable::Align::Right,
+                   TextTable::Align::Right, TextTable::Align::Right,
+                   TextTable::Align::Right});
+  for (unsigned calc : {10u, 50u, 100u, 250u, 500u}) {
+    const RunStats poll = run(false, calc);
+    const RunStats irq = run(true, calc);
+    t.add_row({std::to_string(calc), std::to_string(poll.cycles),
+               std::to_string(poll.polls), std::to_string(irq.cycles),
+               std::to_string(irq.polls)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Polling issues one status read per loop iteration for the whole\n"
+      "calculation; the interrupt path leaves the bus idle (one status\n"
+      "read per run) at the price of a fixed ISR entry of %u cycles —\n"
+      "slightly worse single-call latency, far less bus traffic and a\n"
+      "CPU free to do other work.\n",
+      bus::timing::kIsrEntryCycles);
+  return 0;
+}

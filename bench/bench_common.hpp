@@ -1,0 +1,27 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "rtl/trace.hpp"
+
+namespace splice::bench {
+
+/// First recorded cycle at which `signal` is nonzero; SIZE_MAX if never.
+inline std::size_t first_high(const rtl::Trace& trace,
+                              const std::string& signal) {
+  const auto& hist = trace.history(signal);
+  for (std::size_t c = 0; c < hist.size(); ++c) {
+    if (hist[c] != 0) return c;
+  }
+  return SIZE_MAX;
+}
+
+inline void print_header(const char* figure, const char* title) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace splice::bench

@@ -1,0 +1,33 @@
+// Figure 4.2: "Listing of the Functionality of Each SIS Signal".
+#include "bench_common.hpp"
+#include "support/text_table.hpp"
+
+int main() {
+  using namespace splice;
+  bench::print_header("Figure 4.2", "The Splice Interface Standard signals");
+  TextTable t;
+  t.set_header({"Signal Name", "Type", "Purpose"});
+  t.add_row({"CLK", "Broadcast",
+             "Global clock signal used to coordinate all bus transactions"});
+  t.add_row({"RST", "Broadcast",
+             "Reset signal: terminate current operations, return the user "
+             "logic to a known state"});
+  t.add_row({"DATA_IN", "Broadcast",
+             "Input data from the processor for use by the user logic"});
+  t.add_row({"DATA_IN_VALID", "Broadcast",
+             "Signals that input data is valid and waiting to be stored"});
+  t.add_row({"IO_ENABLE", "Broadcast",
+             "Signals the arrival of a new data request (read or write)"});
+  t.add_row({"FUNC_ID", "Broadcast",
+             "Targets a specific user-logic function in the system"});
+  t.add_row({"DATA_OUT", "Per-Function",
+             "Output data from the user logic in response to a request"});
+  t.add_row({"DATA_OUT_VALID", "Per-Function",
+             "Signals that output data is valid and waiting to be read"});
+  t.add_row({"IO_DONE", "Per-Function",
+             "Signals that the previous load/store operation completed"});
+  t.add_row({"CALC_DONE", "Per-Function",
+             "Signals that this function's calculations have completed"});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

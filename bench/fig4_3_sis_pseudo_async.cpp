@@ -1,0 +1,53 @@
+// Figure 4.3: "The SIS Pseudo Asynchronous Transmission Protocol" — the
+// timing diagram regenerated as an ASCII waveform from live simulation of
+// a generated device behind the PLB adapter.
+#include "bench_common.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "rtl/trace.hpp"
+#include "runtime/platform.hpp"
+
+int main() {
+  using namespace splice;
+  bench::print_header("Figure 4.3",
+                      "SIS pseudo asynchronous transmission protocol "
+                      "(simulated waveform)");
+
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name wavedev\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\nint f(int a, int b);\n",
+      diags);
+  ir::validate(*spec, diags);
+  elab::BehaviorMap behaviors;
+  behaviors.set("f", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{2, {ctx.scalar(0) + ctx.scalar(1)}};
+  });
+  runtime::VirtualPlatform vp(std::move(*spec), behaviors);
+
+  rtl::Trace trace(vp.sim());
+  for (const char* sig :
+       {"SIS_RST", "SIS_DATA_IN", "SIS_DATA_IN_VALID", "SIS_IO_ENABLE",
+        "SIS_FUNC_ID", "SIS_DATA_OUT", "SIS_DATA_OUT_VALID", "SIS_IO_DONE",
+        "SIS_CALC_DONE"}) {
+    trace.watch(sig);
+  }
+
+  auto r = vp.call("f", {{0xBEEF}, {0x11}});
+  std::printf("call f(0xBEEF, 0x11) -> 0x%llX in %llu bus cycles\n\n",
+              static_cast<unsigned long long>(r.outputs.at(0)),
+              static_cast<unsigned long long>(r.bus_cycles));
+
+  const std::size_t start = bench::first_high(trace, "SIS_IO_ENABLE");
+  std::printf("%s\n",
+              trace.render_ascii(start > 1 ? start - 1 : 0,
+                                 trace.cycles_recorded())
+                  .c_str());
+  std::printf(
+      "Each write: IO_ENABLE strobes for one cycle with DATA_IN_VALID held\n"
+      "until the function pulses IO_DONE; the read is answered with\n"
+      "DATA_OUT + DATA_OUT_VALID + IO_DONE raised together (§4.2.1).\n");
+  std::printf("Protocol checker violations: %zu\n",
+              vp.checker().violations().size());
+  return vp.checker().clean() ? 0 : 1;
+}

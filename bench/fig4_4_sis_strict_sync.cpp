@@ -1,0 +1,55 @@
+// Figure 4.4: "The SIS Strictly Synchronous Transmission Protocol" — the
+// APB variant: single-cycle writes, CALC_DONE polling through the reserved
+// function id 0, then the delayed read.
+#include "bench_common.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "rtl/trace.hpp"
+#include "runtime/cpu.hpp"
+#include "runtime/platform.hpp"
+
+int main() {
+  using namespace splice;
+  bench::print_header("Figure 4.4",
+                      "SIS strictly synchronous transmission protocol "
+                      "(simulated waveform, APB)");
+
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name wavedev\n%bus_type apb\n%bus_width 32\n"
+      "%base_address 0x80000000\nint f(int a, int b);\n",
+      diags);
+  ir::validate(*spec, diags);
+  elab::BehaviorMap behaviors;
+  behaviors.set("f", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{6, {ctx.scalar(0) + ctx.scalar(1)}};
+  });
+  runtime::VirtualPlatform vp(std::move(*spec), behaviors);
+
+  rtl::Trace trace(vp.sim());
+  for (const char* sig :
+       {"SIS_DATA_IN", "SIS_DATA_IN_VALID", "SIS_IO_ENABLE", "SIS_FUNC_ID",
+        "SIS_DATA_OUT", "SIS_CALC_DONE"}) {
+    trace.watch(sig);
+  }
+
+  auto r = vp.call("f", {{0xBEEF}, {0x11}});
+  std::printf("call f(0xBEEF, 0x11) -> 0x%llX in %llu bus cycles "
+              "(%llu CALC_DONE polls)\n\n",
+              static_cast<unsigned long long>(r.outputs.at(0)),
+              static_cast<unsigned long long>(r.bus_cycles),
+              static_cast<unsigned long long>(vp.cpu().polls_performed()));
+
+  const std::size_t start = bench::first_high(trace, "SIS_IO_ENABLE");
+  std::printf("%s\n",
+              trace.render_ascii(start > 1 ? start - 1 : 0,
+                                 trace.cycles_recorded())
+                  .c_str());
+  std::printf(
+      "Writes complete in the cycle they are enacted (no IO_DONE pacing);\n"
+      "the driver polls the CALC_DONE status register through FUNC_ID 0\n"
+      "before issuing the delayed read (§4.2.2).\n");
+  std::printf("Protocol checker violations: %zu\n",
+              vp.checker().violations().size());
+  return vp.checker().clean() ? 0 : 1;
+}

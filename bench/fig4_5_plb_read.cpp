@@ -1,0 +1,43 @@
+// Figure 4.5: "The PLB Read Protocol" — native pin-level waveform of read
+// transactions (request strobe, held chip-enables, acknowledge).
+#include "bench_common.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "rtl/trace.hpp"
+#include "runtime/platform.hpp"
+
+int main() {
+  using namespace splice;
+  bench::print_header("Figure 4.5", "The PLB read protocol (simulated)");
+
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name wavedev\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\nint f(int a);\n",
+      diags);
+  ir::validate(*spec, diags);
+  elab::BehaviorMap behaviors;
+  behaviors.set("f", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{4, {ctx.scalar(0) ^ 0xFFFF}};
+  });
+  runtime::VirtualPlatform vp(std::move(*spec), behaviors);
+
+  rtl::Trace trace(vp.sim());
+  for (const char* sig : {"PLB_RST", "PLB_RD_REQ", "PLB_RD_CE", "PLB_BE",
+                          "PLB_RD_DATA", "PLB_RD_ACK"}) {
+    trace.watch(sig);
+  }
+  auto r = vp.call("f", {{0x1234}});
+  std::printf("read-back result: 0x%llX\n\n",
+              static_cast<unsigned long long>(r.outputs.at(0)));
+
+  const std::size_t start = bench::first_high(trace, "PLB_RD_REQ");
+  std::printf("%s\n",
+              trace.render_ascii(start > 1 ? start - 1 : 0,
+                                 trace.cycles_recorded()).c_str());
+  std::printf(
+      "RD_REQ strobes for a single cycle; RD_CE and BE hold until the\n"
+      "peripheral answers with RD_DATA + RD_ACK (a delayed read while the\n"
+      "calculation finishes, §4.3.1).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 4.6: "The PLB Write Protocol" — native pin-level waveform of the
+// write transactions feeding a generated device.
+#include "bench_common.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "rtl/trace.hpp"
+#include "runtime/platform.hpp"
+
+int main() {
+  using namespace splice;
+  bench::print_header("Figure 4.6", "The PLB write protocol (simulated)");
+
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name wavedev\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\nvoid f(int a, int b);\n",
+      diags);
+  ir::validate(*spec, diags);
+  runtime::VirtualPlatform vp(std::move(*spec), {});
+
+  rtl::Trace trace(vp.sim());
+  for (const char* sig : {"PLB_RST", "PLB_WR_REQ", "PLB_WR_CE", "PLB_BE",
+                          "PLB_WR_DATA", "PLB_WR_ACK"}) {
+    trace.watch(sig);
+  }
+  (void)vp.call("f", {{0xAAAA}, {0x5555}});
+
+  const std::size_t start = bench::first_high(trace, "PLB_WR_REQ");
+  std::printf("%s\n",
+              trace.render_ascii(start > 1 ? start - 1 : 0,
+                                 trace.cycles_recorded()).c_str());
+  std::printf(
+      "WR_REQ strobes with data on WR_DATA; WR_CE/BE stay steady until the\n"
+      "user logic responds via WR_ACK, then lower for the turnaround\n"
+      "(§4.3.1).  Two back-to-back single-word writes are shown.\n");
+  return 0;
+}

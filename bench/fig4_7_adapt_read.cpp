@@ -1,0 +1,47 @@
+// Figure 4.7: "Adapting Between the PLB and SIS Read Protocols" — both
+// signal sets in one waveform, lined up so the §4.3.2 correspondences
+// (RD_REQ<->IO_ENABLE, RD_CE<->FUNC_ID, RD_ACK<->DATA_OUT_VALID/IO_DONE)
+// are directly visible.
+#include "bench_common.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "rtl/trace.hpp"
+#include "runtime/platform.hpp"
+
+int main() {
+  using namespace splice;
+  bench::print_header("Figure 4.7",
+                      "Adapting between the PLB and SIS read protocols");
+
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name wavedev\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\nint f(int a);\n",
+      diags);
+  ir::validate(*spec, diags);
+  elab::BehaviorMap behaviors;
+  behaviors.set("f", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{3, {ctx.scalar(0) + 1}};
+  });
+  runtime::VirtualPlatform vp(std::move(*spec), behaviors);
+
+  rtl::Trace trace(vp.sim());
+  // Native side above, SIS side below — rows correspond (§4.3.2).
+  for (const char* sig :
+       {"PLB_RD_REQ", "PLB_RD_CE", "PLB_RD_DATA", "PLB_RD_ACK",
+        "SIS_IO_ENABLE", "SIS_FUNC_ID", "SIS_DATA_OUT", "SIS_DATA_OUT_VALID",
+        "SIS_IO_DONE"}) {
+    trace.watch(sig);
+  }
+  (void)vp.call("f", {{0x41}});
+
+  const std::size_t start = bench::first_high(trace, "PLB_RD_REQ");
+  std::printf("%s\n",
+              trace.render_ascii(start > 1 ? start - 1 : 0,
+                                 trace.cycles_recorded()).c_str());
+  std::printf(
+      "Rows correspond top-to-bottom: RD_REQ plays the role of IO_ENABLE,\n"
+      "the one-hot RD_CE becomes the binary FUNC_ID, and the function's\n"
+      "DATA_OUT_VALID/IO_DONE pulse is returned as RD_ACK (§4.3.2).\n");
+  return 0;
+}

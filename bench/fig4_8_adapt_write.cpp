@@ -1,0 +1,40 @@
+// Figure 4.8: "Adapting Between the PLB and SIS Write Protocols" — the
+// write-side counterpart of Figure 4.7.
+#include "bench_common.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "rtl/trace.hpp"
+#include "runtime/platform.hpp"
+
+int main() {
+  using namespace splice;
+  bench::print_header("Figure 4.8",
+                      "Adapting between the PLB and SIS write protocols");
+
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name wavedev\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\nvoid f(int a, int b);\n",
+      diags);
+  ir::validate(*spec, diags);
+  runtime::VirtualPlatform vp(std::move(*spec), {});
+
+  rtl::Trace trace(vp.sim());
+  for (const char* sig :
+       {"PLB_WR_REQ", "PLB_WR_CE", "PLB_BE", "PLB_WR_DATA", "PLB_WR_ACK",
+        "SIS_IO_ENABLE", "SIS_FUNC_ID", "SIS_DATA_IN", "SIS_DATA_IN_VALID",
+        "SIS_IO_DONE"}) {
+    trace.watch(sig);
+  }
+  (void)vp.call("f", {{0xC0DE}, {0xF00D}});
+
+  const std::size_t start = bench::first_high(trace, "PLB_WR_REQ");
+  std::printf("%s\n",
+              trace.render_ascii(start > 1 ? start - 1 : 0,
+                                 trace.cycles_recorded()).c_str());
+  std::printf(
+      "WR_REQ maps to IO_ENABLE, WR_CE != 0 gates DATA_IN_VALID, WR_DATA\n"
+      "passes through as DATA_IN, and the stub's IO_DONE pulse returns as\n"
+      "WR_ACK (§4.3.2).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Microbenchmarks (google-benchmark): tool-side throughput — parsing,
+// validation, HDL + driver generation, simulator stepping, and a full
+// end-to-end driver call on the simulated SoC.
+#include <benchmark/benchmark.h>
+
+#include "core/splice.hpp"
+#include "devices/timer.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "runtime/platform.hpp"
+
+namespace {
+
+using namespace splice;
+
+void BM_ParseTimerSpec(benchmark::State& state) {
+  const std::string text = devices::timer_spec_text();
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto spec = frontend::parse_spec(text, diags);
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_ParseTimerSpec);
+
+void BM_ValidateTimerSpec(benchmark::State& state) {
+  const std::string text = devices::timer_spec_text();
+  DiagnosticEngine diags;
+  auto parsed = frontend::parse_spec(text, diags);
+  for (auto _ : state) {
+    ir::DeviceSpec spec = *parsed;
+    DiagnosticEngine d;
+    benchmark::DoNotOptimize(ir::validate(spec, d));
+  }
+}
+BENCHMARK(BM_ValidateTimerSpec);
+
+void BM_GenerateTimerArtifacts(benchmark::State& state) {
+  const std::string text = devices::timer_spec_text();
+  Engine engine;
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto artifacts = engine.generate(text, diags);
+    benchmark::DoNotOptimize(artifacts);
+  }
+}
+BENCHMARK(BM_GenerateTimerArtifacts);
+
+void BM_SimulatorSteps(benchmark::State& state) {
+  devices::TimerCore core;
+  runtime::VirtualPlatform vp(devices::make_timer_spec(),
+                              devices::make_timer_behaviors(core));
+  vp.sim().add<devices::TimerTick>(core);
+  for (auto _ : state) {
+    vp.sim().step(100);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100);
+}
+BENCHMARK(BM_SimulatorSteps);
+
+void BM_EndToEndDriverCall(benchmark::State& state) {
+  devices::TimerCore core;
+  runtime::VirtualPlatform vp(devices::make_timer_spec(),
+                              devices::make_timer_behaviors(core));
+  vp.sim().add<devices::TimerTick>(core);
+  for (auto _ : state) {
+    auto r = vp.call("get_clock");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EndToEndDriverCall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

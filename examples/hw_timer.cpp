@@ -1,0 +1,80 @@
+// The thesis' chapter-8 worked example, end to end: the Figure 8.2
+// specification is generated into the Figure 8.3 / 8.7 file sets, the
+// timer core is "filled in" (§8.3), and the Figure 8.8 software test
+// suite runs against the simulated device through its generated drivers.
+//
+// Build & run:  ./build/examples/example_hw_timer
+#include <cstdio>
+
+#include "core/splice.hpp"
+#include "devices/timer.hpp"
+#include "runtime/platform.hpp"
+
+int main() {
+  using namespace splice;
+  using namespace splice::devices;
+
+  // Generate from the Figure 8.2 specification (verbatim, brace form).
+  Engine engine;
+  DiagnosticEngine diags;
+  auto artifacts = engine.generate(timer_spec_text(), diags);
+  if (!artifacts) {
+    std::fprintf(stderr, "%s", diags.render().c_str());
+    return 1;
+  }
+  std::printf("Figure 8.3/8.7 file set:\n");
+  for (const auto& f : artifacts->hardware) {
+    std::printf("  %-26s %s\n", f.filename.c_str(), f.purpose.c_str());
+  }
+  for (const auto& f : artifacts->software) {
+    std::printf("  %-26s %s\n", f.filename.c_str(), f.purpose.c_str());
+  }
+
+  // "Filling in the user-logic stubs" (§8.3.1): bind the timer core.
+  TimerCore core;
+  runtime::VirtualPlatform platform(artifacts->spec,
+                                    make_timer_behaviors(core));
+  platform.sim().add<TimerTick>(core);
+
+  auto call = [&](const char* fn, drivergen::CallArgs args =
+                                      {}) -> std::uint64_t {
+    auto r = platform.call(fn, args);
+    return r.outputs.empty() ? 0 : r.outputs[0];
+  };
+
+  // --- the Figure 8.8 test suite ---------------------------------------------
+  std::printf("\nRunning the Figure 8.8 test suite on the simulated SoC:\n");
+  call("disable");
+  const std::uint64_t clock_rate = call("get_clock");
+  std::printf("  Clock: %llu Hz\n",
+              static_cast<unsigned long long>(clock_rate));
+
+  // Figure 8.8 uses a 5-second threshold; in simulation we scale the
+  // interval down so the run completes instantly.
+  const std::uint64_t threshold = 400;
+  call("set_threshold", {{threshold}});
+  call("enable");
+
+  std::printf("  Value: %llu (snapshot right after enable; should be near "
+              "0)\n",
+              static_cast<unsigned long long>(call("get_snapshot")));
+
+  platform.sim().step(threshold + 64);  // "sleep(6)": the timer fires
+
+  const std::uint64_t status = call("get_status");
+  std::printf("  Status: 0x%llx (bit 0 = enabled, bit 1 = fired)\n",
+              static_cast<unsigned long long>(status));
+
+  call("disable");
+  std::printf("  Thold: %llu (read back, should equal %llu)\n",
+              static_cast<unsigned long long>(call("get_threshold")),
+              static_cast<unsigned long long>(threshold));
+  std::printf("  Status: 0x%llx (disabled; fired bit cleared by the "
+              "previous read)\n",
+              static_cast<unsigned long long>(call("get_status")));
+
+  const bool ok = (status & 3u) == 3u && platform.checker().clean();
+  std::printf("\n%s\n", ok ? "Timer test suite PASSED"
+                           : "Timer test suite FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Multi-instance hardware functions (thesis §3.1.6): a multi-threaded
+// flight-control application where each software thread drives its own
+// hardware copy of a sensor-fusion function.  The example dispatches one
+// job per instance, lets all four calculations run concurrently behind a
+// single bus attachment, and writes a VCD waveform of the run for
+// inspection in any standard viewer.
+//
+// Build & run:  ./build/examples/example_multi_instance
+#include <cstdio>
+
+#include "drivergen/program.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "rtl/trace.hpp"
+#include "rtl/vcd.hpp"
+#include "runtime/cpu.hpp"
+#include "runtime/platform.hpp"
+
+int main() {
+  using namespace splice;
+  using drivergen::DriverOp;
+  using drivergen::OpCode;
+
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(R"(
+    %device_name sensor_fusion
+    %bus_type plb
+    %bus_width 32
+    %base_address 0x80006000
+    // One hardware copy per flight-control thread (§3.1.6).
+    int fuse(int gyro, int accel):4;
+  )", diags);
+  if (!spec || !ir::validate(*spec, diags)) {
+    std::fprintf(stderr, "%s", diags.render().c_str());
+    return 1;
+  }
+
+  elab::BehaviorMap behaviors;
+  behaviors.set("fuse", [](const elab::CallContext& ctx) {
+    // A deliberately long calculation so the concurrency is visible.
+    const std::uint64_t fused =
+        (ctx.scalar(0) * 7 + ctx.scalar(1) * 3) / 10 + ctx.instance_index;
+    return elab::CalcResult{50, {fused}};
+  });
+  runtime::VirtualPlatform vp(std::move(*spec), behaviors);
+
+  rtl::Trace trace(vp.sim());
+  trace.watch("SIS_FUNC_ID");
+  trace.watch("SIS_IO_ENABLE");
+  trace.watch("SIS_CALC_DONE");
+
+  // "Each thread" dispatches to its own instance; the results are
+  // collected afterwards (the §6.1.2 inst_index convention).
+  const std::uint32_t base_fid = vp.spec().functions[0].func_id;
+  drivergen::DriverProgram program;
+  program.function_name = "fuse";
+  const std::uint64_t gyro[4] = {100, 200, 300, 400};
+  const std::uint64_t accel[4] = {40, 30, 20, 10};
+  for (unsigned t = 0; t < 4; ++t) {
+    const std::uint32_t fid = base_fid + t;
+    program.ops.push_back(DriverOp{OpCode::SetAddress, fid, {}, 0});
+    program.ops.push_back(DriverOp{OpCode::WriteSingle, fid, {gyro[t]}, 0});
+    program.ops.push_back(DriverOp{OpCode::WriteSingle, fid, {accel[t]}, 0});
+  }
+  for (unsigned t = 0; t < 4; ++t) {
+    program.ops.push_back(
+        DriverOp{OpCode::ReadSingle, base_fid + t, {}, 1});
+    program.total_read_words += 1;
+  }
+  vp.cpu().run(std::move(program));
+  const std::uint64_t start = vp.sim().cycle();
+  vp.sim().step_until([&] { return vp.cpu().done(); }, 100'000);
+  const std::uint64_t cycles = vp.sim().cycle() - start;
+
+  std::printf("4 threads, 4 hardware copies, 50-cycle calculation each:\n");
+  for (unsigned t = 0; t < 4; ++t) {
+    const std::uint64_t expect = (gyro[t] * 7 + accel[t] * 3) / 10 + t;
+    const std::uint64_t got = vp.cpu().read_words().at(t);
+    std::printf("  thread %u: fuse(%llu, %llu) = %llu %s\n", t,
+                static_cast<unsigned long long>(gyro[t]),
+                static_cast<unsigned long long>(accel[t]),
+                static_cast<unsigned long long>(got),
+                got == expect ? "(ok)" : "(WRONG)");
+  }
+  std::printf("total: %llu bus cycles — well under 4 x (I/O + 50) thanks "
+              "to overlapped calculations\n",
+              static_cast<unsigned long long>(cycles));
+  std::printf("SIS protocol violations: %zu\n",
+              vp.checker().violations().size());
+
+  if (rtl::write_vcd_file(trace, vp.sim(), "sensor_fusion.vcd")) {
+    std::printf("waveform written to sensor_fusion.vcd (%zu cycles)\n",
+                trace.cycles_recorded());
+  }
+  return vp.checker().clean() ? 0 : 1;
+}

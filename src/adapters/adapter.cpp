@@ -1,0 +1,20 @@
+#include "adapters/adapter.hpp"
+
+namespace splice::adapters {
+
+bool BusAdapter::check_parameters(ir::DeviceSpec& spec,
+                                  DiagnosticEngine& diags) const {
+  const ir::BusCapabilities caps = capabilities();
+  return ir::validate(spec, diags, &caps);
+}
+
+std::string BusAdapter::macro_library(const ir::DeviceSpec& spec,
+                                      drivergen::DriverOs os) const {
+  return drivergen::emit_macro_library(spec, os);
+}
+
+std::string library_filename(const std::string& bus_name) {
+  return "lib" + bus_name + "_interface.so";
+}
+
+}  // namespace splice::adapters

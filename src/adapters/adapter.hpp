@@ -1,0 +1,62 @@
+// The bus-extension API (thesis chapter 7).  A BusAdapter supplies the
+// three routines every external interface library must define (§7.1.2):
+//   * a parameter checking routine,
+//   * a marker loader registering bus-specific %MACRO% handlers,
+//   * a bus interface generator driving the HDL template parser,
+// plus the driver-side macro library (§7.1.3).  Built-in adapters cover
+// the PLB, OPB, FCB and APB of the thesis and the AHB of its future-work
+// list; user code can register additional adapters (§7.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/hwgen.hpp"
+#include "codegen/template.hpp"
+#include "drivergen/maclib.hpp"
+#include "ir/validate.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::adapters {
+
+class BusAdapter {
+ public:
+  virtual ~BusAdapter() = default;
+
+  /// Canonical lowercase bus name ('x' in lib<x>_interface.so, §7.2).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// What the native interface can physically do (drives validation).
+  [[nodiscard]] virtual ir::BusCapabilities capabilities() const = 0;
+
+  /// Parameter checking routine (§7.1.2): parse the shared configuration
+  /// and reject feature requests the bus cannot honour.  The default runs
+  /// ir::validate against capabilities(); adapters may extend it.
+  virtual bool check_parameters(ir::DeviceSpec& spec,
+                                DiagnosticEngine& diags) const;
+
+  /// Marker loader routine (§7.1.2): register bus-specific macros used by
+  /// this adapter's templates.  The standard Figure 7.1 set is already
+  /// present on the engine.
+  virtual void load_markers(codegen::TemplateEngine& engine) const {
+    (void)engine;
+  }
+
+  /// Bus interface generator routine (§7.1.2): expand this adapter's
+  /// annotated HDL template(s) into the native interface file(s).  May
+  /// produce several files for complex interconnects.
+  [[nodiscard]] virtual std::vector<codegen::GeneratedFile>
+  generate_interface(const ir::DeviceSpec& spec,
+                     const codegen::TemplateEngine& engine,
+                     DiagnosticEngine& diags) const = 0;
+
+  /// Driver-side splice_lib.h for this bus (§7.1.3).
+  [[nodiscard]] virtual std::string macro_library(
+      const ir::DeviceSpec& spec,
+      drivergen::DriverOs os = drivergen::DriverOs::BareMetal) const;
+};
+
+/// The dynamic-library naming rule of §7.2: "lib[x]_interface.so".
+[[nodiscard]] std::string library_filename(const std::string& bus_name);
+
+}  // namespace splice::adapters

@@ -1,0 +1,48 @@
+#include "adapters/registry.hpp"
+
+namespace splice::adapters {
+
+AdapterRegistry& AdapterRegistry::instance() {
+  static AdapterRegistry registry = [] {
+    AdapterRegistry r;
+    r.add(make_plb_adapter());
+    r.add(make_opb_adapter());
+    r.add(make_fcb_adapter());
+    r.add(make_apb_adapter());
+    r.add(make_ahb_adapter());
+    return r;
+  }();
+  return registry;
+}
+
+bool AdapterRegistry::add(std::unique_ptr<BusAdapter> adapter) {
+  if (adapter == nullptr || find(adapter->name()) != nullptr) return false;
+  adapters_.push_back(std::move(adapter));
+  return true;
+}
+
+bool AdapterRegistry::remove(const std::string& name) {
+  for (auto it = adapters_.begin(); it != adapters_.end(); ++it) {
+    if ((*it)->name() == name) {
+      adapters_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const BusAdapter* AdapterRegistry::find(const std::string& name) const {
+  for (const auto& a : adapters_) {
+    if (a->name() == name) return a.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AdapterRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(adapters_.size());
+  for (const auto& a : adapters_) out.push_back(a->name());
+  return out;
+}
+
+}  // namespace splice::adapters

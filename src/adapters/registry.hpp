@@ -1,0 +1,41 @@
+// Adapter registry: the simulation-environment stand-in for the dynamic
+// library loading of thesis §7.2.  Built-in adapters self-register;
+// user-defined adapters register at runtime under the same naming rule
+// used for lib<x>_interface.so.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapters/adapter.hpp"
+
+namespace splice::adapters {
+
+class AdapterRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-in adapters
+  /// (plb, opb, fcb, apb, ahb).
+  static AdapterRegistry& instance();
+
+  /// Register an adapter; returns false when the name is already taken.
+  bool add(std::unique_ptr<BusAdapter> adapter);
+  /// Remove a (user-registered) adapter; built-ins can be removed too,
+  /// which tests use to simulate a missing interface library.
+  bool remove(const std::string& name);
+
+  [[nodiscard]] const BusAdapter* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::unique_ptr<BusAdapter>> adapters_;
+};
+
+// Built-in adapter factories (exposed so tests can build isolated copies).
+[[nodiscard]] std::unique_ptr<BusAdapter> make_plb_adapter();
+[[nodiscard]] std::unique_ptr<BusAdapter> make_opb_adapter();
+[[nodiscard]] std::unique_ptr<BusAdapter> make_fcb_adapter();
+[[nodiscard]] std::unique_ptr<BusAdapter> make_apb_adapter();
+[[nodiscard]] std::unique_ptr<BusAdapter> make_ahb_adapter();
+
+}  // namespace splice::adapters

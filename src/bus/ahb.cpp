@@ -1,0 +1,144 @@
+#include "bus/ahb.hpp"
+
+#include <algorithm>
+
+namespace splice::bus {
+
+AhbPins AhbPins::create(rtl::Simulator& sim, const std::string& prefix,
+                        unsigned data_width, unsigned func_id_width) {
+  auto name = [&](const char* leaf) { return prefix + leaf; };
+  return AhbPins{
+      data_width,
+      sim.signal(name("RST"), 1),
+      sim.signal(name("HTRANS"), 2),
+      sim.signal(name("HWRITE"), 1),
+      sim.signal(name("HADDR"), func_id_width),
+      sim.signal(name("HBURST"), 5),
+      sim.signal(name("HWDATA"), data_width),
+      sim.signal(name("HRDATA"), data_width),
+      sim.signal(name("HREADY"), 1),
+  };
+}
+
+AhbBus::AhbBus(rtl::Simulator& sim, const std::string& prefix,
+               unsigned data_width, unsigned func_id_width)
+    : rtl::Module(prefix + "bus"),
+      pins_(AhbPins::create(sim, prefix, data_width, func_id_width)) {
+  pins_.hready.set(true);  // idle bus is ready
+}
+
+bool AhbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
+
+void AhbBus::write(std::uint32_t fid, std::vector<std::uint64_t> beats) {
+  std::size_t i = 0;
+  while (i < beats.size()) {
+    unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(beats.size() - i, timing::kAhbMaxBurstBeats));
+    Burst b;
+    b.is_read = false;
+    b.fid = fid;
+    b.beats.assign(beats.begin() + static_cast<long>(i),
+                   beats.begin() + static_cast<long>(i + n));
+    b.beat_count = n;
+    queue_.push_back(std::move(b));
+    i += n;
+  }
+}
+
+void AhbBus::read(std::uint32_t fid, unsigned beats) {
+  if (!busy()) read_data_.clear();
+  unsigned remaining = beats;
+  while (remaining > 0) {
+    unsigned n = std::min(remaining, timing::kAhbMaxBurstBeats);
+    Burst b;
+    b.is_read = true;
+    b.fid = fid;
+    b.beat_count = n;
+    queue_.push_back(std::move(b));
+    remaining -= n;
+  }
+}
+
+void AhbBus::clock_edge() {
+  if (pins_.rst.high()) {
+    reset();
+    return;
+  }
+  switch (state_) {
+    case St::Idle:
+      if (!queue_.empty()) {
+        current_ = std::move(queue_.front());
+        queue_.pop_front();
+        addr_issued_ = 0;
+        data_done_ = 0;
+        data_phase_open_ = false;
+        addr_pending_ = false;
+        countdown_ = timing::kAhbArbitrationCycles;
+        state_ = countdown_ == 0 ? St::Transfer : St::Arb;
+      }
+      break;
+
+    case St::Arb:
+      if (countdown_ > 0) --countdown_;
+      if (countdown_ == 0) state_ = St::Transfer;
+      break;
+
+    case St::Transfer: {
+      // Address and data phases pipeline per the AHB rules: at every edge
+      // where HREADY is high, the open data phase (if any) completes, the
+      // pending address phase is accepted by the slave (its data phase
+      // opens and HWDATA takes *its* payload), and the next address phase
+      // goes onto HADDR/HTRANS.
+      const bool ready = pins_.hready.high();
+      if (ready) {
+        if (data_phase_open_) {
+          if (current_.is_read) read_data_.push_back(pins_.hrdata.get());
+          ++data_done_;
+          data_phase_open_ = false;
+        }
+        if (addr_pending_) {
+          data_phase_open_ = true;
+          if (!current_.is_read) pins_.hwdata.set(current_.beats[pending_beat_]);
+          addr_pending_ = false;
+        }
+        if (addr_issued_ < current_.beat_count) {
+          pins_.htrans.set(addr_issued_ == 0 ? kHtransNonseq : kHtransSeq);
+          pins_.haddr.set(static_cast<std::uint64_t>(current_.fid));
+          pins_.hwrite.set(!current_.is_read);
+          pins_.hburst.set(
+              static_cast<std::uint64_t>(current_.beat_count - addr_issued_));
+          addr_pending_ = true;
+          pending_beat_ = addr_issued_;
+          ++addr_issued_;
+        } else {
+          pins_.htrans.set(kHtransIdle);
+        }
+        if (data_done_ >= current_.beat_count && !addr_pending_ &&
+            !data_phase_open_) {
+          pins_.htrans.set(kHtransIdle);
+          pins_.hwrite.set(false);
+          ++bursts_;
+          state_ = St::Idle;
+        }
+      }
+      break;
+    }
+  }
+}
+
+void AhbBus::reset() {
+  queue_.clear();
+  state_ = St::Idle;
+  addr_issued_ = 0;
+  data_done_ = 0;
+  data_phase_open_ = false;
+  addr_pending_ = false;
+  countdown_ = 0;
+  read_data_.clear();
+  pins_.htrans.set(kHtransIdle);
+  pins_.hwrite.set(false);
+  pins_.haddr.set(std::uint64_t{0});
+  pins_.hwdata.set(std::uint64_t{0});
+}
+
+}  // namespace splice::bus

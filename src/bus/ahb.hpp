@@ -1,0 +1,90 @@
+// AMBA High-speed Bus model (thesis §2.3.1; adapter support is the first
+// item of the §10.2 future-work list — implemented here).
+//
+// The AHB pipelines address and data phases: while beat N's data is on
+// HWDATA/HRDATA, beat N+1's address is already on HADDR.  Slaves insert
+// wait states by holding HREADY low.  Chained bursts of up to 16 beats
+// amortize the arbitration cost (§2.3.1: "chained transactions of up to 16
+// cycles are permitted").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bus/master_port.hpp"
+#include "bus/timing.hpp"
+#include "rtl/simulator.hpp"
+
+namespace splice::bus {
+
+/// HTRANS encodings (subset).
+inline constexpr std::uint64_t kHtransIdle = 0;
+inline constexpr std::uint64_t kHtransNonseq = 2;
+inline constexpr std::uint64_t kHtransSeq = 3;
+
+struct AhbPins {
+  unsigned data_width;
+
+  rtl::Signal& rst;
+  rtl::Signal& htrans;  ///< 2 bits: IDLE / NONSEQ / SEQ
+  rtl::Signal& hwrite;
+  rtl::Signal& haddr;   ///< function identifier (word address)
+  rtl::Signal& hburst;  ///< beats remaining in the burst (model signal)
+  rtl::Signal& hwdata;
+  rtl::Signal& hrdata;  ///< slave-driven
+  rtl::Signal& hready;  ///< slave-driven; low inserts a wait state
+
+  static AhbPins create(rtl::Simulator& sim, const std::string& prefix,
+                        unsigned data_width, unsigned func_id_width);
+};
+
+class AhbBus : public rtl::Module, public MasterPort {
+ public:
+  AhbBus(rtl::Simulator& sim, const std::string& prefix, unsigned data_width,
+         unsigned func_id_width);
+
+  [[nodiscard]] AhbPins& pins() { return pins_; }
+
+  // -- MasterPort -----------------------------------------------------------
+  [[nodiscard]] bool busy() const override;
+  void write(std::uint32_t fid, std::vector<std::uint64_t> beats) override;
+  void read(std::uint32_t fid, unsigned beats) override;
+  [[nodiscard]] const std::vector<std::uint64_t>& read_data() const override {
+    return read_data_;
+  }
+  [[nodiscard]] unsigned max_burst_beats() const override {
+    return timing::kAhbMaxBurstBeats;
+  }
+
+  // -- Module ---------------------------------------------------------------
+  void clock_edge() override;
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t bursts() const { return bursts_; }
+
+ private:
+  struct Burst {
+    bool is_read = false;
+    std::uint32_t fid = 0;
+    std::vector<std::uint64_t> beats;
+    unsigned beat_count = 0;
+  };
+  enum class St : std::uint8_t { Idle, Arb, Transfer };
+
+  AhbPins pins_;
+  std::deque<Burst> queue_;
+  St state_ = St::Idle;
+  Burst current_{};
+  unsigned addr_issued_ = 0;   ///< beats whose address phase is out
+  unsigned data_done_ = 0;     ///< beats whose data phase completed
+  bool data_phase_open_ = false;
+  bool addr_pending_ = false;  ///< presented address not yet accepted
+  unsigned pending_beat_ = 0;
+  unsigned countdown_ = 0;
+  std::vector<std::uint64_t> read_data_;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace splice::bus

@@ -1,0 +1,100 @@
+#include "bus/apb.hpp"
+
+namespace splice::bus {
+
+ApbPins ApbPins::create(rtl::Simulator& sim, const std::string& prefix,
+                        unsigned data_width, unsigned func_id_width) {
+  auto name = [&](const char* leaf) { return prefix + leaf; };
+  return ApbPins{
+      data_width,
+      sim.signal(name("RST"), 1),
+      sim.signal(name("PSEL"), 1),
+      sim.signal(name("PENABLE"), 1),
+      sim.signal(name("PWRITE"), 1),
+      sim.signal(name("PADDR"), func_id_width),
+      sim.signal(name("PWDATA"), data_width),
+      sim.signal(name("PRDATA"), data_width),
+  };
+}
+
+ApbBus::ApbBus(rtl::Simulator& sim, const std::string& prefix,
+               unsigned data_width, unsigned func_id_width)
+    : rtl::Module(prefix + "bus"),
+      pins_(ApbPins::create(sim, prefix, data_width, func_id_width)) {}
+
+bool ApbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
+
+void ApbBus::write(std::uint32_t fid, std::vector<std::uint64_t> beats) {
+  for (std::uint64_t word : beats) {
+    queue_.push_back(WordOp{false, fid, word});
+  }
+}
+
+void ApbBus::read(std::uint32_t fid, unsigned beats) {
+  if (!busy()) read_data_.clear();
+  for (unsigned i = 0; i < beats; ++i) {
+    queue_.push_back(WordOp{true, fid, 0});
+  }
+}
+
+void ApbBus::clock_edge() {
+  if (pins_.rst.high()) {
+    reset();
+    return;
+  }
+  switch (state_) {
+    case St::Idle:
+      if (!queue_.empty()) {
+        current_ = queue_.front();
+        queue_.pop_front();
+        countdown_ = timing::kApbBridgeCycles;
+        state_ = countdown_ == 0 ? St::Setup : St::Bridge;
+      }
+      break;
+
+    case St::Bridge:
+      if (countdown_ > 0) --countdown_;
+      if (countdown_ == 0) state_ = St::Setup;
+      break;
+
+    case St::Setup:
+      pins_.psel.set(true);
+      pins_.penable.set(false);
+      pins_.pwrite.set(!current_.is_read);
+      pins_.paddr.set(static_cast<std::uint64_t>(current_.fid));
+      if (!current_.is_read) pins_.pwdata.set(current_.data);
+      state_ = St::Enable;
+      break;
+
+    case St::Enable:
+      pins_.penable.set(true);
+      state_ = St::Sample;
+      break;
+
+    case St::Sample:
+      // The access cycle just elapsed; the (strictly synchronous) slave has
+      // registered a write or driven PRDATA combinationally — no stalls
+      // are possible on this interface (§2.3.1).
+      if (current_.is_read) read_data_.push_back(pins_.prdata.get());
+      ++transactions_;
+      pins_.psel.set(false);
+      pins_.penable.set(false);
+      pins_.pwrite.set(false);
+      state_ = St::Idle;
+      break;
+  }
+}
+
+void ApbBus::reset() {
+  queue_.clear();
+  state_ = St::Idle;
+  countdown_ = 0;
+  read_data_.clear();
+  pins_.psel.set(false);
+  pins_.penable.set(false);
+  pins_.pwrite.set(false);
+  pins_.paddr.set(std::uint64_t{0});
+  pins_.pwdata.set(std::uint64_t{0});
+}
+
+}  // namespace splice::bus

@@ -1,0 +1,76 @@
+// AMBA Peripheral Bus model (thesis §2.3.1).
+//
+// The APB is the thesis' strictly synchronous interface: transactions run a
+// fixed SETUP cycle (PSEL) followed by an ACCESS cycle (PSEL+PENABLE) and
+// may never be stalled by the peripheral — which is why SIS adapters for it
+// rely on CALC_DONE polling through the reserved function id 0 (§4.2.2).
+// The bus hangs off the AHB through a bridge, costing extra cycles per
+// transaction (§2.3.1: "peripherals must pass through multiple layers of
+// arbitration").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bus/master_port.hpp"
+#include "bus/timing.hpp"
+#include "rtl/simulator.hpp"
+
+namespace splice::bus {
+
+struct ApbPins {
+  unsigned data_width;
+
+  rtl::Signal& rst;
+  rtl::Signal& psel;
+  rtl::Signal& penable;
+  rtl::Signal& pwrite;
+  rtl::Signal& paddr;   ///< function identifier (word address)
+  rtl::Signal& pwdata;
+  rtl::Signal& prdata;  ///< slave-driven, must be valid in the access cycle
+
+  static ApbPins create(rtl::Simulator& sim, const std::string& prefix,
+                        unsigned data_width, unsigned func_id_width);
+};
+
+class ApbBus : public rtl::Module, public MasterPort {
+ public:
+  ApbBus(rtl::Simulator& sim, const std::string& prefix, unsigned data_width,
+         unsigned func_id_width);
+
+  [[nodiscard]] ApbPins& pins() { return pins_; }
+
+  // -- MasterPort -----------------------------------------------------------
+  [[nodiscard]] bool busy() const override;
+  void write(std::uint32_t fid, std::vector<std::uint64_t> beats) override;
+  void read(std::uint32_t fid, unsigned beats) override;
+  [[nodiscard]] const std::vector<std::uint64_t>& read_data() const override {
+    return read_data_;
+  }
+
+  // -- Module ---------------------------------------------------------------
+  void clock_edge() override;
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
+
+ private:
+  struct WordOp {
+    bool is_read = false;
+    std::uint32_t fid = 0;
+    std::uint64_t data = 0;
+  };
+  enum class St : std::uint8_t { Idle, Bridge, Setup, Enable, Sample };
+
+  ApbPins pins_;
+  std::deque<WordOp> queue_;
+  St state_ = St::Idle;
+  WordOp current_{};
+  unsigned countdown_ = 0;
+  std::vector<std::uint64_t> read_data_;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace splice::bus

@@ -1,0 +1,145 @@
+#include "bus/fcb.hpp"
+
+namespace splice::bus {
+
+FcbPins FcbPins::create(rtl::Simulator& sim, const std::string& prefix,
+                        unsigned data_width, unsigned func_id_width) {
+  auto name = [&](const char* leaf) { return prefix + leaf; };
+  return FcbPins{
+      data_width,
+      sim.signal(name("RST"), 1),
+      sim.signal(name("OP_VALID"), 1),
+      sim.signal(name("OP_READ"), 1),
+      sim.signal(name("OP_FUNC"), func_id_width),
+      sim.signal(name("OP_BEATS"), 3),
+      sim.signal(name("WR_DATA"), data_width),
+      sim.signal(name("WR_VALID"), 1),
+      sim.signal(name("BEAT_ACK"), 1),
+      sim.signal(name("RD_DATA"), data_width),
+      sim.signal(name("RD_VALID"), 1),
+  };
+}
+
+FcbBus::FcbBus(rtl::Simulator& sim, const std::string& prefix,
+               unsigned data_width, unsigned func_id_width)
+    : rtl::Module(prefix + "bus"),
+      pins_(FcbPins::create(sim, prefix, data_width, func_id_width)) {}
+
+bool FcbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
+
+void FcbBus::write(std::uint32_t fid, std::vector<std::uint64_t> beats) {
+  // Split into native single/double/quad operations (the WRITE_QUAD /
+  // WRITE_DOUBLE / WRITE_SINGLE macro ladder of §6.1.1).
+  std::size_t i = 0;
+  while (i < beats.size()) {
+    unsigned n = beats.size() - i >= 4 ? 4 : (beats.size() - i >= 2 ? 2 : 1);
+    Op op;
+    op.is_read = false;
+    op.fid = fid;
+    op.beats.assign(beats.begin() + static_cast<long>(i),
+                    beats.begin() + static_cast<long>(i + n));
+    op.beat_count = n;
+    queue_.push_back(std::move(op));
+    i += n;
+  }
+}
+
+void FcbBus::read(std::uint32_t fid, unsigned beats) {
+  if (!busy()) read_data_.clear();
+  unsigned remaining = beats;
+  while (remaining > 0) {
+    unsigned n = remaining >= 4 ? 4 : (remaining >= 2 ? 2 : 1);
+    Op op;
+    op.is_read = true;
+    op.fid = fid;
+    op.beat_count = n;
+    queue_.push_back(std::move(op));
+    remaining -= n;
+  }
+}
+
+void FcbBus::clock_edge() {
+  if (pins_.rst.high()) {
+    reset();
+    return;
+  }
+  pins_.op_valid.set(false);
+
+  switch (state_) {
+    case St::Idle:
+      if (!queue_.empty()) {
+        current_ = std::move(queue_.front());
+        queue_.pop_front();
+        beat_index_ = 0;
+        state_ = St::Issue;
+      }
+      break;
+
+    case St::Issue:
+      pins_.op_valid.set(true);
+      pins_.op_read.set(current_.is_read);
+      pins_.op_func.set(static_cast<std::uint64_t>(current_.fid));
+      pins_.op_beats.set(static_cast<std::uint64_t>(current_.beat_count));
+      if (current_.is_read) {
+        state_ = St::ReadBeats;
+      } else {
+        pins_.wr_data.set(current_.beats[0]);
+        pins_.wr_valid.set(true);
+        state_ = St::WriteBeats;
+      }
+      break;
+
+    case St::WriteBeats:
+      if (pins_.beat_ack.high()) {
+        ++beat_index_;
+        if (beat_index_ >= current_.beat_count) {
+          pins_.wr_valid.set(false);
+          pins_.wr_data.set(std::uint64_t{0});
+          ++operations_;
+          state_ = St::Idle;
+        } else {
+          // The CPU stages the next operand into the APU registers before
+          // the following beat can be presented.
+          pins_.wr_valid.set(false);
+          feed_countdown_ = timing::kFcbBeatFeedCycles;
+          state_ = St::FeedDelay;
+        }
+      }
+      break;
+
+    case St::FeedDelay:
+      if (feed_countdown_ > 0) --feed_countdown_;
+      if (feed_countdown_ == 0) {
+        pins_.wr_data.set(current_.beats[beat_index_]);
+        pins_.wr_valid.set(true);
+        state_ = St::WriteBeats;
+      }
+      break;
+
+    case St::ReadBeats:
+      if (pins_.rd_valid.high()) {
+        read_data_.push_back(pins_.rd_data.get());
+        ++beat_index_;
+        if (beat_index_ >= current_.beat_count) {
+          ++operations_;
+          state_ = St::Idle;
+        }
+      }
+      break;
+  }
+}
+
+void FcbBus::reset() {
+  queue_.clear();
+  state_ = St::Idle;
+  beat_index_ = 0;
+  read_data_.clear();
+  pins_.op_valid.set(false);
+  pins_.op_read.set(false);
+  pins_.op_func.set(std::uint64_t{0});
+  pins_.op_beats.set(std::uint64_t{0});
+  pins_.wr_valid.set(false);
+  pins_.wr_data.set(std::uint64_t{0});
+}
+
+}  // namespace splice::bus

@@ -1,0 +1,87 @@
+// Xilinx Fabric Co-processor Bus model (thesis §2.3.2).
+//
+// The FCB is not memory mapped: the CPU reaches it through dedicated APU
+// opcodes, so there is no address decode and no bus arbitration.  Native
+// single, double and quad word transfers are supported (§6.1.1 maps the
+// WRITE_DOUBLE / WRITE_QUAD macros onto them).  Each operation opens with a
+// one-cycle OP_VALID header carrying the function identifier and beat
+// count; write beats are then presented one at a time and individually
+// acknowledged by the slave (BEAT_ACK), which lets a hand-optimized device
+// stream at one word per cycle while an SIS adapter inserts its per-word
+// handshake.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bus/master_port.hpp"
+#include "bus/timing.hpp"
+#include "rtl/simulator.hpp"
+
+namespace splice::bus {
+
+struct FcbPins {
+  unsigned data_width;
+
+  rtl::Signal& rst;
+  rtl::Signal& op_valid;  ///< strobe: new operation header
+  rtl::Signal& op_read;   ///< 1 = read operation
+  rtl::Signal& op_func;   ///< target function identifier
+  rtl::Signal& op_beats;  ///< 1, 2 or 4 words in this operation
+  rtl::Signal& wr_data;   ///< current write beat (held until BEAT_ACK)
+  rtl::Signal& wr_valid;  ///< write beat valid
+  rtl::Signal& beat_ack;  ///< slave acknowledges current write beat
+  rtl::Signal& rd_data;   ///< slave read beat
+  rtl::Signal& rd_valid;  ///< slave read beat valid
+
+  static FcbPins create(rtl::Simulator& sim, const std::string& prefix,
+                        unsigned data_width, unsigned func_id_width);
+};
+
+class FcbBus : public rtl::Module, public MasterPort {
+ public:
+  FcbBus(rtl::Simulator& sim, const std::string& prefix, unsigned data_width,
+         unsigned func_id_width);
+
+  [[nodiscard]] FcbPins& pins() { return pins_; }
+
+  // -- MasterPort -----------------------------------------------------------
+  [[nodiscard]] bool busy() const override;
+  void write(std::uint32_t fid, std::vector<std::uint64_t> beats) override;
+  void read(std::uint32_t fid, unsigned beats) override;
+  [[nodiscard]] const std::vector<std::uint64_t>& read_data() const override {
+    return read_data_;
+  }
+  [[nodiscard]] unsigned max_burst_beats() const override { return 4; }
+  [[nodiscard]] unsigned cpu_gap_cycles() const override {
+    return timing::kFcbCpuGapCycles;
+  }
+
+  // -- Module ---------------------------------------------------------------
+  void clock_edge() override;
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t operations() const { return operations_; }
+
+ private:
+  struct Op {
+    bool is_read = false;
+    std::uint32_t fid = 0;
+    std::vector<std::uint64_t> beats;  ///< write data, or sized for reads
+    unsigned beat_count = 0;
+  };
+  enum class St : std::uint8_t { Idle, Issue, WriteBeats, FeedDelay, ReadBeats };
+
+  FcbPins pins_;
+  std::deque<Op> queue_;
+  St state_ = St::Idle;
+  Op current_{};
+  unsigned beat_index_ = 0;
+  unsigned feed_countdown_ = 0;
+  std::vector<std::uint64_t> read_data_;
+  std::uint64_t operations_ = 0;
+};
+
+}  // namespace splice::bus

@@ -1,0 +1,18 @@
+#include "bus/master_port.hpp"
+
+#include "bus/timing.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::bus {
+
+unsigned MasterPort::cpu_gap_cycles() const { return timing::kCpuGapCycles; }
+
+void MasterPort::dma_write(std::uint32_t, std::vector<std::uint64_t>) {
+  throw SpliceError("this bus has no DMA capability");
+}
+
+void MasterPort::dma_read(std::uint32_t, unsigned) {
+  throw SpliceError("this bus has no DMA capability");
+}
+
+}  // namespace splice::bus

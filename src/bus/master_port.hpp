@@ -1,0 +1,47 @@
+// The software-facing side of every bus model.  The CPU master (runtime
+// library) drives one of these; the bus module turns each request into the
+// native pin-level protocol over subsequent clock cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace splice::bus {
+
+/// Transfer widths of the thesis driver macros (Figure 7.2):
+/// WRITE_SINGLE / WRITE_DOUBLE / WRITE_QUAD and the READ_* family.
+enum class Beats : unsigned { Single = 1, Double = 2, Quad = 4 };
+
+class MasterPort {
+ public:
+  virtual ~MasterPort() = default;
+
+  /// True while a previously issued request is still on the wire.
+  [[nodiscard]] virtual bool busy() const = 0;
+
+  /// Issue a write of `beats.size()` bus words to function slot `fid`.
+  /// Buses without native bursts serialize internally (one full
+  /// transaction per word, as the §6.1.1 macro fallback prescribes).
+  virtual void write(std::uint32_t fid, std::vector<std::uint64_t> beats) = 0;
+
+  /// Issue a read of `beats` bus words from function slot `fid`.
+  virtual void read(std::uint32_t fid, unsigned beats) = 0;
+
+  /// Data captured by the most recent completed read.
+  [[nodiscard]] virtual const std::vector<std::uint64_t>& read_data()
+      const = 0;
+
+  /// Longest native burst in bus words (1 when the bus has none).
+  [[nodiscard]] virtual unsigned max_burst_beats() const { return 1; }
+
+  /// CPU-side gap (in bus cycles) the driver pays between transactions on
+  /// this bus — memory-mapped stores cost more than co-processor opcodes.
+  [[nodiscard]] virtual unsigned cpu_gap_cycles() const;
+
+  /// DMA support (thesis §3.1.5): transfer a block without CPU pacing.
+  [[nodiscard]] virtual bool supports_dma() const { return false; }
+  virtual void dma_write(std::uint32_t fid, std::vector<std::uint64_t> words);
+  virtual void dma_read(std::uint32_t fid, unsigned words);
+};
+
+}  // namespace splice::bus

@@ -1,0 +1,2 @@
+// OpbBus is a configuration of the PlbBus engine; this unit anchors it.
+#include "bus/opb.hpp"

@@ -1,0 +1,30 @@
+// IBM CoreConnect On-chip Peripheral Bus model (thesis §2.3.2).
+//
+// The OPB hangs off the PLB through a shared-access arbiter/bridge, so it
+// speaks the same CE/REQ/ACK pin protocol as the PLB but every transaction
+// pays the bridge crossing in both directions — the "intrinsic latency
+// penalties associated with the OPB" the thesis cites as the reason DMA
+// users should prefer the PLB.  Matching the thesis' support level, only
+// simple read and write operations are offered (no burst, no DMA).
+#pragma once
+
+#include "bus/plb.hpp"
+
+namespace splice::bus {
+
+using OpbPins = PlbPins;
+
+class OpbBus : public PlbBus {
+ public:
+  OpbBus(rtl::Simulator& sim, const std::string& prefix, unsigned data_width,
+         unsigned slots)
+      : PlbBus(sim, prefix, data_width, slots,
+               MemMappedBusConfig{
+                   timing::kPlbArbitrationCycles,
+                   timing::kPlbTurnaroundCycles,
+                   timing::kOpbBridgeCycles,
+                   timing::kCpuGapCycles,
+               }) {}
+};
+
+}  // namespace splice::bus

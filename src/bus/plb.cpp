@@ -1,0 +1,204 @@
+#include "bus/plb.hpp"
+
+#include "support/bits.hpp"
+
+namespace splice::bus {
+
+PlbPins PlbPins::create(rtl::Simulator& sim, const std::string& prefix,
+                        unsigned data_width, unsigned slots) {
+  auto name = [&](const char* leaf) { return prefix + leaf; };
+  return PlbPins{
+      data_width,
+      slots,
+      sim.signal(name("RST"), 1),
+      sim.signal(name("RD_REQ"), 1),
+      sim.signal(name("WR_REQ"), 1),
+      sim.signal(name("RD_CE"), slots),
+      sim.signal(name("WR_CE"), slots),
+      sim.signal(name("BE"), data_width / 8),
+      sim.signal(name("WR_DATA"), data_width),
+      sim.signal(name("RD_DATA"), data_width),
+      sim.signal(name("WR_ACK"), 1),
+      sim.signal(name("RD_ACK"), 1),
+  };
+}
+
+PlbBus::PlbBus(rtl::Simulator& sim, const std::string& prefix,
+               unsigned data_width, unsigned slots, MemMappedBusConfig config)
+    : rtl::Module(prefix + "bus"),
+      pins_(PlbPins::create(sim, prefix, data_width, slots)),
+      config_(config) {
+  if (slots == 0 || slots > 64) {
+    throw SpliceError("PLB model supports 1..64 one-hot slots");
+  }
+}
+
+bool PlbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
+
+void PlbBus::write(std::uint32_t fid, std::vector<std::uint64_t> beats) {
+  // The PPC-405 cannot issue CPU-side PLB bursts (§2.3.2: "explicit
+  // instruction-level support is required"), so multi-word macros fall back
+  // to chained single-word transactions (§6.1.1).
+  for (std::uint64_t word : beats) {
+    queue_.push_back(WordOp{OpKind::DeviceWrite, fid, word});
+  }
+}
+
+void PlbBus::read(std::uint32_t fid, unsigned beats) {
+  if (!busy()) {
+    read_data_.clear();
+    dma_read_active_ = false;
+  }
+  for (unsigned i = 0; i < beats; ++i) {
+    queue_.push_back(WordOp{OpKind::DeviceRead, fid, 0});
+  }
+}
+
+void PlbBus::dma_write(std::uint32_t fid, std::vector<std::uint64_t> words) {
+  if (!dma_enabled_) {
+    throw SpliceError("PLB DMA engine not enabled for this configuration");
+  }
+  // §9.2.1: four bus transactions of setup/teardown bracket the stream.
+  for (unsigned i = 0; i < timing::kDmaSetupWrites; ++i) {
+    queue_.push_back(WordOp{OpKind::EngineWrite, 0, 0});
+  }
+  for (std::uint64_t word : words) {
+    queue_.push_back(WordOp{OpKind::StreamWrite, fid, word});
+  }
+  for (unsigned i = 0; i < timing::kDmaTeardownReads; ++i) {
+    queue_.push_back(WordOp{OpKind::EngineRead, 0, 0});
+  }
+}
+
+void PlbBus::dma_read(std::uint32_t fid, unsigned words) {
+  if (!dma_enabled_) {
+    throw SpliceError("PLB DMA engine not enabled for this configuration");
+  }
+  if (!busy()) read_data_.clear();
+  dma_read_active_ = true;
+  for (unsigned i = 0; i < timing::kDmaSetupWrites; ++i) {
+    queue_.push_back(WordOp{OpKind::EngineWrite, 0, 0});
+  }
+  for (unsigned i = 0; i < words; ++i) {
+    queue_.push_back(WordOp{OpKind::StreamRead, fid, 0});
+  }
+  for (unsigned i = 0; i < timing::kDmaTeardownReads; ++i) {
+    queue_.push_back(WordOp{OpKind::EngineRead, 0, 0});
+  }
+}
+
+void PlbBus::begin_next_op() {
+  current_ = queue_.front();
+  queue_.pop_front();
+  // Streamed DMA beats keep bus ownership: no re-arbitration.  Engine
+  // register accesses and PIO transactions pay arbitration plus any bridge
+  // crossing.
+  countdown_ = is_stream(current_.kind)
+                   ? config_.dma_stream_fetch_cycles
+                   : config_.arbitration_cycles + config_.bridge_cycles;
+  state_ = countdown_ == 0 ? St::Request : St::Arb;
+}
+
+void PlbBus::clock_edge() {
+  if (pins_.rst.high()) {
+    reset();
+    return;
+  }
+
+  // Request strobes are single-cycle; clear them every edge by default.
+  pins_.rd_req.set(false);
+  pins_.wr_req.set(false);
+
+  switch (state_) {
+    case St::Idle:
+      if (!queue_.empty()) begin_next_op();
+      break;
+
+    case St::Arb:
+      if (countdown_ > 0) --countdown_;
+      if (countdown_ == 0) state_ = St::Request;
+      break;
+
+    case St::Request: {
+      // Drive CE/BE (held), data for writes, and strobe the request.
+      if (is_engine(current_.kind)) {
+        // DMA engine registers live elsewhere on the bus; the device pins
+        // stay quiet.  Register access through the bus-master port takes
+        // two cycles to acknowledge.
+        countdown_ = 2;
+        state_ = St::WaitAck;
+        break;
+      }
+      const std::uint64_t onehot = std::uint64_t{1} << current_.fid;
+      if (is_read(current_.kind)) {
+        pins_.rd_ce.set(onehot);
+        pins_.rd_req.set(true);
+      } else {
+        pins_.wr_ce.set(onehot);
+        pins_.wr_data.set(current_.data);
+        pins_.wr_req.set(true);
+      }
+      pins_.be.set(bits::low_mask(pins_.data_width / 8));
+      state_ = St::WaitAck;
+      break;
+    }
+
+    case St::WaitAck: {
+      bool acked = false;
+      if (is_engine(current_.kind)) {
+        if (countdown_ > 0) --countdown_;
+        acked = countdown_ == 0;
+      } else if (is_read(current_.kind)) {
+        if (pins_.rd_ack.high()) {
+          read_data_.push_back(pins_.rd_data.get());
+          acked = true;
+        }
+      } else {
+        acked = pins_.wr_ack.high();
+      }
+      if (acked) {
+        ++transactions_;
+        pins_.rd_ce.set(std::uint64_t{0});
+        pins_.wr_ce.set(std::uint64_t{0});
+        pins_.be.set(std::uint64_t{0});
+        // Streamed beats chain without a turnaround; the engine holds the
+        // grant for the whole block.
+        const bool chain = is_stream(current_.kind) && !queue_.empty() &&
+                           is_stream(queue_.front().kind);
+        if (chain) {
+          begin_next_op();  // engine keeps the grant; next word fetch starts
+        } else if ((countdown_ = config_.turnaround_cycles +
+                                 config_.bridge_cycles) == 0) {
+          state_ = St::Idle;
+        } else {
+          state_ = St::Turnaround;
+        }
+      }
+      break;
+    }
+
+    case St::Turnaround:
+      if (countdown_ > 0) --countdown_;
+      if (countdown_ == 0) {
+        state_ = St::Idle;
+        if (!queue_.empty()) begin_next_op();
+      }
+      break;
+  }
+}
+
+void PlbBus::reset() {
+  queue_.clear();
+  state_ = St::Idle;
+  countdown_ = 0;
+  read_data_.clear();
+  dma_read_active_ = false;
+  pins_.rd_req.set(false);
+  pins_.wr_req.set(false);
+  pins_.rd_ce.set(std::uint64_t{0});
+  pins_.wr_ce.set(std::uint64_t{0});
+  pins_.be.set(std::uint64_t{0});
+  pins_.wr_data.set(std::uint64_t{0});
+}
+
+}  // namespace splice::bus

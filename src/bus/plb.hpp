@@ -1,0 +1,131 @@
+// IBM CoreConnect Processor Local Bus model (thesis §2.3.2, §4.3.1).
+//
+// Pin-level protocol follows Figures 4.5/4.6: the master decodes the target
+// address into a one-hot chip-enable (RD_CE / WR_CE), raises the byte
+// enables, strobes RD_REQ / WR_REQ for one cycle, and holds CE/BE (and
+// write data) steady until the slave acknowledges with RD_ACK / WR_ACK.
+// A turnaround cycle lowers the lines before the next transaction.
+//
+// The optional DMA engine models the §9.2.1 cost structure: register setup
+// and completion-status transactions bracket a CPU-free word stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bus/master_port.hpp"
+#include "bus/timing.hpp"
+#include "rtl/simulator.hpp"
+
+namespace splice::bus {
+
+/// The slave-facing pins of a memory-mapped CoreConnect-style bus.
+struct PlbPins {
+  unsigned data_width;
+  unsigned slots;  ///< one-hot CE width == function slots on this device
+
+  rtl::Signal& rst;
+  rtl::Signal& rd_req;   ///< read request strobe (1 cycle)
+  rtl::Signal& wr_req;   ///< write request strobe (1 cycle)
+  rtl::Signal& rd_ce;    ///< one-hot read chip enable, held until RD_ACK
+  rtl::Signal& wr_ce;    ///< one-hot write chip enable, held until WR_ACK
+  rtl::Signal& be;       ///< byte enables ("1111" on a 32-bit PLB, §4.3.1)
+  rtl::Signal& wr_data;  ///< DATA_IN toward the slave
+  rtl::Signal& rd_data;  ///< DATA_OUT from the slave (slave-driven)
+  rtl::Signal& wr_ack;   ///< slave write acknowledge (slave-driven)
+  rtl::Signal& rd_ack;   ///< slave read acknowledge (slave-driven)
+
+  static PlbPins create(rtl::Simulator& sim, const std::string& prefix,
+                        unsigned data_width, unsigned slots);
+};
+
+/// Per-bus latency configuration (lets the OPB model reuse this engine with
+/// its bridge penalty, §2.3.2).
+struct MemMappedBusConfig {
+  unsigned arbitration_cycles = timing::kPlbArbitrationCycles;
+  unsigned turnaround_cycles = timing::kPlbTurnaroundCycles;
+  /// Extra cycles added before the request reaches the slave and after the
+  /// acknowledge returns (bridge crossings; 0 for the native PLB).
+  unsigned bridge_cycles = 0;
+  unsigned cpu_gap_cycles = timing::kCpuGapCycles;
+  /// Memory-fetch latency the DMA engine pays per streamed word.
+  unsigned dma_stream_fetch_cycles = timing::kDmaStreamFetchCycles;
+};
+
+class PlbBus : public rtl::Module, public MasterPort {
+ public:
+  PlbBus(rtl::Simulator& sim, const std::string& prefix, unsigned data_width,
+         unsigned slots, MemMappedBusConfig config = {});
+
+  [[nodiscard]] PlbPins& pins() { return pins_; }
+  [[nodiscard]] const PlbPins& pins() const { return pins_; }
+
+  // -- MasterPort -----------------------------------------------------------
+  [[nodiscard]] bool busy() const override;
+  void write(std::uint32_t fid, std::vector<std::uint64_t> beats) override;
+  void read(std::uint32_t fid, unsigned beats) override;
+  [[nodiscard]] const std::vector<std::uint64_t>& read_data() const override {
+    return read_data_;
+  }
+  [[nodiscard]] unsigned cpu_gap_cycles() const override {
+    return config_.cpu_gap_cycles;
+  }
+
+  /// Attach the §9.2.1 DMA engine.  Streamed words keep bus ownership (no
+  /// re-arbitration between beats) and need no CPU pacing.
+  void enable_dma() { dma_enabled_ = true; }
+  [[nodiscard]] bool supports_dma() const override { return dma_enabled_; }
+  void dma_write(std::uint32_t fid, std::vector<std::uint64_t> words) override;
+  void dma_read(std::uint32_t fid, unsigned words) override;
+
+  // -- Module ---------------------------------------------------------------
+  void clock_edge() override;
+  void reset() override;
+
+  /// Completed word-level transactions (reads + writes, incl. DMA traffic).
+  [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
+
+ private:
+  enum class OpKind : std::uint8_t {
+    DeviceWrite,
+    DeviceRead,
+    EngineWrite,  ///< DMA setup register write (not on the device pins)
+    EngineRead,   ///< DMA completion-status read
+    StreamWrite,  ///< DMA-streamed word to the device (no re-arbitration)
+    StreamRead,   ///< DMA-streamed word from the device
+  };
+  struct WordOp {
+    OpKind kind;
+    std::uint32_t fid = 0;
+    std::uint64_t data = 0;
+  };
+  enum class St : std::uint8_t { Idle, Arb, Request, WaitAck, Turnaround };
+
+  void begin_next_op();
+  [[nodiscard]] static bool is_engine(OpKind k) {
+    return k == OpKind::EngineWrite || k == OpKind::EngineRead;
+  }
+  [[nodiscard]] static bool is_read(OpKind k) {
+    return k == OpKind::DeviceRead || k == OpKind::EngineRead ||
+           k == OpKind::StreamRead;
+  }
+  [[nodiscard]] static bool is_stream(OpKind k) {
+    return k == OpKind::StreamWrite || k == OpKind::StreamRead;
+  }
+
+  PlbPins pins_;
+  MemMappedBusConfig config_;
+  bool dma_enabled_ = false;
+
+  std::deque<WordOp> queue_;
+  St state_ = St::Idle;
+  WordOp current_{};
+  unsigned countdown_ = 0;
+  bool dma_read_active_ = false;  ///< current read_data_ belongs to a DMA read
+  std::vector<std::uint64_t> read_data_;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace splice::bus

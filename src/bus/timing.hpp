@@ -1,0 +1,89 @@
+// Calibration constants for the bus protocol models.  Each value is tied to
+// a statement in the thesis or the referenced bus specifications; together
+// they reproduce the *shape* of the chapter-9 measurements (who wins, by
+// roughly what factor, where the DMA crossover falls) without claiming the
+// authors' absolute testbed numbers.
+#pragma once
+
+namespace splice::bus::timing {
+
+// ---------------------------------------------------------------------------
+// System clocking (§9.3): PPC-405 at 300 MHz, PLB/FCB interconnects at
+// 100 MHz => 3 CPU cycles per bus cycle.  All counts below are *bus* cycles
+// unless suffixed _cpu.
+// ---------------------------------------------------------------------------
+inline constexpr unsigned kCpuClockRatio = 3;
+
+// CPU-side driver overhead between consecutive bus transactions: address
+// computation, pointer increment, loop bookkeeping of the generated driver
+// loops (Figure 6.1).  ~6 PPC instructions => 2 bus cycles.
+inline constexpr unsigned kCpuGapCycles = 2;
+
+// One iteration of the WAIT_FOR_RESULTS polling loop (§6.1.1): load, mask,
+// compare, branch => ~12 CPU cycles of loop body besides the bus read.
+inline constexpr unsigned kPollLoopGapCycles = 4;
+
+// ---------------------------------------------------------------------------
+// PLB (§2.3.2, Figures 4.5/4.6): memory-mapped, arbitrated, pseudo
+// asynchronous.
+// ---------------------------------------------------------------------------
+inline constexpr unsigned kPlbArbitrationCycles = 1;  // request -> grant
+inline constexpr unsigned kPlbTurnaroundCycles = 1;   // CE/BE lowering
+
+// ---------------------------------------------------------------------------
+// OPB (§2.3.2): bridged off the PLB through a shared-access arbiter; every
+// transaction pays the bridge crossing twice ("intrinsic latency penalties
+// associated with the OPB").
+// ---------------------------------------------------------------------------
+inline constexpr unsigned kOpbBridgeCycles = 3;  // per direction
+
+// ---------------------------------------------------------------------------
+// FCB (§2.3.2): co-processor interconnect, not memory mapped, accessed via
+// dedicated opcodes — no address decode, no bus arbitration, native double
+// and quad word bursts.
+// ---------------------------------------------------------------------------
+inline constexpr unsigned kFcbIssueCycles = 1;  // opcode issue to bus
+// CPU gap between FCB operations: no address computation, but the APU
+// opcodes still need their operands staged into registers.
+inline constexpr unsigned kFcbCpuGapCycles = 2;
+// Cycles the CPU needs to feed the next burst beat into the APU operand
+// registers (load + move per word).
+inline constexpr unsigned kFcbBeatFeedCycles = 2;
+
+// ---------------------------------------------------------------------------
+// APB (§2.3.1): strictly synchronous, bridged off the AHB; fixed
+// setup+access phases, transfers may never stall.
+// ---------------------------------------------------------------------------
+inline constexpr unsigned kApbBridgeCycles = 2;  // AHB-side crossing
+inline constexpr unsigned kApbSetupCycles = 1;   // PSEL before PENABLE
+
+// ---------------------------------------------------------------------------
+// AHB (§2.3.1, thesis future work §10.2): pipelined address/data phases,
+// chained bursts of up to 16 beats.
+// ---------------------------------------------------------------------------
+inline constexpr unsigned kAhbArbitrationCycles = 1;
+inline constexpr unsigned kAhbMaxBurstBeats = 16;
+
+// ---------------------------------------------------------------------------
+// PLB DMA engine (§9.2.1): "the DMA circuitry requires a minimum of four
+// bus transactions to setup and take down" — modelled as three setup
+// register writes plus one completion-status read.  The stream itself moves
+// one word per handshake at the slave's pace, with no CPU involvement.
+// ---------------------------------------------------------------------------
+inline constexpr unsigned kDmaSetupWrites = 3;
+inline constexpr unsigned kDmaTeardownReads = 1;
+// Cycles the engine spends fetching each streamed word from system memory
+// before it can be presented on the peripheral side (DRAM access through
+// the same shared PLB).
+inline constexpr unsigned kDmaStreamFetchCycles = 3;
+
+// Interrupt-driven completion (thesis §10.2, implemented extension):
+// exception entry, handler prologue and the identifying status read add a
+// fixed cost per taken interrupt (~30 CPU cycles => 10 bus cycles).
+inline constexpr unsigned kIsrEntryCycles = 10;
+
+// Constant calculation latency of the linear interpolator (§9.2: "the
+// amount of calculation done in each implementation is constant").
+inline constexpr unsigned kInterpolatorCalcCycles = 24;
+
+}  // namespace splice::bus::timing

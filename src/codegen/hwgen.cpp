@@ -1,0 +1,42 @@
+#include "codegen/hwgen.hpp"
+
+#include "codegen/verilog.hpp"
+#include "codegen/vhdl.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::codegen {
+
+std::string hdl_extension(ir::Hdl hdl) {
+  return hdl == ir::Hdl::Vhdl ? ".vhd" : ".v";
+}
+
+std::vector<GeneratedFile> generate_user_logic(const ir::DeviceSpec& spec) {
+  const bool vhdl = spec.target.hdl == ir::Hdl::Vhdl;
+  const std::string ext = hdl_extension(spec.target.hdl);
+  std::vector<GeneratedFile> files;
+
+  GeneratedFile arbiter;
+  arbiter.filename = "user_" + spec.target.device_name + ext;
+  arbiter.content = vhdl ? vhdl::emit_arbiter_file(spec)
+                         : verilog::emit_arbiter_file(spec);
+  arbiter.purpose = "Bus arbiter for the " + spec.target.device_name +
+                    " device that is used to pass information to and from "
+                    "each user function";
+  files.push_back(std::move(arbiter));
+
+  for (const auto& fn : spec.functions) {
+    if (fn.func_id == 0) {
+      throw SpliceError("function '" + fn.name +
+                        "' has no FUNC_ID; run ir::validate first");
+    }
+    GeneratedFile f;
+    f.filename = "func_" + fn.name + ext;
+    f.content = vhdl ? vhdl::emit_stub_file(fn, spec)
+                     : verilog::emit_stub_file(fn, spec);
+    f.purpose = "Implements I/O logic for the " + fn.name + " function";
+    files.push_back(std::move(f));
+  }
+  return files;
+}
+
+}  // namespace splice::codegen

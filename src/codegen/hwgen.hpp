@@ -1,0 +1,28 @@
+// Hardware generation orchestrator for the bus-independent files: one
+// user-logic stub per declared function plus the arbitration unit (thesis
+// ch. 5 stages 2 and 3).  The native bus interface file (stage 1) is
+// produced by the selected bus adapter plugin (adapters/) because its
+// template is bus-specific.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/device.hpp"
+
+namespace splice::codegen {
+
+struct GeneratedFile {
+  std::string filename;
+  std::string content;
+  std::string purpose;  ///< one-line description (the Figure 8.3 table)
+};
+
+/// Arbiter + stubs in the %target_hdl language.  FUNC_IDs must be assigned.
+[[nodiscard]] std::vector<GeneratedFile> generate_user_logic(
+    const ir::DeviceSpec& spec);
+
+/// File extension for the target HDL (".vhd" / ".v").
+[[nodiscard]] std::string hdl_extension(ir::Hdl hdl);
+
+}  // namespace splice::codegen

@@ -1,0 +1,169 @@
+#include "codegen/stub_model.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+
+namespace splice::codegen {
+
+unsigned StubModel::state_register_width() const {
+  return bits::bits_for_count(
+      std::max<std::uint64_t>(2, states.size()));
+}
+
+unsigned StubModel::total_register_bits() const {
+  unsigned total = state_register_width();
+  for (const auto& r : registers) total += r.width;
+  return total;
+}
+
+namespace {
+
+void add_param_hardware(StubModel& model, const ir::IoParam& p,
+                        unsigned bus_width) {
+  // §5.3.1: packed / explicit arrays get a tracking register and a
+  // comparator; implicit arrays additionally store the runtime bound.
+  const std::uint64_t max_elems = p.max_elements();
+  if (p.count_kind == ir::CountKind::Explicit || p.packed) {
+    const unsigned w = bits::bits_for_value(
+        std::max<std::uint64_t>(1, p.words_for(max_elems, bus_width)));
+    model.registers.push_back(
+        {p.name + "_counter", w, "tracks words received for " + p.name});
+    model.comparators.push_back({p.name + "_cmp", w});
+  }
+  if (p.count_kind == ir::CountKind::Implicit) {
+    const unsigned w = bits::bits_for_value(max_elems);
+    model.registers.push_back(
+        {p.name + "_counter", w, "tracks words received for " + p.name});
+    model.registers.push_back(
+        {p.name + "_max_value", w,
+         "latched bound from index '" + p.index_var + "'"});
+    model.comparators.push_back({p.name + "_cmp", w});
+  }
+  if (p.type.bits > bus_width) {
+    // Split reassembly (§3.1.4): accumulator plus a word counter.
+    model.registers.push_back(
+        {p.name + "_acc", p.type.bits, "split-transfer accumulator"});
+    const unsigned w =
+        bits::bits_for_value(p.words_per_element(bus_width));
+    model.registers.push_back(
+        {p.name + "_acc_cnt", w, "split-transfer word counter"});
+  }
+}
+
+unsigned packed_tail_ignore_bits(const ir::IoParam& p, unsigned bus_width,
+                                 std::uint64_t elems) {
+  if (!p.packed || p.type.bits >= bus_width ||
+      p.count_kind != ir::CountKind::Explicit) {
+    return 0;
+  }
+  const std::uint64_t words = p.words_for(elems, bus_width);
+  const std::uint64_t used = elems * p.type.bits;
+  return static_cast<unsigned>(words * bus_width - used);
+}
+
+}  // namespace
+
+StubModel build_stub_model(const ir::FunctionDecl& fn,
+                           const ir::TargetSpec& target) {
+  StubModel model;
+  model.function_name = fn.name;
+  model.func_id = fn.func_id;
+  model.instances = fn.instances;
+  model.bus_width = target.bus_width;
+  model.blocking = fn.blocking();
+  model.has_output = fn.has_output();
+
+  for (const auto& p : fn.inputs) {
+    StubState st;
+    st.name = "IN_" + p.name;
+    const std::uint64_t elems =
+        p.count_kind == ir::CountKind::Implicit ? 0 : p.max_elements();
+    st.words = elems == 0
+                   ? 0
+                   : static_cast<unsigned>(p.words_for(elems,
+                                                       target.bus_width));
+    st.ignore_bits = packed_tail_ignore_bits(p, target.bus_width, elems);
+    st.comment = "Handling " +
+                 (st.words != 0 ? std::to_string(st.words)
+                                : std::string("a variable number of")) +
+                 " write operation(s) for " + p.name;
+    if (st.ignore_bits != 0) {
+      st.comment += " -- the final transfer carries " +
+                    std::to_string(st.ignore_bits) +
+                    " trailing bit(s) the hardware can safely ignore";
+    }
+    model.states.push_back(std::move(st));
+    add_param_hardware(model, p, target.bus_width);
+  }
+
+  StubState calc;
+  calc.name = "CALC_0";
+  calc.comment =
+      "Calculation state left blank for the end-user to fill in (§5.3.1); "
+      "add further CALC_n states for multi-cycle operations";
+  model.states.push_back(std::move(calc));
+
+  if (fn.blocking()) {
+    // §10.2 '&' by-reference parameters stream back before the result.
+    for (std::size_t idx : fn.by_ref_params()) {
+      const ir::IoParam& p = fn.inputs[idx];
+      StubState st;
+      st.name = "OUT_" + p.name;
+      const std::uint64_t elems =
+          p.count_kind == ir::CountKind::Implicit ? 0 : p.max_elements();
+      st.words = elems == 0 ? 0
+                            : static_cast<unsigned>(
+                                  p.words_for(elems, target.bus_width));
+      st.comment = "Streaming the updated '" + p.name +
+                   "' values back to software ('&' by reference)";
+      model.states.push_back(std::move(st));
+      model.registers.push_back(
+          {p.name + "_out_counter",
+           bits::bits_for_value(std::max<std::uint64_t>(
+               2, p.words_for(p.max_elements(), target.bus_width))),
+           "tracks read-back words for " + p.name});
+      model.comparators.push_back({p.name + "_out_cmp", 8});
+    }
+    StubState out;
+    out.name = "OUT_RESULT";
+    if (fn.has_output()) {
+      const ir::IoParam& o = fn.output;
+      const std::uint64_t elems =
+          o.count_kind == ir::CountKind::Implicit ? 0 : o.max_elements();
+      out.words = elems == 0 ? 0
+                             : static_cast<unsigned>(
+                                   o.words_for(elems, target.bus_width));
+      out.comment = "Handling " +
+                    (out.words != 0 ? std::to_string(out.words)
+                                    : std::string("a variable number of")) +
+                    " read operation(s) for the result";
+      if (out.words > 1) {
+        model.registers.push_back(
+            {"result_counter", bits::bits_for_value(out.words),
+             "tracks result words sent"});
+        model.comparators.push_back(
+            {"result_cmp", bits::bits_for_value(out.words)});
+      }
+    } else {
+      out.words = 1;
+      out.comment =
+          "Pseudo output state: reports completion back to the blocking "
+          "driver (§5.3.1)";
+    }
+    model.states.push_back(std::move(out));
+  }
+
+  return model;
+}
+
+ArbiterModel build_arbiter_model(const ir::DeviceSpec& spec) {
+  ArbiterModel m;
+  m.instances = spec.total_instances();
+  m.data_width = spec.target.bus_width;
+  m.func_id_width = spec.func_id_width();
+  m.calc_vector_width = spec.total_instances() + 1;
+  return m;
+}
+
+}  // namespace splice::codegen

@@ -1,0 +1,63 @@
+// Neutral structural model of a generated user-logic stub (ICOB + SMB,
+// thesis §5.3) and of the arbitration unit (§5.2).  The VHDL and Verilog
+// writers render this model as text, and the resource estimator counts
+// hardware from it — one source of structure for all three consumers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/device.hpp"
+
+namespace splice::codegen {
+
+struct StubState {
+  std::string name;      ///< e.g. "IN_x", "CALC_0", "OUT_RESULT"
+  std::string comment;   ///< generated guidance comment (§5.3.1)
+  unsigned words = 0;    ///< bus words handled in this state (0 = n/a)
+  unsigned ignore_bits = 0;  ///< trailing don't-care bits (§5.3.1 note)
+};
+
+struct StubRegister {
+  std::string name;
+  unsigned width = 0;
+  std::string purpose;
+};
+
+struct StubComparator {
+  std::string name;
+  unsigned width = 0;
+};
+
+/// Structural summary of one user-logic stub.
+struct StubModel {
+  std::string function_name;
+  std::uint32_t func_id = 0;
+  std::uint32_t instances = 1;
+  unsigned bus_width = 32;
+  unsigned func_id_width = 4;
+  bool blocking = true;
+  bool has_output = false;
+
+  std::vector<StubState> states;        ///< SMB states in order
+  std::vector<StubRegister> registers;  ///< tracking/accumulator registers
+  std::vector<StubComparator> comparators;
+
+  [[nodiscard]] unsigned state_register_width() const;
+  [[nodiscard]] unsigned total_register_bits() const;
+};
+
+/// Structural summary of the generated arbitration unit.
+struct ArbiterModel {
+  unsigned instances = 0;       ///< mux fan-in (one leg per instance)
+  unsigned data_width = 32;
+  unsigned func_id_width = 4;
+  unsigned calc_vector_width = 1;
+};
+
+[[nodiscard]] StubModel build_stub_model(const ir::FunctionDecl& fn,
+                                         const ir::TargetSpec& target);
+[[nodiscard]] ArbiterModel build_arbiter_model(const ir::DeviceSpec& spec);
+
+}  // namespace splice::codegen

@@ -1,0 +1,146 @@
+#include "codegen/template.hpp"
+
+#include <cctype>
+
+#include "codegen/vhdl.hpp"
+#include "support/strings.hpp"
+
+namespace splice::codegen {
+
+void TemplateEngine::register_macro(std::string name, Handler handler) {
+  macros_[std::move(name)] = std::move(handler);
+}
+
+bool TemplateEngine::has_macro(std::string_view name) const {
+  return macros_.find(std::string(name)) != macros_.end();
+}
+
+std::vector<std::string> TemplateEngine::macro_names() const {
+  std::vector<std::string> out;
+  out.reserve(macros_.size());
+  for (const auto& [name, _] : macros_) out.push_back(name);
+  return out;
+}
+
+std::string TemplateEngine::expand(std::string_view tmpl,
+                                   const MacroContext& ctx,
+                                   DiagnosticEngine& diags) const {
+  std::string out;
+  out.reserve(tmpl.size());
+  std::size_t pos = 0;
+  auto is_symbol_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+
+  while (pos < tmpl.size()) {
+    const std::size_t open = tmpl.find('%', pos);
+    if (open == std::string_view::npos) {
+      out.append(tmpl.substr(pos));
+      break;
+    }
+    out.append(tmpl.substr(pos, open - pos));
+    // A marker is %SYMBOL% with a non-empty symbol of [A-Za-z0-9_].
+    std::size_t end = open + 1;
+    while (end < tmpl.size() && is_symbol_char(tmpl[end])) ++end;
+    if (end > open + 1 && end < tmpl.size() && tmpl[end] == '%') {
+      const std::string name(tmpl.substr(open + 1, end - open - 1));
+      auto it = macros_.find(name);
+      if (it != macros_.end()) {
+        out.append(it->second(ctx));
+      } else {
+        diags.error(DiagId::TemplateUnknownMacro,
+                    "template references unknown macro %" + name + "%");
+        out.append(tmpl.substr(open, end - open + 1));  // keep inspectable
+      }
+      pos = end + 1;
+    } else {
+      // A stray '%' (e.g. inside a VHDL comment) passes through verbatim.
+      out.push_back('%');
+      pos = open + 1;
+    }
+  }
+  return out;
+}
+
+TemplateEngine make_standard_engine() {
+  TemplateEngine engine;
+  auto need_spec = [](const MacroContext& ctx) -> const ir::DeviceSpec& {
+    if (ctx.spec == nullptr) {
+      throw SpliceError("macro expansion requires a device spec");
+    }
+    return *ctx.spec;
+  };
+  auto need_fn = [](const MacroContext& ctx) -> const ir::FunctionDecl& {
+    if (ctx.current_fn == nullptr) {
+      throw SpliceError("per-function macro used outside a function region");
+    }
+    return *ctx.current_fn;
+  };
+
+  engine.register_macro("COMP_NAME", [need_spec](const MacroContext& ctx) {
+    return need_spec(ctx).target.device_name;
+  });
+  engine.register_macro("BUS_WIDTH", [need_spec](const MacroContext& ctx) {
+    return std::to_string(need_spec(ctx).target.bus_width);
+  });
+  engine.register_macro("FUNC_ID_WIDTH", [need_spec](const MacroContext& ctx) {
+    return std::to_string(need_spec(ctx).func_id_width());
+  });
+  engine.register_macro("BASE_ADDR", [need_spec](const MacroContext& ctx) {
+    return str::hex(need_spec(ctx).target.base_address.value_or(0), 8);
+  });
+  engine.register_macro("GEN_DATE", [](const MacroContext&) {
+    // Deterministic stamp: real builds are reproducible, and golden tests
+    // stay stable.
+    return std::string("(splice reproduction build)");
+  });
+  engine.register_macro("DMA_ENABLED", [need_spec](const MacroContext& ctx) {
+    return need_spec(ctx).target.dma_support ? "true" : "false";
+  });
+
+  engine.register_macro("FUNC_NAME", [need_fn](const MacroContext& ctx) {
+    return need_fn(ctx).name;
+  });
+  engine.register_macro("MY_FUNC_ID", [need_fn](const MacroContext& ctx) {
+    return std::to_string(need_fn(ctx).func_id);
+  });
+  engine.register_macro("FUNC_INSTS", [need_fn](const MacroContext& ctx) {
+    return std::to_string(need_fn(ctx).instances);
+  });
+  engine.register_macro("FUNC_CONSTS",
+                        [need_spec, need_fn](const MacroContext& ctx) {
+                          return vhdl::func_consts(need_fn(ctx),
+                                                   need_spec(ctx));
+                        });
+  engine.register_macro("FUNC_SIGNALS",
+                        [need_spec, need_fn](const MacroContext& ctx) {
+                          return vhdl::func_signals(need_fn(ctx),
+                                                    need_spec(ctx));
+                        });
+  engine.register_macro("FUNC_FSM",
+                        [need_spec, need_fn](const MacroContext& ctx) {
+                          return vhdl::func_fsm(need_fn(ctx), need_spec(ctx));
+                        });
+  engine.register_macro("FUNC_STUB",
+                        [need_spec, need_fn](const MacroContext& ctx) {
+                          return vhdl::func_stub_process(need_fn(ctx),
+                                                         need_spec(ctx));
+                        });
+  engine.register_macro("DATA_OUT_MUX", [need_spec](const MacroContext& ctx) {
+    return vhdl::data_out_mux(need_spec(ctx));
+  });
+  engine.register_macro("DATA_OUT_V_MUX",
+                        [need_spec](const MacroContext& ctx) {
+                          return vhdl::data_out_valid_mux(need_spec(ctx));
+                        });
+  engine.register_macro("IO_DONE_MUX", [need_spec](const MacroContext& ctx) {
+    return vhdl::io_done_mux(need_spec(ctx));
+  });
+  engine.register_macro("CALC_DONE_ENCODE",
+                        [need_spec](const MacroContext& ctx) {
+                          return vhdl::calc_done_encode(need_spec(ctx));
+                        });
+  return engine;
+}
+
+}  // namespace splice::codegen

@@ -1,0 +1,53 @@
+// The %MACRO% template engine (thesis §5.1, §7.1): annotated HDL template
+// files carry markers of the form %SYMBOL%; the engine replaces each with
+// the output of a registered handler.  Splice registers the Figure 7.1
+// standard macro set; bus extension libraries add bus-specific markers
+// through their marker-loader routine (§7.1.2).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/device.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::codegen {
+
+/// What a macro handler sees while a template is being expanded.
+struct MacroContext {
+  const ir::DeviceSpec* spec = nullptr;
+  /// Set while a per-function region is expanded (%FUNC_NAME% etc.).
+  const ir::FunctionDecl* current_fn = nullptr;
+};
+
+class TemplateEngine {
+ public:
+  using Handler = std::function<std::string(const MacroContext&)>;
+
+  /// Register (or override) a macro handler.  Names are the bare symbol
+  /// (no percent signs), upper-case by convention.
+  void register_macro(std::string name, Handler handler);
+  [[nodiscard]] bool has_macro(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> macro_names() const;
+
+  /// Expand every %SYMBOL% in `tmpl`.  Unknown symbols and unterminated
+  /// markers are reported; the marker text is left in place so the output
+  /// stays inspectable.
+  [[nodiscard]] std::string expand(std::string_view tmpl,
+                                   const MacroContext& ctx,
+                                   DiagnosticEngine& diags) const;
+
+ private:
+  std::unordered_map<std::string, Handler> macros_;
+};
+
+/// Build an engine pre-loaded with the Figure 7.1 standard macro set
+/// (COMP_NAME, BUS_WIDTH, FUNC_ID_WIDTH, BASE_ADDR, GEN_DATE, DMA_ENABLED,
+/// FUNC_NAME, MY_FUNC_ID, FUNC_INSTS, FUNC_CONSTS, FUNC_SIGNALS, FUNC_FSM,
+/// FUNC_STUB, DATA_OUT_MUX, DATA_OUT_V_MUX, IO_DONE_MUX, CALC_DONE_ENCODE).
+[[nodiscard]] TemplateEngine make_standard_engine();
+
+}  // namespace splice::codegen

@@ -1,0 +1,20 @@
+// Verilog text generation — the first code-generation item on the thesis'
+// §10.2 future-work list, implemented here.  Mirrors the VHDL writer: stub
+// files, the arbitration unit, and snippet bodies for the standard macros.
+#pragma once
+
+#include <string>
+
+#include "codegen/stub_model.hpp"
+#include "ir/device.hpp"
+
+namespace splice::codegen::verilog {
+
+[[nodiscard]] std::string emit_stub_file(const ir::FunctionDecl& fn,
+                                         const ir::DeviceSpec& spec);
+[[nodiscard]] std::string emit_arbiter_file(const ir::DeviceSpec& spec);
+
+/// "[N-1:0]" or "" for width 1.
+[[nodiscard]] std::string vec(unsigned width);
+
+}  // namespace splice::codegen::verilog

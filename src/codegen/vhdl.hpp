@@ -1,0 +1,38 @@
+// VHDL text generation: user-logic stub files (func_<name>.vhd, thesis
+// §5.3 / Figure 8.4 shape), the arbitration unit (user_<device>.vhd, §5.2)
+// and the macro snippets the Figure 7.1 standard markers expand to inside
+// native-interface templates.
+#pragma once
+
+#include <string>
+
+#include "codegen/stub_model.hpp"
+#include "ir/device.hpp"
+
+namespace splice::codegen::vhdl {
+
+/// Complete func_<name>.vhd for one interface declaration.
+[[nodiscard]] std::string emit_stub_file(const ir::FunctionDecl& fn,
+                                         const ir::DeviceSpec& spec);
+
+/// Complete user_<device>.vhd: arbitration unit + stub instantiations.
+[[nodiscard]] std::string emit_arbiter_file(const ir::DeviceSpec& spec);
+
+// --- Figure 7.1 macro snippet bodies --------------------------------------
+[[nodiscard]] std::string func_consts(const ir::FunctionDecl& fn,
+                                      const ir::DeviceSpec& spec);
+[[nodiscard]] std::string func_signals(const ir::FunctionDecl& fn,
+                                       const ir::DeviceSpec& spec);
+[[nodiscard]] std::string func_fsm(const ir::FunctionDecl& fn,
+                                   const ir::DeviceSpec& spec);
+[[nodiscard]] std::string func_stub_process(const ir::FunctionDecl& fn,
+                                            const ir::DeviceSpec& spec);
+[[nodiscard]] std::string data_out_mux(const ir::DeviceSpec& spec);
+[[nodiscard]] std::string data_out_valid_mux(const ir::DeviceSpec& spec);
+[[nodiscard]] std::string io_done_mux(const ir::DeviceSpec& spec);
+[[nodiscard]] std::string calc_done_encode(const ir::DeviceSpec& spec);
+
+/// "std_logic_vector(0 to N-1)" or "std_logic" for width 1.
+[[nodiscard]] std::string slv(unsigned width);
+
+}  // namespace splice::codegen::vhdl

@@ -1,0 +1,101 @@
+#include "core/splice.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "codegen/template.hpp"
+#include "frontend/parser.hpp"
+
+namespace splice {
+
+const codegen::GeneratedFile* GeneratedArtifacts::find(
+    const std::string& filename) const {
+  for (const auto& f : hardware) {
+    if (f.filename == filename) return &f;
+  }
+  for (const auto& f : software) {
+    if (f.filename == filename) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> GeneratedArtifacts::filenames() const {
+  std::vector<std::string> out;
+  for (const auto& f : hardware) out.push_back(f.filename);
+  for (const auto& f : software) out.push_back(f.filename);
+  return out;
+}
+
+std::string GeneratedArtifacts::write_to(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::path(dir) / spec.target.device_name;
+  fs::create_directories(base);
+  auto write = [&](const codegen::GeneratedFile& f) {
+    std::ofstream out(base / f.filename);
+    if (!out) throw SpliceError("cannot write " + (base / f.filename).string());
+    out << f.content;
+  };
+  for (const auto& f : hardware) write(f);
+  for (const auto& f : software) write(f);
+  return base.string();
+}
+
+std::optional<GeneratedArtifacts> Engine::generate(
+    std::string_view spec_text, DiagnosticEngine& diags) const {
+  auto spec = frontend::parse_spec(spec_text, diags);
+  if (!spec) return std::nullopt;
+  return generate(std::move(*spec), diags);
+}
+
+std::optional<GeneratedArtifacts> Engine::generate(
+    ir::DeviceSpec spec, DiagnosticEngine& diags) const {
+  // Resolve the bus adapter (the lib<x>_interface.so lookup of §7.2).
+  const adapters::BusAdapter* adapter = registry_.find(spec.target.bus_type);
+  if (adapter == nullptr && !spec.target.bus_type.empty()) {
+    diags.error(DiagId::UnknownBusType,
+                "no interface library registered for bus '" +
+                    spec.target.bus_type + "' (expected " +
+                    adapters::library_filename(spec.target.bus_type) + ")");
+    return std::nullopt;
+  }
+  if (adapter == nullptr) {
+    diags.error(DiagId::MissingBusType, "%bus_type directive is required");
+    return std::nullopt;
+  }
+
+  // Parameter checking routine (§7.1.2): validates language rules and bus
+  // feasibility, assigns FUNC_IDs.
+  if (!adapter->check_parameters(spec, diags)) return std::nullopt;
+
+  GeneratedArtifacts artifacts;
+
+  // Stage 1 (§5.1): native bus interface, via the adapter's marker loader
+  // and template expansion.
+  codegen::TemplateEngine engine = codegen::make_standard_engine();
+  adapter->load_markers(engine);
+  artifacts.hardware = adapter->generate_interface(spec, engine, diags);
+
+  // Stages 2+3 (§5.2/§5.3): arbitration unit and user-logic stubs.
+  for (auto& f : codegen::generate_user_logic(spec)) {
+    artifacts.hardware.push_back(std::move(f));
+  }
+
+  // Software side (ch. 6): per-bus macro library + driver pair.
+  artifacts.software.push_back(
+      {"splice_lib.h", adapter->macro_library(spec, options_.driver_os),
+       "Implementation of software macros used to transfer data to and "
+       "from the device across the " + spec.target.bus_type + " interface"});
+  drivergen::DriverSources drivers = drivergen::emit_driver_sources(spec);
+  artifacts.software.push_back(
+      {drivers.source_filename, drivers.source,
+       "Contains software driver functions for each interface declaration"});
+  artifacts.software.push_back(
+      {drivers.header_filename, drivers.header,
+       "Listing of function prototypes for each driver"});
+
+  if (diags.has_errors()) return std::nullopt;
+  artifacts.spec = std::move(spec);
+  return artifacts;
+}
+
+}  // namespace splice

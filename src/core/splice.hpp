@@ -1,0 +1,65 @@
+// The top-level Splice engine (Figure 1.1): specification text in,
+// complete hardware + software interface file set out.
+//
+//   splice::Engine engine;                      // built-in adapters
+//   auto artifacts = engine.generate(spec_text, diags);
+//   artifacts->write_to(output_dir);            // %device_name subdirectory
+//
+// The produced file set mirrors the thesis' Figures 8.3 (hardware) and
+// 8.7 (software): <bus>_interface.vhd, user_<device>.vhd, one
+// func_<name>.vhd per declaration, splice_lib.h, <device>_driver.c/.h.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adapters/registry.hpp"
+#include "codegen/hwgen.hpp"
+#include "drivergen/c_emitter.hpp"
+#include "drivergen/maclib.hpp"
+#include "ir/device.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice {
+
+struct GeneratedArtifacts {
+  ir::DeviceSpec spec;  ///< validated spec with FUNC_IDs assigned
+  std::vector<codegen::GeneratedFile> hardware;  ///< interface+arbiter+stubs
+  std::vector<codegen::GeneratedFile> software;  ///< splice_lib.h + drivers
+
+  [[nodiscard]] const codegen::GeneratedFile* find(
+      const std::string& filename) const;
+  /// All filenames, hardware first (the Figure 8.3 / 8.7 listings).
+  [[nodiscard]] std::vector<std::string> filenames() const;
+  /// Write every file under dir/<device_name>/ (the §3.2.3 rule that the
+  /// device name creates a subdirectory).  Returns the directory used.
+  std::string write_to(const std::string& dir) const;
+};
+
+struct EngineOptions {
+  drivergen::DriverOs driver_os = drivergen::DriverOs::BareMetal;
+};
+
+class Engine {
+ public:
+  explicit Engine(const adapters::AdapterRegistry& registry =
+                      adapters::AdapterRegistry::instance(),
+                  EngineOptions options = {})
+      : registry_(registry), options_(options) {}
+
+  /// Parse + validate + generate.  Returns nullopt when the specification
+  /// is rejected; every problem is reported through `diags`.
+  [[nodiscard]] std::optional<GeneratedArtifacts> generate(
+      std::string_view spec_text, DiagnosticEngine& diags) const;
+
+  /// Generation from an already-parsed spec (validated in place).
+  [[nodiscard]] std::optional<GeneratedArtifacts> generate(
+      ir::DeviceSpec spec, DiagnosticEngine& diags) const;
+
+ private:
+  const adapters::AdapterRegistry& registry_;
+  EngineOptions options_;
+};
+
+}  // namespace splice

@@ -1,0 +1,191 @@
+#include "devices/baselines.hpp"
+
+#include "devices/interpolator.hpp"
+
+namespace splice::devices {
+
+// ---------------------------------------------------------------------------
+// InterpSequencer
+// ---------------------------------------------------------------------------
+
+void InterpSequencer::consume(std::uint64_t word) {
+  switch (phase_) {
+    case 0:
+    case 2:
+    case 4:
+      expected_ = word & 0xFF;  // the char count
+      if (expected_ == 0) phase_ += 2;
+      else ++phase_;
+      break;
+    case 1:
+    case 3:
+    case 5: {
+      auto& set = sets_[(phase_ - 1) / 2];
+      set.push_back(word);
+      if (set.size() >= expected_) ++phase_;
+      break;
+    }
+    default:
+      break;  // extra words beyond the protocol are dropped
+  }
+  if (phase_ >= 6 && !calc_started_) {
+    calc_started_ = true;
+    calc_left_ = bus::timing::kInterpolatorCalcCycles;
+  }
+}
+
+void InterpSequencer::tick() {
+  if (inputs_complete() && calc_left_ > 0) {
+    if (--calc_left_ == 0) {
+      result_ = interpolate(sets_[0], sets_[1], sets_[2]);
+    }
+  }
+}
+
+void InterpSequencer::restart() {
+  calc_started_ = false;
+  phase_ = 0;
+  expected_ = 0;
+  for (auto& s : sets_) s.clear();
+  calc_left_ = 0;
+  result_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// NaivePlbInterpolator
+// ---------------------------------------------------------------------------
+
+NaivePlbInterpolator::NaivePlbInterpolator(bus::PlbPins& pins)
+    : rtl::Module("naive_plb_interp"), pins_(pins) {}
+
+void NaivePlbInterpolator::clock_edge() {
+  if (pins_.rst.high()) {
+    reset();
+    return;
+  }
+  pins_.wr_ack.set(false);
+  pins_.rd_ack.set(false);
+  seq_.tick();
+
+  switch (state_) {
+    case St::Idle:
+      // Requests are only noticed on the strobe, then crawl through the
+      // decode/latch pipeline before the acknowledge fires.
+      if (pins_.wr_req.high() && pins_.wr_ce.get() != 0) {
+        pending_is_read_ = false;
+        staged_ = pins_.wr_data.get();
+        state_ = St::Decode;
+      } else if (pins_.rd_req.high() && pins_.rd_ce.get() != 0) {
+        pending_is_read_ = true;
+        state_ = St::Decode;
+      }
+      break;
+
+    case St::Decode:
+      // The address was already one-hot decoded by the bus, but the naive
+      // design re-registers it anyway.
+      state_ = St::Latch;
+      break;
+
+    case St::Latch:
+      if (pending_is_read_) {
+        // Results are only handed out once the calculation finished; the
+        // pseudo asynchronous bus simply stalls until then.
+        if (seq_.result_ready()) state_ = St::Ack;
+      } else {
+        seq_.consume(staged_);
+        state_ = St::Ack;
+      }
+      break;
+
+    case St::Ack:
+      if (pending_is_read_) {
+        pins_.rd_data.set(static_cast<std::uint64_t>(seq_.result()));
+        pins_.rd_ack.set(true);
+        ++runs_;
+        seq_.restart();
+      } else {
+        pins_.wr_ack.set(true);
+      }
+      state_ = St::Settle1;
+      break;
+
+    case St::Settle1:
+      state_ = St::Settle2;
+      break;
+
+    case St::Settle2:
+      state_ = St::Idle;
+      break;
+  }
+}
+
+void NaivePlbInterpolator::reset() {
+  state_ = St::Idle;
+  seq_.restart();
+  pins_.wr_ack.set(false);
+  pins_.rd_ack.set(false);
+}
+
+// ---------------------------------------------------------------------------
+// OptimizedFcbInterpolator
+// ---------------------------------------------------------------------------
+
+OptimizedFcbInterpolator::OptimizedFcbInterpolator(bus::FcbPins& pins)
+    : rtl::Module("optimized_fcb_interp"), pins_(pins) {}
+
+void OptimizedFcbInterpolator::eval_comb() {
+  // Fully pipelined beat acceptance: every presented write beat is
+  // acknowledged combinationally, one word per cycle.
+  pins_.beat_ack.drive(op_active_ && !op_read_ && pins_.wr_valid.high());
+  pins_.rd_data.drive(rd_latch_);
+  pins_.rd_valid.drive(rd_pulse_);
+}
+
+void OptimizedFcbInterpolator::clock_edge() {
+  if (pins_.rst.high()) {
+    reset();
+    return;
+  }
+  seq_.tick();
+  rd_pulse_ = false;
+
+  if (!op_active_) {
+    if (pins_.op_valid.high()) {
+      op_active_ = true;
+      op_read_ = pins_.op_read.high();
+      beats_left_ = static_cast<unsigned>(pins_.op_beats.get());
+    }
+    return;
+  }
+
+  if (!op_read_) {
+    if (pins_.wr_valid.high()) {
+      seq_.consume(pins_.wr_data.get());
+      if (--beats_left_ == 0) op_active_ = false;
+    }
+  } else {
+    // Result reads stall (no rd_valid) until the calculation completes,
+    // then stream one beat per cycle.
+    if (seq_.result_ready()) {
+      rd_latch_ = seq_.result();
+      rd_pulse_ = true;
+      if (--beats_left_ == 0) {
+        op_active_ = false;
+        ++runs_;
+        seq_.restart();
+      }
+    }
+  }
+}
+
+void OptimizedFcbInterpolator::reset() {
+  op_active_ = false;
+  op_read_ = false;
+  beats_left_ = 0;
+  rd_pulse_ = false;
+  rd_latch_ = 0;
+  seq_.restart();
+}
+
+}  // namespace splice::devices

@@ -1,0 +1,96 @@
+// The two hand-coded interconnects of the thesis evaluation (§9.2.1):
+//
+//  * "Simple PLB": the naive first-attempt PLB interface — "the designer
+//    was not aware of all of the intricacies of the PLB and thus the
+//    interface was not nearly as optimized as it could have been".
+//    Modelled structurally: every word crawls through decode/latch/settle
+//    states before the acknowledge fires.
+//
+//  * "Optimized FCB": the hand-tuned replacement — fully pipelined beat
+//    acceptance at one word per cycle and an immediately served result.
+//
+// Both sit directly on the native bus pins with no SIS in between.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/fcb.hpp"
+#include "bus/plb.hpp"
+#include "bus/timing.hpp"
+#include "rtl/simulator.hpp"
+
+namespace splice::devices {
+
+/// Shared input sequencer: consumes the interpolator's word stream
+/// (n1, set1..., n2, set2..., n3, set3...) and runs the constant-latency
+/// calculation.  Both baselines embed one; the calculation is identical to
+/// the Splice variants' behaviour by construction (§9.2: "the amount of
+/// calculation done in each implementation is constant").
+class InterpSequencer {
+ public:
+  void consume(std::uint64_t word);
+  [[nodiscard]] bool inputs_complete() const { return phase_ >= 6; }
+  /// Advance the calculation countdown one cycle.
+  void tick();
+  [[nodiscard]] bool result_ready() const {
+    return calc_started_ && calc_left_ == 0;
+  }
+  [[nodiscard]] std::uint32_t result() const { return result_; }
+  void restart();
+
+ private:
+  int phase_ = 0;  // 0:n1 1:set1 2:n2 3:set2 4:n3 5:set3 6:done
+  std::uint64_t expected_ = 0;
+  std::vector<std::uint64_t> sets_[3];
+  bool calc_started_ = false;
+  unsigned calc_left_ = 0;
+  std::uint32_t result_ = 0;
+};
+
+/// The naive hand-coded PLB slave ("Simple PLB").
+class NaivePlbInterpolator : public rtl::Module {
+ public:
+  explicit NaivePlbInterpolator(bus::PlbPins& pins);
+  void clock_edge() override;
+  void reset() override;
+  [[nodiscard]] std::uint64_t runs_completed() const { return runs_; }
+
+ private:
+  enum class St : std::uint8_t {
+    Idle,
+    Decode,   // redundant address re-decode
+    Latch,    // staging register hop
+    Ack,      // acknowledge pulse
+    Settle1,  // unnecessary recovery states
+    Settle2,
+  };
+  bus::PlbPins& pins_;
+  InterpSequencer seq_;
+  St state_ = St::Idle;
+  bool pending_is_read_ = false;
+  std::uint64_t staged_ = 0;
+  std::uint64_t runs_ = 0;
+};
+
+/// The hand-optimized FCB slave ("Optimized FCB").
+class OptimizedFcbInterpolator : public rtl::Module {
+ public:
+  explicit OptimizedFcbInterpolator(bus::FcbPins& pins);
+  void eval_comb() override;
+  void clock_edge() override;
+  void reset() override;
+  [[nodiscard]] std::uint64_t runs_completed() const { return runs_; }
+
+ private:
+  bus::FcbPins& pins_;
+  InterpSequencer seq_;
+  bool op_active_ = false;
+  bool op_read_ = false;
+  unsigned beats_left_ = 0;
+  bool rd_pulse_ = false;
+  std::uint64_t rd_latch_ = 0;  ///< result held across the sequencer restart
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace splice::devices

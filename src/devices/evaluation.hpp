@@ -1,0 +1,52 @@
+// The chapter-9 evaluation harness: the five interpolator interface
+// implementations (§9.2.1), cycle measurement per scenario (Figure 9.2)
+// and FPGA resource estimation per implementation (Figure 9.3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "devices/interpolator.hpp"
+#include "resources/model.hpp"
+
+namespace splice::devices {
+
+/// The five interfaces of §9.2.1, in the order the figures list them.
+enum class Impl : std::uint8_t {
+  NaivePlb,         ///< "Simple PLB" — naive hand-coded
+  SplicePlbSimple,  ///< "Splice PLB (Simple)"
+  SplicePlbDma,     ///< "Splice PLB (DMA)"
+  SpliceFcb,        ///< "Splice FCB"
+  OptimizedFcb,     ///< "Optimized FCB" — hand-optimized
+};
+
+inline constexpr Impl kAllImpls[] = {
+    Impl::NaivePlb, Impl::SplicePlbSimple, Impl::SplicePlbDma,
+    Impl::SpliceFcb, Impl::OptimizedFcb};
+
+[[nodiscard]] std::string_view impl_name(Impl impl);
+[[nodiscard]] bool impl_is_splice(Impl impl);
+
+struct ScenarioRun {
+  std::uint64_t bus_cycles = 0;
+  std::uint32_t result = 0;
+  std::uint32_t expected = 0;
+
+  [[nodiscard]] bool correct() const { return result == expected; }
+};
+
+/// Execute one interpolator run (all input transfers, the constant-time
+/// calculation, and the result read) on a freshly built platform and
+/// report its cycle cost — the Figure 9.2 measurement.  `warm_runs`
+/// repeats the call and reports the last run's cycles (steady state).
+[[nodiscard]] ScenarioRun run_scenario(Impl impl, const Scenario& sc,
+                                       unsigned warm_runs = 2);
+
+/// Interface-logic resource estimate for an implementation sized to a
+/// scenario — the Figure 9.3 measurement.  The user calculation logic is
+/// excluded everywhere (the thesis holds it constant across
+/// implementations).
+[[nodiscard]] resources::ResourceReport implementation_resources(
+    Impl impl, const Scenario& sc);
+
+}  // namespace splice::devices

@@ -1,0 +1,107 @@
+#include "devices/interpolator.hpp"
+
+#include <algorithm>
+
+#include "bus/timing.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::devices {
+
+const std::array<Scenario, 4>& scenarios() {
+  // Figure 9.1: Input Parameters Required for Each Scenario.
+  static const std::array<Scenario, 4> table = {{
+      {1, 2, 1, 2},
+      {2, 4, 2, 4},
+      {3, 8, 3, 6},
+      {4, 16, 4, 8},
+  }};
+  return table;
+}
+
+std::uint32_t interpolate(const std::vector<std::uint64_t>& set1,
+                          const std::vector<std::uint64_t>& set2,
+                          const std::vector<std::uint64_t>& set3) {
+  if (set1.empty() || set2.empty()) return 0;
+  std::uint64_t acc = 0;
+  for (std::size_t q = 0; q < set3.size(); ++q) {
+    const std::uint64_t t = set3[q];
+    // Locate the bracketing samples (set1 treated as ascending; clamp).
+    std::size_t hi = 0;
+    while (hi < set1.size() && set1[hi] < t) ++hi;
+    const std::size_t i1 = std::min(hi, set1.size() - 1);
+    const std::size_t i0 = i1 == 0 ? 0 : i1 - 1;
+    const std::uint64_t t0 = set1[i0];
+    const std::uint64_t t1 = set1[i1];
+    // Control values cycle through set2.
+    const std::uint64_t v0 = set2[i0 % set2.size()];
+    const std::uint64_t v1 = set2[i1 % set2.size()];
+    std::uint64_t interp;
+    if (t1 == t0) {
+      interp = v1 << 16;
+    } else {
+      const std::uint64_t tc = std::clamp(t, t0, t1);
+      // 16.16 fixed-point lerp.
+      const std::uint64_t frac = ((tc - t0) << 16) / (t1 - t0);
+      interp = (v0 << 16) + (v1 - v0) * frac;
+    }
+    acc += interp;
+    acc = (acc & 0xFFFFFFFFull) ^ (acc >> 32);  // fold into 32 bits
+  }
+  return static_cast<std::uint32_t>(acc & 0xFFFFFFFFull);
+}
+
+ir::DeviceSpec make_interpolator_spec(const std::string& bus, bool burst,
+                                      bool dma) {
+  const std::string caret = dma ? "^" : "";
+  const std::string text = std::string("%device_name interp\n") +
+                           "%bus_type " + bus + "\n" +
+                           "%bus_width 32\n" +
+                           "%base_address 0x80004000\n" +
+                           "%burst_support " + (burst ? "true" : "false") +
+                           "\n" +
+                           "%dma_support " + (dma ? "true" : "false") + "\n" +
+                           "unsigned interp(char n1, unsigned*:n1" + caret +
+                           " set1, char n2, unsigned*:n2" + caret +
+                           " set2, char n3, unsigned*:n3" + caret +
+                           " set3);\n";
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  if (!spec || !ir::validate(*spec, diags)) {
+    throw SpliceError("interpolator spec failed to build:\n" +
+                      diags.render());
+  }
+  return std::move(*spec);
+}
+
+elab::BehaviorMap make_interpolator_behaviors() {
+  elab::BehaviorMap behaviors;
+  behaviors.set("interp", [](const elab::CallContext& ctx) {
+    // Inputs: n1, set1, n2, set2, n3, set3 (declaration order).
+    const std::uint32_t result =
+        interpolate(ctx.array(1), ctx.array(3), ctx.array(5));
+    return elab::CalcResult{bus::timing::kInterpolatorCalcCycles, {result}};
+  });
+  return behaviors;
+}
+
+ScenarioInputs make_inputs(const Scenario& sc, std::uint32_t seed) {
+  // Small deterministic LCG; ascending timestamps for set1.
+  std::uint32_t state = seed * 2654435761u + sc.id;
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) & 0x3FF;
+  };
+  ScenarioInputs in;
+  std::uint64_t t = 0;
+  for (unsigned i = 0; i < sc.set1; ++i) {
+    t += 1 + next() % 97;
+    in.set1.push_back(t);
+  }
+  for (unsigned i = 0; i < sc.set2; ++i) in.set2.push_back(next());
+  for (unsigned i = 0; i < sc.set3; ++i) in.set3.push_back(next() % (t + 1));
+  return in;
+}
+
+}  // namespace splice::devices

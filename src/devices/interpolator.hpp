@@ -1,0 +1,66 @@
+// The Scan Eagle UAV linear interpolator of thesis chapter 9: the device
+// re-implemented behind five different interfaces for the evaluation.  The
+// calculation core "runs in a predictable manner and requires the same
+// number of clock cycles to produce results each time" (§9.1), so one
+// shared kernel serves every implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "elab/behavior.hpp"
+#include "ir/device.hpp"
+
+namespace splice::devices {
+
+/// The four usage scenarios of Figure 9.1: input elements per data set.
+struct Scenario {
+  unsigned id;
+  unsigned set1;
+  unsigned set2;
+  unsigned set3;
+
+  [[nodiscard]] unsigned total() const { return set1 + set2 + set3; }
+};
+
+[[nodiscard]] const std::array<Scenario, 4>& scenarios();
+
+/// The interpolation kernel (16.16 fixed point).  set1 holds sample
+/// timestamps, set2 control values, set3 query times; each query is
+/// clamped into the sample range, bracketing samples are located, and the
+/// interpolants accumulate into a single 32-bit flight-control word.  The
+/// exact semantics are unimportant for the evaluation (§9.2) — what
+/// matters is that the result is a deterministic function of every input
+/// word, so data-integrity checks catch any dropped or reordered transfer.
+[[nodiscard]] std::uint32_t interpolate(
+    const std::vector<std::uint64_t>& set1,
+    const std::vector<std::uint64_t>& set2,
+    const std::vector<std::uint64_t>& set3);
+
+/// Splice interface declaration for the interpolator: three implicit
+/// pointer transfers (§9.2.1), one 32-bit result.
+///   unsigned interp(char n1, unsigned*:n1 set1,
+///                   char n2, unsigned*:n2 set2,
+///                   char n3, unsigned*:n3 set3);
+[[nodiscard]] ir::DeviceSpec make_interpolator_spec(const std::string& bus,
+                                                    bool burst, bool dma);
+
+/// Calculation behaviour used by every Splice-generated variant.
+[[nodiscard]] elab::BehaviorMap make_interpolator_behaviors();
+
+/// Deterministic input data for a scenario (what the flight software
+/// would feed the device).
+struct ScenarioInputs {
+  std::vector<std::uint64_t> set1;
+  std::vector<std::uint64_t> set2;
+  std::vector<std::uint64_t> set3;
+
+  [[nodiscard]] std::uint32_t expected() const {
+    return interpolate(set1, set2, set3);
+  }
+};
+[[nodiscard]] ScenarioInputs make_inputs(const Scenario& sc,
+                                         std::uint32_t seed = 1);
+
+}  // namespace splice::devices

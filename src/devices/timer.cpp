@@ -1,0 +1,86 @@
+#include "devices/timer.hpp"
+
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::devices {
+
+void TimerCore::tick() {
+  if (!enabled_) return;
+  if (value_ >= threshold_) {
+    fired_ = true;
+    value_ = 0;
+  } else {
+    ++value_;
+  }
+}
+
+std::uint32_t TimerCore::read_status() {
+  std::uint32_t status = (enabled_ ? 1u : 0u) | (fired_ ? 2u : 0u);
+  fired_ = false;
+  return status;
+}
+
+std::string timer_spec_text(const std::string& bus) {
+  // Figure 8.2, reproduced with its space-separated directive spellings
+  // and brace-form interface declarations.
+  return std::string("// Target Specification\n") +
+         "% name hw timer\n"
+         "% hdl type vhdl\n"
+         "% bus type " + bus + "\n"
+         "% bus width 32\n"
+         "% base address 0x8000401C\n"
+         "% dma support false\n"
+         "% user type llong, unsigned long long, 64\n"
+         "% user type ulong, unsigned long, 32\n"
+         "\n"
+         "// Interface Directives\n"
+         "void disable{};\n"
+         "void enable{};\n"
+         "void set_threshold{llong thold};\n"
+         "llong get_threshold{};\n"
+         "llong get_snapshot{};\n"
+         "ulong get_clock{};\n"
+         "ulong get_status{};\n";
+}
+
+ir::DeviceSpec make_timer_spec(const std::string& bus) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(timer_spec_text(bus), diags);
+  if (!spec || !ir::validate(*spec, diags)) {
+    throw SpliceError("timer spec failed to build:\n" + diags.render());
+  }
+  return std::move(*spec);
+}
+
+elab::BehaviorMap make_timer_behaviors(TimerCore& core) {
+  elab::BehaviorMap b;
+  b.set("disable", [&core](const elab::CallContext&) {
+    core.disable();
+    return elab::CalcResult{1, {}};
+  });
+  b.set("enable", [&core](const elab::CallContext&) {
+    core.enable();
+    return elab::CalcResult{1, {}};
+  });
+  b.set("set_threshold", [&core](const elab::CallContext& ctx) {
+    core.set_threshold(ctx.scalar(0));
+    return elab::CalcResult{1, {}};
+  });
+  b.set("get_threshold", [&core](const elab::CallContext&) {
+    return elab::CalcResult{1, {core.threshold()}};
+  });
+  b.set("get_snapshot", [&core](const elab::CallContext&) {
+    return elab::CalcResult{1, {core.snapshot()}};
+  });
+  b.set("get_clock", [&core](const elab::CallContext&) {
+    return elab::CalcResult{1, {core.clock_rate()}};
+  });
+  b.set("get_status", [&core](const elab::CallContext&) {
+    return elab::CalcResult{1, {core.read_status()}};
+  });
+  return b;
+}
+
+}  // namespace splice::devices

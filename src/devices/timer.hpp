@@ -1,0 +1,67 @@
+// The chapter-8 worked example: a 64-bit hardware timer with seven
+// interface declarations (Figure 8.2).  The timer core is an independent
+// clocked module living alongside the generated stubs — exactly the §8.3.1
+// architecture where an instantiated timer answers one-hot commands from
+// the user-logic functions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "elab/behavior.hpp"
+#include "ir/device.hpp"
+#include "rtl/simulator.hpp"
+
+namespace splice::devices {
+
+class TimerCore {
+ public:
+  /// Advance the counter one bus-clock cycle (Figure 8.6 semantics: count
+  /// while enabled; on reaching the threshold, raise the trigger and wrap
+  /// to zero).
+  void tick();
+
+  // Command / query surface (Figure 8.5's one-hot COMMAND operations).
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  void set_threshold(std::uint64_t t) {
+    threshold_ = t;
+    value_ = 0;  // "Also Resets the Timer" (Figure 8.8)
+  }
+  [[nodiscard]] std::uint64_t threshold() const { return threshold_; }
+  [[nodiscard]] std::uint64_t snapshot() const { return value_; }
+  /// Bus clock in Hz (the ML-403 interconnect clock, §9.3).
+  [[nodiscard]] std::uint32_t clock_rate() const { return 100'000'000; }
+  /// Status word: bit 0 = enabled, bit 1 = fired; reading clears the fired
+  /// bit (Figure 8.8: "Clears Internal Timer Fired Bit").
+  [[nodiscard]] std::uint32_t read_status();
+  [[nodiscard]] bool fired() const { return fired_; }
+
+ private:
+  bool enabled_ = false;
+  bool fired_ = false;
+  std::uint64_t value_ = 0;
+  std::uint64_t threshold_ = 0;
+};
+
+/// Clock glue: ticks a TimerCore from the simulator.
+class TimerTick : public rtl::Module {
+ public:
+  explicit TimerTick(TimerCore& core)
+      : rtl::Module("hw_timer_core"), core_(core) {}
+  void clock_edge() override { core_.tick(); }
+
+ private:
+  TimerCore& core_;
+};
+
+/// The Figure 8.2 specification, verbatim (brace-form declarations,
+/// space-separated directives, llong/ulong user types).
+[[nodiscard]] std::string timer_spec_text(const std::string& bus = "plb");
+[[nodiscard]] ir::DeviceSpec make_timer_spec(const std::string& bus = "plb");
+
+/// Behaviours binding the seven declarations to a TimerCore (the §8.3.1
+/// "filling in user-logic stubs" step).
+[[nodiscard]] elab::BehaviorMap make_timer_behaviors(TimerCore& core);
+
+}  // namespace splice::devices

@@ -1,0 +1,310 @@
+#include "drivergen/c_emitter.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace splice::drivergen {
+
+namespace {
+
+std::string type_spelling(const ir::CType& t) {
+  // User types keep their %user_type name; the generated header typedefs
+  // them to the underlying spelling so existing prototypes keep compiling.
+  return t.name;
+}
+
+std::string param_decl(const ir::IoParam& p) {
+  std::string s = type_spelling(p.type);
+  if (p.is_pointer) s += "*";
+  s += " " + p.name;
+  return s;
+}
+
+std::string return_spelling(const ir::FunctionDecl& fn) {
+  switch (fn.return_kind) {
+    case ir::ReturnKind::Nowait:
+    case ir::ReturnKind::Void:
+      return "void";
+    case ir::ReturnKind::Value: {
+      std::string s = type_spelling(fn.output.type);
+      if (fn.output.is_pointer || fn.output.is_array()) s += "*";
+      return s;
+    }
+  }
+  return "void";
+}
+
+std::string macro_id(const ir::FunctionDecl& fn) {
+  return str::to_upper(fn.name) + "_ID";
+}
+
+std::string element_count_expr(const ir::IoParam& p) {
+  switch (p.count_kind) {
+    case ir::CountKind::Scalar: return "1";
+    case ir::CountKind::Explicit: return std::to_string(p.explicit_count);
+    case ir::CountKind::Implicit: return p.index_var;
+  }
+  return "1";
+}
+
+/// Words-per-element of a split transfer on the target bus.
+unsigned words_per_element(const ir::IoParam& p, unsigned bus_width) {
+  return static_cast<unsigned>(p.words_per_element(bus_width));
+}
+
+void emit_param_writes(std::ostringstream& os, const ir::DeviceSpec& spec,
+                       const ir::IoParam& p) {
+  const unsigned bw = spec.target.bus_width;
+  const std::string count = element_count_expr(p);
+
+  os << "    /* Transfer " << (p.is_array() ? count + " value(s) of " : "")
+     << "'" << p.name << "' */\n";
+
+  if (p.dma) {
+    os << "    WRITE_DMA(func_addr, " << p.name << ", (" << count << ") * "
+       << words_per_element(p, bw) << ");\n";
+    return;
+  }
+
+  const bool scalar = !p.is_array();
+  const std::string ref = scalar ? ("&" + p.name) : p.name;
+
+  if (p.type.bits > bw) {
+    // Split transfer (§3.1.4): the driver walks the value word-by-word,
+    // most significant word first, via a byte-wise pointer.
+    os << "    {\n"
+       << "        const unsigned int* _w = (const unsigned int*)(" << ref
+       << ");\n"
+       << "        int _i;\n"
+       << "        for (_i = 0; _i < (" << count << ") * "
+       << words_per_element(p, bw) << "; _i += 1) {\n"
+       << "            WRITE_SINGLE(func_addr, &_w[_i]);\n"
+       << "        }\n"
+       << "    }\n";
+    return;
+  }
+
+  if (p.packed && p.type.bits < bw) {
+    // Packed transfer (§3.1.3): a byte-wise incrementing pointer feeds
+    // full bus words, several elements per transmission cycle (§6.1.1).
+    const unsigned lanes = bw / p.type.bits;
+    os << "    {\n"
+       << "        const unsigned int* _w = (const unsigned int*)(" << ref
+       << ");\n"
+       << "        int _i;\n"
+       << "        for (_i = 0; _i < ((" << count << ") + " << (lanes - 1)
+       << ") / " << lanes << "; _i += 1) {\n"
+       << "            WRITE_SINGLE(func_addr, &_w[_i]);\n"
+       << "        }\n"
+       << "    }\n";
+    return;
+  }
+
+  if (scalar) {
+    os << "    WRITE_SINGLE(func_addr, " << ref << ");\n";
+    return;
+  }
+
+  if (spec.target.burst_support) {
+    // The §6.1.1 macro ladder: quad, then double, then single.
+    os << "    {\n"
+       << "        int _i = 0;\n"
+       << "        for (; _i + 4 <= (" << count << "); _i += 4) {\n"
+       << "            WRITE_QUAD(func_addr, &" << p.name << "[_i]);\n"
+       << "        }\n"
+       << "        for (; _i + 2 <= (" << count << "); _i += 2) {\n"
+       << "            WRITE_DOUBLE(func_addr, &" << p.name << "[_i]);\n"
+       << "        }\n"
+       << "        for (; _i < (" << count << "); _i += 1) {\n"
+       << "            WRITE_SINGLE(func_addr, &" << p.name << "[_i]);\n"
+       << "        }\n"
+       << "    }\n";
+  } else {
+    os << "    {\n"
+       << "        int _i;\n"
+       << "        for (_i = 0; _i < (" << count << "); _i += 1) {\n"
+       << "            WRITE_SINGLE(func_addr, &" << p.name << "[_i]);\n"
+       << "        }\n"
+       << "    }\n";
+  }
+}
+
+void emit_output_reads(std::ostringstream& os, const ir::DeviceSpec& spec,
+                       const ir::FunctionDecl& fn) {
+  if (fn.return_kind == ir::ReturnKind::Void) {
+    os << "    /* Blocking call: read the pseudo output word to"
+          " synchronize (§5.3.1) */\n"
+       << "    {\n"
+       << "        unsigned int _sync;\n"
+       << "        READ_SINGLE(func_addr, &_sync);\n"
+       << "    }\n";
+    return;
+  }
+  const ir::IoParam& out = fn.output;
+  const unsigned bw = spec.target.bus_width;
+  const std::string count = element_count_expr(out);
+
+  if (!out.is_array() && out.type.bits <= bw) {
+    os << "    /* Grab Result from Hardware */\n"
+       << "    READ_SINGLE(func_addr, &result);\n"
+       << "    return result;\n";
+    return;
+  }
+  if (!out.is_array()) {
+    // Split scalar result (e.g. a 64-bit value over a 32-bit bus).
+    os << "    /* Grab the split result, most significant word first */\n"
+       << "    {\n"
+       << "        unsigned int* _w = (unsigned int*)(&result);\n"
+       << "        int _i;\n"
+       << "        for (_i = 0; _i < " << words_per_element(out, bw)
+       << "; _i += 1) {\n"
+       << "            READ_SINGLE(func_addr, &_w[_i]);\n"
+       << "        }\n"
+       << "    }\n"
+       << "    return result;\n";
+    return;
+  }
+  // Multi-value output: the driver allocates storage and hands back a
+  // pointer the caller must free (§6.1.1's memory-leak caveat).
+  os << "    /* Multi-value output: caller owns (and must free) the"
+        " buffer */\n"
+     << "    result = (" << type_spelling(out.type) << "*)malloc((" << count
+     << ") * sizeof(" << type_spelling(out.type) << "));\n";
+  if (out.dma) {
+    os << "    READ_DMA(func_addr, result, (" << count << ") * "
+       << words_per_element(out, bw) << ");\n";
+  } else {
+    os << "    {\n"
+       << "        unsigned int* _w = (unsigned int*)result;\n"
+       << "        int _i;\n"
+       << "        for (_i = 0; _i < (" << count << ") * "
+       << words_per_element(out, bw) << "; _i += 1) {\n"
+       << "            READ_SINGLE(func_addr, &_w[_i]);\n"
+       << "        }\n"
+       << "    }\n";
+  }
+  os << "    return result;\n";
+}
+
+}  // namespace
+
+std::string c_prototype(const ir::DeviceSpec& spec,
+                        const ir::FunctionDecl& fn) {
+  (void)spec;
+  std::ostringstream os;
+  os << return_spelling(fn) << " " << fn.name << "(";
+  bool first = true;
+  for (const auto& p : fn.inputs) {
+    if (!first) os << ", ";
+    os << param_decl(p);
+    first = false;
+  }
+  if (fn.instances > 1) {
+    // §6.1.2: multi-instance drivers take an extra instance selector.
+    if (!first) os << ", ";
+    os << "int inst_index";
+    first = false;
+  }
+  if (first) os << "void";
+  os << ")";
+  return os.str();
+}
+
+DriverSources emit_driver_sources(const ir::DeviceSpec& spec) {
+  DriverSources out;
+  const std::string dev = spec.target.device_name;
+  out.header_filename = dev + "_driver.h";
+  out.source_filename = dev + "_driver.c";
+  const std::string guard = str::to_upper(dev) + "_DRIVER_H";
+
+  // ---- header -------------------------------------------------------------
+  {
+    std::ostringstream os;
+    os << "/* Generated by Splice for device '" << dev << "' (bus: "
+       << spec.target.bus_type << ") */\n"
+       << "#ifndef " << guard << "\n#define " << guard << "\n\n";
+    for (const auto& t : spec.types.user_types()) {
+      os << "typedef " << t.c_spelling << " " << t.name << "; /* "
+         << t.bits << " bits */\n";
+    }
+    os << "\n";
+    for (const auto& fn : spec.functions) {
+      os << c_prototype(spec, fn) << ";\n";
+    }
+    os << "\n#endif /* " << guard << " */\n";
+    out.header = os.str();
+  }
+
+  // ---- source -------------------------------------------------------------
+  {
+    std::ostringstream os;
+    os << "/* Generated by Splice for device '" << dev << "' (bus: "
+       << spec.target.bus_type << ") */\n"
+       << "#include <stdlib.h>\n"
+       << "#include \"splice_lib.h\"\n"
+       << "#include \"" << out.header_filename << "\"\n\n";
+
+    for (const auto& fn : spec.functions) {
+      os << "/* ID Used to Target " << fn.name << " */\n"
+         << "#define " << macro_id(fn) << " " << fn.func_id << "\n\n";
+
+      os << c_prototype(spec, fn) << "\n{\n";
+      if (fn.has_output()) {
+        os << "    " << type_spelling(fn.output.type)
+           << (fn.output.is_array() ? "* result = 0;\n" : " result;\n");
+      }
+      os << "    unsigned long func_addr;\n\n";
+      os << "    /* Determine the Address of the Function"
+         << (fn.instances > 1 ? " Instance" : "") << " */\n"
+         << "    func_addr = SET_ADDRESS(" << macro_id(fn)
+         << (fn.instances > 1 ? " + inst_index" : "") << ");\n\n";
+
+      for (const auto& p : fn.inputs) emit_param_writes(os, spec, p);
+
+      if (fn.blocking()) {
+        os << "\n    /* Wait for Calculations to Complete */\n"
+           << "    WAIT_FOR_RESULTS(func_addr);\n\n";
+        for (std::size_t idx : fn.by_ref_params()) {
+          const ir::IoParam& p = fn.inputs[idx];
+          const std::string count = element_count_expr(p);
+          os << "    /* '&' by reference: read the updated '" << p.name
+             << "' values back (§10.2) */\n";
+          if (p.dma) {
+            os << "    READ_DMA(func_addr, " << p.name << ", (" << count
+               << ") * " << words_per_element(p, spec.target.bus_width)
+               << ");\n";
+          } else {
+            const unsigned bw = spec.target.bus_width;
+            std::string nwords;
+            if (p.packed && p.type.bits < bw) {
+              const unsigned lanes = bw / p.type.bits;
+              nwords = "((" + count + ") + " + std::to_string(lanes - 1) +
+                       ") / " + std::to_string(lanes);
+            } else {
+              nwords = "(" + count + ") * " +
+                       std::to_string(words_per_element(p, bw));
+            }
+            os << "    {\n"
+               << "        unsigned int* _w = (unsigned int*)" << p.name
+               << ";\n"
+               << "        int _i;\n"
+               << "        for (_i = 0; _i < " << nwords
+               << "; _i += 1) {\n"
+               << "            READ_SINGLE(func_addr, &_w[_i]);\n"
+               << "        }\n"
+               << "    }\n";
+          }
+        }
+        emit_output_reads(os, spec, fn);
+      } else {
+        os << "    /* nowait: control returns immediately (§3.1.7) */\n";
+      }
+      os << "}\n\n";
+    }
+    out.source = os.str();
+  }
+  return out;
+}
+
+}  // namespace splice::drivergen

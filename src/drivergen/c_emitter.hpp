@@ -1,0 +1,29 @@
+// ANSI-C driver source emitter (thesis chapter 6).  Produces the
+// <device>_driver.h / <device>_driver.c pair of Figure 8.7, structured
+// like the Figure 6.1 / 6.2 listings: one function per interface
+// declaration, built exclusively from the Figure 7.2 transaction macros so
+// the same driver text retargets by swapping splice_lib.h.
+#pragma once
+
+#include <string>
+
+#include "ir/device.hpp"
+
+namespace splice::drivergen {
+
+struct DriverSources {
+  std::string header_filename;  ///< e.g. "hw_timer_driver.h"
+  std::string header;
+  std::string source_filename;  ///< e.g. "hw_timer_driver.c"
+  std::string source;
+};
+
+/// Emit the driver pair for a validated device spec.
+[[nodiscard]] DriverSources emit_driver_sources(const ir::DeviceSpec& spec);
+
+/// The C spelling of a declaration's return type / parameter list, shared
+/// by header and source emission (and asserted by tests).
+[[nodiscard]] std::string c_prototype(const ir::DeviceSpec& spec,
+                                      const ir::FunctionDecl& fn);
+
+}  // namespace splice::drivergen

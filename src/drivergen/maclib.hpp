@@ -1,0 +1,21 @@
+// Per-bus transaction macro libraries: the splice_lib.h each generated
+// driver includes (thesis §6.1, Figure 7.2).  Every supported bus defines
+// the eight required macros; DMA-capable buses add WRITE_DMA / READ_DMA.
+// A Linux-targeted variant maps the device range with mmap instead of
+// using raw physical pointers (thesis future work §10.2, implemented).
+#pragma once
+
+#include <string>
+
+#include "ir/device.hpp"
+
+namespace splice::drivergen {
+
+enum class DriverOs { BareMetal, Linux };
+
+/// Emit splice_lib.h for the device's bus target.  Throws SpliceError for
+/// an unknown bus name.
+[[nodiscard]] std::string emit_macro_library(
+    const ir::DeviceSpec& spec, DriverOs os = DriverOs::BareMetal);
+
+}  // namespace splice::drivergen

@@ -1,0 +1,218 @@
+#include "drivergen/program.hpp"
+
+#include "drivergen/wordcodec.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::drivergen {
+
+std::string_view opcode_name(OpCode op) {
+  switch (op) {
+    case OpCode::SetAddress: return "SET_ADDRESS";
+    case OpCode::WriteSingle: return "WRITE_SINGLE";
+    case OpCode::WriteDouble: return "WRITE_DOUBLE";
+    case OpCode::WriteQuad: return "WRITE_QUAD";
+    case OpCode::WriteDma: return "WRITE_DMA";
+    case OpCode::ReadSingle: return "READ_SINGLE";
+    case OpCode::ReadDouble: return "READ_DOUBLE";
+    case OpCode::ReadQuad: return "READ_QUAD";
+    case OpCode::ReadDma: return "READ_DMA";
+    case OpCode::WaitForResults: return "WAIT_FOR_RESULTS";
+  }
+  return "?";
+}
+
+std::size_t DriverProgram::write_word_count() const {
+  std::size_t n = 0;
+  for (const auto& op : ops) n += op.data.size();
+  return n;
+}
+
+DriverBuilder::DriverBuilder(const ir::DeviceSpec& spec,
+                             const ir::FunctionDecl& fn)
+    : spec_(spec), fn_(fn) {}
+
+std::uint64_t DriverBuilder::param_elements(std::size_t idx,
+                                            const CallArgs& args) const {
+  const ir::IoParam& p = fn_.inputs[idx];
+  switch (p.count_kind) {
+    case ir::CountKind::Scalar:
+      return 1;
+    case ir::CountKind::Explicit:
+      return p.explicit_count;
+    case ir::CountKind::Implicit:
+      for (std::size_t j = 0; j < idx; ++j) {
+        if (fn_.inputs[j].name == p.index_var) return args.at(j).at(0);
+      }
+      throw SpliceError("implicit index '" + p.index_var + "' not resolvable");
+  }
+  return 1;
+}
+
+std::uint64_t DriverBuilder::output_elements(const CallArgs& args) const {
+  if (!fn_.has_output()) return 0;
+  const ir::IoParam& out = fn_.output;
+  switch (out.count_kind) {
+    case ir::CountKind::Scalar:
+      return 1;
+    case ir::CountKind::Explicit:
+      return out.explicit_count;
+    case ir::CountKind::Implicit:
+      for (std::size_t j = 0; j < fn_.inputs.size(); ++j) {
+        if (fn_.inputs[j].name == out.index_var) return args.at(j).at(0);
+      }
+      throw SpliceError("implicit output index '" + out.index_var +
+                        "' not resolvable");
+  }
+  return 1;
+}
+
+void DriverBuilder::emit_writes(DriverProgram& program, const ir::IoParam& p,
+                                std::vector<std::uint64_t> words) const {
+  if (p.dma) {
+    // One WRITE_DMA macro moves the whole block (§6.1.2).
+    DriverOp op;
+    op.op = OpCode::WriteDma;
+    op.fid = program.fid;
+    op.data = std::move(words);
+    program.ops.push_back(std::move(op));
+    return;
+  }
+  // The §6.1.1 macro ladder: prefer QUAD, then DOUBLE, then SINGLE.  When
+  // %burst_support is off every word is its own macro call, exactly like
+  // the "four sequential single-word store operations" fallback.
+  const bool burst = spec_.target.burst_support;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    std::size_t n = 1;
+    OpCode code = OpCode::WriteSingle;
+    if (burst && words.size() - i >= 4) {
+      n = 4;
+      code = OpCode::WriteQuad;
+    } else if (burst && words.size() - i >= 2) {
+      n = 2;
+      code = OpCode::WriteDouble;
+    }
+    DriverOp op;
+    op.op = code;
+    op.fid = program.fid;
+    op.data.assign(words.begin() + static_cast<long>(i),
+                   words.begin() + static_cast<long>(i + n));
+    program.ops.push_back(std::move(op));
+    i += n;
+  }
+}
+
+DriverProgram DriverBuilder::build_call(const CallArgs& args,
+                                        std::uint32_t instance) const {
+  if (args.size() != fn_.inputs.size()) {
+    throw SpliceError("'" + fn_.name + "' expects " +
+                      std::to_string(fn_.inputs.size()) + " arguments, got " +
+                      std::to_string(args.size()));
+  }
+  if (instance >= fn_.instances) {
+    throw SpliceError("'" + fn_.name + "' instance index out of range");
+  }
+  const unsigned bw = spec_.target.bus_width;
+
+  DriverProgram program;
+  program.function_name = fn_.name;
+  // Multi-instance drivers target SAMPLE_FUNCTION_ID + inst_index (§6.1.2).
+  program.fid = fn_.func_id + instance;
+  program.ops.push_back(DriverOp{OpCode::SetAddress, program.fid, {}, 0});
+
+  // Inputs are transferred in the precise declaration order (§3.3).
+  for (std::size_t i = 0; i < fn_.inputs.size(); ++i) {
+    const ir::IoParam& p = fn_.inputs[i];
+    const std::uint64_t elems = param_elements(i, args);
+    if (args[i].size() != elems) {
+      throw SpliceError("'" + fn_.name + "' parameter '" + p.name +
+                        "' expects " + std::to_string(elems) +
+                        " elements, got " + std::to_string(args[i].size()));
+    }
+    if (elems == 0) continue;
+    emit_writes(program, p, encode_elements(p, args[i], bw));
+  }
+
+  if (fn_.blocking()) {
+    program.ops.push_back(
+        DriverOp{OpCode::WaitForResults, program.fid, {}, 0});
+
+    auto emit_reads = [&](unsigned read_words, bool dma) {
+      program.total_read_words += read_words;
+      if (dma) {
+        program.ops.push_back(
+            DriverOp{OpCode::ReadDma, program.fid, {}, read_words});
+        return;
+      }
+      const bool burst = spec_.target.burst_support;
+      unsigned remaining = read_words;
+      while (remaining > 0) {
+        unsigned n = 1;
+        OpCode code = OpCode::ReadSingle;
+        if (burst && remaining >= 4) {
+          n = 4;
+          code = OpCode::ReadQuad;
+        } else if (burst && remaining >= 2) {
+          n = 2;
+          code = OpCode::ReadDouble;
+        }
+        program.ops.push_back(DriverOp{code, program.fid, {}, n});
+        remaining -= n;
+      }
+    };
+
+    // §10.2 '&' by-reference read-backs come first, in declaration order.
+    for (std::size_t idx : fn_.by_ref_params()) {
+      const ir::IoParam& p = fn_.inputs[idx];
+      const std::uint64_t elems = param_elements(idx, args);
+      const unsigned words =
+          static_cast<unsigned>(word_count(p, elems, bw));
+      if (words > 0) emit_reads(words, p.dma);
+    }
+
+    // Blocking void declarations read the pseudo output word (§5.3.1);
+    // value returns read the full output stream.
+    unsigned read_words = 1;
+    if (fn_.has_output()) {
+      read_words = static_cast<unsigned>(
+          word_count(fn_.output, output_elements(args), bw));
+      if (read_words == 0) read_words = 1;
+    }
+    emit_reads(read_words, fn_.has_output() && fn_.output.dma);
+  }
+  return program;
+}
+
+CallOutputs DriverBuilder::decode_call(
+    const std::vector<std::uint64_t>& words, const CallArgs& args) const {
+  CallOutputs out;
+  const unsigned bw = spec_.target.bus_width;
+  std::size_t pos = 0;
+  for (std::size_t idx : fn_.by_ref_params()) {
+    const ir::IoParam& p = fn_.inputs[idx];
+    const std::uint64_t elems = param_elements(idx, args);
+    const std::size_t nwords =
+        static_cast<std::size_t>(word_count(p, elems, bw));
+    std::vector<std::uint64_t> slice(
+        words.begin() + static_cast<long>(std::min(pos, words.size())),
+        words.begin() + static_cast<long>(std::min(pos + nwords,
+                                                   words.size())));
+    out.byref.push_back(decode_words(p, slice, elems, bw));
+    pos += nwords;
+  }
+  if (fn_.has_output()) {
+    std::vector<std::uint64_t> slice(
+        words.begin() + static_cast<long>(std::min(pos, words.size())),
+        words.end());
+    out.outputs = decode_words(fn_.output, slice, output_elements(args), bw);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> DriverBuilder::decode_output(
+    const std::vector<std::uint64_t>& words, const CallArgs& args) const {
+  if (!fn_.has_output()) return {};
+  return decode_call(words, args).outputs;
+}
+
+}  // namespace splice::drivergen

@@ -1,0 +1,101 @@
+// The executable form of a generated software driver.  The C emitter
+// (c_emitter.hpp) renders drivers as ANSI-C text; this module renders the
+// *same* transaction sequence as a DriverProgram the runtime's CPU master
+// executes against a simulated bus — so the generated drivers' behaviour
+// (and cycle cost) is measured, not inferred.
+//
+// Op granularity mirrors the thesis macros (Figure 7.2): one op == one
+// driver macro invocation, which is what a CPU-side instruction gap is
+// charged against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/device.hpp"
+#include "sis/sis.hpp"
+
+namespace splice::drivergen {
+
+enum class OpCode : std::uint8_t {
+  SetAddress,      ///< SET_ADDRESS(func_id)
+  WriteSingle,     ///< WRITE_SINGLE
+  WriteDouble,     ///< WRITE_DOUBLE (burst)
+  WriteQuad,       ///< WRITE_QUAD (burst)
+  WriteDma,        ///< WRITE_DMA (§3.1.5)
+  ReadSingle,      ///< READ_SINGLE
+  ReadDouble,      ///< READ_DOUBLE
+  ReadQuad,        ///< READ_QUAD
+  ReadDma,         ///< READ_DMA
+  WaitForResults,  ///< WAIT_FOR_RESULTS (polls on strictly sync buses)
+};
+
+[[nodiscard]] std::string_view opcode_name(OpCode op);
+
+struct DriverOp {
+  OpCode op;
+  std::uint32_t fid = 0;
+  std::vector<std::uint64_t> data;  ///< write payload (bus words)
+  unsigned read_words = 0;          ///< words expected by a read op
+};
+
+struct DriverProgram {
+  std::string function_name;
+  std::uint32_t fid = 0;
+  std::vector<DriverOp> ops;
+  unsigned total_read_words = 0;
+
+  [[nodiscard]] std::size_t write_word_count() const;
+};
+
+/// Per-parameter argument values (element granularity, declaration order).
+using CallArgs = std::vector<std::vector<std::uint64_t>>;
+
+/// Everything a blocking call returns: the '&' by-reference parameters'
+/// updated values (§10.2, in by_ref_params order) and the return value.
+struct CallOutputs {
+  std::vector<std::vector<std::uint64_t>> byref;
+  std::vector<std::uint64_t> outputs;
+};
+
+/// Builds call programs for one interface declaration, honouring the
+/// target directives: %burst_support groups words into quad/double/single
+/// macro ladders (§6.1.1), '^' parameters go through the DMA macros, and
+/// WAIT_FOR_RESULTS is emitted for every blocking declaration (a no-op on
+/// pseudo asynchronous buses, a CALC_DONE poll on strictly synchronous
+/// ones).
+class DriverBuilder {
+ public:
+  DriverBuilder(const ir::DeviceSpec& spec, const ir::FunctionDecl& fn);
+
+  /// Assemble the transaction sequence for one call.  `args` must have one
+  /// entry per input parameter with the exact element counts the
+  /// declaration implies (implicit counts are read from the index
+  /// argument's value).  Throws SpliceError on arity mismatch.
+  [[nodiscard]] DriverProgram build_call(const CallArgs& args,
+                                         std::uint32_t instance = 0) const;
+
+  /// Turn the words a call's reads produced back into output elements.
+  [[nodiscard]] std::vector<std::uint64_t> decode_output(
+      const std::vector<std::uint64_t>& words, const CallArgs& args) const;
+
+  /// Full decode: by-reference read-backs (§10.2) plus the return value.
+  [[nodiscard]] CallOutputs decode_call(
+      const std::vector<std::uint64_t>& words, const CallArgs& args) const;
+
+  /// Expected output element count for this call (implicit counts resolve
+  /// against `args`).
+  [[nodiscard]] std::uint64_t output_elements(const CallArgs& args) const;
+
+ private:
+  [[nodiscard]] std::uint64_t param_elements(std::size_t idx,
+                                             const CallArgs& args) const;
+  void emit_writes(DriverProgram& program, const ir::IoParam& p,
+                   std::vector<std::uint64_t> words) const;
+
+  const ir::DeviceSpec& spec_;
+  const ir::FunctionDecl& fn_;
+};
+
+}  // namespace splice::drivergen

@@ -1,0 +1,85 @@
+#include "drivergen/wordcodec.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+
+namespace splice::drivergen {
+
+std::vector<std::uint64_t> encode_elements(
+    const ir::IoParam& p, const std::vector<std::uint64_t>& elements,
+    unsigned bus_width) {
+  std::vector<std::uint64_t> words;
+  const unsigned tb = p.type.bits;
+
+  if (tb > bus_width) {
+    // Split: MSW first.
+    const std::uint64_t wpe = p.words_per_element(bus_width);
+    for (std::uint64_t e : elements) {
+      for (std::uint64_t w = 0; w < wpe; ++w) {
+        const unsigned shift = static_cast<unsigned>(wpe - 1 - w) * bus_width;
+        words.push_back((e >> shift) & bits::low_mask(bus_width));
+      }
+    }
+  } else if (p.packed && tb < bus_width) {
+    const std::uint64_t lanes = p.elements_per_word(bus_width);
+    for (std::size_t i = 0; i < elements.size(); i += lanes) {
+      std::uint64_t word = 0;
+      for (std::uint64_t j = 0; j < lanes && i + j < elements.size(); ++j) {
+        word |= (elements[i + j] & bits::low_mask(tb)) << (j * tb);
+      }
+      words.push_back(word);
+    }
+  } else {
+    for (std::uint64_t e : elements) {
+      words.push_back(e & bits::low_mask(std::min(tb, 64u)));
+    }
+  }
+  return words;
+}
+
+std::vector<std::uint64_t> decode_words(const ir::IoParam& p,
+                                        const std::vector<std::uint64_t>& words,
+                                        std::uint64_t expected_elements,
+                                        unsigned bus_width) {
+  std::vector<std::uint64_t> elements;
+  const unsigned tb = p.type.bits;
+
+  if (tb > bus_width) {
+    const std::uint64_t wpe = p.words_per_element(bus_width);
+    std::uint64_t acc = 0;
+    std::uint64_t in_acc = 0;
+    for (std::uint64_t w : words) {
+      acc = (acc << bus_width) | w;
+      if (++in_acc >= wpe) {
+        elements.push_back(acc & bits::low_mask(std::min(tb, 64u)));
+        acc = 0;
+        in_acc = 0;
+        if (elements.size() >= expected_elements) break;
+      }
+    }
+  } else if (p.packed && tb < bus_width) {
+    const std::uint64_t lanes = p.elements_per_word(bus_width);
+    for (std::uint64_t w : words) {
+      for (std::uint64_t j = 0; j < lanes; ++j) {
+        if (elements.size() >= expected_elements) break;
+        elements.push_back((w >> (j * tb)) & bits::low_mask(tb));
+      }
+    }
+  } else {
+    for (std::uint64_t w : words) {
+      if (elements.size() >= expected_elements) break;
+      elements.push_back(w & bits::low_mask(std::min(tb, 64u)));
+    }
+  }
+  elements.resize(expected_elements, 0);
+  return elements;
+}
+
+std::uint64_t word_count(const ir::IoParam& p,
+                         std::uint64_t expected_elements,
+                         unsigned bus_width) {
+  return p.words_for(expected_elements, bus_width);
+}
+
+}  // namespace splice::drivergen

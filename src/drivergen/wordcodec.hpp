@@ -1,0 +1,36 @@
+// Software-side encoding of parameter element values into bus words and
+// back — the driver's half of the packing (§3.1.3) and splitting (§3.1.4)
+// conventions.  The hardware half lives in the ICOB; round-trip agreement
+// between the two is covered by property tests.
+//
+// Conventions (shared with elab::IcobStub):
+//   * split transfers send the most-significant word first (Figure 8.4);
+//   * packed transfers fill low-order lanes first; trailing lanes of the
+//     final word are padding the hardware ignores (§5.3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/device.hpp"
+
+namespace splice::drivergen {
+
+/// Words the driver must write to transfer `elements` of parameter `p`
+/// over a `bus_width`-bit interface.
+[[nodiscard]] std::vector<std::uint64_t> encode_elements(
+    const ir::IoParam& p, const std::vector<std::uint64_t>& elements,
+    unsigned bus_width);
+
+/// Reassemble `expected_elements` element values of parameter `p` from the
+/// word stream a read-back produced.
+[[nodiscard]] std::vector<std::uint64_t> decode_words(
+    const ir::IoParam& p, const std::vector<std::uint64_t>& words,
+    std::uint64_t expected_elements, unsigned bus_width);
+
+/// Number of bus words `expected_elements` elements of `p` occupy.
+[[nodiscard]] std::uint64_t word_count(const ir::IoParam& p,
+                                       std::uint64_t expected_elements,
+                                       unsigned bus_width);
+
+}  // namespace splice::drivergen

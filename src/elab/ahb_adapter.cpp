@@ -1,0 +1,71 @@
+#include "elab/ahb_adapter.hpp"
+
+namespace splice::elab {
+
+void AhbSisAdapter::eval_comb() {
+  sis_.rst.drive(pins_.rst.high());
+
+  const bool is_status = dp_fid_ == sis::kStatusFuncId;
+  sis_.func_id.drive(data_phase_ ? dp_fid_ : 0);
+  sis_.data_in.drive(pins_.hwdata.get());
+  sis_.data_in_valid.drive(data_phase_ && dp_write_);
+  sis_.io_enable.drive(strobe_ && !is_status);
+
+  pins_.hrdata.drive(is_status ? sis_.calc_done.get() : rd_value_);
+  // HREADY: an idle slave is always ready (it latches the presented address
+  // phase); an open data phase completes only when the SIS handshake for
+  // its word has finished.
+  pins_.hready.drive(!data_phase_ || done_);
+}
+
+void AhbSisAdapter::clock_edge() {
+  if (pins_.rst.high()) {
+    reset();
+    return;
+  }
+  strobe_ = false;
+
+  // Close a completed data phase and accept the pipelined next address
+  // phase (which was on the wires during this ready cycle).
+  const bool closing = data_phase_ && done_;
+  if (closing) {
+    data_phase_ = false;
+    done_ = false;
+  }
+  if (!data_phase_) {
+    const std::uint64_t htrans = pins_.htrans.get();
+    if (htrans == bus::kHtransNonseq || htrans == bus::kHtransSeq) {
+      data_phase_ = true;
+      dp_write_ = pins_.hwrite.high();
+      dp_fid_ = pins_.haddr.get();
+      strobe_ = true;
+      if (dp_fid_ == sis::kStatusFuncId && !dp_write_) {
+        rd_value_ = sis_.calc_done.get();
+        done_ = true;  // status reads take no wait states
+      }
+      return;
+    }
+  }
+
+  if (data_phase_ && !done_) {
+    if (dp_write_) {
+      if (sis_.io_done.high()) done_ = true;
+    } else if (dp_fid_ == sis::kStatusFuncId) {
+      done_ = true;
+    } else if (sis_.data_out_valid.high()) {
+      rd_value_ = sis_.data_out.get();
+      done_ = true;
+    }
+  }
+}
+
+void AhbSisAdapter::reset() {
+  data_phase_ = false;
+  dp_write_ = false;
+  dp_fid_ = 0;
+  strobe_ = false;
+  done_ = false;
+  rd_value_ = 0;
+}
+
+}  // namespace splice::elab

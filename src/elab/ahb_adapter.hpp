@@ -1,0 +1,38 @@
+// AHB -> SIS native interface adapter (first item of the thesis' §10.2
+// future-work list, implemented here).
+//
+// AHB pipelines address and data phases; the adapter latches each accepted
+// address phase and then stretches the matching data phase with HREADY
+// until the SIS handshake for that word completes.  Status reads of the
+// reserved function id 0 answer from the CALC_DONE vector with no wait
+// states.
+#pragma once
+
+#include "bus/ahb.hpp"
+#include "rtl/simulator.hpp"
+#include "sis/sis.hpp"
+
+namespace splice::elab {
+
+class AhbSisAdapter : public rtl::Module {
+ public:
+  AhbSisAdapter(bus::AhbPins& pins, sis::SisBus& sis)
+      : rtl::Module("ahb_interface"), pins_(pins), sis_(sis) {}
+
+  void eval_comb() override;
+  void clock_edge() override;
+  void reset() override;
+
+ private:
+  bus::AhbPins& pins_;
+  sis::SisBus& sis_;
+
+  bool data_phase_ = false;   ///< a latched transfer is in its data phase
+  bool dp_write_ = false;
+  std::uint64_t dp_fid_ = 0;
+  bool strobe_ = false;       ///< issue the SIS request this cycle
+  bool done_ = false;         ///< drive HREADY high to close the data phase
+  std::uint64_t rd_value_ = 0;
+};
+
+}  // namespace splice::elab

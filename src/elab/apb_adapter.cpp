@@ -1,0 +1,27 @@
+#include "elab/apb_adapter.hpp"
+
+namespace splice::elab {
+
+void ApbSisAdapter::eval_comb() {
+  sis_.rst.drive(pins_.rst.high());
+
+  // The SETUP cycle (PSEL without PENABLE) is the slave's decode cycle:
+  // the SIS transfer strobes there, which gives the user logic one cycle
+  // to present (or refresh) DATA_OUT before PRDATA is sampled in the
+  // access cycle.  Writes equally complete off the setup strobe — PWDATA
+  // is already valid — and the access cycle merely closes the transfer.
+  const bool setup = pins_.psel.high() && !pins_.penable.high();
+  const std::uint64_t fid = pins_.paddr.get();
+  const bool is_status = fid == sis::kStatusFuncId;
+
+  sis_.func_id.drive(fid);
+  sis_.data_in.drive(pins_.pwdata.get());
+  sis_.data_in_valid.drive(setup && pins_.pwrite.high());
+  sis_.io_enable.drive(setup && !is_status);
+
+  // Reads are combinational: the stub's output state drives DATA_OUT
+  // persistently, and FUNC_ID 0 exposes the CALC_DONE status register.
+  pins_.prdata.drive(is_status ? sis_.calc_done.get() : sis_.data_out.get());
+}
+
+}  // namespace splice::elab

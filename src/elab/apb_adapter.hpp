@@ -1,0 +1,29 @@
+// APB -> SIS native interface adapter (thesis §2.3.1, §4.2.2).
+//
+// The APB is strictly synchronous: a transfer occupies exactly one access
+// cycle (PSEL & PENABLE) and the peripheral may never stall the bus.  The
+// adapter therefore maps the access cycle onto a single-cycle SIS transfer
+// and serves reads combinationally from the stub's persistently driven
+// DATA_OUT; software orders reads behind CALC_DONE polling of the reserved
+// function id 0 exactly as §4.2.2 prescribes.
+#pragma once
+
+#include "bus/apb.hpp"
+#include "rtl/simulator.hpp"
+#include "sis/sis.hpp"
+
+namespace splice::elab {
+
+class ApbSisAdapter : public rtl::Module {
+ public:
+  ApbSisAdapter(bus::ApbPins& pins, sis::SisBus& sis)
+      : rtl::Module("apb_interface"), pins_(pins), sis_(sis) {}
+
+  void eval_comb() override;
+
+ private:
+  bus::ApbPins& pins_;
+  sis::SisBus& sis_;
+};
+
+}  // namespace splice::elab

@@ -1,0 +1,32 @@
+#include "elab/arbiter.hpp"
+
+namespace splice::elab {
+
+void Arbiter::eval_comb() {
+  const std::uint64_t fid = sis_.func_id.get();
+
+  IcobStub* selected = nullptr;
+  std::uint64_t calc_vector = 0;
+  for (IcobStub* stub : stubs_) {
+    if (stub->func_id() == fid) selected = stub;
+    // CALC_DONE concatenation: bit position == function identifier.
+    if (stub->ports().calc_done.high()) {
+      calc_vector |= std::uint64_t{1} << stub->func_id();
+    }
+  }
+  sis_.calc_done.drive(calc_vector);
+  if (irq_ != nullptr) irq_->drive(calc_vector != 0);
+
+  if (selected != nullptr) {
+    auto& ports = selected->ports();
+    sis_.data_out.drive(ports.data_out.get());
+    sis_.data_out_valid.drive(ports.data_out_valid.get() != 0);
+    sis_.io_done.drive(ports.io_done.get() != 0);
+  } else {
+    sis_.data_out.drive(std::uint64_t{0});
+    sis_.data_out_valid.drive(false);
+    sis_.io_done.drive(false);
+  }
+}
+
+}  // namespace splice::elab

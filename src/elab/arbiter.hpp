@@ -1,0 +1,34 @@
+// Executable semantics of the generated arbitration unit (thesis §5.2):
+// multiplexes the per-function DATA_OUT / DATA_OUT_VALID / IO_DONE lines
+// onto the shared SIS bundle by FUNC_ID, and concatenates every instance's
+// CALC_DONE bit into the status vector read through function id 0.
+#pragma once
+
+#include <vector>
+
+#include "elab/icob.hpp"
+#include "rtl/simulator.hpp"
+#include "sis/sis.hpp"
+
+namespace splice::elab {
+
+class Arbiter : public rtl::Module {
+ public:
+  Arbiter(sis::SisBus& sis, std::vector<IcobStub*> stubs)
+      : rtl::Module("user_arbiter"), sis_(sis), stubs_(std::move(stubs)) {}
+
+  void eval_comb() override;
+
+  [[nodiscard]] const std::vector<IcobStub*>& stubs() const { return stubs_; }
+
+  /// %irq_support (§10.2): drive `line` high whenever any instance's
+  /// CALC_DONE is raised — the interrupt request toward the CPU.
+  void attach_irq(rtl::Signal& line) { irq_ = &line; }
+
+ private:
+  sis::SisBus& sis_;
+  std::vector<IcobStub*> stubs_;
+  rtl::Signal* irq_ = nullptr;
+};
+
+}  // namespace splice::elab

@@ -1,0 +1,70 @@
+// The user's calculation logic.  Splice generates I/O handling only
+// (thesis §5.3: "the task of data storage and transfer is not automated
+// ... left up to the end-user"); a FunctionBehavior is the simulation
+// equivalent of the calculation states the user fills into a generated
+// stub (Figure 8.4's bracketed lines).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace splice::elab {
+
+/// Everything a calculation sees when its input states complete.
+struct CallContext {
+  std::uint32_t instance_index = 0;  ///< which hardware copy (§3.1.6)
+  /// Element values per input parameter, declaration order, zero-extended
+  /// to 64 bits (exactly what crossed the bus, reassembled from any split
+  /// or packed transfers).
+  std::vector<std::vector<std::uint64_t>> inputs;
+
+  [[nodiscard]] std::uint64_t scalar(std::size_t param_index) const {
+    return inputs.at(param_index).at(0);
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& array(
+      std::size_t param_index) const {
+    return inputs.at(param_index);
+  }
+};
+
+struct CalcResult {
+  /// Cycles the calculation states occupy before output is ready (>= 1;
+  /// the generated stub always has at least one calculation state, §5.3.1).
+  unsigned calc_cycles = 1;
+  /// Output element values (element granularity; the ICOB splits/packs
+  /// them into bus words per the declaration).
+  std::vector<std::uint64_t> outputs;
+  /// Updated element values for '&' by-reference parameters (§10.2), in
+  /// the order FunctionDecl::by_ref_params lists them.  When empty, the
+  /// original input values are echoed back unchanged.
+  std::vector<std::vector<std::uint64_t>> byref;
+
+  CalcResult() = default;
+  CalcResult(unsigned cycles, std::vector<std::uint64_t> outs)
+      : calc_cycles(cycles), outputs(std::move(outs)) {}
+};
+
+using BehaviorFn = std::function<CalcResult(const CallContext&)>;
+
+/// Behaviours keyed by interface-declaration name.  Functions without an
+/// entry get the freshly generated stub's behaviour: one empty calculation
+/// state producing zeros ("the device will be largely useless", §8.3).
+class BehaviorMap {
+ public:
+  void set(const std::string& function_name, BehaviorFn fn) {
+    map_[function_name] = std::move(fn);
+  }
+  [[nodiscard]] BehaviorFn find_or_default(const std::string& name) const {
+    auto it = map_.find(name);
+    if (it != map_.end()) return it->second;
+    return [](const CallContext&) { return CalcResult{1, {}}; };
+  }
+
+ private:
+  std::unordered_map<std::string, BehaviorFn> map_;
+};
+
+}  // namespace splice::elab

@@ -1,0 +1,57 @@
+#include "elab/device.hpp"
+
+namespace splice::elab {
+
+namespace {
+unsigned calc_vector_width(const ir::DeviceSpec& spec) {
+  // Bit position == FUNC_ID; id 0 is the status register itself, so the
+  // vector spans ids 1 .. total_instances.
+  return spec.total_instances() + 1;
+}
+}  // namespace
+
+ElaboratedDevice::ElaboratedDevice(rtl::Simulator& sim,
+                                   const ir::DeviceSpec& spec,
+                                   const BehaviorMap& behaviors,
+                                   const std::string& prefix)
+    : sis_(sis::SisBus::create(sim, prefix, spec.target.bus_width,
+                               spec.func_id_width(),
+                               calc_vector_width(spec))) {
+  for (const auto& fn : spec.functions) {
+    if (fn.func_id == 0) {
+      throw SpliceError("function '" + fn.name +
+                        "' has no FUNC_ID; run ir::validate first");
+    }
+    BehaviorFn behavior = behaviors.find_or_default(fn.name);
+    for (std::uint32_t inst = 0; inst < fn.instances; ++inst) {
+      auto& stub = sim.add<IcobStub>(sim, fn, fn.func_id + inst, inst,
+                                     spec.target, sis_, behavior);
+      stubs_.push_back(&stub);
+    }
+  }
+  arbiter_ = &sim.add<Arbiter>(sis_, stubs_);
+}
+
+IcobStub* ElaboratedDevice::stub(const std::string& function_name,
+                                 std::uint32_t instance) const {
+  std::uint32_t seen = 0;
+  for (IcobStub* s : stubs_) {
+    if (s->function_name() == function_name) {
+      if (seen == instance) return s;
+      ++seen;
+    }
+  }
+  return nullptr;
+}
+
+std::uint32_t ElaboratedDevice::func_id(const std::string& function_name,
+                                        std::uint32_t instance) const {
+  IcobStub* s = stub(function_name, instance);
+  if (s == nullptr) {
+    throw SpliceError("unknown function instance '" + function_name + "'[" +
+                      std::to_string(instance) + "]");
+  }
+  return s->func_id();
+}
+
+}  // namespace splice::elab

@@ -1,0 +1,48 @@
+// Elaboration of a validated DeviceSpec into live simulator modules: one
+// IcobStub per function instance plus the arbitration unit, all speaking
+// SIS.  This is the executable twin of the HDL files the code generator
+// writes (Figure 5.1's "Generated Bus Arbiter" + "User-Defined Hardware
+// Function" boxes); a native adapter module (plb_adapter.hpp etc.) supplies
+// the "Generated Bus Interface" box.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "elab/arbiter.hpp"
+#include "elab/behavior.hpp"
+#include "elab/icob.hpp"
+#include "ir/device.hpp"
+#include "rtl/simulator.hpp"
+#include "sis/sis.hpp"
+
+namespace splice::elab {
+
+class ElaboratedDevice {
+ public:
+  /// `spec` must have FUNC_IDs assigned (ir::validate does this).
+  ElaboratedDevice(rtl::Simulator& sim, const ir::DeviceSpec& spec,
+                   const BehaviorMap& behaviors,
+                   const std::string& prefix = "SIS_");
+
+  [[nodiscard]] sis::SisBus& sis() { return sis_; }
+  [[nodiscard]] const sis::SisBus& sis() const { return sis_; }
+  [[nodiscard]] const std::vector<IcobStub*>& stubs() const { return stubs_; }
+
+  /// Find the stub for `function_name` instance `instance` (§3.1.6).
+  [[nodiscard]] IcobStub* stub(const std::string& function_name,
+                               std::uint32_t instance = 0) const;
+  /// FUNC_ID of a function instance; throws when unknown.
+  [[nodiscard]] std::uint32_t func_id(const std::string& function_name,
+                                      std::uint32_t instance = 0) const;
+
+  /// The generated arbitration unit (for IRQ attachment, §10.2).
+  [[nodiscard]] Arbiter& arbiter() { return *arbiter_; }
+
+ private:
+  sis::SisBus sis_;
+  std::vector<IcobStub*> stubs_;  // owned by the simulator
+  Arbiter* arbiter_ = nullptr;    // owned by the simulator
+};
+
+}  // namespace splice::elab

@@ -1,0 +1,85 @@
+#include "elab/fcb_adapter.hpp"
+
+namespace splice::elab {
+
+void FcbSisAdapter::eval_comb() {
+  sis_.rst.drive(pins_.rst.high());
+  sis_.func_id.drive(op_active_ ? op_fid_ : 0);
+  sis_.data_in.drive(pins_.wr_data.get());
+
+  const bool write_beat = op_active_ && !op_read_ && pins_.wr_valid.high();
+  sis_.data_in_valid.drive(write_beat);
+  // A fresh IO_ENABLE strobe opens each beat: for writes the first cycle a
+  // beat is presented, for reads an explicit request strobe.
+  const bool is_status = op_fid_ == sis::kStatusFuncId;
+  sis_.io_enable.drive(((write_beat && !beat_open_) || read_strobe_) &&
+                       !is_status);
+
+  // Beat acknowledgement back to the FCB master.
+  pins_.beat_ack.drive(sis_.io_done.high() && write_beat);
+
+  if (op_active_ && op_read_ && is_status) {
+    pins_.rd_data.drive(sis_.calc_done.get());
+    pins_.rd_valid.drive(status_valid_);
+  } else {
+    pins_.rd_data.drive(sis_.data_out.get());
+    pins_.rd_valid.drive(op_active_ && op_read_ &&
+                         sis_.data_out_valid.high());
+  }
+}
+
+void FcbSisAdapter::clock_edge() {
+  if (pins_.rst.high()) {
+    reset();
+    return;
+  }
+  read_strobe_ = false;
+  status_valid_ = false;
+
+  if (!op_active_) {
+    if (pins_.op_valid.high()) {
+      op_active_ = true;
+      op_read_ = pins_.op_read.high();
+      op_fid_ = pins_.op_func.get();
+      beats_left_ = static_cast<unsigned>(pins_.op_beats.get());
+      beat_open_ = false;
+      if (op_read_) {
+        if (op_fid_ == sis::kStatusFuncId) status_valid_ = true;
+        else read_strobe_ = true;
+      }
+    }
+    return;
+  }
+
+  if (!op_read_) {
+    // Writes: a beat is open once its strobe fired; it closes when the
+    // user logic raises IO_DONE (mirrored to BEAT_ACK combinationally).
+    if (pins_.wr_valid.high() && !beat_open_) {
+      beat_open_ = true;
+    } else if (beat_open_ && sis_.io_done.high()) {
+      beat_open_ = false;
+      if (--beats_left_ == 0) op_active_ = false;
+    }
+  } else if (op_fid_ == sis::kStatusFuncId) {
+    // Status reads answered directly from the CALC_DONE register.
+    if (--beats_left_ == 0) op_active_ = false;
+    else status_valid_ = true;
+  } else {
+    if (sis_.data_out_valid.high()) {
+      if (--beats_left_ == 0) op_active_ = false;
+      else read_strobe_ = true;  // request the next beat
+    }
+  }
+}
+
+void FcbSisAdapter::reset() {
+  op_active_ = false;
+  op_read_ = false;
+  op_fid_ = 0;
+  beats_left_ = 0;
+  beat_open_ = false;
+  read_strobe_ = false;
+  status_valid_ = false;
+}
+
+}  // namespace splice::elab

@@ -1,0 +1,311 @@
+#include "elab/icob.hpp"
+
+#include <algorithm>
+
+#include "drivergen/wordcodec.hpp"
+#include "support/bits.hpp"
+
+namespace splice::elab {
+
+IcobStub::IcobStub(rtl::Simulator& sim, const ir::FunctionDecl& fn,
+                   std::uint32_t func_id, std::uint32_t instance_index,
+                   const ir::TargetSpec& target, const sis::SisBus& sis,
+                   BehaviorFn behavior)
+    : rtl::Module("func_" + fn.name + "_" + std::to_string(instance_index)),
+      fn_(fn),
+      target_(target),
+      func_id_(func_id),
+      instance_index_(instance_index),
+      sis_(sis),
+      behavior_(std::move(behavior)),
+      ports_{
+          sim.signal(name() + ".DATA_OUT", sis.data_width),
+          sim.signal(name() + ".DATA_OUT_VALID", 1),
+          sim.signal(name() + ".IO_DONE", 1),
+          sim.signal(name() + ".CALC_DONE", 1),
+      } {
+  start_over();
+}
+
+unsigned IcobStub::state_count() const {
+  // One input-handling state per parameter, at least one calculation state,
+  // one output state per '&' by-reference parameter (§10.2), and an output
+  // (or pseudo-output) state for blocking declarations (§5.3.1); nowait
+  // functions have no output states.
+  unsigned states = static_cast<unsigned>(fn_.inputs.size()) + 1;
+  if (fn_.blocking()) {
+    states += 1 + static_cast<unsigned>(fn_.by_ref_params().size());
+  }
+  return states;
+}
+
+void IcobStub::start_over() {
+  phase_ = Phase::Input;
+  input_idx_ = 0;
+  elements_.assign(fn_.inputs.size(), {});
+  split_acc_ = 0;
+  split_words_ = 0;
+  out_words_.clear();
+  out_idx_ = 0;
+  ports_.calc_done.set(false);
+  ports_.data_out.set(std::uint64_t{0});
+  // Zero-input functions sit armed in their output state:
+  //  * value returns compute eagerly (so strictly synchronous reads see
+  //    data) and re-compute at each read (see serve_read) so clocked
+  //    cores like the §8.3 timer stay current;
+  //  * blocking void declarations are *commands* (enable/disable) whose
+  //    behaviour runs exactly once, at the synchronizing read.
+  if (fn_.inputs.empty()) {
+    if (fn_.has_output()) {
+      CallContext ctx;
+      ctx.instance_index = instance_index_;
+      CalcResult r = behavior_(ctx);
+      pending_elements_ = std::move(r.outputs);
+    } else {
+      pending_elements_.clear();
+    }
+    build_output_words();
+    phase_ = Phase::Output;
+    ports_.calc_done.set(true);
+    ports_.data_out.set(out_words_.empty() ? 0 : out_words_[0]);
+  }
+}
+
+std::uint64_t IcobStub::expected_elements(std::size_t input_idx) const {
+  const ir::IoParam& p = fn_.inputs[input_idx];
+  switch (p.count_kind) {
+    case ir::CountKind::Scalar:
+      return 1;
+    case ir::CountKind::Explicit:
+      return p.explicit_count;
+    case ir::CountKind::Implicit:
+      // §3.3: the index is always transmitted before the transfer that
+      // references it, so its value is already latched.
+      for (std::size_t j = 0; j < input_idx; ++j) {
+        if (fn_.inputs[j].name == p.index_var && !elements_[j].empty()) {
+          return elements_[j][0];
+        }
+      }
+      return 0;
+  }
+  return 1;
+}
+
+void IcobStub::consume_word(std::uint64_t word) {
+  const ir::IoParam& p = fn_.inputs[input_idx_];
+  const std::uint64_t expected = expected_elements(input_idx_);
+  auto& elems = elements_[input_idx_];
+  const unsigned bw = sis_.data_width;
+
+  if (p.type.bits > bw) {
+    // Split transfer (§3.1.4): reassemble MSW-first, matching the Figure
+    // 8.4 convention (first word lands in the high half).
+    split_acc_ = (split_acc_ << bw) | word;
+    if (++split_words_ >= p.words_per_element(bw)) {
+      elems.push_back(split_acc_ & bits::low_mask(std::min(p.type.bits, 64u)));
+      split_acc_ = 0;
+      split_words_ = 0;
+    }
+  } else if (p.packed && p.type.bits < bw) {
+    // Packed transfer (§3.1.3): low-order lanes first; trailing lanes of
+    // the final word beyond `expected` are the "erroneous values" the
+    // generated comments tell the user to ignore (§5.3.1).
+    const std::uint64_t lanes = p.elements_per_word(bw);
+    for (std::uint64_t j = 0; j < lanes && elems.size() < expected; ++j) {
+      elems.push_back((word >> (j * p.type.bits)) &
+                      bits::low_mask(p.type.bits));
+    }
+  } else {
+    elems.push_back(word & bits::low_mask(std::min(p.type.bits, 64u)));
+  }
+
+  if (elems.size() >= expected) {
+    ++input_idx_;
+    split_acc_ = 0;
+    split_words_ = 0;
+    // Skip parameters expecting zero elements (implicit count of 0).
+    while (input_idx_ < fn_.inputs.size() &&
+           expected_elements(input_idx_) == 0) {
+      ++input_idx_;
+    }
+    if (input_idx_ >= fn_.inputs.size()) finish_inputs();
+  }
+}
+
+void IcobStub::finish_inputs() {
+  CallContext ctx;
+  ctx.instance_index = instance_index_;
+  ctx.inputs = elements_;
+  CalcResult r = behavior_(ctx);
+  calc_countdown_ = std::max(1u, r.calc_cycles);
+  out_words_.clear();
+  out_idx_ = 0;
+  // Stash raw elements; the word stream is built when calculation ends.
+  pending_elements_ = std::move(r.outputs);
+  pending_byref_ = std::move(r.byref);
+  phase_ = Phase::Calc;
+}
+
+void IcobStub::build_output_words() {
+  out_words_.clear();
+  out_idx_ = 0;
+  if (!fn_.blocking()) return;
+
+  // §10.2 '&' by-reference parameters stream back first, in declaration
+  // order, using each parameter's own packing/splitting rules.
+  const auto byref = fn_.by_ref_params();
+  for (std::size_t k = 0; k < byref.size(); ++k) {
+    const ir::IoParam& p = fn_.inputs[byref[k]];
+    std::vector<std::uint64_t> elems =
+        k < pending_byref_.size() && !pending_byref_[k].empty()
+            ? pending_byref_[k]
+            : elements_[byref[k]];  // echo unchanged by default
+    elems.resize(elements_[byref[k]].size(), 0);
+    const auto words =
+        drivergen::encode_elements(p, elems, sis_.data_width);
+    out_words_.insert(out_words_.end(), words.begin(), words.end());
+  }
+
+  if (fn_.return_kind == ir::ReturnKind::Void) {
+    // Pseudo output state (§5.3.1): one status word unblocks the driver.
+    out_words_.push_back(0);
+    return;
+  }
+
+  const ir::IoParam& out = fn_.output;
+  const unsigned bw = sis_.data_width;
+  std::uint64_t expected = 1;
+  if (out.count_kind == ir::CountKind::Explicit) {
+    expected = out.explicit_count;
+  } else if (out.count_kind == ir::CountKind::Implicit) {
+    for (std::size_t j = 0; j < fn_.inputs.size(); ++j) {
+      if (fn_.inputs[j].name == out.index_var && !elements_[j].empty()) {
+        expected = elements_[j][0];
+        break;
+      }
+    }
+  }
+  std::vector<std::uint64_t> elems = pending_elements_;
+  elems.resize(expected, 0);
+
+  if (out.type.bits > bw) {
+    const std::uint64_t wpe = out.words_per_element(bw);
+    for (std::uint64_t e : elems) {
+      for (std::uint64_t w = 0; w < wpe; ++w) {
+        const unsigned shift =
+            static_cast<unsigned>((wpe - 1 - w)) * bw;  // MSW first
+        out_words_.push_back((e >> shift) & bits::low_mask(bw));
+      }
+    }
+  } else if (out.packed && out.type.bits < bw) {
+    const std::uint64_t lanes = out.elements_per_word(bw);
+    for (std::size_t i = 0; i < elems.size(); i += lanes) {
+      std::uint64_t word = 0;
+      for (std::uint64_t j = 0; j < lanes && i + j < elems.size(); ++j) {
+        word |= (elems[i + j] & bits::low_mask(out.type.bits))
+                << (j * out.type.bits);
+      }
+      out_words_.push_back(word);
+    }
+  } else {
+    for (std::uint64_t e : elems) {
+      out_words_.push_back(e & bits::low_mask(std::min(out.type.bits, 64u)));
+    }
+  }
+  if (out_words_.empty()) out_words_.push_back(0);
+}
+
+void IcobStub::serve_read() {
+  // Zero-input functions run their behaviour at read time: getters refresh
+  // so clocked cores (timers, counters) return current data, and void
+  // commands (enable/disable) execute exactly once per driver call.
+  if (fn_.inputs.empty() && out_idx_ == 0) {
+    CallContext ctx;
+    ctx.instance_index = instance_index_;
+    CalcResult r = behavior_(ctx);
+    pending_elements_ = std::move(r.outputs);
+    build_output_words();
+  }
+  ports_.data_out.set(out_words_[out_idx_]);
+  ports_.data_out_valid.set(true);
+  ports_.io_done.set(true);
+  pulse_clear_ = true;
+  advance_out_ = true;
+  pending_read_ = false;
+}
+
+void IcobStub::clock_edge() {
+  if (sis_.rst.high()) {
+    reset();
+    return;
+  }
+  if (pulse_clear_) {
+    ports_.io_done.set(false);
+    ports_.data_out_valid.set(false);
+    pulse_clear_ = false;
+  }
+  if (advance_out_) {
+    advance_out_ = false;
+    ++out_idx_;
+    if (out_idx_ >= out_words_.size()) {
+      ++activations_;
+      start_over();
+    } else {
+      ports_.data_out.set(out_words_[out_idx_]);
+    }
+    // A fresh request can arrive on the same edge; fall through.
+  }
+
+  const bool my_request =
+      sis_.io_enable.high() && sis_.func_id.get() == func_id_;
+  const bool is_write = sis_.data_in_valid.high();
+
+  switch (phase_) {
+    case Phase::Input:
+      if (my_request && is_write && input_idx_ < fn_.inputs.size()) {
+        consume_word(sis_.data_in.get());
+        ports_.io_done.set(true);
+        pulse_clear_ = true;
+      } else if (my_request && !is_write) {
+        // Read before output is ready: stall the (pseudo asynchronous)
+        // bus until the calculation completes.
+        pending_read_ = true;
+      }
+      break;
+
+    case Phase::Calc:
+      if (my_request && !is_write) pending_read_ = true;
+      if (calc_countdown_ > 0) --calc_countdown_;
+      if (calc_countdown_ == 0) {
+        build_output_words();
+        if (!fn_.blocking()) {
+          // nowait (§3.1.7): no output state; rearm for the next call.
+          ++activations_;
+          start_over();
+          break;
+        }
+        phase_ = Phase::Output;
+        ports_.calc_done.set(true);  // strictly-synchronous polling target
+        ports_.data_out.set(out_words_.empty() ? 0 : out_words_[0]);
+        if (pending_read_) serve_read();
+      }
+      break;
+
+    case Phase::Output:
+      if (my_request && !is_write) serve_read();
+      break;
+  }
+}
+
+void IcobStub::reset() {
+  pulse_clear_ = false;
+  advance_out_ = false;
+  pending_read_ = false;
+  calc_countdown_ = 0;
+  pending_elements_.clear();
+  ports_.io_done.set(false);
+  ports_.data_out_valid.set(false);
+  start_over();
+}
+
+}  // namespace splice::elab

@@ -1,0 +1,91 @@
+// Executable semantics of a generated user-logic stub: the ICOB
+// (input-calculation-output block) paced by its SMB (state machine block),
+// thesis §5.3.  One IcobStub is elaborated per function *instance*; it
+// shares the broadcast SIS signals and drives its own per-function output
+// lines, which the generated arbiter multiplexes (§5.2).
+//
+// The same IR that drives the VHDL/Verilog writers drives this module, so
+// the simulated device is the generated design's semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elab/behavior.hpp"
+#include "ir/device.hpp"
+#include "rtl/simulator.hpp"
+#include "sis/sis.hpp"
+
+namespace splice::elab {
+
+/// The per-function SIS lines an arbiter multiplexes (Figure 4.2's
+/// "Per-Function" signals).
+struct FuncPorts {
+  rtl::Signal& data_out;
+  rtl::Signal& data_out_valid;
+  rtl::Signal& io_done;
+  rtl::Signal& calc_done;
+};
+
+class IcobStub : public rtl::Module {
+ public:
+  IcobStub(rtl::Simulator& sim, const ir::FunctionDecl& fn,
+           std::uint32_t func_id, std::uint32_t instance_index,
+           const ir::TargetSpec& target, const sis::SisBus& sis,
+           BehaviorFn behavior);
+
+  [[nodiscard]] FuncPorts& ports() { return ports_; }
+  [[nodiscard]] std::uint32_t func_id() const { return func_id_; }
+  [[nodiscard]] const std::string& function_name() const { return fn_.name; }
+
+  void clock_edge() override;
+  void reset() override;
+
+  /// How many complete activations (input -> calc -> output) have finished.
+  [[nodiscard]] std::uint64_t activations() const { return activations_; }
+
+  // -- Introspection used by the resource estimator and tests --------------
+  /// Number of ICOB states: one per input transfer phase, the calculation
+  /// state, and the (pseudo) output state (§5.3.1).
+  [[nodiscard]] unsigned state_count() const;
+  [[nodiscard]] const ir::FunctionDecl& decl() const { return fn_; }
+
+ private:
+  // SMB phases (§5.3.2 "state progression ... flows from input, to
+  // calculation, and finally to output").
+  enum class Phase : std::uint8_t { Input, Calc, Output };
+
+  void start_over();
+  [[nodiscard]] std::uint64_t expected_elements(std::size_t input_idx) const;
+  void consume_word(std::uint64_t word);
+  void finish_inputs();
+  void build_output_words();
+  void serve_read();
+
+  const ir::FunctionDecl fn_;   // owned copy: stable across spec lifetime
+  const ir::TargetSpec target_;
+  std::uint32_t func_id_;
+  std::uint32_t instance_index_;
+  const sis::SisBus& sis_;
+  BehaviorFn behavior_;
+  FuncPorts ports_;
+
+  Phase phase_ = Phase::Input;
+  std::size_t input_idx_ = 0;           // which parameter is being received
+  std::vector<std::vector<std::uint64_t>> elements_;  // per input param
+  // Split-transfer reassembly (§3.1.4): accumulate MSW-first words.
+  std::uint64_t split_acc_ = 0;
+  unsigned split_words_ = 0;
+  unsigned calc_countdown_ = 0;
+  std::vector<std::uint64_t> pending_elements_;  // behaviour output elements
+  std::vector<std::vector<std::uint64_t>> pending_byref_;  // §10.2 updates
+  std::vector<std::uint64_t> out_words_;
+  std::size_t out_idx_ = 0;
+  bool pending_read_ = false;   // a read arrived before output was ready
+  bool pulse_clear_ = false;    // lower io_done/data_out_valid next edge
+  bool advance_out_ = false;    // move to the next output word next edge
+  std::uint64_t activations_ = 0;
+};
+
+}  // namespace splice::elab

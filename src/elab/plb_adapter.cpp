@@ -1,0 +1,44 @@
+#include "elab/plb_adapter.hpp"
+
+#include "support/bits.hpp"
+
+namespace splice::elab {
+
+void PlbSisAdapter::eval_comb() {
+  sis_.rst.drive(pins_.rst.high());
+
+  const std::uint64_t rd_ce = pins_.rd_ce.get();
+  const std::uint64_t wr_ce = pins_.wr_ce.get();
+  const std::uint64_t ce = rd_ce | wr_ce;
+
+  // One-hot chip enable -> binary FUNC_ID (§4.3.2).
+  sis_.func_id.drive(ce != 0 ? bits::one_hot_index(ce) : std::uint64_t{0});
+  sis_.data_in.drive(pins_.wr_data.get());
+  sis_.data_in_valid.drive(wr_ce != 0);
+  // RD_REQ / WR_REQ play exactly the role of IO_ENABLE (Figure 4.7): a
+  // single-cycle strobe announcing a new request.  Status reads (CE bit 0)
+  // are served by the adapter itself and do not reach the user logic.
+  const bool status_select = (rd_ce & 1) != 0;
+  sis_.io_enable.drive((pins_.wr_req.high() || pins_.rd_req.high()) &&
+                       !status_select);
+
+  // Slave -> master direction.
+  pins_.wr_ack.drive(sis_.io_done.high() && wr_ce != 0);
+  if (status_select) {
+    pins_.rd_data.drive(sis_.calc_done.get());
+    pins_.rd_ack.drive(status_ack_);
+  } else {
+    pins_.rd_data.drive(sis_.data_out.get());
+    pins_.rd_ack.drive(sis_.data_out_valid.high() && rd_ce != 0);
+  }
+}
+
+void PlbSisAdapter::clock_edge() {
+  // The CALC_DONE status register answers one cycle after its request
+  // strobe (it is a plain register read, §4.2.2).
+  status_ack_ = pins_.rd_req.high() && (pins_.rd_ce.get() & 1) != 0;
+}
+
+void PlbSisAdapter::reset() { status_ack_ = false; }
+
+}  // namespace splice::elab

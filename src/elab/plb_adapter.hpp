@@ -1,0 +1,33 @@
+// PLB -> SIS native interface adapter (thesis §4.3, Figures 4.7/4.8).
+//
+// The adaptation is mostly direct signal translation:
+//   RD_REQ/WR_REQ -> IO_ENABLE        (request strobes)
+//   one-hot RD_CE/WR_CE -> FUNC_ID    (binary encode, §4.3.2)
+//   WR_DATA -> DATA_IN,  WR_CE != 0 -> DATA_IN_VALID
+//   IO_DONE -> WR_ACK,   DATA_OUT/DATA_OUT_VALID -> RD_DATA/RD_ACK
+// plus a small registered unit that serves status reads of the reserved
+// function id 0 from the CALC_DONE vector (§4.2.2).
+#pragma once
+
+#include "bus/plb.hpp"
+#include "rtl/simulator.hpp"
+#include "sis/sis.hpp"
+
+namespace splice::elab {
+
+class PlbSisAdapter : public rtl::Module {
+ public:
+  PlbSisAdapter(bus::PlbPins& pins, sis::SisBus& sis)
+      : rtl::Module("plb_interface"), pins_(pins), sis_(sis) {}
+
+  void eval_comb() override;
+  void clock_edge() override;
+  void reset() override;
+
+ private:
+  bus::PlbPins& pins_;
+  sis::SisBus& sis_;
+  bool status_ack_ = false;  ///< serve the FUNC_ID-0 status read this cycle
+};
+
+}  // namespace splice::elab

@@ -1,0 +1,164 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace splice::frontend {
+
+std::string_view token_name(Tok kind) {
+  switch (kind) {
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::HexNumber: return "hex number";
+    case Tok::Star: return "'*'";
+    case Tok::Colon: return "':'";
+    case Tok::Plus: return "'+'";
+    case Tok::Caret: return "'^'";
+    case Tok::Amp: return "'&'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Percent: return "'%'";
+    case Tok::EndOfInput: return "end of input";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view text, DiagnosticEngine& diags)
+    : text_(text), diags_(diags) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::skip_trivia() {
+  while (!at_end()) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      SourceLoc start = here();
+      advance();
+      advance();
+      bool closed = false;
+      while (!at_end()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) {
+        diags_.error(DiagId::UnterminatedComment,
+                     "block comment is never closed", start);
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next() {
+  skip_trivia();
+  Token tok;
+  tok.loc = here();
+  if (at_end()) {
+    tok.kind = Tok::EndOfInput;
+    return tok;
+  }
+  char c = peek();
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string word;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_')) {
+      word += advance();
+    }
+    tok.kind = Tok::Ident;
+    tok.text = std::move(word);
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string digits;
+    bool hex = false;
+    if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      advance();
+      advance();
+      hex = true;
+      while (!at_end() &&
+             std::isxdigit(static_cast<unsigned char>(peek()))) {
+        digits += advance();
+      }
+      if (digits.empty()) {
+        diags_.error(DiagId::MalformedNumber, "'0x' with no hex digits",
+                     tok.loc);
+      }
+      tok.kind = Tok::HexNumber;
+      tok.value = splice::str::parse_hex(digits).value_or(0);
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits += advance();
+      }
+      tok.kind = Tok::Number;
+      auto v = splice::str::parse_u64(digits);
+      if (!v) {
+        diags_.error(DiagId::MalformedNumber,
+                     "numeric literal out of range: " + digits, tok.loc);
+      }
+      tok.value = v.value_or(0);
+    }
+    tok.text = std::move(digits);
+    return tok;
+  }
+
+  advance();
+  switch (c) {
+    case '*': tok.kind = Tok::Star; return tok;
+    case ':': tok.kind = Tok::Colon; return tok;
+    case '+': tok.kind = Tok::Plus; return tok;
+    case '^': tok.kind = Tok::Caret; return tok;
+    case '&': tok.kind = Tok::Amp; return tok;
+    case '(': tok.kind = Tok::LParen; return tok;
+    case ')': tok.kind = Tok::RParen; return tok;
+    case '{': tok.kind = Tok::LBrace; return tok;
+    case '}': tok.kind = Tok::RBrace; return tok;
+    case ',': tok.kind = Tok::Comma; return tok;
+    case ';': tok.kind = Tok::Semi; return tok;
+    case '%': tok.kind = Tok::Percent; return tok;
+    default:
+      diags_.error(DiagId::UnexpectedCharacter,
+                   std::string("unexpected character '") + c + "'", tok.loc);
+      return next();  // skip and continue
+  }
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    out.push_back(next());
+    if (out.back().kind == Tok::EndOfInput) break;
+  }
+  return out;
+}
+
+}  // namespace splice::frontend

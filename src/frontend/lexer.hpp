@@ -1,0 +1,72 @@
+// Tokenizer for the Splice specification language (thesis chapter 3).
+// Comments use the C++ styles shown throughout the thesis listings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace splice::frontend {
+
+enum class Tok : std::uint8_t {
+  Ident,     // identifier per Figure 3.1
+  Number,    // decimal literal
+  HexNumber, // 0x literal (base addresses, Figure 3.11)
+  Star,      // '*'  pointer (Figure 3.2)
+  Colon,     // ':'  bound / multi-instance (Figures 3.2, 3.6)
+  Plus,      // '+'  packing (Figure 3.4)
+  Caret,     // '^'  DMA (Figure 3.5)
+  Amp,       // '&'  by-reference transfer (thesis §10.2, implemented)
+  LParen,
+  RParen,
+  LBrace,    // the thesis' Figure 8.2 brace-form declarations
+  RBrace,
+  Comma,
+  Semi,
+  Percent,   // directive introducer (§3.2)
+  EndOfInput,
+};
+
+struct Token {
+  Tok kind = Tok::EndOfInput;
+  std::string text;          // identifier spelling / literal digits
+  std::uint64_t value = 0;   // numeric value for Number / HexNumber
+  SourceLoc loc;
+
+  [[nodiscard]] bool is(Tok k) const { return kind == k; }
+  [[nodiscard]] bool is_ident(std::string_view s) const {
+    return kind == Tok::Ident && text == s;
+  }
+};
+
+[[nodiscard]] std::string_view token_name(Tok kind);
+
+/// Tokenize an entire specification.  Comments are skipped; newlines are
+/// not tokens (the parser recovers directive line extents via SourceLoc).
+/// Lexical errors are reported and lexing continues past them.
+class Lexer {
+ public:
+  Lexer(std::string_view text, DiagnosticEngine& diags);
+
+  /// Produce all tokens including the trailing EndOfInput.
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  void skip_trivia();
+  [[nodiscard]] Token next();
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] SourceLoc here() const { return {line_, column_}; }
+
+  std::string_view text_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace splice::frontend

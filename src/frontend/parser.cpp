@@ -1,0 +1,702 @@
+#include "frontend/parser.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "frontend/lexer.hpp"
+#include "support/strings.hpp"
+
+namespace splice::frontend {
+
+namespace {
+
+using ir::CountKind;
+using ir::DeviceSpec;
+using ir::FunctionDecl;
+using ir::IoParam;
+using ir::ReturnKind;
+
+// ---------------------------------------------------------------------------
+// Directive handling
+// ---------------------------------------------------------------------------
+
+enum class DirectiveKind {
+  DeviceName,
+  BusType,
+  BusWidth,
+  BaseAddress,
+  BurstSupport,
+  DmaSupport,
+  PackingSupport,
+  IrqSupport,
+  TargetHdl,
+  UserType,
+  Unknown,
+};
+
+struct DirectiveLine {
+  DirectiveKind kind = DirectiveKind::Unknown;
+  std::vector<Token> args;  ///< tokens after the keyword
+  SourceLoc loc;
+  std::string keyword_spelling;
+};
+
+// The thesis writes directives both with underscores (%bus_type, §3.2.1) and
+// with spaces (Figure 8.2: "% bus type plb").  We normalize identifiers into
+// words and match the longest known keyword sequence.
+DirectiveKind match_keyword(const std::vector<std::string>& words,
+                            std::size_t& consumed) {
+  static const std::vector<std::pair<std::vector<std::string>, DirectiveKind>>
+      table = {
+          {{"device", "name"}, DirectiveKind::DeviceName},
+          {{"name"}, DirectiveKind::DeviceName},
+          {{"bus", "type"}, DirectiveKind::BusType},
+          {{"bus", "width"}, DirectiveKind::BusWidth},
+          {{"base", "address"}, DirectiveKind::BaseAddress},
+          {{"burst", "support"}, DirectiveKind::BurstSupport},
+          {{"dma", "support"}, DirectiveKind::DmaSupport},
+          {{"packing", "support"}, DirectiveKind::PackingSupport},
+          {{"irq", "support"}, DirectiveKind::IrqSupport},
+          {{"interrupt", "support"}, DirectiveKind::IrqSupport},
+          {{"target", "hdl"}, DirectiveKind::TargetHdl},
+          {{"hdl", "type"}, DirectiveKind::TargetHdl},
+          {{"user", "type"}, DirectiveKind::UserType},
+      };
+  // Longest match first.
+  for (std::size_t len = 2; len >= 1; --len) {
+    if (words.size() < len) continue;
+    for (const auto& [kw, kind] : table) {
+      if (kw.size() != len) continue;
+      bool ok = true;
+      for (std::size_t i = 0; i < len; ++i) {
+        if (!str::iequals(words[i], kw[i])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        consumed = len;
+        return kind;
+      }
+    }
+    if (len == 1) break;
+  }
+  consumed = 0;
+  return DirectiveKind::Unknown;
+}
+
+// ---------------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------------
+
+class Cursor {
+ public:
+  Cursor(const std::vector<Token>& toks, DiagnosticEngine& diags)
+      : toks_(toks), diags_(diags) {}
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    std::size_t idx = std::min(i_ + ahead, toks_.size() - 1);
+    return toks_[idx];
+  }
+  const Token& advance() {
+    const Token& t = peek();
+    if (i_ + 1 < toks_.size()) ++i_;
+    return t;
+  }
+  [[nodiscard]] bool at_end() const {
+    return peek().kind == Tok::EndOfInput;
+  }
+  bool accept(Tok kind) {
+    if (peek().kind == kind) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool expect(Tok kind, std::string_view what) {
+    if (accept(kind)) return true;
+    diags_.error(DiagId::ExpectedToken,
+                 "expected " + std::string(token_name(kind)) + " " +
+                     std::string(what) + ", found " +
+                     std::string(token_name(peek().kind)),
+                 peek().loc);
+    return false;
+  }
+  /// Skip tokens until one of `sync` (or end); does not consume the sync
+  /// token itself.
+  void recover_to(std::initializer_list<Tok> sync) {
+    while (!at_end()) {
+      for (Tok t : sync) {
+        if (peek().kind == t) return;
+      }
+      advance();
+    }
+  }
+
+ private:
+  const std::vector<Token>& toks_;
+  DiagnosticEngine& diags_;
+  std::size_t i_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Prototype parsing (Figures 3.1 - 3.8)
+// ---------------------------------------------------------------------------
+
+struct Extensions {
+  bool pointer = false;
+  bool packed = false;
+  bool dma = false;
+  bool by_reference = false;
+  bool has_bound = false;
+  CountKind bound_kind = CountKind::Scalar;
+  std::uint32_t explicit_count = 0;
+  std::string index_var;
+};
+
+class ProtoParser {
+ public:
+  ProtoParser(Cursor& cur, const ir::TypeTable& types, DiagnosticEngine& diags)
+      : cur_(cur), types_(types), diags_(diags) {}
+
+  // proto := (c_type | 'nowait') exts? name ('(' list? ')' | '{' list? '}')
+  //          (':' digits)? ';'
+  std::optional<FunctionDecl> parse() {
+    FunctionDecl fn;
+    fn.loc = cur_.peek().loc;
+
+    if (!cur_.peek().is(Tok::Ident)) {
+      diags_.error(DiagId::ExpectedType,
+                   "expected a return type to begin an interface declaration",
+                   cur_.peek().loc);
+      cur_.recover_to({Tok::Semi});
+      cur_.accept(Tok::Semi);
+      return std::nullopt;
+    }
+
+    bool ok = true;
+    const Token type_tok = cur_.advance();
+    std::optional<ir::CType> ret_type;
+    if (type_tok.is_ident("nowait")) {
+      fn.return_kind = ReturnKind::Nowait;  // §3.1.7
+    } else {
+      ret_type = types_.find(type_tok.text);
+      if (!ret_type) {
+        diags_.error(DiagId::ExpectedType,
+                     "unknown type '" + type_tok.text +
+                         "' (declare it with %user_type, §3.2.3)",
+                     type_tok.loc);
+        ok = false;
+      }
+    }
+    Extensions ret_exts = parse_extensions();
+
+    if (!cur_.peek().is(Tok::Ident)) {
+      diags_.error(DiagId::ExpectedIdentifier,
+                   "expected an interface name", cur_.peek().loc);
+      cur_.recover_to({Tok::Semi});
+      cur_.accept(Tok::Semi);
+      return std::nullopt;
+    }
+    fn.name = cur_.advance().text;
+
+    // The thesis' own example specification (Figure 8.2) writes parameter
+    // lists in braces; chapter 3 uses parentheses.  Accept both.
+    Tok close = Tok::RParen;
+    if (cur_.accept(Tok::LBrace)) close = Tok::RBrace;
+    else if (!cur_.expect(Tok::LParen, "to open the parameter list")) {
+      cur_.recover_to({Tok::Semi});
+      cur_.accept(Tok::Semi);
+      return std::nullopt;
+    }
+
+    if (cur_.peek().kind != close) {
+      while (true) {
+        auto p = parse_param();
+        if (p) fn.inputs.push_back(std::move(*p));
+        else ok = false;
+        if (!cur_.accept(Tok::Comma)) break;
+      }
+    }
+    if (!cur_.expect(close, "to close the parameter list")) {
+      cur_.recover_to({Tok::Semi});
+    }
+
+    // Multiple-instance extension (Figure 3.6): `... ):4;`
+    if (cur_.accept(Tok::Colon)) {
+      if (cur_.peek().is(Tok::Number)) {
+        fn.instances = static_cast<std::uint32_t>(cur_.advance().value);
+      } else {
+        diags_.error(DiagId::ExpectedToken,
+                     "expected an instance count after ':'", cur_.peek().loc);
+        ok = false;
+      }
+    }
+    cur_.expect(Tok::Semi, "to terminate the declaration");
+
+    // Assemble the return value.
+    if (fn.return_kind != ReturnKind::Nowait && ret_type) {
+      if (ret_type->is_void() && !ret_exts.pointer) {
+        fn.return_kind = ReturnKind::Void;
+      } else {
+        fn.return_kind = ReturnKind::Value;
+        fn.output = make_param(*ret_type, ret_exts, /*name=*/"", type_tok.loc);
+      }
+    }
+    if (fn.return_kind == ReturnKind::Nowait &&
+        (ret_exts.pointer || ret_exts.has_bound)) {
+      diags_.error(DiagId::NowaitWithValue,
+                   "'nowait' declarations cannot carry a return transfer "
+                   "(§3.1.7)",
+                   type_tok.loc);
+      ok = false;
+    }
+
+    if (!ok) return std::nullopt;
+    return fn;
+  }
+
+ private:
+  // exts := '*'? (':' (digits | identifier))? inter-mixed with '+' and '^'
+  // in any order; the thesis shows both `char*:16^+ x` (§3.1.8) and the
+  // postfix spelling `char* x:8+` (§3.1.3).
+  Extensions parse_extensions() {
+    Extensions e;
+    while (true) {
+      const Token& t = cur_.peek();
+      if (t.is(Tok::Star)) {
+        cur_.advance();
+        e.pointer = true;
+      } else if (t.is(Tok::Plus)) {
+        cur_.advance();
+        e.packed = true;
+      } else if (t.is(Tok::Caret)) {
+        cur_.advance();
+        e.dma = true;
+      } else if (t.is(Tok::Amp)) {
+        cur_.advance();
+        e.by_reference = true;  // §10.2 by-reference extension
+      } else if (t.is(Tok::Colon)) {
+        // Only a bound if followed by a number or identifier; a bare ':'
+        // belongs to the caller (multi-instance suffix).
+        const Token& after = cur_.peek(1);
+        if (!after.is(Tok::Number) && !after.is(Tok::Ident)) break;
+        cur_.advance();  // ':'
+        const Token bound = cur_.advance();
+        if (e.has_bound) {
+          diags_.warning(DiagId::ExpectedToken,
+                         "duplicate bound on one transfer; keeping the first",
+                         bound.loc);
+          continue;
+        }
+        e.has_bound = true;
+        if (bound.is(Tok::Number)) {
+          e.bound_kind = CountKind::Explicit;
+          e.explicit_count = static_cast<std::uint32_t>(bound.value);
+        } else {
+          e.bound_kind = CountKind::Implicit;
+          e.index_var = bound.text;
+        }
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  static IoParam make_param(const ir::CType& type, const Extensions& e,
+                            std::string name, SourceLoc loc) {
+    IoParam p;
+    p.name = std::move(name);
+    p.type = type;
+    p.is_pointer = e.pointer;
+    p.packed = e.packed;
+    p.dma = e.dma;
+    p.by_reference = e.by_reference;
+    p.loc = loc;
+    if (e.has_bound) {
+      p.count_kind = e.bound_kind;
+      p.explicit_count = e.explicit_count;
+      p.index_var = e.index_var;
+    }
+    return p;
+  }
+
+  static Extensions merge(const Extensions& pre, const Extensions& post,
+                          DiagnosticEngine& diags, SourceLoc loc) {
+    Extensions e = pre;
+    e.pointer |= post.pointer;
+    e.packed |= post.packed;
+    e.dma |= post.dma;
+    e.by_reference |= post.by_reference;
+    if (post.has_bound) {
+      if (e.has_bound) {
+        diags.warning(DiagId::ExpectedToken,
+                      "bound given both before and after the parameter name; "
+                      "keeping the first",
+                      loc);
+      } else {
+        e.has_bound = true;
+        e.bound_kind = post.bound_kind;
+        e.explicit_count = post.explicit_count;
+        e.index_var = post.index_var;
+      }
+    }
+    return e;
+  }
+
+  // splice_decl := c_type exts? identifier exts?   (postfix form tolerated)
+  std::optional<IoParam> parse_param() {
+    const Token& first = cur_.peek();
+    if (!first.is(Tok::Ident)) {
+      diags_.error(DiagId::ExpectedType, "expected a parameter type",
+                   first.loc);
+      cur_.recover_to({Tok::Comma, Tok::RParen, Tok::RBrace, Tok::Semi});
+      return std::nullopt;
+    }
+    const Token type_tok = cur_.advance();
+    auto type = types_.find(type_tok.text);
+    if (!type) {
+      diags_.error(DiagId::ExpectedType,
+                   "unknown type '" + type_tok.text +
+                       "' (declare it with %user_type, §3.2.3)",
+                   type_tok.loc);
+      cur_.recover_to({Tok::Comma, Tok::RParen, Tok::RBrace, Tok::Semi});
+      return std::nullopt;
+    }
+
+    Extensions pre = parse_extensions();
+    if (!cur_.peek().is(Tok::Ident)) {
+      diags_.error(DiagId::ExpectedIdentifier,
+                   "expected a parameter name", cur_.peek().loc);
+      cur_.recover_to({Tok::Comma, Tok::RParen, Tok::RBrace, Tok::Semi});
+      return std::nullopt;
+    }
+    const Token name_tok = cur_.advance();
+    Extensions post = parse_extensions();
+    Extensions e = merge(pre, post, diags_, name_tok.loc);
+    return make_param(*type, e, name_tok.text, type_tok.loc);
+  }
+
+  Cursor& cur_;
+  const ir::TypeTable& types_;
+  DiagnosticEngine& diags_;
+};
+
+// ---------------------------------------------------------------------------
+// Specification parsing
+// ---------------------------------------------------------------------------
+
+class SpecParser {
+ public:
+  SpecParser(std::string_view text, DiagnosticEngine& diags) : diags_(diags) {
+    Lexer lexer(text, diags);
+    toks_ = lexer.tokenize();
+  }
+
+  std::optional<DeviceSpec> parse() {
+    const std::size_t errors_before = diags_.error_count();
+    split_stream();
+    // Pass 1: collect %user_type definitions first; the thesis states the
+    // tool "simply collects all the definitions" regardless of position.
+    for (auto& d : directives_) {
+      if (d.kind == DirectiveKind::UserType) apply_user_type(d);
+    }
+    // Pass 2: remaining directives.
+    for (auto& d : directives_) {
+      if (d.kind != DirectiveKind::UserType) apply_directive(d);
+    }
+    // Pass 3: prototypes.
+    for (auto& stmt : statements_) {
+      Cursor cur(stmt, diags_);
+      ProtoParser pp(cur, spec_.types, diags_);
+      auto fn = pp.parse();
+      if (fn) spec_.functions.push_back(std::move(*fn));
+    }
+    if (diags_.error_count() != errors_before) return std::nullopt;
+    return std::move(spec_);
+  }
+
+ private:
+  // Separate the token stream into directive lines (a '%' and every token on
+  // the same source line) and prototype statements (token runs ending at ';').
+  void split_stream() {
+    std::size_t i = 0;
+    while (i < toks_.size() && toks_[i].kind != Tok::EndOfInput) {
+      if (toks_[i].kind == Tok::Percent) {
+        DirectiveLine line;
+        line.loc = toks_[i].loc;
+        const std::uint32_t src_line = toks_[i].loc.line;
+        ++i;
+        std::vector<Token> words;
+        while (i < toks_.size() && toks_[i].kind != Tok::EndOfInput &&
+               toks_[i].loc.line == src_line) {
+          words.push_back(toks_[i]);
+          ++i;
+        }
+        classify(line, words);
+        directives_.push_back(std::move(line));
+      } else {
+        std::vector<Token> stmt;
+        while (i < toks_.size() && toks_[i].kind != Tok::EndOfInput &&
+               toks_[i].kind != Tok::Percent) {
+          stmt.push_back(toks_[i]);
+          bool done = toks_[i].kind == Tok::Semi;
+          ++i;
+          if (done) break;
+        }
+        // Terminate the slice for the Cursor.
+        Token end;
+        end.kind = Tok::EndOfInput;
+        end.loc = stmt.empty() ? SourceLoc{} : stmt.back().loc;
+        stmt.push_back(end);
+        statements_.push_back(std::move(stmt));
+      }
+    }
+  }
+
+  void classify(DirectiveLine& line, const std::vector<Token>& words) {
+    // Expand keyword words: identifiers may themselves contain underscores.
+    std::vector<std::string> kw_words;
+    std::size_t tok_used = 0;
+    for (const Token& t : words) {
+      if (!t.is(Tok::Ident)) break;
+      auto pieces = str::split(t.text, '_');
+      kw_words.insert(kw_words.end(), pieces.begin(), pieces.end());
+      ++tok_used;
+      if (kw_words.size() >= 2) break;
+    }
+    std::size_t consumed_words = 0;
+    line.kind = match_keyword(kw_words, consumed_words);
+    line.keyword_spelling = str::join(
+        std::vector<std::string>(kw_words.begin(),
+                                 kw_words.begin() +
+                                     static_cast<long>(std::min(
+                                         consumed_words, kw_words.size()))),
+        "_");
+    if (line.kind == DirectiveKind::Unknown) {
+      diags_.error(DiagId::UnknownDirective,
+                   "unknown directive '%" +
+                       (kw_words.empty() ? std::string("<empty>")
+                                         : kw_words.front()) +
+                       "'",
+                   line.loc);
+      return;
+    }
+    // How many raw tokens did the keyword consume?  Walk again.
+    std::size_t words_seen = 0;
+    std::size_t toks_consumed = 0;
+    for (const Token& t : words) {
+      if (!t.is(Tok::Ident) || words_seen >= consumed_words) break;
+      words_seen += str::split(t.text, '_').size();
+      ++toks_consumed;
+    }
+    (void)tok_used;
+    line.args.assign(words.begin() + static_cast<long>(toks_consumed),
+                     words.end());
+  }
+
+  void check_duplicate(const DirectiveLine& d) {
+    if (!seen_.insert(static_cast<int>(d.kind)).second) {
+      diags_.warning(DiagId::DuplicateDirective,
+                     "directive '%" + d.keyword_spelling +
+                         "' given more than once; the last value wins",
+                     d.loc);
+    }
+  }
+
+  void apply_user_type(const DirectiveLine& d) {
+    // %user_type name, underlying c spelling, bits   (Figure 3.17)
+    std::vector<std::vector<Token>> groups(1);
+    for (const Token& t : d.args) {
+      if (t.is(Tok::Comma)) groups.emplace_back();
+      else groups.back().push_back(t);
+    }
+    if (groups.size() != 3 || groups[0].size() != 1 ||
+        !groups[0][0].is(Tok::Ident) || groups[1].empty() ||
+        groups[2].size() != 1 || !groups[2][0].is(Tok::Number)) {
+      diags_.error(DiagId::MalformedDirective,
+                   "%user_type expects: name, c-type spelling, bit width "
+                   "(Figure 3.17)",
+                   d.loc);
+      return;
+    }
+    std::string name = groups[0][0].text;
+    std::vector<std::string> spelling_words;
+    for (const Token& t : groups[1]) {
+      if (!t.is(Tok::Ident)) {
+        diags_.error(DiagId::MalformedDirective,
+                     "%user_type underlying spelling must be identifiers",
+                     t.loc);
+        return;
+      }
+      spelling_words.push_back(t.text);
+    }
+    const std::string spelling = str::join(spelling_words, " ");
+    const std::uint64_t bits = groups[2][0].value;
+    if (bits == 0 || bits > 1024) {
+      diags_.error(DiagId::BadUserTypeWidth,
+                   "%user_type '" + name + "' has invalid width " +
+                       std::to_string(bits),
+                   d.loc);
+      return;
+    }
+    const bool is_signed = spelling.find("unsigned") == std::string::npos;
+    if (!spec_.types.add_user_type(name, spelling,
+                                   static_cast<unsigned>(bits), is_signed)) {
+      diags_.error(DiagId::DuplicateUserType,
+                   "%user_type '" + name + "' redefines an existing type",
+                   d.loc);
+    }
+  }
+
+  bool parse_bool_arg(const DirectiveLine& d, bool& out) {
+    if (d.args.size() == 1 && d.args[0].is(Tok::Ident)) {
+      if (str::iequals(d.args[0].text, "true")) {
+        out = true;
+        return true;
+      }
+      if (str::iequals(d.args[0].text, "false")) {
+        out = false;
+        return true;
+      }
+    }
+    diags_.error(DiagId::MalformedDirective,
+                 "'%" + d.keyword_spelling + "' expects 'true' or 'false'",
+                 d.loc);
+    return false;
+  }
+
+  void apply_directive(const DirectiveLine& d) {
+    switch (d.kind) {
+      case DirectiveKind::Unknown:
+        return;  // already reported
+      case DirectiveKind::DeviceName: {
+        check_duplicate(d);
+        std::vector<std::string> words;
+        for (const Token& t : d.args) {
+          if (t.is(Tok::Ident) || t.is(Tok::Number)) words.push_back(t.text);
+          else {
+            diags_.error(DiagId::MalformedDirective,
+                         "%device_name expects an identifier", d.loc);
+            return;
+          }
+        }
+        if (words.empty()) {
+          diags_.error(DiagId::MalformedDirective,
+                       "%device_name expects an identifier", d.loc);
+          return;
+        }
+        // Figure 8.2 writes "% name hw timer" for device hw_timer.
+        spec_.target.device_name = str::join(words, "_");
+        return;
+      }
+      case DirectiveKind::BusType: {
+        check_duplicate(d);
+        if (d.args.size() != 1 || !d.args[0].is(Tok::Ident)) {
+          diags_.error(DiagId::MalformedDirective,
+                       "%bus_type expects a single interface name", d.loc);
+          return;
+        }
+        spec_.target.bus_type = str::to_lower(d.args[0].text);
+        return;
+      }
+      case DirectiveKind::BusWidth: {
+        check_duplicate(d);
+        if (d.args.size() != 1 || !d.args[0].is(Tok::Number)) {
+          diags_.error(DiagId::MalformedDirective,
+                       "%bus_width expects a bit count", d.loc);
+          return;
+        }
+        spec_.target.bus_width = static_cast<unsigned>(d.args[0].value);
+        return;
+      }
+      case DirectiveKind::BaseAddress: {
+        check_duplicate(d);
+        if (d.args.size() != 1 ||
+            (!d.args[0].is(Tok::HexNumber) && !d.args[0].is(Tok::Number))) {
+          diags_.error(DiagId::MalformedDirective,
+                       "%base_address expects a hexadecimal address "
+                       "(Figure 3.11)",
+                       d.loc);
+          return;
+        }
+        spec_.target.base_address = d.args[0].value;
+        return;
+      }
+      case DirectiveKind::BurstSupport: {
+        check_duplicate(d);
+        bool v = false;
+        if (parse_bool_arg(d, v)) spec_.target.burst_support = v;
+        return;
+      }
+      case DirectiveKind::DmaSupport: {
+        check_duplicate(d);
+        bool v = false;
+        if (parse_bool_arg(d, v)) spec_.target.dma_support = v;
+        return;
+      }
+      case DirectiveKind::PackingSupport: {
+        check_duplicate(d);
+        bool v = false;
+        if (parse_bool_arg(d, v)) spec_.target.packing_support = v;
+        return;
+      }
+      case DirectiveKind::IrqSupport: {
+        check_duplicate(d);
+        bool v = false;
+        if (parse_bool_arg(d, v)) spec_.target.irq_support = v;
+        return;
+      }
+      case DirectiveKind::TargetHdl: {
+        check_duplicate(d);
+        if (d.args.size() == 1 && d.args[0].is(Tok::Ident)) {
+          if (str::iequals(d.args[0].text, "vhdl")) {
+            spec_.target.hdl = ir::Hdl::Vhdl;
+            return;
+          }
+          // Verilog output is thesis future work (§10.2); implemented here.
+          if (str::iequals(d.args[0].text, "verilog")) {
+            spec_.target.hdl = ir::Hdl::Verilog;
+            return;
+          }
+        }
+        diags_.error(DiagId::UnknownHdl,
+                     "%target_hdl expects 'vhdl' or 'verilog'", d.loc);
+        return;
+      }
+      case DirectiveKind::UserType:
+        return;  // handled in pass 1
+    }
+  }
+
+  DiagnosticEngine& diags_;
+  std::vector<Token> toks_;
+  std::vector<DirectiveLine> directives_;
+  std::vector<std::vector<Token>> statements_;
+  DeviceSpec spec_;
+  std::unordered_set<int> seen_;
+};
+
+}  // namespace
+
+std::optional<ir::DeviceSpec> parse_spec(std::string_view text,
+                                         DiagnosticEngine& diags) {
+  SpecParser parser(text, diags);
+  return parser.parse();
+}
+
+std::optional<ir::FunctionDecl> parse_prototype(std::string_view text,
+                                                const ir::TypeTable& types,
+                                                DiagnosticEngine& diags) {
+  const std::size_t errors_before = diags.error_count();
+  Lexer lexer(text, diags);
+  std::vector<Token> toks = lexer.tokenize();
+  Cursor cur(toks, diags);
+  ProtoParser pp(cur, types, diags);
+  auto fn = pp.parse();
+  if (diags.error_count() != errors_before) return std::nullopt;
+  return fn;
+}
+
+}  // namespace frontend

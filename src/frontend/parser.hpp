@@ -1,0 +1,27 @@
+// Parser for complete Splice specifications: %-directives (thesis §3.2)
+// interleaved with interface declarations (§3.1).  Produces the IR consumed
+// by the generators; semantic validation (ir::validate) is a separate pass.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "ir/device.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::frontend {
+
+/// Parse a full specification.  Returns nullopt when any *error* was
+/// reported (warnings do not fail the parse).  Per §3.2.3 the thesis
+/// collects %user_type definitions up front regardless of position, so this
+/// runs two passes over the token stream.
+[[nodiscard]] std::optional<ir::DeviceSpec> parse_spec(std::string_view text,
+                                                       DiagnosticEngine& diags);
+
+/// Parse a single interface declaration against an existing type table —
+/// the unit-test entry point for the Figure 3.1–3.8 grammar.
+[[nodiscard]] std::optional<ir::FunctionDecl> parse_prototype(
+    std::string_view text, const ir::TypeTable& types,
+    DiagnosticEngine& diags);
+
+}  // namespace splice::frontend

@@ -1,0 +1,105 @@
+#include "ir/device.hpp"
+
+#include <algorithm>
+
+namespace splice::ir {
+
+std::uint64_t IoParam::max_elements(unsigned index_bits) const {
+  switch (count_kind) {
+    case CountKind::Scalar: return 1;
+    case CountKind::Explicit: return explicit_count;
+    case CountKind::Implicit:
+      // Bounded by the index variable's representable range; the generator
+      // sizes tracking registers off this.  Cap to keep register widths sane.
+      return std::min<std::uint64_t>(bits::low_mask(std::min(index_bits, 16u)),
+                                     65535);
+  }
+  return 1;
+}
+
+std::uint64_t IoParam::words_for(std::uint64_t elements,
+                                 unsigned bus_width) const {
+  if (elements == 0) return 0;
+  if (packed && type.bits < bus_width) {
+    return bits::ceil_div(elements, elements_per_word(bus_width));
+  }
+  return elements * words_per_element(bus_width);
+}
+
+const IoParam* FunctionDecl::find_input(std::string_view name) const {
+  for (const auto& p : inputs) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+bool FunctionDecl::uses_dma() const {
+  if (has_output() && output.dma) return true;
+  return std::any_of(inputs.begin(), inputs.end(),
+                     [](const IoParam& p) { return p.dma; });
+}
+
+bool FunctionDecl::uses_packing() const {
+  if (has_output() && output.packed) return true;
+  return std::any_of(inputs.begin(), inputs.end(),
+                     [](const IoParam& p) { return p.packed; });
+}
+
+bool FunctionDecl::uses_arrays() const {
+  if (has_output() && output.is_array()) return true;
+  return std::any_of(inputs.begin(), inputs.end(),
+                     [](const IoParam& p) { return p.is_array(); });
+}
+
+std::vector<std::size_t> FunctionDecl::by_ref_params() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].by_reference) out.push_back(i);
+  }
+  return out;
+}
+
+bool FunctionDecl::uses_splitting(unsigned bus_width) const {
+  if (has_output() && output.type.bits > bus_width) return true;
+  return std::any_of(inputs.begin(), inputs.end(), [&](const IoParam& p) {
+    return p.type.bits > bus_width;
+  });
+}
+
+std::string_view hdl_name(Hdl hdl) {
+  return hdl == Hdl::Vhdl ? "vhdl" : "verilog";
+}
+
+const FunctionDecl* DeviceSpec::find_function(std::string_view name) const {
+  for (const auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+FunctionDecl* DeviceSpec::find_function(std::string_view name) {
+  for (auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::uint32_t DeviceSpec::total_instances() const {
+  std::uint32_t total = 0;
+  for (const auto& f : functions) total += f.instances;
+  return total;
+}
+
+unsigned DeviceSpec::func_id_width() const {
+  return bits::bits_for_count(total_instances() + 1);
+}
+
+void DeviceSpec::assign_func_ids() {
+  std::uint32_t next = 1;  // 0 is the CALC_DONE status register (§4.2.2)
+  for (auto& f : functions) {
+    f.func_id = next;
+    next += f.instances;
+  }
+}
+
+}  // namespace splice::ir

@@ -1,0 +1,146 @@
+// The Splice intermediate representation.  These types are the C++
+// re-casting of the `splice_params` structures the thesis exposes to bus
+// extension libraries (Figure 7.3): s_io_params -> IoParam,
+// s_func_params -> FunctionDecl, s_module_params -> TargetSpec/DeviceSpec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/types.hpp"
+#include "support/bits.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::ir {
+
+/// How many elements a parameter transfers (thesis §3.1.1–3.1.2).
+enum class CountKind : std::uint8_t {
+  Scalar,    ///< plain value, exactly one element
+  Explicit,  ///< pointer with numeric bound, e.g. `int*:5 x`
+  Implicit,  ///< pointer bounded by another input, e.g. `int*:n y`
+};
+
+/// One input parameter or the return value of an interface declaration
+/// (mirrors s_io_params).
+struct IoParam {
+  std::string name;          ///< tag, e.g. "x" (empty for return values)
+  CType type;
+  bool is_pointer = false;
+  CountKind count_kind = CountKind::Scalar;
+  std::uint32_t explicit_count = 1;   ///< valid when count_kind == Explicit
+  std::string index_var;              ///< valid when count_kind == Implicit
+  bool packed = false;                ///< '+' extension (§3.1.3)
+  bool dma = false;                   ///< '^' extension (§3.1.5)
+  bool by_reference = false;          ///< '&' extension: the hardware's
+                                      ///< updated values are read back
+                                      ///< after the calculation (§10.2)
+  bool used_as_index = false;         ///< another param references this one
+  SourceLoc loc;
+
+  [[nodiscard]] unsigned bit_width() const { return type.bits; }
+  [[nodiscard]] bool is_array() const {
+    return count_kind != CountKind::Scalar;
+  }
+  /// Upper bound on elements (explicit count, or the max value of the index
+  /// variable's type for implicit transfers; 1 for scalars).  The hardware
+  /// tracking registers must be sized for this.
+  [[nodiscard]] std::uint64_t max_elements(unsigned index_bits = 32) const;
+
+  /// Bus words needed per element at the given bus width ("split" transfers,
+  /// §3.1.4): ceil(type bits / bus width).
+  [[nodiscard]] std::uint64_t words_per_element(unsigned bus_width) const {
+    return std::max<std::uint64_t>(1, bits::ceil_div(type.bits, bus_width));
+  }
+  /// Elements per bus word when packing applies (§3.1.3); 1 when the type is
+  /// as wide as (or wider than) the bus.
+  [[nodiscard]] std::uint64_t elements_per_word(unsigned bus_width) const {
+    if (!packed || type.bits >= bus_width) return 1;
+    return bus_width / type.bits;
+  }
+  /// Total bus words for `elements` elements under this parameter's
+  /// packing/splitting rules.
+  [[nodiscard]] std::uint64_t words_for(std::uint64_t elements,
+                                        unsigned bus_width) const;
+};
+
+/// How a declaration returns to software (thesis §3.1.7).
+enum class ReturnKind : std::uint8_t {
+  Value,    ///< returns data; driver blocks until it is read
+  Void,     ///< returns nothing but still blocks ("pseudo output state")
+  Nowait,   ///< fire-and-forget, driver returns immediately
+};
+
+/// One interface declaration (mirrors s_func_params).
+struct FunctionDecl {
+  std::string name;
+  ReturnKind return_kind = ReturnKind::Void;
+  IoParam output;                 ///< meaningful when return_kind == Value
+  std::vector<IoParam> inputs;
+  std::uint32_t instances = 1;    ///< §3.1.6 multiple-instance extension
+  SourceLoc loc;
+
+  // Assigned during generation: FUNC_ID of the first instance.  Identifier
+  // zero is reserved for the CALC_DONE status register (§4.2.2), so
+  // assignment starts at 1.  Instance k of this function gets func_id + k.
+  std::uint32_t func_id = 0;
+
+  [[nodiscard]] bool has_output() const {
+    return return_kind == ReturnKind::Value;
+  }
+  [[nodiscard]] bool blocking() const {
+    return return_kind != ReturnKind::Nowait;
+  }
+  [[nodiscard]] const IoParam* find_input(std::string_view name) const;
+  /// True when any parameter (or the return) uses DMA / packing / arrays.
+  [[nodiscard]] bool uses_dma() const;
+  [[nodiscard]] bool uses_packing() const;
+  [[nodiscard]] bool uses_arrays() const;
+  /// Parameters transferred back to software after the calculation (§10.2).
+  [[nodiscard]] std::vector<std::size_t> by_ref_params() const;
+  /// Any value wider than `bus_width` forces split transfers (§3.1.4).
+  [[nodiscard]] bool uses_splitting(unsigned bus_width) const;
+};
+
+enum class Hdl : std::uint8_t { Vhdl, Verilog };
+
+[[nodiscard]] std::string_view hdl_name(Hdl hdl);
+
+/// Everything the %-directives configure (mirrors s_module_params).
+struct TargetSpec {
+  std::string device_name;                 ///< %device_name (required)
+  std::string bus_type;                    ///< %bus_type, lowercase (required)
+  unsigned bus_width = 0;                  ///< %bus_width in bits (required)
+  std::optional<std::uint64_t> base_address;  ///< %base_address
+  bool burst_support = false;              ///< %burst_support
+  bool dma_support = false;                ///< %dma_support
+  bool packing_support = false;            ///< %packing_support (global)
+  bool irq_support = false;                ///< %irq_support (thesis §10.2,
+                                           ///< implemented extension)
+  Hdl hdl = Hdl::Vhdl;                     ///< %target_hdl
+  // DMA engine shape; defaulted per bus by the adapter (s_module_params has
+  // dma_width / dma_max_bits).
+  unsigned dma_width = 32;
+  unsigned dma_max_bits = 256 * 8;         ///< PLB: 256-byte DMA max (§2.3.2)
+};
+
+/// A complete device: target configuration + interface declarations + the
+/// user-type table in effect.
+struct DeviceSpec {
+  TargetSpec target;
+  std::vector<FunctionDecl> functions;
+  TypeTable types;
+
+  [[nodiscard]] const FunctionDecl* find_function(std::string_view name) const;
+  [[nodiscard]] FunctionDecl* find_function(std::string_view name);
+  /// Sum of instance counts across all functions.
+  [[nodiscard]] std::uint32_t total_instances() const;
+  /// Width of the FUNC_ID field: enough for every instance plus the
+  /// reserved status identifier 0.
+  [[nodiscard]] unsigned func_id_width() const;
+  /// Assign FUNC_IDs in declaration order starting at 1 (0 is reserved).
+  void assign_func_ids();
+};
+
+}  // namespace splice::ir

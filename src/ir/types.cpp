@@ -1,0 +1,63 @@
+#include "ir/types.hpp"
+
+namespace splice::ir {
+
+namespace {
+CType builtin(std::string name, TypeKind kind, unsigned bits, bool sign) {
+  CType t;
+  t.name = std::move(name);
+  t.kind = kind;
+  t.bits = bits;
+  t.is_signed = sign;
+  t.user_defined = false;
+  t.c_spelling = t.name;
+  return t;
+}
+}  // namespace
+
+TypeTable::TypeTable() {
+  // Exactly the Figure 3.1 c_type production:
+  //   int|short|char|bool|double|single|unsigned|void|float
+  // "single" is the thesis' spelling for a 32-bit float; "unsigned" alone
+  // means unsigned int (the K&R default-int rule).
+  types_.push_back(builtin("int", TypeKind::Integer, 32, true));
+  types_.push_back(builtin("short", TypeKind::Integer, 16, true));
+  types_.push_back(builtin("char", TypeKind::Integer, 8, true));
+  types_.push_back(builtin("bool", TypeKind::Boolean, 8, false));
+  types_.push_back(builtin("double", TypeKind::Floating, 64, true));
+  types_.push_back(builtin("single", TypeKind::Floating, 32, true));
+  types_.push_back(builtin("unsigned", TypeKind::Integer, 32, false));
+  types_.push_back(builtin("void", TypeKind::Void, 0, false));
+  types_.push_back(builtin("float", TypeKind::Floating, 32, true));
+}
+
+std::optional<CType> TypeTable::find(std::string_view name) const {
+  for (const auto& t : types_) {
+    if (t.name == name) return t;
+  }
+  return std::nullopt;
+}
+
+bool TypeTable::add_user_type(std::string name, std::string c_spelling,
+                              unsigned bits, bool is_signed) {
+  if (contains(name) || bits == 0 || bits > 1024) return false;
+  CType t;
+  t.name = std::move(name);
+  t.kind = TypeKind::Integer;
+  t.bits = bits;
+  t.is_signed = is_signed;
+  t.user_defined = true;
+  t.c_spelling = std::move(c_spelling);
+  types_.push_back(std::move(t));
+  return true;
+}
+
+std::vector<CType> TypeTable::user_types() const {
+  std::vector<CType> out;
+  for (const auto& t : types_) {
+    if (t.user_defined) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace splice::ir

@@ -1,0 +1,58 @@
+// The Splice type system: the ANSI-C base types admitted by the thesis
+// grammar (Figure 3.1) plus user-defined types registered through the
+// %user_type directive (Figure 3.17).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splice::ir {
+
+enum class TypeKind : std::uint8_t { Void, Boolean, Integer, Floating };
+
+/// A resolved data type: every value crossing the hardware/software
+/// boundary has a fixed bit width known at generation time.
+struct CType {
+  std::string name;       ///< spelling used in declarations, e.g. "int"
+  TypeKind kind = TypeKind::Integer;
+  unsigned bits = 32;     ///< storage width in bits
+  bool is_signed = true;
+  bool user_defined = false;
+  /// For user types: the underlying C spelling ("unsigned long long").
+  std::string c_spelling;
+
+  [[nodiscard]] bool is_void() const { return kind == TypeKind::Void; }
+  /// The spelling emitted into generated C driver code.
+  [[nodiscard]] std::string driver_spelling() const {
+    return user_defined ? name : name;
+  }
+};
+
+/// Registry of known types.  Seeds itself with the Figure 3.1 `c_type`
+/// production; %user_type directives add entries at parse time.
+class TypeTable {
+ public:
+  TypeTable();
+
+  /// Look up a type by its declaration spelling; nullopt when unknown.
+  [[nodiscard]] std::optional<CType> find(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return find(name).has_value();
+  }
+
+  /// Register a %user_type.  Returns false when the name is already taken
+  /// (builtin or previously defined user type).
+  bool add_user_type(std::string name, std::string c_spelling, unsigned bits,
+                     bool is_signed = false);
+
+  [[nodiscard]] const std::vector<CType>& all() const { return types_; }
+  [[nodiscard]] std::vector<CType> user_types() const;
+
+ private:
+  std::vector<CType> types_;
+};
+
+}  // namespace splice::ir

@@ -1,0 +1,250 @@
+#include "ir/validate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace splice::ir {
+
+bool BusCapabilities::width_allowed(unsigned w) const {
+  return std::find(allowed_widths.begin(), allowed_widths.end(), w) !=
+         allowed_widths.end();
+}
+
+namespace {
+
+void validate_param(const FunctionDecl& fn, IoParam& p, bool is_return,
+                    const TargetSpec& target, DiagnosticEngine& diags) {
+  const std::string where =
+      "'" + fn.name + "'" + (is_return ? " return value" : " parameter '" + p.name + "'");
+
+  if (!is_return && p.type.is_void()) {
+    diags.error(DiagId::VoidParameter, where + " has type void", p.loc);
+    return;
+  }
+
+  // §3.1.2: "when pointer-type inputs and outputs are required, the user
+  // must define how many items need to be transmitted".
+  if (p.is_pointer && p.count_kind == CountKind::Scalar) {
+    diags.error(DiagId::PointerWithoutBound,
+                where + " is a pointer without an explicit or implicit bound",
+                p.loc);
+  }
+  if (!p.is_pointer && p.count_kind != CountKind::Scalar) {
+    // `int:5 x` — a bound on a non-pointer.  The grammar attaches counts to
+    // pointers only; treat it as pointer shorthand with a warning.
+    diags.warning(DiagId::PointerWithoutBound,
+                  where + " has an element bound but no '*'; treating as a "
+                          "pointer transfer",
+                  p.loc);
+    p.is_pointer = true;
+  }
+  if (p.count_kind == CountKind::Explicit && p.explicit_count == 0) {
+    diags.error(DiagId::ZeroElementCount, where + " transfers zero elements",
+                p.loc);
+  }
+
+  // §3.1.3: packing must be combined with an explicit or implicit pointer.
+  if (p.packed && !p.is_array()) {
+    diags.error(DiagId::PackingOnScalar,
+                where + " uses '+' (packing) without an array bound", p.loc);
+  }
+  if (p.packed && target.bus_width != 0 && p.type.bits >= target.bus_width) {
+    diags.warning(DiagId::PackingTooWide,
+                  where + " requests packing but its element type (" +
+                      std::to_string(p.type.bits) +
+                      " bits) is not narrower than the bus (" +
+                      std::to_string(target.bus_width) + " bits)",
+                  p.loc);
+  }
+
+  // §3.1.5: DMA must be combined with an explicit or implicit pointer, and
+  // %dma_support must be enabled.
+  if (p.dma && !p.is_array()) {
+    diags.error(DiagId::DmaOnScalar,
+                where + " uses '^' (DMA) without an array bound", p.loc);
+  }
+  if (p.dma && !target.dma_support) {
+    diags.error(DiagId::DmaNotEnabled,
+                where + " requests DMA but %dma_support is not enabled",
+                p.loc);
+  }
+
+  // §10.2 by-reference extension: '&' needs a bounded pointer and a
+  // blocking declaration (the updated values are read back).
+  if (p.by_reference && (!p.is_array() || is_return)) {
+    diags.error(DiagId::ByRefNeedsPointer,
+                where + " uses '&' (by reference) but is not a bounded "
+                        "pointer input",
+                p.loc);
+  }
+  if (p.by_reference && !fn.blocking()) {
+    diags.error(DiagId::ByRefWithNowait,
+                where + " uses '&' (by reference) on a nowait declaration; "
+                        "there is no way to read the values back",
+                p.loc);
+  }
+
+  // §3.3: implicit bounds must reference an *earlier* scalar input.
+  if (p.count_kind == CountKind::Implicit) {
+    const IoParam* idx = nullptr;
+    for (const auto& candidate : fn.inputs) {
+      if (&candidate == &p) break;  // only inputs transmitted before p
+      if (candidate.name == p.index_var) {
+        idx = &candidate;
+        break;
+      }
+    }
+    if (idx == nullptr) {
+      // Distinguish "does not exist at all" from "declared later".
+      if (!is_return && fn.find_input(p.index_var) != nullptr) {
+        diags.error(DiagId::ImplicitIndexNotBefore,
+                    where + " references index '" + p.index_var +
+                        "' which is transmitted after it (§3.3 ordering rule)",
+                    p.loc);
+      } else if (is_return && fn.find_input(p.index_var) != nullptr) {
+        // Returns are transferred last, so any input is a legal index.
+        idx = fn.find_input(p.index_var);
+      } else {
+        diags.error(DiagId::ImplicitIndexUnknown,
+                    where + " references unknown index '" + p.index_var + "'",
+                    p.loc);
+      }
+    }
+    if (idx != nullptr) {
+      if (idx->is_array() || idx->type.kind == TypeKind::Floating) {
+        diags.error(DiagId::ImplicitIndexNotScalar,
+                    where + " index '" + p.index_var +
+                        "' must be a scalar integer input",
+                    p.loc);
+      }
+    }
+  }
+}
+
+// §3.2.2: when %packing_support is on, packing "will only be implemented
+// in cases where the size of the array entries ... is small in comparison
+// to the width of the targeted bus" — infer the '+' flag for every
+// eligible array transfer.
+void infer_global_packing(FunctionDecl& fn, const TargetSpec& target) {
+  if (!target.packing_support || target.bus_width == 0) return;
+  auto infer = [&](IoParam& p) {
+    if (p.is_array() && !p.dma && p.type.bits < target.bus_width) {
+      p.packed = true;
+    }
+  };
+  for (auto& p : fn.inputs) infer(p);
+  if (fn.has_output()) infer(fn.output);
+}
+
+void mark_index_uses(FunctionDecl& fn) {
+  auto mark = [&](const IoParam& user) {
+    if (user.count_kind != CountKind::Implicit) return;
+    for (auto& candidate : fn.inputs) {
+      if (candidate.name == user.index_var) candidate.used_as_index = true;
+    }
+  };
+  for (const auto& p : fn.inputs) mark(p);
+  if (fn.has_output()) mark(fn.output);
+}
+
+}  // namespace
+
+bool validate(DeviceSpec& spec, DiagnosticEngine& diags,
+              const BusCapabilities* caps, const ValidationOptions& opts) {
+  const std::size_t errors_before = diags.error_count();
+  TargetSpec& target = spec.target;
+
+  if (opts.require_target_directives) {
+    if (target.device_name.empty()) {
+      diags.error(DiagId::MissingDeviceName,
+                  "%device_name directive is required (§3.2.3)");
+    }
+    if (target.bus_type.empty()) {
+      diags.error(DiagId::MissingBusType,
+                  "%bus_type directive is required (§3.2.1)");
+    }
+    if (target.bus_width == 0) {
+      diags.error(DiagId::MissingBusWidth,
+                  "%bus_width directive is required (§3.2.1)");
+    }
+  }
+
+  // Function-level rules.
+  std::unordered_set<std::string> fn_names;
+  for (auto& fn : spec.functions) {
+    if (!fn_names.insert(fn.name).second) {
+      diags.error(DiagId::DuplicateFunctionName,
+                  "duplicate interface declaration '" + fn.name + "'", fn.loc);
+    }
+    if (fn.instances == 0) {
+      diags.error(DiagId::ZeroInstanceCount,
+                  "'" + fn.name + "' requests zero instances", fn.loc);
+    }
+    std::unordered_set<std::string> param_names;
+    for (auto& p : fn.inputs) {
+      if (!param_names.insert(p.name).second) {
+        diags.error(DiagId::DuplicateParamName,
+                    "'" + fn.name + "' declares parameter '" + p.name +
+                        "' more than once",
+                    p.loc);
+      }
+      validate_param(fn, p, /*is_return=*/false, target, diags);
+    }
+    if (fn.has_output()) {
+      validate_param(fn, fn.output, /*is_return=*/true, target, diags);
+    }
+    infer_global_packing(fn, target);
+    mark_index_uses(fn);
+  }
+
+  // Bus-capability rules (the chapter-7 "parameter checking routine").
+  if (caps != nullptr) {
+    if (target.bus_width != 0 && !caps->width_allowed(target.bus_width)) {
+      std::string widths;
+      for (unsigned w : caps->allowed_widths) {
+        if (!widths.empty()) widths += "/";
+        widths += std::to_string(w);
+      }
+      diags.error(DiagId::UnsupportedBusWidth,
+                  "bus '" + caps->name + "' supports widths " + widths +
+                      " but %bus_width is " + std::to_string(target.bus_width));
+    }
+    if (caps->memory_mapped && !target.base_address.has_value()) {
+      diags.error(DiagId::MissingBaseAddress,
+                  "bus '" + caps->name +
+                      "' is memory mapped; %base_address is required (§3.2.1)");
+    }
+    if (!caps->memory_mapped && target.base_address.has_value()) {
+      diags.warning(DiagId::BaseAddressIgnored,
+                    "bus '" + caps->name +
+                        "' is not memory mapped; %base_address is ignored");
+    }
+    if (target.dma_support && !caps->supports_dma) {
+      diags.error(DiagId::DmaNotSupportedByBus,
+                  "%dma_support requested but bus '" + caps->name +
+                      "' has no DMA capability (§3.2.2)");
+    }
+    if (target.burst_support && !caps->supports_burst) {
+      diags.error(DiagId::BurstNotSupportedByBus,
+                  "%burst_support requested but bus '" + caps->name +
+                      "' has no burst capability (§3.2.2)");
+    }
+    if (target.irq_support && !caps->supports_irq) {
+      diags.error(DiagId::IrqNotSupportedByBus,
+                  "%irq_support requested but bus '" + caps->name +
+                      "' has no interrupt line (§10.2)");
+    }
+    if (spec.func_id_width() > caps->max_func_id_width) {
+      diags.error(DiagId::FuncIdSpaceExhausted,
+                  "device declares " + std::to_string(spec.total_instances()) +
+                      " function instances which exceeds the FUNC_ID space of "
+                      "bus '" + caps->name + "'");
+    }
+  }
+
+  const bool ok = diags.error_count() == errors_before;
+  if (ok) spec.assign_func_ids();
+  return ok;
+}
+
+}  // namespace splice::ir

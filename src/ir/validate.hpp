@@ -1,0 +1,46 @@
+// Semantic validation of a DeviceSpec: the language rules of thesis §3.1 /
+// §3.3 plus the directive requirements of §3.2.  Bus-specific feasibility
+// (the "parameter checking routine" of chapter 7) is expressed through a
+// BusCapabilities record supplied by the selected bus adapter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/device.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::ir {
+
+/// What a native bus can physically do.  Each registered adapter publishes
+/// one of these; validation rejects specs that ask for more (§3.2.2: "the
+/// tool will generate an error message and refuse to proceed").
+struct BusCapabilities {
+  std::string name;                     ///< canonical lowercase bus name
+  std::vector<unsigned> allowed_widths; ///< native data widths in bits
+  bool memory_mapped = true;            ///< needs %base_address
+  bool supports_dma = false;
+  bool supports_burst = false;
+  bool strictly_synchronous = false;    ///< APB-style: no bus pausing (§4.2.2)
+  bool supports_irq = false;            ///< interrupt line available (§10.2)
+  unsigned max_dma_bits = 0;            ///< 0 when DMA unsupported
+  unsigned max_burst_words = 1;         ///< longest native burst in bus words
+  unsigned max_func_id_width = 16;      ///< FUNC_ID field budget
+
+  [[nodiscard]] bool width_allowed(unsigned w) const;
+};
+
+struct ValidationOptions {
+  /// When false, only language-level rules run (no directive completeness) —
+  /// used by tests that build partial specs programmatically.
+  bool require_target_directives = true;
+};
+
+/// Validate `spec` in place (fills IoParam::used_as_index and assigns
+/// FUNC_IDs on success).  Returns true when no errors were reported.
+bool validate(DeviceSpec& spec, DiagnosticEngine& diags,
+              const BusCapabilities* caps = nullptr,
+              const ValidationOptions& opts = {});
+
+}  // namespace splice::ir

@@ -1,0 +1,67 @@
+// Structural FPGA resource estimation (the substitute for the thesis'
+// Xilinx ISE synthesis reports behind Figure 9.3).  Costs are counted from
+// the same structural models that drive HDL generation, using
+// Virtex-4-class packing assumptions: a slice holds two 4-input LUTs and
+// two flip-flops.  Absolute numbers are estimates; the figure's *relative*
+// comparisons (who is bigger, the DMA blow-up) come from structure.
+#pragma once
+
+#include <string>
+
+#include "codegen/stub_model.hpp"
+#include "ir/device.hpp"
+
+namespace splice::resources {
+
+struct ResourceReport {
+  unsigned luts = 0;
+  unsigned ffs = 0;
+
+  /// Virtex-4 packing: 2 LUTs + 2 FFs per slice; logic rarely packs
+  /// perfectly, so apply the customary 0.7 packing efficiency.
+  [[nodiscard]] unsigned slices() const;
+
+  ResourceReport& operator+=(const ResourceReport& o) {
+    luts += o.luts;
+    ffs += o.ffs;
+    return *this;
+  }
+  friend ResourceReport operator+(ResourceReport a, const ResourceReport& b) {
+    a += b;
+    return a;
+  }
+};
+
+// --- component cost functions ----------------------------------------------
+
+/// An n-input multiplexer of `width` bits (LUT4 trees: one LUT covers two
+/// inputs per bit, plus selector decode).
+[[nodiscard]] ResourceReport mux_cost(unsigned inputs, unsigned width);
+/// An equality comparator of `width` bits.
+[[nodiscard]] ResourceReport comparator_cost(unsigned width);
+/// A loadable counter / register of `width` bits with increment logic.
+[[nodiscard]] ResourceReport counter_cost(unsigned width);
+/// A plain register of `width` bits.
+[[nodiscard]] ResourceReport register_cost(unsigned width);
+/// FSM with `states` states: state register + next-state/output decode.
+[[nodiscard]] ResourceReport fsm_cost(unsigned states);
+/// One-hot to binary encoder over `slots` inputs.
+[[nodiscard]] ResourceReport encoder_cost(unsigned slots);
+
+// --- generated-hardware estimates -------------------------------------------
+
+/// One user-logic stub (per instance).
+[[nodiscard]] ResourceReport estimate_stub(const codegen::StubModel& model);
+/// The arbitration unit of §5.2.
+[[nodiscard]] ResourceReport estimate_arbiter(
+    const codegen::ArbiterModel& model);
+/// The native interface adapter for the spec's bus, including the DMA
+/// engine when %dma_support is on (§9.3.2: the engine dominates).
+[[nodiscard]] ResourceReport estimate_interface(const ir::DeviceSpec& spec);
+/// Whole generated interface stack: interface + arbiter + every stub
+/// instance (excludes the user's calculation logic, which the thesis holds
+/// constant across implementations).
+[[nodiscard]] ResourceReport estimate_splice_device(
+    const ir::DeviceSpec& spec);
+
+}  // namespace splice::resources

@@ -1,0 +1,2 @@
+// Signal is header-only; this translation unit anchors the library target.
+#include "rtl/signal.hpp"

@@ -1,0 +1,70 @@
+// Signals for the cycle-based RTL simulation kernel.  A Signal carries up
+// to 64 bits (wider hardware values are modelled as word arrays at the
+// protocol level, exactly as they cross a real bus).  Combinational logic
+// drives signals immediately with `drive`; clocked processes schedule the
+// next-cycle value with `set` which the simulator commits on the clock edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/bits.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::rtl {
+
+class Simulator;
+
+class Signal {
+ public:
+  Signal(std::string name, unsigned width)
+      : name_(std::move(name)), width_(width), mask_(bits::low_mask(width)) {
+    if (width == 0 || width > 64) {
+      throw SpliceError("signal '" + name_ + "' width must be 1..64");
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] unsigned width() const { return width_; }
+
+  /// Current value (what combinational logic and clocked reads observe).
+  [[nodiscard]] std::uint64_t get() const { return cur_; }
+  [[nodiscard]] bool high() const { return cur_ != 0; }
+
+  /// Combinational drive: takes effect immediately.  Returns true when the
+  /// value changed (the simulator uses this for fix-point detection).
+  bool drive(std::uint64_t v) {
+    v &= mask_;
+    if (v == cur_) return false;
+    cur_ = v;
+    return true;
+  }
+  bool drive(bool v) { return drive(static_cast<std::uint64_t>(v ? 1 : 0)); }
+
+  /// Registered write: becomes visible after the next clock edge commit.
+  void set(std::uint64_t v) {
+    next_ = v & mask_;
+    pending_ = true;
+  }
+  void set(bool v) { set(static_cast<std::uint64_t>(v ? 1 : 0)); }
+
+ private:
+  friend class Simulator;
+  /// Apply a pending registered write; returns true on change.
+  bool commit() {
+    if (!pending_) return false;
+    pending_ = false;
+    if (next_ == cur_) return false;
+    cur_ = next_;
+    return true;
+  }
+
+  std::string name_;
+  unsigned width_;
+  std::uint64_t mask_;
+  std::uint64_t cur_ = 0;
+  std::uint64_t next_ = 0;
+  bool pending_ = false;
+};
+
+}  // namespace splice::rtl

@@ -1,0 +1,81 @@
+#include "rtl/simulator.hpp"
+
+namespace splice::rtl {
+
+Signal& Simulator::signal(const std::string& name, unsigned width) {
+  if (Signal* s = find_signal(name)) {
+    if (s->width() != width) {
+      throw SpliceError("signal '" + name + "' re-declared with width " +
+                        std::to_string(width) + " (was " +
+                        std::to_string(s->width()) + ")");
+    }
+    return *s;
+  }
+  signals_.emplace_back(name, width);
+  return signals_.back();
+}
+
+Signal* Simulator::find_signal(const std::string& name) {
+  for (auto& s : signals_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+void Simulator::settle() {
+  // Snapshot-based fix point: record all values, run one full pass of every
+  // module's eval_comb, compare; repeat until a pass changes nothing.
+  constexpr int kMaxIterations = 64;
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    bool changed = false;
+    std::vector<std::uint64_t> before;
+    before.reserve(signals_.size());
+    for (const auto& s : signals_) before.push_back(s.get());
+    for (auto& m : modules_) m->eval_comb();
+    std::size_t i = 0;
+    for (const auto& s : signals_) {
+      if (s.get() != before[i++]) {
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) return;
+  }
+  throw SpliceError("combinational logic failed to settle (loop?)");
+}
+
+void Simulator::step(std::uint64_t n) {
+  for (std::uint64_t k = 0; k < n; ++k) {
+    if (!settled_once_) {
+      settle();
+      settled_once_ = true;
+    }
+    for (auto& fn : samplers_) fn(cycle_);
+    for (auto& m : modules_) m->clock_edge();
+    for (auto& s : signals_) s.commit();
+    settle();
+    ++cycle_;
+  }
+}
+
+bool Simulator::step_until(const std::function<bool()>& pred,
+                           std::uint64_t max_cycles) {
+  for (std::uint64_t k = 0; k < max_cycles; ++k) {
+    if (!settled_once_) {
+      settle();
+      settled_once_ = true;
+    }
+    if (pred()) return true;
+    step();
+  }
+  return pred();
+}
+
+void Simulator::reset() {
+  for (auto& m : modules_) m->reset();
+  for (auto& s : signals_) s.commit();
+  settled_once_ = false;
+  cycle_ = 0;
+}
+
+}  // namespace splice::rtl

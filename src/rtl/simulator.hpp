@@ -1,0 +1,90 @@
+// Two-phase cycle-based simulation kernel.
+//
+// Each cycle:
+//   1. combinational settle: every module's eval_comb() runs repeatedly
+//      until no signal changes (bounded; a true combinational loop throws);
+//   2. observers sample the settled pre-edge state (waveform recording);
+//   3. clock edge: every module's clock_edge() reads current values and
+//      schedules registered writes via Signal::set;
+//   4. commit + re-settle for the next cycle.
+//
+// This matches the strictly synchronous, single-clock designs Splice
+// generates (thesis ch. 4-5: one CLK broadcast signal drives everything).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtl/signal.hpp"
+
+namespace splice::rtl {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Combinational process: reads current signal values, drives outputs.
+  /// Must be idempotent; may run several times per cycle.
+  virtual void eval_comb() {}
+  /// Clocked process: reads current values, schedules registered updates.
+  virtual void clock_edge() {}
+  /// Synchronous reset behaviour (called by Simulator::reset).
+  virtual void reset() {}
+
+ private:
+  std::string name_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Create (or fetch, by exact name) a signal owned by the simulator.
+  Signal& signal(const std::string& name, unsigned width = 1);
+  [[nodiscard]] Signal* find_signal(const std::string& name);
+
+  /// Construct a module in place; the simulator owns it.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto mod = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *mod;
+    modules_.push_back(std::move(mod));
+    return ref;
+  }
+
+  /// Sample hook, called once per cycle on the settled pre-edge state.
+  void on_sample(std::function<void(std::uint64_t cycle)> fn) {
+    samplers_.push_back(std::move(fn));
+  }
+
+  /// Advance `n` clock cycles.
+  void step(std::uint64_t n = 1);
+  /// Step until `pred()` is true (checked on settled pre-edge state) or
+  /// `max_cycles` elapse; returns true when the predicate fired.
+  bool step_until(const std::function<bool()>& pred,
+                  std::uint64_t max_cycles);
+  /// Drive all module reset() hooks and clear the cycle counter.
+  void reset();
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] const std::deque<Signal>& signals() const { return signals_; }
+
+ private:
+  void settle();
+
+  std::deque<Signal> signals_;  // deque: stable addresses for references
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::vector<std::function<void(std::uint64_t)>> samplers_;
+  std::uint64_t cycle_ = 0;
+  bool settled_once_ = false;
+};
+
+}  // namespace splice::rtl

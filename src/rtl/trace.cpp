@@ -1,0 +1,100 @@
+#include "rtl/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace splice::rtl {
+
+Trace::Trace(Simulator& sim) : sim_(sim) {
+  sim_.on_sample([this](std::uint64_t) {
+    for (auto& ch : channels_) ch.values.push_back(ch.signal->get());
+  });
+}
+
+void Trace::watch(Signal& s) { channels_.push_back(Channel{&s, {}}); }
+
+void Trace::watch(const std::string& name) {
+  Signal* s = sim_.find_signal(name);
+  if (s == nullptr) throw SpliceError("Trace: unknown signal '" + name + "'");
+  watch(*s);
+}
+
+std::size_t Trace::cycles_recorded() const {
+  return channels_.empty() ? 0 : channels_.front().values.size();
+}
+
+const std::vector<std::uint64_t>& Trace::history(
+    const std::string& name) const {
+  for (const auto& ch : channels_) {
+    if (ch.signal->name() == name) return ch.values;
+  }
+  throw SpliceError("Trace: signal '" + name + "' is not watched");
+}
+
+std::vector<const Signal*> Trace::watched() const {
+  std::vector<const Signal*> out;
+  out.reserve(channels_.size());
+  for (const auto& ch : channels_) out.push_back(ch.signal);
+  return out;
+}
+
+std::string Trace::render_ascii(std::size_t from_cycle,
+                                std::size_t to_cycle) const {
+  const std::size_t total = cycles_recorded();
+  const std::size_t lo = std::min(from_cycle, total);
+  const std::size_t hi = std::min(to_cycle, total);
+  std::size_t name_w = 0;
+  for (const auto& ch : channels_) {
+    name_w = std::max(name_w, ch.signal->name().size());
+  }
+
+  // Cell width: wide enough for the largest hex value of any vector signal.
+  std::size_t cell = 2;
+  for (const auto& ch : channels_) {
+    if (ch.signal->width() <= 1) continue;
+    for (std::size_t c = lo; c < hi; ++c) {
+      std::ostringstream os;
+      os << std::hex << std::uppercase << ch.values[c];
+      cell = std::max(cell, os.str().size() + 1);
+    }
+  }
+
+  std::ostringstream out;
+  // Cycle ruler.
+  out << std::string(name_w, ' ') << "  ";
+  for (std::size_t c = lo; c < hi; ++c) {
+    std::string label = std::to_string(c);
+    if (label.size() > cell) label = label.substr(label.size() - cell);
+    out << label << std::string(cell - label.size() + 1, ' ');
+  }
+  out << '\n';
+
+  for (const auto& ch : channels_) {
+    out << ch.signal->name()
+        << std::string(name_w - ch.signal->name().size(), ' ') << "  ";
+    std::uint64_t prev = ~std::uint64_t{0};
+    bool first = true;
+    for (std::size_t c = lo; c < hi; ++c) {
+      std::uint64_t v = ch.values[c];
+      if (ch.signal->width() <= 1) {
+        out << std::string(cell, v != 0 ? '-' : '_') << ' ';
+      } else if (first || v != prev) {
+        std::ostringstream hexv;
+        hexv << std::hex << std::uppercase << v;
+        std::string s = "|" + hexv.str();
+        if (s.size() < cell) s += std::string(cell - s.size(), ' ');
+        out << s << ' ';
+      } else {
+        out << std::string(cell, '.') << ' ';
+      }
+      prev = v;
+      first = false;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace splice::rtl

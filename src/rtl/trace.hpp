@@ -1,0 +1,45 @@
+// Per-cycle waveform recording plus an ASCII renderer that reproduces the
+// thesis' timing-diagram figures (4.3-4.8) directly from simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/simulator.hpp"
+
+namespace splice::rtl {
+
+class Trace {
+ public:
+  /// Attaches a sampler to `sim`; signals must be watched before stepping.
+  explicit Trace(Simulator& sim);
+
+  /// Record this signal every cycle.  Watch order defines render order.
+  void watch(Signal& s);
+  void watch(const std::string& name);
+
+  [[nodiscard]] std::size_t cycles_recorded() const;
+  /// Value history of a watched signal; throws when the name is unknown.
+  [[nodiscard]] const std::vector<std::uint64_t>& history(
+      const std::string& name) const;
+
+  /// Watched signals in watch order.
+  [[nodiscard]] std::vector<const Signal*> watched() const;
+
+  /// Render all watched signals as an ASCII waveform:
+  ///   1-bit signals as level lines (`_` low, `-` high),
+  ///   vectors as hex values held with `.` until they change.
+  [[nodiscard]] std::string render_ascii(std::size_t from_cycle = 0,
+                                         std::size_t to_cycle = SIZE_MAX) const;
+
+ private:
+  struct Channel {
+    Signal* signal;
+    std::vector<std::uint64_t> values;
+  };
+  Simulator& sim_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace splice::rtl

@@ -1,0 +1,20 @@
+// Value Change Dump writer so recorded traces can be inspected in any
+// standard waveform viewer (GTKWave etc.).
+#pragma once
+
+#include <string>
+
+#include "rtl/trace.hpp"
+
+namespace splice::rtl {
+
+/// Serialize a recorded trace as VCD text (one timescale unit per cycle).
+[[nodiscard]] std::string to_vcd(const Trace& trace, const Simulator& sim,
+                                 const std::string& top_name = "splice");
+
+/// Convenience: write the VCD text to a file; returns false on I/O failure.
+bool write_vcd_file(const Trace& trace, const Simulator& sim,
+                    const std::string& path,
+                    const std::string& top_name = "splice");
+
+}  // namespace splice::rtl

@@ -1,0 +1,163 @@
+#include "runtime/cpu.hpp"
+
+namespace splice::runtime {
+
+using drivergen::OpCode;
+
+void CpuMaster::run(drivergen::DriverProgram program) {
+  programs_.push_back(std::move(program));
+}
+
+void CpuMaster::start_op() {
+  auto& prog = programs_.front();
+  if (op_idx_ >= prog.ops.size()) {
+    programs_.pop_front();
+    op_idx_ = 0;
+    state_ = St::Idle;
+    return;
+  }
+  const drivergen::DriverOp& op = prog.ops[op_idx_];
+  collect_read_ = false;
+
+  switch (op.op) {
+    case OpCode::SetAddress:
+      // Address computation only: a couple of integer instructions.
+      gap_ = port_.cpu_gap_cycles();
+      state_ = St::Gap;
+      return;
+
+    case OpCode::WriteSingle:
+    case OpCode::WriteDouble:
+    case OpCode::WriteQuad:
+      port_.write(op.fid, op.data);
+      state_ = St::WaitPort;
+      return;
+
+    case OpCode::WriteDma:
+      port_.dma_write(op.fid, op.data);
+      state_ = St::WaitPort;
+      return;
+
+    case OpCode::ReadSingle:
+    case OpCode::ReadDouble:
+    case OpCode::ReadQuad:
+      port_.read(op.fid, op.read_words);
+      collect_read_ = true;
+      state_ = St::WaitPort;
+      return;
+
+    case OpCode::ReadDma:
+      port_.dma_read(op.fid, op.read_words);
+      collect_read_ = true;
+      state_ = St::WaitPort;
+      return;
+
+    case OpCode::WaitForResults:
+      if (protocol_ == sis::ProtocolClass::PseudoAsynchronous) {
+        // §6.1.1: on a pseudo asynchronous bus the wait collapses to a
+        // NULL statement — the ensuing read stalls the bus instead.
+        finish_op();
+        return;
+      }
+      poll_fid_ = op.fid;
+      // §10.2 interrupt extension: sleep on the IRQ line instead of
+      // spinning on the status register when the device provides one.
+      state_ = irq_ != nullptr ? St::IrqWait : St::PollIssue;
+      return;
+  }
+}
+
+void CpuMaster::finish_op() {
+  ++op_idx_;
+  auto& prog = programs_.front();
+  if (op_idx_ >= prog.ops.size()) {
+    programs_.pop_front();
+    op_idx_ = 0;
+    state_ = St::Idle;
+  } else {
+    state_ = St::Idle;  // next op starts on the following edge
+  }
+}
+
+void CpuMaster::clock_edge() {
+  switch (state_) {
+    case St::Idle:
+      if (!programs_.empty()) start_op();
+      break;
+
+    case St::Gap:
+      if (gap_ > 0) --gap_;
+      if (gap_ == 0) finish_op();
+      break;
+
+    case St::WaitPort:
+      if (!port_.busy()) {
+        if (collect_read_) {
+          const auto& data = port_.read_data();
+          read_words_.insert(read_words_.end(), data.begin(), data.end());
+        }
+        // Driver-macro epilogue (pointer bump, loop bookkeeping).
+        gap_ = port_.cpu_gap_cycles();
+        state_ = gap_ == 0 ? St::Idle : St::Gap;
+        if (gap_ == 0) finish_op();
+      }
+      break;
+
+    case St::PollIssue:
+      port_.read(sis::kStatusFuncId, 1);
+      ++polls_;
+      state_ = St::PollWait;
+      break;
+
+    case St::PollWait:
+      if (!port_.busy()) {
+        const auto& data = port_.read_data();
+        const std::uint64_t status = data.empty() ? 0 : data.back();
+        if (((status >> poll_fid_) & 1) != 0) {
+          finish_op();
+        } else {
+          gap_ = bus::timing::kPollLoopGapCycles;
+          state_ = St::PollGap;
+        }
+      }
+      break;
+
+    case St::PollGap:
+      if (gap_ > 0) --gap_;
+      if (gap_ == 0) state_ = St::PollIssue;
+      break;
+
+    case St::IrqWait:
+      // The CPU is free (or sleeping); no bus traffic until the device
+      // raises its interrupt request.
+      if (irq_ != nullptr && irq_->high()) {
+        ++irqs_;
+        gap_ = bus::timing::kIsrEntryCycles;
+        state_ = St::IsrEntry;
+      }
+      break;
+
+    case St::IsrEntry:
+      if (gap_ > 0) --gap_;
+      if (gap_ == 0) {
+        // The handler identifies the source with one status read; if the
+        // expected bit is not set the interrupt belonged to another
+        // function and the CPU goes back to sleep.
+        state_ = St::PollIssue;
+      }
+      break;
+  }
+}
+
+void CpuMaster::reset() {
+  programs_.clear();
+  op_idx_ = 0;
+  state_ = St::Idle;
+  gap_ = 0;
+  collect_read_ = false;
+  read_words_.clear();
+  polls_ = 0;
+  irqs_ = 0;
+}
+
+}  // namespace splice::runtime

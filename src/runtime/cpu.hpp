@@ -1,0 +1,76 @@
+// The CPU master: executes generated driver programs against a simulated
+// bus, charging the CPU-side instruction overhead of each driver macro as
+// inter-transaction gap cycles (the 300 MHz PPC-405 against 100 MHz buses
+// of §9.3, folded to bus cycles via timing::kCpuClockRatio).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bus/master_port.hpp"
+#include "bus/timing.hpp"
+#include "drivergen/program.hpp"
+#include "rtl/simulator.hpp"
+#include "sis/sis.hpp"
+
+namespace splice::runtime {
+
+class CpuMaster : public rtl::Module {
+ public:
+  CpuMaster(bus::MasterPort& port, sis::ProtocolClass protocol)
+      : rtl::Module("cpu_master"), port_(port), protocol_(protocol) {}
+
+  /// Enqueue a driver call; multiple queued programs run back to back.
+  void run(drivergen::DriverProgram program);
+
+  [[nodiscard]] bool done() const {
+    return programs_.empty() && state_ == St::Idle && !port_.busy();
+  }
+  /// Words produced by the completed programs' read macros, in order.
+  [[nodiscard]] const std::vector<std::uint64_t>& read_words() const {
+    return read_words_;
+  }
+  void clear_read_words() { read_words_.clear(); }
+  [[nodiscard]] std::uint64_t polls_performed() const { return polls_; }
+  [[nodiscard]] std::uint64_t interrupts_taken() const { return irqs_; }
+
+  /// %irq_support (§10.2): on strictly synchronous buses, WAIT_FOR_RESULTS
+  /// sleeps until the device raises this line instead of polling the
+  /// CALC_DONE register; each taken interrupt pays the ISR entry cost plus
+  /// one identifying status read.
+  void attach_irq(rtl::Signal& line) { irq_ = &line; }
+
+  void clock_edge() override;
+  void reset() override;
+
+ private:
+  enum class St : std::uint8_t {
+    Idle,
+    Gap,         ///< paying CPU-side macro overhead
+    WaitPort,    ///< transaction on the wire
+    PollIssue,   ///< WAIT_FOR_RESULTS: about to read the status register
+    PollWait,    ///< status read in flight
+    PollGap,     ///< loop-body overhead between polls
+    IrqWait,     ///< interrupt-driven wait (§10.2)
+    IsrEntry,    ///< exception entry / handler prologue
+  };
+
+  void start_op();
+  void finish_op();
+
+  bus::MasterPort& port_;
+  sis::ProtocolClass protocol_;
+  std::deque<drivergen::DriverProgram> programs_;
+  std::size_t op_idx_ = 0;
+  St state_ = St::Idle;
+  unsigned gap_ = 0;
+  bool collect_read_ = false;
+  std::uint32_t poll_fid_ = 0;
+  rtl::Signal* irq_ = nullptr;
+  std::vector<std::uint64_t> read_words_;
+  std::uint64_t polls_ = 0;
+  std::uint64_t irqs_ = 0;
+};
+
+}  // namespace splice::runtime

@@ -1,0 +1,137 @@
+#include "runtime/platform.hpp"
+
+#include "bus/timing.hpp"
+#include "elab/ahb_adapter.hpp"
+#include "elab/apb_adapter.hpp"
+#include "elab/fcb_adapter.hpp"
+#include "elab/plb_adapter.hpp"
+#include "runtime/cpu.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::runtime {
+
+std::string_view bus_kind_name(BusKind kind) {
+  switch (kind) {
+    case BusKind::Plb: return "plb";
+    case BusKind::Opb: return "opb";
+    case BusKind::Fcb: return "fcb";
+    case BusKind::Apb: return "apb";
+    case BusKind::Ahb: return "ahb";
+  }
+  return "?";
+}
+
+BusKind bus_kind_from_name(std::string_view name) {
+  if (name == "plb") return BusKind::Plb;
+  if (name == "opb") return BusKind::Opb;
+  if (name == "fcb") return BusKind::Fcb;
+  if (name == "apb") return BusKind::Apb;
+  if (name == "ahb") return BusKind::Ahb;
+  throw SpliceError("unknown bus type '" + std::string(name) + "'");
+}
+
+VirtualPlatform::VirtualPlatform(ir::DeviceSpec spec,
+                                 elab::BehaviorMap behaviors)
+    : spec_(std::move(spec)),
+      kind_(bus_kind_from_name(spec_.target.bus_type)),
+      protocol_(kind_ == BusKind::Apb
+                    ? sis::ProtocolClass::StrictlySynchronous
+                    : sis::ProtocolClass::PseudoAsynchronous),
+      sim_(std::make_unique<rtl::Simulator>()) {
+  device_ = std::make_unique<elab::ElaboratedDevice>(*sim_, spec_, behaviors);
+  sis::SisBus& sis = device_->sis();
+  const unsigned width = spec_.target.bus_width;
+  const unsigned slots = spec_.total_instances() + 1;  // slot 0 == status
+  const unsigned fid_w = spec_.func_id_width();
+
+  switch (kind_) {
+    case BusKind::Plb: {
+      auto& plb = sim_->add<bus::PlbBus>(*sim_, "PLB_", width, slots);
+      if (spec_.target.dma_support) plb.enable_dma();
+      sim_->add<elab::PlbSisAdapter>(plb.pins(), sis);
+      port_ = &plb;
+      break;
+    }
+    case BusKind::Opb: {
+      auto& opb = sim_->add<bus::OpbBus>(*sim_, "OPB_", width, slots);
+      sim_->add<elab::PlbSisAdapter>(opb.pins(), sis);
+      port_ = &opb;
+      break;
+    }
+    case BusKind::Fcb: {
+      auto& fcb = sim_->add<bus::FcbBus>(*sim_, "FCB_", width, fid_w);
+      sim_->add<elab::FcbSisAdapter>(fcb.pins(), sis);
+      port_ = &fcb;
+      break;
+    }
+    case BusKind::Apb: {
+      auto& apb = sim_->add<bus::ApbBus>(*sim_, "APB_", width, fid_w);
+      sim_->add<elab::ApbSisAdapter>(apb.pins(), sis);
+      port_ = &apb;
+      break;
+    }
+    case BusKind::Ahb: {
+      auto& ahb = sim_->add<bus::AhbBus>(*sim_, "AHB_", width, fid_w);
+      sim_->add<elab::AhbSisAdapter>(ahb.pins(), sis);
+      port_ = &ahb;
+      break;
+    }
+  }
+
+  checker_ = &sim_->add<sis::ProtocolChecker>(sis, protocol_);
+  cpu_ = &sim_->add<CpuMaster>(*port_, protocol_);
+
+  // %irq_support (thesis §10.2, implemented): the arbiter drives an
+  // interrupt request whenever any CALC_DONE bit rises, and the CPU's
+  // WAIT_FOR_RESULTS sleeps on it instead of polling.
+  if (spec_.target.irq_support) {
+    rtl::Signal& irq = sim_->signal("IRQ", 1);
+    device_->arbiter().attach_irq(irq);
+    cpu_->attach_irq(irq);
+  }
+}
+
+CallResult VirtualPlatform::call(const std::string& function,
+                                 const drivergen::CallArgs& args,
+                                 std::uint32_t instance,
+                                 std::uint64_t max_cycles) {
+  const ir::FunctionDecl* fn = spec_.find_function(function);
+  if (fn == nullptr) {
+    throw SpliceError("unknown function '" + function + "'");
+  }
+  drivergen::DriverBuilder builder(spec_, *fn);
+  return run_program(function, builder.build_call(args, instance), args,
+                     max_cycles);
+}
+
+CallResult VirtualPlatform::run_program(const std::string& function,
+                                        drivergen::DriverProgram program,
+                                        const drivergen::CallArgs& args,
+                                        std::uint64_t max_cycles) {
+  const ir::FunctionDecl* fn = spec_.find_function(function);
+  if (fn == nullptr) {
+    throw SpliceError("unknown function '" + function + "'");
+  }
+  cpu_->clear_read_words();
+  cpu_->run(std::move(program));
+
+  const std::uint64_t start = sim_->cycle();
+  const bool finished =
+      sim_->step_until([this] { return cpu_->done(); }, max_cycles);
+  if (!finished) {
+    throw SpliceError("call to '" + function + "' did not complete within " +
+                      std::to_string(max_cycles) + " cycles");
+  }
+
+  CallResult result;
+  result.bus_cycles = sim_->cycle() - start;
+  result.cpu_cycles = result.bus_cycles * bus::timing::kCpuClockRatio;
+  drivergen::DriverBuilder builder(spec_, *fn);
+  drivergen::CallOutputs decoded =
+      builder.decode_call(cpu_->read_words(), args);
+  result.outputs = std::move(decoded.outputs);
+  result.byref_outputs = std::move(decoded.byref);
+  return result;
+}
+
+}  // namespace splice::runtime

@@ -1,0 +1,82 @@
+// The virtual platform: a complete simulated SoC — CPU master, native bus,
+// SIS adapter, generated arbiter and user-logic stubs — assembled from a
+// validated DeviceSpec.  This is the simulation stand-in for the thesis'
+// ML-403 / SP3-1500 development boards (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/ahb.hpp"
+#include "bus/apb.hpp"
+#include "bus/fcb.hpp"
+#include "bus/opb.hpp"
+#include "bus/plb.hpp"
+#include "drivergen/program.hpp"
+#include "elab/device.hpp"
+#include "ir/device.hpp"
+#include "rtl/simulator.hpp"
+#include "sis/checker.hpp"
+
+namespace splice::runtime {
+
+class CpuMaster;
+
+enum class BusKind : std::uint8_t { Plb, Opb, Fcb, Apb, Ahb };
+
+[[nodiscard]] std::string_view bus_kind_name(BusKind kind);
+/// Map a %bus_type string to a BusKind; throws on unknown names.
+[[nodiscard]] BusKind bus_kind_from_name(std::string_view name);
+
+struct CallResult {
+  std::vector<std::uint64_t> outputs;  ///< decoded output elements
+  /// Updated '&' by-reference parameter values (§10.2), in
+  /// FunctionDecl::by_ref_params order.
+  std::vector<std::vector<std::uint64_t>> byref_outputs;
+  std::uint64_t bus_cycles = 0;        ///< wall time of the call
+  std::uint64_t cpu_cycles = 0;        ///< bus_cycles * CPU clock ratio
+};
+
+class VirtualPlatform {
+ public:
+  /// Build the SoC.  `spec` must validate cleanly; the bus is chosen from
+  /// spec.target.bus_type, and DMA hardware is attached iff %dma_support.
+  VirtualPlatform(ir::DeviceSpec spec, elab::BehaviorMap behaviors);
+
+  /// Invoke one generated driver; steps the simulator until it returns.
+  CallResult call(const std::string& function,
+                  const drivergen::CallArgs& args = {},
+                  std::uint32_t instance = 0,
+                  std::uint64_t max_cycles = 1'000'000);
+
+  /// Run a pre-built program (benchmark harnesses build their own).
+  CallResult run_program(const std::string& function,
+                         drivergen::DriverProgram program,
+                         const drivergen::CallArgs& args,
+                         std::uint64_t max_cycles = 1'000'000);
+
+  [[nodiscard]] rtl::Simulator& sim() { return *sim_; }
+  [[nodiscard]] const ir::DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] elab::ElaboratedDevice& device() { return *device_; }
+  [[nodiscard]] bus::MasterPort& port() { return *port_; }
+  [[nodiscard]] CpuMaster& cpu() { return *cpu_; }
+  [[nodiscard]] const sis::ProtocolChecker& checker() const {
+    return *checker_;
+  }
+  [[nodiscard]] BusKind bus_kind() const { return kind_; }
+  [[nodiscard]] sis::ProtocolClass protocol() const { return protocol_; }
+
+ private:
+  ir::DeviceSpec spec_;
+  BusKind kind_;
+  sis::ProtocolClass protocol_;
+  std::unique_ptr<rtl::Simulator> sim_;
+  std::unique_ptr<elab::ElaboratedDevice> device_;
+  bus::MasterPort* port_ = nullptr;      // owned by the simulator
+  CpuMaster* cpu_ = nullptr;             // owned by the simulator
+  sis::ProtocolChecker* checker_ = nullptr;
+};
+
+}  // namespace splice::runtime

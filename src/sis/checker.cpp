@@ -1,0 +1,120 @@
+#include "sis/checker.hpp"
+
+namespace splice::sis {
+
+ProtocolChecker::ProtocolChecker(const SisBus& bus, ProtocolClass protocol)
+    : rtl::Module("sis_checker"), bus_(bus), protocol_(protocol) {}
+
+void ProtocolChecker::violate(const std::string& what) {
+  violations_.push_back("cycle " + std::to_string(cycle_) + ": " + what);
+}
+
+void ProtocolChecker::reset() {
+  txn_ = Txn::Idle;
+  prev_io_enable_ = false;
+  prev_io_done_ = false;
+  cycle_ = 0;
+}
+
+void ProtocolChecker::clock_edge() {
+  const bool enable = bus_.io_enable.high();
+  const bool din_valid = bus_.data_in_valid.high();
+  const bool io_done = bus_.io_done.high();
+  const bool dout_valid = bus_.data_out_valid.high();
+  const std::uint64_t fid = bus_.func_id.get();
+
+  if (bus_.rst.high()) {
+    txn_ = Txn::Idle;
+    prev_io_enable_ = false;
+    prev_io_done_ = false;
+    ++cycle_;
+    return;
+  }
+
+  // Axiom: IO_ENABLE is strobed for a single cycle per request (§4.2.1).
+  if (enable && prev_io_enable_) {
+    violate("IO_ENABLE held high for more than one cycle");
+  }
+
+  const bool new_request = enable && !prev_io_enable_;
+
+  switch (txn_) {
+    case Txn::Idle:
+      if (new_request) {
+        if (din_valid) {
+          // Write transaction opened.
+          txn_ = Txn::Write;
+          held_func_id_ = fid;
+          held_data_ = bus_.data_in.get();
+          txn_start_cycle_ = cycle_;
+          ++writes_;
+        } else {
+          txn_ = Txn::Read;
+          held_func_id_ = fid;
+          txn_start_cycle_ = cycle_;
+          ++reads_;
+        }
+        // A transaction may complete in its very first cycle; on a strictly
+        // synchronous interface it MUST (§4.2.2).
+        if (io_done || protocol_ == ProtocolClass::StrictlySynchronous) {
+          txn_ = Txn::Idle;
+        }
+      } else if (io_done && !prev_io_done_ &&
+                 protocol_ == ProtocolClass::PseudoAsynchronous) {
+        violate("IO_DONE raised with no transaction in flight");
+      }
+      break;
+
+    case Txn::Write:
+      // Axiom: DATA_IN, DATA_IN_VALID and FUNC_ID remain static until the
+      // target raises IO_DONE (§4.2.1).
+      if (protocol_ == ProtocolClass::PseudoAsynchronous) {
+        if (!din_valid && !io_done) {
+          violate("DATA_IN_VALID dropped before IO_DONE during a write");
+        }
+        if (fid != held_func_id_) {
+          violate("FUNC_ID changed mid-write");
+        }
+        if (din_valid && bus_.data_in.get() != held_data_) {
+          violate("DATA_IN changed mid-write");
+        }
+      } else {
+        // Strictly synchronous: every write completes in the cycle it is
+        // enacted (§4.2.2) — a write still open one cycle later is an error
+        // unless a fresh request chained in.
+        if (cycle_ > txn_start_cycle_ && !new_request) {
+          violate("strictly synchronous write did not complete in one cycle");
+        }
+      }
+      if (io_done || protocol_ == ProtocolClass::StrictlySynchronous) {
+        txn_ = Txn::Idle;
+      }
+      break;
+
+    case Txn::Read:
+      if (fid != held_func_id_) violate("FUNC_ID changed mid-read");
+      if (protocol_ == ProtocolClass::PseudoAsynchronous) {
+        // Axiom: output is presented with DATA_OUT_VALID and IO_DONE raised
+        // together for one cycle (§4.2.1).
+        if (io_done && !dout_valid) {
+          violate("IO_DONE for a read without DATA_OUT_VALID");
+        }
+        if (io_done) txn_ = Txn::Idle;
+      } else {
+        // Strictly synchronous reads complete in the enacting cycle.
+        txn_ = Txn::Idle;
+      }
+      break;
+  }
+
+  // Axiom: IO_DONE pulses are single-cycle.
+  if (io_done && prev_io_done_) {
+    violate("IO_DONE held high for more than one cycle");
+  }
+
+  prev_io_enable_ = enable;
+  prev_io_done_ = io_done;
+  ++cycle_;
+}
+
+}  // namespace splice::sis

@@ -1,0 +1,49 @@
+// Runtime protocol checker: observes an SIS bundle every clock cycle and
+// records violations of the chapter-4 communication axioms.  Tests attach
+// one to every simulated configuration so any adapter or generated stub
+// that strays from the standard fails loudly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sis/sis.hpp"
+
+namespace splice::sis {
+
+class ProtocolChecker : public rtl::Module {
+ public:
+  ProtocolChecker(const SisBus& bus, ProtocolClass protocol);
+
+  void clock_edge() override;
+  void reset() override;
+
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+  [[nodiscard]] std::uint64_t writes_observed() const { return writes_; }
+  [[nodiscard]] std::uint64_t reads_observed() const { return reads_; }
+
+ private:
+  void violate(const std::string& what);
+
+  const SisBus& bus_;
+  ProtocolClass protocol_;
+
+  enum class Txn : std::uint8_t { Idle, Write, Read };
+  Txn txn_ = Txn::Idle;
+  std::uint64_t held_func_id_ = 0;
+  std::uint64_t held_data_ = 0;
+  std::uint64_t txn_start_cycle_ = 0;
+  std::uint64_t cycle_ = 0;
+  bool prev_io_enable_ = false;
+  bool prev_io_done_ = false;
+
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace splice::sis

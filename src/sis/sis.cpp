@@ -1,0 +1,29 @@
+#include "sis/sis.hpp"
+
+namespace splice::sis {
+
+std::string_view protocol_name(ProtocolClass p) {
+  return p == ProtocolClass::PseudoAsynchronous ? "pseudo asynchronous"
+                                                : "strictly synchronous";
+}
+
+SisBus SisBus::create(rtl::Simulator& sim, const std::string& prefix,
+                      unsigned data_width, unsigned func_id_width,
+                      unsigned calc_vector_width) {
+  auto name = [&](const char* leaf) { return prefix + leaf; };
+  return SisBus{
+      data_width,
+      func_id_width,
+      sim.signal(name("RST"), 1),
+      sim.signal(name("DATA_IN"), data_width),
+      sim.signal(name("DATA_IN_VALID"), 1),
+      sim.signal(name("IO_ENABLE"), 1),
+      sim.signal(name("FUNC_ID"), func_id_width),
+      sim.signal(name("DATA_OUT"), data_width),
+      sim.signal(name("DATA_OUT_VALID"), 1),
+      sim.signal(name("IO_DONE"), 1),
+      sim.signal(name("CALC_DONE"), calc_vector_width),
+  };
+}
+
+}  // namespace splice::sis

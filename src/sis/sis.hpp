@@ -1,0 +1,62 @@
+// The Splice Interface Standard (thesis chapter 4): the 10-signal
+// bus-independent protocol every generated user-logic stub speaks.
+//
+// Signal roles (Figure 4.2):
+//   CLK / RST            broadcast clock and reset (CLK is implicit in the
+//                        cycle-based kernel)
+//   DATA_IN              input data from the processor
+//   DATA_IN_VALID        input data is valid and waiting to be stored
+//   IO_ENABLE            strobed for one cycle at each new data request
+//   FUNC_ID              selects the target user-logic function
+//   DATA_OUT             output data from the user logic (per-function,
+//                        multiplexed by the arbiter)
+//   DATA_OUT_VALID       output data is valid and waiting to be read
+//   IO_DONE              previous load/store to this function completed
+//   CALC_DONE            this function's calculations have all completed
+//                        (concatenated into the status vector read through
+//                        the reserved FUNC_ID 0, §4.2.2)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rtl/simulator.hpp"
+
+namespace splice::sis {
+
+/// SIS transfer protocol class (§4.2.1 / §4.2.2).
+enum class ProtocolClass : std::uint8_t {
+  PseudoAsynchronous,   ///< handshaken; IO_DONE paces the bus
+  StrictlySynchronous,  ///< single-cycle ops; CALC_DONE polling for reads
+};
+
+[[nodiscard]] std::string_view protocol_name(ProtocolClass p);
+
+/// Reserved function identifier: reads with FUNC_ID 0 return the CALC_DONE
+/// status vector (§4.2.2).
+inline constexpr std::uint32_t kStatusFuncId = 0;
+
+/// The adapter-facing SIS signal bundle (after the arbiter has multiplexed
+/// the per-function DATA_OUT / DATA_OUT_VALID / IO_DONE lines and encoded
+/// the CALC_DONE vector).
+struct SisBus {
+  unsigned data_width;
+  unsigned func_id_width;
+
+  rtl::Signal& rst;
+  rtl::Signal& data_in;
+  rtl::Signal& data_in_valid;
+  rtl::Signal& io_enable;
+  rtl::Signal& func_id;
+  rtl::Signal& data_out;
+  rtl::Signal& data_out_valid;
+  rtl::Signal& io_done;
+  rtl::Signal& calc_done;  ///< status vector, bit i == instance i done
+
+  /// Create the bundle on `sim` with `prefix`-qualified signal names.
+  static SisBus create(rtl::Simulator& sim, const std::string& prefix,
+                       unsigned data_width, unsigned func_id_width,
+                       unsigned calc_vector_width);
+};
+
+}  // namespace splice::sis

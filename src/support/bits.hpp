@@ -1,0 +1,48 @@
+// Bit-level helpers shared by the bus models, code generators and the
+// resource estimator.
+#pragma once
+
+#include <cstdint>
+
+namespace splice::bits {
+
+/// Ceiling division for positive integers.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Number of bits required to represent values 0..n-1 (at least 1).
+[[nodiscard]] constexpr unsigned bits_for_count(std::uint64_t n) {
+  unsigned bits = 1;
+  while ((std::uint64_t{1} << bits) < n && bits < 63) ++bits;
+  return bits;
+}
+
+/// Number of bits required to represent the value n itself.
+[[nodiscard]] constexpr unsigned bits_for_value(std::uint64_t n) {
+  return bits_for_count(n + 1);
+}
+
+/// Mask with the low `width` bits set (width in [0, 64]).
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << width) - 1);
+}
+
+/// True when exactly one bit is set.
+[[nodiscard]] constexpr bool is_one_hot(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Index of the single set bit of a one-hot value (undefined otherwise).
+[[nodiscard]] constexpr unsigned one_hot_index(std::uint64_t v) {
+  unsigned idx = 0;
+  while ((v & 1) == 0 && idx < 63) {
+    v >>= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+}  // namespace splice::bits

@@ -1,0 +1,58 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace splice {
+
+std::string SourceLoc::to_string() const {
+  if (!valid()) return "<unknown>";
+  std::ostringstream os;
+  os << line;
+  if (column != 0) os << ':' << column;
+  return os.str();
+}
+
+namespace {
+std::string_view severity_name(Severity sev) {
+  switch (sev) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  if (loc.valid()) os << loc.to_string() << ": ";
+  os << severity_name(severity) << " [E" << static_cast<int>(id) << "] "
+     << message;
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity sev, DiagId id, std::string message,
+                              SourceLoc loc) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, id, std::move(message), loc});
+}
+
+bool DiagnosticEngine::contains(DiagId id) const {
+  for (const auto& d : diags_) {
+    if (d.id == id) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.to_string() << '\n';
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace splice

@@ -1,0 +1,38 @@
+// Small string helpers used across the Splice libraries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splice::str {
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] std::string to_upper(std::string_view s);
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+/// Split on any run of whitespace; no empty pieces.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+/// Replace every occurrence of `from` in `s` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s, std::string_view from,
+                                      std::string_view to);
+/// Parse a decimal unsigned integer; nullopt on any non-digit.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view s);
+/// Parse "0x..." or plain hex digits.
+[[nodiscard]] std::optional<std::uint64_t> parse_hex(std::string_view s);
+/// True if `s` matches the thesis `identifier` production:
+/// alpha (alphanumeric | '_')*.
+[[nodiscard]] bool is_identifier(std::string_view s);
+/// Render `value` as 0x%08X-style hex with at least `min_digits` digits.
+[[nodiscard]] std::string hex(std::uint64_t value, int min_digits = 1);
+/// Indent every line of `body` by `spaces` spaces.
+[[nodiscard]] std::string indent(std::string_view body, int spaces);
+
+}  // namespace splice::str

@@ -1,0 +1,74 @@
+#include "support/text_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace splice {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.cells.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) {
+    if (!r.rule) measure(r.cells);
+  }
+
+  auto align_of = [&](std::size_t i) {
+    return i < alignment_.size() ? alignment_[i] : Align::Left;
+  };
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < cols; ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      std::size_t pad = width[i] - cell.size();
+      os << ' ';
+      if (align_of(i) == Align::Right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&](std::ostringstream& os) {
+    os << '+';
+    for (std::size_t i = 0; i < cols; ++i) {
+      os << std::string(width[i] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  if (!header_.empty()) {
+    emit_row(os, header_);
+    emit_rule(os);
+  }
+  for (const auto& r : rows_) {
+    if (r.rule) emit_rule(os);
+    else emit_row(os, r.cells);
+  }
+  emit_rule(os);
+  return os.str();
+}
+
+}  // namespace splice

@@ -1,0 +1,33 @@
+// Plain-text table renderer used by the benchmark harnesses to print the
+// paper's tables and figure data in a readable, diffable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace splice {
+
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  /// Define the column headers; alignment defaults to Left.
+  void set_header(std::vector<std::string> header);
+  void set_alignment(std::vector<Align> alignment);
+  void add_row(std::vector<std::string> row);
+  /// A horizontal rule between body rows.
+  void add_rule();
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace splice

@@ -1,0 +1,187 @@
+// Bus-extension API tests (thesis chapter 7): registry behaviour, the
+// three required adapter routines, capability-driven parameter rejection,
+// template expansion of native interfaces, and the §7.2 naming rule.
+#include <gtest/gtest.h>
+
+#include "adapters/registry.hpp"
+#include "codegen/template.hpp"
+#include "frontend/parser.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::adapters;
+
+ir::DeviceSpec parse(const std::string& text) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  EXPECT_TRUE(spec.has_value()) << diags.render();
+  return spec ? std::move(*spec) : ir::DeviceSpec{};
+}
+
+TEST(Registry, BuiltinsPresent) {
+  auto& reg = AdapterRegistry::instance();
+  for (const char* bus : {"plb", "opb", "fcb", "apb", "ahb"}) {
+    EXPECT_NE(reg.find(bus), nullptr) << bus;
+  }
+  EXPECT_EQ(reg.find("wishbone"), nullptr);
+}
+
+TEST(Registry, DuplicateRegistrationRejected) {
+  AdapterRegistry reg;
+  EXPECT_TRUE(reg.add(make_plb_adapter()));
+  EXPECT_FALSE(reg.add(make_plb_adapter()));
+  EXPECT_TRUE(reg.remove("plb"));
+  EXPECT_FALSE(reg.remove("plb"));
+  EXPECT_TRUE(reg.add(make_plb_adapter()));
+}
+
+TEST(Registry, LibraryNamingRule) {
+  // §7.2: the library must be named lib[x]_interface.so.
+  EXPECT_EQ(library_filename("plb"), "libplb_interface.so");
+  EXPECT_EQ(library_filename("wishbone"), "libwishbone_interface.so");
+}
+
+TEST(Capabilities, MatchThesisDescriptions) {
+  auto& reg = AdapterRegistry::instance();
+  const auto plb = reg.find("plb")->capabilities();
+  EXPECT_TRUE(plb.memory_mapped);
+  EXPECT_TRUE(plb.supports_dma);
+  EXPECT_EQ(plb.max_dma_bits, 256u * 8u);  // §2.3.2: 256-byte DMA
+  EXPECT_TRUE(plb.width_allowed(32));
+  EXPECT_TRUE(plb.width_allowed(64));
+  EXPECT_FALSE(plb.width_allowed(16));
+
+  const auto fcb = reg.find("fcb")->capabilities();
+  EXPECT_FALSE(fcb.memory_mapped);
+  EXPECT_FALSE(fcb.supports_dma);
+  EXPECT_TRUE(fcb.supports_burst);
+  EXPECT_EQ(fcb.max_burst_words, 4u);  // double/quad word bursts
+
+  const auto opb = reg.find("opb")->capabilities();
+  EXPECT_FALSE(opb.supports_dma);   // §2.3.2: simple transfers only
+  EXPECT_FALSE(opb.supports_burst);
+
+  const auto apb = reg.find("apb")->capabilities();
+  EXPECT_TRUE(apb.strictly_synchronous);
+
+  const auto ahb = reg.find("ahb")->capabilities();
+  EXPECT_TRUE(ahb.supports_burst);
+  EXPECT_EQ(ahb.max_burst_words, 16u);  // §2.3.1: 16-beat chains
+}
+
+TEST(ParameterChecking, OpbRejectsDma) {
+  auto spec = parse(
+      "%device_name d\n%bus_type opb\n%bus_width 32\n"
+      "%base_address 0x0\n%dma_support true\nint f();\n");
+  DiagnosticEngine diags;
+  const BusAdapter* opb = AdapterRegistry::instance().find("opb");
+  EXPECT_FALSE(opb->check_parameters(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::DmaNotSupportedByBus));
+}
+
+TEST(ParameterChecking, FcbRejectsWrongWidth) {
+  auto spec = parse(
+      "%device_name d\n%bus_type fcb\n%bus_width 64\nint f();\n");
+  DiagnosticEngine diags;
+  const BusAdapter* fcb = AdapterRegistry::instance().find("fcb");
+  EXPECT_FALSE(fcb->check_parameters(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::UnsupportedBusWidth));
+}
+
+TEST(ParameterChecking, PlbAcceptsCompleteSpec) {
+  auto spec = parse(
+      "%device_name d\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\nint f(int x);\n");
+  DiagnosticEngine diags;
+  const BusAdapter* plb = AdapterRegistry::instance().find("plb");
+  EXPECT_TRUE(plb->check_parameters(spec, diags)) << diags.render();
+  EXPECT_EQ(spec.functions[0].func_id, 1u);
+}
+
+class InterfaceGeneration : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(InterfaceGeneration, TemplateExpandsWithNoLeftoverMarkers) {
+  const std::string bus = GetParam();
+  const bool mapped = bus != "fcb";
+  auto spec = parse("%device_name d\n%bus_type " + bus + "\n%bus_width 32\n" +
+                    (mapped ? "%base_address 0x80000000\n" : "") +
+                    "int f(int x);\nint g();\n");
+  DiagnosticEngine diags;
+  const BusAdapter* adapter = AdapterRegistry::instance().find(bus);
+  ASSERT_NE(adapter, nullptr);
+  ASSERT_TRUE(adapter->check_parameters(spec, diags)) << diags.render();
+
+  codegen::TemplateEngine engine = codegen::make_standard_engine();
+  adapter->load_markers(engine);
+  auto files = adapter->generate_interface(spec, engine, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  ASSERT_FALSE(files.empty());
+  EXPECT_EQ(files[0].filename, bus + "_interface.vhd");
+  // Every marker must have been expanded: the only remaining '%' may be
+  // the literal one a template escapes with '%%'.
+  const std::string& body = files[0].content;
+  EXPECT_EQ(body.find("%COMP_NAME%"), std::string::npos);
+  EXPECT_EQ(body.find("%BUS_WIDTH%"), std::string::npos);
+  EXPECT_EQ(body.find("%NUM_SLOTS%"), std::string::npos);
+  EXPECT_NE(body.find("entity " + bus + "_interface"), std::string::npos);
+  EXPECT_NE(body.find("DATA_IN_VALID"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuses, InterfaceGeneration,
+                         ::testing::Values("plb", "opb", "fcb", "apb", "ahb"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(InterfaceGenerationExtras, PlbWithDmaEmitsEngineFile) {
+  // §7.1.2: complex interconnects may need multiple HDL files.
+  auto spec = parse(
+      "%device_name d\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\n%dma_support true\n"
+      "void f(int*:8^ x);\n");
+  DiagnosticEngine diags;
+  const BusAdapter* plb = AdapterRegistry::instance().find("plb");
+  ASSERT_TRUE(plb->check_parameters(spec, diags)) << diags.render();
+  codegen::TemplateEngine engine = codegen::make_standard_engine();
+  plb->load_markers(engine);
+  auto files = plb->generate_interface(spec, engine, diags);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[1].filename, "plb_dma_engine.vhd");
+  EXPECT_NE(files[1].content.find("entity plb_dma_engine"),
+            std::string::npos);
+}
+
+TEST(MacroLibrary, PerBusContent) {
+  auto& reg = AdapterRegistry::instance();
+  auto spec = parse(
+      "%device_name d\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80004000\nint f();\n");
+  const std::string plb_lib = reg.find("plb")->macro_library(spec);
+  EXPECT_NE(plb_lib.find("#define WRITE_SINGLE"), std::string::npos);
+  EXPECT_NE(plb_lib.find("#define WAIT_FOR_RESULTS(a) ((void)0)"),
+            std::string::npos);
+  EXPECT_NE(plb_lib.find("0x80004000"), std::string::npos);
+
+  spec.target.bus_type = "apb";
+  const std::string apb_lib = reg.find("apb")->macro_library(spec);
+  // Strictly synchronous: the wait macro polls the status register.
+  EXPECT_NE(apb_lib.find("while"), std::string::npos);
+  EXPECT_NE(apb_lib.find("SPLICE_STATUS_ADDR"), std::string::npos);
+
+  spec.target.bus_type = "fcb";
+  const std::string fcb_lib = reg.find("fcb")->macro_library(spec);
+  EXPECT_NE(fcb_lib.find("__asm__"), std::string::npos);
+}
+
+TEST(MacroLibrary, LinuxVariantUsesMmap) {
+  auto spec = parse(
+      "%device_name d\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80004000\nint f();\n");
+  const std::string lib = AdapterRegistry::instance().find("plb")->macro_library(
+      spec, drivergen::DriverOs::Linux);
+  EXPECT_NE(lib.find("mmap"), std::string::npos);
+  EXPECT_NE(lib.find("/dev/mem"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Unit tests for the chapter-9 hand-coded baseline interfaces and their
+// shared input sequencer.
+#include <gtest/gtest.h>
+
+#include "bus/timing.hpp"
+#include "devices/baselines.hpp"
+#include "devices/evaluation.hpp"
+#include "devices/interpolator.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::devices;
+
+std::vector<std::uint64_t> word_stream(const ScenarioInputs& in) {
+  std::vector<std::uint64_t> words;
+  words.push_back(in.set1.size());
+  words.insert(words.end(), in.set1.begin(), in.set1.end());
+  words.push_back(in.set2.size());
+  words.insert(words.end(), in.set2.begin(), in.set2.end());
+  words.push_back(in.set3.size());
+  words.insert(words.end(), in.set3.begin(), in.set3.end());
+  return words;
+}
+
+TEST(InterpSequencer, ConsumesPhasesInOrder) {
+  const ScenarioInputs in = make_inputs(scenarios()[0]);
+  InterpSequencer seq;
+  for (std::uint64_t w : word_stream(in)) {
+    EXPECT_FALSE(seq.inputs_complete());
+    seq.consume(w);
+  }
+  EXPECT_TRUE(seq.inputs_complete());
+  EXPECT_FALSE(seq.result_ready()) << "calculation still pending";
+  for (unsigned c = 0; c < bus::timing::kInterpolatorCalcCycles; ++c) {
+    seq.tick();
+  }
+  EXPECT_TRUE(seq.result_ready());
+  EXPECT_EQ(seq.result(), in.expected());
+}
+
+TEST(InterpSequencer, RestartClearsEverything) {
+  const ScenarioInputs in = make_inputs(scenarios()[1]);
+  InterpSequencer seq;
+  for (std::uint64_t w : word_stream(in)) seq.consume(w);
+  for (unsigned c = 0; c < 64; ++c) seq.tick();
+  ASSERT_TRUE(seq.result_ready());
+  seq.restart();
+  EXPECT_FALSE(seq.inputs_complete());
+  EXPECT_FALSE(seq.result_ready());
+  // Second run produces the same answer.
+  for (std::uint64_t w : word_stream(in)) seq.consume(w);
+  for (unsigned c = 0; c < 64; ++c) seq.tick();
+  EXPECT_EQ(seq.result(), in.expected());
+}
+
+TEST(InterpSequencer, ZeroCountSkipsSet) {
+  InterpSequencer seq;
+  seq.consume(0);  // n1 = 0 -> no set1 words
+  seq.consume(1);  // n2 = 1
+  seq.consume(42);
+  seq.consume(1);  // n3 = 1
+  seq.consume(7);
+  EXPECT_TRUE(seq.inputs_complete());
+}
+
+TEST(InterpSequencer, ExtraWordsAreDropped) {
+  InterpSequencer seq;
+  for (std::uint64_t w : word_stream(make_inputs(scenarios()[0]))) {
+    seq.consume(w);
+  }
+  seq.consume(999);  // beyond the protocol
+  EXPECT_TRUE(seq.inputs_complete());
+}
+
+TEST(NaiveBaseline, AnswersSlowlyButCorrectly) {
+  // The naive slave must produce the right answer; its *cost* is what the
+  // evaluation measures elsewhere.
+  const ScenarioRun run = run_scenario(Impl::NaivePlb, scenarios()[2]);
+  EXPECT_TRUE(run.correct());
+}
+
+TEST(OptimizedBaseline, RepeatedRunsReuseTheDevice) {
+  // run_scenario performs warm runs internally; a fresh measurement per
+  // scenario must stay deterministic.
+  const auto a = run_scenario(Impl::OptimizedFcb, scenarios()[1]);
+  const auto b = run_scenario(Impl::OptimizedFcb, scenarios()[1]);
+  EXPECT_EQ(a.bus_cycles, b.bus_cycles);
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_TRUE(a.correct());
+}
+
+TEST(Baselines, NaiveSlowerThanEverySpliceVariantPerScenario) {
+  for (const auto& sc : scenarios()) {
+    const auto naive = run_scenario(Impl::NaivePlb, sc).bus_cycles;
+    EXPECT_GT(naive, run_scenario(Impl::SplicePlbSimple, sc).bus_cycles);
+    EXPECT_GT(naive, run_scenario(Impl::SpliceFcb, sc).bus_cycles);
+  }
+}
+
+TEST(Baselines, OptimizedFcbIsTheFastestImplementation) {
+  for (const auto& sc : scenarios()) {
+    const auto opt = run_scenario(Impl::OptimizedFcb, sc).bus_cycles;
+    for (Impl impl : kAllImpls) {
+      if (impl == Impl::OptimizedFcb) continue;
+      EXPECT_LT(opt, run_scenario(impl, sc).bus_cycles)
+          << impl_name(impl) << " scenario " << sc.id;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,312 @@
+// Bus protocol-model tests: pin-level transaction shapes, relative
+// latencies (OPB bridge > PLB; FCB < PLB), burst splitting, and the DMA
+// cost structure of §9.2.1.
+#include <gtest/gtest.h>
+
+#include "bus/ahb.hpp"
+#include "bus/apb.hpp"
+#include "bus/fcb.hpp"
+#include "bus/opb.hpp"
+#include "bus/plb.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::bus;
+
+/// Minimal always-ready PLB slave: acknowledges every request on the next
+/// cycle and echoes written data back on reads.
+class EchoPlbSlave : public rtl::Module {
+ public:
+  explicit EchoPlbSlave(PlbPins& pins)
+      : rtl::Module("echo_slave"), pins_(pins) {}
+  void clock_edge() override {
+    pins_.wr_ack.set(false);
+    pins_.rd_ack.set(false);
+    if (pins_.wr_req.high() && pins_.wr_ce.get() != 0) {
+      last_written = pins_.wr_data.get();
+      last_wr_slot = pins_.wr_ce.get();
+      ++writes;
+      pins_.wr_ack.set(true);
+    }
+    if (pins_.rd_req.high() && pins_.rd_ce.get() != 0) {
+      pins_.rd_data.set(last_written);
+      pins_.rd_ack.set(true);
+      ++reads;
+    }
+  }
+  PlbPins& pins_;
+  std::uint64_t last_written = 0;
+  std::uint64_t last_wr_slot = 0;
+  unsigned writes = 0;
+  unsigned reads = 0;
+};
+
+std::uint64_t run_until_idle(rtl::Simulator& sim, MasterPort& port) {
+  const std::uint64_t start = sim.cycle();
+  EXPECT_TRUE(sim.step_until([&] { return !port.busy(); }, 10'000));
+  return sim.cycle() - start;
+}
+
+TEST(PlbModel, SingleWriteReachesSlaveWithOneHotCe) {
+  rtl::Simulator sim;
+  auto& plb = sim.add<PlbBus>(sim, "PLB_", 32, 4);
+  auto& slave = sim.add<EchoPlbSlave>(plb.pins());
+  plb.write(2, {0xCAFE});
+  run_until_idle(sim, plb);
+  EXPECT_EQ(slave.last_written, 0xCAFEu);
+  EXPECT_EQ(slave.last_wr_slot, 1u << 2);
+  EXPECT_EQ(plb.transactions(), 1u);
+}
+
+TEST(PlbModel, ReadReturnsSlaveData) {
+  rtl::Simulator sim;
+  auto& plb = sim.add<PlbBus>(sim, "PLB_", 32, 4);
+  sim.add<EchoPlbSlave>(plb.pins());
+  plb.write(1, {0x1234});
+  plb.read(1, 1);
+  run_until_idle(sim, plb);
+  ASSERT_EQ(plb.read_data().size(), 1u);
+  EXPECT_EQ(plb.read_data()[0], 0x1234u);
+}
+
+TEST(PlbModel, MultiWordWritesSerializeIntoTransactions) {
+  // The PPC-405 cannot burst on the PLB (§2.3.2), so each word is its own
+  // transaction.
+  rtl::Simulator sim;
+  auto& plb = sim.add<PlbBus>(sim, "PLB_", 32, 2);
+  auto& slave = sim.add<EchoPlbSlave>(plb.pins());
+  plb.write(1, {1, 2, 3, 4});
+  run_until_idle(sim, plb);
+  EXPECT_EQ(slave.writes, 4u);
+  EXPECT_EQ(plb.transactions(), 4u);
+}
+
+TEST(PlbModel, BadSlotCountRejected) {
+  rtl::Simulator sim;
+  EXPECT_THROW(PlbBus(sim, "X_", 32, 0), SpliceError);
+  EXPECT_THROW(PlbBus(sim, "Y_", 32, 65), SpliceError);
+}
+
+TEST(PlbModel, DmaRequiresEnable) {
+  rtl::Simulator sim;
+  auto& plb = sim.add<PlbBus>(sim, "PLB_", 32, 2);
+  EXPECT_THROW(plb.dma_write(1, {1, 2}), SpliceError);
+  EXPECT_FALSE(plb.supports_dma());
+  plb.enable_dma();
+  EXPECT_TRUE(plb.supports_dma());
+}
+
+TEST(PlbModel, DmaStreamsWordsAndPaysSetupTeardown) {
+  rtl::Simulator sim;
+  auto& plb = sim.add<PlbBus>(sim, "PLB_", 32, 2);
+  plb.enable_dma();
+  auto& slave = sim.add<EchoPlbSlave>(plb.pins());
+  plb.dma_write(1, {10, 20, 30});
+  run_until_idle(sim, plb);
+  EXPECT_EQ(slave.writes, 3u);
+  // 3 streamed + 3 setup + 1 teardown transactions (§9.2.1).
+  EXPECT_EQ(plb.transactions(), 7u);
+  EXPECT_EQ(slave.last_written, 30u);
+}
+
+TEST(OpbModel, BridgePenaltyMakesOpbSlowerThanPlb) {
+  rtl::Simulator sim_plb;
+  auto& plb = sim_plb.add<PlbBus>(sim_plb, "PLB_", 32, 2);
+  sim_plb.add<EchoPlbSlave>(plb.pins());
+  plb.write(1, {1});
+  const std::uint64_t plb_cycles = run_until_idle(sim_plb, plb);
+
+  rtl::Simulator sim_opb;
+  auto& opb = sim_opb.add<OpbBus>(sim_opb, "OPB_", 32, 2);
+  sim_opb.add<EchoPlbSlave>(opb.pins());
+  opb.write(1, {1});
+  const std::uint64_t opb_cycles = run_until_idle(sim_opb, opb);
+
+  EXPECT_GT(opb_cycles, plb_cycles);
+}
+
+/// Streaming FCB slave: accepts a beat per cycle.
+class StreamFcbSlave : public rtl::Module {
+ public:
+  explicit StreamFcbSlave(FcbPins& pins)
+      : rtl::Module("fcb_slave"), pins_(pins) {}
+  void eval_comb() override {
+    pins_.beat_ack.drive(pins_.wr_valid.high());
+    pins_.rd_data.drive(std::uint64_t{0x77});
+    pins_.rd_valid.drive(read_pending_);
+  }
+  void clock_edge() override {
+    if (pins_.op_valid.high() && pins_.op_read.high()) {
+      beats_to_read_ = static_cast<unsigned>(pins_.op_beats.get());
+    }
+    read_pending_ = beats_to_read_ > 0;
+    if (read_pending_) --beats_to_read_;
+    if (pins_.wr_valid.high()) received.push_back(pins_.wr_data.get());
+  }
+  FcbPins& pins_;
+  std::vector<std::uint64_t> received;
+  unsigned beats_to_read_ = 0;
+  bool read_pending_ = false;
+};
+
+TEST(FcbModel, QuadBurstDeliversAllBeatsInOrder) {
+  rtl::Simulator sim;
+  auto& fcb = sim.add<FcbBus>(sim, "FCB_", 32, 4);
+  auto& slave = sim.add<StreamFcbSlave>(fcb.pins());
+  fcb.write(1, {5, 6, 7, 8});
+  run_until_idle(sim, fcb);
+  // The master holds each beat until acked; the streaming slave may sample
+  // a held beat more than once, but the distinct sequence must be in order.
+  std::vector<std::uint64_t> distinct;
+  for (std::uint64_t v : slave.received) {
+    if (distinct.empty() || distinct.back() != v) distinct.push_back(v);
+  }
+  EXPECT_EQ(distinct, (std::vector<std::uint64_t>{5, 6, 7, 8}));
+  EXPECT_EQ(fcb.operations(), 1u);  // one quad operation
+}
+
+TEST(FcbModel, SevenWordsSplitIntoQuadDoubleSingle) {
+  rtl::Simulator sim;
+  auto& fcb = sim.add<FcbBus>(sim, "FCB_", 32, 4);
+  sim.add<StreamFcbSlave>(fcb.pins());
+  fcb.write(1, {1, 2, 3, 4, 5, 6, 7});
+  run_until_idle(sim, fcb);
+  EXPECT_EQ(fcb.operations(), 3u);  // quad + double + single
+  EXPECT_EQ(fcb.max_burst_beats(), 4u);
+}
+
+TEST(FcbModel, FcbFasterThanPlbForSameWordCount) {
+  rtl::Simulator sim_plb;
+  auto& plb = sim_plb.add<PlbBus>(sim_plb, "PLB_", 32, 2);
+  sim_plb.add<EchoPlbSlave>(plb.pins());
+  plb.write(1, {1, 2, 3, 4, 5, 6, 7, 8});
+  const auto plb_cycles = run_until_idle(sim_plb, plb);
+
+  rtl::Simulator sim_fcb;
+  auto& fcb = sim_fcb.add<FcbBus>(sim_fcb, "FCB_", 32, 4);
+  sim_fcb.add<StreamFcbSlave>(fcb.pins());
+  fcb.write(1, {1, 2, 3, 4, 5, 6, 7, 8});
+  const auto fcb_cycles = run_until_idle(sim_fcb, fcb);
+
+  EXPECT_LT(fcb_cycles, plb_cycles);
+}
+
+/// Combinational APB register slave.
+class RegApbSlave : public rtl::Module {
+ public:
+  explicit RegApbSlave(ApbPins& pins)
+      : rtl::Module("apb_slave"), pins_(pins) {}
+  void eval_comb() override {
+    pins_.prdata.drive(reg_);
+  }
+  void clock_edge() override {
+    if (pins_.psel.high() && pins_.penable.high() && pins_.pwrite.high()) {
+      reg_ = pins_.pwdata.get();
+      ++writes;
+    }
+  }
+  ApbPins& pins_;
+  std::uint64_t reg_ = 0;
+  unsigned writes = 0;
+};
+
+TEST(ApbModel, WriteThenReadRoundTrips) {
+  rtl::Simulator sim;
+  auto& apb = sim.add<ApbBus>(sim, "APB_", 32, 4);
+  auto& slave = sim.add<RegApbSlave>(apb.pins());
+  apb.write(1, {0xA5A5});
+  apb.read(1, 1);
+  run_until_idle(sim, apb);
+  EXPECT_EQ(slave.writes, 1u);
+  ASSERT_EQ(apb.read_data().size(), 1u);
+  EXPECT_EQ(apb.read_data()[0], 0xA5A5u);
+}
+
+TEST(ApbModel, FixedTransactionLatency) {
+  // Strictly synchronous: every transfer takes the same number of cycles.
+  rtl::Simulator sim;
+  auto& apb = sim.add<ApbBus>(sim, "APB_", 32, 4);
+  sim.add<RegApbSlave>(apb.pins());
+  apb.write(1, {1});
+  const auto first = run_until_idle(sim, apb);
+  apb.write(1, {2});
+  const auto second = run_until_idle(sim, apb);
+  EXPECT_EQ(first, second);
+}
+
+/// AHB slave with configurable wait states per beat.
+class WaitAhbSlave : public rtl::Module {
+ public:
+  WaitAhbSlave(AhbPins& pins, unsigned wait_states)
+      : rtl::Module("ahb_slave"), pins_(pins), wait_(wait_states) {}
+  void eval_comb() override {
+    pins_.hready.drive(!data_phase_ || countdown_ == 0);
+    pins_.hrdata.drive(std::uint64_t{0x42});
+  }
+  void clock_edge() override {
+    if (data_phase_ && countdown_ == 0) {
+      if (write_) received.push_back(pins_.hwdata.get());
+      ++beats;
+      data_phase_ = false;
+    } else if (data_phase_) {
+      --countdown_;
+    }
+    if (!data_phase_) {
+      const auto htrans = pins_.htrans.get();
+      if (htrans == kHtransNonseq || htrans == kHtransSeq) {
+        data_phase_ = true;
+        write_ = pins_.hwrite.high();
+        countdown_ = wait_;
+      }
+    }
+  }
+  AhbPins& pins_;
+  unsigned wait_;
+  bool data_phase_ = false;
+  bool write_ = false;
+  unsigned countdown_ = 0;
+  unsigned beats = 0;
+  std::vector<std::uint64_t> received;
+};
+
+TEST(AhbModel, PipelinedBurstDeliversAllBeats) {
+  rtl::Simulator sim;
+  auto& ahb = sim.add<AhbBus>(sim, "AHB_", 32, 4);
+  auto& slave = sim.add<WaitAhbSlave>(ahb.pins(), 0);
+  ahb.write(1, {9, 8, 7, 6, 5});
+  run_until_idle(sim, ahb);
+  EXPECT_EQ(slave.received, (std::vector<std::uint64_t>{9, 8, 7, 6, 5}));
+  EXPECT_EQ(ahb.bursts(), 1u);
+}
+
+TEST(AhbModel, SeventeenBeatsSplitIntoTwoBursts) {
+  rtl::Simulator sim;
+  auto& ahb = sim.add<AhbBus>(sim, "AHB_", 32, 8);
+  sim.add<WaitAhbSlave>(ahb.pins(), 0);
+  std::vector<std::uint64_t> words(17, 1);
+  ahb.write(1, words);
+  run_until_idle(sim, ahb);
+  EXPECT_EQ(ahb.bursts(), 2u);  // 16-beat max burst + remainder
+}
+
+TEST(AhbModel, WaitStatesStretchButPreserveData) {
+  rtl::Simulator sim;
+  auto& ahb = sim.add<AhbBus>(sim, "AHB_", 32, 4);
+  auto& slave = sim.add<WaitAhbSlave>(ahb.pins(), 3);
+  ahb.write(1, {1, 2, 3});
+  run_until_idle(sim, ahb);
+  EXPECT_EQ(slave.received, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(AhbModel, ReadsCollectSlaveData) {
+  rtl::Simulator sim;
+  auto& ahb = sim.add<AhbBus>(sim, "AHB_", 32, 4);
+  sim.add<WaitAhbSlave>(ahb.pins(), 1);
+  ahb.read(1, 3);
+  run_until_idle(sim, ahb);
+  EXPECT_EQ(ahb.read_data(),
+            (std::vector<std::uint64_t>{0x42, 0x42, 0x42}));
+}
+
+}  // namespace

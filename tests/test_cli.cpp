@@ -1,0 +1,119 @@
+// End-to-end tests of the command-line front end (tools/splice_cli.cpp):
+// generation to disk, listing, printing, the bus inventory, and error
+// handling.  The binary path is injected by CMake as SPLICE_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef SPLICE_CLI_PATH
+#define SPLICE_CLI_PATH "splice"
+#endif
+
+std::string cli() { return SPLICE_CLI_PATH; }
+
+struct RunResult {
+  int exit_code;
+  std::string output;
+};
+
+RunResult run(const std::string& args) {
+  const fs::path out = fs::temp_directory_path() / "splice_cli_out.txt";
+  const std::string cmd =
+      cli() + " " + args + " > " + out.string() + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  std::ifstream in(out);
+  std::ostringstream text;
+  text << in.rdbuf();
+  fs::remove(out);
+  return {WEXITSTATUS(rc), text.str()};
+}
+
+fs::path write_spec(const std::string& name, const std::string& body) {
+  const fs::path p = fs::temp_directory_path() / name;
+  std::ofstream out(p);
+  out << body;
+  return p;
+}
+
+const char* kTimerSpec =
+    "% name hw timer\n% bus type plb\n% bus width 32\n"
+    "% base address 0x8000401C\n"
+    "% user type llong, unsigned long long, 64\n"
+    "void set_threshold{llong t};\nllong get_threshold{};\n";
+
+TEST(Cli, GeneratesDeviceSubdirectory) {
+  const fs::path spec = write_spec("cli_timer.splice", kTimerSpec);
+  const fs::path dir = fs::temp_directory_path() / "splice_cli_gen";
+  fs::remove_all(dir);
+  auto r = run(spec.string() + " -o " + dir.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("7 files"), std::string::npos) << r.output;
+  EXPECT_TRUE(fs::exists(dir / "hw_timer" / "plb_interface.vhd"));
+  EXPECT_TRUE(fs::exists(dir / "hw_timer" / "splice_lib.h"));
+  fs::remove_all(dir);
+  fs::remove(spec);
+}
+
+TEST(Cli, ListPrintsFilenamesOnly) {
+  const fs::path spec = write_spec("cli_list.splice", kTimerSpec);
+  auto r = run(spec.string() + " --list");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("user_hw_timer.vhd"), std::string::npos);
+  EXPECT_NE(r.output.find("hw_timer_driver.c"), std::string::npos);
+  EXPECT_EQ(r.output.find("entity"), std::string::npos)
+      << "--list must not dump file contents";
+  fs::remove(spec);
+}
+
+TEST(Cli, PrintDumpsContents) {
+  const fs::path spec = write_spec("cli_print.splice", kTimerSpec);
+  auto r = run(spec.string() + " --print");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("entity plb_interface"), std::string::npos);
+  EXPECT_NE(r.output.find("#define WRITE_SINGLE"), std::string::npos);
+  fs::remove(spec);
+}
+
+TEST(Cli, BusesListsTheRegistry) {
+  auto r = run("--buses");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* lib :
+       {"libplb_interface.so", "libopb_interface.so", "libfcb_interface.so",
+        "libapb_interface.so", "libahb_interface.so"}) {
+    EXPECT_NE(r.output.find(lib), std::string::npos) << lib;
+  }
+}
+
+TEST(Cli, BadSpecFailsWithDiagnostics) {
+  const fs::path spec = write_spec(
+      "cli_bad.splice",
+      "%device_name d\n%bus_type plb\n%bus_width 32\nint f();\n");
+  auto r = run(spec.string() + " --list");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("base_address"), std::string::npos) << r.output;
+  fs::remove(spec);
+}
+
+TEST(Cli, MissingFileAndBadOptionsReportUsage) {
+  EXPECT_EQ(run("/nonexistent/nope.splice").exit_code, 2);
+  EXPECT_EQ(run("--frobnicate").exit_code, 2);
+  EXPECT_EQ(run("").exit_code, 2);
+  EXPECT_EQ(run("--help").exit_code, 0);
+}
+
+TEST(Cli, LinuxFlagSwitchesTheMacroLibrary) {
+  const fs::path spec = write_spec("cli_linux.splice", kTimerSpec);
+  auto r = run(spec.string() + " --print --linux");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("/dev/mem"), std::string::npos);
+  fs::remove(spec);
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Code-generation tests: template engine (Figure 7.1 macro set), stub
+// model structure, VHDL and Verilog writers, and the generated file set.
+#include <gtest/gtest.h>
+
+#include "codegen/hwgen.hpp"
+#include "codegen/stub_model.hpp"
+#include "codegen/template.hpp"
+#include "codegen/verilog.hpp"
+#include "codegen/vhdl.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::codegen;
+
+ir::DeviceSpec spec_from(const std::string& body,
+                         const std::string& directives = "") {
+  std::string text =
+      "%device_name gen_dev\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80001000\n" + directives + body;
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  EXPECT_TRUE(spec.has_value()) << diags.render();
+  EXPECT_TRUE(ir::validate(*spec, diags)) << diags.render();
+  return std::move(*spec);
+}
+
+// --- template engine ---------------------------------------------------------
+
+TEST(TemplateEngine, ExpandsStandardMacros) {
+  auto spec = spec_from("int f(int x);\n");
+  TemplateEngine engine = make_standard_engine();
+  MacroContext ctx{&spec, &spec.functions[0]};
+  DiagnosticEngine diags;
+  const std::string out = engine.expand(
+      "dev=%COMP_NAME% width=%BUS_WIDTH% idw=%FUNC_ID_WIDTH% "
+      "addr=%BASE_ADDR% fn=%FUNC_NAME% id=%MY_FUNC_ID% n=%FUNC_INSTS%",
+      ctx, diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(out,
+            "dev=gen_dev width=32 idw=1 addr=0x80001000 fn=f id=1 n=1");
+}
+
+TEST(TemplateEngine, UnknownMacroReportedAndLeftInPlace) {
+  TemplateEngine engine = make_standard_engine();
+  auto spec = spec_from("int f();\n");
+  MacroContext ctx{&spec, nullptr};
+  DiagnosticEngine diags;
+  const std::string out = engine.expand("x %NO_SUCH_MACRO% y", ctx, diags);
+  EXPECT_TRUE(diags.contains(DiagId::TemplateUnknownMacro));
+  EXPECT_NE(out.find("%NO_SUCH_MACRO%"), std::string::npos);
+}
+
+TEST(TemplateEngine, StrayPercentPassesThrough) {
+  TemplateEngine engine = make_standard_engine();
+  auto spec = spec_from("int f();\n");
+  MacroContext ctx{&spec, nullptr};
+  DiagnosticEngine diags;
+  EXPECT_EQ(engine.expand("50% of 100%", ctx, diags), "50% of 100%");
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(TemplateEngine, Figure71MacroSetPresent) {
+  TemplateEngine engine = make_standard_engine();
+  for (const char* name :
+       {"COMP_NAME", "BUS_WIDTH", "FUNC_ID_WIDTH", "BASE_ADDR", "GEN_DATE",
+        "DMA_ENABLED", "FUNC_NAME", "MY_FUNC_ID", "FUNC_INSTS",
+        "FUNC_CONSTS", "FUNC_SIGNALS", "FUNC_FSM", "FUNC_STUB",
+        "DATA_OUT_MUX", "DATA_OUT_V_MUX", "IO_DONE_MUX",
+        "CALC_DONE_ENCODE"}) {
+    EXPECT_TRUE(engine.has_macro(name)) << name;
+  }
+}
+
+TEST(TemplateEngine, CustomMarkerRegistration) {
+  TemplateEngine engine = make_standard_engine();
+  engine.register_macro("MY_MARK",
+                        [](const MacroContext&) { return "hello"; });
+  auto spec = spec_from("int f();\n");
+  MacroContext ctx{&spec, nullptr};
+  DiagnosticEngine diags;
+  EXPECT_EQ(engine.expand("%MY_MARK%", ctx, diags), "hello");
+}
+
+// --- stub model ---------------------------------------------------------------
+
+TEST(StubModel, StatesFollowDeclarationOrder) {
+  auto spec = spec_from("int f(int a, char*:4 b);\n");
+  const StubModel m = build_stub_model(spec.functions[0], spec.target);
+  ASSERT_EQ(m.states.size(), 4u);
+  EXPECT_EQ(m.states[0].name, "IN_a");
+  EXPECT_EQ(m.states[1].name, "IN_b");
+  EXPECT_EQ(m.states[2].name, "CALC_0");
+  EXPECT_EQ(m.states[3].name, "OUT_RESULT");
+}
+
+TEST(StubModel, ExplicitArrayGetsTrackingRegisterAndComparator) {
+  auto spec = spec_from("void f(int*:5 x);\n");
+  const StubModel m = build_stub_model(spec.functions[0], spec.target);
+  bool has_counter = false;
+  for (const auto& r : m.registers) {
+    if (r.name == "x_counter") has_counter = true;
+  }
+  EXPECT_TRUE(has_counter);
+  EXPECT_FALSE(m.comparators.empty());
+}
+
+TEST(StubModel, ImplicitArrayAlsoLatchesBound) {
+  auto spec = spec_from("void f(char n, int*:n xs);\n");
+  const StubModel m = build_stub_model(spec.functions[0], spec.target);
+  bool has_max = false;
+  for (const auto& r : m.registers) {
+    if (r.name == "xs_max_value") has_max = true;
+  }
+  EXPECT_TRUE(has_max);
+}
+
+TEST(StubModel, SplitTransferGetsAccumulator) {
+  auto spec = spec_from("%user_type llong, unsigned long long, 64\n"
+                        "void f(llong v);\n");
+  const StubModel m = build_stub_model(spec.functions[0], spec.target);
+  bool has_acc = false;
+  for (const auto& r : m.registers) {
+    if (r.name == "v_acc") has_acc = true;
+  }
+  EXPECT_TRUE(has_acc);
+  EXPECT_EQ(m.states[0].words, 2u);
+}
+
+TEST(StubModel, PackedTailIgnoreBitsComputed) {
+  // 5 chars packed into 32-bit words: 2 words = 64 bits, data = 40 bits,
+  // so 24 trailing bits are ignorable (the §5.3.1 generated comment).
+  auto spec = spec_from("void f(char*:5+ x);\n");
+  const StubModel m = build_stub_model(spec.functions[0], spec.target);
+  EXPECT_EQ(m.states[0].words, 2u);
+  EXPECT_EQ(m.states[0].ignore_bits, 24u);
+  EXPECT_NE(m.states[0].comment.find("ignore"), std::string::npos);
+}
+
+TEST(StubModel, NowaitHasNoOutputState) {
+  auto spec = spec_from("nowait f(int x);\n");
+  const StubModel m = build_stub_model(spec.functions[0], spec.target);
+  for (const auto& st : m.states) {
+    EXPECT_EQ(st.name.find("OUT"), std::string::npos);
+  }
+}
+
+// --- VHDL writer ---------------------------------------------------------------
+
+TEST(VhdlWriter, StubFileHasEntityPortsAndStates) {
+  auto spec = spec_from("int add(int a, int b);\n");
+  const std::string v = vhdl::emit_stub_file(spec.functions[0], spec);
+  EXPECT_NE(v.find("entity func_add is"), std::string::npos);
+  EXPECT_NE(v.find("DATA_IN        : in  std_logic_vector(0 to 31)"),
+            std::string::npos);
+  EXPECT_NE(v.find("CALC_DONE      : out std_logic"), std::string::npos);
+  EXPECT_NE(v.find("type state_type is (IN_a, IN_b, CALC_0, OUT_RESULT)"),
+            std::string::npos);
+  EXPECT_NE(v.find("MY_FUNC_ID"), std::string::npos);
+  EXPECT_NE(v.find("end Behavioral;"), std::string::npos);
+}
+
+TEST(VhdlWriter, ArbiterInstantiatesEveryInstance) {
+  auto spec = spec_from("int f(int x):3;\nint g();\n");
+  const std::string v = vhdl::emit_arbiter_file(spec);
+  EXPECT_NE(v.find("entity user_gen_dev is"), std::string::npos);
+  for (const char* label : {"f_0_inst", "f_1_inst", "f_2_inst", "g_0_inst"}) {
+    EXPECT_NE(v.find(label), std::string::npos) << label;
+  }
+  EXPECT_NE(v.find("CALC_DONE_VEC(4)"), std::string::npos);
+  EXPECT_NE(v.find("data_out_mux"), std::string::npos);
+}
+
+TEST(VhdlWriter, SlvHelper) {
+  EXPECT_EQ(vhdl::slv(1), "std_logic");
+  EXPECT_EQ(vhdl::slv(32), "std_logic_vector(0 to 31)");
+}
+
+// --- Verilog writer (thesis future work, implemented) --------------------------
+
+TEST(VerilogWriter, StubFileHasModuleAndStates) {
+  auto spec = spec_from("%target_hdl verilog\nint add(int a, int b);\n");
+  const std::string v = verilog::emit_stub_file(spec.functions[0], spec);
+  EXPECT_NE(v.find("module func_add"), std::string::npos);
+  EXPECT_NE(v.find("localparam MY_FUNC_ID = 1;"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge CLK)"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(VerilogWriter, ArbiterUsesCaseMux) {
+  auto spec = spec_from("%target_hdl verilog\nint f(int x):2;\n");
+  const std::string v = verilog::emit_arbiter_file(spec);
+  EXPECT_NE(v.find("module user_gen_dev"), std::string::npos);
+  EXPECT_NE(v.find("case (FUNC_ID)"), std::string::npos);
+  EXPECT_NE(v.find("assign CALC_DONE_VEC[2]"), std::string::npos);
+}
+
+// --- hwgen orchestration --------------------------------------------------------
+
+TEST(HwGen, FileSetMatchesFigure83Shape) {
+  auto spec = spec_from("int f(int x);\nvoid g();\n");
+  auto files = generate_user_logic(spec);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0].filename, "user_gen_dev.vhd");
+  EXPECT_EQ(files[1].filename, "func_f.vhd");
+  EXPECT_EQ(files[2].filename, "func_g.vhd");
+}
+
+TEST(HwGen, VerilogTargetChangesExtension) {
+  auto spec = spec_from("%target_hdl verilog\nint f(int x);\n");
+  auto files = generate_user_logic(spec);
+  EXPECT_EQ(files[0].filename, "user_gen_dev.v");
+  EXPECT_EQ(files[1].filename, "func_f.v");
+  EXPECT_EQ(hdl_extension(ir::Hdl::Vhdl), ".vhd");
+  EXPECT_EQ(hdl_extension(ir::Hdl::Verilog), ".v");
+}
+
+TEST(HwGen, UnassignedFuncIdsRejected) {
+  ir::DeviceSpec spec;
+  spec.target.device_name = "x";
+  spec.target.bus_width = 32;
+  ir::FunctionDecl fn;
+  fn.name = "f";
+  spec.functions.push_back(fn);
+  EXPECT_THROW(generate_user_logic(spec), SpliceError);
+}
+
+}  // namespace

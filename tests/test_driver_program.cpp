@@ -1,0 +1,160 @@
+// DriverBuilder tests: the transaction sequences generated drivers execute
+// (chapter 6), including the burst macro ladder, DMA ops, multi-instance
+// targeting and output decode.
+#include <gtest/gtest.h>
+
+#include "drivergen/program.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::drivergen;
+
+ir::DeviceSpec spec_from(const std::string& body,
+                         const std::string& directives = "") {
+  std::string text =
+      "%device_name drv\n%bus_type fcb\n%bus_width 32\n" + directives + body;
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  EXPECT_TRUE(spec.has_value()) << diags.render();
+  EXPECT_TRUE(ir::validate(*spec, diags)) << diags.render();
+  return std::move(*spec);
+}
+
+std::vector<OpCode> opcodes(const DriverProgram& p) {
+  std::vector<OpCode> out;
+  for (const auto& op : p.ops) out.push_back(op.op);
+  return out;
+}
+
+TEST(DriverProgram, SimpleFunctionShape) {
+  // Matches Figure 6.1: SET_ADDRESS, writes, WAIT_FOR_RESULTS, READ.
+  auto spec = spec_from("float sample_function(int*:2 x, int y);\n");
+  DriverBuilder b(spec, spec.functions[0]);
+  auto prog = b.build_call({{11, 22}, {33}});
+  EXPECT_EQ(opcodes(prog),
+            (std::vector<OpCode>{OpCode::SetAddress, OpCode::WriteSingle,
+                                 OpCode::WriteSingle, OpCode::WriteSingle,
+                                 OpCode::WaitForResults, OpCode::ReadSingle}));
+  EXPECT_EQ(prog.fid, 1u);
+  EXPECT_EQ(prog.write_word_count(), 3u);
+  EXPECT_EQ(prog.total_read_words, 1u);
+}
+
+TEST(DriverProgram, BurstLadderUsesQuadDoubleSingle) {
+  // §6.1.1: prefer QUAD, then DOUBLE, then SINGLE when %burst_support on.
+  auto spec = spec_from("void f(int*:7 x);\n", "%burst_support true\n");
+  DriverBuilder b(spec, spec.functions[0]);
+  auto prog = b.build_call({{1, 2, 3, 4, 5, 6, 7}});
+  EXPECT_EQ(opcodes(prog),
+            (std::vector<OpCode>{OpCode::SetAddress, OpCode::WriteQuad,
+                                 OpCode::WriteDouble, OpCode::WriteSingle,
+                                 OpCode::WaitForResults, OpCode::ReadSingle}));
+}
+
+TEST(DriverProgram, NoBurstFallsBackToSingles) {
+  // "four sequential single-word store operations" (§6.1.1).
+  auto spec = spec_from("void f(int*:4 x);\n");
+  DriverBuilder b(spec, spec.functions[0]);
+  auto prog = b.build_call({{1, 2, 3, 4}});
+  unsigned singles = 0;
+  for (auto op : opcodes(prog)) {
+    if (op == OpCode::WriteSingle) ++singles;
+  }
+  EXPECT_EQ(singles, 4u);
+}
+
+TEST(DriverProgram, DmaParameterUsesWriteDma) {
+  auto spec = spec_from("void f(int*:8^ x);\n", "%dma_support true\n");
+  // FCB has no DMA; use a plb spec instead.
+  auto plb_spec = [&] {
+    std::string text =
+        "%device_name drv\n%bus_type plb\n%bus_width 32\n"
+        "%base_address 0x0\n%dma_support true\nvoid f(int*:8^ x);\n";
+    DiagnosticEngine diags;
+    auto s = frontend::parse_spec(text, diags);
+    EXPECT_TRUE(s && ir::validate(*s, diags)) << diags.render();
+    return std::move(*s);
+  }();
+  DriverBuilder b(plb_spec, plb_spec.functions[0]);
+  auto prog = b.build_call({{1, 2, 3, 4, 5, 6, 7, 8}});
+  EXPECT_EQ(opcodes(prog),
+            (std::vector<OpCode>{OpCode::SetAddress, OpCode::WriteDma,
+                                 OpCode::WaitForResults, OpCode::ReadSingle}));
+  EXPECT_EQ(prog.ops[1].data.size(), 8u);
+  (void)spec;
+}
+
+TEST(DriverProgram, NowaitHasNoWaitOrRead) {
+  auto spec = spec_from("nowait f(int x);\n");
+  DriverBuilder b(spec, spec.functions[0]);
+  auto prog = b.build_call({{5}});
+  EXPECT_EQ(opcodes(prog),
+            (std::vector<OpCode>{OpCode::SetAddress, OpCode::WriteSingle}));
+  EXPECT_EQ(prog.total_read_words, 0u);
+}
+
+TEST(DriverProgram, MultiInstanceOffsetsFuncId) {
+  // Figure 6.2: SET_ADDRESS(SAMPLE_FUNCTION_ID + inst_index).
+  auto spec = spec_from("int f(int x):4;\nint g();\n");
+  DriverBuilder b(spec, spec.functions[0]);
+  EXPECT_EQ(b.build_call({{1}}, 0).fid, 1u);
+  EXPECT_EQ(b.build_call({{1}}, 3).fid, 4u);
+  EXPECT_THROW(b.build_call({{1}}, 4), SpliceError);
+  DriverBuilder bg(spec, spec.functions[1]);
+  EXPECT_EQ(bg.build_call({}).fid, 5u);  // after the 4 instances of f
+}
+
+TEST(DriverProgram, ImplicitCountsResolveFromArguments) {
+  auto spec = spec_from("int f(char n, int*:n xs);\n");
+  DriverBuilder b(spec, spec.functions[0]);
+  auto prog = b.build_call({{3}, {7, 8, 9}});
+  EXPECT_EQ(prog.write_word_count(), 4u);  // count word + 3 elements
+  EXPECT_THROW(b.build_call({{3}, {7, 8}}), SpliceError);  // arity mismatch
+}
+
+TEST(DriverProgram, SplitValuesDoubleTheWriteWords) {
+  auto spec = spec_from("%user_type llong, unsigned long long, 64\n"
+                        "void f(llong v);\n");
+  DriverBuilder b(spec, spec.functions[0]);
+  auto prog = b.build_call({{0xAABBCCDD11223344ull}});
+  EXPECT_EQ(prog.write_word_count(), 2u);
+  EXPECT_EQ(prog.ops[1].data[0], 0xAABBCCDDu);  // MSW first
+}
+
+TEST(DriverProgram, OutputDecodeRoundTrips) {
+  auto spec = spec_from("%user_type llong, unsigned long long, 64\n"
+                        "llong f(int x);\n");
+  DriverBuilder b(spec, spec.functions[0]);
+  auto decoded = b.decode_output({0x11223344u, 0x55667788u}, {{0}});
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], 0x1122334455667788ull);
+}
+
+TEST(DriverProgram, WrongArgumentCountThrows) {
+  auto spec = spec_from("int f(int a, int b);\n");
+  DriverBuilder b(spec, spec.functions[0]);
+  EXPECT_THROW(b.build_call({{1}}), SpliceError);
+}
+
+TEST(DriverProgram, BurstReadLadderForWideOutputs) {
+  auto spec = spec_from("int*:6 f();\n", "%burst_support true\n");
+  DriverBuilder b(spec, spec.functions[0]);
+  auto prog = b.build_call({});
+  EXPECT_EQ(opcodes(prog),
+            (std::vector<OpCode>{OpCode::SetAddress, OpCode::WaitForResults,
+                                 OpCode::ReadQuad, OpCode::ReadDouble}));
+  EXPECT_EQ(prog.total_read_words, 6u);
+}
+
+TEST(DriverProgram, OpcodeNamesMatchFigure72) {
+  EXPECT_EQ(opcode_name(OpCode::WriteSingle), "WRITE_SINGLE");
+  EXPECT_EQ(opcode_name(OpCode::WriteQuad), "WRITE_QUAD");
+  EXPECT_EQ(opcode_name(OpCode::ReadDma), "READ_DMA");
+  EXPECT_EQ(opcode_name(OpCode::WaitForResults), "WAIT_FOR_RESULTS");
+  EXPECT_EQ(opcode_name(OpCode::SetAddress), "SET_ADDRESS");
+}
+
+}  // namespace

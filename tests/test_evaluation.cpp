@@ -1,0 +1,191 @@
+// Chapter-9 evaluation tests: data correctness of all five interpolator
+// interface implementations, and the qualitative shape of Figures 9.2
+// (cycles) and 9.3 (resources) — who wins, by roughly what factor.
+#include <gtest/gtest.h>
+
+#include "devices/evaluation.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::devices;
+
+TEST(Evaluation, Figure91ScenarioTable) {
+  const auto& table = scenarios();
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table[0].set1, 2u);
+  EXPECT_EQ(table[0].set2, 1u);
+  EXPECT_EQ(table[0].set3, 2u);
+  EXPECT_EQ(table[0].total(), 5u);
+  EXPECT_EQ(table[1].total(), 10u);
+  // Figure 9.1 prints a total of 16 for scenario 3, but its own set sizes
+  // (8 + 3 + 6) sum to 17; we keep the set sizes and note the discrepancy.
+  EXPECT_EQ(table[2].total(), 17u);
+  EXPECT_EQ(table[3].total(), 28u);
+}
+
+TEST(Evaluation, InterpolationKernelIsDeterministic) {
+  const auto in = make_inputs(scenarios()[1]);
+  EXPECT_EQ(interpolate(in.set1, in.set2, in.set3),
+            interpolate(in.set1, in.set2, in.set3));
+  // Every input word influences the result (data-integrity sensitivity).
+  auto mutated = in;
+  mutated.set3.back() ^= 1;
+  EXPECT_NE(interpolate(in.set1, in.set2, in.set3),
+            interpolate(mutated.set1, mutated.set2, mutated.set3));
+}
+
+TEST(Evaluation, EmptySetsYieldZero) {
+  EXPECT_EQ(interpolate({}, {5}, {1}), 0u);
+  EXPECT_EQ(interpolate({1}, {}, {1}), 0u);
+}
+
+struct Case {
+  Impl impl;
+  unsigned scenario_index;
+};
+
+class AllRuns : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AllRuns, ProducesCorrectResult) {
+  const auto [impl, idx] = std::tuple{GetParam().impl,
+                                      GetParam().scenario_index};
+  const ScenarioRun run = run_scenario(impl, scenarios()[idx]);
+  EXPECT_TRUE(run.correct())
+      << impl_name(impl) << " scenario " << idx + 1 << ": got "
+      << run.result << " expected " << run.expected;
+  EXPECT_GT(run.bus_cycles, 0u);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (Impl impl : kAllImpls) {
+    for (unsigned i = 0; i < scenarios().size(); ++i) {
+      cases.push_back({impl, i});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllRuns, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = std::string(impl_name(info.param.impl)) + "_sc" +
+                         std::to_string(info.param.scenario_index + 1);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+double avg_ratio(Impl a, Impl b) {
+  double sum = 0;
+  for (const auto& sc : scenarios()) {
+    sum += static_cast<double>(run_scenario(a, sc).bus_cycles) /
+           static_cast<double>(run_scenario(b, sc).bus_cycles);
+  }
+  return sum / scenarios().size();
+}
+
+TEST(Figure92Shape, CyclesGrowWithScenarioSize) {
+  for (Impl impl : kAllImpls) {
+    std::uint64_t prev = 0;
+    for (const auto& sc : scenarios()) {
+      const auto run = run_scenario(impl, sc);
+      EXPECT_GT(run.bus_cycles, prev) << impl_name(impl);
+      prev = run.bus_cycles;
+    }
+  }
+}
+
+TEST(Figure92Shape, SplicePlbBeatsNaiveByRoughlyAQuarter) {
+  // §9.3.1: "approximately 25% faster than the naive hand-coded
+  // implementation".
+  const double r = avg_ratio(Impl::SplicePlbSimple, Impl::NaivePlb);
+  EXPECT_GT(r, 0.65);
+  EXPECT_LT(r, 0.85);
+}
+
+TEST(Figure92Shape, SpliceFcbBeatsNaiveByRoughlyFortyPercent) {
+  // §9.3.1: "approximately 43% faster than the naive PLB implementation".
+  const double r = avg_ratio(Impl::SpliceFcb, Impl::NaivePlb);
+  EXPECT_GT(r, 0.50);
+  EXPECT_LT(r, 0.65);
+}
+
+TEST(Figure92Shape, SpliceFcbTrailsOptimizedFcbSlightly) {
+  // §9.3.1: "only 13% slower than an optimized hand-coded FCB".
+  const double r = avg_ratio(Impl::SpliceFcb, Impl::OptimizedFcb);
+  EXPECT_GT(r, 1.05);
+  EXPECT_LT(r, 1.25);
+}
+
+TEST(Figure92Shape, DmaCrossoverBeyondFourValues) {
+  // §9.2.1: DMA "does not benefit transactions of four or fewer data
+  // values"; §9.3.1: only a 1-4% gain overall.  Small scenarios lose,
+  // the largest wins modestly.
+  const auto& sc = scenarios();
+  const auto simple1 = run_scenario(Impl::SplicePlbSimple, sc[0]).bus_cycles;
+  const auto dma1 = run_scenario(Impl::SplicePlbDma, sc[0]).bus_cycles;
+  EXPECT_GT(dma1, simple1) << "setup cost dominates small transfers";
+  const auto simple4 = run_scenario(Impl::SplicePlbSimple, sc[3]).bus_cycles;
+  const auto dma4 = run_scenario(Impl::SplicePlbDma, sc[3]).bus_cycles;
+  EXPECT_LT(dma4, simple4) << "DMA wins once transfers are long";
+  const double gain = 1.0 - static_cast<double>(dma4) / simple4;
+  EXPECT_LT(gain, 0.20) << "the win stays modest";
+}
+
+TEST(Figure93Shape, SplicePlbUsesRoughlyAQuarterLessThanNaive) {
+  // §9.3.2: "about 23% less FPGA resources than the naive hand-coded
+  // implementation".
+  double sum = 0;
+  for (const auto& sc : scenarios()) {
+    sum += static_cast<double>(
+               implementation_resources(Impl::SplicePlbSimple, sc).slices()) /
+           implementation_resources(Impl::NaivePlb, sc).slices();
+  }
+  const double r = sum / scenarios().size();
+  EXPECT_GT(r, 0.65);
+  EXPECT_LT(r, 0.85);
+}
+
+TEST(Figure93Shape, SpliceFcbNearOptimizedFcb) {
+  // §9.3.2: "only around 2% more resources than an optimized hand-coded
+  // FCB interconnect".
+  double sum = 0;
+  for (const auto& sc : scenarios()) {
+    sum += static_cast<double>(
+               implementation_resources(Impl::SpliceFcb, sc).slices()) /
+           implementation_resources(Impl::OptimizedFcb, sc).slices();
+  }
+  const double r = sum / scenarios().size();
+  EXPECT_GT(r, 0.92);
+  EXPECT_LT(r, 1.12);
+}
+
+TEST(Figure93Shape, DmaInflatesTheInterfaceMassively) {
+  // §9.3.2: "anywhere from 57-69% more FPGA resources ... than the
+  // otherwise identical simple PLB interconnect".
+  for (const auto& sc : scenarios()) {
+    const double r =
+        static_cast<double>(
+            implementation_resources(Impl::SplicePlbDma, sc).slices()) /
+        implementation_resources(Impl::SplicePlbSimple, sc).slices();
+    EXPECT_GT(r, 1.45);
+    EXPECT_LT(r, 1.85);
+  }
+}
+
+TEST(Figure93Shape, ResourceOrderingHolds) {
+  for (const auto& sc : scenarios()) {
+    const auto naive = implementation_resources(Impl::NaivePlb, sc).slices();
+    const auto simple =
+        implementation_resources(Impl::SplicePlbSimple, sc).slices();
+    const auto dma =
+        implementation_resources(Impl::SplicePlbDma, sc).slices();
+    EXPECT_LT(simple, naive);
+    EXPECT_GT(dma, naive);
+  }
+}
+
+}  // namespace

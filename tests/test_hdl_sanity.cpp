@@ -1,0 +1,161 @@
+// Structural sanity checks over every generated HDL file: a lightweight
+// VHDL/Verilog linter (matched entity/architecture/process/module pairs,
+// no unexpanded %MACRO% markers, balanced parentheses) swept over a corpus
+// of specifications covering every extension and every bus.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/splice.hpp"
+
+namespace {
+
+using namespace splice;
+
+// --- a minimal HDL structure linter ------------------------------------------
+
+std::string strip_comments(const std::string& text, bool vhdl) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const bool comment = vhdl ? (text[i] == '-' && i + 1 < text.size() &&
+                                 text[i + 1] == '-')
+                              : (text[i] == '/' && i + 1 < text.size() &&
+                                 text[i + 1] == '/');
+    if (comment) {
+      while (i < text.size() && text[i] != '\n') ++i;
+      out += '\n';
+      continue;
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+void lint_vhdl(const std::string& filename, const std::string& raw) {
+  const std::string text = strip_comments(raw, /*vhdl=*/true);
+  // entity/end pairs: every "entity X is" has exactly one architecture.
+  EXPECT_EQ(count_occurrences(text, "entity "),
+            count_occurrences(text, "architecture "))
+      << filename << ": every entity needs an architecture";
+  // Generated processes are always labeled ("icob: process ...").
+  EXPECT_EQ(count_occurrences(text, ": process"),
+            count_occurrences(text, "end process"))
+      << filename << ": process/end process mismatch";
+  long parens = 0;
+  for (char c : text) parens += c == '(' ? 1 : c == ')' ? -1 : 0;
+  EXPECT_EQ(parens, 0) << filename << ": unbalanced parentheses";
+  EXPECT_EQ(text.find("%"), std::string::npos)
+      << filename << ": unexpanded template marker";
+}
+
+void lint_verilog(const std::string& filename, const std::string& raw) {
+  const std::string text = strip_comments(raw, /*vhdl=*/false);
+  // "endmodule" never carries a trailing space, so "module " counts only
+  // the declarations and instantiation of submodules is "func_x name (".
+  EXPECT_EQ(count_occurrences(text, "module "),
+            count_occurrences(text, "endmodule"))
+      << filename << ": module/endmodule mismatch";
+  EXPECT_EQ(count_occurrences(text, "case ("),
+            count_occurrences(text, "endcase"))
+      << filename << ": case/endcase mismatch";
+  long parens = 0;
+  for (char c : text) parens += c == '(' ? 1 : c == ')' ? -1 : 0;
+  EXPECT_EQ(parens, 0) << filename << ": unbalanced parentheses";
+}
+
+// --- the specification corpus ------------------------------------------------
+
+struct Corpus {
+  const char* name;
+  const char* spec;
+};
+
+const Corpus kCorpus[] = {
+    {"timer_plb",
+     "%device_name t1\n%bus_type plb\n%bus_width 32\n"
+     "%base_address 0x80000000\n%user_type llong, unsigned long long, 64\n"
+     "void set(llong v);\nllong get();\n"},
+    {"arrays_fcb",
+     "%device_name t2\n%bus_type fcb\n%bus_width 32\n%burst_support true\n"
+     "int sum(char n, int*:n xs);\nvoid fill(char*:16+ data);\n"},
+    {"dma_plb",
+     "%device_name t3\n%bus_type plb\n%bus_width 32\n"
+     "%base_address 0x80000000\n%dma_support true\n"
+     "void burst(int*:32^ block);\n"},
+    {"multi_apb",
+     "%device_name t4\n%bus_type apb\n%bus_width 32\n"
+     "%base_address 0x80000000\nint work(int x):5;\nnowait kick(int v);\n"},
+    {"byref_irq_ahb",
+     "%device_name t5\n%bus_type ahb\n%bus_width 32\n"
+     "%base_address 0x80000000\n%irq_support true\n"
+     "int scale(int k, int*:4& xs);\n"},
+    {"wide_opb",
+     "%device_name t6\n%bus_type opb\n%bus_width 32\n"
+     "%base_address 0x80000000\nint a();\nint b();\nint c();\nint d();\n"},
+};
+
+class HdlSanity : public ::testing::TestWithParam<Corpus> {};
+
+TEST_P(HdlSanity, VhdlOutputIsStructurallySound) {
+  Engine engine;
+  DiagnosticEngine diags;
+  auto artifacts = engine.generate(GetParam().spec, diags);
+  ASSERT_TRUE(artifacts.has_value()) << diags.render();
+  for (const auto& f : artifacts->hardware) {
+    if (f.filename.size() > 4 &&
+        f.filename.substr(f.filename.size() - 4) == ".vhd") {
+      lint_vhdl(f.filename, f.content);
+    }
+  }
+}
+
+TEST_P(HdlSanity, VerilogOutputIsStructurallySound) {
+  Engine engine;
+  DiagnosticEngine diags;
+  std::string spec = GetParam().spec;
+  spec += "%target_hdl verilog\n";
+  auto artifacts = engine.generate(spec, diags);
+  ASSERT_TRUE(artifacts.has_value()) << diags.render();
+  for (const auto& f : artifacts->hardware) {
+    if (f.filename.size() > 2 &&
+        f.filename.substr(f.filename.size() - 2) == ".v") {
+      lint_verilog(f.filename, f.content);
+    }
+  }
+}
+
+TEST_P(HdlSanity, DriverSourcesHaveBalancedBracesEverywhere) {
+  Engine engine;
+  DiagnosticEngine diags;
+  auto artifacts = engine.generate(GetParam().spec, diags);
+  ASSERT_TRUE(artifacts.has_value()) << diags.render();
+  for (const auto& f : artifacts->software) {
+    long braces = 0;
+    long parens = 0;
+    for (char c : f.content) {
+      braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+      parens += c == '(' ? 1 : c == ')' ? -1 : 0;
+    }
+    EXPECT_EQ(braces, 0) << f.filename;
+    EXPECT_EQ(parens, 0) << f.filename;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, HdlSanity, ::testing::ValuesIn(kCorpus),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace

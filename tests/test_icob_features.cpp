@@ -1,0 +1,210 @@
+// ICOB / generated-stub behaviour tests, driven end-to-end through the
+// virtual platform: packing, splitting, implicit bounds, nowait, blocking
+// void, zero-element transfers, multiple instances and user types.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "runtime/platform.hpp"
+
+namespace {
+
+using namespace splice;
+
+ir::DeviceSpec spec_from(const std::string& body, const std::string& bus = "plb",
+                         const std::string& extra_directives = "") {
+  std::string text = "%device_name icob_dev\n%bus_type " + bus +
+                     "\n%bus_width 32\n%base_address 0x80000000\n" +
+                     extra_directives + body;
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  EXPECT_TRUE(spec.has_value()) << diags.render();
+  EXPECT_TRUE(ir::validate(*spec, diags)) << diags.render();
+  return std::move(*spec);
+}
+
+TEST(IcobFeatures, PackedCharsReassembleInOrder) {
+  // 6 chars over a 32-bit bus: 2 packed words; the ICOB must unpack
+  // low-order lanes first and ignore the 2 trailing lanes (§5.3.1).
+  auto spec = spec_from("int sum(char*:6+ x);\n");
+  elab::BehaviorMap b;
+  std::vector<std::uint64_t> seen;
+  b.set("sum", [&seen](const elab::CallContext& ctx) {
+    seen = ctx.array(0);
+    std::uint64_t s = 0;
+    for (auto v : ctx.array(0)) s += v;
+    return elab::CalcResult{1, {s}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  auto r = vp.call("sum", {{10, 20, 30, 40, 50, 60}});
+  EXPECT_EQ(r.outputs.at(0), 210u);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{10, 20, 30, 40, 50, 60}));
+  // Packing must actually reduce the bus traffic: 6 chars -> 2 words.
+  EXPECT_TRUE(vp.checker().clean());
+  EXPECT_EQ(vp.checker().writes_observed(), 2u);
+}
+
+TEST(IcobFeatures, SplitDoublesReassembleMswFirst) {
+  auto spec = spec_from("%user_type llong, unsigned long long, 64\n"
+                        "int low_word(llong v);\n");
+  elab::BehaviorMap b;
+  std::uint64_t captured = 0;
+  b.set("low_word", [&captured](const elab::CallContext& ctx) {
+    captured = ctx.scalar(0);
+    return elab::CalcResult{1, {captured & 0xFFFFFFFFull}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  const std::uint64_t value = 0x0123456789ABCDEFull;
+  auto r = vp.call("low_word", {{value}});
+  EXPECT_EQ(captured, value);  // both halves arrived, MSW first
+  EXPECT_EQ(r.outputs.at(0), 0x89ABCDEFull);
+  EXPECT_EQ(vp.checker().writes_observed(), 2u);  // one 64-bit split write
+}
+
+TEST(IcobFeatures, SplitReturnValueRoundTrips) {
+  auto spec = spec_from("%user_type llong, unsigned long long, 64\n"
+                        "llong echo64(int hi, int lo);\n");
+  elab::BehaviorMap b;
+  b.set("echo64", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{1, {(ctx.scalar(0) << 32) | ctx.scalar(1)}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  auto r = vp.call("echo64", {{0xDEAD}, {0xBEEF}});
+  EXPECT_EQ(r.outputs.at(0), 0x0000DEAD0000BEEFull);
+}
+
+TEST(IcobFeatures, ImplicitCountOfZeroSkipsParameter) {
+  auto spec = spec_from("int count(char n, int*:n xs, int tail);\n");
+  elab::BehaviorMap b;
+  b.set("count", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{
+        1, {ctx.array(1).size() * 100 + ctx.scalar(2)}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  auto r = vp.call("count", {{0}, {}, {7}});
+  EXPECT_EQ(r.outputs.at(0), 7u);  // zero array elements, tail delivered
+  auto r2 = vp.call("count", {{3}, {1, 2, 3}, {9}});
+  EXPECT_EQ(r2.outputs.at(0), 309u);
+}
+
+TEST(IcobFeatures, NowaitReturnsWithoutRead) {
+  auto spec = spec_from("nowait fire(int x);\nint probe();\n");
+  elab::BehaviorMap b;
+  std::uint64_t stored = 0;
+  b.set("fire", [&stored](const elab::CallContext& ctx) {
+    stored = ctx.scalar(0);
+    return elab::CalcResult{5, {}};
+  });
+  b.set("probe", [&stored](const elab::CallContext&) {
+    return elab::CalcResult{1, {stored}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  auto r = vp.call("fire", {{42}});
+  EXPECT_TRUE(r.outputs.empty());
+  // A nowait call performs no read transactions at all.
+  EXPECT_EQ(vp.checker().reads_observed(), 0u);
+  // Give the calculation time to land, then observe its side effect.
+  vp.sim().step(16);
+  auto r2 = vp.call("probe");
+  EXPECT_EQ(r2.outputs.at(0), 42u);
+}
+
+TEST(IcobFeatures, BlockingVoidSynchronizesOnPseudoOutput) {
+  auto spec = spec_from("void configure(int x);\n");
+  elab::BehaviorMap b;
+  bool side_effect = false;
+  b.set("configure", [&side_effect](const elab::CallContext&) {
+    side_effect = true;
+    return elab::CalcResult{20, {}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  auto r = vp.call("configure", {{1}});
+  EXPECT_TRUE(r.outputs.empty());
+  EXPECT_TRUE(side_effect);
+  // The driver performed the synchronizing pseudo-output read and the run
+  // must span at least the 20 calculation cycles.
+  EXPECT_EQ(vp.checker().reads_observed(), 1u);
+  EXPECT_GE(r.bus_cycles, 20u);
+}
+
+TEST(IcobFeatures, MultipleInstancesKeepIndependentState) {
+  auto spec = spec_from("int acc(int x):3;\n");
+  elab::BehaviorMap b;
+  // Per-instance accumulators, addressed by the instance index (§3.1.6).
+  auto sums = std::make_shared<std::array<std::uint64_t, 3>>();
+  b.set("acc", [sums](const elab::CallContext& ctx) {
+    (*sums)[ctx.instance_index] += ctx.scalar(0);
+    return elab::CalcResult{1, {(*sums)[ctx.instance_index]}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  EXPECT_EQ(vp.call("acc", {{10}}, 0).outputs.at(0), 10u);
+  EXPECT_EQ(vp.call("acc", {{5}}, 1).outputs.at(0), 5u);
+  EXPECT_EQ(vp.call("acc", {{1}}, 0).outputs.at(0), 11u);
+  EXPECT_EQ(vp.call("acc", {{2}}, 2).outputs.at(0), 2u);
+  EXPECT_EQ(vp.call("acc", {{3}}, 1).outputs.at(0), 8u);
+  EXPECT_TRUE(vp.checker().clean());
+}
+
+TEST(IcobFeatures, InstanceIndexOutOfRangeThrows) {
+  auto spec = spec_from("int acc(int x):2;\n");
+  runtime::VirtualPlatform vp(std::move(spec), {});
+  EXPECT_THROW(vp.call("acc", {{1}}, 2), SpliceError);
+}
+
+TEST(IcobFeatures, ArrayOutputStreamsAllWords) {
+  auto spec = spec_from("int*:4 quad(int seed);\n");
+  elab::BehaviorMap b;
+  b.set("quad", [](const elab::CallContext& ctx) {
+    const std::uint64_t s = ctx.scalar(0);
+    return elab::CalcResult{1, {s, s + 1, s + 2, s + 3}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  auto r = vp.call("quad", {{100}});
+  EXPECT_EQ(r.outputs,
+            (std::vector<std::uint64_t>{100, 101, 102, 103}));
+}
+
+TEST(IcobFeatures, ImplicitOutputLengthFollowsArgument) {
+  auto spec = spec_from("int*:n repeat(char n, int v);\n");
+  elab::BehaviorMap b;
+  b.set("repeat", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{
+        1, std::vector<std::uint64_t>(ctx.scalar(0), ctx.scalar(1))};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  EXPECT_EQ(vp.call("repeat", {{3}, {9}}).outputs.size(), 3u);
+  EXPECT_EQ(vp.call("repeat", {{1}, {9}}).outputs.size(), 1u);
+}
+
+TEST(IcobFeatures, StubIntrospectionMatchesDeclaration) {
+  auto spec = spec_from("int f(int a, char*:4+ b);\nnowait g(int x);\n");
+  runtime::VirtualPlatform vp(std::move(spec), {});
+  auto* f = vp.device().stub("f");
+  ASSERT_NE(f, nullptr);
+  // Two input states + calc + output.
+  EXPECT_EQ(f->state_count(), 4u);
+  auto* g = vp.device().stub("g");
+  ASSERT_NE(g, nullptr);
+  // nowait: input + calc only.
+  EXPECT_EQ(g->state_count(), 2u);
+  EXPECT_EQ(vp.device().func_id("f"), 1u);
+  EXPECT_EQ(vp.device().func_id("g"), 2u);
+  EXPECT_THROW(vp.device().func_id("missing"), SpliceError);
+}
+
+TEST(IcobFeatures, ActivationCountsAdvance) {
+  auto spec = spec_from("int inc(int x);\n");
+  elab::BehaviorMap b;
+  b.set("inc", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{1, {ctx.scalar(0) + 1}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  auto* stub = vp.device().stub("inc");
+  ASSERT_NE(stub, nullptr);
+  EXPECT_EQ(stub->activations(), 0u);
+  vp.call("inc", {{1}});
+  vp.call("inc", {{2}});
+  EXPECT_EQ(stub->activations(), 2u);
+}
+
+}  // namespace

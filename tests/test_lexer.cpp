@@ -1,0 +1,105 @@
+// Lexer tests: tokenization of the Splice specification language.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::frontend;
+
+std::vector<Token> lex(std::string_view text, DiagnosticEngine& diags) {
+  Lexer lexer(text, diags);
+  return lexer.tokenize();
+}
+
+std::vector<Tok> kinds(const std::vector<Token>& toks) {
+  std::vector<Tok> out;
+  for (const auto& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, BasicPrototypeTokens) {
+  DiagnosticEngine diags;
+  auto toks = lex("long get_status();", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(kinds(toks),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::LParen,
+                              Tok::RParen, Tok::Semi, Tok::EndOfInput}));
+  EXPECT_EQ(toks[1].text, "get_status");
+}
+
+TEST(Lexer, ExtensionOperators) {
+  DiagnosticEngine diags;
+  auto toks = lex("int*:16^+ x", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(kinds(toks),
+            (std::vector<Tok>{Tok::Ident, Tok::Star, Tok::Colon, Tok::Number,
+                              Tok::Caret, Tok::Plus, Tok::Ident,
+                              Tok::EndOfInput}));
+  EXPECT_EQ(toks[3].value, 16u);
+}
+
+TEST(Lexer, HexLiterals) {
+  DiagnosticEngine diags;
+  auto toks = lex("%base_address 0x8000401C", diags);
+  EXPECT_FALSE(diags.has_errors());
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[2].kind, Tok::HexNumber);
+  EXPECT_EQ(toks[2].value, 0x8000401Cu);
+}
+
+TEST(Lexer, LineAndBlockComments) {
+  DiagnosticEngine diags;
+  auto toks = lex("// comment\nint /* mid */ x;", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(kinds(toks), (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Semi,
+                                           Tok::EndOfInput}));
+  EXPECT_EQ(toks[0].loc.line, 2u);
+}
+
+TEST(Lexer, UnterminatedBlockCommentReported) {
+  DiagnosticEngine diags;
+  (void)lex("int x; /* never closed", diags);
+  EXPECT_TRUE(diags.contains(DiagId::UnterminatedComment));
+}
+
+TEST(Lexer, UnexpectedCharacterReportedAndSkipped) {
+  DiagnosticEngine diags;
+  auto toks = lex("int @ x;", diags);
+  EXPECT_TRUE(diags.contains(DiagId::UnexpectedCharacter));
+  // Lexing continues past the bad character.
+  EXPECT_EQ(toks[1].text, "x");
+}
+
+TEST(Lexer, BracesForFigure82Form) {
+  DiagnosticEngine diags;
+  auto toks = lex("void disable{};", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(kinds(toks), (std::vector<Tok>{Tok::Ident, Tok::Ident,
+                                           Tok::LBrace, Tok::RBrace, Tok::Semi,
+                                           Tok::EndOfInput}));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  DiagnosticEngine diags;
+  auto toks = lex("a\n  b", diags);
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+TEST(Lexer, MalformedHexReported) {
+  DiagnosticEngine diags;
+  (void)lex("0x", diags);
+  EXPECT_TRUE(diags.contains(DiagId::MalformedNumber));
+}
+
+TEST(Lexer, HugeDecimalOverflowReported) {
+  DiagnosticEngine diags;
+  (void)lex("99999999999999999999999999", diags);
+  EXPECT_TRUE(diags.contains(DiagId::MalformedNumber));
+}
+
+}  // namespace

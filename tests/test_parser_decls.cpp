@@ -1,0 +1,177 @@
+// Interface-declaration grammar tests (thesis Figures 3.1-3.8): each
+// syntax extension, their combinations, and rejection of malformed input.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::ir;
+
+FunctionDecl parse_ok(std::string_view text) {
+  TypeTable types;
+  DiagnosticEngine diags;
+  auto fn = frontend::parse_prototype(text, types, diags);
+  EXPECT_TRUE(fn.has_value()) << text << "\n" << diags.render();
+  if (!fn) return FunctionDecl{};
+  return *fn;
+}
+
+void parse_fail(std::string_view text, DiagId expected) {
+  TypeTable types;
+  DiagnosticEngine diags;
+  auto fn = frontend::parse_prototype(text, types, diags);
+  EXPECT_FALSE(fn.has_value()) << text;
+  EXPECT_TRUE(diags.contains(expected)) << text << "\n" << diags.render();
+}
+
+// --- Figure 3.1: baseline syntax -------------------------------------------
+
+TEST(DeclGrammar, BasicTransferNoInputs) {
+  auto fn = parse_ok("int get_status();");
+  EXPECT_EQ(fn.name, "get_status");
+  EXPECT_EQ(fn.return_kind, ReturnKind::Value);
+  EXPECT_EQ(fn.output.type.name, "int");
+  EXPECT_TRUE(fn.inputs.empty());
+  EXPECT_EQ(fn.instances, 1u);
+}
+
+TEST(DeclGrammar, BasicTransferWithScalars) {
+  auto fn = parse_ok("void set_point(short x, short y, char flags);");
+  EXPECT_EQ(fn.return_kind, ReturnKind::Void);
+  ASSERT_EQ(fn.inputs.size(), 3u);
+  EXPECT_EQ(fn.inputs[0].type.bits, 16u);
+  EXPECT_EQ(fn.inputs[2].type.bits, 8u);
+  EXPECT_FALSE(fn.inputs[0].is_pointer);
+}
+
+TEST(DeclGrammar, AllBaselineTypesAccepted) {
+  for (const char* ty : {"int", "short", "char", "bool", "double", "single",
+                         "unsigned", "float"}) {
+    auto fn = parse_ok(std::string(ty) + " f(" + ty + " a);");
+    EXPECT_EQ(fn.inputs[0].type.name, ty);
+  }
+}
+
+// --- Figure 3.2: explicit pointers ------------------------------------------
+
+TEST(DeclGrammar, ExplicitPointer) {
+  auto fn = parse_ok("void some_function(int*:5 x);");
+  ASSERT_EQ(fn.inputs.size(), 1u);
+  const IoParam& p = fn.inputs[0];
+  EXPECT_TRUE(p.is_pointer);
+  EXPECT_EQ(p.count_kind, CountKind::Explicit);
+  EXPECT_EQ(p.explicit_count, 5u);
+}
+
+// --- Figure 3.3: implicit pointers ------------------------------------------
+
+TEST(DeclGrammar, ImplicitPointer) {
+  auto fn = parse_ok("void some_function(char x, int*:x y);");
+  ASSERT_EQ(fn.inputs.size(), 2u);
+  const IoParam& p = fn.inputs[1];
+  EXPECT_EQ(p.count_kind, CountKind::Implicit);
+  EXPECT_EQ(p.index_var, "x");
+}
+
+// --- Figure 3.4: packed transfers -------------------------------------------
+
+TEST(DeclGrammar, PackedExplicitPrefixForm) {
+  auto fn = parse_ok("void f(char*:8+ x);");
+  EXPECT_TRUE(fn.inputs[0].packed);
+  EXPECT_EQ(fn.inputs[0].explicit_count, 8u);
+}
+
+TEST(DeclGrammar, PackedPostfixFormFromThesisText) {
+  // §3.1.3 writes the extension after the name: "char* x:8+".
+  auto fn = parse_ok("void f(char* x:8+);");
+  EXPECT_TRUE(fn.inputs[0].is_pointer);
+  EXPECT_TRUE(fn.inputs[0].packed);
+  EXPECT_EQ(fn.inputs[0].explicit_count, 8u);
+}
+
+// --- Figure 3.5: DMA ---------------------------------------------------------
+
+TEST(DeclGrammar, DmaTransfer) {
+  auto fn = parse_ok("void f(int*:8^ x);");
+  EXPECT_TRUE(fn.inputs[0].dma);
+  EXPECT_FALSE(fn.inputs[0].packed);
+}
+
+// --- Figure 3.6: multiple instances ------------------------------------------
+
+TEST(DeclGrammar, MultipleInstances) {
+  auto fn = parse_ok("void some_function(int x, int y):4;");
+  EXPECT_EQ(fn.instances, 4u);
+  EXPECT_EQ(fn.inputs.size(), 2u);
+}
+
+// --- Figure 3.7: nowait -------------------------------------------------------
+
+TEST(DeclGrammar, NowaitCall) {
+  auto fn = parse_ok("nowait some_function(int x, int y);");
+  EXPECT_EQ(fn.return_kind, ReturnKind::Nowait);
+  EXPECT_FALSE(fn.blocking());
+}
+
+// --- Figure 3.8: combinations -------------------------------------------------
+
+TEST(DeclGrammar, CombinedPackedDmaExplicit) {
+  auto fn = parse_ok("void some_function(char*:16^+ x);");
+  const IoParam& p = fn.inputs[0];
+  EXPECT_TRUE(p.packed);
+  EXPECT_TRUE(p.dma);
+  EXPECT_EQ(p.explicit_count, 16u);
+}
+
+TEST(DeclGrammar, CombinedImplicitDmaWithInstances) {
+  auto fn = parse_ok("int f(char n, int*:n^ data):2;");
+  EXPECT_EQ(fn.instances, 2u);
+  EXPECT_TRUE(fn.inputs[1].dma);
+  EXPECT_EQ(fn.inputs[1].index_var, "n");
+}
+
+TEST(DeclGrammar, PointerReturnWithExplicitBound) {
+  auto fn = parse_ok("int*:4 get_vals(char seed);");
+  EXPECT_EQ(fn.return_kind, ReturnKind::Value);
+  EXPECT_TRUE(fn.output.is_pointer);
+  EXPECT_EQ(fn.output.explicit_count, 4u);
+}
+
+TEST(DeclGrammar, BraceFormWithBuiltinType) {
+  auto fn = parse_ok("int get_threshold{};");
+  EXPECT_EQ(fn.name, "get_threshold");
+}
+
+// --- error cases ---------------------------------------------------------------
+
+TEST(DeclGrammar, UnknownTypeRejected) {
+  parse_fail("uint64 f();", DiagId::ExpectedType);
+}
+
+TEST(DeclGrammar, UnknownParamTypeRejected) {
+  parse_fail("void f(uint64 x);", DiagId::ExpectedType);
+}
+
+TEST(DeclGrammar, MissingNameRejected) {
+  parse_fail("int (int x);", DiagId::ExpectedIdentifier);
+}
+
+TEST(DeclGrammar, MissingSemiRejected) {
+  parse_fail("int f()", DiagId::ExpectedToken);
+}
+
+TEST(DeclGrammar, MissingParamNameRejected) {
+  parse_fail("void f(int);", DiagId::ExpectedIdentifier);
+}
+
+TEST(DeclGrammar, NowaitCannotCarryReturnTransfer) {
+  parse_fail("nowait*:4 f(int x);", DiagId::NowaitWithValue);
+}
+
+TEST(DeclGrammar, InstanceCountMustBeNumeric) {
+  parse_fail("void f(int x):y;", DiagId::ExpectedToken);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Target-specification directive tests (thesis Figures 3.9-3.17),
+// including the Figure 8.2 space-separated spellings.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::ir;
+
+DeviceSpec parse_ok(std::string_view text) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  EXPECT_TRUE(spec.has_value()) << diags.render();
+  if (!spec) return DeviceSpec{};
+  return std::move(*spec);
+}
+
+void parse_fail(std::string_view text, DiagId expected) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  EXPECT_FALSE(spec.has_value()) << text;
+  EXPECT_TRUE(diags.contains(expected)) << diags.render();
+}
+
+TEST(Directives, BusTypeLowercased) {
+  auto spec = parse_ok("%bus_type PLB\n");
+  EXPECT_EQ(spec.target.bus_type, "plb");
+}
+
+TEST(Directives, BusWidth) {
+  auto spec = parse_ok("%bus_width 32\n");
+  EXPECT_EQ(spec.target.bus_width, 32u);
+}
+
+TEST(Directives, BaseAddressHex) {
+  auto spec = parse_ok("%base_address 0x80000000\n");
+  ASSERT_TRUE(spec.target.base_address.has_value());
+  EXPECT_EQ(*spec.target.base_address, 0x80000000u);
+}
+
+TEST(Directives, BooleanDirectives) {
+  auto spec = parse_ok(
+      "%burst_support true\n%dma_support false\n%packing_support true\n");
+  EXPECT_TRUE(spec.target.burst_support);
+  EXPECT_FALSE(spec.target.dma_support);
+  EXPECT_TRUE(spec.target.packing_support);
+}
+
+TEST(Directives, DeviceNameSingleWord) {
+  auto spec = parse_ok("%device_name timer_v1\n");
+  EXPECT_EQ(spec.target.device_name, "timer_v1");
+}
+
+TEST(Directives, Figure82SpaceSeparatedSpellings) {
+  // The thesis' own example writes "% name hw timer" and "% hdl type vhdl".
+  auto spec = parse_ok(
+      "% name hw timer\n"
+      "% hdl type vhdl\n"
+      "% bus type plb\n"
+      "% bus width 32\n"
+      "% base address 0x8000401C\n"
+      "% dma support false\n");
+  EXPECT_EQ(spec.target.device_name, "hw_timer");
+  EXPECT_EQ(spec.target.hdl, Hdl::Vhdl);
+  EXPECT_EQ(spec.target.bus_type, "plb");
+  EXPECT_EQ(spec.target.bus_width, 32u);
+  EXPECT_EQ(spec.target.base_address.value(), 0x8000401Cu);
+}
+
+TEST(Directives, TargetHdlVerilog) {
+  auto spec = parse_ok("%target_hdl verilog\n");
+  EXPECT_EQ(spec.target.hdl, Hdl::Verilog);
+}
+
+TEST(Directives, UserTypeDefinesNewType) {
+  auto spec = parse_ok(
+      "%user_type uint64, unsigned long long, 64\n"
+      "uint64 f(uint64 x);\n");
+  auto t = spec.types.find("uint64");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->bits, 64u);
+  EXPECT_FALSE(t->is_signed);
+  EXPECT_EQ(t->c_spelling, "unsigned long long");
+  ASSERT_EQ(spec.functions.size(), 1u);
+  EXPECT_EQ(spec.functions[0].output.type.bits, 64u);
+}
+
+TEST(Directives, UserTypeUsableBeforeDefinition) {
+  // §3.2.3: "the tool simply collects all the definitions" — position
+  // independent.
+  auto spec = parse_ok(
+      "myint f();\n"
+      "%user_type myint, int, 32\n");
+  ASSERT_EQ(spec.functions.size(), 1u);
+  EXPECT_EQ(spec.functions[0].output.type.name, "myint");
+}
+
+TEST(Directives, SignedUserType) {
+  auto spec = parse_ok("%user_type s48, long long, 48\n");
+  EXPECT_TRUE(spec.types.find("s48")->is_signed);
+}
+
+TEST(Directives, UnknownDirectiveRejected) {
+  parse_fail("%frobnicate 5\n", DiagId::UnknownDirective);
+}
+
+TEST(Directives, MalformedUserTypeRejected) {
+  parse_fail("%user_type broken\n", DiagId::MalformedDirective);
+  parse_fail("%user_type a, b, xyz\n", DiagId::MalformedDirective);
+}
+
+TEST(Directives, UserTypeZeroWidthRejected) {
+  parse_fail("%user_type z, int, 0\n", DiagId::BadUserTypeWidth);
+}
+
+TEST(Directives, RedefinedUserTypeRejected) {
+  parse_fail("%user_type int, int, 32\n", DiagId::DuplicateUserType);
+  parse_fail("%user_type q, int, 32\n%user_type q, char, 8\n",
+             DiagId::DuplicateUserType);
+}
+
+TEST(Directives, UnknownHdlRejected) {
+  parse_fail("%target_hdl systemc\n", DiagId::UnknownHdl);
+}
+
+TEST(Directives, MalformedBusWidthRejected) {
+  parse_fail("%bus_width wide\n", DiagId::MalformedDirective);
+}
+
+TEST(Directives, MalformedBooleanRejected) {
+  parse_fail("%dma_support maybe\n", DiagId::MalformedDirective);
+}
+
+TEST(Directives, DuplicateDirectiveWarnsLastWins) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec("%bus_width 32\n%bus_width 64\n", diags);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_TRUE(diags.contains(DiagId::DuplicateDirective));
+  EXPECT_EQ(spec->target.bus_width, 64u);
+}
+
+TEST(Directives, DirectivesInterleaveWithDeclarations) {
+  auto spec = parse_ok(
+      "%device_name d\n"
+      "int a();\n"
+      "%bus_type plb\n"
+      "int b();\n");
+  EXPECT_EQ(spec.functions.size(), 2u);
+  EXPECT_EQ(spec.target.bus_type, "plb");
+}
+
+TEST(Directives, CommentsIgnoredEverywhere) {
+  auto spec = parse_ok(
+      "// Target Specification\n"
+      "%bus_type plb // trailing\n"
+      "/* block */ int f();\n");
+  EXPECT_EQ(spec.target.bus_type, "plb");
+  EXPECT_EQ(spec.functions.size(), 1u);
+}
+
+}  // namespace

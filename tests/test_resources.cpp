@@ -1,0 +1,111 @@
+// Resource-estimator tests: component cost sanity, structural
+// monotonicity properties, and the interface/arbiter/stub breakdown.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "resources/model.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::resources;
+
+ir::DeviceSpec spec_from(const std::string& body,
+                         const std::string& bus = "plb",
+                         const std::string& directives = "") {
+  const bool mapped = bus != "fcb";
+  std::string text = "%device_name res\n%bus_type " + bus +
+                     "\n%bus_width 32\n" +
+                     (mapped ? "%base_address 0x80000000\n" : "") +
+                     directives + body;
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  EXPECT_TRUE(spec.has_value()) << diags.render();
+  EXPECT_TRUE(ir::validate(*spec, diags)) << diags.render();
+  return std::move(*spec);
+}
+
+TEST(ResourceComponents, BasicCosts) {
+  EXPECT_EQ(mux_cost(1, 32).luts, 0u);      // single input: wires only
+  EXPECT_GT(mux_cost(4, 32).luts, mux_cost(2, 32).luts);
+  EXPECT_GT(comparator_cost(32).luts, comparator_cost(8).luts);
+  EXPECT_EQ(counter_cost(8).ffs, 8u);
+  EXPECT_EQ(register_cost(16).ffs, 16u);
+  EXPECT_GT(fsm_cost(16).luts, fsm_cost(4).luts);
+  EXPECT_GT(encoder_cost(16).luts, encoder_cost(4).luts);
+}
+
+TEST(ResourceComponents, SlicePacking) {
+  ResourceReport r{100, 10};
+  // LUT-bound: 100 LUTs / 2 per slice / 0.7 packing.
+  EXPECT_EQ(r.slices(), 71u);
+  ResourceReport ff_bound{10, 100};
+  EXPECT_EQ(ff_bound.slices(), 71u);
+  ResourceReport sum = r + ff_bound;
+  EXPECT_EQ(sum.luts, 110u);
+  EXPECT_EQ(sum.ffs, 110u);
+}
+
+TEST(ResourceEstimates, MoreInstancesCostMore) {
+  auto one = spec_from("int f(int x):1;\n");
+  auto four = spec_from("int f(int x):4;\n");
+  EXPECT_GT(estimate_splice_device(four).slices(),
+            estimate_splice_device(one).slices());
+}
+
+TEST(ResourceEstimates, MoreFunctionsCostMore) {
+  auto small = spec_from("int f(int x);\n");
+  auto large = spec_from("int f(int x);\nint g(int y);\nint h(int z);\n");
+  EXPECT_GT(estimate_splice_device(large).slices(),
+            estimate_splice_device(small).slices());
+}
+
+TEST(ResourceEstimates, WiderBusCostsMore) {
+  auto w32 = spec_from("int f(int x);\n");
+  auto w64 = spec_from("int f(int x);\n");
+  w64.target.bus_width = 64;
+  EXPECT_GT(estimate_splice_device(w64).slices(),
+            estimate_splice_device(w32).slices());
+}
+
+TEST(ResourceEstimates, DmaDominatesTheInterface) {
+  auto plain = spec_from("void f(int*:8 x);\n");
+  auto dma = spec_from("void f(int*:8^ x);\n", "plb",
+                       "%dma_support true\n");
+  const auto plain_iface = estimate_interface(plain);
+  const auto dma_iface = estimate_interface(dma);
+  // §9.3.2: "astronomical" growth from the DMA engine.
+  EXPECT_GT(dma_iface.slices(), plain_iface.slices() * 2);
+}
+
+TEST(ResourceEstimates, ArrayTrackingHardwareShowsUp) {
+  auto scalar = spec_from("void f(int a);\n");
+  auto arr = spec_from("void f(int*:16 a);\n");
+  EXPECT_GT(estimate_splice_device(arr).ffs,
+            estimate_splice_device(scalar).ffs);
+}
+
+TEST(ResourceEstimates, FcbInterfaceSmallerThanAhb) {
+  // Relative interconnect complexity (§2.3): the opcode-driven FCB skips
+  // the address decode; the pipelined AHB is the largest.
+  auto fcb = spec_from("int f(int x);\n", "fcb");
+  auto ahb = spec_from("int f(int x);\n", "ahb");
+  EXPECT_LT(estimate_interface(fcb).slices(),
+            estimate_interface(ahb).slices());
+}
+
+TEST(ResourceEstimates, UnknownBusThrows) {
+  auto spec = spec_from("int f(int x);\n");
+  spec.target.bus_type = "mystery";
+  EXPECT_THROW((void)estimate_interface(spec), SpliceError);
+}
+
+TEST(ResourceEstimates, ArbiterGrowsWithMuxFanIn) {
+  auto few = spec_from("int f(int x);\n");
+  auto many = spec_from("int f(int x):8;\n");
+  EXPECT_GT(estimate_arbiter(codegen::build_arbiter_model(many)).luts,
+            estimate_arbiter(codegen::build_arbiter_model(few)).luts);
+}
+
+}  // namespace

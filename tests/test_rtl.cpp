@@ -1,0 +1,163 @@
+// Simulation-kernel tests: signal semantics, two-phase scheduling,
+// combinational settling, trace recording and VCD output.
+#include <gtest/gtest.h>
+
+#include "rtl/simulator.hpp"
+#include "rtl/trace.hpp"
+#include "rtl/vcd.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::rtl;
+
+TEST(Signal, WidthMasking) {
+  Signal s("s", 8);
+  s.drive(std::uint64_t{0x1FF});
+  EXPECT_EQ(s.get(), 0xFFu);
+  EXPECT_THROW(Signal("bad", 0), SpliceError);
+  EXPECT_THROW(Signal("bad", 65), SpliceError);
+}
+
+TEST(Signal, DriveReportsChange) {
+  Signal s("s", 4);
+  EXPECT_TRUE(s.drive(std::uint64_t{3}));
+  EXPECT_FALSE(s.drive(std::uint64_t{3}));
+  EXPECT_TRUE(s.drive(std::uint64_t{4}));
+}
+
+// A toggling register: classic positive-edge flip-flop behaviour.
+class Toggler : public Module {
+ public:
+  Toggler(Simulator& sim)
+      : Module("toggler"), q_(sim.signal("q", 1)) {}
+  void clock_edge() override { q_.set(!q_.high()); }
+  Signal& q_;
+};
+
+TEST(Simulator, RegisteredWritesCommitOnEdge) {
+  Simulator sim;
+  auto& mod = sim.add<Toggler>(sim);
+  EXPECT_EQ(mod.q_.get(), 0u);
+  sim.step();
+  EXPECT_EQ(mod.q_.get(), 1u);
+  sim.step();
+  EXPECT_EQ(mod.q_.get(), 0u);
+  sim.step(3);
+  EXPECT_EQ(mod.q_.get(), 1u);
+  EXPECT_EQ(sim.cycle(), 5u);
+}
+
+// Combinational chain: c = b + 1, b = a + 1 (listed out of order to force
+// a second settling iteration).
+class Chain : public Module {
+ public:
+  Chain(Simulator& sim)
+      : Module("chain"),
+        a_(sim.signal("a", 8)),
+        b_(sim.signal("b", 8)),
+        c_(sim.signal("c", 8)) {}
+  void eval_comb() override {
+    c_.drive(b_.get() + 1);
+    b_.drive(a_.get() + 1);
+  }
+  Signal &a_, &b_, &c_;
+};
+
+TEST(Simulator, CombinationalChainsSettle) {
+  Simulator sim;
+  auto& mod = sim.add<Chain>(sim);
+  mod.a_.drive(std::uint64_t{5});
+  sim.step();
+  EXPECT_EQ(mod.b_.get(), 6u);
+  EXPECT_EQ(mod.c_.get(), 7u);
+}
+
+// A true combinational loop: x = !x.
+class Oscillator : public Module {
+ public:
+  Oscillator(Simulator& sim) : Module("osc"), x_(sim.signal("x", 1)) {}
+  void eval_comb() override { x_.drive(!x_.high()); }
+  Signal& x_;
+};
+
+TEST(Simulator, CombinationalLoopDetected) {
+  Simulator sim;
+  sim.add<Oscillator>(sim);
+  EXPECT_THROW(sim.step(), SpliceError);
+}
+
+TEST(Simulator, SignalRegistryDeduplicatesByName) {
+  Simulator sim;
+  Signal& a = sim.signal("x", 8);
+  Signal& b = sim.signal("x", 8);
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(sim.signal("x", 16), SpliceError);
+  EXPECT_EQ(sim.find_signal("nope"), nullptr);
+}
+
+TEST(Simulator, StepUntilStopsEarly) {
+  Simulator sim;
+  auto& mod = sim.add<Toggler>(sim);
+  bool hit = sim.step_until([&] { return mod.q_.high(); }, 100);
+  EXPECT_TRUE(hit);
+  EXPECT_LT(sim.cycle(), 100u);
+  bool miss = sim.step_until([] { return false; }, 10);
+  EXPECT_FALSE(miss);
+}
+
+TEST(Trace, RecordsPerCycleValues) {
+  Simulator sim;
+  auto& mod = sim.add<Toggler>(sim);
+  Trace trace(sim);
+  trace.watch(mod.q_);
+  sim.step(4);
+  const auto& hist = trace.history("q");
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 0u);
+  EXPECT_EQ(hist[3], 1u);
+  EXPECT_THROW((void)trace.history("unknown"), SpliceError);
+}
+
+TEST(Trace, AsciiRenderingShowsLevelsAndValues) {
+  Simulator sim;
+  auto& mod = sim.add<Toggler>(sim);
+  Signal& vec = sim.signal("vec", 8);
+  vec.drive(std::uint64_t{0xAB});
+  Trace trace(sim);
+  trace.watch(mod.q_);
+  trace.watch(vec);
+  sim.step(3);
+  const std::string wave = trace.render_ascii();
+  EXPECT_NE(wave.find('q'), std::string::npos);
+  EXPECT_NE(wave.find("AB"), std::string::npos);
+  EXPECT_NE(wave.find('-'), std::string::npos);  // a high level somewhere
+  EXPECT_NE(wave.find('_'), std::string::npos);  // a low level somewhere
+}
+
+TEST(Vcd, ProducesWellFormedHeaderAndChanges) {
+  Simulator sim;
+  auto& mod = sim.add<Toggler>(sim);
+  Trace trace(sim);
+  trace.watch(mod.q_);
+  sim.step(3);
+  const std::string vcd = to_vcd(trace, sim, "top");
+  EXPECT_NE(vcd.find("$scope module top $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! q $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("1!"), std::string::npos);
+}
+
+TEST(Simulator, ResetInvokesModuleHooks) {
+  Simulator sim;
+  auto& mod = sim.add<Toggler>(sim);
+  sim.step(3);
+  EXPECT_EQ(sim.cycle(), 3u);
+  sim.reset();
+  EXPECT_EQ(sim.cycle(), 0u);
+  (void)mod;
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// SIS protocol-checker tests: hand-drive the chapter-4 signal bundle with
+// both compliant and non-compliant sequences.
+#include <gtest/gtest.h>
+
+#include "sis/checker.hpp"
+#include "sis/sis.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::rtl;
+using namespace splice::sis;
+
+struct Fixture {
+  Simulator sim;
+  SisBus bus = SisBus::create(sim, "SIS_", 32, 4, 8);
+};
+
+TEST(SisChecker, CompliantPseudoAsyncWrite) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);
+
+  // Cycle 0: idle.
+  f.sim.step();
+  // Cycle 1: strobe IO_ENABLE with valid data (write opens).
+  f.bus.io_enable.drive(true);
+  f.bus.data_in_valid.drive(true);
+  f.bus.data_in.drive(std::uint64_t{0xBEEF});
+  f.bus.func_id.drive(std::uint64_t{1});
+  f.sim.step();
+  // Cycle 2: strobe falls, data held; slave raises IO_DONE for one cycle.
+  f.bus.io_enable.drive(false);
+  f.bus.io_done.drive(true);
+  f.sim.step();
+  // Cycle 3: transaction closed.
+  f.bus.io_done.drive(false);
+  f.bus.data_in_valid.drive(false);
+  f.sim.step();
+
+  EXPECT_TRUE(chk.clean()) << ::testing::PrintToString(chk.violations());
+  EXPECT_EQ(chk.writes_observed(), 1u);
+}
+
+TEST(SisChecker, IoEnableHeldTwoCyclesFlagged) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);
+  f.bus.io_enable.drive(true);
+  f.bus.data_in_valid.drive(true);
+  f.sim.step(2);  // held high for two cycles
+  EXPECT_FALSE(chk.clean());
+  EXPECT_NE(chk.violations().front().find("IO_ENABLE"), std::string::npos);
+}
+
+TEST(SisChecker, DataChangedMidWriteFlagged) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);
+  f.bus.io_enable.drive(true);
+  f.bus.data_in_valid.drive(true);
+  f.bus.data_in.drive(std::uint64_t{1});
+  f.sim.step();
+  f.bus.io_enable.drive(false);
+  f.bus.data_in.drive(std::uint64_t{2});  // mutates before IO_DONE
+  f.sim.step();
+  EXPECT_FALSE(chk.clean());
+  EXPECT_NE(chk.violations().front().find("DATA_IN changed"),
+            std::string::npos);
+}
+
+TEST(SisChecker, ValidDroppedBeforeDoneFlagged) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);
+  f.bus.io_enable.drive(true);
+  f.bus.data_in_valid.drive(true);
+  f.sim.step();
+  f.bus.io_enable.drive(false);
+  f.bus.data_in_valid.drive(false);  // dropped with no IO_DONE
+  f.sim.step();
+  EXPECT_FALSE(chk.clean());
+}
+
+TEST(SisChecker, FuncIdChangedMidReadFlagged) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);
+  f.bus.io_enable.drive(true);
+  f.bus.func_id.drive(std::uint64_t{2});
+  f.sim.step();
+  f.bus.io_enable.drive(false);
+  f.bus.func_id.drive(std::uint64_t{3});  // read still pending
+  f.sim.step();
+  EXPECT_FALSE(chk.clean());
+  EXPECT_NE(chk.violations().front().find("FUNC_ID"), std::string::npos);
+}
+
+TEST(SisChecker, ReadDoneWithoutDataValidFlagged) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);
+  f.bus.io_enable.drive(true);
+  f.bus.func_id.drive(std::uint64_t{2});
+  f.sim.step();
+  f.bus.io_enable.drive(false);
+  f.bus.io_done.drive(true);  // done without DATA_OUT_VALID
+  f.sim.step();
+  EXPECT_FALSE(chk.clean());
+  EXPECT_NE(chk.violations().front().find("DATA_OUT_VALID"),
+            std::string::npos);
+}
+
+TEST(SisChecker, StrictWritesCompleteImmediately) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::StrictlySynchronous);
+  // Two chained single-cycle writes.
+  for (int i = 0; i < 2; ++i) {
+    f.bus.io_enable.drive(true);
+    f.bus.data_in_valid.drive(true);
+    f.bus.data_in.drive(std::uint64_t(i));
+    f.sim.step();
+    f.bus.io_enable.drive(false);
+    f.bus.data_in_valid.drive(false);
+    f.sim.step();
+  }
+  EXPECT_TRUE(chk.clean()) << ::testing::PrintToString(chk.violations());
+  EXPECT_EQ(chk.writes_observed(), 2u);
+}
+
+TEST(SisChecker, ResetClearsTransactionState) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);
+  f.bus.io_enable.drive(true);
+  f.bus.data_in_valid.drive(true);
+  f.sim.step();
+  f.bus.rst.drive(true);
+  f.bus.io_enable.drive(false);
+  f.sim.step();
+  f.bus.rst.drive(false);
+  f.bus.data_in_valid.drive(false);
+  f.sim.step(2);
+  EXPECT_TRUE(chk.clean()) << ::testing::PrintToString(chk.violations());
+}
+
+}  // namespace

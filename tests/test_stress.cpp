@@ -1,0 +1,204 @@
+// Stress and scale tests: wide buses, many functions and instances,
+// long mixed call sequences, and reset behaviour — the configurations a
+// downstream adopter would hit first.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "runtime/platform.hpp"
+
+namespace {
+
+using namespace splice;
+
+TEST(Stress, SixtyFourBitPlbRoundTrips) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name wide\n%bus_type plb\n%bus_width 64\n"
+      "%base_address 0x80000000\n"
+      "%user_type llong, unsigned long long, 64\n"
+      "llong xorshift(llong v, int k);\n",
+      diags);
+  ASSERT_TRUE(spec.has_value() && ir::validate(*spec, diags))
+      << diags.render();
+  elab::BehaviorMap b;
+  b.set("xorshift", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{2, {ctx.scalar(0) ^ (ctx.scalar(0) >>
+                                                 ctx.scalar(1))}};
+  });
+  runtime::VirtualPlatform vp(std::move(*spec), b);
+  const std::uint64_t v = 0xFEDCBA9876543210ull;
+  auto r = vp.call("xorshift", {{v}, {13}});
+  EXPECT_EQ(r.outputs.at(0), v ^ (v >> 13));
+  // A 64-bit value over a 64-bit bus needs no split: one write.
+  EXPECT_TRUE(vp.checker().clean());
+}
+
+TEST(Stress, TwentyFunctionsShareOneBusAttachment) {
+  std::ostringstream text;
+  text << "%device_name many\n%bus_type plb\n%bus_width 32\n"
+          "%base_address 0x80000000\n";
+  for (int i = 0; i < 20; ++i) {
+    text << "int f" << i << "(int x);\n";
+  }
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text.str(), diags);
+  ASSERT_TRUE(spec.has_value() && ir::validate(*spec, diags))
+      << diags.render();
+  elab::BehaviorMap b;
+  for (int i = 0; i < 20; ++i) {
+    b.set("f" + std::to_string(i), [i](const elab::CallContext& ctx) {
+      return elab::CalcResult{1, {ctx.scalar(0) * 1000 + i}};
+    });
+  }
+  runtime::VirtualPlatform vp(std::move(*spec), b);
+  // Interleaved calls across every function.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      auto r = vp.call("f" + std::to_string(i),
+                       {{static_cast<std::uint64_t>(round)}});
+      EXPECT_EQ(r.outputs.at(0),
+                static_cast<std::uint64_t>(round) * 1000 + i);
+    }
+  }
+  EXPECT_TRUE(vp.checker().clean());
+  EXPECT_EQ(vp.spec().total_instances(), 20u);
+}
+
+TEST(Stress, FortyInstancesFitTheFuncIdSpace) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name inst\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\nint f(int x):40;\n",
+      diags);
+  ASSERT_TRUE(spec.has_value() && ir::validate(*spec, diags))
+      << diags.render();
+  elab::BehaviorMap b;
+  b.set("f", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{1, {ctx.scalar(0) + ctx.instance_index}};
+  });
+  runtime::VirtualPlatform vp(std::move(*spec), b);
+  for (std::uint32_t inst : {0u, 7u, 20u, 39u}) {
+    auto r = vp.call("f", {{100}}, inst);
+    EXPECT_EQ(r.outputs.at(0), 100u + inst);
+  }
+  EXPECT_TRUE(vp.checker().clean());
+}
+
+TEST(Stress, LongMixedSoakStaysClean) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name soak\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\n"
+      "int sum(char n, int*:n xs);\n"
+      "int echo(int v);\n"
+      "nowait poke(int v);\n"
+      "void barrier();\n",
+      diags);
+  ASSERT_TRUE(spec.has_value() && ir::validate(*spec, diags))
+      << diags.render();
+  elab::BehaviorMap b;
+  auto poked = std::make_shared<std::uint64_t>(0);
+  b.set("sum", [](const elab::CallContext& ctx) {
+    std::uint64_t s = 0;
+    for (auto v : ctx.array(1)) s += v;
+    return elab::CalcResult{4, {s}};
+  });
+  b.set("echo", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{1, {ctx.scalar(0)}};
+  });
+  b.set("poke", [poked](const elab::CallContext& ctx) {
+    *poked += ctx.scalar(0);
+    return elab::CalcResult{2, {}};
+  });
+  b.set("barrier",
+        [](const elab::CallContext&) { return elab::CalcResult{1, {}}; });
+
+  runtime::VirtualPlatform vp(std::move(*spec), b);
+  std::uint64_t state = 42;
+  std::uint64_t expected_pokes = 0;
+  for (int i = 0; i < 100; ++i) {
+    state = state * 1664525u + 1013904223u;
+    switch (state % 4) {
+      case 0: {
+        const unsigned n = 1 + state % 7;
+        std::vector<std::uint64_t> xs;
+        std::uint64_t want = 0;
+        for (unsigned k = 0; k < n; ++k) {
+          xs.push_back((state >> k) & 0xFFFF);
+          want += xs.back();
+        }
+        auto r = vp.call("sum", {{n}, xs});
+        ASSERT_EQ(r.outputs.at(0), want) << "iteration " << i;
+        break;
+      }
+      case 1: {
+        auto r = vp.call("echo", {{state & 0xFFFFFFFF}});
+        ASSERT_EQ(r.outputs.at(0), state & 0xFFFFFFFF);
+        break;
+      }
+      case 2:
+        (void)vp.call("poke", {{static_cast<std::uint64_t>(i)}});
+        expected_pokes += static_cast<std::uint64_t>(i);
+        break;
+      case 3:
+        (void)vp.call("barrier");
+        break;
+    }
+  }
+  // Drain any in-flight nowait calculations, then check the side effects.
+  (void)vp.call("barrier");
+  vp.sim().step(64);
+  EXPECT_EQ(*poked, expected_pokes);
+  EXPECT_TRUE(vp.checker().clean())
+      << ::testing::PrintToString(vp.checker().violations());
+}
+
+TEST(Stress, ResetMidTransactionRecovers) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name rst\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\nint f(int a, int b);\n",
+      diags);
+  ASSERT_TRUE(spec.has_value() && ir::validate(*spec, diags))
+      << diags.render();
+  elab::BehaviorMap b;
+  b.set("f", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{3, {ctx.scalar(0) + ctx.scalar(1)}};
+  });
+  runtime::VirtualPlatform vp(std::move(*spec), b);
+  EXPECT_EQ(vp.call("f", {{1}, {2}}).outputs.at(0), 3u);
+  // Hard reset of every module, then the device must work again.
+  vp.sim().reset();
+  EXPECT_EQ(vp.call("f", {{10}, {20}}).outputs.at(0), 30u);
+}
+
+TEST(Stress, HugeArrayTransferOnFcbBursts) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name big\n%bus_type fcb\n%bus_width 32\n"
+      "%burst_support true\nint sum(char n, int*:n xs);\n",
+      diags);
+  ASSERT_TRUE(spec.has_value() && ir::validate(*spec, diags))
+      << diags.render();
+  elab::BehaviorMap b;
+  b.set("sum", [](const elab::CallContext& ctx) {
+    std::uint64_t s = 0;
+    for (auto v : ctx.array(1)) s += v;
+    return elab::CalcResult{8, {s}};
+  });
+  runtime::VirtualPlatform vp(std::move(*spec), b);
+  std::vector<std::uint64_t> xs;
+  std::uint64_t want = 0;
+  for (unsigned i = 0; i < 200; ++i) {
+    xs.push_back(i * 3 + 1);
+    want += xs.back();
+  }
+  auto r = vp.call("sum", {{200}, xs}, 0, 100'000);
+  EXPECT_EQ(r.outputs.at(0), want & 0xFFFFFFFFull);
+  EXPECT_TRUE(vp.checker().clean());
+}
+
+}  // namespace

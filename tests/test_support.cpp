@@ -1,0 +1,121 @@
+// Unit tests for the support layer: string helpers, bit utilities,
+// diagnostics, and the text-table renderer.
+#include <gtest/gtest.h>
+
+#include "support/bits.hpp"
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace splice;
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(str::trim("  hello  "), "hello");
+  EXPECT_EQ(str::trim("\t\nx\r "), "x");
+  EXPECT_EQ(str::trim(""), "");
+  EXPECT_EQ(str::trim("   "), "");
+}
+
+TEST(Strings, CaseConversionAndCompare) {
+  EXPECT_EQ(str::to_lower("AbC_1"), "abc_1");
+  EXPECT_EQ(str::to_upper("hw_timer"), "HW_TIMER");
+  EXPECT_TRUE(str::iequals("PLB", "plb"));
+  EXPECT_FALSE(str::iequals("plb", "plb2"));
+}
+
+TEST(Strings, SplitAndJoin) {
+  auto parts = str::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(str::join({"x", "y"}, "_"), "x_y");
+  auto words = str::split_ws("  one\ttwo \n three ");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[1], "two");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(str::replace_all("a%X%b%X%", "%X%", "1"), "a1b1");
+  EXPECT_EQ(str::replace_all("abc", "", "z"), "abc");
+}
+
+TEST(Strings, ParseNumbers) {
+  EXPECT_EQ(str::parse_u64("12345").value(), 12345u);
+  EXPECT_FALSE(str::parse_u64("12x").has_value());
+  EXPECT_FALSE(str::parse_u64("").has_value());
+  EXPECT_FALSE(str::parse_u64("99999999999999999999999").has_value());
+  EXPECT_EQ(str::parse_hex("0x8000401C").value(), 0x8000401Cu);
+  EXPECT_EQ(str::parse_hex("ff").value(), 0xFFu);
+  EXPECT_FALSE(str::parse_hex("0xZZ").has_value());
+}
+
+TEST(Strings, IdentifierPredicate) {
+  EXPECT_TRUE(str::is_identifier("get_status"));
+  EXPECT_TRUE(str::is_identifier("x1"));
+  EXPECT_FALSE(str::is_identifier("1x"));
+  EXPECT_FALSE(str::is_identifier("_x"));  // grammar: alpha first
+  EXPECT_FALSE(str::is_identifier(""));
+}
+
+TEST(Strings, HexRendering) {
+  EXPECT_EQ(str::hex(0x1C, 8), "0x0000001C");
+  EXPECT_EQ(str::hex(0, 1), "0x0");
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(bits::ceil_div(64, 32), 2u);
+  EXPECT_EQ(bits::ceil_div(65, 32), 3u);
+  EXPECT_EQ(bits::ceil_div(1, 32), 1u);
+}
+
+TEST(Bits, BitsForCount) {
+  EXPECT_EQ(bits::bits_for_count(2), 1u);
+  EXPECT_EQ(bits::bits_for_count(3), 2u);
+  EXPECT_EQ(bits::bits_for_count(16), 4u);
+  EXPECT_EQ(bits::bits_for_count(17), 5u);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(bits::low_mask(8), 0xFFu);
+  EXPECT_EQ(bits::low_mask(0), 0u);
+  EXPECT_EQ(bits::low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, OneHot) {
+  EXPECT_TRUE(bits::is_one_hot(0x10));
+  EXPECT_FALSE(bits::is_one_hot(0x11));
+  EXPECT_FALSE(bits::is_one_hot(0));
+  EXPECT_EQ(bits::one_hot_index(0x10), 4u);
+  EXPECT_EQ(bits::one_hot_index(1), 0u);
+}
+
+TEST(Diagnostics, CollectsAndCounts) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  diags.warning(DiagId::PackingTooWide, "w");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error(DiagId::MissingBusType, "e", SourceLoc{3, 1});
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_TRUE(diags.contains(DiagId::MissingBusType));
+  EXPECT_FALSE(diags.contains(DiagId::MissingBusWidth));
+  EXPECT_NE(diags.render().find("3:1"), std::string::npos);
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "cycles"});
+  t.set_alignment({TextTable::Align::Left, TextTable::Align::Right});
+  t.add_row({"plb", "123"});
+  t.add_row({"fcb", "7"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name |"), std::string::npos);
+  EXPECT_NE(out.find("|    123 |"), std::string::npos);
+  EXPECT_NE(out.find("|      7 |"), std::string::npos);
+}
+
+}  // namespace

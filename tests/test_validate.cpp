@@ -1,0 +1,246 @@
+// Semantic validation tests: the §3.3 language rules and the §3.2 / ch.7
+// bus-capability checks.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::ir;
+
+DeviceSpec parse(std::string_view text) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  EXPECT_TRUE(spec.has_value()) << diags.render();
+  return spec ? std::move(*spec) : DeviceSpec{};
+}
+
+const std::string kHeader =
+    "%device_name dev\n%bus_type plb\n%bus_width 32\n"
+    "%base_address 0x80000000\n";
+
+BusCapabilities plb_caps() {
+  BusCapabilities caps;
+  caps.name = "plb";
+  caps.allowed_widths = {32, 64};
+  caps.memory_mapped = true;
+  caps.supports_dma = true;
+  caps.supports_burst = false;
+  return caps;
+}
+
+TEST(Validate, AcceptsCompleteSpecAndAssignsFuncIds) {
+  auto spec = parse(kHeader + "int a();\nint b(int x):3;\nint c();\n");
+  DiagnosticEngine diags;
+  EXPECT_TRUE(validate(spec, diags)) << diags.render();
+  EXPECT_EQ(spec.functions[0].func_id, 1u);  // 0 reserved for status
+  EXPECT_EQ(spec.functions[1].func_id, 2u);
+  EXPECT_EQ(spec.functions[2].func_id, 5u);  // after 3 instances of b
+  EXPECT_EQ(spec.total_instances(), 5u);
+  EXPECT_EQ(spec.func_id_width(), 3u);       // ids 0..5 need 3 bits
+}
+
+TEST(Validate, MissingRequiredDirectives) {
+  auto spec = parse("int a();\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::MissingDeviceName));
+  EXPECT_TRUE(diags.contains(DiagId::MissingBusType));
+  EXPECT_TRUE(diags.contains(DiagId::MissingBusWidth));
+}
+
+TEST(Validate, DuplicateFunctionName) {
+  auto spec = parse(kHeader + "int a();\nint a(int x);\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::DuplicateFunctionName));
+}
+
+TEST(Validate, DuplicateParamName) {
+  auto spec = parse(kHeader + "void f(int x, char x);\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::DuplicateParamName));
+}
+
+TEST(Validate, PointerWithoutBoundRejected) {
+  // §3.1.2: pointers must carry an explicit or implicit bound.
+  auto spec = parse(kHeader + "void f(int* x);\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::PointerWithoutBound));
+}
+
+TEST(Validate, ImplicitIndexMustExist) {
+  auto spec = parse(kHeader + "void f(int*:n y);\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::ImplicitIndexUnknown));
+}
+
+TEST(Validate, ImplicitIndexOrderingRule) {
+  // §3.3: void f(int*:x y, int x) is rejected; the reverse is valid.
+  auto bad = parse(kHeader + "void f(int*:x y, int x);\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(bad, diags));
+  EXPECT_TRUE(diags.contains(DiagId::ImplicitIndexNotBefore));
+
+  auto good = parse(kHeader + "void f(int x, int*:x y);\n");
+  DiagnosticEngine diags2;
+  EXPECT_TRUE(validate(good, diags2)) << diags2.render();
+  EXPECT_TRUE(good.functions[0].inputs[0].used_as_index);
+}
+
+TEST(Validate, ReturnMayUseAnyInputAsIndex) {
+  // Returns transfer last, so any input is a legal implicit bound.
+  auto spec = parse(kHeader + "int*:n get(char n);\n");
+  DiagnosticEngine diags;
+  EXPECT_TRUE(validate(spec, diags)) << diags.render();
+}
+
+TEST(Validate, ImplicitIndexMustBeScalarInteger) {
+  auto spec = parse(kHeader + "void f(float x, int*:x y);\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::ImplicitIndexNotScalar));
+}
+
+TEST(Validate, PackingRequiresArrayBound) {
+  auto spec = parse(kHeader + "void f(char+ x);\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::PackingOnScalar));
+}
+
+TEST(Validate, PackingWiderThanBusWarns) {
+  auto spec = parse(kHeader + "void f(double*:4+ x);\n");
+  DiagnosticEngine diags;
+  EXPECT_TRUE(validate(spec, diags)) << diags.render();
+  EXPECT_TRUE(diags.contains(DiagId::PackingTooWide));
+}
+
+TEST(Validate, DmaRequiresDirective) {
+  // §3.2.2: '^' without %dma_support is an error.
+  auto spec = parse(kHeader + "void f(int*:8^ x);\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::DmaNotEnabled));
+}
+
+TEST(Validate, ZeroInstancesRejected) {
+  auto spec = parse(kHeader + "void f(int x):0;\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::ZeroInstanceCount));
+}
+
+TEST(Validate, ZeroElementCountRejected) {
+  auto spec = parse(kHeader + "void f(int*:0 x);\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::ZeroElementCount));
+}
+
+// --- bus capability checks (the ch.7 parameter checking routine) ------------
+
+TEST(Validate, UnsupportedBusWidth) {
+  auto spec = parse(
+      "%device_name d\n%bus_type plb\n%bus_width 16\n"
+      "%base_address 0x0\nint a();\n");
+  DiagnosticEngine diags;
+  auto caps = plb_caps();
+  EXPECT_FALSE(validate(spec, diags, &caps));
+  EXPECT_TRUE(diags.contains(DiagId::UnsupportedBusWidth));
+}
+
+TEST(Validate, MemoryMappedBusNeedsBaseAddress) {
+  auto spec = parse("%device_name d\n%bus_type plb\n%bus_width 32\nint a();\n");
+  DiagnosticEngine diags;
+  auto caps = plb_caps();
+  EXPECT_FALSE(validate(spec, diags, &caps));
+  EXPECT_TRUE(diags.contains(DiagId::MissingBaseAddress));
+}
+
+TEST(Validate, NonMappedBusWarnsOnBaseAddress) {
+  auto spec = parse(
+      "%device_name d\n%bus_type fcb\n%bus_width 32\n"
+      "%base_address 0x0\nint a();\n");
+  BusCapabilities caps;
+  caps.name = "fcb";
+  caps.allowed_widths = {32};
+  caps.memory_mapped = false;
+  DiagnosticEngine diags;
+  EXPECT_TRUE(validate(spec, diags, &caps)) << diags.render();
+  EXPECT_TRUE(diags.contains(DiagId::BaseAddressIgnored));
+}
+
+TEST(Validate, DmaUnsupportedByBus) {
+  auto spec = parse(
+      "%device_name d\n%bus_type opb\n%bus_width 32\n"
+      "%base_address 0x0\n%dma_support true\nint a();\n");
+  BusCapabilities caps;
+  caps.name = "opb";
+  caps.allowed_widths = {32};
+  caps.memory_mapped = true;
+  caps.supports_dma = false;
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags, &caps));
+  EXPECT_TRUE(diags.contains(DiagId::DmaNotSupportedByBus));
+}
+
+TEST(Validate, BurstUnsupportedByBus) {
+  auto spec = parse(kHeader + "%burst_support true\nint a();\n");
+  DiagnosticEngine diags;
+  auto caps = plb_caps();  // supports_burst = false (no CPU-side bursts)
+  EXPECT_FALSE(validate(spec, diags, &caps));
+  EXPECT_TRUE(diags.contains(DiagId::BurstNotSupportedByBus));
+}
+
+TEST(Validate, FuncIdSpaceExhausted) {
+  auto spec = parse(kHeader + "void f(int x):300;\n");
+  DiagnosticEngine diags;
+  auto caps = plb_caps();
+  caps.max_func_id_width = 8;
+  EXPECT_FALSE(validate(spec, diags, &caps));
+  EXPECT_TRUE(diags.contains(DiagId::FuncIdSpaceExhausted));
+}
+
+}  // namespace
+
+namespace {
+
+using namespace splice;
+using namespace splice::ir;
+
+TEST(GlobalPacking, DirectiveInfersPackingForNarrowArrays) {
+  // §3.2.2: %packing_support true packs every eligible array transfer.
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name d\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x0\n%packing_support true\n"
+      "int f(char*:8 xs, int*:4 ys, short s);\n",
+      diags);
+  ASSERT_TRUE(spec.has_value()) << diags.render();
+  ASSERT_TRUE(validate(*spec, diags)) << diags.render();
+  const auto& fn = spec->functions[0];
+  EXPECT_TRUE(fn.inputs[0].packed) << "8-bit array packs";
+  EXPECT_FALSE(fn.inputs[1].packed) << "32-bit array cannot pack";
+  EXPECT_FALSE(fn.inputs[2].packed) << "scalars never pack";
+}
+
+TEST(GlobalPacking, OffByDefaultAndDmaExcluded) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(
+      "%device_name d\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x0\n%packing_support true\n%dma_support true\n"
+      "void f(char*:8^ xs);\n",
+      diags);
+  ASSERT_TRUE(spec.has_value()) << diags.render();
+  ASSERT_TRUE(validate(*spec, diags)) << diags.render();
+  EXPECT_FALSE(spec->functions[0].inputs[0].packed)
+      << "DMA transfers move whole blocks; no lane packing inferred";
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Property tests for the software word codec (§3.1.3 packing / §3.1.4
+// splitting): encode/decode round trips over a parameter sweep of type
+// widths, bus widths, packing flags and element counts — plus agreement
+// with the IoParam word-count arithmetic the hardware generator uses.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "drivergen/wordcodec.hpp"
+#include "support/bits.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::drivergen;
+
+ir::IoParam make_param(unsigned type_bits, bool packed, unsigned count) {
+  ir::IoParam p;
+  p.name = "x";
+  p.type.name = "t";
+  p.type.bits = type_bits;
+  p.is_pointer = count != 1;
+  p.count_kind = ir::CountKind::Explicit;
+  p.explicit_count = count;
+  p.packed = packed;
+  return p;
+}
+
+std::vector<std::uint64_t> deterministic_elements(unsigned count,
+                                                  unsigned bits,
+                                                  std::uint32_t seed) {
+  std::vector<std::uint64_t> out;
+  std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (unsigned i = 0; i < count; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    out.push_back((state >> 13) & bits::low_mask(std::min(bits, 64u)));
+  }
+  return out;
+}
+
+// (type_bits, bus_width, packed, element_count)
+using Config = std::tuple<unsigned, unsigned, bool, unsigned>;
+
+class CodecRoundTrip : public ::testing::TestWithParam<Config> {};
+
+TEST_P(CodecRoundTrip, EncodeDecodeIsIdentity) {
+  const auto [type_bits, bus_width, packed, count] = GetParam();
+  const ir::IoParam p = make_param(type_bits, packed, count);
+  const auto elements = deterministic_elements(count, type_bits, 7);
+
+  const auto words = encode_elements(p, elements, bus_width);
+  EXPECT_EQ(words.size(), word_count(p, count, bus_width));
+  const auto decoded = decode_words(p, words, count, bus_width);
+  EXPECT_EQ(decoded, elements)
+      << "type=" << type_bits << " bus=" << bus_width
+      << " packed=" << packed << " n=" << count;
+
+  // Every emitted word fits the bus.
+  for (std::uint64_t w : words) {
+    EXPECT_EQ(w & ~bits::low_mask(bus_width), 0u);
+  }
+}
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  const unsigned tb = std::get<0>(info.param);
+  const unsigned bw = std::get<1>(info.param);
+  const bool packed = std::get<2>(info.param);
+  const unsigned n = std::get<3>(info.param);
+  return "t" + std::to_string(tb) + "_b" + std::to_string(bw) +
+         (packed ? "_packed" : "_plain") + "_n" + std::to_string(n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodecRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(8u, 16u, 32u, 64u),   // element type width
+        ::testing::Values(32u, 64u),            // bus width
+        ::testing::Bool(),                      // packed
+        ::testing::Values(1u, 2u, 5u, 16u, 31u)),
+    config_name);
+
+TEST(Codec, PackedWordCountsMatchThesisExample) {
+  // §3.1.3: 8 chars over a 32-bit bus => 2 packed words instead of 8.
+  const ir::IoParam p = make_param(8, /*packed=*/true, 8);
+  EXPECT_EQ(word_count(p, 8, 32), 2u);
+  const ir::IoParam unpacked = make_param(8, false, 8);
+  EXPECT_EQ(word_count(unpacked, 8, 32), 8u);
+}
+
+TEST(Codec, SplitWordCountsMatchThesisExample) {
+  // §3.1.4: one 64-bit double over a 32-bit bus => 2 words; an array of 16
+  // doubles => 32 words.
+  const ir::IoParam one = make_param(64, false, 1);
+  EXPECT_EQ(word_count(one, 1, 32), 2u);
+  const ir::IoParam many = make_param(64, false, 16);
+  EXPECT_EQ(word_count(many, 16, 32), 32u);
+}
+
+TEST(Codec, SplitIsMswFirst) {
+  const ir::IoParam p = make_param(64, false, 1);
+  const auto words = encode_elements(p, {0x1122334455667788ull}, 32);
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], 0x11223344u);  // most significant word first
+  EXPECT_EQ(words[1], 0x55667788u);
+}
+
+TEST(Codec, PackedLanesAreLowOrderFirst) {
+  const ir::IoParam p = make_param(8, true, 4);
+  const auto words = encode_elements(p, {0xAA, 0xBB, 0xCC, 0xDD}, 32);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0], 0xDDCCBBAAu);
+}
+
+TEST(Codec, PackedTailPaddingIsZero) {
+  const ir::IoParam p = make_param(8, true, 5);
+  const auto words = encode_elements(p, {1, 2, 3, 4, 5}, 32);
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[1], 5u);  // lanes beyond the data are zero padding
+}
+
+TEST(Codec, DecodeToleratesShortWordStream) {
+  const ir::IoParam p = make_param(32, false, 4);
+  const auto decoded = decode_words(p, {7, 8}, 4, 32);
+  ASSERT_EQ(decoded.size(), 4u);
+  EXPECT_EQ(decoded[0], 7u);
+  EXPECT_EQ(decoded[3], 0u);  // zero-filled
+}
+
+TEST(Codec, ElementsMaskedToTypeWidth) {
+  const ir::IoParam p = make_param(8, false, 2);
+  const auto words = encode_elements(p, {0x1FF, 0x2AB}, 32);
+  EXPECT_EQ(words[0], 0xFFu);
+  EXPECT_EQ(words[1], 0xABu);
+}
+
+}  // namespace

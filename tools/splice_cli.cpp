@@ -1,0 +1,152 @@
+// The Splice command-line tool — the user-facing face of the thesis' code
+// generator (Figure 1.1): a specification file in, the complete hardware
+// and software interface file set out, written under a subdirectory named
+// after the device (§3.2.3).
+//
+// Usage:
+//   splice <spec-file> [options]
+//     -o <dir>     output directory (default: current directory)
+//     --linux      generate Linux mmap-based drivers (thesis §10.2)
+//     --print      dump every generated file to stdout instead of disk
+//     --list       list generated filenames only
+//     --buses      list the registered interface libraries and exit
+//     -h, --help   this text
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adapters/registry.hpp"
+#include "core/splice.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "Splice: a standardized peripheral logic and interface creation "
+      "engine\n"
+      "usage: %s <spec-file> [options]\n"
+      "  -o <dir>     output directory (default: .)\n"
+      "  --linux      generate Linux mmap-based drivers\n"
+      "  --print      dump generated files to stdout\n"
+      "  --list       list generated filenames only\n"
+      "  --buses      list registered interface libraries and exit\n"
+      "  -h, --help   show this help\n",
+      argv0);
+}
+
+int list_buses() {
+  std::printf("Registered interface libraries (thesis §7.2 naming):\n");
+  for (const auto& bus : splice::adapters::AdapterRegistry::instance().names()) {
+    const auto* adapter =
+        splice::adapters::AdapterRegistry::instance().find(bus);
+    const auto caps = adapter->capabilities();
+    std::string widths;
+    for (unsigned w : caps.allowed_widths) {
+      if (!widths.empty()) widths += "/";
+      widths += std::to_string(w);
+    }
+    std::printf("  %-28s widths %-9s %s%s%s%s\n",
+                splice::adapters::library_filename(bus).c_str(),
+                widths.c_str(), caps.memory_mapped ? "mapped " : "opcode ",
+                caps.supports_dma ? "dma " : "",
+                caps.supports_burst ? "burst " : "",
+                caps.strictly_synchronous ? "strictly-sync" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_dir = ".";
+  bool print_files = false;
+  bool list_only = false;
+  splice::EngineOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (arg == "--buses") return list_buses();
+    if (arg == "--linux") {
+      options.driver_os = splice::drivergen::DriverOs::Linux;
+    } else if (arg == "--print") {
+      print_files = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "-o") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: -o needs a directory\n");
+        return 2;
+      }
+      out_dir = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one spec file given\n");
+      return 2;
+    }
+  }
+  if (spec_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", spec_path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  splice::Engine engine(splice::adapters::AdapterRegistry::instance(),
+                        options);
+  splice::DiagnosticEngine diags;
+  auto artifacts = engine.generate(buffer.str(), diags);
+  // Warnings print either way; errors abort.
+  if (!diags.all().empty()) {
+    std::fprintf(stderr, "%s", diags.render().c_str());
+  }
+  if (!artifacts) {
+    std::fprintf(stderr, "error: interface generation aborted (%zu "
+                         "error(s))\n",
+                 diags.error_count());
+    return 1;
+  }
+
+  if (list_only) {
+    for (const auto& name : artifacts->filenames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (print_files) {
+    auto dump = [](const splice::codegen::GeneratedFile& f) {
+      std::printf("========== %s ==========\n%s\n", f.filename.c_str(),
+                  f.content.c_str());
+    };
+    for (const auto& f : artifacts->hardware) dump(f);
+    for (const auto& f : artifacts->software) dump(f);
+    return 0;
+  }
+
+  const std::string dir = artifacts->write_to(out_dir);
+  std::printf("device '%s': %zu files written to %s\n",
+              artifacts->spec.target.device_name.c_str(),
+              artifacts->filenames().size(), dir.c_str());
+  for (const auto& name : artifacts->filenames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
