@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dma_crossover.dir/ablation_dma_crossover.cpp.o"
+  "CMakeFiles/ablation_dma_crossover.dir/ablation_dma_crossover.cpp.o.d"
+  "ablation_dma_crossover"
+  "ablation_dma_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dma_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

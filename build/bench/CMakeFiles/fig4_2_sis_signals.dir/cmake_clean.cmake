@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_2_sis_signals.dir/fig4_2_sis_signals.cpp.o"
+  "CMakeFiles/fig4_2_sis_signals.dir/fig4_2_sis_signals.cpp.o.d"
+  "fig4_2_sis_signals"
+  "fig4_2_sis_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_2_sis_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_2_sis_signals.
+# This may be replaced when dependencies are built.

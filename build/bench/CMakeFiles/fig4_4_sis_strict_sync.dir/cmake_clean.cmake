@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_4_sis_strict_sync.dir/fig4_4_sis_strict_sync.cpp.o"
+  "CMakeFiles/fig4_4_sis_strict_sync.dir/fig4_4_sis_strict_sync.cpp.o.d"
+  "fig4_4_sis_strict_sync"
+  "fig4_4_sis_strict_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_4_sis_strict_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_4_sis_strict_sync.
+# This may be replaced when dependencies are built.

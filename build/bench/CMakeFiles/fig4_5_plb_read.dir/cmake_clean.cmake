@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_5_plb_read.dir/fig4_5_plb_read.cpp.o"
+  "CMakeFiles/fig4_5_plb_read.dir/fig4_5_plb_read.cpp.o.d"
+  "fig4_5_plb_read"
+  "fig4_5_plb_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_5_plb_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_6_plb_write.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_7_adapt_read.dir/fig4_7_adapt_read.cpp.o"
+  "CMakeFiles/fig4_7_adapt_read.dir/fig4_7_adapt_read.cpp.o.d"
+  "fig4_7_adapt_read"
+  "fig4_7_adapt_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_7_adapt_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

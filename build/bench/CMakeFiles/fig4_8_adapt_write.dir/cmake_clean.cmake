@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_8_adapt_write.dir/fig4_8_adapt_write.cpp.o"
+  "CMakeFiles/fig4_8_adapt_write.dir/fig4_8_adapt_write.cpp.o.d"
+  "fig4_8_adapt_write"
+  "fig4_8_adapt_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_8_adapt_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_1_file_graph.dir/fig5_1_file_graph.cpp.o"
+  "CMakeFiles/fig5_1_file_graph.dir/fig5_1_file_graph.cpp.o.d"
+  "fig5_1_file_graph"
+  "fig5_1_file_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_1_file_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

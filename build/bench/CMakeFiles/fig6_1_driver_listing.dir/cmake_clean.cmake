@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_1_driver_listing.dir/fig6_1_driver_listing.cpp.o"
+  "CMakeFiles/fig6_1_driver_listing.dir/fig6_1_driver_listing.cpp.o.d"
+  "fig6_1_driver_listing"
+  "fig6_1_driver_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_1_driver_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

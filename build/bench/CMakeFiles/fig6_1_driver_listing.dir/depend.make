@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_1_driver_listing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_api_listing.dir/fig7_api_listing.cpp.o"
+  "CMakeFiles/fig7_api_listing.dir/fig7_api_listing.cpp.o.d"
+  "fig7_api_listing"
+  "fig7_api_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_api_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_1_workloads.dir/fig9_1_workloads.cpp.o"
+  "CMakeFiles/fig9_1_workloads.dir/fig9_1_workloads.cpp.o.d"
+  "fig9_1_workloads"
+  "fig9_1_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_1_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

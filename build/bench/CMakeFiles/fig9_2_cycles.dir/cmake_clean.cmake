@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_2_cycles.dir/fig9_2_cycles.cpp.o"
+  "CMakeFiles/fig9_2_cycles.dir/fig9_2_cycles.cpp.o.d"
+  "fig9_2_cycles"
+  "fig9_2_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_2_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

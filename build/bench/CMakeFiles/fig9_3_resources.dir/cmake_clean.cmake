@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_3_resources.dir/fig9_3_resources.cpp.o"
+  "CMakeFiles/fig9_3_resources.dir/fig9_3_resources.cpp.o.d"
+  "fig9_3_resources"
+  "fig9_3_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_3_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

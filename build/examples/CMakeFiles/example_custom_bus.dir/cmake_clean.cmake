@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_bus.dir/custom_bus.cpp.o"
+  "CMakeFiles/example_custom_bus.dir/custom_bus.cpp.o.d"
+  "example_custom_bus"
+  "example_custom_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

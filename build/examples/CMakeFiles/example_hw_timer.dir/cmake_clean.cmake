@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hw_timer.dir/hw_timer.cpp.o"
+  "CMakeFiles/example_hw_timer.dir/hw_timer.cpp.o.d"
+  "example_hw_timer"
+  "example_hw_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hw_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_instance.dir/multi_instance.cpp.o"
+  "CMakeFiles/example_multi_instance.dir/multi_instance.cpp.o.d"
+  "example_multi_instance"
+  "example_multi_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

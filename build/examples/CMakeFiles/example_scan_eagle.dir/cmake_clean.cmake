@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scan_eagle.dir/scan_eagle.cpp.o"
+  "CMakeFiles/example_scan_eagle.dir/scan_eagle.cpp.o.d"
+  "example_scan_eagle"
+  "example_scan_eagle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scan_eagle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("frontend")
+subdirs("rtl")
+subdirs("sis")
+subdirs("bus")
+subdirs("elab")
+subdirs("codegen")
+subdirs("drivergen")
+subdirs("adapters")
+subdirs("runtime")
+subdirs("resources")
+subdirs("devices")
+subdirs("core")

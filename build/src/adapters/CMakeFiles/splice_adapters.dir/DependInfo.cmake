@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapters/adapter.cpp" "src/adapters/CMakeFiles/splice_adapters.dir/adapter.cpp.o" "gcc" "src/adapters/CMakeFiles/splice_adapters.dir/adapter.cpp.o.d"
+  "/root/repo/src/adapters/builtin_ahb.cpp" "src/adapters/CMakeFiles/splice_adapters.dir/builtin_ahb.cpp.o" "gcc" "src/adapters/CMakeFiles/splice_adapters.dir/builtin_ahb.cpp.o.d"
+  "/root/repo/src/adapters/builtin_apb.cpp" "src/adapters/CMakeFiles/splice_adapters.dir/builtin_apb.cpp.o" "gcc" "src/adapters/CMakeFiles/splice_adapters.dir/builtin_apb.cpp.o.d"
+  "/root/repo/src/adapters/builtin_fcb.cpp" "src/adapters/CMakeFiles/splice_adapters.dir/builtin_fcb.cpp.o" "gcc" "src/adapters/CMakeFiles/splice_adapters.dir/builtin_fcb.cpp.o.d"
+  "/root/repo/src/adapters/builtin_plb.cpp" "src/adapters/CMakeFiles/splice_adapters.dir/builtin_plb.cpp.o" "gcc" "src/adapters/CMakeFiles/splice_adapters.dir/builtin_plb.cpp.o.d"
+  "/root/repo/src/adapters/registry.cpp" "src/adapters/CMakeFiles/splice_adapters.dir/registry.cpp.o" "gcc" "src/adapters/CMakeFiles/splice_adapters.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/splice_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivergen/CMakeFiles/splice_drivergen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/splice_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splice_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sis/CMakeFiles/splice_sis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/splice_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

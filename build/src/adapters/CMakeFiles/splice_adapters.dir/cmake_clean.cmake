@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_adapters.dir/adapter.cpp.o"
+  "CMakeFiles/splice_adapters.dir/adapter.cpp.o.d"
+  "CMakeFiles/splice_adapters.dir/builtin_ahb.cpp.o"
+  "CMakeFiles/splice_adapters.dir/builtin_ahb.cpp.o.d"
+  "CMakeFiles/splice_adapters.dir/builtin_apb.cpp.o"
+  "CMakeFiles/splice_adapters.dir/builtin_apb.cpp.o.d"
+  "CMakeFiles/splice_adapters.dir/builtin_fcb.cpp.o"
+  "CMakeFiles/splice_adapters.dir/builtin_fcb.cpp.o.d"
+  "CMakeFiles/splice_adapters.dir/builtin_plb.cpp.o"
+  "CMakeFiles/splice_adapters.dir/builtin_plb.cpp.o.d"
+  "CMakeFiles/splice_adapters.dir/registry.cpp.o"
+  "CMakeFiles/splice_adapters.dir/registry.cpp.o.d"
+  "libsplice_adapters.a"
+  "libsplice_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/ahb.cpp" "src/bus/CMakeFiles/splice_bus.dir/ahb.cpp.o" "gcc" "src/bus/CMakeFiles/splice_bus.dir/ahb.cpp.o.d"
+  "/root/repo/src/bus/apb.cpp" "src/bus/CMakeFiles/splice_bus.dir/apb.cpp.o" "gcc" "src/bus/CMakeFiles/splice_bus.dir/apb.cpp.o.d"
+  "/root/repo/src/bus/fcb.cpp" "src/bus/CMakeFiles/splice_bus.dir/fcb.cpp.o" "gcc" "src/bus/CMakeFiles/splice_bus.dir/fcb.cpp.o.d"
+  "/root/repo/src/bus/master_port.cpp" "src/bus/CMakeFiles/splice_bus.dir/master_port.cpp.o" "gcc" "src/bus/CMakeFiles/splice_bus.dir/master_port.cpp.o.d"
+  "/root/repo/src/bus/opb.cpp" "src/bus/CMakeFiles/splice_bus.dir/opb.cpp.o" "gcc" "src/bus/CMakeFiles/splice_bus.dir/opb.cpp.o.d"
+  "/root/repo/src/bus/plb.cpp" "src/bus/CMakeFiles/splice_bus.dir/plb.cpp.o" "gcc" "src/bus/CMakeFiles/splice_bus.dir/plb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/splice_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sis/CMakeFiles/splice_sis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_bus.dir/ahb.cpp.o"
+  "CMakeFiles/splice_bus.dir/ahb.cpp.o.d"
+  "CMakeFiles/splice_bus.dir/apb.cpp.o"
+  "CMakeFiles/splice_bus.dir/apb.cpp.o.d"
+  "CMakeFiles/splice_bus.dir/fcb.cpp.o"
+  "CMakeFiles/splice_bus.dir/fcb.cpp.o.d"
+  "CMakeFiles/splice_bus.dir/master_port.cpp.o"
+  "CMakeFiles/splice_bus.dir/master_port.cpp.o.d"
+  "CMakeFiles/splice_bus.dir/opb.cpp.o"
+  "CMakeFiles/splice_bus.dir/opb.cpp.o.d"
+  "CMakeFiles/splice_bus.dir/plb.cpp.o"
+  "CMakeFiles/splice_bus.dir/plb.cpp.o.d"
+  "libsplice_bus.a"
+  "libsplice_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/hwgen.cpp" "src/codegen/CMakeFiles/splice_codegen.dir/hwgen.cpp.o" "gcc" "src/codegen/CMakeFiles/splice_codegen.dir/hwgen.cpp.o.d"
+  "/root/repo/src/codegen/stub_model.cpp" "src/codegen/CMakeFiles/splice_codegen.dir/stub_model.cpp.o" "gcc" "src/codegen/CMakeFiles/splice_codegen.dir/stub_model.cpp.o.d"
+  "/root/repo/src/codegen/template.cpp" "src/codegen/CMakeFiles/splice_codegen.dir/template.cpp.o" "gcc" "src/codegen/CMakeFiles/splice_codegen.dir/template.cpp.o.d"
+  "/root/repo/src/codegen/verilog.cpp" "src/codegen/CMakeFiles/splice_codegen.dir/verilog.cpp.o" "gcc" "src/codegen/CMakeFiles/splice_codegen.dir/verilog.cpp.o.d"
+  "/root/repo/src/codegen/vhdl.cpp" "src/codegen/CMakeFiles/splice_codegen.dir/vhdl.cpp.o" "gcc" "src/codegen/CMakeFiles/splice_codegen.dir/vhdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/splice_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_codegen.dir/hwgen.cpp.o"
+  "CMakeFiles/splice_codegen.dir/hwgen.cpp.o.d"
+  "CMakeFiles/splice_codegen.dir/stub_model.cpp.o"
+  "CMakeFiles/splice_codegen.dir/stub_model.cpp.o.d"
+  "CMakeFiles/splice_codegen.dir/template.cpp.o"
+  "CMakeFiles/splice_codegen.dir/template.cpp.o.d"
+  "CMakeFiles/splice_codegen.dir/verilog.cpp.o"
+  "CMakeFiles/splice_codegen.dir/verilog.cpp.o.d"
+  "CMakeFiles/splice_codegen.dir/vhdl.cpp.o"
+  "CMakeFiles/splice_codegen.dir/vhdl.cpp.o.d"
+  "libsplice_codegen.a"
+  "libsplice_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_core.dir/splice.cpp.o"
+  "CMakeFiles/splice_core.dir/splice.cpp.o.d"
+  "libsplice_core.a"
+  "libsplice_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_devices.dir/baselines.cpp.o"
+  "CMakeFiles/splice_devices.dir/baselines.cpp.o.d"
+  "CMakeFiles/splice_devices.dir/evaluation.cpp.o"
+  "CMakeFiles/splice_devices.dir/evaluation.cpp.o.d"
+  "CMakeFiles/splice_devices.dir/interpolator.cpp.o"
+  "CMakeFiles/splice_devices.dir/interpolator.cpp.o.d"
+  "CMakeFiles/splice_devices.dir/timer.cpp.o"
+  "CMakeFiles/splice_devices.dir/timer.cpp.o.d"
+  "libsplice_devices.a"
+  "libsplice_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drivergen/c_emitter.cpp" "src/drivergen/CMakeFiles/splice_drivergen.dir/c_emitter.cpp.o" "gcc" "src/drivergen/CMakeFiles/splice_drivergen.dir/c_emitter.cpp.o.d"
+  "/root/repo/src/drivergen/maclib.cpp" "src/drivergen/CMakeFiles/splice_drivergen.dir/maclib.cpp.o" "gcc" "src/drivergen/CMakeFiles/splice_drivergen.dir/maclib.cpp.o.d"
+  "/root/repo/src/drivergen/program.cpp" "src/drivergen/CMakeFiles/splice_drivergen.dir/program.cpp.o" "gcc" "src/drivergen/CMakeFiles/splice_drivergen.dir/program.cpp.o.d"
+  "/root/repo/src/drivergen/wordcodec.cpp" "src/drivergen/CMakeFiles/splice_drivergen.dir/wordcodec.cpp.o" "gcc" "src/drivergen/CMakeFiles/splice_drivergen.dir/wordcodec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/splice_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sis/CMakeFiles/splice_sis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splice_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/splice_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

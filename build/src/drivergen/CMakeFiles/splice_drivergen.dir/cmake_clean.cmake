@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_drivergen.dir/c_emitter.cpp.o"
+  "CMakeFiles/splice_drivergen.dir/c_emitter.cpp.o.d"
+  "CMakeFiles/splice_drivergen.dir/maclib.cpp.o"
+  "CMakeFiles/splice_drivergen.dir/maclib.cpp.o.d"
+  "CMakeFiles/splice_drivergen.dir/program.cpp.o"
+  "CMakeFiles/splice_drivergen.dir/program.cpp.o.d"
+  "CMakeFiles/splice_drivergen.dir/wordcodec.cpp.o"
+  "CMakeFiles/splice_drivergen.dir/wordcodec.cpp.o.d"
+  "libsplice_drivergen.a"
+  "libsplice_drivergen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_drivergen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

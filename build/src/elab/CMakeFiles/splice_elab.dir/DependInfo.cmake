@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elab/ahb_adapter.cpp" "src/elab/CMakeFiles/splice_elab.dir/ahb_adapter.cpp.o" "gcc" "src/elab/CMakeFiles/splice_elab.dir/ahb_adapter.cpp.o.d"
+  "/root/repo/src/elab/apb_adapter.cpp" "src/elab/CMakeFiles/splice_elab.dir/apb_adapter.cpp.o" "gcc" "src/elab/CMakeFiles/splice_elab.dir/apb_adapter.cpp.o.d"
+  "/root/repo/src/elab/arbiter.cpp" "src/elab/CMakeFiles/splice_elab.dir/arbiter.cpp.o" "gcc" "src/elab/CMakeFiles/splice_elab.dir/arbiter.cpp.o.d"
+  "/root/repo/src/elab/device.cpp" "src/elab/CMakeFiles/splice_elab.dir/device.cpp.o" "gcc" "src/elab/CMakeFiles/splice_elab.dir/device.cpp.o.d"
+  "/root/repo/src/elab/fcb_adapter.cpp" "src/elab/CMakeFiles/splice_elab.dir/fcb_adapter.cpp.o" "gcc" "src/elab/CMakeFiles/splice_elab.dir/fcb_adapter.cpp.o.d"
+  "/root/repo/src/elab/icob.cpp" "src/elab/CMakeFiles/splice_elab.dir/icob.cpp.o" "gcc" "src/elab/CMakeFiles/splice_elab.dir/icob.cpp.o.d"
+  "/root/repo/src/elab/plb_adapter.cpp" "src/elab/CMakeFiles/splice_elab.dir/plb_adapter.cpp.o" "gcc" "src/elab/CMakeFiles/splice_elab.dir/plb_adapter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drivergen/CMakeFiles/splice_drivergen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/splice_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sis/CMakeFiles/splice_sis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/splice_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/splice_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_elab.dir/ahb_adapter.cpp.o"
+  "CMakeFiles/splice_elab.dir/ahb_adapter.cpp.o.d"
+  "CMakeFiles/splice_elab.dir/apb_adapter.cpp.o"
+  "CMakeFiles/splice_elab.dir/apb_adapter.cpp.o.d"
+  "CMakeFiles/splice_elab.dir/arbiter.cpp.o"
+  "CMakeFiles/splice_elab.dir/arbiter.cpp.o.d"
+  "CMakeFiles/splice_elab.dir/device.cpp.o"
+  "CMakeFiles/splice_elab.dir/device.cpp.o.d"
+  "CMakeFiles/splice_elab.dir/fcb_adapter.cpp.o"
+  "CMakeFiles/splice_elab.dir/fcb_adapter.cpp.o.d"
+  "CMakeFiles/splice_elab.dir/icob.cpp.o"
+  "CMakeFiles/splice_elab.dir/icob.cpp.o.d"
+  "CMakeFiles/splice_elab.dir/plb_adapter.cpp.o"
+  "CMakeFiles/splice_elab.dir/plb_adapter.cpp.o.d"
+  "libsplice_elab.a"
+  "libsplice_elab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_elab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

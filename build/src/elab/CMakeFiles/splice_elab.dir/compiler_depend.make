@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for splice_elab.
+# This may be replaced when dependencies are built.

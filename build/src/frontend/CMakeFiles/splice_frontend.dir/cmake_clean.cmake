@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/splice_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/splice_frontend.dir/parser.cpp.o"
+  "CMakeFiles/splice_frontend.dir/parser.cpp.o.d"
+  "libsplice_frontend.a"
+  "libsplice_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

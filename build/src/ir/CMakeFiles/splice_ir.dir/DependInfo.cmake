@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/device.cpp" "src/ir/CMakeFiles/splice_ir.dir/device.cpp.o" "gcc" "src/ir/CMakeFiles/splice_ir.dir/device.cpp.o.d"
+  "/root/repo/src/ir/types.cpp" "src/ir/CMakeFiles/splice_ir.dir/types.cpp.o" "gcc" "src/ir/CMakeFiles/splice_ir.dir/types.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/ir/CMakeFiles/splice_ir.dir/validate.cpp.o" "gcc" "src/ir/CMakeFiles/splice_ir.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/splice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_ir.dir/device.cpp.o"
+  "CMakeFiles/splice_ir.dir/device.cpp.o.d"
+  "CMakeFiles/splice_ir.dir/types.cpp.o"
+  "CMakeFiles/splice_ir.dir/types.cpp.o.d"
+  "CMakeFiles/splice_ir.dir/validate.cpp.o"
+  "CMakeFiles/splice_ir.dir/validate.cpp.o.d"
+  "libsplice_ir.a"
+  "libsplice_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/model.cpp" "src/resources/CMakeFiles/splice_resources.dir/model.cpp.o" "gcc" "src/resources/CMakeFiles/splice_resources.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/splice_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/splice_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

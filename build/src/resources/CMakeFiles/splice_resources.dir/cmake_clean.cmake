@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_resources.dir/model.cpp.o"
+  "CMakeFiles/splice_resources.dir/model.cpp.o.d"
+  "libsplice_resources.a"
+  "libsplice_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

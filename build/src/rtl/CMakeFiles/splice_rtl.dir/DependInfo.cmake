@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/signal.cpp" "src/rtl/CMakeFiles/splice_rtl.dir/signal.cpp.o" "gcc" "src/rtl/CMakeFiles/splice_rtl.dir/signal.cpp.o.d"
+  "/root/repo/src/rtl/simulator.cpp" "src/rtl/CMakeFiles/splice_rtl.dir/simulator.cpp.o" "gcc" "src/rtl/CMakeFiles/splice_rtl.dir/simulator.cpp.o.d"
+  "/root/repo/src/rtl/trace.cpp" "src/rtl/CMakeFiles/splice_rtl.dir/trace.cpp.o" "gcc" "src/rtl/CMakeFiles/splice_rtl.dir/trace.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "src/rtl/CMakeFiles/splice_rtl.dir/vcd.cpp.o" "gcc" "src/rtl/CMakeFiles/splice_rtl.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/splice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_rtl.dir/signal.cpp.o"
+  "CMakeFiles/splice_rtl.dir/signal.cpp.o.d"
+  "CMakeFiles/splice_rtl.dir/simulator.cpp.o"
+  "CMakeFiles/splice_rtl.dir/simulator.cpp.o.d"
+  "CMakeFiles/splice_rtl.dir/trace.cpp.o"
+  "CMakeFiles/splice_rtl.dir/trace.cpp.o.d"
+  "CMakeFiles/splice_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/splice_rtl.dir/vcd.cpp.o.d"
+  "libsplice_rtl.a"
+  "libsplice_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

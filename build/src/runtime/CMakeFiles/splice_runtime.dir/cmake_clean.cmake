@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_runtime.dir/cpu.cpp.o"
+  "CMakeFiles/splice_runtime.dir/cpu.cpp.o.d"
+  "CMakeFiles/splice_runtime.dir/platform.cpp.o"
+  "CMakeFiles/splice_runtime.dir/platform.cpp.o.d"
+  "libsplice_runtime.a"
+  "libsplice_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

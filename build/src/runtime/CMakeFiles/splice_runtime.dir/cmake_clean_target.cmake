@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsplice_runtime.a"
+)

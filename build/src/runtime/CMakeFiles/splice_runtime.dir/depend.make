@@ -1,0 +1,2 @@
+# Empty dependencies file for splice_runtime.
+# This may be replaced when dependencies are built.

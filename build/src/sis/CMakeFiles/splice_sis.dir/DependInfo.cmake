@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sis/checker.cpp" "src/sis/CMakeFiles/splice_sis.dir/checker.cpp.o" "gcc" "src/sis/CMakeFiles/splice_sis.dir/checker.cpp.o.d"
+  "/root/repo/src/sis/sis.cpp" "src/sis/CMakeFiles/splice_sis.dir/sis.cpp.o" "gcc" "src/sis/CMakeFiles/splice_sis.dir/sis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/splice_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_sis.dir/checker.cpp.o"
+  "CMakeFiles/splice_sis.dir/checker.cpp.o.d"
+  "CMakeFiles/splice_sis.dir/sis.cpp.o"
+  "CMakeFiles/splice_sis.dir/sis.cpp.o.d"
+  "libsplice_sis.a"
+  "libsplice_sis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_sis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for splice_sis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/splice_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/splice_support.dir/strings.cpp.o"
+  "CMakeFiles/splice_support.dir/strings.cpp.o.d"
+  "CMakeFiles/splice_support.dir/text_table.cpp.o"
+  "CMakeFiles/splice_support.dir/text_table.cpp.o.d"
+  "libsplice_support.a"
+  "libsplice_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_models.dir/test_bus_models.cpp.o"
+  "CMakeFiles/test_bus_models.dir/test_bus_models.cpp.o.d"
+  "test_bus_models"
+  "test_bus_models.pdb"
+  "test_bus_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

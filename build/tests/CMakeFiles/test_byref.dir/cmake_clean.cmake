@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byref.dir/test_byref.cpp.o"
+  "CMakeFiles/test_byref.dir/test_byref.cpp.o.d"
+  "test_byref"
+  "test_byref.pdb"
+  "test_byref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

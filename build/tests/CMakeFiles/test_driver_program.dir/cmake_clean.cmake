@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver_program.dir/test_driver_program.cpp.o"
+  "CMakeFiles/test_driver_program.dir/test_driver_program.cpp.o.d"
+  "test_driver_program"
+  "test_driver_program.pdb"
+  "test_driver_program[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generated_c.dir/test_generated_c.cpp.o"
+  "CMakeFiles/test_generated_c.dir/test_generated_c.cpp.o.d"
+  "test_generated_c"
+  "test_generated_c.pdb"
+  "test_generated_c[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generated_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

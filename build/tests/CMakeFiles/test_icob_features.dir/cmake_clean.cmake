@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_icob_features.dir/test_icob_features.cpp.o"
+  "CMakeFiles/test_icob_features.dir/test_icob_features.cpp.o.d"
+  "test_icob_features"
+  "test_icob_features.pdb"
+  "test_icob_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_icob_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser_decls.dir/test_parser_decls.cpp.o"
+  "CMakeFiles/test_parser_decls.dir/test_parser_decls.cpp.o.d"
+  "test_parser_decls"
+  "test_parser_decls.pdb"
+  "test_parser_decls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser_decls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

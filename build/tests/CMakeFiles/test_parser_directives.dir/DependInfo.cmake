@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parser_directives.cpp" "tests/CMakeFiles/test_parser_directives.dir/test_parser_directives.cpp.o" "gcc" "tests/CMakeFiles/test_parser_directives.dir/test_parser_directives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/splice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/splice_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/splice_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/splice_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapters/CMakeFiles/splice_adapters.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivergen/CMakeFiles/splice_drivergen.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/splice_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/elab/CMakeFiles/splice_elab.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/splice_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sis/CMakeFiles/splice_sis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/splice_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/splice_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/splice_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser_directives.dir/test_parser_directives.cpp.o"
+  "CMakeFiles/test_parser_directives.dir/test_parser_directives.cpp.o.d"
+  "test_parser_directives"
+  "test_parser_directives.pdb"
+  "test_parser_directives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser_directives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

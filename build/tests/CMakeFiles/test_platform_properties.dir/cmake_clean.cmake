@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_properties.dir/test_platform_properties.cpp.o"
+  "CMakeFiles/test_platform_properties.dir/test_platform_properties.cpp.o.d"
+  "test_platform_properties"
+  "test_platform_properties.pdb"
+  "test_platform_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sis_checker.dir/test_sis_checker.cpp.o"
+  "CMakeFiles/test_sis_checker.dir/test_sis_checker.cpp.o.d"
+  "test_sis_checker"
+  "test_sis_checker.pdb"
+  "test_sis_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sis_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_status_register.dir/test_status_register.cpp.o"
+  "CMakeFiles/test_status_register.dir/test_status_register.cpp.o.d"
+  "test_status_register"
+  "test_status_register.pdb"
+  "test_status_register[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_status_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wordcodec.dir/test_wordcodec.cpp.o"
+  "CMakeFiles/test_wordcodec.dir/test_wordcodec.cpp.o.d"
+  "test_wordcodec"
+  "test_wordcodec.pdb"
+  "test_wordcodec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wordcodec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_adapters[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_bus_models[1]_include.cmake")
+include("/root/repo/build/tests/test_byref[1]_include.cmake")
+include("/root/repo/build/tests/test_c_emitter[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_driver_program[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_evaluation[1]_include.cmake")
+include("/root/repo/build/tests/test_generated_c[1]_include.cmake")
+include("/root/repo/build/tests/test_hdl_sanity[1]_include.cmake")
+include("/root/repo/build/tests/test_icob_features[1]_include.cmake")
+include("/root/repo/build/tests/test_interrupts[1]_include.cmake")
+include("/root/repo/build/tests/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_parser_decls[1]_include.cmake")
+include("/root/repo/build/tests/test_parser_directives[1]_include.cmake")
+include("/root/repo/build/tests/test_platform_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_resources[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_sis_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_smoke_end_to_end[1]_include.cmake")
+include("/root/repo/build/tests/test_status_register[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_timer[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_wordcodec[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice.dir/splice_cli.cpp.o"
+  "CMakeFiles/splice.dir/splice_cli.cpp.o.d"
+  "splice"
+  "splice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
