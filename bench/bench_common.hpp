@@ -4,9 +4,15 @@
 #include <cstdio>
 #include <string>
 
+#include "rtl/simulator.hpp"
 #include "rtl/trace.hpp"
 
 namespace splice::bench {
+
+/// Dump the kernel instrumentation counters for a finished run.
+inline void print_sim_stats(const rtl::Simulator& sim) {
+  std::printf("%s\n", rtl::render_stats(sim).c_str());
+}
 
 /// First recorded cycle at which `signal` is nonzero; SIZE_MAX if never.
 inline std::size_t first_high(const rtl::Trace& trace,

@@ -3,6 +3,8 @@
 // end-to-end driver call on the simulated SoC.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "core/splice.hpp"
 #include "devices/timer.hpp"
 #include "frontend/parser.hpp"
@@ -12,6 +14,17 @@
 namespace {
 
 using namespace splice;
+
+void attach_kernel_counters(benchmark::State& state,
+                            const rtl::Simulator& sim) {
+  const auto& st = sim.stats();
+  const double settles = static_cast<double>(st.settles ? st.settles : 1);
+  state.counters["evals/settle"] =
+      static_cast<double>(st.evals) / settles;
+  state.counters["iters/settle"] =
+      static_cast<double>(st.settle_iterations) / settles;
+  state.counters["fallback_passes"] = static_cast<double>(st.fallback_passes);
+}
 
 void BM_ParseTimerSpec(benchmark::State& state) {
   const std::string text = devices::timer_spec_text();
@@ -58,6 +71,7 @@ void BM_SimulatorSteps(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           100);
+  attach_kernel_counters(state, vp.sim());
 }
 BENCHMARK(BM_SimulatorSteps);
 
@@ -70,8 +84,101 @@ void BM_EndToEndDriverCall(benchmark::State& state) {
     auto r = vp.call("get_clock");
     benchmark::DoNotOptimize(r);
   }
+  attach_kernel_counters(state, vp.sim());
 }
 BENCHMARK(BM_EndToEndDriverCall);
+
+// -- settle-heavy workloads: the case the event kernel was built for --------
+
+// One link of a deep combinational chain: out = in + 1.  When `declared`
+// the link registers its sensitivity; otherwise it lands in the fallback
+// partition and every settle re-runs the whole chain per iteration.
+class ChainLink : public rtl::Module {
+ public:
+  ChainLink(rtl::Simulator& sim, rtl::Signal& in, const std::string& out,
+            bool declared)
+      : rtl::Module("link_" + out), in_(in), out_(sim.signal(out, 32)) {
+    if (declared) watch(in_);
+  }
+  void eval_comb() override { out_.drive(in_.get() + 1); }
+  rtl::Signal& in_;
+  rtl::Signal& out_;
+};
+
+// A register feeding the chain head so each cycle perturbs only the root.
+class ChainDriver : public rtl::Module {
+ public:
+  explicit ChainDriver(rtl::Simulator& sim)
+      : rtl::Module("chain_driver"), head_(sim.signal("head", 32)) {
+    watch_none();
+  }
+  void clock_edge() override { head_.set(head_.get() + 1); }
+  rtl::Signal& head_;
+};
+
+/// Arg 0: chain depth.  Arg 1: 1 = sensitivity-declared (event-driven
+/// propagation), 0 = undeclared (legacy full-pass fix point over the
+/// fallback partition).
+void BM_SettleCombChain(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const bool declared = state.range(1) != 0;
+  rtl::Simulator sim;
+  auto& driver = sim.add<ChainDriver>(sim);
+  rtl::Signal* prev = &driver.head_;
+  for (std::size_t i = 0; i < depth; ++i) {
+    auto& link = sim.add<ChainLink>(sim, *prev, "n" + std::to_string(i),
+                                    declared);
+    prev = &link.out_;
+  }
+  for (auto _ : state) {
+    sim.step(10);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+  attach_kernel_counters(state, sim);
+}
+BENCHMARK(BM_SettleCombChain)
+    ->ArgNames({"depth", "declared"})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+/// Many ICOB stubs behind one arbiter: the fanout case.  Each driver call
+/// touches one stub, but the legacy kernel re-evaluates the arbiter mux
+/// and every adapter for all of them on every settle iteration.
+void BM_SettleArbiterFanout(benchmark::State& state) {
+  const auto instances = state.range(0);
+  const std::string text =
+      "%device_name fanout\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\n"
+      "int crunch(int x):" + std::to_string(instances) + ";\n";
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  ir::validate(*spec, diags);
+  elab::BehaviorMap behaviors;
+  behaviors.set("crunch", [](const elab::CallContext& ctx) {
+    return elab::CalcResult(2, {ctx.scalar(0) + 1});
+  });
+  runtime::VirtualPlatform vp(*spec, std::move(behaviors));
+  vp.sim().set_settle_mode(state.range(1) != 0
+                               ? rtl::Simulator::SettleMode::kEventDriven
+                               : rtl::Simulator::SettleMode::kFullPass);
+  std::uint32_t inst = 0;
+  for (auto _ : state) {
+    auto r = vp.call("crunch", {{42}}, inst);
+    benchmark::DoNotOptimize(r);
+    inst = (inst + 1) % static_cast<std::uint32_t>(instances);
+  }
+  attach_kernel_counters(state, vp.sim());
+}
+BENCHMARK(BM_SettleArbiterFanout)
+    ->ArgNames({"instances", "event"})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1});
 
 }  // namespace
 

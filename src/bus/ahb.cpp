@@ -25,6 +25,7 @@ AhbBus::AhbBus(rtl::Simulator& sim, const std::string& prefix,
     : rtl::Module(prefix + "bus"),
       pins_(AhbPins::create(sim, prefix, data_width, func_id_width)) {
   pins_.hready.set(true);  // idle bus is ready
+  watch_none();  // clocked-only: the master FSM drives pins on the edge
 }
 
 bool AhbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }

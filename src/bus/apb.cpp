@@ -20,7 +20,9 @@ ApbPins ApbPins::create(rtl::Simulator& sim, const std::string& prefix,
 ApbBus::ApbBus(rtl::Simulator& sim, const std::string& prefix,
                unsigned data_width, unsigned func_id_width)
     : rtl::Module(prefix + "bus"),
-      pins_(ApbPins::create(sim, prefix, data_width, func_id_width)) {}
+      pins_(ApbPins::create(sim, prefix, data_width, func_id_width)) {
+  watch_none();  // clocked-only: the master FSM drives pins on the edge
+}
 
 bool ApbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
 

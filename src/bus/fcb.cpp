@@ -23,7 +23,9 @@ FcbPins FcbPins::create(rtl::Simulator& sim, const std::string& prefix,
 FcbBus::FcbBus(rtl::Simulator& sim, const std::string& prefix,
                unsigned data_width, unsigned func_id_width)
     : rtl::Module(prefix + "bus"),
-      pins_(FcbPins::create(sim, prefix, data_width, func_id_width)) {}
+      pins_(FcbPins::create(sim, prefix, data_width, func_id_width)) {
+  watch_none();  // clocked-only: the master FSM drives pins on the edge
+}
 
 bool FcbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
 

@@ -31,6 +31,7 @@ PlbBus::PlbBus(rtl::Simulator& sim, const std::string& prefix,
   if (slots == 0 || slots > 64) {
     throw SpliceError("PLB model supports 1..64 one-hot slots");
   }
+  watch_none();  // clocked-only: the master FSM drives pins on the edge
 }
 
 bool PlbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }

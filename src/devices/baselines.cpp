@@ -1,5 +1,7 @@
 #include "devices/baselines.hpp"
 
+#include <tuple>
+
 #include "devices/interpolator.hpp"
 
 namespace splice::devices {
@@ -56,7 +58,9 @@ void InterpSequencer::restart() {
 // ---------------------------------------------------------------------------
 
 NaivePlbInterpolator::NaivePlbInterpolator(bus::PlbPins& pins)
-    : rtl::Module("naive_plb_interp"), pins_(pins) {}
+    : rtl::Module("naive_plb_interp"), pins_(pins) {
+  watch_none();  // clocked-only: no combinational process
+}
 
 void NaivePlbInterpolator::clock_edge() {
   if (pins_.rst.high()) {
@@ -132,7 +136,11 @@ void NaivePlbInterpolator::reset() {
 // ---------------------------------------------------------------------------
 
 OptimizedFcbInterpolator::OptimizedFcbInterpolator(bus::FcbPins& pins)
-    : rtl::Module("optimized_fcb_interp"), pins_(pins) {}
+    : rtl::Module("optimized_fcb_interp"), pins_(pins) {
+  // eval_comb additionally reads the operation registers; clock_edge marks
+  // the module dirty whenever they move.
+  watch(pins_.wr_valid);
+}
 
 void OptimizedFcbInterpolator::eval_comb() {
   // Fully pipelined beat acceptance: every presented write beat is
@@ -143,6 +151,16 @@ void OptimizedFcbInterpolator::eval_comb() {
 }
 
 void OptimizedFcbInterpolator::clock_edge() {
+  const auto before = std::make_tuple(op_active_, op_read_, rd_pulse_,
+                                      rd_latch_);
+  edge_impl();
+  if (before != std::make_tuple(op_active_, op_read_, rd_pulse_,
+                                rd_latch_)) {
+    mark_dirty();  // eval_comb reads these operation registers
+  }
+}
+
+void OptimizedFcbInterpolator::edge_impl() {
   if (pins_.rst.high()) {
     reset();
     return;

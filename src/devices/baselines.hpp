@@ -83,6 +83,8 @@ class OptimizedFcbInterpolator : public rtl::Module {
   [[nodiscard]] std::uint64_t runs_completed() const { return runs_; }
 
  private:
+  void edge_impl();
+
   bus::FcbPins& pins_;
   InterpSequencer seq_;
   bool op_active_ = false;

@@ -48,7 +48,9 @@ class TimerCore {
 class TimerTick : public rtl::Module {
  public:
   explicit TimerTick(TimerCore& core)
-      : rtl::Module("hw_timer_core"), core_(core) {}
+      : rtl::Module("hw_timer_core"), core_(core) {
+    watch_none();  // clocked-only: advances the counter on the edge
+  }
   void clock_edge() override { core_.tick(); }
 
  private:

@@ -1,5 +1,7 @@
 #include "elab/ahb_adapter.hpp"
 
+#include <tuple>
+
 namespace splice::elab {
 
 void AhbSisAdapter::eval_comb() {
@@ -19,6 +21,16 @@ void AhbSisAdapter::eval_comb() {
 }
 
 void AhbSisAdapter::clock_edge() {
+  const auto before = std::make_tuple(data_phase_, dp_write_, dp_fid_,
+                                      strobe_, done_, rd_value_);
+  edge_impl();
+  if (before != std::make_tuple(data_phase_, dp_write_, dp_fid_, strobe_,
+                                done_, rd_value_)) {
+    mark_dirty();  // eval_comb reads these phase registers
+  }
+}
+
+void AhbSisAdapter::edge_impl() {
   if (pins_.rst.high()) {
     reset();
     return;

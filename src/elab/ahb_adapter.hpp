@@ -17,13 +17,19 @@ namespace splice::elab {
 class AhbSisAdapter : public rtl::Module {
  public:
   AhbSisAdapter(bus::AhbPins& pins, sis::SisBus& sis)
-      : rtl::Module("ahb_interface"), pins_(pins), sis_(sis) {}
+      : rtl::Module("ahb_interface"), pins_(pins), sis_(sis) {
+    // eval_comb additionally reads the data/strobe phase registers; the
+    // clock_edge marks the module dirty whenever those move.
+    watch_all(pins_.rst, pins_.hwdata, sis_.calc_done);
+  }
 
   void eval_comb() override;
   void clock_edge() override;
   void reset() override;
 
  private:
+  void edge_impl();
+
   bus::AhbPins& pins_;
   sis::SisBus& sis_;
 

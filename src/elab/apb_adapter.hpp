@@ -17,7 +17,10 @@ namespace splice::elab {
 class ApbSisAdapter : public rtl::Module {
  public:
   ApbSisAdapter(bus::ApbPins& pins, sis::SisBus& sis)
-      : rtl::Module("apb_interface"), pins_(pins), sis_(sis) {}
+      : rtl::Module("apb_interface"), pins_(pins), sis_(sis) {
+    watch_all(pins_.rst, pins_.psel, pins_.penable, pins_.pwrite,
+              pins_.paddr, pins_.pwdata, sis_.calc_done, sis_.data_out);
+  }
 
   void eval_comb() override;
 

@@ -15,7 +15,15 @@ namespace splice::elab {
 class Arbiter : public rtl::Module {
  public:
   Arbiter(sis::SisBus& sis, std::vector<IcobStub*> stubs)
-      : rtl::Module("user_arbiter"), sis_(sis), stubs_(std::move(stubs)) {}
+      : rtl::Module("user_arbiter"), sis_(sis), stubs_(std::move(stubs)) {
+    // Sensitivity set == the mux inputs: the select (FUNC_ID) plus every
+    // per-function line this module multiplexes.
+    watch(sis_.func_id);
+    for (IcobStub* stub : stubs_) {
+      watch_all(stub->ports().data_out, stub->ports().data_out_valid,
+                stub->ports().io_done, stub->ports().calc_done);
+    }
+  }
 
   void eval_comb() override;
 

@@ -1,5 +1,7 @@
 #include "elab/fcb_adapter.hpp"
 
+#include <tuple>
+
 namespace splice::elab {
 
 void FcbSisAdapter::eval_comb() {
@@ -29,6 +31,17 @@ void FcbSisAdapter::eval_comb() {
 }
 
 void FcbSisAdapter::clock_edge() {
+  const auto before = std::make_tuple(op_active_, op_read_, op_fid_,
+                                      beats_left_, beat_open_, read_strobe_,
+                                      status_valid_);
+  edge_impl();
+  if (before != std::make_tuple(op_active_, op_read_, op_fid_, beats_left_,
+                                beat_open_, read_strobe_, status_valid_)) {
+    mark_dirty();  // eval_comb reads these operation-state registers
+  }
+}
+
+void FcbSisAdapter::edge_impl() {
   if (pins_.rst.high()) {
     reset();
     return;

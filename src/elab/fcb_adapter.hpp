@@ -17,13 +17,20 @@ namespace splice::elab {
 class FcbSisAdapter : public rtl::Module {
  public:
   FcbSisAdapter(bus::FcbPins& pins, sis::SisBus& sis)
-      : rtl::Module("fcb_interface"), pins_(pins), sis_(sis) {}
+      : rtl::Module("fcb_interface"), pins_(pins), sis_(sis) {
+    // eval_comb additionally reads the operation-state registers; the
+    // clock_edge marks the module dirty whenever those move.
+    watch_all(pins_.rst, pins_.wr_data, pins_.wr_valid, sis_.io_done,
+              sis_.calc_done, sis_.data_out, sis_.data_out_valid);
+  }
 
   void eval_comb() override;
   void clock_edge() override;
   void reset() override;
 
  private:
+  void edge_impl();
+
   bus::FcbPins& pins_;
   sis::SisBus& sis_;
 

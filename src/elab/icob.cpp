@@ -24,6 +24,7 @@ IcobStub::IcobStub(rtl::Simulator& sim, const ir::FunctionDecl& fn,
           sim.signal(name() + ".IO_DONE", 1),
           sim.signal(name() + ".CALC_DONE", 1),
       } {
+  watch_none();  // clocked-only: the SMB advances on the edge (§5.3.2)
   start_over();
 }
 

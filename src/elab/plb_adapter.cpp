@@ -36,9 +36,16 @@ void PlbSisAdapter::eval_comb() {
 void PlbSisAdapter::clock_edge() {
   // The CALC_DONE status register answers one cycle after its request
   // strobe (it is a plain register read, §4.2.2).
-  status_ack_ = pins_.rd_req.high() && (pins_.rd_ce.get() & 1) != 0;
+  const bool next = pins_.rd_req.high() && (pins_.rd_ce.get() & 1) != 0;
+  if (next != status_ack_) {
+    status_ack_ = next;
+    mark_dirty();  // RD_ACK depends on this register
+  }
 }
 
-void PlbSisAdapter::reset() { status_ack_ = false; }
+void PlbSisAdapter::reset() {
+  if (status_ack_) mark_dirty();
+  status_ack_ = false;
+}
 
 }  // namespace splice::elab

@@ -18,7 +18,11 @@ namespace splice::elab {
 class PlbSisAdapter : public rtl::Module {
  public:
   PlbSisAdapter(bus::PlbPins& pins, sis::SisBus& sis)
-      : rtl::Module("plb_interface"), pins_(pins), sis_(sis) {}
+      : rtl::Module("plb_interface"), pins_(pins), sis_(sis) {
+    watch_all(pins_.rst, pins_.rd_req, pins_.wr_req, pins_.rd_ce,
+              pins_.wr_ce, pins_.wr_data, sis_.io_done, sis_.calc_done,
+              sis_.data_out, sis_.data_out_valid);
+  }
 
   void eval_comb() override;
   void clock_edge() override;

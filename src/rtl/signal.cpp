@@ -1,2 +1,27 @@
-// Signal is header-only; this translation unit anchors the library target.
 #include "rtl/signal.hpp"
+
+#include <algorithm>
+
+#include "rtl/simulator.hpp"
+
+namespace splice::rtl {
+
+void Signal::value_changed() {
+  if (owner_ != nullptr) owner_->on_signal_changed(*this);
+}
+
+void Signal::schedule_commit() {
+  if (owner_ != nullptr) owner_->pending_commits_.push_back(this);
+}
+
+void Signal::add_watcher(Module& m) {
+  if (owner_ == nullptr) {
+    throw SpliceError("module '" + m.name() + "' cannot watch free signal '" +
+                      name_ + "': no simulator owns it");
+  }
+  if (std::find(fanout_.begin(), fanout_.end(), &m) == fanout_.end()) {
+    fanout_.push_back(&m);
+  }
+}
+
+}  // namespace splice::rtl

@@ -3,16 +3,24 @@
 // protocol level, exactly as they cross a real bus).  Combinational logic
 // drives signals immediately with `drive`; clocked processes schedule the
 // next-cycle value with `set` which the simulator commits on the clock edge.
+//
+// Simulator-owned signals additionally carry a fanout list: the modules
+// that declared (via Module::watch) that their combinational process reads
+// this signal.  Every observable value change notifies the owning
+// simulator, which enqueues exactly those modules for re-evaluation — the
+// backbone of the event-driven settle scheduler.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "support/bits.hpp"
 #include "support/diagnostics.hpp"
 
 namespace splice::rtl {
 
+class Module;
 class Simulator;
 
 class Signal {
@@ -37,6 +45,7 @@ class Signal {
     v &= mask_;
     if (v == cur_) return false;
     cur_ = v;
+    value_changed();
     return true;
   }
   bool drive(bool v) { return drive(static_cast<std::uint64_t>(v ? 1 : 0)); }
@@ -44,20 +53,37 @@ class Signal {
   /// Registered write: becomes visible after the next clock edge commit.
   void set(std::uint64_t v) {
     next_ = v & mask_;
-    pending_ = true;
+    if (!pending_) {
+      pending_ = true;
+      schedule_commit();
+    }
   }
   void set(bool v) { set(static_cast<std::uint64_t>(v ? 1 : 0)); }
 
+  /// Modules whose eval_comb() declared this signal as an input.
+  [[nodiscard]] const std::vector<Module*>& fanout() const { return fanout_; }
+
  private:
+  friend class Module;
   friend class Simulator;
+
   /// Apply a pending registered write; returns true on change.
   bool commit() {
     if (!pending_) return false;
     pending_ = false;
     if (next_ == cur_) return false;
     cur_ = next_;
+    value_changed();
     return true;
   }
+
+  /// Notify the owning simulator's scheduler (no-op for free signals).
+  void value_changed();
+  /// Register with the owning simulator's pending-commit list.
+  void schedule_commit();
+  /// Add `m` to the fanout list; throws for signals not owned by a
+  /// simulator (there is no scheduler to deliver the events).
+  void add_watcher(Module& m);
 
   std::string name_;
   unsigned width_;
@@ -65,6 +91,8 @@ class Signal {
   std::uint64_t cur_ = 0;
   std::uint64_t next_ = 0;
   bool pending_ = false;
+  Simulator* owner_ = nullptr;
+  std::vector<Module*> fanout_;
 };
 
 }  // namespace splice::rtl

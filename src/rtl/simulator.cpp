@@ -1,81 +1,180 @@
 #include "rtl/simulator.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 namespace splice::rtl {
 
+namespace {
+[[noreturn]] void throw_unsettled() {
+  throw SpliceError("combinational logic failed to settle (loop?)");
+}
+}  // namespace
+
 Signal& Simulator::signal(const std::string& name, unsigned width) {
-  if (Signal* s = find_signal(name)) {
-    if (s->width() != width) {
+  auto it = signal_index_.find(name);
+  if (it != signal_index_.end()) {
+    Signal& s = signals_[it->second];
+    if (s.width() != width) {
       throw SpliceError("signal '" + name + "' re-declared with width " +
                         std::to_string(width) + " (was " +
-                        std::to_string(s->width()) + ")");
+                        std::to_string(s.width()) + ")");
     }
-    return *s;
+    return s;
   }
   signals_.emplace_back(name, width);
+  signals_.back().owner_ = this;
+  signal_index_.emplace(name, signals_.size() - 1);
   return signals_.back();
 }
 
 Signal* Simulator::find_signal(const std::string& name) {
-  for (auto& s : signals_) {
-    if (s.name() == name) return &s;
+  auto it = signal_index_.find(name);
+  return it != signal_index_.end() ? &signals_[it->second] : nullptr;
+}
+
+void Simulator::adopt(Module& m) {
+  m.sim_ = this;
+  partition_stale_ = true;
+  // A fresh module has never run: evaluate it at the next settle so its
+  // outputs reflect its initial state even if no watched signal changes.
+  enqueue(m);
+}
+
+void Simulator::rebuild_partition() {
+  fallback_.clear();
+  for (const auto& m : modules_) {
+    if (!m->sensitivity_declared()) fallback_.push_back(m.get());
   }
-  return nullptr;
+  partition_stale_ = false;
 }
 
 void Simulator::settle() {
-  // Snapshot-based fix point: record all values, run one full pass of every
-  // module's eval_comb, compare; repeat until a pass changes nothing.
-  constexpr int kMaxIterations = 64;
-  for (int iter = 0; iter < kMaxIterations; ++iter) {
-    bool changed = false;
-    std::vector<std::uint64_t> before;
-    before.reserve(signals_.size());
-    for (const auto& s : signals_) before.push_back(s.get());
-    for (auto& m : modules_) m->eval_comb();
-    std::size_t i = 0;
-    for (const auto& s : signals_) {
-      if (s.get() != before[i++]) {
-        changed = true;
-        break;
-      }
-    }
-    if (!changed) return;
+  ++stats_.settles;
+  if (mode_ == SettleMode::kFullPass) {
+    settle_full_pass();
+    return;
   }
-  throw SpliceError("combinational logic failed to settle (loop?)");
+  if (partition_stale_) rebuild_partition();
+
+  // Budget: a converging design evaluates each module a handful of times
+  // per settle; anything past this bound is a combinational loop.
+  const std::uint64_t eval_budget =
+      static_cast<std::uint64_t>(kMaxSettleIterations) *
+      (modules_.size() + 1);
+  std::uint64_t evals_here = 0;
+
+  for (int iter = 0; iter < kMaxSettleIterations; ++iter) {
+    ++stats_.settle_iterations;
+    // Drain the event worklist: only modules whose watched signals changed
+    // (or that asked via mark_dirty).  Evaluations may wake further
+    // modules; the drain continues until the wavefront dies out.  FIFO
+    // order matters: it follows the propagation wavefront, so a forward
+    // chain settles in one linear sweep instead of the quadratic churn a
+    // LIFO pop would cause when many modules start queued.
+    for (std::size_t head = 0; head < worklist_.size(); ++head) {
+      Module* m = worklist_[head];
+      m->queued_ = false;
+      if (++evals_here > eval_budget) throw_unsettled();
+      run_eval(*m);
+    }
+    worklist_.clear();
+    if (fallback_.empty()) return;
+
+    // Legacy path for modules without declared sensitivities: one full
+    // pass, repeated until a pass changes nothing and wakes nobody.
+    const std::uint64_t tick = stats_.signal_changes;
+    for (Module* m : fallback_) run_eval(*m);
+    ++stats_.fallback_passes;
+    evals_here += fallback_.size();
+    if (stats_.signal_changes == tick && worklist_.empty()) return;
+  }
+  throw_unsettled();
+}
+
+void Simulator::settle_full_pass() {
+  for (int iter = 0; iter < kMaxSettleIterations; ++iter) {
+    ++stats_.settle_iterations;
+    const std::uint64_t tick = stats_.signal_changes;
+    for (const auto& m : modules_) run_eval(*m);
+    ++stats_.fallback_passes;
+    if (stats_.signal_changes == tick) {
+      // Event notifications still enqueued watchers; the full pass already
+      // covered them, so drop the worklist.
+      for (Module* m : worklist_) m->queued_ = false;
+      worklist_.clear();
+      return;
+    }
+  }
+  throw_unsettled();
+}
+
+void Simulator::flush_commits() {
+  // Only signals with scheduled writes are visited (Signal::set registers
+  // them); commits of changed values notify fanout via value_changed.
+  for (Signal* s : pending_commits_) {
+    if (s->commit()) ++stats_.commits;
+  }
+  pending_commits_.clear();
+}
+
+void Simulator::step_cycle() {
+  for (auto& fn : samplers_) fn(cycle_);
+  for (auto& m : modules_) m->clock_edge();
+  flush_commits();
+  settle();
+  ++cycle_;
 }
 
 void Simulator::step(std::uint64_t n) {
-  for (std::uint64_t k = 0; k < n; ++k) {
-    if (!settled_once_) {
-      settle();
-      settled_once_ = true;
-    }
-    for (auto& fn : samplers_) fn(cycle_);
-    for (auto& m : modules_) m->clock_edge();
-    for (auto& s : signals_) s.commit();
-    settle();
-    ++cycle_;
-  }
+  ensure_settled();
+  for (std::uint64_t k = 0; k < n; ++k) step_cycle();
 }
 
 bool Simulator::step_until(const std::function<bool()>& pred,
                            std::uint64_t max_cycles) {
+  ensure_settled();
   for (std::uint64_t k = 0; k < max_cycles; ++k) {
-    if (!settled_once_) {
-      settle();
-      settled_once_ = true;
-    }
     if (pred()) return true;
-    step();
+    step_cycle();
   }
   return pred();
 }
 
 void Simulator::reset() {
   for (auto& m : modules_) m->reset();
-  for (auto& s : signals_) s.commit();
+  flush_commits();
+  // Every module's state changed: schedule a full re-evaluation.
+  for (auto& m : modules_) enqueue(*m);
   settled_once_ = false;
   cycle_ = 0;
+}
+
+std::string render_stats(const Simulator& sim) {
+  const Simulator::Stats& st = sim.stats();
+  std::ostringstream out;
+  out << "simulation kernel stats ("
+      << (sim.settle_mode() == Simulator::SettleMode::kEventDriven
+              ? "event-driven"
+              : "full-pass")
+      << " settle)\n";
+  out << "  cycles             " << sim.cycle() << "\n";
+  out << "  signals            " << sim.signals().size() << "\n";
+  out << "  modules            " << sim.modules().size() << "\n";
+  out << "  settles            " << st.settles << "\n";
+  out << "  settle iterations  " << st.settle_iterations << "\n";
+  out << "  eval_comb calls    " << st.evals << "\n";
+  out << "  fallback passes    " << st.fallback_passes << "\n";
+  out << "  worklist pushes    " << st.worklist_pushes << "\n";
+  out << "  signal changes     " << st.signal_changes << "\n";
+  out << "  commits            " << st.commits << "\n";
+  out << "  per-module eval_comb totals:\n";
+  for (const auto& m : sim.modules()) {
+    out << "    " << m->name()
+        << (m->sensitivity_declared() ? "" : "  [no sensitivities]") << "  "
+        << m->eval_count() << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace splice::rtl

@@ -1,21 +1,33 @@
-// Two-phase cycle-based simulation kernel.
+// Event-driven two-phase simulation kernel.
 //
 // Each cycle:
-//   1. combinational settle: every module's eval_comb() runs repeatedly
-//      until no signal changes (bounded; a true combinational loop throws);
+//   1. combinational settle (see below);
 //   2. observers sample the settled pre-edge state (waveform recording);
 //   3. clock edge: every module's clock_edge() reads current values and
 //      schedules registered writes via Signal::set;
-//   4. commit + re-settle for the next cycle.
+//   4. commit of the scheduled writes + re-settle for the next cycle.
+//
+// The settle phase is driven by *sensitivities*: a module declares the
+// signals its eval_comb() reads with watch() (or declares it has no
+// combinational process at all with watch_none()), and the scheduler keeps
+// a worklist of exactly the modules whose watched signals changed — a
+// change-propagation fix point that evaluates ~1 module per changed signal
+// instead of every module per pass.  Modules that declare nothing fall
+// back to the legacy full-pass fix point (one pass over all of them per
+// settle iteration, repeated until a pass changes no signal), so migration
+// is incremental: undeclared modules stay correct, declared modules get
+// cheap.  A true combinational loop still throws, in either regime.
 //
 // This matches the strictly synchronous, single-clock designs Splice
 // generates (thesis ch. 4-5: one CLK broadcast signal drives everything).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rtl/signal.hpp"
@@ -39,12 +51,59 @@ class Module {
   /// Synchronous reset behaviour (called by Simulator::reset).
   virtual void reset() {}
 
+  // -- Sensitivity API ------------------------------------------------------
+  /// Declare that eval_comb() reads `s`.  Once any sensitivity is declared
+  /// the scheduler re-evaluates this module only when a watched signal
+  /// changes (or mark_dirty() is called) — the declared set must therefore
+  /// cover *every* signal eval_comb() reads.
+  void watch(Signal& s);
+  /// Declare every signal of a bundle in one go.
+  template <typename... Signals>
+  void watch_all(Signals&... signals) {
+    (watch(signals), ...);
+  }
+  /// Declare an empty sensitivity list: this module has no combinational
+  /// process (clocked-only), so the scheduler never calls eval_comb().
+  void watch_none() { sensitive_ = true; }
+  [[nodiscard]] bool sensitivity_declared() const { return sensitive_; }
+
+  /// eval_comb() invocations so far (kernel instrumentation).
+  [[nodiscard]] std::uint64_t eval_count() const { return evals_; }
+
+ protected:
+  /// Internal state read by eval_comb() changed outside the settle phase
+  /// (typically in clock_edge): request a re-evaluation at the next settle
+  /// even though no watched signal changed.
+  void mark_dirty();
+
  private:
+  friend class Simulator;
+
   std::string name_;
+  Simulator* sim_ = nullptr;  ///< set when the simulator takes ownership
+  bool sensitive_ = false;    ///< any sensitivity declaration was made
+  bool queued_ = false;       ///< already on the settle worklist
+  std::uint64_t evals_ = 0;
 };
 
 class Simulator {
  public:
+  /// Settle scheduling policy.  kEventDriven (the default) uses declared
+  /// sensitivities; kFullPass forces the legacy every-module fix point for
+  /// all modules regardless of declarations (equivalence testing).
+  enum class SettleMode : std::uint8_t { kEventDriven, kFullPass };
+
+  /// Kernel instrumentation counters (monotonic; see reset_stats).
+  struct Stats {
+    std::uint64_t settles = 0;            ///< settle() invocations
+    std::uint64_t settle_iterations = 0;  ///< fix-point iterations
+    std::uint64_t evals = 0;              ///< eval_comb() invocations
+    std::uint64_t fallback_passes = 0;    ///< full passes over undeclared modules
+    std::uint64_t worklist_pushes = 0;    ///< modules enqueued by events
+    std::uint64_t signal_changes = 0;     ///< observable signal value changes
+    std::uint64_t commits = 0;            ///< registered writes committed
+  };
+
   Simulator() = default;
 
   /// Create (or fetch, by exact name) a signal owned by the simulator.
@@ -57,6 +116,7 @@ class Simulator {
     auto mod = std::make_unique<T>(std::forward<Args>(args)...);
     T& ref = *mod;
     modules_.push_back(std::move(mod));
+    adopt(ref);
     return ref;
   }
 
@@ -73,18 +133,83 @@ class Simulator {
                   std::uint64_t max_cycles);
   /// Drive all module reset() hooks and clear the cycle counter.
   void reset();
+  /// Propagate combinational logic to a fixed point right now.  step()
+  /// calls this internally; exposed for tests and interactive probing.
+  void settle();
 
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
   [[nodiscard]] const std::deque<Signal>& signals() const { return signals_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Module>>& modules() const {
+    return modules_;
+  }
+
+  void set_settle_mode(SettleMode mode) { mode_ = mode; }
+  [[nodiscard]] SettleMode settle_mode() const { return mode_; }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
 
  private:
-  void settle();
+  friend class Module;
+  friend class Signal;
+
+  static constexpr int kMaxSettleIterations = 64;
+
+  void adopt(Module& m);
+  void settle_full_pass();
+  void step_cycle();
+  void ensure_settled() {
+    if (!settled_once_) {
+      settle();
+      settled_once_ = true;
+    }
+  }
+  void run_eval(Module& m) {
+    m.eval_comb();
+    ++m.evals_;
+    ++stats_.evals;
+  }
+  /// Put `m` on the settle worklist (idempotent per drain).
+  void enqueue(Module& m) {
+    if (m.queued_) return;
+    m.queued_ = true;
+    worklist_.push_back(&m);
+    ++stats_.worklist_pushes;
+  }
+  /// Scheduler hook: `s` changed value; wake its fanout.
+  void on_signal_changed(Signal& s) {
+    ++stats_.signal_changes;
+    for (Module* m : s.fanout_) enqueue(*m);
+  }
+  void flush_commits();
+  void rebuild_partition();
 
   std::deque<Signal> signals_;  // deque: stable addresses for references
+  std::unordered_map<std::string, std::size_t> signal_index_;
   std::vector<std::unique_ptr<Module>> modules_;
+  std::vector<Module*> fallback_;       ///< modules without sensitivities
+  bool partition_stale_ = true;
+  std::vector<Module*> worklist_;       ///< modules awaiting eval_comb
+  std::vector<Signal*> pending_commits_;
   std::vector<std::function<void(std::uint64_t)>> samplers_;
+  SettleMode mode_ = SettleMode::kEventDriven;
+  Stats stats_;
   std::uint64_t cycle_ = 0;
   bool settled_once_ = false;
 };
+
+inline void Module::watch(Signal& s) {
+  s.add_watcher(*this);
+  sensitive_ = true;
+  if (sim_ != nullptr) sim_->partition_stale_ = true;
+}
+
+inline void Module::mark_dirty() {
+  if (sim_ != nullptr) sim_->enqueue(*this);
+}
+
+/// Render the kernel instrumentation (global counters plus the per-module
+/// eval table) as a printable report.
+[[nodiscard]] std::string render_stats(const Simulator& sim);
 
 }  // namespace splice::rtl

@@ -19,7 +19,9 @@ namespace splice::runtime {
 class CpuMaster : public rtl::Module {
  public:
   CpuMaster(bus::MasterPort& port, sis::ProtocolClass protocol)
-      : rtl::Module("cpu_master"), port_(port), protocol_(protocol) {}
+      : rtl::Module("cpu_master"), port_(port), protocol_(protocol) {
+    watch_none();  // clocked-only: drives the bus from its program FSM
+  }
 
   /// Enqueue a driver call; multiple queued programs run back to back.
   void run(drivergen::DriverProgram program);

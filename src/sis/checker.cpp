@@ -3,7 +3,9 @@
 namespace splice::sis {
 
 ProtocolChecker::ProtocolChecker(const SisBus& bus, ProtocolClass protocol)
-    : rtl::Module("sis_checker"), bus_(bus), protocol_(protocol) {}
+    : rtl::Module("sis_checker"), bus_(bus), protocol_(protocol) {
+  watch_none();  // clocked-only observer: samples the bundle on the edge
+}
 
 void ProtocolChecker::violate(const std::string& what) {
   violations_.push_back("cycle " + std::to_string(cycle_) + ": " + what);

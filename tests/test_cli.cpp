@@ -2,6 +2,7 @@
 // generation to disk, listing, printing, the bus inventory, and error
 // handling.  The binary path is injected by CMake as SPLICE_CLI_PATH.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -24,7 +25,10 @@ struct RunResult {
 };
 
 RunResult run(const std::string& args) {
-  const fs::path out = fs::temp_directory_path() / "splice_cli_out.txt";
+  // Unique per process: ctest runs the discovered tests concurrently.
+  const fs::path out =
+      fs::temp_directory_path() /
+      ("splice_cli_out_" + std::to_string(::getpid()) + ".txt");
   const std::string cmd =
       cli() + " " + args + " > " + out.string() + " 2>&1";
   const int rc = std::system(cmd.c_str());

@@ -160,4 +160,154 @@ TEST(Simulator, ResetInvokesModuleHooks) {
   (void)mod;
 }
 
+// -- event-driven scheduling -----------------------------------------------
+
+// A watched follower: out = in + 1, sensitive only to `in`.
+class Follower : public Module {
+ public:
+  Follower(Simulator& sim, Signal& in, const std::string& out)
+      : Module("follow_" + out), in_(in), out_(sim.signal(out, 8)) {
+    watch(in_);
+  }
+  void eval_comb() override { out_.drive(in_.get() + 1); }
+  Signal& in_;
+  Signal& out_;
+};
+
+TEST(EventKernel, WatchedModuleOnlyRunsWhenItsSignalChanges) {
+  Simulator sim;
+  Signal& a = sim.signal("a", 8);
+  Signal& unrelated = sim.signal("unrelated", 8);
+  auto& f = sim.add<Follower>(sim, a, "fa");
+  sim.settle();  // initial evaluation after adoption
+  const std::uint64_t after_init = f.eval_count();
+  EXPECT_GE(after_init, 1u);
+
+  unrelated.drive(std::uint64_t{7});
+  sim.settle();
+  EXPECT_EQ(f.eval_count(), after_init);  // not on its sensitivity list
+
+  a.drive(std::uint64_t{4});
+  sim.settle();
+  EXPECT_GT(f.eval_count(), after_init);
+  EXPECT_EQ(f.out_.get(), 5u);
+}
+
+TEST(EventKernel, ChainPropagatesThroughWatchLists) {
+  Simulator sim;
+  Signal& a = sim.signal("a", 8);
+  auto& f1 = sim.add<Follower>(sim, a, "s1");
+  auto& f2 = sim.add<Follower>(sim, f1.out_, "s2");
+  auto& f3 = sim.add<Follower>(sim, f2.out_, "s3");
+  a.drive(std::uint64_t{10});
+  sim.settle();
+  EXPECT_EQ(f3.out_.get(), 13u);
+  // No fallback passes: every module declared its sensitivities.
+  EXPECT_EQ(sim.stats().fallback_passes, 0u);
+  EXPECT_GT(sim.stats().worklist_pushes, 0u);
+}
+
+// A register whose combinational output depends on internal state: the
+// classic case needing mark_dirty() from clock_edge.
+class StateMirror : public Module {
+ public:
+  StateMirror(Simulator& sim)
+      : Module("mirror"), out_(sim.signal("mirror_out", 8)) {
+    watch_none();  // reads no signals combinationally...
+  }
+  void eval_comb() override { out_.drive(count_); }
+  void clock_edge() override {
+    ++count_;
+    mark_dirty();  // ...but eval_comb reads count_
+  }
+  Signal& out_;
+  std::uint64_t count_ = 0;
+};
+
+TEST(EventKernel, MarkDirtyReschedulesStateDependentComb) {
+  Simulator sim;
+  auto& m = sim.add<StateMirror>(sim);
+  sim.step(3);
+  EXPECT_EQ(m.out_.get(), 3u);
+}
+
+TEST(EventKernel, CombinationalLoopDetectedUnderWatch) {
+  // Same oscillator pathology, but with a declared sensitivity so the
+  // event-driven worklist (not the fallback fix point) must catch it.
+  class WatchedOsc : public Module {
+   public:
+    WatchedOsc(Simulator& sim) : Module("wosc"), x_(sim.signal("wx", 1)) {
+      watch(x_);
+    }
+    void eval_comb() override { x_.drive(!x_.high()); }
+    Signal& x_;
+  };
+  Simulator sim;
+  sim.add<WatchedOsc>(sim);
+  EXPECT_THROW(sim.step(), SpliceError);
+}
+
+TEST(EventKernel, FullPassModeMatchesAndCountsMoreEvals) {
+  auto run = [](Simulator::SettleMode mode) {
+    Simulator sim;
+    sim.set_settle_mode(mode);
+    Signal& a = sim.signal("a", 8);
+    auto& f1 = sim.add<Follower>(sim, a, "s1");
+    auto& f2 = sim.add<Follower>(sim, f1.out_, "s2");
+    sim.add<Toggler>(sim);
+    a.drive(std::uint64_t{1});
+    sim.step(8);
+    return std::make_pair(f2.out_.get(), sim.stats().evals);
+  };
+  auto [ev_out, ev_evals] = run(Simulator::SettleMode::kEventDriven);
+  auto [fp_out, fp_evals] = run(Simulator::SettleMode::kFullPass);
+  EXPECT_EQ(ev_out, fp_out);
+  EXPECT_LT(ev_evals, fp_evals);
+}
+
+TEST(EventKernel, StatsCountersAccumulateAndReset) {
+  Simulator sim;
+  Signal& a = sim.signal("a", 8);
+  sim.add<Follower>(sim, a, "fa");
+  sim.step(4);
+  const auto& st = sim.stats();
+  EXPECT_EQ(st.settles, 5u);  // initial settle + one per cycle
+  EXPECT_GT(st.evals, 0u);
+  EXPECT_GT(st.settle_iterations, 0u);
+  sim.reset_stats();
+  EXPECT_EQ(sim.stats().settles, 0u);
+  EXPECT_EQ(sim.stats().evals, 0u);
+}
+
+TEST(EventKernel, RenderStatsListsModules) {
+  Simulator sim;
+  Signal& a = sim.signal("a", 8);
+  sim.add<Follower>(sim, a, "fa");
+  sim.add<Toggler>(sim);
+  sim.step(2);
+  const std::string out = render_stats(sim);
+  EXPECT_NE(out.find("follow_fa"), std::string::npos);
+  EXPECT_NE(out.find("toggler"), std::string::npos);
+  EXPECT_NE(out.find("eval_comb"), std::string::npos);
+}
+
+TEST(EventKernel, UndeclaredModuleStillSettlesViaFallback) {
+  Simulator sim;
+  auto& chain = sim.add<Chain>(sim);  // declares no sensitivities
+  chain.a_.drive(std::uint64_t{5});
+  sim.step();
+  EXPECT_EQ(chain.c_.get(), 7u);
+  EXPECT_GT(sim.stats().fallback_passes, 0u);
+}
+
+TEST(EventKernel, WatcherOnUnownedSignalThrows) {
+  Simulator sim;
+  Signal loose("loose", 4);
+  class Watcher : public Module {
+   public:
+    Watcher(Signal& s) : Module("watcher") { watch(s); }
+  };
+  EXPECT_THROW(sim.add<Watcher>(loose), SpliceError);
+}
+
 }  // namespace

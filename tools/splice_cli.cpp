@@ -10,8 +10,12 @@
 //     --print      dump every generated file to stdout instead of disk
 //     --list       list generated filenames only
 //     --buses      list the registered interface libraries and exit
+//     --sim-stats [N]  elaborate the device on the virtual platform, run N
+//                  idle cycles (default 2000) and print the simulation
+//                  kernel's instrumentation counters
 //     -h, --help   this text
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -20,6 +24,8 @@
 
 #include "adapters/registry.hpp"
 #include "core/splice.hpp"
+#include "rtl/simulator.hpp"
+#include "runtime/platform.hpp"
 
 namespace {
 
@@ -33,6 +39,8 @@ void usage(const char* argv0) {
       "  --print      dump generated files to stdout\n"
       "  --list       list generated filenames only\n"
       "  --buses      list registered interface libraries and exit\n"
+      "  --sim-stats [N]  simulate N idle cycles (default 2000) and print\n"
+      "               the kernel instrumentation counters\n"
       "  -h, --help   show this help\n",
       argv0);
 }
@@ -65,6 +73,8 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   bool print_files = false;
   bool list_only = false;
+  bool sim_stats = false;
+  std::uint64_t sim_cycles = 2000;
   splice::EngineOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -80,6 +90,12 @@ int main(int argc, char** argv) {
       print_files = true;
     } else if (arg == "--list") {
       list_only = true;
+    } else if (arg == "--sim-stats") {
+      sim_stats = true;
+      // Optional numeric cycle count; anything else is the next argument.
+      if (i + 1 < argc && argv[i + 1][0] >= '0' && argv[i + 1][0] <= '9') {
+        sim_cycles = std::strtoull(argv[++i], nullptr, 10);
+      }
     } else if (arg == "-o") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: -o needs a directory\n");
@@ -125,6 +141,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (sim_stats) {
+    // Elaborate the validated spec onto the virtual platform (default stub
+    // behaviours), let the device idle for the requested cycles and report
+    // what the kernel actually did.
+    try {
+      splice::runtime::VirtualPlatform vp(artifacts->spec,
+                                          splice::elab::BehaviorMap{});
+      vp.sim().step(sim_cycles);
+      std::printf("%s", splice::rtl::render_stats(vp.sim()).c_str());
+    } catch (const splice::SpliceError& e) {
+      std::fprintf(stderr, "error: simulation failed: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
   if (list_only) {
     for (const auto& name : artifacts->filenames()) {
       std::printf("%s\n", name.c_str());
