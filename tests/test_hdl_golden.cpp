@@ -1,0 +1,127 @@
+// Golden-file snapshots of every generated hardware file, byte for byte.
+// The fixtures under tests/golden/ were captured from the pre-AST string
+// emitters; they pin the exact output so refactors of the generation
+// pipeline (builder/printer splits, template changes) are provably
+// output-preserving.
+//
+// To regenerate after an intentional output change:
+//   SPLICE_UPDATE_GOLDEN=1 ctest -R HdlGolden
+// then review the diff of tests/golden/ like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/splice.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using namespace splice;
+
+#ifndef SPLICE_GOLDEN_DIR
+#define SPLICE_GOLDEN_DIR "tests/golden"
+#endif
+
+// Same corpus as test_hdl_sanity.cpp: every extension and every bus.
+struct Corpus {
+  const char* name;
+  const char* spec;
+};
+
+const Corpus kCorpus[] = {
+    {"timer_plb",
+     "%device_name t1\n%bus_type plb\n%bus_width 32\n"
+     "%base_address 0x80000000\n%user_type llong, unsigned long long, 64\n"
+     "void set(llong v);\nllong get();\n"},
+    {"arrays_fcb",
+     "%device_name t2\n%bus_type fcb\n%bus_width 32\n%burst_support true\n"
+     "int sum(char n, int*:n xs);\nvoid fill(char*:16+ data);\n"},
+    {"dma_plb",
+     "%device_name t3\n%bus_type plb\n%bus_width 32\n"
+     "%base_address 0x80000000\n%dma_support true\n"
+     "void burst(int*:32^ block);\n"},
+    {"multi_apb",
+     "%device_name t4\n%bus_type apb\n%bus_width 32\n"
+     "%base_address 0x80000000\nint work(int x):5;\nnowait kick(int v);\n"},
+    {"byref_irq_ahb",
+     "%device_name t5\n%bus_type ahb\n%bus_width 32\n"
+     "%base_address 0x80000000\n%irq_support true\n"
+     "int scale(int k, int*:4& xs);\n"},
+    {"wide_opb",
+     "%device_name t6\n%bus_type opb\n%bus_width 32\n"
+     "%base_address 0x80000000\nint a();\nint b();\nint c();\nint d();\n"},
+};
+
+bool update_mode() { return std::getenv("SPLICE_UPDATE_GOLDEN") != nullptr; }
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void check_case(const Corpus& c, bool verilog) {
+  Engine engine;
+  DiagnosticEngine diags;
+  std::string spec = c.spec;
+  if (verilog) spec += "%target_hdl verilog\n";
+  auto artifacts = engine.generate(spec, diags);
+  ASSERT_TRUE(artifacts.has_value()) << diags.render();
+
+  const fs::path dir = fs::path(SPLICE_GOLDEN_DIR) /
+                       (std::string(c.name) + (verilog ? "_verilog" : "_vhdl"));
+  if (update_mode()) {
+    fs::create_directories(dir);
+    for (const auto& f : artifacts->hardware) {
+      std::ofstream out(dir / f.filename, std::ios::binary);
+      out << f.content;
+    }
+    // Drop fixtures for files the generator no longer produces.
+    std::set<std::string> produced;
+    for (const auto& f : artifacts->hardware) produced.insert(f.filename);
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!produced.count(entry.path().filename().string())) {
+        fs::remove(entry.path());
+      }
+    }
+    return;
+  }
+
+  ASSERT_TRUE(fs::exists(dir))
+      << dir << " missing; run with SPLICE_UPDATE_GOLDEN=1 to create it";
+  // The emitted file set must match the fixture set exactly...
+  std::set<std::string> produced;
+  for (const auto& f : artifacts->hardware) produced.insert(f.filename);
+  std::set<std::string> expected;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    expected.insert(entry.path().filename().string());
+  }
+  EXPECT_EQ(produced, expected) << "hardware file set changed";
+  // ...and every file must match byte for byte.
+  for (const auto& f : artifacts->hardware) {
+    const fs::path golden = dir / f.filename;
+    if (!fs::exists(golden)) continue;  // already reported by the set check
+    EXPECT_EQ(f.content, read_file(golden))
+        << f.filename << " drifted from " << golden
+        << " (SPLICE_UPDATE_GOLDEN=1 regenerates after review)";
+  }
+}
+
+class HdlGolden : public ::testing::TestWithParam<Corpus> {};
+
+TEST_P(HdlGolden, VhdlMatchesFixtures) { check_case(GetParam(), false); }
+
+TEST_P(HdlGolden, VerilogMatchesFixtures) { check_case(GetParam(), true); }
+
+INSTANTIATE_TEST_SUITE_P(Corpus, HdlGolden, ::testing::ValuesIn(kCorpus),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
