@@ -1,0 +1,126 @@
+#include "codegen/hdl_ast.hpp"
+
+namespace splice::codegen::ast {
+
+Expr Expr::signal(std::string name) {
+  Expr e;
+  e.kind = Kind::SignalRef;
+  e.name = std::move(name);
+  return e;
+}
+
+Expr Expr::constant(std::string name) {
+  Expr e;
+  e.kind = Kind::ConstRef;
+  e.name = std::move(name);
+  return e;
+}
+
+Expr Expr::state(std::string name) {
+  Expr e;
+  e.kind = Kind::StateRef;
+  e.name = std::move(name);
+  return e;
+}
+
+Expr Expr::placeholder(std::string name) {
+  Expr e;
+  e.kind = Kind::Placeholder;
+  e.name = std::move(name);
+  return e;
+}
+
+Expr Expr::bit(unsigned value) {
+  Expr e;
+  e.kind = Kind::BitLit;
+  e.value = value;
+  e.width = 1;
+  return e;
+}
+
+Expr Expr::vec_lit(std::uint64_t value, unsigned width) {
+  Expr e;
+  e.kind = Kind::VectorLit;
+  e.value = value;
+  e.width = width;
+  return e;
+}
+
+Expr Expr::zeros(unsigned width) {
+  Expr e;
+  e.kind = Kind::ZeroVector;
+  e.width = width;
+  return e;
+}
+
+Expr Expr::eq(Expr a, Expr b) {
+  Expr e;
+  e.kind = Kind::Eq;
+  e.operands.push_back(std::move(a));
+  e.operands.push_back(std::move(b));
+  return e;
+}
+
+Expr Expr::all_of(std::vector<Expr> operands) {
+  Expr e;
+  e.kind = Kind::And;
+  e.operands = std::move(operands);
+  return e;
+}
+
+Expr Expr::not_of(Expr a) {
+  Expr e;
+  e.kind = Kind::Not;
+  e.operands.push_back(std::move(a));
+  return e;
+}
+
+Expr Expr::any_bit(Expr a) {
+  Expr e;
+  e.kind = Kind::AnyBitSet;
+  e.operands.push_back(std::move(a));
+  return e;
+}
+
+Stmt Stmt::comment(std::vector<std::string> lines) {
+  Stmt s;
+  s.kind = Kind::Comment;
+  s.text = std::move(lines);
+  return s;
+}
+
+Stmt Stmt::assign(std::string target, Expr rhs, unsigned pad) {
+  Stmt s;
+  s.kind = Kind::Assign;
+  s.target = std::move(target);
+  s.rhs = std::move(rhs);
+  s.pad = pad;
+  return s;
+}
+
+Stmt Stmt::if_then(Expr cond, std::vector<Stmt> then_body,
+                   std::vector<Stmt> else_body) {
+  Stmt s;
+  s.kind = Kind::If;
+  s.cond = std::move(cond);
+  s.then_body = std::move(then_body);
+  s.else_body = std::move(else_body);
+  return s;
+}
+
+Stmt Stmt::case_of(Expr selector, std::vector<CaseArm> arms) {
+  Stmt s;
+  s.kind = Kind::Case;
+  s.selector = std::move(selector);
+  s.arms = std::move(arms);
+  return s;
+}
+
+const Port* Module::find_port(const std::string& name) const {
+  for (const auto& p : ports) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace splice::codegen::ast

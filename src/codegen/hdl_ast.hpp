@@ -1,0 +1,221 @@
+// Language-neutral RTL document model — the layer between elaboration
+// (StubModel / the device spec) and text emission.  The builder
+// (hdl_builder.hpp) constructs one Module per generated hardware file; the
+// VHDL and Verilog writers are pretty-printers over this model and no
+// longer derive any structure themselves; the resource estimator counts
+// hardware from it; hdl_lint.hpp verifies it before any file is written.
+//
+// The node types are syntax-free: a Port knows its direction and width,
+// not whether it prints as "in  std_logic" or "input  wire".  The builder
+// is parameterized by Dialect because the two historical outputs genuinely
+// differ in idiom (guard operand order, comment text, which skeleton
+// statements appear) — those choices live in one place, the builder, while
+// the printers own nothing but syntax.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace splice::codegen::ast {
+
+enum class Dialect { Vhdl, Verilog };
+
+/// Expressions in conditions, assignment right-hand sides and case labels.
+struct Expr {
+  enum class Kind {
+    SignalRef,    ///< a declared signal or port
+    ConstRef,     ///< a declared constant / localparam
+    StateRef,     ///< an FSM state name
+    Placeholder,  ///< user-to-complete condition; printed verbatim
+    BitLit,       ///< '0' / '1'  (value, width 1)
+    VectorLit,    ///< literal of `width` bits with `value`
+    ZeroVector,   ///< all-zero vector of `width` bits
+    Eq,           ///< operands[0] == operands[1]
+    And,          ///< n-ary conjunction over operands
+    Not,          ///< !operands[0]
+    AnyBitSet,    ///< reduction-OR of operands[0]
+  };
+
+  Kind kind = Kind::SignalRef;
+  std::string name;          ///< SignalRef/ConstRef/StateRef/Placeholder
+  std::uint64_t value = 0;   ///< BitLit/VectorLit
+  unsigned width = 0;        ///< VectorLit/ZeroVector
+  std::vector<Expr> operands;
+
+  static Expr signal(std::string name);
+  static Expr constant(std::string name);
+  static Expr state(std::string name);
+  static Expr placeholder(std::string name);
+  static Expr bit(unsigned value);
+  static Expr vec_lit(std::uint64_t value, unsigned width);
+  static Expr zeros(unsigned width);
+  static Expr eq(Expr a, Expr b);
+  static Expr all_of(std::vector<Expr> operands);
+  static Expr not_of(Expr a);
+  static Expr any_bit(Expr a);
+};
+
+struct Stmt;
+
+/// One arm of a case statement; no label means the default/others arm.
+struct CaseArm {
+  std::optional<Expr> label;
+  std::string comment;  ///< printed on its own line before the arm
+  std::vector<Stmt> body;
+};
+
+/// Sequential statement inside a process body.
+struct Stmt {
+  enum class Kind { Comment, Assign, If, Case };
+
+  Kind kind = Kind::Comment;
+
+  // Comment
+  std::vector<std::string> text;
+
+  // Assign
+  std::string target;
+  int index = -1;    ///< >= 0: single-bit element of a vector target
+  unsigned pad = 0;  ///< column to left-justify the target to (0 = none)
+  Expr rhs;
+
+  // If
+  Expr cond;
+  std::vector<Stmt> then_body;
+  std::vector<Stmt> else_body;
+
+  // Case
+  Expr selector;
+  std::vector<CaseArm> arms;
+
+  static Stmt comment(std::vector<std::string> lines);
+  static Stmt assign(std::string target, Expr rhs, unsigned pad = 0);
+  static Stmt if_then(Expr cond, std::vector<Stmt> then_body,
+                      std::vector<Stmt> else_body = {});
+  static Stmt case_of(Expr selector, std::vector<CaseArm> arms);
+};
+
+struct Port {
+  std::string name;
+  bool is_input = true;
+  unsigned width = 1;
+  bool reg = false;          ///< driven from a process (Verilog: output reg)
+  bool user_driven = false;  ///< handled by user-completed logic; the lint
+                             ///< pass does not require the skeleton to
+                             ///< drive/consume it
+};
+
+/// Named constant; width 0 means a plain integer (guidance values such as
+/// the <param>_max_words constants).
+struct Constant {
+  std::string name;
+  unsigned width = 0;
+  std::uint64_t value = 0;
+};
+
+struct SignalDecl {
+  std::vector<std::string> names;  ///< one decl may introduce several
+  unsigned width = 1;
+  std::string purpose;       ///< trailing comment, empty for none
+  bool is_reg = false;       ///< process-driven (Verilog: reg, not wire)
+  bool user_driven = false;  ///< reserved for user logic; lint-exempt
+};
+
+/// Comparator implied by the generated skeleton (tracking-register bound
+/// checks, §5.3.1).  Not printable structure — the stub leaves the actual
+/// comparison to the user — but the resource estimator counts it.
+struct ComparatorNote {
+  std::string name;
+  unsigned width = 0;
+};
+
+/// The SMB state machine (§5.3.2).  states[0] is the reset state; the
+/// declaration of cur_state/next_state belongs to this node.
+struct Fsm {
+  std::vector<std::string> states;
+  /// States the emitted skeleton deliberately leaves without an incoming
+  /// transition because the user's completed logic is expected to jump
+  /// there (the '&' read-back chain: every OUT state after the first
+  /// returns to reset until the user retargets it, §10.2).  Reachability
+  /// analysis seeds from these as well as from states[0].
+  std::vector<std::string> user_entry_states;
+  unsigned state_width = 1;  ///< encoded state-register width
+  std::string comment;       ///< declaration-section comment, may be empty
+};
+
+/// One port-to-signal binding of an instantiation.
+struct Connection {
+  std::string port;
+  std::string signal;
+  bool is_output = false;  ///< the instance drives `signal`
+};
+
+struct Instance {
+  std::string module;  ///< e.g. "func_scale"
+  std::string label;   ///< e.g. "scale_0_inst"
+  /// Connections pre-grouped into printed lines.
+  std::vector<std::vector<Connection>> groups;
+};
+
+/// VHDL component declaration, ports pre-grouped into printed lines.
+struct ComponentGroup {
+  std::vector<std::string> names;
+  bool is_input = true;
+  unsigned width = 1;
+};
+
+struct ComponentDecl {
+  std::string module;
+  std::vector<ComponentGroup> groups;
+};
+
+struct Process {
+  enum class Kind { Clocked, Combinational };
+
+  Kind kind = Kind::Combinational;
+  std::string label;  ///< VHDL process label
+  std::vector<std::string> comment;
+  std::string clock = "CLK";             ///< Clocked only
+  std::vector<std::string> sensitivity;  ///< Combinational only
+  std::vector<Stmt> body;
+};
+
+/// Concurrent / continuous assignment.
+struct ContAssign {
+  std::string target;
+  int index = -1;
+  Expr rhs;
+  std::string trailing_comment;
+};
+
+struct ContAssignGroup {
+  std::vector<std::string> comment;
+  std::vector<ContAssign> assigns;
+};
+
+/// One generated hardware file: entity/module, declarations, body.
+struct Module {
+  Dialect dialect = Dialect::Vhdl;
+  std::string name;       ///< "func_<fn>" or "user_<device>"
+  std::string arch_name;  ///< VHDL architecture name
+  std::vector<std::string> banner;  ///< header comment lines
+
+  std::vector<Port> ports;
+  std::string const_comment;
+  std::vector<Constant> constants;
+  std::optional<Fsm> fsm;
+  std::string signal_comment;
+  std::vector<SignalDecl> signals;
+  std::vector<ComparatorNote> comparators;
+  std::vector<ComponentDecl> components;
+
+  std::vector<Instance> instances;
+  std::vector<Process> processes;
+  std::vector<ContAssignGroup> cont_assigns;
+
+  [[nodiscard]] const Port* find_port(const std::string& name) const;
+};
+
+}  // namespace splice::codegen::ast

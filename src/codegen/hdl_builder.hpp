@@ -1,0 +1,24 @@
+// The single shared AST builder: elaborates StubModel / the device spec
+// into the language-neutral document model of hdl_ast.hpp.  Both writers
+// and the resource estimator consume the Modules built here; the Dialect
+// parameter selects the historically divergent idiom (guard operand order,
+// comment wording, VHDL-only guidance constants) so that the printers stay
+// purely syntactic.
+#pragma once
+
+#include "codegen/hdl_ast.hpp"
+#include "codegen/stub_model.hpp"
+#include "ir/device.hpp"
+
+namespace splice::codegen {
+
+/// The user-logic stub for one declaration (func_<name> file, §5.3).
+[[nodiscard]] ast::Module build_stub_ast(const ir::FunctionDecl& fn,
+                                         const ir::DeviceSpec& spec,
+                                         ast::Dialect dialect);
+
+/// The arbitration unit (user_<device> file, §5.2).
+[[nodiscard]] ast::Module build_arbiter_ast(const ir::DeviceSpec& spec,
+                                            ast::Dialect dialect);
+
+}  // namespace splice::codegen

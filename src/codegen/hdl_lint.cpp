@@ -1,0 +1,363 @@
+#include "codegen/hdl_lint.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace splice::codegen {
+
+namespace {
+
+using ast::Expr;
+using ast::Module;
+using ast::Stmt;
+
+/// One declared identifier: port, signal, constant or the FSM state
+/// register halves.  width 0 means "any width" (integer constants).
+struct Symbol {
+  unsigned width = 0;
+  bool is_input = false;
+  bool is_output = false;
+  bool is_signal = false;
+  bool is_constant = false;
+  bool user_driven = false;
+};
+
+class Linter {
+ public:
+  Linter(const Module& m, DiagnosticEngine& diags) : m_(m), diags_(diags) {}
+
+  bool run() {
+    collect_symbols();
+    for (const auto& p : m_.processes) {
+      for (const auto& name : p.sensitivity) require_known(name);
+      if (p.kind == ast::Process::Kind::Clocked) mark_read(p.clock);
+      check_stmts(p.body);
+    }
+    for (const auto& g : m_.cont_assigns) {
+      for (const auto& a : g.assigns) {
+        check_assign(a.target, a.index, a.rhs);
+      }
+    }
+    for (const auto& inst : m_.instances) {
+      for (const auto& group : inst.groups) {
+        for (const auto& c : group) {
+          require_known(c.signal);
+          if (c.is_output) {
+            written_.insert(c.signal);
+          } else {
+            mark_read(c.signal);
+          }
+        }
+      }
+    }
+    check_driven_and_read();
+    check_fsm_reachability();
+    return clean_;
+  }
+
+ private:
+  void error(DiagId id, std::string message) {
+    clean_ = false;
+    diags_.error(id, m_.name + ": " + std::move(message));
+  }
+
+  void declare(const std::string& name, Symbol sym, bool is_port) {
+    if (symbols_.count(name) != 0) {
+      error(is_port ? DiagId::LintDuplicatePortName
+                    : DiagId::LintDuplicateSignalName,
+            std::string(is_port ? "port" : "declaration") + " '" + name +
+                "' collides with an earlier declaration");
+      return;
+    }
+    symbols_.emplace(name, sym);
+  }
+
+  void collect_symbols() {
+    for (const auto& p : m_.ports) {
+      Symbol s;
+      s.width = p.width;
+      s.is_input = p.is_input;
+      s.is_output = !p.is_input;
+      s.user_driven = p.user_driven;
+      declare(p.name, s, /*is_port=*/true);
+    }
+    for (const auto& c : m_.constants) {
+      Symbol s;
+      s.width = c.width;
+      s.is_constant = true;
+      declare(c.name, s, /*is_port=*/false);
+    }
+    if (m_.fsm) {
+      for (const auto& st : m_.fsm->states) {
+        if (!states_.insert(st).second) {
+          error(DiagId::LintDuplicateSignalName,
+                "FSM state '" + st + "' declared twice");
+        }
+      }
+      for (const char* reg : {"cur_state", "next_state"}) {
+        Symbol s;
+        s.width = m_.fsm->state_width;
+        s.is_signal = true;
+        declare(reg, s, /*is_port=*/false);
+      }
+    }
+    for (const auto& decl : m_.signals) {
+      for (const auto& name : decl.names) {
+        Symbol s;
+        s.width = decl.width;
+        s.is_signal = true;
+        s.user_driven = decl.user_driven;
+        declare(name, s, /*is_port=*/false);
+      }
+    }
+  }
+
+  void require_known(const std::string& name) {
+    if (symbols_.count(name) == 0 && unknown_.insert(name).second) {
+      error(DiagId::LintUnknownSignal,
+            "reference to undeclared signal '" + name + "'");
+    }
+  }
+
+  void mark_read(const std::string& name) {
+    require_known(name);
+    read_.insert(name);
+  }
+
+  /// Width of an expression, marking every referenced name as read.
+  /// nullopt means "matches anything" (placeholders, integer constants).
+  std::optional<unsigned> visit(const Expr& e) {
+    using K = Expr::Kind;
+    switch (e.kind) {
+      case K::SignalRef:
+      case K::ConstRef: {
+        mark_read(e.name);
+        auto it = symbols_.find(e.name);
+        if (it == symbols_.end() || it->second.width == 0) {
+          return std::nullopt;
+        }
+        return it->second.width;
+      }
+      case K::StateRef:
+        if (states_.count(e.name) == 0) {
+          error(DiagId::LintUnknownSignal,
+                "reference to undeclared FSM state '" + e.name + "'");
+          return std::nullopt;
+        }
+        return m_.fsm ? m_.fsm->state_width : 1;
+      case K::Placeholder:
+        return std::nullopt;  // user-to-complete; intentionally unchecked
+      case K::BitLit:
+        return 1;
+      case K::VectorLit:
+      case K::ZeroVector:
+        return e.width;
+      case K::Eq: {
+        const auto a = visit(e.operands[0]);
+        const auto b = visit(e.operands[1]);
+        if (a && b && *a != *b) {
+          error(DiagId::LintWidthMismatch,
+                "comparison of a " + std::to_string(*a) + "-bit value with "
+                "a " + std::to_string(*b) + "-bit value");
+        }
+        return 1;
+      }
+      case K::And:
+      case K::Not:
+        for (const auto& op : e.operands) {
+          const auto w = visit(op);
+          if (w && *w != 1) {
+            error(DiagId::LintWidthMismatch,
+                  "logical operator applied to a " + std::to_string(*w) +
+                      "-bit operand");
+          }
+        }
+        return 1;
+      case K::AnyBitSet:
+        visit(e.operands[0]);
+        return 1;
+    }
+    return std::nullopt;
+  }
+
+  void check_assign(const std::string& target, int index, const Expr& rhs) {
+    require_known(target);
+    written_.insert(target);
+    const auto rhs_width = visit(rhs);
+
+    auto it = symbols_.find(target);
+    if (it == symbols_.end()) return;
+    const unsigned declared = it->second.width;
+    if (index >= 0) {
+      if (declared != 0 && static_cast<unsigned>(index) >= declared) {
+        error(DiagId::LintWidthMismatch,
+              "bit " + std::to_string(index) + " of '" + target +
+                  "' is out of range for its " + std::to_string(declared) +
+                  "-bit declaration");
+      }
+      if (rhs_width && *rhs_width != 1) {
+        error(DiagId::LintWidthMismatch,
+              "assignment of a " + std::to_string(*rhs_width) +
+                  "-bit value to single bit '" + target + "'");
+      }
+      return;
+    }
+    if (declared != 0 && rhs_width && *rhs_width != declared) {
+      error(DiagId::LintWidthMismatch,
+            "assignment of a " + std::to_string(*rhs_width) +
+                "-bit value to " + std::to_string(declared) + "-bit '" +
+                target + "'");
+    }
+  }
+
+  void check_stmts(const std::vector<Stmt>& body) {
+    for (const auto& s : body) {
+      switch (s.kind) {
+        case Stmt::Kind::Comment:
+          break;
+        case Stmt::Kind::Assign:
+          check_assign(s.target, s.index, s.rhs);
+          break;
+        case Stmt::Kind::If:
+          visit(s.cond);
+          check_stmts(s.then_body);
+          check_stmts(s.else_body);
+          break;
+        case Stmt::Kind::Case: {
+          const auto sel = visit(s.selector);
+          for (const auto& arm : s.arms) {
+            if (arm.label) {
+              const auto lw = visit(*arm.label);
+              if (sel && lw && *sel != *lw) {
+                error(DiagId::LintWidthMismatch,
+                      "case label width " + std::to_string(*lw) +
+                          " does not match its " + std::to_string(*sel) +
+                          "-bit selector");
+              }
+            }
+            check_stmts(arm.body);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  void check_driven_and_read() {
+    for (const auto& [name, sym] : symbols_) {
+      if (sym.user_driven || sym.is_constant) continue;
+      const bool needs_drive = sym.is_output || sym.is_signal;
+      if (needs_drive && written_.count(name) == 0) {
+        error(DiagId::LintUndrivenSignal,
+              "'" + name + "' is never driven");
+      }
+      const bool needs_read = sym.is_input || sym.is_signal;
+      if (needs_read && read_.count(name) == 0) {
+        error(DiagId::LintUnreadSignal, "'" + name + "' is never read");
+      }
+    }
+  }
+
+  /// Collect every `next_state <= <state>` in `body`, recursively.
+  void next_states_in(const std::vector<Stmt>& body,
+                      std::set<std::string>& out) const {
+    for (const auto& s : body) {
+      switch (s.kind) {
+        case Stmt::Kind::Assign:
+          if (s.target == "next_state" &&
+              s.rhs.kind == Expr::Kind::StateRef) {
+            out.insert(s.rhs.name);
+          }
+          break;
+        case Stmt::Kind::If:
+          next_states_in(s.then_body, out);
+          next_states_in(s.else_body, out);
+          break;
+        case Stmt::Kind::Case:
+          for (const auto& arm : s.arms) next_states_in(arm.body, out);
+          break;
+        case Stmt::Kind::Comment:
+          break;
+      }
+    }
+  }
+
+  void check_fsm_reachability() {
+    if (!m_.fsm || m_.fsm->states.empty()) return;
+    // Transitions come from the case over cur_state: each arm labelled
+    // with a state contributes edges to every state it assigns next_state.
+    std::map<std::string, std::set<std::string>> edges;
+    for (const auto& p : m_.processes) {
+      collect_edges(p.body, edges);
+    }
+    std::set<std::string> reachable = {m_.fsm->states.front()};
+    std::vector<std::string> frontier = {m_.fsm->states.front()};
+    for (const auto& st : m_.fsm->user_entry_states) {
+      if (states_.count(st) != 0 && reachable.insert(st).second) {
+        frontier.push_back(st);
+      }
+    }
+    while (!frontier.empty()) {
+      const std::string state = std::move(frontier.back());
+      frontier.pop_back();
+      for (const auto& next : edges[state]) {
+        if (reachable.insert(next).second) frontier.push_back(next);
+      }
+    }
+    for (const auto& st : m_.fsm->states) {
+      if (reachable.count(st) == 0) {
+        error(DiagId::LintUnreachableState,
+              "FSM state '" + st + "' is unreachable from reset state '" +
+                  m_.fsm->states.front() + "'");
+      }
+    }
+  }
+
+  void collect_edges(const std::vector<Stmt>& body,
+                     std::map<std::string, std::set<std::string>>& edges)
+      const {
+    for (const auto& s : body) {
+      switch (s.kind) {
+        case Stmt::Kind::Case:
+          if (s.selector.kind == Expr::Kind::SignalRef &&
+              s.selector.name == "cur_state") {
+            for (const auto& arm : s.arms) {
+              if (!arm.label || arm.label->kind != Expr::Kind::StateRef) {
+                continue;
+              }
+              next_states_in(arm.body, edges[arm.label->name]);
+            }
+          } else {
+            for (const auto& arm : s.arms) collect_edges(arm.body, edges);
+          }
+          break;
+        case Stmt::Kind::If:
+          collect_edges(s.then_body, edges);
+          collect_edges(s.else_body, edges);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  const Module& m_;
+  DiagnosticEngine& diags_;
+  std::map<std::string, Symbol> symbols_;
+  std::set<std::string> states_;
+  std::set<std::string> read_;
+  std::set<std::string> written_;
+  std::set<std::string> unknown_;
+  bool clean_ = true;
+};
+
+}  // namespace
+
+bool lint_module(const ast::Module& m, DiagnosticEngine& diags) {
+  return Linter(m, diags).run();
+}
+
+}  // namespace splice::codegen

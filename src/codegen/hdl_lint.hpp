@@ -1,0 +1,22 @@
+// AST verification pass over the generated-hardware document model: a
+// generator-bug firewall that runs before any HDL file is written.  The
+// rules target mistakes a code generator (or a custom bus adapter feeding
+// it) can make — duplicate names, references to undeclared signals,
+// undriven or unread machinery, assignment width mismatches, unreachable
+// SMB states — and report stable 500-range DiagIds.
+//
+// Ports and signals marked `user_driven` describe machinery the emitted
+// skeleton deliberately leaves to the end-user (DATA_IN latching, tracking
+// registers); they are exempt from the driven/read requirements.
+#pragma once
+
+#include "codegen/hdl_ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::codegen {
+
+/// Verify one module; every finding is reported through `diags` as an
+/// error.  Returns true when the module is clean.
+bool lint_module(const ast::Module& m, DiagnosticEngine& diags);
+
+}  // namespace splice::codegen

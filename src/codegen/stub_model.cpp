@@ -157,13 +157,4 @@ StubModel build_stub_model(const ir::FunctionDecl& fn,
   return model;
 }
 
-ArbiterModel build_arbiter_model(const ir::DeviceSpec& spec) {
-  ArbiterModel m;
-  m.instances = spec.total_instances();
-  m.data_width = spec.target.bus_width;
-  m.func_id_width = spec.func_id_width();
-  m.calc_vector_width = spec.total_instances() + 1;
-  return m;
-}
-
 }  // namespace splice::codegen

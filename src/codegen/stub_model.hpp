@@ -1,7 +1,8 @@
 // Neutral structural model of a generated user-logic stub (ICOB + SMB,
-// thesis §5.3) and of the arbitration unit (§5.2).  The VHDL and Verilog
-// writers render this model as text, and the resource estimator counts
-// hardware from it — one source of structure for all three consumers.
+// thesis §5.3): which SMB states exist, which tracking registers and
+// comparators each parameter implies.  The HDL AST builder
+// (hdl_builder.hpp) elaborates this summary into a full document model;
+// the resource estimator then counts hardware from that AST.
 #pragma once
 
 #include <cstdint>
@@ -48,16 +49,7 @@ struct StubModel {
   [[nodiscard]] unsigned total_register_bits() const;
 };
 
-/// Structural summary of the generated arbitration unit.
-struct ArbiterModel {
-  unsigned instances = 0;       ///< mux fan-in (one leg per instance)
-  unsigned data_width = 32;
-  unsigned func_id_width = 4;
-  unsigned calc_vector_width = 1;
-};
-
 [[nodiscard]] StubModel build_stub_model(const ir::FunctionDecl& fn,
                                          const ir::TargetSpec& target);
-[[nodiscard]] ArbiterModel build_arbiter_model(const ir::DeviceSpec& spec);
 
 }  // namespace splice::codegen

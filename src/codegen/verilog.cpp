@@ -2,41 +2,230 @@
 
 #include <sstream>
 
+#include "codegen/hdl_builder.hpp"
+#include "support/diagnostics.hpp"
 #include "support/strings.hpp"
 
 namespace splice::codegen::verilog {
 
 namespace {
 
-std::string inst_label(const ir::FunctionDecl& fn, std::uint32_t inst) {
-  return fn.name + "_" + std::to_string(inst);
+using ast::CaseArm;
+using ast::Expr;
+using ast::Module;
+using ast::Process;
+using ast::Stmt;
+
+std::string ljust(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
 }
 
-struct InstanceRef {
-  const ir::FunctionDecl* fn;
-  std::uint32_t inst;
-  std::uint32_t func_id;
-};
+std::string spaces(unsigned n) { return std::string(n, ' '); }
 
-std::vector<InstanceRef> all_instances(const ir::DeviceSpec& spec) {
-  std::vector<InstanceRef> out;
-  for (const auto& fn : spec.functions) {
-    for (std::uint32_t i = 0; i < fn.instances; ++i) {
-      out.push_back({&fn, i, fn.func_id + i});
+std::string render_expr(const Expr& e) {
+  using K = Expr::Kind;
+  switch (e.kind) {
+    case K::SignalRef:
+    case K::ConstRef:
+    case K::Placeholder:
+      return e.name;
+    case K::StateRef:
+      return str::to_upper(e.name);
+    case K::BitLit:
+      return e.value != 0 ? "1'b1" : "1'b0";
+    case K::VectorLit:
+      return std::to_string(e.value);
+    case K::ZeroVector:
+      return std::to_string(e.width) + "'d0";
+    case K::Eq:
+      return render_expr(e.operands[0]) + " == " +
+             render_expr(e.operands[1]);
+    case K::And: {
+      std::string out;
+      for (const auto& op : e.operands) {
+        if (!out.empty()) out += " && ";
+        out += render_expr(op);
+      }
+      return out;
+    }
+    case K::Not:
+      return "!" + render_expr(e.operands[0]);
+    case K::AnyBitSet:
+      return "|" + render_expr(e.operands[0]);
+  }
+  throw SpliceError("expression kind not renderable as a Verilog operand");
+}
+
+std::string render_target(const std::string& name, int index) {
+  if (index < 0) return name;
+  return name + "[" + std::to_string(index) + "]";
+}
+
+/// `blocking` selects "=" (combinational) over "<=" (clocked).
+std::string render_assign(const Stmt& s, bool blocking) {
+  const std::string op = blocking ? "= " : "<= ";
+  const std::string target = render_target(s.target, s.index);
+  return (s.pad != 0 ? ljust(target, s.pad) : target + " ") + op +
+         render_expr(s.rhs) + ";";
+}
+
+void print_stmt(std::ostream& os, const Stmt& s, unsigned ind,
+                bool blocking);
+
+void print_stmts(std::ostream& os, const std::vector<Stmt>& body,
+                 unsigned ind, bool blocking) {
+  for (const auto& s : body) print_stmt(os, s, ind, blocking);
+}
+
+bool all_assigns(const std::vector<Stmt>& body) {
+  for (const auto& s : body) {
+    if (s.kind != Stmt::Kind::Assign) return false;
+  }
+  return !body.empty();
+}
+
+void print_stmt(std::ostream& os, const Stmt& s, unsigned ind,
+                bool blocking) {
+  switch (s.kind) {
+    case Stmt::Kind::Comment:
+      for (const auto& line : s.text) {
+        os << spaces(ind) << "// " << line << "\n";
+      }
+      return;
+    case Stmt::Kind::Assign:
+      os << spaces(ind) << render_assign(s, blocking) << "\n";
+      return;
+    case Stmt::Kind::If: {
+      const std::string cond = render_expr(s.cond);
+      const bool compact = s.then_body.size() == 1 &&
+                           s.then_body[0].kind == Stmt::Kind::Assign &&
+                           s.else_body.size() == 1 &&
+                           s.else_body[0].kind == Stmt::Kind::Assign;
+      if (compact) {
+        const std::string head = "if (" + cond + ") ";
+        os << spaces(ind) << head << render_assign(s.then_body[0], blocking)
+           << "\n"
+           << spaces(ind) << ljust("else", head.size())
+           << render_assign(s.else_body[0], blocking) << "\n";
+        return;
+      }
+      os << spaces(ind) << "if (" << cond << ") begin\n";
+      print_stmts(os, s.then_body, ind + 4, blocking);
+      if (!s.else_body.empty()) {
+        os << spaces(ind) << "end else begin\n";
+        print_stmts(os, s.else_body, ind + 4, blocking);
+      }
+      os << spaces(ind) << "end\n";
+      return;
+    }
+    case Stmt::Kind::Case: {
+      os << spaces(ind) << "case (" << render_expr(s.selector) << ")\n";
+      for (const CaseArm& arm : s.arms) {
+        if (!arm.comment.empty()) {
+          os << spaces(ind + 4) << "// " << arm.comment << "\n";
+        }
+        const std::string label =
+            arm.label ? render_expr(*arm.label) : std::string("default");
+        if (all_assigns(arm.body)) {
+          os << spaces(ind + 4) << label << ": begin";
+          for (const auto& a : arm.body) {
+            os << " " << render_assign(a, blocking);
+          }
+          os << " end\n";
+        } else {
+          os << spaces(ind + 4) << label << ": begin\n";
+          print_stmts(os, arm.body, ind + 8, blocking);
+          os << spaces(ind + 4) << "end\n";
+        }
+      }
+      os << spaces(ind) << "endcase\n";
+      return;
     }
   }
-  return out;
 }
 
-std::string header_comment(const ir::DeviceSpec& spec,
-                           const std::string& what) {
+std::string header_comment(const Module& m) {
+  const std::string rule = "//" + std::string(60, '-');
   std::ostringstream os;
-  os << "//------------------------------------------------------------\n"
-     << "// " << what << "\n"
-     << "// Generated by Splice for device '" << spec.target.device_name
-     << "' (bus: " << spec.target.bus_type << ", " << spec.target.bus_width
-     << "-bit)\n"
-     << "//------------------------------------------------------------\n\n";
+  os << rule << "\n";
+  for (const auto& line : m.banner) os << "// " << line << "\n";
+  os << rule << "\n\n";
+  return os.str();
+}
+
+std::string print_ports(const Module& m) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < m.ports.size(); ++i) {
+    const ast::Port& p = m.ports[i];
+    os << "    "
+       << (p.is_input ? "input  wire "
+                      : (p.reg ? "output reg  " : "output wire "))
+       << vec(p.width) << p.name << (i + 1 < m.ports.size() ? "," : "")
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string print_decls(const Module& m) {
+  std::ostringstream os;
+  for (const auto& c : m.constants) {
+    os << "    localparam " << c.name << " = " << c.value << ";\n";
+  }
+  if (m.fsm) {
+    for (std::size_t i = 0; i < m.fsm->states.size(); ++i) {
+      os << "    localparam " << str::to_upper(m.fsm->states[i]) << " = "
+         << i << ";\n";
+    }
+    os << "    reg " << vec(m.fsm->state_width)
+       << "cur_state, next_state;\n";
+  }
+  for (const auto& s : m.signals) {
+    os << "    " << (s.is_reg ? "reg " : "wire ") << vec(s.width)
+       << str::join(s.names, ", ") << ";";
+    if (!s.purpose.empty()) os << " // " << s.purpose;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string print_process(const Process& p) {
+  std::ostringstream os;
+  for (const auto& line : p.comment) os << "    // " << line << "\n";
+  const bool clocked = p.kind == Process::Kind::Clocked;
+  if (clocked) {
+    os << "    always @(posedge " << p.clock << ") begin\n";
+  } else {
+    os << "    always @(*) begin\n";
+  }
+  print_stmts(os, p.body, 8, /*blocking=*/!clocked);
+  os << "    end\n";
+  return os.str();
+}
+
+std::string print_instance(const ast::Instance& inst) {
+  std::ostringstream os;
+  os << "    " << inst.module << " " << inst.label << " (\n";
+  for (std::size_t i = 0; i < inst.groups.size(); ++i) {
+    std::vector<std::string> conns;
+    for (const auto& c : inst.groups[i]) {
+      conns.push_back("." + c.port + "(" + c.signal + ")");
+    }
+    os << "        " << str::join(conns, ", ")
+       << (i + 1 < inst.groups.size() ? "," : "") << "\n";
+  }
+  os << "    );\n";
+  return os.str();
+}
+
+std::string print_cont_assign_group(const ast::ContAssignGroup& g) {
+  std::ostringstream os;
+  for (const auto& line : g.comment) os << "    // " << line << "\n";
+  for (const auto& a : g.assigns) {
+    os << "    assign " << render_target(a.target, a.index) << " = "
+       << render_expr(a.rhs) << ";";
+    if (!a.trailing_comment.empty()) os << " // " << a.trailing_comment;
+    os << "\n";
+  }
   return os.str();
 }
 
@@ -47,155 +236,36 @@ std::string vec(unsigned width) {
   return "[" + std::to_string(width - 1) + ":0] ";
 }
 
-std::string emit_stub_file(const ir::FunctionDecl& fn,
-                           const ir::DeviceSpec& spec) {
-  const StubModel model = build_stub_model(fn, spec.target);
-  const unsigned width = spec.target.bus_width;
-  const unsigned idw = spec.func_id_width();
+std::string print_module(const Module& m) {
   std::ostringstream os;
-  os << header_comment(spec, "User-logic stub for function '" + fn.name + "'");
-  os << "module func_" << fn.name << " (\n"
-     << "    input  wire CLK,\n"
-     << "    input  wire RST,\n"
-     << "    input  wire " << vec(width) << "DATA_IN,\n"
-     << "    input  wire DATA_IN_VALID,\n"
-     << "    input  wire IO_ENABLE,\n"
-     << "    input  wire " << vec(idw) << "FUNC_ID,\n"
-     << "    output reg  " << vec(width) << "DATA_OUT,\n"
-     << "    output reg  DATA_OUT_VALID,\n"
-     << "    output reg  IO_DONE,\n"
-     << "    output reg  CALC_DONE\n"
-     << ");\n\n"
-     << "    localparam MY_FUNC_ID = " << fn.func_id << ";\n";
-  for (std::size_t i = 0; i < model.states.size(); ++i) {
-    os << "    localparam " << str::to_upper(model.states[i].name) << " = "
-       << i << ";\n";
-  }
-  os << "    reg " << vec(model.state_register_width())
-     << "cur_state, next_state;\n";
-  for (const auto& r : model.registers) {
-    os << "    reg " << vec(r.width) << r.name << "; // " << r.purpose
-       << "\n";
-  }
-  os << "\n    // SMB: state register (thesis 5.3.2)\n"
-     << "    always @(posedge CLK) begin\n"
-     << "        if (RST) cur_state <= "
-     << str::to_upper(model.states.front().name) << ";\n"
-     << "        else     cur_state <= next_state;\n"
-     << "    end\n\n"
-     << "    // ICOB: input, calculation and output handling (thesis "
-        "5.3.1)\n"
-     << "    always @(posedge CLK) begin\n"
-     << "        IO_DONE        <= 1'b0;\n"
-     << "        DATA_OUT_VALID <= 1'b0;\n"
-     << "        if (RST) begin\n"
-     << "            next_state <= "
-     << str::to_upper(model.states.front().name) << ";\n"
-     << "            CALC_DONE  <= 1'b0;\n"
-     << "        end else begin\n"
-     << "            case (cur_state)\n";
-  for (std::size_t i = 0; i < model.states.size(); ++i) {
-    const StubState& st = model.states[i];
-    const std::string next =
-        str::to_upper(model.states[(i + 1) % model.states.size()].name);
-    os << "                // " << st.comment << "\n"
-       << "                " << str::to_upper(st.name) << ": begin\n";
-    if (str::starts_with(st.name, "IN_")) {
-      os << "                    if (DATA_IN_VALID && IO_ENABLE && FUNC_ID "
-            "== MY_FUNC_ID) begin\n"
-         << "                        // TODO(user): latch DATA_IN\n"
-         << "                        next_state <= " << next << ";\n"
-         << "                        IO_DONE <= 1'b1;\n"
-         << "                    end\n";
-    } else if (str::starts_with(st.name, "CALC")) {
-      os << "                    // TODO(user): calculation logic\n"
-         << "                    next_state <= " << next << ";\n";
-    } else {
-      os << "                    CALC_DONE <= 1'b1;\n"
-         << "                    if (IO_ENABLE && !DATA_IN_VALID && FUNC_ID "
-            "== MY_FUNC_ID) begin\n"
-         << "                        // TODO(user): drive DATA_OUT\n"
-         << "                        DATA_OUT_VALID <= 1'b1;\n"
-         << "                        IO_DONE <= 1'b1;\n"
-         << "                        CALC_DONE <= 1'b0;\n"
-         << "                        next_state <= "
-         << str::to_upper(model.states.front().name) << ";\n"
-         << "                    end\n";
-    }
-    os << "                end\n";
-  }
-  os << "            endcase\n"
-     << "        end\n"
-     << "    end\n"
-     << "endmodule\n";
-  return os.str();
-}
+  os << header_comment(m);
+  os << "module " << m.name << " (\n" << print_ports(m) << ");\n\n";
+  const std::string decls = print_decls(m);
+  if (!decls.empty()) os << decls << "\n";
 
-std::string emit_arbiter_file(const ir::DeviceSpec& spec) {
-  const unsigned width = spec.target.bus_width;
-  const unsigned idw = spec.func_id_width();
-  const unsigned calc_w = spec.total_instances() + 1;
-  std::ostringstream os;
-  os << header_comment(spec, "Arbitration unit for device '" +
-                                 spec.target.device_name + "'");
-  os << "module user_" << spec.target.device_name << " (\n"
-     << "    input  wire CLK,\n"
-     << "    input  wire RST,\n"
-     << "    input  wire " << vec(width) << "DATA_IN,\n"
-     << "    input  wire DATA_IN_VALID,\n"
-     << "    input  wire IO_ENABLE,\n"
-     << "    input  wire " << vec(idw) << "FUNC_ID,\n"
-     << "    output reg  " << vec(width) << "DATA_OUT,\n"
-     << "    output reg  DATA_OUT_VALID,\n"
-     << "    output reg  IO_DONE,\n"
-     << "    output wire " << vec(calc_w) << "CALC_DONE_VEC"
-     << (spec.target.irq_support ? ",\n    output wire IRQ\n" : "\n")
-     << ");\n\n";
-  for (const auto& ref : all_instances(spec)) {
-    const std::string label = inst_label(*ref.fn, ref.inst);
-    os << "    wire " << vec(width) << label << "_DATA_OUT;\n"
-       << "    wire " << label << "_DATA_OUT_VALID, " << label
-       << "_IO_DONE, " << label << "_CALC_DONE;\n";
+  std::vector<std::string> items;
+  if (!m.instances.empty()) {
+    std::string block;
+    for (const auto& inst : m.instances) block += print_instance(inst);
+    items.push_back(std::move(block));
   }
-  os << "\n";
-  for (const auto& ref : all_instances(spec)) {
-    const std::string label = inst_label(*ref.fn, ref.inst);
-    os << "    func_" << ref.fn->name << " " << label << "_inst (\n"
-       << "        .CLK(CLK), .RST(RST), .DATA_IN(DATA_IN),\n"
-       << "        .DATA_IN_VALID(DATA_IN_VALID), .IO_ENABLE(IO_ENABLE),\n"
-       << "        .FUNC_ID(FUNC_ID),\n"
-       << "        .DATA_OUT(" << label << "_DATA_OUT),\n"
-       << "        .DATA_OUT_VALID(" << label << "_DATA_OUT_VALID),\n"
-       << "        .IO_DONE(" << label << "_IO_DONE),\n"
-       << "        .CALC_DONE(" << label << "_CALC_DONE)\n"
-       << "    );\n";
-  }
-
-  os << "\n    // Output multiplexers (thesis 5.2)\n"
-     << "    always @(*) begin\n"
-     << "        case (FUNC_ID)\n";
-  for (const auto& ref : all_instances(spec)) {
-    const std::string label = inst_label(*ref.fn, ref.inst);
-    os << "            " << ref.func_id << ": begin DATA_OUT = " << label
-       << "_DATA_OUT; DATA_OUT_VALID = " << label
-       << "_DATA_OUT_VALID; IO_DONE = " << label << "_IO_DONE; end\n";
-  }
-  os << "            default: begin DATA_OUT = " << width
-     << "'d0; DATA_OUT_VALID = 1'b0; IO_DONE = 1'b0; end\n"
-     << "        endcase\n"
-     << "    end\n\n"
-     << "    // CALC_DONE status vector (thesis 4.2.2)\n"
-     << "    assign CALC_DONE_VEC[0] = 1'b0;\n";
-  for (const auto& ref : all_instances(spec)) {
-    os << "    assign CALC_DONE_VEC[" << ref.func_id << "] = "
-       << inst_label(*ref.fn, ref.inst) << "_CALC_DONE;\n";
-  }
-  if (spec.target.irq_support) {
-    os << "    // Interrupt request: any raised CALC_DONE bit (thesis 10.2)\n"
-       << "    assign IRQ = |CALC_DONE_VEC;\n";
+  for (const auto& p : m.processes) items.push_back(print_process(p));
+  os << str::join(items, "\n");
+  if (!m.cont_assigns.empty()) {
+    os << "\n";
+    for (const auto& g : m.cont_assigns) os << print_cont_assign_group(g);
   }
   os << "endmodule\n";
   return os.str();
+}
+
+std::string emit_stub_file(const ir::FunctionDecl& fn,
+                           const ir::DeviceSpec& spec) {
+  return print_module(build_stub_ast(fn, spec, ast::Dialect::Verilog));
+}
+
+std::string emit_arbiter_file(const ir::DeviceSpec& spec) {
+  return print_module(build_arbiter_ast(spec, ast::Dialect::Verilog));
 }
 
 }  // namespace splice::codegen::verilog

@@ -1,20 +1,24 @@
-// Verilog text generation — the first code-generation item on the thesis'
-// §10.2 future-work list, implemented here.  Mirrors the VHDL writer: stub
-// files, the arbitration unit, and snippet bodies for the standard macros.
+// Verilog pretty-printer over the language-neutral AST — the first
+// code-generation item on the thesis' §10.2 future-work list.  Mirrors the
+// VHDL writer: all structure comes from hdl_builder.hpp; this layer owns
+// syntax only (literal spelling, begin/end layout, wire/reg declarations).
 #pragma once
 
 #include <string>
 
-#include "codegen/stub_model.hpp"
+#include "codegen/hdl_ast.hpp"
 #include "ir/device.hpp"
 
 namespace splice::codegen::verilog {
+
+/// Render a whole AST module as a Verilog design file.
+[[nodiscard]] std::string print_module(const ast::Module& m);
 
 [[nodiscard]] std::string emit_stub_file(const ir::FunctionDecl& fn,
                                          const ir::DeviceSpec& spec);
 [[nodiscard]] std::string emit_arbiter_file(const ir::DeviceSpec& spec);
 
-/// "[N-1:0]" or "" for width 1.
+/// "[N-1:0] " or "" for width 1.
 [[nodiscard]] std::string vec(unsigned width);
 
 }  // namespace splice::codegen::verilog

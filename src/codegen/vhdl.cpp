@@ -2,55 +2,194 @@
 
 #include <sstream>
 
+#include "codegen/hdl_builder.hpp"
+#include "support/diagnostics.hpp"
 #include "support/strings.hpp"
 
 namespace splice::codegen::vhdl {
 
 namespace {
 
-/// Per-instance identifier "<fn>_<inst>" used for arbiter-side signals.
-std::string inst_label(const ir::FunctionDecl& fn, std::uint32_t inst) {
-  return fn.name + "_" + std::to_string(inst);
+using ast::CaseArm;
+using ast::Expr;
+using ast::Module;
+using ast::Process;
+using ast::Stmt;
+
+std::string ljust(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
 }
 
-std::string header_comment(const ir::DeviceSpec& spec,
-                           const std::string& what) {
+std::string spaces(unsigned n) { return std::string(n, ' '); }
+
+std::string bit_string(std::uint64_t value, unsigned width) {
+  std::string bits;
+  for (unsigned i = width; i-- > 0;) {
+    bits += ((value >> i) & 1) != 0 ? '1' : '0';
+  }
+  return "\"" + bits + "\"";
+}
+
+std::string render_expr(const Expr& e) {
+  using K = Expr::Kind;
+  switch (e.kind) {
+    case K::SignalRef:
+    case K::ConstRef:
+    case K::StateRef:
+    case K::Placeholder:
+      return e.name;
+    case K::BitLit:
+      return e.value != 0 ? "'1'" : "'0'";
+    case K::VectorLit:
+      return bit_string(e.value, e.width);
+    case K::ZeroVector:
+      return "(others => '0')";
+    case K::Eq:
+      return render_expr(e.operands[0]) + " = " + render_expr(e.operands[1]);
+    case K::And: {
+      std::string out;
+      for (const auto& op : e.operands) {
+        if (!out.empty()) out += " and ";
+        out += render_expr(op);
+      }
+      return out;
+    }
+    case K::Not:
+      return "not " + render_expr(e.operands[0]);
+    case K::AnyBitSet:
+      // Only legal as a full assignment right-hand side ("'1' when ...").
+      break;
+  }
+  throw SpliceError("expression kind not renderable as a VHDL operand");
+}
+
+std::string render_target(const std::string& name, int index) {
+  if (index < 0) return name;
+  return name + "(" + std::to_string(index) + ")";
+}
+
+/// Right-hand side in assignment position; AnyBitSet becomes the
+/// conditional-assignment idiom.
+std::string render_rhs(const Expr& e) {
+  if (e.kind == Expr::Kind::AnyBitSet) {
+    return "'1' when " + render_expr(e.operands[0]) + " /= 0 else '0'";
+  }
+  return render_expr(e);
+}
+
+std::string render_assign(const Stmt& s) {
+  return render_target(s.target, s.index) + " <= " + render_rhs(s.rhs) + ";";
+}
+
+void print_stmt(std::ostream& os, const Stmt& s, unsigned ind);
+
+void print_stmts(std::ostream& os, const std::vector<Stmt>& body,
+                 unsigned ind) {
+  for (const auto& s : body) print_stmt(os, s, ind);
+}
+
+void print_stmt(std::ostream& os, const Stmt& s, unsigned ind) {
+  switch (s.kind) {
+    case Stmt::Kind::Comment:
+      for (const auto& line : s.text) {
+        os << spaces(ind) << "-- " << line << "\n";
+      }
+      return;
+    case Stmt::Kind::Assign:
+      os << spaces(ind) << render_assign(s) << "\n";
+      return;
+    case Stmt::Kind::If:
+      os << spaces(ind) << "if (" << render_expr(s.cond) << ") then\n";
+      print_stmts(os, s.then_body, ind + 4);
+      if (!s.else_body.empty()) {
+        os << spaces(ind) << "else\n";
+        print_stmts(os, s.else_body, ind + 4);
+      }
+      os << spaces(ind) << "end if;\n";
+      return;
+    case Stmt::Kind::Case: {
+      os << spaces(ind) << "case (" << render_expr(s.selector) << ") is\n";
+      for (const CaseArm& arm : s.arms) {
+        if (!arm.comment.empty()) {
+          os << spaces(ind + 4) << "-- " << arm.comment << "\n";
+        }
+        const std::string label =
+            arm.label ? render_expr(*arm.label) : std::string("others");
+        const bool inline_arm =
+            arm.body.size() == 1 && arm.body[0].kind == Stmt::Kind::Assign;
+        if (inline_arm) {
+          os << spaces(ind + 4) << "when " << label << " => "
+             << render_assign(arm.body[0]) << "\n";
+        } else {
+          os << spaces(ind + 4) << "when " << label << " =>\n";
+          print_stmts(os, arm.body, ind + 8);
+        }
+      }
+      os << spaces(ind) << "end case;\n";
+      return;
+    }
+  }
+}
+
+std::string header_comment(const Module& m) {
+  const std::string rule(62, '-');
   std::ostringstream os;
-  os << "--------------------------------------------------------------\n"
-     << "-- " << what << "\n"
-     << "-- Generated by Splice for device '" << spec.target.device_name
-     << "' (bus: " << spec.target.bus_type << ", "
-     << spec.target.bus_width << "-bit)\n"
-     << "--------------------------------------------------------------\n"
+  os << rule << "\n";
+  for (const auto& line : m.banner) os << "-- " << line << "\n";
+  os << rule << "\n"
      << "library IEEE;\n"
      << "use IEEE.STD_LOGIC_1164.ALL;\n"
      << "use IEEE.STD_LOGIC_UNSIGNED.ALL;\n\n";
   return os.str();
 }
 
-/// Enumerate every (function, instance) pair with its FUNC_ID.
-struct InstanceRef {
-  const ir::FunctionDecl* fn;
-  std::uint32_t inst;
-  std::uint32_t func_id;
-};
-
-std::vector<InstanceRef> all_instances(const ir::DeviceSpec& spec) {
-  std::vector<InstanceRef> out;
-  for (const auto& fn : spec.functions) {
-    for (std::uint32_t i = 0; i < fn.instances; ++i) {
-      out.push_back({&fn, i, fn.func_id + i});
-    }
+std::string print_ports(const Module& m) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < m.ports.size(); ++i) {
+    const ast::Port& p = m.ports[i];
+    os << "        " << ljust(p.name, 15) << ": "
+       << (p.is_input ? "in  " : "out ") << slv(p.width)
+       << (i + 1 < m.ports.size() ? ";" : "") << "\n";
   }
-  return out;
+  return os.str();
 }
 
-std::string func_id_literal(std::uint32_t id, unsigned width) {
-  std::string bits;
-  for (unsigned i = width; i-- > 0;) {
-    bits += ((id >> i) & 1) != 0 ? '1' : '0';
+std::string print_components(const Module& m) {
+  std::ostringstream os;
+  for (const auto& comp : m.components) {
+    os << "    component " << comp.module << "\n"
+       << "        port (\n";
+    for (std::size_t i = 0; i < comp.groups.size(); ++i) {
+      const ast::ComponentGroup& g = comp.groups[i];
+      os << "            ";
+      if (g.names.size() > 1) {
+        os << str::join(g.names, ", ") << " : "
+           << (g.is_input ? "in" : "out") << " " << slv(g.width);
+      } else {
+        os << ljust(g.names.front(), 9) << ": "
+           << (g.is_input ? "in  " : "out ") << slv(g.width);
+      }
+      os << (i + 1 < comp.groups.size() ? ";" : "") << "\n";
+    }
+    os << "        );\n"
+       << "    end component;\n";
   }
-  return "\"" + bits + "\"";
+  return os.str();
+}
+
+std::string print_instance(const ast::Instance& inst) {
+  std::ostringstream os;
+  os << "    " << inst.label << ": " << inst.module << " port map (\n";
+  for (std::size_t i = 0; i < inst.groups.size(); ++i) {
+    std::vector<std::string> conns;
+    for (const auto& c : inst.groups[i]) {
+      conns.push_back(c.port + " => " + c.signal);
+    }
+    os << "        " << str::join(conns, ", ")
+       << (i + 1 < inst.groups.size() ? "," : "") << "\n";
+  }
+  os << "    );\n";
+  return os.str();
 }
 
 }  // namespace
@@ -60,286 +199,154 @@ std::string slv(unsigned width) {
   return "std_logic_vector(0 to " + std::to_string(width - 1) + ")";
 }
 
-std::string func_consts(const ir::FunctionDecl& fn,
-                        const ir::DeviceSpec& spec) {
+std::string print_constants(const Module& m) {
   std::ostringstream os;
-  os << "    -- Identifier constants for " << fn.name << "\n"
-     << "    constant MY_FUNC_ID : " << slv(spec.func_id_width())
-     << " := " << func_id_literal(fn.func_id, spec.func_id_width()) << ";\n";
-  const StubModel model = build_stub_model(fn, spec.target);
-  for (const auto& st : model.states) {
-    if (st.words != 0 && str::starts_with(st.name, "IN_")) {
-      os << "    constant " << st.name.substr(3)
-         << "_max_words : integer := " << st.words << ";\n";
+  if (!m.const_comment.empty()) {
+    os << "    -- " << m.const_comment << "\n";
+  }
+  for (const auto& c : m.constants) {
+    if (c.width != 0) {
+      os << "    constant " << c.name << " : " << slv(c.width)
+         << " := " << bit_string(c.value, c.width) << ";\n";
+    } else {
+      os << "    constant " << c.name << " : integer := " << c.value
+         << ";\n";
     }
   }
   return os.str();
 }
 
-std::string func_signals(const ir::FunctionDecl& fn,
-                         const ir::DeviceSpec& spec) {
-  const StubModel model = build_stub_model(fn, spec.target);
+std::string print_signal_decls(const Module& m) {
   std::ostringstream os;
-  os << "    -- SMB state encoding (§5.3.2)\n"
-     << "    type state_type is (";
-  for (std::size_t i = 0; i < model.states.size(); ++i) {
-    if (i != 0) os << ", ";
-    os << model.states[i].name;
+  if (m.fsm) {
+    if (!m.fsm->comment.empty()) os << "    -- " << m.fsm->comment << "\n";
+    os << "    type state_type is (" << str::join(m.fsm->states, ", ")
+       << ");\n"
+       << "    signal cur_state, next_state : state_type;\n";
   }
-  os << ");\n"
-     << "    signal cur_state, next_state : state_type;\n";
-  if (!model.registers.empty()) {
-    os << "    -- Tracking and accumulation registers (§5.3.1)\n";
-    for (const auto& r : model.registers) {
-      os << "    signal " << r.name << " : " << slv(r.width) << "; -- "
-         << r.purpose << "\n";
-    }
+  if (!m.signal_comment.empty()) {
+    os << "    -- " << m.signal_comment << "\n";
+  }
+  for (const auto& s : m.signals) {
+    os << "    signal " << str::join(s.names, ", ") << " : " << slv(s.width)
+       << ";";
+    if (!s.purpose.empty()) os << " -- " << s.purpose;
+    os << "\n";
   }
   return os.str();
 }
 
-std::string func_fsm(const ir::FunctionDecl& fn, const ir::DeviceSpec& spec) {
-  const StubModel model = build_stub_model(fn, spec.target);
+std::string print_process(const Process& p) {
   std::ostringstream os;
-  os << "    -- SMB: clocked state register; the ICOB requests at most one\n"
-     << "    -- transition per cycle (§5.3.2)\n"
-     << "    smb: process (CLK)\n"
-     << "    begin\n"
-     << "        if (CLK = '1' and CLK'EVENT) then\n"
-     << "            if (RST = '1') then\n"
-     << "                cur_state <= " << model.states.front().name << ";\n"
-     << "            else\n"
-     << "                cur_state <= next_state;\n"
-     << "            end if;\n"
-     << "        end if;\n"
-     << "    end process;\n";
+  for (const auto& line : p.comment) os << "    -- " << line << "\n";
+  const bool clocked = p.kind == Process::Kind::Clocked;
+  os << "    " << p.label << ": process ("
+     << (clocked ? p.clock : str::join(p.sensitivity, ", ")) << ")\n"
+     << "    begin\n";
+  if (clocked) {
+    os << "        if (" << p.clock << " = '1' and " << p.clock
+       << "'EVENT) then\n";
+    print_stmts(os, p.body, 12);
+    os << "        end if;\n";
+  } else {
+    print_stmts(os, p.body, 8);
+  }
+  os << "    end process;\n";
   return os.str();
 }
 
-std::string func_stub_process(const ir::FunctionDecl& fn,
-                              const ir::DeviceSpec& spec) {
-  const StubModel model = build_stub_model(fn, spec.target);
+std::string print_cont_assign_group(const ast::ContAssignGroup& g) {
   std::ostringstream os;
-  os << "    -- ICOB: input, calculation and output handling (§5.3.1)\n"
-     << "    icob: process (CLK)\n"
-     << "    begin\n"
-     << "        if (CLK = '1' and CLK'EVENT) then\n"
-     << "            IO_DONE <= '0';\n"
-     << "            DATA_OUT_VALID <= '0';\n"
-     << "            if (RST = '1') then\n"
-     << "                next_state <= " << model.states.front().name << ";\n"
-     << "                CALC_DONE <= '0';\n"
-     << "            else\n"
-     << "                -- Operate Based on the Current State\n"
-     << "                case (cur_state) is\n";
-
-  for (std::size_t i = 0; i < model.states.size(); ++i) {
-    const StubState& st = model.states[i];
-    const std::string next =
-        model.states[(i + 1) % model.states.size()].name;
-    os << "                    -- " << st.comment << "\n"
-       << "                    when " << st.name << " =>\n";
-    if (str::starts_with(st.name, "IN_")) {
-      const std::string pname = st.name.substr(3);
-      os << "                        if (DATA_IN_VALID = '1' and FUNC_ID = "
-            "MY_FUNC_ID and IO_ENABLE = '1') then\n"
-         << "                            -- TODO(user): latch DATA_IN into "
-            "your storage for '" << pname << "'\n"
-         << "                            if (" << pname
-         << "_transfer_complete) then\n"
-         << "                                next_state <= " << next << ";\n"
-         << "                            end if;\n"
-         << "                            IO_DONE <= '1';\n"
-         << "                        end if;\n";
-    } else if (str::starts_with(st.name, "CALC")) {
-      os << "                        -- TODO(user): calculation logic goes "
-            "here; raise calc_complete when done\n"
-         << "                        next_state <= " << next << ";\n";
-    } else {  // OUT_RESULT
-      os << "                        CALC_DONE <= '1';\n"
-         << "                        if (FUNC_ID = MY_FUNC_ID and IO_ENABLE "
-            "= '1' and DATA_IN_VALID = '0') then\n"
-         << "                            -- TODO(user): place your result "
-            "on DATA_OUT\n"
-         << "                            DATA_OUT_VALID <= '1';\n"
-         << "                            IO_DONE <= '1';\n"
-         << "                            next_state <= "
-         << model.states.front().name << ";\n"
-         << "                            CALC_DONE <= '0';\n"
-         << "                        end if;\n";
-    }
+  for (const auto& line : g.comment) os << "    -- " << line << "\n";
+  for (const auto& a : g.assigns) {
+    os << "    " << render_target(a.target, a.index) << " <= "
+       << render_rhs(a.rhs) << ";";
+    if (!a.trailing_comment.empty()) os << " -- " << a.trailing_comment;
+    os << "\n";
   }
-  os << "                end case;\n"
-     << "            end if;\n"
-     << "        end if;\n"
-     << "    end process;\n";
   return os.str();
 }
 
-std::string data_out_mux(const ir::DeviceSpec& spec) {
+std::string print_module(const Module& m) {
   std::ostringstream os;
-  os << "    -- DATA_OUT multiplexer (§5.2)\n"
-     << "    data_out_mux: process (FUNC_ID";
-  for (const auto& ref : all_instances(spec)) {
-    os << ", " << inst_label(*ref.fn, ref.inst) << "_DATA_OUT";
-  }
-  os << ")\n    begin\n        case (FUNC_ID) is\n";
-  for (const auto& ref : all_instances(spec)) {
-    os << "            when "
-       << func_id_literal(ref.func_id, spec.func_id_width()) << " => "
-       << "DATA_OUT <= " << inst_label(*ref.fn, ref.inst) << "_DATA_OUT;\n";
-  }
-  os << "            when others => DATA_OUT <= (others => '0');\n"
-     << "        end case;\n    end process;\n";
-  return os.str();
-}
+  os << header_comment(m);
+  os << "entity " << m.name << " is\n"
+     << "    port (\n"
+     << print_ports(m) << "    );\n"
+     << "end " << m.name << ";\n\n"
+     << "architecture " << m.arch_name << " of " << m.name << " is\n"
+     << print_constants(m);
+  if (!m.components.empty()) os << print_components(m) << "\n";
+  os << print_signal_decls(m) << "begin\n";
 
-namespace {
-std::string one_bit_mux(const ir::DeviceSpec& spec, const std::string& out,
-                        const std::string& leaf) {
-  std::ostringstream os;
-  os << "    -- " << out << " multiplexer (§5.2)\n"
-     << "    " << str::to_lower(out) << "_mux: process (FUNC_ID";
-  for (const auto& ref : all_instances(spec)) {
-    os << ", " << inst_label(*ref.fn, ref.inst) << "_" << leaf;
+  std::vector<std::string> items;
+  if (!m.instances.empty()) {
+    std::string block;
+    for (const auto& inst : m.instances) block += print_instance(inst);
+    items.push_back(std::move(block));
   }
-  os << ")\n    begin\n        case (FUNC_ID) is\n";
-  for (const auto& ref : all_instances(spec)) {
-    os << "            when "
-       << func_id_literal(ref.func_id, spec.func_id_width()) << " => " << out
-       << " <= " << inst_label(*ref.fn, ref.inst) << "_" << leaf << ";\n";
+  for (const auto& p : m.processes) items.push_back(print_process(p));
+  os << str::join(items, "\n");
+  if (!m.cont_assigns.empty()) {
+    os << "\n";
+    for (const auto& g : m.cont_assigns) os << print_cont_assign_group(g);
   }
-  os << "            when others => " << out << " <= '0';\n"
-     << "        end case;\n    end process;\n";
-  return os.str();
-}
-}  // namespace
-
-std::string data_out_valid_mux(const ir::DeviceSpec& spec) {
-  return one_bit_mux(spec, "DATA_OUT_VALID", "DATA_OUT_VALID");
-}
-
-std::string io_done_mux(const ir::DeviceSpec& spec) {
-  return one_bit_mux(spec, "IO_DONE", "IO_DONE");
-}
-
-std::string calc_done_encode(const ir::DeviceSpec& spec) {
-  std::ostringstream os;
-  os << "    -- CALC_DONE status vector: bit position == FUNC_ID (§4.2.2)"
-     << "\n    CALC_DONE_VEC(0) <= '0'; -- reserved status identifier\n";
-  for (const auto& ref : all_instances(spec)) {
-    os << "    CALC_DONE_VEC(" << ref.func_id << ") <= "
-       << inst_label(*ref.fn, ref.inst) << "_CALC_DONE;\n";
-  }
+  os << "end " << m.arch_name << ";\n";
   return os.str();
 }
 
 std::string emit_stub_file(const ir::FunctionDecl& fn,
                            const ir::DeviceSpec& spec) {
-  std::ostringstream os;
-  os << header_comment(spec, "User-logic stub for function '" + fn.name + "'");
-  os << "entity func_" << fn.name << " is\n"
-     << "    port (\n"
-     << "        CLK            : in  std_logic;\n"
-     << "        RST            : in  std_logic;\n"
-     << "        DATA_IN        : in  " << slv(spec.target.bus_width) << ";\n"
-     << "        DATA_IN_VALID  : in  std_logic;\n"
-     << "        IO_ENABLE      : in  std_logic;\n"
-     << "        FUNC_ID        : in  " << slv(spec.func_id_width()) << ";\n"
-     << "        DATA_OUT       : out " << slv(spec.target.bus_width) << ";\n"
-     << "        DATA_OUT_VALID : out std_logic;\n"
-     << "        IO_DONE        : out std_logic;\n"
-     << "        CALC_DONE      : out std_logic\n"
-     << "    );\n"
-     << "end func_" << fn.name << ";\n\n"
-     << "architecture Behavioral of func_" << fn.name << " is\n"
-     << func_consts(fn, spec) << func_signals(fn, spec) << "begin\n"
-     << func_fsm(fn, spec) << "\n"
-     << func_stub_process(fn, spec) << "end Behavioral;\n";
-  return os.str();
+  return print_module(build_stub_ast(fn, spec, ast::Dialect::Vhdl));
 }
 
 std::string emit_arbiter_file(const ir::DeviceSpec& spec) {
-  const unsigned width = spec.target.bus_width;
-  const unsigned idw = spec.func_id_width();
-  const unsigned calc_w = spec.total_instances() + 1;
-  std::ostringstream os;
-  os << header_comment(spec, "Arbitration unit for device '" +
-                                 spec.target.device_name + "'");
-  os << "entity user_" << spec.target.device_name << " is\n"
-     << "    port (\n"
-     << "        CLK            : in  std_logic;\n"
-     << "        RST            : in  std_logic;\n"
-     << "        DATA_IN        : in  " << slv(width) << ";\n"
-     << "        DATA_IN_VALID  : in  std_logic;\n"
-     << "        IO_ENABLE      : in  std_logic;\n"
-     << "        FUNC_ID        : in  " << slv(idw) << ";\n"
-     << "        DATA_OUT       : out " << slv(width) << ";\n"
-     << "        DATA_OUT_VALID : out std_logic;\n"
-     << "        IO_DONE        : out std_logic;\n"
-     << "        CALC_DONE_VEC  : out " << slv(calc_w);
-  if (spec.target.irq_support) {
-    // %irq_support (§10.2): an interrupt request toward the CPU, raised
-    // whenever any instance's CALC_DONE is up.
-    os << ";\n        IRQ            : out std_logic\n";
-  } else {
-    os << "\n";
-  }
-  os << "    );\n"
-     << "end user_" << spec.target.device_name << ";\n\n"
-     << "architecture Structural of user_" << spec.target.device_name
-     << " is\n";
+  return print_module(build_arbiter_ast(spec, ast::Dialect::Vhdl));
+}
 
-  // Component declarations, one per declared function.
-  for (const auto& fn : spec.functions) {
-    os << "    component func_" << fn.name << "\n"
-       << "        port (\n"
-       << "            CLK, RST, DATA_IN_VALID, IO_ENABLE : in std_logic;\n"
-       << "            DATA_IN  : in  " << slv(width) << ";\n"
-       << "            FUNC_ID  : in  " << slv(idw) << ";\n"
-       << "            DATA_OUT : out " << slv(width) << ";\n"
-       << "            DATA_OUT_VALID, IO_DONE, CALC_DONE : out std_logic\n"
-       << "        );\n"
-       << "    end component;\n";
-  }
-  os << "\n";
+// --- Figure 7.1 macro snippet bodies --------------------------------------
+// Each snippet is a slice of the stub/arbiter AST; interface templates are
+// written in VHDL regardless of %target_hdl, so the dialect is fixed here.
 
-  // Per-instance output signals for the multiplexers.
-  for (const auto& ref : all_instances(spec)) {
-    const std::string label = inst_label(*ref.fn, ref.inst);
-    os << "    signal " << label << "_DATA_OUT : " << slv(width) << ";\n"
-       << "    signal " << label << "_DATA_OUT_VALID : std_logic;\n"
-       << "    signal " << label << "_IO_DONE : std_logic;\n"
-       << "    signal " << label << "_CALC_DONE : std_logic;\n";
-  }
-  os << "begin\n";
+std::string func_consts(const ir::FunctionDecl& fn,
+                        const ir::DeviceSpec& spec) {
+  return print_constants(build_stub_ast(fn, spec, ast::Dialect::Vhdl));
+}
 
-  // Instantiations: multi-instance functions are replicated transparently
-  // with successive FUNC_IDs (§5.2).
-  for (const auto& ref : all_instances(spec)) {
-    const std::string label = inst_label(*ref.fn, ref.inst);
-    os << "    " << label << "_inst: func_" << ref.fn->name
-       << " port map (\n"
-       << "        CLK => CLK, RST => RST,\n"
-       << "        DATA_IN => DATA_IN, DATA_IN_VALID => DATA_IN_VALID,\n"
-       << "        IO_ENABLE => IO_ENABLE, FUNC_ID => FUNC_ID,\n"
-       << "        DATA_OUT => " << label << "_DATA_OUT,\n"
-       << "        DATA_OUT_VALID => " << label << "_DATA_OUT_VALID,\n"
-       << "        IO_DONE => " << label << "_IO_DONE,\n"
-       << "        CALC_DONE => " << label << "_CALC_DONE\n"
-       << "    );\n";
-  }
-  os << "\n"
-     << data_out_mux(spec) << "\n"
-     << data_out_valid_mux(spec) << "\n"
-     << io_done_mux(spec) << "\n"
-     << calc_done_encode(spec);
-  if (spec.target.irq_support) {
-    os << "    -- Interrupt request: any raised CALC_DONE bit (§10.2)\n"
-       << "    IRQ <= '1' when CALC_DONE_VEC /= 0 else '0';\n";
-  }
-  os << "end Structural;\n";
-  return os.str();
+std::string func_signals(const ir::FunctionDecl& fn,
+                         const ir::DeviceSpec& spec) {
+  return print_signal_decls(build_stub_ast(fn, spec, ast::Dialect::Vhdl));
+}
+
+std::string func_fsm(const ir::FunctionDecl& fn, const ir::DeviceSpec& spec) {
+  return print_process(
+      build_stub_ast(fn, spec, ast::Dialect::Vhdl).processes.at(0));
+}
+
+std::string func_stub_process(const ir::FunctionDecl& fn,
+                              const ir::DeviceSpec& spec) {
+  return print_process(
+      build_stub_ast(fn, spec, ast::Dialect::Vhdl).processes.at(1));
+}
+
+std::string data_out_mux(const ir::DeviceSpec& spec) {
+  return print_process(
+      build_arbiter_ast(spec, ast::Dialect::Vhdl).processes.at(0));
+}
+
+std::string data_out_valid_mux(const ir::DeviceSpec& spec) {
+  return print_process(
+      build_arbiter_ast(spec, ast::Dialect::Vhdl).processes.at(1));
+}
+
+std::string io_done_mux(const ir::DeviceSpec& spec) {
+  return print_process(
+      build_arbiter_ast(spec, ast::Dialect::Vhdl).processes.at(2));
+}
+
+std::string calc_done_encode(const ir::DeviceSpec& spec) {
+  return print_cont_assign_group(
+      build_arbiter_ast(spec, ast::Dialect::Vhdl).cont_assigns.at(0));
 }
 
 }  // namespace splice::codegen::vhdl

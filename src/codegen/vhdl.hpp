@@ -1,15 +1,26 @@
-// VHDL text generation: user-logic stub files (func_<name>.vhd, thesis
-// §5.3 / Figure 8.4 shape), the arbitration unit (user_<device>.vhd, §5.2)
-// and the macro snippets the Figure 7.1 standard markers expand to inside
-// native-interface templates.
+// VHDL pretty-printer over the language-neutral AST (hdl_ast.hpp): the
+// user-logic stub files (func_<name>.vhd, thesis §5.3 / Figure 8.4 shape),
+// the arbitration unit (user_<device>.vhd, §5.2) and the macro snippets the
+// Figure 7.1 standard markers expand to inside native-interface templates.
+// All structure comes from hdl_builder.hpp; this layer owns syntax only.
 #pragma once
 
 #include <string>
 
-#include "codegen/stub_model.hpp"
+#include "codegen/hdl_ast.hpp"
 #include "ir/device.hpp"
 
 namespace splice::codegen::vhdl {
+
+/// Render a whole AST module as a VHDL design file.
+[[nodiscard]] std::string print_module(const ast::Module& m);
+
+// --- piecewise printers (the Figure 7.1 snippet granularity) --------------
+[[nodiscard]] std::string print_constants(const ast::Module& m);
+[[nodiscard]] std::string print_signal_decls(const ast::Module& m);
+[[nodiscard]] std::string print_process(const ast::Process& p);
+[[nodiscard]] std::string print_cont_assign_group(
+    const ast::ContAssignGroup& g);
 
 /// Complete func_<name>.vhd for one interface declaration.
 [[nodiscard]] std::string emit_stub_file(const ir::FunctionDecl& fn,

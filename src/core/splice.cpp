@@ -2,7 +2,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <system_error>
 
+#include "codegen/hdl_builder.hpp"
+#include "codegen/hdl_lint.hpp"
 #include "codegen/template.hpp"
 #include "frontend/parser.hpp"
 
@@ -29,11 +32,24 @@ std::vector<std::string> GeneratedArtifacts::filenames() const {
 std::string GeneratedArtifacts::write_to(const std::string& dir) const {
   namespace fs = std::filesystem;
   const fs::path base = fs::path(dir) / spec.target.device_name;
-  fs::create_directories(base);
+  std::error_code ec;
+  fs::create_directories(base, ec);
+  if (ec) {
+    throw SpliceError("cannot create output directory " + base.string() +
+                      ": " + ec.message());
+  }
   auto write = [&](const codegen::GeneratedFile& f) {
-    std::ofstream out(base / f.filename);
-    if (!out) throw SpliceError("cannot write " + (base / f.filename).string());
+    const fs::path path = base / f.filename;
+    std::ofstream out(path);
+    if (!out) throw SpliceError("cannot write " + path.string());
     out << f.content;
+    // A full disk or revoked permission often only surfaces when buffered
+    // data is flushed, so check again after the write and the close.
+    out.close();
+    if (!out) {
+      throw SpliceError("write failed for " + path.string() +
+                        " (disk full or file no longer writable?)");
+    }
   };
   for (const auto& f : hardware) write(f);
   for (const auto& f : software) write(f);
@@ -66,6 +82,22 @@ std::optional<GeneratedArtifacts> Engine::generate(
   // Parameter checking routine (§7.1.2): validates language rules and bus
   // feasibility, assigns FUNC_IDs.
   if (!adapter->check_parameters(spec, diags)) return std::nullopt;
+
+  // AST lint: verify the hardware document model before anything renders.
+  // A finding here is a generator bug, not a user error, but refusing to
+  // proceed beats writing broken HDL (§3.2 spirit).
+  {
+    const codegen::ast::Dialect dialect =
+        spec.target.hdl == ir::Hdl::Vhdl ? codegen::ast::Dialect::Vhdl
+                                         : codegen::ast::Dialect::Verilog;
+    bool clean =
+        codegen::lint_module(codegen::build_arbiter_ast(spec, dialect), diags);
+    for (const auto& fn : spec.functions) {
+      clean &= codegen::lint_module(codegen::build_stub_ast(fn, spec, dialect),
+                                    diags);
+    }
+    if (!clean) return std::nullopt;
+  }
 
   GeneratedArtifacts artifacts;
 

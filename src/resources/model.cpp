@@ -2,10 +2,26 @@
 
 #include <algorithm>
 
+#include "codegen/hdl_builder.hpp"
 #include "support/bits.hpp"
 #include "support/diagnostics.hpp"
 
 namespace splice::resources {
+
+namespace {
+
+/// The estimators read widths off well-known ports of the generated AST;
+/// a missing port means the module is not a Splice-generated one.
+unsigned port_width(const codegen::ast::Module& m, const std::string& name) {
+  const codegen::ast::Port* p = m.find_port(name);
+  if (p == nullptr) {
+    throw SpliceError("module '" + m.name + "' has no '" + name +
+                      "' port to estimate from");
+  }
+  return p->width;
+}
+
+}  // namespace
 
 unsigned ResourceReport::slices() const {
   const unsigned by_lut = (luts + 1) / 2;
@@ -44,27 +60,38 @@ ResourceReport encoder_cost(unsigned slots) {
   return {slots + bits::bits_for_count(std::max(2u, slots)), 0};
 }
 
-ResourceReport estimate_stub(const codegen::StubModel& model) {
+ResourceReport estimate_stub(const codegen::ast::Module& m) {
   ResourceReport r;
-  r += fsm_cost(static_cast<unsigned>(model.states.size()));
-  for (const auto& reg : model.registers) r += counter_cost(reg.width);
-  for (const auto& cmp : model.comparators) r += comparator_cost(cmp.width);
+  const unsigned states =
+      m.fsm ? static_cast<unsigned>(m.fsm->states.size()) : 0;
+  r += fsm_cost(states);
+  // Tracking/accumulation registers are the stub's user_driven signal
+  // declarations; each carries increment/load logic.
+  for (const auto& decl : m.signals) {
+    if (!decl.user_driven) continue;
+    for (std::size_t i = 0; i < decl.names.size(); ++i) {
+      r += counter_cost(decl.width);
+    }
+  }
+  for (const auto& cmp : m.comparators) r += comparator_cost(cmp.width);
   // Per-state I/O handling (FUNC_ID match, IO_DONE/valid gating): the
   // FUNC_ID comparator plus a handful of control LUTs per state.
-  r += comparator_cost(model.func_id_width);
-  r.luts += 4 * static_cast<unsigned>(model.states.size());
+  r += comparator_cost(port_width(m, "FUNC_ID"));
+  r.luts += 4 * states;
   // DATA_OUT drive register.
-  r += register_cost(model.bus_width);
+  r += register_cost(port_width(m, "DATA_OUT"));
   r.ffs += 3;  // IO_DONE, DATA_OUT_VALID, CALC_DONE
   return r;
 }
 
-ResourceReport estimate_arbiter(const codegen::ArbiterModel& model) {
+ResourceReport estimate_arbiter(const codegen::ast::Module& m) {
   ResourceReport r;
-  r += mux_cost(model.instances, model.data_width);  // DATA_OUT mux
-  r += mux_cost(model.instances, 1);                 // DATA_OUT_VALID mux
-  r += mux_cost(model.instances, 1);                 // IO_DONE mux
-  r.luts += model.calc_vector_width;                 // CALC_DONE wiring
+  const unsigned legs = static_cast<unsigned>(m.instances.size());
+  const unsigned data_width = port_width(m, "DATA_OUT");
+  r += mux_cost(legs, data_width);  // DATA_OUT mux
+  r += mux_cost(legs, 1);           // DATA_OUT_VALID mux
+  r += mux_cost(legs, 1);           // IO_DONE mux
+  r.luts += port_width(m, "CALC_DONE_VEC");  // CALC_DONE wiring
   return r;
 }
 
@@ -112,12 +139,15 @@ ResourceReport estimate_interface(const ir::DeviceSpec& spec) {
 }
 
 ResourceReport estimate_splice_device(const ir::DeviceSpec& spec) {
+  const codegen::ast::Dialect dialect = spec.target.hdl == ir::Hdl::Vhdl
+                                            ? codegen::ast::Dialect::Vhdl
+                                            : codegen::ast::Dialect::Verilog;
   ResourceReport r = estimate_interface(spec);
-  r += estimate_arbiter(codegen::build_arbiter_model(spec));
+  r += estimate_arbiter(codegen::build_arbiter_ast(spec, dialect));
   for (const auto& fn : spec.functions) {
-    const codegen::StubModel model = codegen::build_stub_model(fn,
-                                                               spec.target);
-    const ResourceReport one = estimate_stub(model);
+    const codegen::ast::Module stub =
+        codegen::build_stub_ast(fn, spec, dialect);
+    const ResourceReport one = estimate_stub(stub);
     for (std::uint32_t i = 0; i < fn.instances; ++i) r += one;
   }
   return r;

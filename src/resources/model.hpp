@@ -1,14 +1,14 @@
 // Structural FPGA resource estimation (the substitute for the thesis'
 // Xilinx ISE synthesis reports behind Figure 9.3).  Costs are counted from
-// the same structural models that drive HDL generation, using
-// Virtex-4-class packing assumptions: a slice holds two 4-input LUTs and
-// two flip-flops.  Absolute numbers are estimates; the figure's *relative*
-// comparisons (who is bigger, the DMA blow-up) come from structure.
+// the same HDL AST the emitters print, using Virtex-4-class packing
+// assumptions: a slice holds two 4-input LUTs and two flip-flops.
+// Absolute numbers are estimates; the figure's *relative* comparisons (who
+// is bigger, the DMA blow-up) come from structure.
 #pragma once
 
 #include <string>
 
-#include "codegen/stub_model.hpp"
+#include "codegen/hdl_ast.hpp"
 #include "ir/device.hpp"
 
 namespace splice::resources {
@@ -50,11 +50,13 @@ struct ResourceReport {
 
 // --- generated-hardware estimates -------------------------------------------
 
-/// One user-logic stub (per instance).
-[[nodiscard]] ResourceReport estimate_stub(const codegen::StubModel& model);
-/// The arbitration unit of §5.2.
-[[nodiscard]] ResourceReport estimate_arbiter(
-    const codegen::ArbiterModel& model);
+/// One user-logic stub (per instance), counted from its generated AST:
+/// SMB states, tracking registers (user_driven signal decls), implied
+/// comparators, and the handshake machinery around DATA_OUT.
+[[nodiscard]] ResourceReport estimate_stub(const codegen::ast::Module& m);
+/// The arbitration unit of §5.2, counted from its generated AST: one mux
+/// leg per instantiation plus the CALC_DONE_VEC wiring.
+[[nodiscard]] ResourceReport estimate_arbiter(const codegen::ast::Module& m);
 /// The native interface adapter for the spec's bus, including the DMA
 /// engine when %dma_support is on (§9.3.2: the engine dominates).
 [[nodiscard]] ResourceReport estimate_interface(const ir::DeviceSpec& spec);

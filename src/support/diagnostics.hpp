@@ -79,6 +79,16 @@ enum class DiagId : std::uint16_t {
   AdapterMissingRoutine,
   TemplateUnknownMacro,
   TemplateUnterminatedMacro,
+
+  // HDL AST lint: verification of the generated-hardware document model
+  // before any file is written
+  LintDuplicatePortName = 500,
+  LintDuplicateSignalName,
+  LintUnknownSignal,
+  LintUndrivenSignal,
+  LintUnreadSignal,
+  LintWidthMismatch,
+  LintUnreachableState,
 };
 
 struct Diagnostic {

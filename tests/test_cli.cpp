@@ -112,6 +112,74 @@ TEST(Cli, MissingFileAndBadOptionsReportUsage) {
   EXPECT_EQ(run("--help").exit_code, 0);
 }
 
+TEST(Cli, OutputFlagWithoutDirectoryIsRejected) {
+  const fs::path spec = write_spec("cli_o_missing.splice", kTimerSpec);
+  auto r = run(spec.string() + " -o");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("-o needs a directory"), std::string::npos)
+      << r.output;
+  fs::remove(spec);
+}
+
+TEST(Cli, SimStatsRejectsOverflowingCycleCount) {
+  const fs::path spec = write_spec("cli_sim_ovf.splice", kTimerSpec);
+  auto r = run(spec.string() + " --sim-stats 9999999999999999999999");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("out of range"), std::string::npos) << r.output;
+  fs::remove(spec);
+}
+
+TEST(Cli, SimStatsRejectsTrailingJunk) {
+  const fs::path spec = write_spec("cli_sim_junk.splice", kTimerSpec);
+  auto r = run(spec.string() + " --sim-stats 12abc");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cycle count"), std::string::npos) << r.output;
+  fs::remove(spec);
+}
+
+TEST(Cli, SimStatsAcceptsValidCycleCount) {
+  const fs::path spec = write_spec("cli_sim_ok.splice", kTimerSpec);
+  auto r = run(spec.string() + " --sim-stats 50");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  fs::remove(spec);
+}
+
+TEST(Cli, LintModeReportsCleanAndWritesNothing) {
+  for (const std::string bus : {"plb", "opb", "fcb", "apb", "ahb"}) {
+    const bool mapped = bus != "fcb";
+    const std::string text =
+        "%device_name lint_" + bus + "\n%bus_type " + bus +
+        "\n%bus_width 32\n" +
+        (mapped ? "%base_address 0x80000000\n" : "") +
+        "int scale(int x, int factor):2;\nvoid fill(char*:16 buf);\n";
+    const fs::path spec = write_spec("cli_lint_" + bus + ".splice", text);
+    auto r = run(spec.string() + " --lint");
+    EXPECT_EQ(r.exit_code, 0) << bus << ": " << r.output;
+    EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+    EXPECT_FALSE(fs::exists(fs::current_path() / ("lint_" + bus)))
+        << "--lint must not write the device directory";
+    fs::remove(spec);
+  }
+}
+
+TEST(Cli, WriteFailureIsReportedNotFatal) {
+  const fs::path spec = write_spec("cli_wrfail.splice", kTimerSpec);
+  // A regular file used as a directory component makes create_directories
+  // fail deterministically (the tests run as root, so permission bits
+  // would not).
+  const fs::path blocker =
+      fs::temp_directory_path() /
+      ("splice_cli_blocker_" + std::to_string(::getpid()));
+  std::ofstream(blocker) << "not a directory";
+  auto r = run(spec.string() + " -o " + (blocker / "sub").string());
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("cannot create output directory"),
+            std::string::npos)
+      << r.output;
+  fs::remove(blocker);
+  fs::remove(spec);
+}
+
 TEST(Cli, LinuxFlagSwitchesTheMacroLibrary) {
   const fs::path spec = write_spec("cli_linux.splice", kTimerSpec);
   auto r = run(spec.string() + " --print --linux");

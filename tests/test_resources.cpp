@@ -2,6 +2,7 @@
 // monotonicity properties, and the interface/arbiter/stub breakdown.
 #include <gtest/gtest.h>
 
+#include "codegen/hdl_builder.hpp"
 #include "frontend/parser.hpp"
 #include "ir/validate.hpp"
 #include "resources/model.hpp"
@@ -104,8 +105,13 @@ TEST(ResourceEstimates, UnknownBusThrows) {
 TEST(ResourceEstimates, ArbiterGrowsWithMuxFanIn) {
   auto few = spec_from("int f(int x);\n");
   auto many = spec_from("int f(int x):8;\n");
-  EXPECT_GT(estimate_arbiter(codegen::build_arbiter_model(many)).luts,
-            estimate_arbiter(codegen::build_arbiter_model(few)).luts);
+  EXPECT_GT(
+      estimate_arbiter(
+          codegen::build_arbiter_ast(many, codegen::ast::Dialect::Vhdl))
+          .luts,
+      estimate_arbiter(
+          codegen::build_arbiter_ast(few, codegen::ast::Dialect::Vhdl))
+          .luts);
 }
 
 }  // namespace

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Full local verification: the tier-1 build + test pass, followed by the
+# same test suite under ASan+UBSan (the `asan` CMake preset).  Run from
+# the repository root:
+#
+#   tools/check.sh            # tier-1 + sanitizers
+#   tools/check.sh --fast     # tier-1 only
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default
+
+if [ "${1:-}" = "--fast" ]; then
+  echo "== skipping sanitizer pass (--fast) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan+UBSan build + ctest =="
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan
+
+echo "== all checks passed =="

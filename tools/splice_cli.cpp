@@ -10,10 +10,13 @@
 //     --print      dump every generated file to stdout instead of disk
 //     --list       list generated filenames only
 //     --buses      list the registered interface libraries and exit
+//     --lint       check-only mode: elaborate and lint the generated
+//                  hardware ASTs, print a summary, write nothing
 //     --sim-stats [N]  elaborate the device on the virtual platform, run N
 //                  idle cycles (default 2000) and print the simulation
 //                  kernel's instrumentation counters
 //     -h, --help   this text
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +42,8 @@ void usage(const char* argv0) {
       "  --print      dump generated files to stdout\n"
       "  --list       list generated filenames only\n"
       "  --buses      list registered interface libraries and exit\n"
+      "  --lint       verify the generated hardware (AST lint) and exit\n"
+      "               without writing files\n"
       "  --sim-stats [N]  simulate N idle cycles (default 2000) and print\n"
       "               the kernel instrumentation counters\n"
       "  -h, --help   show this help\n",
@@ -73,6 +78,7 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   bool print_files = false;
   bool list_only = false;
+  bool lint_only = false;
   bool sim_stats = false;
   std::uint64_t sim_cycles = 2000;
   splice::EngineOptions options;
@@ -90,11 +96,30 @@ int main(int argc, char** argv) {
       print_files = true;
     } else if (arg == "--list") {
       list_only = true;
+    } else if (arg == "--lint") {
+      lint_only = true;
     } else if (arg == "--sim-stats") {
       sim_stats = true;
       // Optional numeric cycle count; anything else is the next argument.
       if (i + 1 < argc && argv[i + 1][0] >= '0' && argv[i + 1][0] <= '9') {
-        sim_cycles = std::strtoull(argv[++i], nullptr, 10);
+        const char* text = argv[++i];
+        char* end = nullptr;
+        errno = 0;
+        sim_cycles = std::strtoull(text, &end, 10);
+        if (errno == ERANGE) {
+          std::fprintf(stderr,
+                       "error: --sim-stats cycle count '%s' is out of "
+                       "range\n",
+                       text);
+          return 2;
+        }
+        if (end == text || *end != '\0') {
+          std::fprintf(stderr,
+                       "error: --sim-stats expects a cycle count, got "
+                       "'%s'\n",
+                       text);
+          return 2;
+        }
       }
     } else if (arg == "-o") {
       if (i + 1 >= argc) {
@@ -141,6 +166,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (lint_only) {
+    // Generation already linted every hardware AST (the engine refuses to
+    // proceed on findings), so reaching this point means a clean bill.
+    std::printf("lint: device '%s': %zu hardware module(s) clean, nothing "
+                "written\n",
+                artifacts->spec.target.device_name.c_str(),
+                artifacts->spec.functions.size() + 1);
+    return 0;
+  }
   if (sim_stats) {
     // Elaborate the validated spec onto the virtual platform (default stub
     // behaviours), let the device idle for the requested cycles and report
@@ -172,7 +206,13 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::string dir = artifacts->write_to(out_dir);
+  std::string dir;
+  try {
+    dir = artifacts->write_to(out_dir);
+  } catch (const splice::SpliceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   std::printf("device '%s': %zu files written to %s\n",
               artifacts->spec.target.device_name.c_str(),
               artifacts->filenames().size(), dir.c_str());
