@@ -1,0 +1,192 @@
+// Generation-pipeline throughput harness: compiles a 6-spec x 2-HDL corpus
+// through the batch path (outer fan-out over specs, inner fan-out over
+// modules, one shared pool) and reports specs/second for a jobs sweep, with
+// the artifact cache disabled, cold and warm.  Results are written as JSON
+// (BENCH_gen.json by default, or argv[1]) so runs can be diffed in review.
+//
+// Custom main rather than google-benchmark: the quantity of interest is
+// end-to-end batch wall-clock under different scheduler/cache settings, and
+// the JSON report needs the whole sweep in one process.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/splice.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using namespace splice;
+
+// Same corpus as tests/test_hdl_golden.cpp, both HDL flavours.
+const char* kSpecs[] = {
+    "%device_name t1\n%bus_type plb\n%bus_width 32\n"
+    "%base_address 0x80000000\n%user_type llong, unsigned long long, 64\n"
+    "void set(llong v);\nllong get();\n",
+    "%device_name t2\n%bus_type fcb\n%bus_width 32\n%burst_support true\n"
+    "int sum(char n, int*:n xs);\nvoid fill(char*:16+ data);\n",
+    "%device_name t3\n%bus_type plb\n%bus_width 32\n"
+    "%base_address 0x80000000\n%dma_support true\n"
+    "void burst(int*:32^ block);\n",
+    "%device_name t4\n%bus_type apb\n%bus_width 32\n"
+    "%base_address 0x80000000\nint work(int x):5;\nnowait kick(int v);\n",
+    "%device_name t5\n%bus_type ahb\n%bus_width 32\n"
+    "%base_address 0x80000000\n%irq_support true\n"
+    "int scale(int k, int*:4& xs);\n",
+    "%device_name t6\n%bus_type opb\n%bus_width 32\n"
+    "%base_address 0x80000000\nint a();\nint b();\nint c();\nint d();\n",
+};
+
+std::vector<std::string> build_corpus() {
+  std::vector<std::string> corpus;
+  for (const char* s : kSpecs) {
+    corpus.emplace_back(s);
+    corpus.emplace_back(std::string(s) + "%target_hdl verilog\n");
+  }
+  return corpus;
+}
+
+enum class CacheMode { Off, Cold, Warm };
+
+const char* mode_name(CacheMode m) {
+  switch (m) {
+    case CacheMode::Off:
+      return "off";
+    case CacheMode::Cold:
+      return "cold";
+    case CacheMode::Warm:
+      return "warm";
+  }
+  return "?";
+}
+
+struct Sample {
+  unsigned jobs = 1;
+  CacheMode mode = CacheMode::Off;
+  double ms = 0;            // best-of-repetitions batch wall-clock
+  double specs_per_s = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// One timed batch compile of the whole corpus, mirroring the CLI: a shared
+/// pool drives both the per-spec and the per-module fan-out.
+double run_batch(const std::vector<std::string>& corpus, unsigned jobs,
+                 ArtifactCache* cache) {
+  support::JobPool pool(jobs > 1 ? jobs - 1 : 0);
+  EngineOptions opt;
+  opt.jobs = jobs;
+  opt.pool = jobs > 1 ? &pool : nullptr;
+  const Engine engine(adapters::AdapterRegistry::instance(), opt);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<int> ok(corpus.size(), 0);
+  support::parallel_for(opt.pool, corpus.size(), [&](std::size_t i) {
+    DiagnosticEngine diags;
+    auto out = engine.generate_cached(corpus[i], diags, cache);
+    ok[i] = out.has_value() ? 1 : 0;
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (!ok[i]) {
+      std::fprintf(stderr, "corpus spec %zu failed to compile\n", i);
+      std::exit(1);
+    }
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+Sample measure(const std::vector<std::string>& corpus, unsigned jobs,
+               CacheMode mode, const fs::path& cache_root, int reps) {
+  Sample s;
+  s.jobs = jobs;
+  s.mode = mode;
+  s.ms = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const fs::path dir =
+        cache_root / ("c_" + std::to_string(jobs) + "_" +
+                      std::string(mode_name(mode)) + "_" +
+                      std::to_string(mode == CacheMode::Warm ? 0 : rep));
+    std::optional<ArtifactCache> cache;
+    if (mode != CacheMode::Off) {
+      cache.emplace(dir.string());
+      if (mode == CacheMode::Warm && rep == 0) {
+        // Populate once; the timed runs below then hit every entry.
+        run_batch(corpus, jobs, &*cache);
+      }
+    }
+    const double ms =
+        run_batch(corpus, jobs, cache ? &*cache : nullptr);
+    if (ms < s.ms) s.ms = ms;
+    if (cache) {
+      s.hits = cache->stats().hits;
+      s.misses = cache->stats().misses;
+    }
+    if (mode == CacheMode::Cold) fs::remove_all(dir);
+  }
+  s.specs_per_s = 1000.0 * static_cast<double>(corpus.size()) / s.ms;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_gen.json";
+  const std::vector<std::string> corpus = build_corpus();
+  const fs::path cache_root =
+      fs::temp_directory_path() / "splice_gen_throughput_cache";
+  fs::remove_all(cache_root);
+  fs::create_directories(cache_root);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("gen_throughput: %zu specs, hardware_concurrency=%u\n\n",
+              corpus.size(), hw);
+  std::printf("%6s  %6s  %10s  %10s  %6s  %6s\n", "jobs", "cache",
+              "batch-ms", "specs/s", "hits", "miss");
+
+  std::vector<Sample> samples;
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    for (const CacheMode mode :
+         {CacheMode::Off, CacheMode::Cold, CacheMode::Warm}) {
+      const Sample s = measure(corpus, jobs, mode, cache_root, 5);
+      std::printf("%6u  %6s  %10.2f  %10.1f  %6llu  %6llu\n", s.jobs,
+                  mode_name(s.mode), s.ms, s.specs_per_s,
+                  static_cast<unsigned long long>(s.hits),
+                  static_cast<unsigned long long>(s.misses));
+      samples.push_back(s);
+    }
+  }
+  fs::remove_all(cache_root);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"gen_throughput\",\n");
+  std::fprintf(f, "  \"corpus_specs\": %zu,\n", corpus.size());
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"timing\": \"best of 5 repetitions per cell\",\n");
+  std::fprintf(f, "  \"samples\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"jobs\": %u, \"cache\": \"%s\", \"batch_ms\": %.3f, "
+                 "\"specs_per_s\": %.1f, \"hits\": %llu, \"misses\": %llu}%s\n",
+                 s.jobs, mode_name(s.mode), s.ms, s.specs_per_s,
+                 static_cast<unsigned long long>(s.hits),
+                 static_cast<unsigned long long>(s.misses),
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

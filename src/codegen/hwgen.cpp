@@ -1,42 +1,98 @@
 #include "codegen/hwgen.hpp"
 
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "codegen/hdl_builder.hpp"
 #include "codegen/verilog.hpp"
 #include "codegen/vhdl.hpp"
 #include "support/diagnostics.hpp"
 
 namespace splice::codegen {
 
+namespace {
+
+std::string print_module(const ast::Module& m) {
+  return m.dialect == ast::Dialect::Vhdl ? vhdl::print_module(m)
+                                         : verilog::print_module(m);
+}
+
+}  // namespace
+
 std::string hdl_extension(ir::Hdl hdl) {
   return hdl == ir::Hdl::Vhdl ? ".vhd" : ".v";
 }
 
-std::vector<GeneratedFile> generate_user_logic(const ir::DeviceSpec& spec) {
-  const bool vhdl = spec.target.hdl == ir::Hdl::Vhdl;
-  const std::string ext = hdl_extension(spec.target.hdl);
-  std::vector<GeneratedFile> files;
-
+GeneratedFile render_arbiter_file(const ast::Module& m,
+                                  const ir::DeviceSpec& spec) {
   GeneratedFile arbiter;
-  arbiter.filename = "user_" + spec.target.device_name + ext;
-  arbiter.content = vhdl ? vhdl::emit_arbiter_file(spec)
-                         : verilog::emit_arbiter_file(spec);
+  arbiter.filename = "user_" + spec.target.device_name +
+                     hdl_extension(spec.target.hdl);
+  arbiter.content = print_module(m);
   arbiter.purpose = "Bus arbiter for the " + spec.target.device_name +
                     " device that is used to pass information to and from "
                     "each user function";
-  files.push_back(std::move(arbiter));
+  return arbiter;
+}
 
+GeneratedFile render_stub_file(const ast::Module& m,
+                               const ir::FunctionDecl& fn,
+                               const ir::DeviceSpec& spec) {
+  if (fn.func_id == 0) {
+    throw SpliceError("function '" + fn.name +
+                      "' has no FUNC_ID; run ir::validate first");
+  }
+  GeneratedFile f;
+  f.filename = "func_" + fn.name + hdl_extension(spec.target.hdl);
+  f.content = print_module(m);
+  f.purpose = "Implements I/O logic for the " + fn.name + " function";
+  return f;
+}
+
+std::vector<GeneratedFile> generate_user_logic(const ir::DeviceSpec& spec) {
+  const ast::Dialect dialect = spec.target.hdl == ir::Hdl::Vhdl
+                                   ? ast::Dialect::Vhdl
+                                   : ast::Dialect::Verilog;
+  std::vector<GeneratedFile> files;
+  files.reserve(spec.functions.size() + 1);
+  files.push_back(
+      render_arbiter_file(build_arbiter_ast(spec, dialect), spec));
   for (const auto& fn : spec.functions) {
-    if (fn.func_id == 0) {
-      throw SpliceError("function '" + fn.name +
-                        "' has no FUNC_ID; run ir::validate first");
-    }
-    GeneratedFile f;
-    f.filename = "func_" + fn.name + ext;
-    f.content = vhdl ? vhdl::emit_stub_file(fn, spec)
-                     : verilog::emit_stub_file(fn, spec);
-    f.purpose = "Implements I/O logic for the " + fn.name + " function";
-    files.push_back(std::move(f));
+    files.push_back(
+        render_stub_file(build_stub_ast(fn, spec, dialect), fn, spec));
   }
   return files;
+}
+
+std::string write_file_set(const std::string& device_name,
+                           const std::vector<GeneratedFile>& hardware,
+                           const std::vector<GeneratedFile>& software,
+                           const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::path(dir) / device_name;
+  std::error_code ec;
+  fs::create_directories(base, ec);
+  if (ec) {
+    throw SpliceError("cannot create output directory " + base.string() +
+                      ": " + ec.message());
+  }
+  auto write = [&](const GeneratedFile& f) {
+    const fs::path path = base / f.filename;
+    std::ofstream out(path);
+    if (!out) throw SpliceError("cannot write " + path.string());
+    out << f.content;
+    // A full disk or revoked permission often only surfaces when buffered
+    // data is flushed, so check again after the write and the close.
+    out.close();
+    if (!out) {
+      throw SpliceError("write failed for " + path.string() +
+                        " (disk full or file no longer writable?)");
+    }
+  };
+  for (const auto& f : hardware) write(f);
+  for (const auto& f : software) write(f);
+  return base.string();
 }
 
 }  // namespace splice::codegen

@@ -3,11 +3,18 @@
 // ch. 5 stages 2 and 3).  The native bus interface file (stage 1) is
 // produced by the selected bus adapter plugin (adapters/) because its
 // template is bus-specific.
+//
+// The render_* entry points take a pre-built AST module so the pipeline can
+// build each module once and feed the same tree to the lint pass and the
+// pretty-printer; they are what the per-module jobs of the parallel engine
+// call.  generate_user_logic remains the convenience wrapper that does
+// build + render for every module serially.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "codegen/hdl_ast.hpp"
 #include "ir/device.hpp"
 
 namespace splice::codegen {
@@ -21,6 +28,24 @@ struct GeneratedFile {
 /// Arbiter + stubs in the %target_hdl language.  FUNC_IDs must be assigned.
 [[nodiscard]] std::vector<GeneratedFile> generate_user_logic(
     const ir::DeviceSpec& spec);
+
+/// Render one pre-built arbiter AST as its user_<device> file.
+[[nodiscard]] GeneratedFile render_arbiter_file(const ast::Module& m,
+                                                const ir::DeviceSpec& spec);
+
+/// Render one pre-built stub AST as its func_<name> file.  Throws when the
+/// function has no FUNC_ID assigned (run ir::validate first).
+[[nodiscard]] GeneratedFile render_stub_file(const ast::Module& m,
+                                             const ir::FunctionDecl& fn,
+                                             const ir::DeviceSpec& spec);
+
+/// Write every file under dir/<device_name>/ (the §3.2.3 rule that the
+/// device name creates a subdirectory).  Returns the directory used;
+/// throws SpliceError when the directory or any file cannot be written.
+std::string write_file_set(const std::string& device_name,
+                           const std::vector<GeneratedFile>& hardware,
+                           const std::vector<GeneratedFile>& software,
+                           const std::string& dir);
 
 /// File extension for the target HDL (".vhd" / ".v").
 [[nodiscard]] std::string hdl_extension(ir::Hdl hdl);

@@ -1,11 +1,13 @@
 #include "codegen/verilog.hpp"
 
-#include <sstream>
-
 #include "codegen/hdl_builder.hpp"
 #include "support/diagnostics.hpp"
 #include "support/strings.hpp"
 
+// Like the VHDL printer, this emitter appends into one pre-reserved
+// std::string rather than an std::ostringstream — emission is on the
+// per-module hot path and the stream's locale plumbing plus the per-line
+// spaces()/ljust() temporaries dominated its profile.
 namespace splice::codegen::verilog {
 
 namespace {
@@ -16,65 +18,85 @@ using ast::Module;
 using ast::Process;
 using ast::Stmt;
 
-std::string ljust(const std::string& s, std::size_t width) {
-  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
-}
+void append_indent(std::string& out, unsigned n) { out.append(n, ' '); }
 
-std::string spaces(unsigned n) { return std::string(n, ' '); }
-
-std::string render_expr(const Expr& e) {
+void append_expr(std::string& out, const Expr& e) {
   using K = Expr::Kind;
   switch (e.kind) {
     case K::SignalRef:
     case K::ConstRef:
     case K::Placeholder:
-      return e.name;
+      out += e.name;
+      return;
     case K::StateRef:
-      return str::to_upper(e.name);
+      out += str::to_upper(e.name);
+      return;
     case K::BitLit:
-      return e.value != 0 ? "1'b1" : "1'b0";
+      out += e.value != 0 ? "1'b1" : "1'b0";
+      return;
     case K::VectorLit:
-      return std::to_string(e.value);
+      out += std::to_string(e.value);
+      return;
     case K::ZeroVector:
-      return std::to_string(e.width) + "'d0";
+      out += std::to_string(e.width);
+      out += "'d0";
+      return;
     case K::Eq:
-      return render_expr(e.operands[0]) + " == " +
-             render_expr(e.operands[1]);
+      append_expr(out, e.operands[0]);
+      out += " == ";
+      append_expr(out, e.operands[1]);
+      return;
     case K::And: {
-      std::string out;
+      bool first = true;
       for (const auto& op : e.operands) {
-        if (!out.empty()) out += " && ";
-        out += render_expr(op);
+        if (!first) out += " && ";
+        first = false;
+        append_expr(out, op);
       }
-      return out;
+      return;
     }
     case K::Not:
-      return "!" + render_expr(e.operands[0]);
+      out.push_back('!');
+      append_expr(out, e.operands[0]);
+      return;
     case K::AnyBitSet:
-      return "|" + render_expr(e.operands[0]);
+      out.push_back('|');
+      append_expr(out, e.operands[0]);
+      return;
   }
   throw SpliceError("expression kind not renderable as a Verilog operand");
 }
 
-std::string render_target(const std::string& name, int index) {
-  if (index < 0) return name;
-  return name + "[" + std::to_string(index) + "]";
+void append_target(std::string& out, const std::string& name, int index) {
+  out += name;
+  if (index >= 0) {
+    out.push_back('[');
+    out += std::to_string(index);
+    out.push_back(']');
+  }
 }
 
 /// `blocking` selects "=" (combinational) over "<=" (clocked).
-std::string render_assign(const Stmt& s, bool blocking) {
-  const std::string op = blocking ? "= " : "<= ";
-  const std::string target = render_target(s.target, s.index);
-  return (s.pad != 0 ? ljust(target, s.pad) : target + " ") + op +
-         render_expr(s.rhs) + ";";
+void append_assign(std::string& out, const Stmt& s, bool blocking) {
+  const std::size_t start = out.size();
+  append_target(out, s.target, s.index);
+  if (s.pad != 0) {
+    const std::size_t len = out.size() - start;
+    if (len < s.pad) out.append(s.pad - len, ' ');
+  } else {
+    out.push_back(' ');
+  }
+  out += blocking ? "= " : "<= ";
+  append_expr(out, s.rhs);
+  out.push_back(';');
 }
 
-void print_stmt(std::ostream& os, const Stmt& s, unsigned ind,
-                bool blocking);
+void append_stmt(std::string& out, const Stmt& s, unsigned ind,
+                 bool blocking);
 
-void print_stmts(std::ostream& os, const std::vector<Stmt>& body,
-                 unsigned ind, bool blocking) {
-  for (const auto& s : body) print_stmt(os, s, ind, blocking);
+void append_stmts(std::string& out, const std::vector<Stmt>& body,
+                  unsigned ind, bool blocking) {
+  for (const auto& s : body) append_stmt(out, s, ind, blocking);
 }
 
 bool all_assigns(const std::vector<Stmt>& body) {
@@ -84,149 +106,237 @@ bool all_assigns(const std::vector<Stmt>& body) {
   return !body.empty();
 }
 
-void print_stmt(std::ostream& os, const Stmt& s, unsigned ind,
-                bool blocking) {
+void append_stmt(std::string& out, const Stmt& s, unsigned ind,
+                 bool blocking) {
   switch (s.kind) {
     case Stmt::Kind::Comment:
       for (const auto& line : s.text) {
-        os << spaces(ind) << "// " << line << "\n";
+        append_indent(out, ind);
+        out += "// ";
+        out += line;
+        out.push_back('\n');
       }
       return;
     case Stmt::Kind::Assign:
-      os << spaces(ind) << render_assign(s, blocking) << "\n";
+      append_indent(out, ind);
+      append_assign(out, s, blocking);
+      out.push_back('\n');
       return;
     case Stmt::Kind::If: {
-      const std::string cond = render_expr(s.cond);
       const bool compact = s.then_body.size() == 1 &&
                            s.then_body[0].kind == Stmt::Kind::Assign &&
                            s.else_body.size() == 1 &&
                            s.else_body[0].kind == Stmt::Kind::Assign;
       if (compact) {
-        const std::string head = "if (" + cond + ") ";
-        os << spaces(ind) << head << render_assign(s.then_body[0], blocking)
-           << "\n"
-           << spaces(ind) << ljust("else", head.size())
-           << render_assign(s.else_body[0], blocking) << "\n";
+        // The else keyword is padded to the width of "if (<cond>) " so the
+        // two assignments line up column-wise.
+        append_indent(out, ind);
+        const std::size_t head_start = out.size();
+        out += "if (";
+        append_expr(out, s.cond);
+        out += ") ";
+        const std::size_t head_len = out.size() - head_start;
+        append_assign(out, s.then_body[0], blocking);
+        out.push_back('\n');
+        append_indent(out, ind);
+        out += "else";
+        if (head_len > 4) out.append(head_len - 4, ' ');
+        append_assign(out, s.else_body[0], blocking);
+        out.push_back('\n');
         return;
       }
-      os << spaces(ind) << "if (" << cond << ") begin\n";
-      print_stmts(os, s.then_body, ind + 4, blocking);
+      append_indent(out, ind);
+      out += "if (";
+      append_expr(out, s.cond);
+      out += ") begin\n";
+      append_stmts(out, s.then_body, ind + 4, blocking);
       if (!s.else_body.empty()) {
-        os << spaces(ind) << "end else begin\n";
-        print_stmts(os, s.else_body, ind + 4, blocking);
+        append_indent(out, ind);
+        out += "end else begin\n";
+        append_stmts(out, s.else_body, ind + 4, blocking);
       }
-      os << spaces(ind) << "end\n";
+      append_indent(out, ind);
+      out += "end\n";
       return;
     }
     case Stmt::Kind::Case: {
-      os << spaces(ind) << "case (" << render_expr(s.selector) << ")\n";
+      append_indent(out, ind);
+      out += "case (";
+      append_expr(out, s.selector);
+      out += ")\n";
       for (const CaseArm& arm : s.arms) {
         if (!arm.comment.empty()) {
-          os << spaces(ind + 4) << "// " << arm.comment << "\n";
+          append_indent(out, ind + 4);
+          out += "// ";
+          out += arm.comment;
+          out.push_back('\n');
         }
-        const std::string label =
-            arm.label ? render_expr(*arm.label) : std::string("default");
-        if (all_assigns(arm.body)) {
-          os << spaces(ind + 4) << label << ": begin";
-          for (const auto& a : arm.body) {
-            os << " " << render_assign(a, blocking);
-          }
-          os << " end\n";
+        append_indent(out, ind + 4);
+        if (arm.label) {
+          append_expr(out, *arm.label);
         } else {
-          os << spaces(ind + 4) << label << ": begin\n";
-          print_stmts(os, arm.body, ind + 8, blocking);
-          os << spaces(ind + 4) << "end\n";
+          out += "default";
+        }
+        if (all_assigns(arm.body)) {
+          out += ": begin";
+          for (const auto& a : arm.body) {
+            out.push_back(' ');
+            append_assign(out, a, blocking);
+          }
+          out += " end\n";
+        } else {
+          out += ": begin\n";
+          append_stmts(out, arm.body, ind + 8, blocking);
+          append_indent(out, ind + 4);
+          out += "end\n";
         }
       }
-      os << spaces(ind) << "endcase\n";
+      append_indent(out, ind);
+      out += "endcase\n";
       return;
     }
   }
 }
 
-std::string header_comment(const Module& m) {
-  const std::string rule = "//" + std::string(60, '-');
-  std::ostringstream os;
-  os << rule << "\n";
-  for (const auto& line : m.banner) os << "// " << line << "\n";
-  os << rule << "\n\n";
-  return os.str();
+void append_rule(std::string& out) {
+  out += "//";
+  out.append(60, '-');
 }
 
-std::string print_ports(const Module& m) {
-  std::ostringstream os;
+void append_header_comment(std::string& out, const Module& m) {
+  append_rule(out);
+  out.push_back('\n');
+  for (const auto& line : m.banner) {
+    out += "// ";
+    out += line;
+    out.push_back('\n');
+  }
+  append_rule(out);
+  out += "\n\n";
+}
+
+void append_ports(std::string& out, const Module& m) {
   for (std::size_t i = 0; i < m.ports.size(); ++i) {
     const ast::Port& p = m.ports[i];
-    os << "    "
-       << (p.is_input ? "input  wire "
-                      : (p.reg ? "output reg  " : "output wire "))
-       << vec(p.width) << p.name << (i + 1 < m.ports.size() ? "," : "")
-       << "\n";
+    out += "    ";
+    out += p.is_input ? "input  wire "
+                      : (p.reg ? "output reg  " : "output wire ");
+    out += vec(p.width);
+    out += p.name;
+    if (i + 1 < m.ports.size()) out.push_back(',');
+    out.push_back('\n');
   }
-  return os.str();
 }
 
-std::string print_decls(const Module& m) {
-  std::ostringstream os;
+void append_decls(std::string& out, const Module& m) {
   for (const auto& c : m.constants) {
-    os << "    localparam " << c.name << " = " << c.value << ";\n";
+    out += "    localparam ";
+    out += c.name;
+    out += " = ";
+    out += std::to_string(c.value);
+    out += ";\n";
   }
   if (m.fsm) {
     for (std::size_t i = 0; i < m.fsm->states.size(); ++i) {
-      os << "    localparam " << str::to_upper(m.fsm->states[i]) << " = "
-         << i << ";\n";
+      out += "    localparam ";
+      out += str::to_upper(m.fsm->states[i]);
+      out += " = ";
+      out += std::to_string(i);
+      out += ";\n";
     }
-    os << "    reg " << vec(m.fsm->state_width)
-       << "cur_state, next_state;\n";
+    out += "    reg ";
+    out += vec(m.fsm->state_width);
+    out += "cur_state, next_state;\n";
   }
   for (const auto& s : m.signals) {
-    os << "    " << (s.is_reg ? "reg " : "wire ") << vec(s.width)
-       << str::join(s.names, ", ") << ";";
-    if (!s.purpose.empty()) os << " // " << s.purpose;
-    os << "\n";
+    out += "    ";
+    out += s.is_reg ? "reg " : "wire ";
+    out += vec(s.width);
+    out += str::join(s.names, ", ");
+    out.push_back(';');
+    if (!s.purpose.empty()) {
+      out += " // ";
+      out += s.purpose;
+    }
+    out.push_back('\n');
   }
-  return os.str();
 }
 
-std::string print_process(const Process& p) {
-  std::ostringstream os;
-  for (const auto& line : p.comment) os << "    // " << line << "\n";
+void append_process(std::string& out, const Process& p) {
+  for (const auto& line : p.comment) {
+    out += "    // ";
+    out += line;
+    out.push_back('\n');
+  }
   const bool clocked = p.kind == Process::Kind::Clocked;
   if (clocked) {
-    os << "    always @(posedge " << p.clock << ") begin\n";
+    out += "    always @(posedge ";
+    out += p.clock;
+    out += ") begin\n";
   } else {
-    os << "    always @(*) begin\n";
+    out += "    always @(*) begin\n";
   }
-  print_stmts(os, p.body, 8, /*blocking=*/!clocked);
-  os << "    end\n";
-  return os.str();
+  append_stmts(out, p.body, 8, /*blocking=*/!clocked);
+  out += "    end\n";
 }
 
-std::string print_instance(const ast::Instance& inst) {
-  std::ostringstream os;
-  os << "    " << inst.module << " " << inst.label << " (\n";
+void append_instance(std::string& out, const ast::Instance& inst) {
+  out += "    ";
+  out += inst.module;
+  out.push_back(' ');
+  out += inst.label;
+  out += " (\n";
   for (std::size_t i = 0; i < inst.groups.size(); ++i) {
-    std::vector<std::string> conns;
+    out += "        ";
+    bool first = true;
     for (const auto& c : inst.groups[i]) {
-      conns.push_back("." + c.port + "(" + c.signal + ")");
+      if (!first) out += ", ";
+      first = false;
+      out.push_back('.');
+      out += c.port;
+      out.push_back('(');
+      out += c.signal;
+      out.push_back(')');
     }
-    os << "        " << str::join(conns, ", ")
-       << (i + 1 < inst.groups.size() ? "," : "") << "\n";
+    if (i + 1 < inst.groups.size()) out.push_back(',');
+    out.push_back('\n');
   }
-  os << "    );\n";
-  return os.str();
+  out += "    );\n";
 }
 
-std::string print_cont_assign_group(const ast::ContAssignGroup& g) {
-  std::ostringstream os;
-  for (const auto& line : g.comment) os << "    // " << line << "\n";
-  for (const auto& a : g.assigns) {
-    os << "    assign " << render_target(a.target, a.index) << " = "
-       << render_expr(a.rhs) << ";";
-    if (!a.trailing_comment.empty()) os << " // " << a.trailing_comment;
-    os << "\n";
+void append_cont_assign_group(std::string& out,
+                              const ast::ContAssignGroup& g) {
+  for (const auto& line : g.comment) {
+    out += "    // ";
+    out += line;
+    out.push_back('\n');
   }
-  return os.str();
+  for (const auto& a : g.assigns) {
+    out += "    assign ";
+    append_target(out, a.target, a.index);
+    out += " = ";
+    append_expr(out, a.rhs);
+    out.push_back(';');
+    if (!a.trailing_comment.empty()) {
+      out += " // ";
+      out += a.trailing_comment;
+    }
+    out.push_back('\n');
+  }
+}
+
+/// Rough per-node buffer estimate so print_module usually allocates once.
+std::size_t estimate_size(const Module& m) {
+  std::size_t est = 1024;
+  est += m.banner.size() * 80;
+  est += m.ports.size() * 64;
+  est += m.constants.size() * 48;
+  est += m.signals.size() * 96;
+  est += m.instances.size() * 512;
+  est += m.processes.size() * 1024;
+  est += m.cont_assigns.size() * 256;
+  if (m.fsm) est += 64 + m.fsm->states.size() * 32;
+  return est;
 }
 
 }  // namespace
@@ -237,26 +347,39 @@ std::string vec(unsigned width) {
 }
 
 std::string print_module(const Module& m) {
-  std::ostringstream os;
-  os << header_comment(m);
-  os << "module " << m.name << " (\n" << print_ports(m) << ");\n\n";
-  const std::string decls = print_decls(m);
-  if (!decls.empty()) os << decls << "\n";
+  std::string out;
+  out.reserve(estimate_size(m));
+  append_header_comment(out, m);
+  out += "module ";
+  out += m.name;
+  out += " (\n";
+  append_ports(out, m);
+  out += ");\n\n";
+  const std::size_t decls_start = out.size();
+  append_decls(out, m);
+  if (out.size() != decls_start) out.push_back('\n');
 
-  std::vector<std::string> items;
+  // Instance block (if any) and each process are separated by one blank
+  // line, matching the historical str::join(items, "\n") layout.
+  bool first_item = true;
+  auto separate = [&] {
+    if (!first_item) out.push_back('\n');
+    first_item = false;
+  };
   if (!m.instances.empty()) {
-    std::string block;
-    for (const auto& inst : m.instances) block += print_instance(inst);
-    items.push_back(std::move(block));
+    separate();
+    for (const auto& inst : m.instances) append_instance(out, inst);
   }
-  for (const auto& p : m.processes) items.push_back(print_process(p));
-  os << str::join(items, "\n");
+  for (const auto& p : m.processes) {
+    separate();
+    append_process(out, p);
+  }
   if (!m.cont_assigns.empty()) {
-    os << "\n";
-    for (const auto& g : m.cont_assigns) os << print_cont_assign_group(g);
+    out.push_back('\n');
+    for (const auto& g : m.cont_assigns) append_cont_assign_group(out, g);
   }
-  os << "endmodule\n";
-  return os.str();
+  out += "endmodule\n";
+  return out;
 }
 
 std::string emit_stub_file(const ir::FunctionDecl& fn,

@@ -1,11 +1,13 @@
 #include "codegen/vhdl.hpp"
 
-#include <sstream>
-
 #include "codegen/hdl_builder.hpp"
 #include "support/diagnostics.hpp"
 #include "support/strings.hpp"
 
+// Emission is a hot path (every module prints once per compile, twice per
+// template-macro expansion), so this printer appends into one pre-reserved
+// std::string instead of streaming through std::ostringstream: no locale
+// machinery, no per-line temporary indent strings, one growing buffer.
 namespace splice::codegen::vhdl {
 
 namespace {
@@ -16,46 +18,58 @@ using ast::Module;
 using ast::Process;
 using ast::Stmt;
 
-std::string ljust(const std::string& s, std::size_t width) {
-  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+void append_ljust(std::string& out, const std::string& s, std::size_t width) {
+  out += s;
+  if (s.size() < width) out.append(width - s.size(), ' ');
 }
 
-std::string spaces(unsigned n) { return std::string(n, ' '); }
+void append_indent(std::string& out, unsigned n) { out.append(n, ' '); }
 
-std::string bit_string(std::uint64_t value, unsigned width) {
-  std::string bits;
+void append_bit_string(std::string& out, std::uint64_t value,
+                       unsigned width) {
+  out.push_back('"');
   for (unsigned i = width; i-- > 0;) {
-    bits += ((value >> i) & 1) != 0 ? '1' : '0';
+    out.push_back(((value >> i) & 1) != 0 ? '1' : '0');
   }
-  return "\"" + bits + "\"";
+  out.push_back('"');
 }
 
-std::string render_expr(const Expr& e) {
+void append_expr(std::string& out, const Expr& e) {
   using K = Expr::Kind;
   switch (e.kind) {
     case K::SignalRef:
     case K::ConstRef:
     case K::StateRef:
     case K::Placeholder:
-      return e.name;
+      out += e.name;
+      return;
     case K::BitLit:
-      return e.value != 0 ? "'1'" : "'0'";
+      out += e.value != 0 ? "'1'" : "'0'";
+      return;
     case K::VectorLit:
-      return bit_string(e.value, e.width);
+      append_bit_string(out, e.value, e.width);
+      return;
     case K::ZeroVector:
-      return "(others => '0')";
+      out += "(others => '0')";
+      return;
     case K::Eq:
-      return render_expr(e.operands[0]) + " = " + render_expr(e.operands[1]);
+      append_expr(out, e.operands[0]);
+      out += " = ";
+      append_expr(out, e.operands[1]);
+      return;
     case K::And: {
-      std::string out;
+      bool first = true;
       for (const auto& op : e.operands) {
-        if (!out.empty()) out += " and ";
-        out += render_expr(op);
+        if (!first) out += " and ";
+        first = false;
+        append_expr(out, op);
       }
-      return out;
+      return;
     }
     case K::Not:
-      return "not " + render_expr(e.operands[0]);
+      out += "not ";
+      append_expr(out, e.operands[0]);
+      return;
     case K::AnyBitSet:
       // Only legal as a full assignment right-hand side ("'1' when ...").
       break;
@@ -63,133 +77,302 @@ std::string render_expr(const Expr& e) {
   throw SpliceError("expression kind not renderable as a VHDL operand");
 }
 
-std::string render_target(const std::string& name, int index) {
-  if (index < 0) return name;
-  return name + "(" + std::to_string(index) + ")";
+void append_target(std::string& out, const std::string& name, int index) {
+  out += name;
+  if (index >= 0) {
+    out.push_back('(');
+    out += std::to_string(index);
+    out.push_back(')');
+  }
 }
 
 /// Right-hand side in assignment position; AnyBitSet becomes the
 /// conditional-assignment idiom.
-std::string render_rhs(const Expr& e) {
+void append_rhs(std::string& out, const Expr& e) {
   if (e.kind == Expr::Kind::AnyBitSet) {
-    return "'1' when " + render_expr(e.operands[0]) + " /= 0 else '0'";
+    out += "'1' when ";
+    append_expr(out, e.operands[0]);
+    out += " /= 0 else '0'";
+    return;
   }
-  return render_expr(e);
+  append_expr(out, e);
 }
 
-std::string render_assign(const Stmt& s) {
-  return render_target(s.target, s.index) + " <= " + render_rhs(s.rhs) + ";";
+void append_assign(std::string& out, const Stmt& s) {
+  append_target(out, s.target, s.index);
+  out += " <= ";
+  append_rhs(out, s.rhs);
+  out.push_back(';');
 }
 
-void print_stmt(std::ostream& os, const Stmt& s, unsigned ind);
+void append_stmt(std::string& out, const Stmt& s, unsigned ind);
 
-void print_stmts(std::ostream& os, const std::vector<Stmt>& body,
-                 unsigned ind) {
-  for (const auto& s : body) print_stmt(os, s, ind);
+void append_stmts(std::string& out, const std::vector<Stmt>& body,
+                  unsigned ind) {
+  for (const auto& s : body) append_stmt(out, s, ind);
 }
 
-void print_stmt(std::ostream& os, const Stmt& s, unsigned ind) {
+void append_stmt(std::string& out, const Stmt& s, unsigned ind) {
   switch (s.kind) {
     case Stmt::Kind::Comment:
       for (const auto& line : s.text) {
-        os << spaces(ind) << "-- " << line << "\n";
+        append_indent(out, ind);
+        out += "-- ";
+        out += line;
+        out.push_back('\n');
       }
       return;
     case Stmt::Kind::Assign:
-      os << spaces(ind) << render_assign(s) << "\n";
+      append_indent(out, ind);
+      append_assign(out, s);
+      out.push_back('\n');
       return;
     case Stmt::Kind::If:
-      os << spaces(ind) << "if (" << render_expr(s.cond) << ") then\n";
-      print_stmts(os, s.then_body, ind + 4);
+      append_indent(out, ind);
+      out += "if (";
+      append_expr(out, s.cond);
+      out += ") then\n";
+      append_stmts(out, s.then_body, ind + 4);
       if (!s.else_body.empty()) {
-        os << spaces(ind) << "else\n";
-        print_stmts(os, s.else_body, ind + 4);
+        append_indent(out, ind);
+        out += "else\n";
+        append_stmts(out, s.else_body, ind + 4);
       }
-      os << spaces(ind) << "end if;\n";
+      append_indent(out, ind);
+      out += "end if;\n";
       return;
     case Stmt::Kind::Case: {
-      os << spaces(ind) << "case (" << render_expr(s.selector) << ") is\n";
+      append_indent(out, ind);
+      out += "case (";
+      append_expr(out, s.selector);
+      out += ") is\n";
       for (const CaseArm& arm : s.arms) {
         if (!arm.comment.empty()) {
-          os << spaces(ind + 4) << "-- " << arm.comment << "\n";
+          append_indent(out, ind + 4);
+          out += "-- ";
+          out += arm.comment;
+          out.push_back('\n');
         }
-        const std::string label =
-            arm.label ? render_expr(*arm.label) : std::string("others");
+        append_indent(out, ind + 4);
+        out += "when ";
+        if (arm.label) {
+          append_expr(out, *arm.label);
+        } else {
+          out += "others";
+        }
         const bool inline_arm =
             arm.body.size() == 1 && arm.body[0].kind == Stmt::Kind::Assign;
         if (inline_arm) {
-          os << spaces(ind + 4) << "when " << label << " => "
-             << render_assign(arm.body[0]) << "\n";
+          out += " => ";
+          append_assign(out, arm.body[0]);
+          out.push_back('\n');
         } else {
-          os << spaces(ind + 4) << "when " << label << " =>\n";
-          print_stmts(os, arm.body, ind + 8);
+          out += " =>\n";
+          append_stmts(out, arm.body, ind + 8);
         }
       }
-      os << spaces(ind) << "end case;\n";
+      append_indent(out, ind);
+      out += "end case;\n";
       return;
     }
   }
 }
 
-std::string header_comment(const Module& m) {
-  const std::string rule(62, '-');
-  std::ostringstream os;
-  os << rule << "\n";
-  for (const auto& line : m.banner) os << "-- " << line << "\n";
-  os << rule << "\n"
-     << "library IEEE;\n"
-     << "use IEEE.STD_LOGIC_1164.ALL;\n"
-     << "use IEEE.STD_LOGIC_UNSIGNED.ALL;\n\n";
-  return os.str();
+void append_header_comment(std::string& out, const Module& m) {
+  out.append(62, '-');
+  out.push_back('\n');
+  for (const auto& line : m.banner) {
+    out += "-- ";
+    out += line;
+    out.push_back('\n');
+  }
+  out.append(62, '-');
+  out += "\n"
+         "library IEEE;\n"
+         "use IEEE.STD_LOGIC_1164.ALL;\n"
+         "use IEEE.STD_LOGIC_UNSIGNED.ALL;\n\n";
 }
 
-std::string print_ports(const Module& m) {
-  std::ostringstream os;
+void append_ports(std::string& out, const Module& m) {
   for (std::size_t i = 0; i < m.ports.size(); ++i) {
     const ast::Port& p = m.ports[i];
-    os << "        " << ljust(p.name, 15) << ": "
-       << (p.is_input ? "in  " : "out ") << slv(p.width)
-       << (i + 1 < m.ports.size() ? ";" : "") << "\n";
+    out += "        ";
+    append_ljust(out, p.name, 15);
+    out += ": ";
+    out += p.is_input ? "in  " : "out ";
+    out += slv(p.width);
+    if (i + 1 < m.ports.size()) out.push_back(';');
+    out.push_back('\n');
   }
-  return os.str();
 }
 
-std::string print_components(const Module& m) {
-  std::ostringstream os;
+void append_components(std::string& out, const Module& m) {
   for (const auto& comp : m.components) {
-    os << "    component " << comp.module << "\n"
-       << "        port (\n";
+    out += "    component ";
+    out += comp.module;
+    out += "\n        port (\n";
     for (std::size_t i = 0; i < comp.groups.size(); ++i) {
       const ast::ComponentGroup& g = comp.groups[i];
-      os << "            ";
+      out += "            ";
       if (g.names.size() > 1) {
-        os << str::join(g.names, ", ") << " : "
-           << (g.is_input ? "in" : "out") << " " << slv(g.width);
+        out += str::join(g.names, ", ");
+        out += " : ";
+        out += g.is_input ? "in" : "out";
+        out.push_back(' ');
+        out += slv(g.width);
       } else {
-        os << ljust(g.names.front(), 9) << ": "
-           << (g.is_input ? "in  " : "out ") << slv(g.width);
+        append_ljust(out, g.names.front(), 9);
+        out += ": ";
+        out += g.is_input ? "in  " : "out ";
+        out += slv(g.width);
       }
-      os << (i + 1 < comp.groups.size() ? ";" : "") << "\n";
+      if (i + 1 < comp.groups.size()) out.push_back(';');
+      out.push_back('\n');
     }
-    os << "        );\n"
-       << "    end component;\n";
+    out += "        );\n"
+           "    end component;\n";
   }
-  return os.str();
 }
 
-std::string print_instance(const ast::Instance& inst) {
-  std::ostringstream os;
-  os << "    " << inst.label << ": " << inst.module << " port map (\n";
+void append_instance(std::string& out, const ast::Instance& inst) {
+  out += "    ";
+  out += inst.label;
+  out += ": ";
+  out += inst.module;
+  out += " port map (\n";
   for (std::size_t i = 0; i < inst.groups.size(); ++i) {
-    std::vector<std::string> conns;
+    out += "        ";
+    bool first = true;
     for (const auto& c : inst.groups[i]) {
-      conns.push_back(c.port + " => " + c.signal);
+      if (!first) out += ", ";
+      first = false;
+      out += c.port;
+      out += " => ";
+      out += c.signal;
     }
-    os << "        " << str::join(conns, ", ")
-       << (i + 1 < inst.groups.size() ? "," : "") << "\n";
+    if (i + 1 < inst.groups.size()) out.push_back(',');
+    out.push_back('\n');
   }
-  os << "    );\n";
-  return os.str();
+  out += "    );\n";
+}
+
+void append_constants(std::string& out, const Module& m) {
+  if (!m.const_comment.empty()) {
+    out += "    -- ";
+    out += m.const_comment;
+    out.push_back('\n');
+  }
+  for (const auto& c : m.constants) {
+    if (c.width != 0) {
+      out += "    constant ";
+      out += c.name;
+      out += " : ";
+      out += slv(c.width);
+      out += " := ";
+      append_bit_string(out, c.value, c.width);
+      out += ";\n";
+    } else {
+      out += "    constant ";
+      out += c.name;
+      out += " : integer := ";
+      out += std::to_string(c.value);
+      out += ";\n";
+    }
+  }
+}
+
+void append_signal_decls(std::string& out, const Module& m) {
+  if (m.fsm) {
+    if (!m.fsm->comment.empty()) {
+      out += "    -- ";
+      out += m.fsm->comment;
+      out.push_back('\n');
+    }
+    out += "    type state_type is (";
+    out += str::join(m.fsm->states, ", ");
+    out += ");\n"
+           "    signal cur_state, next_state : state_type;\n";
+  }
+  if (!m.signal_comment.empty()) {
+    out += "    -- ";
+    out += m.signal_comment;
+    out.push_back('\n');
+  }
+  for (const auto& s : m.signals) {
+    out += "    signal ";
+    out += str::join(s.names, ", ");
+    out += " : ";
+    out += slv(s.width);
+    out.push_back(';');
+    if (!s.purpose.empty()) {
+      out += " -- ";
+      out += s.purpose;
+    }
+    out.push_back('\n');
+  }
+}
+
+void append_process(std::string& out, const Process& p) {
+  for (const auto& line : p.comment) {
+    out += "    -- ";
+    out += line;
+    out.push_back('\n');
+  }
+  const bool clocked = p.kind == Process::Kind::Clocked;
+  out += "    ";
+  out += p.label;
+  out += ": process (";
+  out += clocked ? p.clock : str::join(p.sensitivity, ", ");
+  out += ")\n"
+         "    begin\n";
+  if (clocked) {
+    out += "        if (";
+    out += p.clock;
+    out += " = '1' and ";
+    out += p.clock;
+    out += "'EVENT) then\n";
+    append_stmts(out, p.body, 12);
+    out += "        end if;\n";
+  } else {
+    append_stmts(out, p.body, 8);
+  }
+  out += "    end process;\n";
+}
+
+void append_cont_assign_group(std::string& out,
+                              const ast::ContAssignGroup& g) {
+  for (const auto& line : g.comment) {
+    out += "    -- ";
+    out += line;
+    out.push_back('\n');
+  }
+  for (const auto& a : g.assigns) {
+    out += "    ";
+    append_target(out, a.target, a.index);
+    out += " <= ";
+    append_rhs(out, a.rhs);
+    out.push_back(';');
+    if (!a.trailing_comment.empty()) {
+      out += " -- ";
+      out += a.trailing_comment;
+    }
+    out.push_back('\n');
+  }
+}
+
+/// Rough per-node buffer estimate so print_module usually allocates once.
+std::size_t estimate_size(const Module& m) {
+  std::size_t est = 1024;
+  est += m.banner.size() * 80;
+  est += m.ports.size() * 64;
+  est += m.constants.size() * 64;
+  est += m.signals.size() * 96;
+  est += m.components.size() * 512;
+  est += m.instances.size() * 512;
+  est += m.processes.size() * 1024;
+  est += m.cont_assigns.size() * 256;
+  if (m.fsm) est += 128 + m.fsm->states.size() * 16;
+  return est;
 }
 
 }  // namespace
@@ -200,99 +383,82 @@ std::string slv(unsigned width) {
 }
 
 std::string print_constants(const Module& m) {
-  std::ostringstream os;
-  if (!m.const_comment.empty()) {
-    os << "    -- " << m.const_comment << "\n";
-  }
-  for (const auto& c : m.constants) {
-    if (c.width != 0) {
-      os << "    constant " << c.name << " : " << slv(c.width)
-         << " := " << bit_string(c.value, c.width) << ";\n";
-    } else {
-      os << "    constant " << c.name << " : integer := " << c.value
-         << ";\n";
-    }
-  }
-  return os.str();
+  std::string out;
+  out.reserve(64 + m.constants.size() * 64);
+  append_constants(out, m);
+  return out;
 }
 
 std::string print_signal_decls(const Module& m) {
-  std::ostringstream os;
-  if (m.fsm) {
-    if (!m.fsm->comment.empty()) os << "    -- " << m.fsm->comment << "\n";
-    os << "    type state_type is (" << str::join(m.fsm->states, ", ")
-       << ");\n"
-       << "    signal cur_state, next_state : state_type;\n";
-  }
-  if (!m.signal_comment.empty()) {
-    os << "    -- " << m.signal_comment << "\n";
-  }
-  for (const auto& s : m.signals) {
-    os << "    signal " << str::join(s.names, ", ") << " : " << slv(s.width)
-       << ";";
-    if (!s.purpose.empty()) os << " -- " << s.purpose;
-    os << "\n";
-  }
-  return os.str();
+  std::string out;
+  out.reserve(128 + m.signals.size() * 96);
+  append_signal_decls(out, m);
+  return out;
 }
 
 std::string print_process(const Process& p) {
-  std::ostringstream os;
-  for (const auto& line : p.comment) os << "    -- " << line << "\n";
-  const bool clocked = p.kind == Process::Kind::Clocked;
-  os << "    " << p.label << ": process ("
-     << (clocked ? p.clock : str::join(p.sensitivity, ", ")) << ")\n"
-     << "    begin\n";
-  if (clocked) {
-    os << "        if (" << p.clock << " = '1' and " << p.clock
-       << "'EVENT) then\n";
-    print_stmts(os, p.body, 12);
-    os << "        end if;\n";
-  } else {
-    print_stmts(os, p.body, 8);
-  }
-  os << "    end process;\n";
-  return os.str();
+  std::string out;
+  out.reserve(1024);
+  append_process(out, p);
+  return out;
 }
 
 std::string print_cont_assign_group(const ast::ContAssignGroup& g) {
-  std::ostringstream os;
-  for (const auto& line : g.comment) os << "    -- " << line << "\n";
-  for (const auto& a : g.assigns) {
-    os << "    " << render_target(a.target, a.index) << " <= "
-       << render_rhs(a.rhs) << ";";
-    if (!a.trailing_comment.empty()) os << " -- " << a.trailing_comment;
-    os << "\n";
-  }
-  return os.str();
+  std::string out;
+  out.reserve(128 + g.assigns.size() * 64);
+  append_cont_assign_group(out, g);
+  return out;
 }
 
 std::string print_module(const Module& m) {
-  std::ostringstream os;
-  os << header_comment(m);
-  os << "entity " << m.name << " is\n"
-     << "    port (\n"
-     << print_ports(m) << "    );\n"
-     << "end " << m.name << ";\n\n"
-     << "architecture " << m.arch_name << " of " << m.name << " is\n"
-     << print_constants(m);
-  if (!m.components.empty()) os << print_components(m) << "\n";
-  os << print_signal_decls(m) << "begin\n";
+  std::string out;
+  out.reserve(estimate_size(m));
+  append_header_comment(out, m);
+  out += "entity ";
+  out += m.name;
+  out += " is\n"
+         "    port (\n";
+  append_ports(out, m);
+  out += "    );\n"
+         "end ";
+  out += m.name;
+  out += ";\n\n"
+         "architecture ";
+  out += m.arch_name;
+  out += " of ";
+  out += m.name;
+  out += " is\n";
+  append_constants(out, m);
+  if (!m.components.empty()) {
+    append_components(out, m);
+    out.push_back('\n');
+  }
+  append_signal_decls(out, m);
+  out += "begin\n";
 
-  std::vector<std::string> items;
+  // Instance block (if any) and each process are separated by one blank
+  // line, matching the historical str::join(items, "\n") layout.
+  bool first_item = true;
+  auto separate = [&] {
+    if (!first_item) out.push_back('\n');
+    first_item = false;
+  };
   if (!m.instances.empty()) {
-    std::string block;
-    for (const auto& inst : m.instances) block += print_instance(inst);
-    items.push_back(std::move(block));
+    separate();
+    for (const auto& inst : m.instances) append_instance(out, inst);
   }
-  for (const auto& p : m.processes) items.push_back(print_process(p));
-  os << str::join(items, "\n");
+  for (const auto& p : m.processes) {
+    separate();
+    append_process(out, p);
+  }
   if (!m.cont_assigns.empty()) {
-    os << "\n";
-    for (const auto& g : m.cont_assigns) os << print_cont_assign_group(g);
+    out.push_back('\n');
+    for (const auto& g : m.cont_assigns) append_cont_assign_group(out, g);
   }
-  os << "end " << m.arch_name << ";\n";
-  return os.str();
+  out += "end ";
+  out += m.arch_name;
+  out += ";\n";
+  return out;
 }
 
 std::string emit_stub_file(const ir::FunctionDecl& fn,

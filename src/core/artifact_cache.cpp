@@ -1,0 +1,350 @@
+#include "core/artifact_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "support/digest64.hpp"
+#include "support/sha256.hpp"
+#include "support/strings.hpp"
+
+namespace splice {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kBlobMagic = "splice-cache 2";
+
+std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamsize size = in.tellg();
+  if (size < 0) return std::nullopt;
+  std::string out(static_cast<std::size_t>(size), '\0');
+  in.seekg(0);
+  in.read(out.data(), size);
+  if (!in) return std::nullopt;
+  return out;
+}
+
+bool write_file(const fs::path& p, std::string_view content) {
+  std::ofstream out(p, std::ios::binary);
+  if (!out) return false;
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  out.close();
+  return static_cast<bool>(out);
+}
+
+std::string sanitize_line(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+const codegen::GeneratedFile* ArtifactSet::find(
+    const std::string& filename) const {
+  for (const auto& f : hardware) {
+    if (f.filename == filename) return &f;
+  }
+  for (const auto& f : software) {
+    if (f.filename == filename) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ArtifactSet::filenames() const {
+  std::vector<std::string> out;
+  out.reserve(hardware.size() + software.size());
+  for (const auto& f : hardware) out.push_back(f.filename);
+  for (const auto& f : software) out.push_back(f.filename);
+  return out;
+}
+
+std::string ArtifactSet::write_to(const std::string& dir) const {
+  return codegen::write_file_set(device_name, hardware, software, dir);
+}
+
+std::string ArtifactCache::normalize_spec(std::string_view spec_text) {
+  std::string out;
+  out.reserve(spec_text.size());
+  std::size_t line_start = 0;
+  auto flush_line = [&](std::string_view line) {
+    std::size_t end = line.size();
+    while (end > 0 &&
+           (line[end - 1] == ' ' || line[end - 1] == '\t' ||
+            line[end - 1] == '\r')) {
+      --end;
+    }
+    out.append(line.substr(0, end));
+    out.push_back('\n');
+  };
+  for (std::size_t i = 0; i < spec_text.size(); ++i) {
+    if (spec_text[i] == '\n') {
+      flush_line(spec_text.substr(line_start, i - line_start));
+      line_start = i + 1;
+    }
+  }
+  if (line_start < spec_text.size()) {
+    flush_line(spec_text.substr(line_start));
+  }
+  while (str::ends_with(out, "\n\n")) out.pop_back();
+  return out;
+}
+
+std::string ArtifactCache::key_for(std::string_view spec_text,
+                                   std::string_view engine_config) {
+  support::Sha256 h;
+  h.update(kGeneratorVersion);
+  h.update("\0", 1);
+  h.update(engine_config);
+  h.update("\0", 1);
+  h.update(normalize_spec(spec_text));
+  return h.hex_digest();
+}
+
+std::optional<ArtifactSet> ArtifactCache::load(const std::string& key,
+                                               DiagnosticEngine& diags) {
+  const fs::path entry = fs::path(dir_) / key.substr(0, 2) / key;
+  auto miss = [&](bool corrupt) -> std::optional<ArtifactSet> {
+    if (corrupt) {
+      // Drop the unreadable entry so the regenerated store can replace it.
+      std::error_code ec;
+      fs::remove(entry, ec);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    if (corrupt) ++stats_.corrupt;
+    return std::nullopt;
+  };
+
+  const auto blob = read_file(entry);
+  if (!blob) return miss(false);  // plain miss: nothing stored under key
+  const std::string_view text(*blob);
+
+  ArtifactSet set;
+  struct PendingDiag {
+    Severity sev;
+    DiagId id;
+    SourceLoc loc;
+    std::string message;
+  };
+  std::vector<PendingDiag> replay;
+  struct PendingFile {
+    bool hardware;
+    std::size_t size;
+  };
+  std::vector<PendingFile> layout;
+  std::vector<codegen::GeneratedFile>* section = nullptr;
+  std::uint64_t expected_digest = 0;
+  bool saw_digest = false;
+
+  // Header: newline-separated keyword lines up to "end"; payload bytes
+  // follow immediately after.
+  std::size_t pos = 0;
+  std::size_t payload_start = std::string_view::npos;
+  bool first_line = true;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) return miss(true);
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (first_line) {
+      if (line != kBlobMagic) return miss(true);
+      first_line = false;
+      continue;
+    }
+    if (line == "end") {
+      payload_start = pos;
+      break;
+    }
+    const std::size_t sp = line.find(' ');
+    const std::string_view kw = line.substr(0, sp);
+    const std::string_view rest =
+        sp == std::string_view::npos ? std::string_view()
+                                     : line.substr(sp + 1);
+    if (kw == "generator") {
+      if (rest != kGeneratorVersion) return miss(true);
+    } else if (kw == "device") {
+      set.device_name = std::string(rest);
+    } else if (kw == "digest") {
+      const auto v = str::parse_hex(rest);
+      if (!v) return miss(true);
+      expected_digest = *v;
+      saw_digest = true;
+    } else if (kw == "diag") {
+      // diag <severity> <id> <line> <col> <message...>
+      const auto parts = str::split(std::string(rest), ' ');
+      if (parts.size() < 4) return miss(true);
+      const auto sev = str::parse_u64(parts[0]);
+      const auto id = str::parse_u64(parts[1]);
+      const auto dline = str::parse_u64(parts[2]);
+      const auto dcol = str::parse_u64(parts[3]);
+      if (!sev || *sev > 2 || !id || !dline || !dcol) return miss(true);
+      PendingDiag d{static_cast<Severity>(*sev),
+                    static_cast<DiagId>(*id),
+                    {static_cast<std::uint32_t>(*dline),
+                     static_cast<std::uint32_t>(*dcol)},
+                    {}};
+      std::size_t consumed = parts[0].size() + parts[1].size() +
+                             parts[2].size() + parts[3].size() + 4;
+      if (consumed <= rest.size()) {
+        d.message = std::string(rest.substr(consumed));
+      }
+      replay.push_back(std::move(d));
+    } else if (kw == "file") {
+      // file <H|S> <size> <filename>
+      const std::size_t sp2 = rest.find(' ');
+      if (sp2 == std::string_view::npos) return miss(true);
+      const std::size_t sp3 = rest.find(' ', sp2 + 1);
+      if (sp3 == std::string_view::npos) return miss(true);
+      const std::string_view tag = rest.substr(0, sp2);
+      const auto size = str::parse_u64(
+          std::string(rest.substr(sp2 + 1, sp3 - sp2 - 1)));
+      const std::string_view name = rest.substr(sp3 + 1);
+      if (!size || name.empty()) return miss(true);
+      if (tag == "H") {
+        section = &set.hardware;
+      } else if (tag == "S") {
+        section = &set.software;
+      } else {
+        return miss(true);
+      }
+      codegen::GeneratedFile f;
+      f.filename = std::string(name);
+      section->push_back(std::move(f));
+      layout.push_back({tag == "H", static_cast<std::size_t>(*size)});
+    } else if (kw == "purpose") {
+      if (section == nullptr || section->empty()) return miss(true);
+      section->back().purpose = std::string(rest);
+    } else {
+      return miss(true);
+    }
+  }
+  if (payload_start == std::string_view::npos || !saw_digest ||
+      set.device_name.empty()) {
+    return miss(true);
+  }
+
+  // Exact-size and digest check over the payload region, then slice it
+  // into the per-file contents in header order.
+  std::size_t total = 0;
+  for (const auto& pf : layout) total += pf.size;
+  const std::string_view payload = text.substr(payload_start);
+  if (payload.size() != total) return miss(true);
+  if (support::digest64(payload) != expected_digest) return miss(true);
+
+  std::size_t offset = 0;
+  std::size_t hw = 0, sw = 0;
+  for (const auto& pf : layout) {
+    auto& f = pf.hardware ? set.hardware[hw++] : set.software[sw++];
+    f.content.assign(payload.substr(offset, pf.size));
+    offset += pf.size;
+  }
+
+  for (auto& d : replay) {
+    diags.report(d.sev, d.id, std::move(d.message), d.loc);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  return set;
+}
+
+void ArtifactCache::store(const std::string& key, const ArtifactSet& set,
+                          const DiagnosticEngine& diags) {
+  const fs::path shard = fs::path(dir_) / key.substr(0, 2);
+  const fs::path entry = shard / key;
+  // Stage as a sibling temp file, then rename: concurrent stores of the
+  // same key race benignly (either complete entry wins).
+  const fs::path tmp = shard / (key + ".tmp");
+
+  std::error_code ec;
+  fs::create_directories(shard, ec);
+  if (ec) return;
+
+  std::size_t payload_bytes = 0;
+  for (const auto& f : set.hardware) payload_bytes += f.content.size();
+  for (const auto& f : set.software) payload_bytes += f.content.size();
+
+  std::string blob;
+  blob.reserve(payload_bytes + 1024);
+  blob.append(kBlobMagic).append("\n");
+  blob.append("generator ").append(kGeneratorVersion).append("\n");
+  blob.append("device ").append(sanitize_line(set.device_name));
+  blob.push_back('\n');
+  for (const auto& d : diags.all()) {
+    if (d.severity == Severity::Error) continue;
+    blob.append("diag ")
+        .append(std::to_string(static_cast<unsigned>(d.severity)))
+        .append(" ")
+        .append(std::to_string(static_cast<unsigned>(d.id)))
+        .append(" ")
+        .append(std::to_string(d.loc.line))
+        .append(" ")
+        .append(std::to_string(d.loc.column))
+        .append(" ")
+        .append(sanitize_line(d.message))
+        .append("\n");
+  }
+  auto add_section = [&](const std::vector<codegen::GeneratedFile>& files,
+                         const char* tag) -> bool {
+    for (const auto& f : files) {
+      if (f.filename.empty() ||
+          f.filename.find('\n') != std::string::npos ||
+          f.filename.find('/') != std::string::npos) {
+        return false;  // untrustworthy name; refuse to cache this set
+      }
+      blob.append("file ").append(tag).append(" ");
+      blob.append(std::to_string(f.content.size())).append(" ");
+      blob.append(f.filename).append("\n");
+      blob.append("purpose ").append(sanitize_line(f.purpose));
+      blob.push_back('\n');
+    }
+    return true;
+  };
+  if (!add_section(set.hardware, "H") || !add_section(set.software, "S")) {
+    return;
+  }
+
+  std::string payload;
+  payload.reserve(payload_bytes);
+  for (const auto& f : set.hardware) payload.append(f.content);
+  for (const auto& f : set.software) payload.append(f.content);
+  blob.append("digest ").append(hex16(support::digest64(payload)));
+  blob.append("\nend\n");
+  blob.append(payload);
+
+  if (!write_file(tmp, blob)) {
+    fs::remove(tmp, ec);
+    return;
+  }
+  fs::rename(tmp, entry, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace splice

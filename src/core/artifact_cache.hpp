@@ -1,0 +1,105 @@
+// Content-addressed artifact cache for the generation pipeline.
+//
+// Key derivation: SHA-256 over
+//     generator version \0 engine configuration \0 normalized spec text
+// The specification text carries every %directive (bus type, widths, HDL,
+// DMA/burst/IRQ flags ...), so target directives are part of the key by
+// construction; the engine configuration string covers knobs that live
+// outside the spec (today: the driver OS flavour).  Normalization is
+// deliberately conservative — CRLF -> LF and trailing-whitespace stripping
+// only — so two specs never alias unless they are byte-equal after
+// whitespace noise is removed.
+//
+// Entry layout under the cache directory: one blob file per entry,
+//     <key[0..1]>/<key>
+// holding a text header (generator version, device, replayable
+// diagnostics, one `file <H|S> <size> <name>` + `purpose ...` pair per
+// artifact, a payload digest) terminated by `end\n`, followed by the raw
+// payload bytes concatenated in header order.  A single file keeps a warm
+// hit at one open+read and a store at one write+rename; integrity is a
+// fast 64-bit digest over the payload region (support/digest64.hpp — the
+// key is cryptographic, the on-disk check only detects corruption).  Any
+// parse failure, size mismatch or digest mismatch marks the entry corrupt:
+// it is dropped and the compile falls back to full regeneration.  Cache
+// failures are never fatal — the cache may only ever make a build faster.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <mutex>
+
+#include "codegen/hwgen.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice {
+
+/// Bumped whenever emitters can produce different bytes for an unchanged
+/// spec; stale-by-version entries then simply miss.
+inline constexpr std::string_view kGeneratorVersion = "splice-gen-3";
+
+/// The materialized output of one compile: what the cache stores and what
+/// batch consumers need (no elaborated spec attached — a cache hit skips
+/// elaboration entirely).
+struct ArtifactSet {
+  std::string device_name;
+  std::vector<codegen::GeneratedFile> hardware;
+  std::vector<codegen::GeneratedFile> software;
+
+  [[nodiscard]] const codegen::GeneratedFile* find(
+      const std::string& filename) const;
+  /// All filenames, hardware first.
+  [[nodiscard]] std::vector<std::string> filenames() const;
+  /// Write every file under dir/<device_name>/; returns the directory used.
+  [[nodiscard]] std::string write_to(const std::string& dir) const;
+};
+
+/// Hit/miss counters surfaced by --gen-stats.  `corrupt` entries also count
+/// as misses (the compile regenerated).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t corrupt = 0;
+};
+
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(std::string dir) : dir_(std::move(dir)) {}
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// CRLF -> LF, strip trailing whitespace per line, drop trailing blank
+  /// lines.  Exposed for tests.
+  [[nodiscard]] static std::string normalize_spec(std::string_view spec_text);
+
+  /// 64-hex-char content key (see file comment for the derivation).
+  [[nodiscard]] static std::string key_for(std::string_view spec_text,
+                                           std::string_view engine_config);
+
+  /// Load the entry for `key`; nullopt on miss.  Corrupt entries are
+  /// dropped and reported as a miss.  Non-error diagnostics recorded at
+  /// store time (e.g. validation warnings) are replayed into `diags` so a
+  /// cached compile reports exactly what the original did.
+  [[nodiscard]] std::optional<ArtifactSet> load(const std::string& key,
+                                                DiagnosticEngine& diags);
+
+  /// Persist `set` under `key`, including `diags`' current non-error
+  /// diagnostics.  Callers pass the per-spec engine of the compile that
+  /// produced `set`.  I/O failures are swallowed: the entry is simply not
+  /// written.
+  void store(const std::string& key, const ArtifactSet& set,
+             const DiagnosticEngine& diags);
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  CacheStats stats_;
+};
+
+}  // namespace splice

@@ -1,8 +1,7 @@
 #include "core/splice.hpp"
 
-#include <filesystem>
-#include <fstream>
-#include <system_error>
+#include <memory>
+#include <utility>
 
 #include "codegen/hdl_builder.hpp"
 #include "codegen/hdl_lint.hpp"
@@ -30,30 +29,16 @@ std::vector<std::string> GeneratedArtifacts::filenames() const {
 }
 
 std::string GeneratedArtifacts::write_to(const std::string& dir) const {
-  namespace fs = std::filesystem;
-  const fs::path base = fs::path(dir) / spec.target.device_name;
-  std::error_code ec;
-  fs::create_directories(base, ec);
-  if (ec) {
-    throw SpliceError("cannot create output directory " + base.string() +
-                      ": " + ec.message());
-  }
-  auto write = [&](const codegen::GeneratedFile& f) {
-    const fs::path path = base / f.filename;
-    std::ofstream out(path);
-    if (!out) throw SpliceError("cannot write " + path.string());
-    out << f.content;
-    // A full disk or revoked permission often only surfaces when buffered
-    // data is flushed, so check again after the write and the close.
-    out.close();
-    if (!out) {
-      throw SpliceError("write failed for " + path.string() +
-                        " (disk full or file no longer writable?)");
-    }
-  };
-  for (const auto& f : hardware) write(f);
-  for (const auto& f : software) write(f);
-  return base.string();
+  return codegen::write_file_set(spec.target.device_name, hardware, software,
+                                 dir);
+}
+
+ArtifactSet GeneratedArtifacts::take_set() && {
+  ArtifactSet set;
+  set.device_name = spec.target.device_name;
+  set.hardware = std::move(hardware);
+  set.software = std::move(software);
+  return set;
 }
 
 std::optional<GeneratedArtifacts> Engine::generate(
@@ -80,54 +65,132 @@ std::optional<GeneratedArtifacts> Engine::generate(
   }
 
   // Parameter checking routine (§7.1.2): validates language rules and bus
-  // feasibility, assigns FUNC_IDs.
+  // feasibility, assigns FUNC_IDs.  Serial: it mutates the spec that every
+  // downstream job reads.
   if (!adapter->check_parameters(spec, diags)) return std::nullopt;
 
-  // AST lint: verify the hardware document model before anything renders.
-  // A finding here is a generator bug, not a user error, but refusing to
-  // proceed beats writing broken HDL (§3.2 spirit).
-  {
-    const codegen::ast::Dialect dialect =
-        spec.target.hdl == ir::Hdl::Vhdl ? codegen::ast::Dialect::Vhdl
-                                         : codegen::ast::Dialect::Verilog;
-    bool clean =
-        codegen::lint_module(codegen::build_arbiter_ast(spec, dialect), diags);
-    for (const auto& fn : spec.functions) {
-      clean &= codegen::lint_module(codegen::build_stub_ast(fn, spec, dialect),
-                                    diags);
+  const codegen::ast::Dialect dialect =
+      spec.target.hdl == ir::Hdl::Vhdl ? codegen::ast::Dialect::Vhdl
+                                       : codegen::ast::Dialect::Verilog;
+  const std::size_t nfn = spec.functions.size();
+
+  // Job layout — the index doubles as the canonical merge position:
+  //   [0]            arbitration unit (build + lint + print)
+  //   [1 .. nfn]     one user-logic stub per declaration
+  //   [nfn + 1]      native bus interface (adapter templates)
+  //   [nfn + 2]      software side (splice_lib.h + driver pair)
+  // Each job owns a private DiagnosticEngine; after the join the locals
+  // are merged in index order, so parallel diagnostics render exactly as
+  // the serial pass would (spec order is the CLI's job, module order and
+  // emission order are preserved here).
+  struct ModuleJob {
+    std::vector<codegen::GeneratedFile> files;
+    DiagnosticEngine diags;
+    bool lint_clean = true;
+  };
+  const std::size_t njobs = nfn + 3;
+  std::vector<ModuleJob> jobs(njobs);
+
+  auto run_job = [&](std::size_t i) {
+    ModuleJob& job = jobs[i];
+    if (i == 0) {
+      // Each AST is built once and feeds both the lint pass and the
+      // printer (the serial pipeline used to elaborate it twice).
+      codegen::ast::Module m = codegen::build_arbiter_ast(spec, dialect);
+      job.lint_clean = codegen::lint_module(m, job.diags);
+      if (!job.lint_clean) return;
+      job.files.push_back(codegen::render_arbiter_file(m, spec));
+    } else if (i <= nfn) {
+      const ir::FunctionDecl& fn = spec.functions[i - 1];
+      codegen::ast::Module m = codegen::build_stub_ast(fn, spec, dialect);
+      job.lint_clean = codegen::lint_module(m, job.diags);
+      if (!job.lint_clean) return;
+      job.files.push_back(codegen::render_stub_file(m, fn, spec));
+    } else if (i == nfn + 1) {
+      // Stage 1 (§5.1): native bus interface, via the adapter's marker
+      // loader and template expansion.  The engine is job-local: marker
+      // handlers are stateless closures over the shared read-only spec.
+      codegen::TemplateEngine engine = codegen::make_standard_engine();
+      adapter->load_markers(engine);
+      job.files = adapter->generate_interface(spec, engine, job.diags);
+    } else {
+      // Software side (ch. 6): per-bus macro library + driver pair.
+      job.files.push_back(
+          {"splice_lib.h", adapter->macro_library(spec, options_.driver_os),
+           "Implementation of software macros used to transfer data to and "
+           "from the device across the " + spec.target.bus_type +
+               " interface"});
+      drivergen::DriverSources drivers = drivergen::emit_driver_sources(spec);
+      job.files.push_back(
+          {drivers.source_filename, std::move(drivers.source),
+           "Contains software driver functions for each interface "
+           "declaration"});
+      job.files.push_back(
+          {drivers.header_filename, std::move(drivers.header),
+           "Listing of function prototypes for each driver"});
     }
-    if (!clean) return std::nullopt;
+  };
+
+  support::JobPool* pool = options_.pool;
+  std::unique_ptr<support::JobPool> ephemeral;
+  if (pool == nullptr && options_.jobs > 1) {
+    // jobs-1 workers: the calling thread participates, so the total
+    // concurrency equals the requested job count.
+    ephemeral = std::make_unique<support::JobPool>(options_.jobs - 1);
+    pool = ephemeral.get();
   }
+  support::parallel_for(pool, njobs, run_job);
+
+  // AST lint verdict first (§3.2 spirit: refuse to proceed on findings —
+  // a finding is a generator bug, not a user error, but refusing beats
+  // writing broken HDL).  Only lint diagnostics surface on failure, which
+  // is exactly what the serial lint-before-generate ordering reported.
+  bool lint_clean = true;
+  for (std::size_t i = 0; i <= nfn; ++i) lint_clean &= jobs[i].lint_clean;
+  if (!lint_clean) {
+    for (std::size_t i = 0; i <= nfn; ++i) diags.merge_from(jobs[i].diags);
+    return std::nullopt;
+  }
+
+  // Canonical merge: template/interface diagnostics after lint's (which
+  // are clean here), file order identical to the historical serial walk —
+  // interface files, arbiter, stubs, then software.
+  for (std::size_t i = 0; i < njobs; ++i) diags.merge_from(jobs[i].diags);
 
   GeneratedArtifacts artifacts;
-
-  // Stage 1 (§5.1): native bus interface, via the adapter's marker loader
-  // and template expansion.
-  codegen::TemplateEngine engine = codegen::make_standard_engine();
-  adapter->load_markers(engine);
-  artifacts.hardware = adapter->generate_interface(spec, engine, diags);
-
-  // Stages 2+3 (§5.2/§5.3): arbitration unit and user-logic stubs.
-  for (auto& f : codegen::generate_user_logic(spec)) {
-    artifacts.hardware.push_back(std::move(f));
+  artifacts.hardware = std::move(jobs[nfn + 1].files);
+  for (std::size_t i = 0; i <= nfn; ++i) {
+    for (auto& f : jobs[i].files) {
+      artifacts.hardware.push_back(std::move(f));
+    }
   }
-
-  // Software side (ch. 6): per-bus macro library + driver pair.
-  artifacts.software.push_back(
-      {"splice_lib.h", adapter->macro_library(spec, options_.driver_os),
-       "Implementation of software macros used to transfer data to and "
-       "from the device across the " + spec.target.bus_type + " interface"});
-  drivergen::DriverSources drivers = drivergen::emit_driver_sources(spec);
-  artifacts.software.push_back(
-      {drivers.source_filename, drivers.source,
-       "Contains software driver functions for each interface declaration"});
-  artifacts.software.push_back(
-      {drivers.header_filename, drivers.header,
-       "Listing of function prototypes for each driver"});
+  artifacts.software = std::move(jobs[nfn + 2].files);
 
   if (diags.has_errors()) return std::nullopt;
   artifacts.spec = std::move(spec);
   return artifacts;
+}
+
+std::string Engine::cache_config() const {
+  // Only knobs that change output bytes belong here; the worker count
+  // deliberately does not (parallel output is byte-identical by contract).
+  return options_.driver_os == drivergen::DriverOs::Linux ? "os=linux"
+                                                          : "os=baremetal";
+}
+
+std::optional<ArtifactSet> Engine::generate_cached(
+    std::string_view spec_text, DiagnosticEngine& diags,
+    ArtifactCache* cache) const {
+  std::string key;
+  if (cache != nullptr) {
+    key = ArtifactCache::key_for(spec_text, cache_config());
+    if (auto hit = cache->load(key, diags)) return hit;
+  }
+  auto generated = generate(spec_text, diags);
+  if (!generated) return std::nullopt;
+  ArtifactSet set = std::move(*generated).take_set();
+  if (cache != nullptr) cache->store(key, set, diags);
+  return set;
 }
 
 }  // namespace splice

@@ -8,6 +8,14 @@
 // The produced file set mirrors the thesis' Figures 8.3 (hardware) and
 // 8.7 (software): <bus>_interface.vhd, user_<device>.vhd, one
 // func_<name>.vhd per declaration, splice_lib.h, <device>_driver.c/.h.
+//
+// Generation is a parallel pipeline: after the serial frontend (parse,
+// adapter resolution, parameter check) each output module — the arbiter,
+// every function stub, the native bus interface, the software side — is an
+// independent job (build AST once, lint it, pretty-print it) fanned out
+// over a support::JobPool.  Results and diagnostics are merged in a fixed
+// canonical order, so the emitted bytes and the rendered diagnostics are
+// byte-identical to a serial run regardless of the worker count.
 #pragma once
 
 #include <optional>
@@ -16,10 +24,12 @@
 
 #include "adapters/registry.hpp"
 #include "codegen/hwgen.hpp"
+#include "core/artifact_cache.hpp"
 #include "drivergen/c_emitter.hpp"
 #include "drivergen/maclib.hpp"
 #include "ir/device.hpp"
 #include "support/diagnostics.hpp"
+#include "support/job_pool.hpp"
 
 namespace splice {
 
@@ -35,10 +45,21 @@ struct GeneratedArtifacts {
   /// Write every file under dir/<device_name>/ (the §3.2.3 rule that the
   /// device name creates a subdirectory).  Returns the directory used.
   std::string write_to(const std::string& dir) const;
+  /// Detach the file set (device name + files, no spec) — the shape the
+  /// artifact cache stores and batch consumers print from.
+  [[nodiscard]] ArtifactSet take_set() &&;
 };
 
 struct EngineOptions {
   drivergen::DriverOs driver_os = drivergen::DriverOs::BareMetal;
+  /// Worker threads for per-module generation.  1 = serial.  Ignored when
+  /// `pool` is set.
+  unsigned jobs = 1;
+  /// Optional shared scheduler (e.g. the CLI batch pool) so nested
+  /// per-spec/per-module fan-out stays bounded by one pool; the engine
+  /// does not own it.  Null with jobs > 1 spins up an ephemeral pool per
+  /// generate call.
+  support::JobPool* pool = nullptr;
 };
 
 class Engine {
@@ -56,6 +77,18 @@ class Engine {
   /// Generation from an already-parsed spec (validated in place).
   [[nodiscard]] std::optional<GeneratedArtifacts> generate(
       ir::DeviceSpec spec, DiagnosticEngine& diags) const;
+
+  /// Cache-aware generation: on a hit the frontend and elaboration are
+  /// skipped entirely and stored warnings are replayed; on a miss the spec
+  /// is compiled and the result stored.  `cache` may be null (plain
+  /// compile).  `diags` should be private to this spec so cached warnings
+  /// stay attributable.
+  [[nodiscard]] std::optional<ArtifactSet> generate_cached(
+      std::string_view spec_text, DiagnosticEngine& diags,
+      ArtifactCache* cache) const;
+
+  /// The part of the cache key that lives outside the spec text.
+  [[nodiscard]] std::string cache_config() const;
 
  private:
   const adapters::AdapterRegistry& registry_;

@@ -33,11 +33,31 @@ std::string Diagnostic::to_string() const {
 
 void DiagnosticEngine::report(Severity sev, DiagId id, std::string message,
                               SourceLoc loc) {
-  if (sev == Severity::Error) ++error_count_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sev == Severity::Error) {
+    error_count_.fetch_add(1, std::memory_order_release);
+  }
   diags_.push_back(Diagnostic{sev, id, std::move(message), loc});
 }
 
+void DiagnosticEngine::merge_from(const DiagnosticEngine& src) {
+  if (&src == this) return;
+  // Snapshot the source first so the two locks are never held together
+  // (merge_from(a, b) racing merge_from(b, a) must not deadlock).
+  std::vector<Diagnostic> copied;
+  std::size_t errors = 0;
+  {
+    std::lock_guard<std::mutex> lock(src.mu_);
+    copied = src.diags_;
+    errors = src.error_count_.load(std::memory_order_acquire);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  error_count_.fetch_add(errors, std::memory_order_release);
+  for (auto& d : copied) diags_.push_back(std::move(d));
+}
+
 bool DiagnosticEngine::contains(DiagId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& d : diags_) {
     if (d.id == id) return true;
   }
@@ -45,14 +65,16 @@ bool DiagnosticEngine::contains(DiagId id) const {
 }
 
 std::string DiagnosticEngine::render() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   for (const auto& d : diags_) os << d.to_string() << '\n';
   return os.str();
 }
 
 void DiagnosticEngine::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   diags_.clear();
-  error_count_ = 0;
+  error_count_.store(0, std::memory_order_release);
 }
 
 }  // namespace splice

@@ -5,7 +5,9 @@
 // the library API itself.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -101,8 +103,23 @@ struct Diagnostic {
 };
 
 /// Collects diagnostics during a frontend or generation pass.
+///
+/// Thread-safety: report()/error()/warning()/note(), merge_from(),
+/// has_errors() and error_count() may be called concurrently.  The parallel
+/// generation pipeline nevertheless gives each job its own private engine
+/// and merges them in a canonical order (spec input order, then module
+/// order, then emission order — which within a module follows source
+/// location), so a parallel run renders byte-for-byte the same report as a
+/// serial run; the locking only guards against a stray concurrent report
+/// corrupting the vector.  all()/render()/contains() take a snapshot under
+/// the same lock but return data that is only meaningfully ordered once the
+/// producing jobs have been joined.
 class DiagnosticEngine {
  public:
+  DiagnosticEngine() = default;
+  DiagnosticEngine(const DiagnosticEngine&) = delete;
+  DiagnosticEngine& operator=(const DiagnosticEngine&) = delete;
+
   void report(Severity sev, DiagId id, std::string message, SourceLoc loc = {});
   void error(DiagId id, std::string message, SourceLoc loc = {}) {
     report(Severity::Error, id, std::move(message), loc);
@@ -114,8 +131,19 @@ class DiagnosticEngine {
     report(Severity::Note, id, std::move(message), loc);
   }
 
-  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
-  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  /// Append every diagnostic collected by `src`, preserving its order.
+  /// The canonical merge discipline for parallel jobs: merge local engines
+  /// in spec-then-module order after joining, never share one engine.
+  void merge_from(const DiagnosticEngine& src);
+
+  [[nodiscard]] bool has_errors() const {
+    return error_count_.load(std::memory_order_acquire) > 0;
+  }
+  [[nodiscard]] std::size_t error_count() const {
+    return error_count_.load(std::memory_order_acquire);
+  }
+  /// Direct view of the collected diagnostics.  Only valid once every
+  /// thread that may report here has been joined.
   [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
   [[nodiscard]] bool contains(DiagId id) const;
   /// Render every diagnostic, one per line (the CLI-style report).
@@ -123,8 +151,9 @@ class DiagnosticEngine {
   void clear();
 
  private:
+  mutable std::mutex mu_;
   std::vector<Diagnostic> diags_;
-  std::size_t error_count_ = 0;
+  std::atomic<std::size_t> error_count_{0};
 };
 
 /// Thrown on misuse of the library API (not on bad user specifications —

@@ -1,0 +1,41 @@
+// A fast non-cryptographic 64-bit digest for integrity checking of cache
+// payloads.  Content *addressing* stays on SHA-256 (support/sha256.hpp);
+// this digest only answers "did these bytes change on disk", where speed
+// matters (it runs over every artifact byte on every warm cache hit) and
+// adversarial collisions do not.  Mixes 8-byte little-endian lanes with a
+// multiply-xorshift round (splitmix64-style finalizer).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace splice::support {
+
+inline std::uint64_t digest64(std::string_view data) {
+  constexpr std::uint64_t kMul = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t h = 0x51'7c'c1'b7'27'22'0a'95ULL ^ (data.size() * kMul);
+  const char* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = (h ^ w) * kMul;
+    h ^= h >> 29;
+    p += 8;
+    n -= 8;
+  }
+  std::uint64_t tail = 0;
+  if (n != 0) {
+    std::memcpy(&tail, p, n);
+    h = (h ^ tail) * kMul;
+  }
+  h ^= h >> 32;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 29;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace splice::support

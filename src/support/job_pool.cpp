@@ -1,0 +1,123 @@
+#include "support/job_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace splice::support {
+
+JobPool::JobPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobPool::~JobPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void JobPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void JobPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+unsigned JobPool::default_thread_count() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+namespace {
+
+/// Shared state of one parallel_for call.  Helpers submitted to the pool
+/// and the calling thread all claim indices from the same atomic counter;
+/// whoever holds the last completion notifies the waiting caller.  The
+/// state is shared_ptr-owned because queued helpers may outlive the call
+/// itself (they find the range exhausted and return immediately).
+struct ForState {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors;  // slot per index, distinct writers
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;  // guarded by mu
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+      }
+      cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(JobPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->thread_count() == 0 || n == 1) {
+    // Serial fallback keeps the exception contract trivially: the first
+    // (lowest-index) failure propagates.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+  state->errors.resize(n);
+
+  // One helper per worker is enough: each helper loops until the range is
+  // exhausted.  More would only queue no-ops.
+  const std::size_t helpers =
+      std::min<std::size_t>(pool->thread_count(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->submit([state] { state->drain(); });
+  }
+
+  state->drain();  // the caller participates (nested calls stay live)
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done == state->n; });
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state->errors[i]) std::rethrow_exception(state->errors[i]);
+  }
+}
+
+}  // namespace splice::support

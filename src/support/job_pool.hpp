@@ -1,0 +1,64 @@
+// A small thread-pool job scheduler for the generation pipeline.  Workers
+// drain a shared FIFO queue; `parallel_for` fans a bounded index range out
+// over the pool with the *calling thread participating*, so nested
+// parallel_for calls (batch-of-specs outside, per-module inside) can share
+// one pool without ever deadlocking: the caller always makes progress on
+// its own indices even when every worker is busy elsewhere.
+//
+// Determinism contract: `parallel_for(pool, n, fn)` returns only after all
+// n indices completed; result ordering is the caller's job (write into an
+// index-addressed output slot).  When one or more indices throw, the
+// exception of the *lowest* failing index is rethrown after the whole range
+// has settled — the same exception a serial loop would have surfaced first.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+namespace splice::support {
+
+class JobPool {
+ public:
+  /// Spawns `threads` workers; 0 means no workers (everything submitted
+  /// through parallel_for then runs inline on the calling thread).
+  explicit JobPool(unsigned threads);
+  ~JobPool();
+
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a fire-and-forget task.  Tasks must not block waiting for
+  /// other queued tasks (parallel_for's helpers follow this rule).
+  void submit(std::function<void()> task);
+
+  /// `hardware_concurrency` with a floor of 1 (the value is 0 on some
+  /// platforms).
+  [[nodiscard]] static unsigned default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run fn(0) .. fn(n-1), using `pool` for parallelism when it has workers.
+/// The calling thread always participates; a null pool (or a 0-worker pool,
+/// or n <= 1) degrades to a plain serial loop.
+void parallel_for(JobPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace splice::support

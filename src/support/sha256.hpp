@@ -1,0 +1,39 @@
+// Minimal SHA-256 (FIPS 180-4) used for content-addressing generated
+// artifacts.  Collision resistance matters here: cache keys derived from
+// specification text must never alias two different specs, and payload
+// digests must reliably detect corrupted cache entries.  No third-party
+// dependency is available in the build image, so the compression function
+// lives here; it is not a hot path (a few KB per compile).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace splice::support {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb more input; may be called repeatedly.
+  void update(std::string_view data);
+  void update(const void* data, std::size_t len);
+
+  /// Finalize and return the 64-character lowercase hex digest.  The
+  /// hasher must not be reused afterwards.
+  [[nodiscard]] std::string hex_digest();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] std::string sha256_hex(std::string_view data);
+
+}  // namespace splice::support

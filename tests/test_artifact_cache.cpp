@@ -1,0 +1,299 @@
+// Content-addressed artifact cache: key derivation, hit/miss/corruption
+// behaviour and warning replay.  The invariant that matters most — a hit
+// returns byte-identical files to a fresh compile — is checked directly by
+// round-tripping the engine's own output through a cache directory.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/splice.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using namespace splice;
+
+constexpr const char* kSpec =
+    "%device_name cachedev\n%bus_type plb\n%bus_width 32\n"
+    "%base_address 0x80000000\n"
+    "void set(int v);\nint get();\n";
+
+// fcb is not memory mapped, so %base_address draws a validation warning —
+// the diagnostics-replay case.
+constexpr const char* kWarnSpec =
+    "%device_name warndev\n%bus_type fcb\n%bus_width 32\n"
+    "%base_address 0x80000000\n"
+    "int sum(char n, int*:n xs);\n";
+
+class ArtifactCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("splice_cache_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(ArtifactCacheTest, NormalizationIsWhitespaceConservative) {
+  const std::string base = "%bus_type plb\nint f();\n";
+  EXPECT_EQ(ArtifactCache::normalize_spec("%bus_type plb\r\nint f();\r\n"),
+            base);
+  EXPECT_EQ(ArtifactCache::normalize_spec("%bus_type plb   \nint f();\t\n"),
+            base);
+  EXPECT_EQ(ArtifactCache::normalize_spec("%bus_type plb\nint f();\n\n\n"),
+            base);
+  // Content differences must survive normalization.
+  EXPECT_NE(ArtifactCache::normalize_spec("%bus_type plb\nint g();\n"), base);
+  // Interior indentation is content, not noise.
+  EXPECT_NE(ArtifactCache::normalize_spec("  %bus_type plb\nint f();\n"),
+            base);
+}
+
+TEST_F(ArtifactCacheTest, KeyTracksSpecConfigAndVersion) {
+  const std::string k1 = ArtifactCache::key_for(kSpec, "os=baremetal");
+  EXPECT_EQ(k1.size(), 64u);
+  // Whitespace-noise variants alias...
+  std::string crlf = kSpec;
+  for (std::size_t p = 0; (p = crlf.find('\n', p)) != std::string::npos;
+       p += 2) {
+    crlf.insert(p, "\r");
+  }
+  EXPECT_EQ(ArtifactCache::key_for(crlf, "os=baremetal"), k1);
+  // ...but any meaningful change misses: spec edit, %directive edit,
+  // engine configuration edit.
+  EXPECT_NE(ArtifactCache::key_for(std::string(kSpec) + "int extra();\n",
+                                   "os=baremetal"),
+            k1);
+  EXPECT_NE(ArtifactCache::key_for(std::string(kSpec) +
+                                       "%target_hdl verilog\n",
+                                   "os=baremetal"),
+            k1);
+  EXPECT_NE(ArtifactCache::key_for(kSpec, "os=linux"), k1);
+}
+
+TEST_F(ArtifactCacheTest, HitAfterNoopRecompileIsByteIdentical) {
+  ArtifactCache cache(dir_.string());
+  Engine engine;
+
+  DiagnosticEngine d1;
+  auto cold = engine.generate_cached(kSpec, d1, &cache);
+  ASSERT_TRUE(cold.has_value()) << d1.render();
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().stores, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Same spec modulo trailing whitespace — still the same key.
+  DiagnosticEngine d2;
+  auto warm = engine.generate_cached(std::string(kSpec) + "\n\n", d2, &cache);
+  ASSERT_TRUE(warm.has_value()) << d2.render();
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  ASSERT_EQ(warm->filenames(), cold->filenames());
+  for (const auto& name : cold->filenames()) {
+    const auto* a = cold->find(name);
+    const auto* b = warm->find(name);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->content, b->content) << name;
+    EXPECT_EQ(a->purpose, b->purpose) << name;
+  }
+  EXPECT_EQ(warm->device_name, "cachedev");
+}
+
+TEST_F(ArtifactCacheTest, SpecEditMisses) {
+  ArtifactCache cache(dir_.string());
+  Engine engine;
+  DiagnosticEngine d1;
+  ASSERT_TRUE(engine.generate_cached(kSpec, d1, &cache).has_value());
+
+  DiagnosticEngine d2;
+  std::string edited = kSpec;
+  edited += "int extra();\n";
+  ASSERT_TRUE(engine.generate_cached(edited, d2, &cache).has_value());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().stores, 2u);
+}
+
+TEST_F(ArtifactCacheTest, TargetDirectiveEditMisses) {
+  ArtifactCache cache(dir_.string());
+  Engine engine;
+  DiagnosticEngine d1;
+  ASSERT_TRUE(engine.generate_cached(kSpec, d1, &cache).has_value());
+
+  DiagnosticEngine d2;
+  std::string verilog = kSpec;
+  verilog += "%target_hdl verilog\n";
+  auto out = engine.generate_cached(verilog, d2, &cache);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  ASSERT_NE(out->find("user_cachedev.v"), nullptr);
+}
+
+TEST_F(ArtifactCacheTest, DriverOsChangeMisses) {
+  ArtifactCache cache(dir_.string());
+  DiagnosticEngine d1, d2;
+  Engine baremetal;
+  EngineOptions linux_opts;
+  linux_opts.driver_os = drivergen::DriverOs::Linux;
+  Engine linux_engine(adapters::AdapterRegistry::instance(), linux_opts);
+
+  ASSERT_TRUE(baremetal.generate_cached(kSpec, d1, &cache).has_value());
+  ASSERT_TRUE(linux_engine.generate_cached(kSpec, d2, &cache).has_value());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// The single blob file of the only stored entry.
+fs::path find_entry_blob(const fs::path& cache_dir) {
+  for (const auto& entry : fs::recursive_directory_iterator(cache_dir)) {
+    if (entry.is_regular_file() &&
+        entry.path().filename().string().size() == 64) {
+      return entry.path();
+    }
+  }
+  return {};
+}
+
+TEST_F(ArtifactCacheTest, CorruptPayloadIsDroppedAndRegenerated) {
+  ArtifactCache cache(dir_.string());
+  Engine engine;
+  DiagnosticEngine d1;
+  auto cold = engine.generate_cached(kSpec, d1, &cache);
+  ASSERT_TRUE(cold.has_value());
+
+  // Flip one byte in the payload region (the blob's tail).
+  const fs::path blob = find_entry_blob(dir_);
+  ASSERT_FALSE(blob.empty());
+  std::string bytes;
+  {
+    std::ifstream in(blob, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    bytes = text.str();
+  }
+  ASSERT_GT(bytes.size(), 16u);
+  bytes[bytes.size() - 8] ^= 0x20;
+  {
+    std::ofstream out(blob, std::ios::binary);
+    out << bytes;
+  }
+
+  DiagnosticEngine d2;
+  auto warm = engine.generate_cached(kSpec, d2, &cache);
+  ASSERT_TRUE(warm.has_value()) << d2.render();
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  // The tampered entry was dropped and the regenerated bytes are intact.
+  const auto* fixed = warm->find("user_cachedev.vhd");
+  ASSERT_NE(fixed, nullptr);
+  EXPECT_EQ(fixed->content, cold->find("user_cachedev.vhd")->content);
+
+  // The rewritten entry hits again.
+  DiagnosticEngine d3;
+  ASSERT_TRUE(engine.generate_cached(kSpec, d3, &cache).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(ArtifactCacheTest, TruncatedEntryIsDroppedAndRegenerated) {
+  ArtifactCache cache(dir_.string());
+  Engine engine;
+  DiagnosticEngine d1;
+  ASSERT_TRUE(engine.generate_cached(kSpec, d1, &cache).has_value());
+
+  const fs::path blob = find_entry_blob(dir_);
+  ASSERT_FALSE(blob.empty());
+  fs::resize_file(blob, fs::file_size(blob) / 2);
+
+  DiagnosticEngine d2;
+  ASSERT_TRUE(engine.generate_cached(kSpec, d2, &cache).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(ArtifactCacheTest, CorruptHeaderIsDroppedAndRegenerated) {
+  ArtifactCache cache(dir_.string());
+  Engine engine;
+  DiagnosticEngine d1;
+  ASSERT_TRUE(engine.generate_cached(kSpec, d1, &cache).has_value());
+
+  const fs::path blob = find_entry_blob(dir_);
+  ASSERT_FALSE(blob.empty());
+  {
+    std::ofstream out(blob, std::ios::binary);
+    out << "not a cache entry\n";
+  }
+
+  DiagnosticEngine d2;
+  ASSERT_TRUE(engine.generate_cached(kSpec, d2, &cache).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  // The corrupt file itself was removed from disk.
+  EXPECT_FALSE(find_entry_blob(dir_).empty())
+      << "regenerated entry should be stored again";
+}
+
+TEST_F(ArtifactCacheTest, MissingEntryIsAPlainMiss) {
+  ArtifactCache cache(dir_.string());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(cache.load(ArtifactCache::key_for(kSpec, "os=baremetal"),
+                          diags)
+                   .has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+TEST_F(ArtifactCacheTest, WarningsAreReplayedOnHit) {
+  ArtifactCache cache(dir_.string());
+  Engine engine;
+
+  DiagnosticEngine cold;
+  ASSERT_TRUE(engine.generate_cached(kWarnSpec, cold, &cache).has_value());
+  ASSERT_TRUE(cold.contains(DiagId::BaseAddressIgnored));
+
+  DiagnosticEngine warm;
+  ASSERT_TRUE(engine.generate_cached(kWarnSpec, warm, &cache).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // A cached compile must report exactly what the original did.
+  EXPECT_TRUE(warm.contains(DiagId::BaseAddressIgnored));
+  EXPECT_EQ(warm.render(), cold.render());
+}
+
+TEST_F(ArtifactCacheTest, NullCacheIsAPlainCompile) {
+  Engine engine;
+  DiagnosticEngine diags;
+  auto out = engine.generate_cached(kSpec, diags, nullptr);
+  ASSERT_TRUE(out.has_value()) << diags.render();
+  EXPECT_NE(out->find("user_cachedev.vhd"), nullptr);
+}
+
+TEST_F(ArtifactCacheTest, WriteToMaterializesDeviceSubdirectory) {
+  ArtifactCache cache(dir_.string());
+  Engine engine;
+  DiagnosticEngine diags;
+  auto set = engine.generate_cached(kSpec, diags, &cache);
+  ASSERT_TRUE(set.has_value());
+
+  const fs::path out_dir = dir_ / "out";
+  const std::string written = set->write_to(out_dir.string());
+  EXPECT_EQ(fs::path(written), out_dir / "cachedev");
+  for (const auto& name : set->filenames()) {
+    EXPECT_TRUE(fs::exists(out_dir / "cachedev" / name)) << name;
+  }
+}
+
+}  // namespace

@@ -180,6 +180,104 @@ TEST(Cli, WriteFailureIsReportedNotFatal) {
   fs::remove(spec);
 }
 
+TEST(Cli, BatchCompilesSpecsInInputOrder) {
+  const fs::path a = write_spec("cli_batch_a.splice", kTimerSpec);
+  const fs::path b = write_spec(
+      "cli_batch_b.splice",
+      "%device_name batch_b\n%bus_type opb\n%bus_width 32\n"
+      "%base_address 0x90000000\nint poke(int v);\n");
+  const fs::path dir = fs::temp_directory_path() / "splice_cli_batch";
+  fs::remove_all(dir);
+  auto r = run(a.string() + " " + b.string() + " --jobs 4 -o " +
+               dir.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // Per-spec reports appear in input order regardless of completion order.
+  const auto pos_a = r.output.find("device 'hw_timer'");
+  const auto pos_b = r.output.find("device 'batch_b'");
+  ASSERT_NE(pos_a, std::string::npos) << r.output;
+  ASSERT_NE(pos_b, std::string::npos) << r.output;
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_TRUE(fs::exists(dir / "hw_timer" / "plb_interface.vhd"));
+  EXPECT_TRUE(fs::exists(dir / "batch_b" / "opb_interface.vhd"));
+  fs::remove_all(dir);
+  fs::remove(a);
+  fs::remove(b);
+}
+
+TEST(Cli, BatchExitCodeIsWorstSpec) {
+  const fs::path good = write_spec("cli_batch_good.splice", kTimerSpec);
+  const fs::path bad = write_spec(
+      "cli_batch_bad.splice",
+      "%device_name d\n%bus_type plb\n%bus_width 32\nint f();\n");
+  auto r = run(good.string() + " " + bad.string() + " --jobs 2 --list");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // The failing spec's diagnostics are attributed under its header.
+  EXPECT_NE(r.output.find("== " + bad.string() + " =="), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("base_address"), std::string::npos);
+  fs::remove(good);
+  fs::remove(bad);
+}
+
+TEST(Cli, BadJobsValuesAreRejected) {
+  const fs::path spec = write_spec("cli_jobs_bad.splice", kTimerSpec);
+  EXPECT_EQ(run(spec.string() + " --jobs 0 --list").exit_code, 2);
+  EXPECT_EQ(run(spec.string() + " --jobs abc --list").exit_code, 2);
+  EXPECT_EQ(run(spec.string() + " --jobs 9999 --list").exit_code, 2);
+  EXPECT_EQ(run(spec.string() + " --jobs").exit_code, 2);
+  fs::remove(spec);
+}
+
+TEST(Cli, CacheHitsOnSecondRunAndShowsInStats) {
+  const fs::path spec = write_spec("cli_cache.splice", kTimerSpec);
+  const fs::path cache_dir = fs::temp_directory_path() /
+                             ("splice_cli_cache_" +
+                              std::to_string(::getpid()));
+  fs::remove_all(cache_dir);
+  const std::string common =
+      spec.string() + " --list --cache-dir " + cache_dir.string() +
+      " --gen-stats";
+  auto cold = run(common);
+  EXPECT_EQ(cold.exit_code, 0) << cold.output;
+  EXPECT_NE(cold.output.find("misses:   1"), std::string::npos)
+      << cold.output;
+  EXPECT_NE(cold.output.find("stores:   1"), std::string::npos);
+
+  auto warm = run(common);
+  EXPECT_EQ(warm.exit_code, 0) << warm.output;
+  EXPECT_NE(warm.output.find("hits:     1"), std::string::npos)
+      << warm.output;
+  EXPECT_NE(warm.output.find("misses:   0"), std::string::npos);
+  // The cached compile lists the same file set.
+  EXPECT_NE(warm.output.find("user_hw_timer.vhd"), std::string::npos);
+  fs::remove_all(cache_dir);
+  fs::remove(spec);
+}
+
+TEST(Cli, NoCacheOverridesCacheDir) {
+  const fs::path spec = write_spec("cli_nocache.splice", kTimerSpec);
+  const fs::path cache_dir = fs::temp_directory_path() /
+                             ("splice_cli_nocache_" +
+                              std::to_string(::getpid()));
+  fs::remove_all(cache_dir);
+  auto r = run(spec.string() + " --list --cache-dir " + cache_dir.string() +
+               " --no-cache --gen-stats");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("cache:      disabled"), std::string::npos)
+      << r.output;
+  EXPECT_FALSE(fs::exists(cache_dir));
+  fs::remove(spec);
+}
+
+TEST(Cli, SingleSpecOutputHasNoBatchHeaders) {
+  const fs::path spec = write_spec("cli_nohdr.splice", kTimerSpec);
+  auto r = run(spec.string() + " --list");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.find("== " + spec.string()), std::string::npos)
+      << "single-spec runs keep the historical header-free output";
+  fs::remove(spec);
+}
+
 TEST(Cli, LinuxFlagSwitchesTheMacroLibrary) {
   const fs::path spec = write_spec("cli_linux.splice", kTimerSpec);
   auto r = run(spec.string() + " --print --linux");

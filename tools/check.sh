@@ -1,7 +1,9 @@
 #!/bin/sh
 # Full local verification: the tier-1 build + test pass, followed by the
-# same test suite under ASan+UBSan (the `asan` CMake preset).  Run from
-# the repository root:
+# same test suite under ASan+UBSan (the `asan` preset) and under
+# ThreadSanitizer (the `tsan` preset — the parallel generation pipeline
+# and the artifact cache are the interesting targets).  Run from the
+# repository root:
 #
 #   tools/check.sh            # tier-1 + sanitizers
 #   tools/check.sh --fast     # tier-1 only
@@ -23,5 +25,10 @@ echo "== sanitizers: ASan+UBSan build + ctest =="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 ctest --preset asan
+
+echo "== sanitizers: TSan build + ctest =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan
 
 echo "== all checks passed =="

@@ -1,11 +1,16 @@
 // The Splice command-line tool — the user-facing face of the thesis' code
-// generator (Figure 1.1): a specification file in, the complete hardware
+// generator (Figure 1.1): specification files in, the complete hardware
 // and software interface file set out, written under a subdirectory named
-// after the device (§3.2.3).
+// after each device (§3.2.3).
 //
 // Usage:
-//   splice <spec-file> [options]
+//   splice <spec-file>... [options]
 //     -o <dir>     output directory (default: current directory)
+//     --jobs N     compile specs and modules on N parallel workers
+//     --cache-dir <dir>  content-addressed artifact cache location
+//                  (default: $SPLICE_CACHE_DIR when set, else disabled)
+//     --no-cache   disable the artifact cache entirely
+//     --gen-stats  print pipeline statistics (cache hits/misses, timing)
 //     --linux      generate Linux mmap-based drivers (thesis §10.2)
 //     --print      dump every generated file to stdout instead of disk
 //     --list       list generated filenames only
@@ -16,19 +21,28 @@
 //                  idle cycles (default 2000) and print the simulation
 //                  kernel's instrumentation counters
 //     -h, --help   this text
+//
+// Batch mode: several spec files compile concurrently on the --jobs pool;
+// each spec's report (its diagnostics, then its file listing) prints
+// contiguously in command-line order, never interleaved.
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "adapters/registry.hpp"
+#include "core/artifact_cache.hpp"
 #include "core/splice.hpp"
 #include "rtl/simulator.hpp"
 #include "runtime/platform.hpp"
+#include "support/job_pool.hpp"
 
 namespace {
 
@@ -36,8 +50,13 @@ void usage(const char* argv0) {
   std::printf(
       "Splice: a standardized peripheral logic and interface creation "
       "engine\n"
-      "usage: %s <spec-file> [options]\n"
+      "usage: %s <spec-file>... [options]\n"
       "  -o <dir>     output directory (default: .)\n"
+      "  --jobs N     compile specs/modules on N parallel workers\n"
+      "  --cache-dir <dir>  artifact cache location (default:\n"
+      "               $SPLICE_CACHE_DIR when set, else disabled)\n"
+      "  --no-cache   disable the artifact cache\n"
+      "  --gen-stats  print pipeline statistics after the run\n"
       "  --linux      generate Linux mmap-based drivers\n"
       "  --print      dump generated files to stdout\n"
       "  --list       list generated filenames only\n"
@@ -71,17 +90,135 @@ int list_buses() {
   return 0;
 }
 
-}  // namespace
+/// Parse a decimal option argument; exits-with-2 semantics live in main.
+std::optional<std::uint64_t> parse_count(const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t value = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return std::nullopt;
+  return value;
+}
 
-int main(int argc, char** argv) {
-  std::string spec_path;
+struct CliOptions {
   std::string out_dir = ".";
   bool print_files = false;
   bool list_only = false;
   bool lint_only = false;
   bool sim_stats = false;
+  bool gen_stats = false;
   std::uint64_t sim_cycles = 2000;
-  splice::EngineOptions options;
+  unsigned jobs = 1;
+  splice::EngineOptions engine;
+};
+
+/// Everything one spec's compile produced, buffered so batch output prints
+/// per-spec in input order regardless of completion order.
+struct SpecResult {
+  std::string out;   ///< stdout block
+  std::string err;   ///< stderr block (diagnostics)
+  int exit_code = 0;
+};
+
+void compile_one(const std::string& spec_path, const CliOptions& opt,
+                 const splice::Engine& engine, splice::ArtifactCache* cache,
+                 SpecResult& res) {
+  std::ifstream in(spec_path);
+  if (!in) {
+    res.err = "error: cannot read '" + spec_path + "'\n";
+    res.exit_code = 2;
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string spec_text = buffer.str();
+
+  splice::DiagnosticEngine diags;
+
+  // Modes that need the elaborated spec (lint summary, simulation) bypass
+  // the cache: a cache hit deliberately skips elaboration.
+  if (opt.lint_only || opt.sim_stats) {
+    auto artifacts = engine.generate(spec_text, diags);
+    res.err = diags.render();
+    if (!artifacts) {
+      res.err += "error: interface generation aborted (" +
+                 std::to_string(diags.error_count()) + " error(s))\n";
+      res.exit_code = 1;
+      return;
+    }
+    if (opt.lint_only) {
+      // Generation already linted every hardware AST (the engine refuses
+      // to proceed on findings), so reaching this point means a clean
+      // bill.
+      res.out = "lint: device '" + artifacts->spec.target.device_name +
+                "': " +
+                std::to_string(artifacts->spec.functions.size() + 1) +
+                " hardware module(s) clean, nothing written\n";
+      return;
+    }
+    // Elaborate the validated spec onto the virtual platform (default stub
+    // behaviours), let the device idle for the requested cycles and report
+    // what the kernel actually did.
+    try {
+      splice::runtime::VirtualPlatform vp(artifacts->spec,
+                                          splice::elab::BehaviorMap{});
+      vp.sim().step(opt.sim_cycles);
+      res.out = splice::rtl::render_stats(vp.sim());
+    } catch (const splice::SpliceError& e) {
+      res.err += std::string("error: simulation failed: ") + e.what() + "\n";
+      res.exit_code = 1;
+    }
+    return;
+  }
+
+  auto artifacts = engine.generate_cached(spec_text, diags, cache);
+  res.err = diags.render();
+  if (!artifacts) {
+    res.err += "error: interface generation aborted (" +
+               std::to_string(diags.error_count()) + " error(s))\n";
+    res.exit_code = 1;
+    return;
+  }
+
+  if (opt.list_only) {
+    for (const auto& name : artifacts->filenames()) {
+      res.out += name + "\n";
+    }
+    return;
+  }
+  if (opt.print_files) {
+    auto dump = [&res](const splice::codegen::GeneratedFile& f) {
+      res.out += "========== " + f.filename + " ==========\n" + f.content +
+                 "\n";
+    };
+    for (const auto& f : artifacts->hardware) dump(f);
+    for (const auto& f : artifacts->software) dump(f);
+    return;
+  }
+
+  std::string dir;
+  try {
+    dir = artifacts->write_to(opt.out_dir);
+  } catch (const splice::SpliceError& e) {
+    res.err += std::string("error: ") + e.what() + "\n";
+    res.exit_code = 1;
+    return;
+  }
+  res.out = "device '" + artifacts->device_name + "': " +
+            std::to_string(artifacts->filenames().size()) +
+            " files written to " + dir + "\n";
+  for (const auto& name : artifacts->filenames()) {
+    res.out += "  " + name + "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> spec_paths;
+  CliOptions opt;
+  std::string cache_dir;
+  bool no_cache = false;
+  if (const char* env = std::getenv("SPLICE_CACHE_DIR")) cache_dir = env;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,21 +228,45 @@ int main(int argc, char** argv) {
     }
     if (arg == "--buses") return list_buses();
     if (arg == "--linux") {
-      options.driver_os = splice::drivergen::DriverOs::Linux;
+      opt.engine.driver_os = splice::drivergen::DriverOs::Linux;
     } else if (arg == "--print") {
-      print_files = true;
+      opt.print_files = true;
     } else if (arg == "--list") {
-      list_only = true;
+      opt.list_only = true;
     } else if (arg == "--lint") {
-      lint_only = true;
+      opt.lint_only = true;
+    } else if (arg == "--gen-stats") {
+      opt.gen_stats = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --cache-dir needs a directory\n");
+        return 2;
+      }
+      cache_dir = argv[++i];
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --jobs needs a worker count\n");
+        return 2;
+      }
+      const auto n = parse_count(argv[++i]);
+      if (!n || *n == 0 || *n > 1024) {
+        std::fprintf(stderr,
+                     "error: --jobs expects a worker count between 1 and "
+                     "1024, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      opt.jobs = static_cast<unsigned>(*n);
     } else if (arg == "--sim-stats") {
-      sim_stats = true;
+      opt.sim_stats = true;
       // Optional numeric cycle count; anything else is the next argument.
       if (i + 1 < argc && argv[i + 1][0] >= '0' && argv[i + 1][0] <= '9') {
         const char* text = argv[++i];
         char* end = nullptr;
         errno = 0;
-        sim_cycles = std::strtoull(text, &end, 10);
+        opt.sim_cycles = std::strtoull(text, &end, 10);
         if (errno == ERANGE) {
           std::fprintf(stderr,
                        "error: --sim-stats cycle count '%s' is out of "
@@ -126,98 +287,88 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: -o needs a directory\n");
         return 2;
       }
-      out_dir = argv[++i];
+      opt.out_dir = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       usage(argv[0]);
       return 2;
-    } else if (spec_path.empty()) {
-      spec_path = arg;
     } else {
-      std::fprintf(stderr, "error: more than one spec file given\n");
-      return 2;
+      spec_paths.push_back(arg);
     }
   }
-  if (spec_path.empty()) {
+  if (spec_paths.empty()) {
     usage(argv[0]);
     return 2;
   }
 
-  std::ifstream in(spec_path);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot read '%s'\n", spec_path.c_str());
-    return 2;
+  std::unique_ptr<splice::ArtifactCache> cache;
+  if (!no_cache && !cache_dir.empty()) {
+    cache = std::make_unique<splice::ArtifactCache>(cache_dir);
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
 
+  // One shared pool: per-spec fan-out (batch) and per-module fan-out
+  // (inside the engine) both draw from it, so total concurrency stays at
+  // the requested worker count.  jobs-1 threads + the main thread.
+  splice::support::JobPool pool(opt.jobs > 1 ? opt.jobs - 1 : 0);
+  opt.engine.pool = opt.jobs > 1 ? &pool : nullptr;
+  opt.engine.jobs = opt.jobs;
   splice::Engine engine(splice::adapters::AdapterRegistry::instance(),
-                        options);
-  splice::DiagnosticEngine diags;
-  auto artifacts = engine.generate(buffer.str(), diags);
-  // Warnings print either way; errors abort.
-  if (!diags.all().empty()) {
-    std::fprintf(stderr, "%s", diags.render().c_str());
-  }
-  if (!artifacts) {
-    std::fprintf(stderr, "error: interface generation aborted (%zu "
-                         "error(s))\n",
-                 diags.error_count());
-    return 1;
+                        opt.engine);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<SpecResult> results(spec_paths.size());
+  splice::support::parallel_for(
+      opt.engine.pool, spec_paths.size(), [&](std::size_t i) {
+        compile_one(spec_paths[i], opt, engine, cache.get(), results[i]);
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Aggregate per-spec, in input order: a spec's diagnostics and report
+  // always print contiguously, prefixed with the file name when several
+  // specs were given.
+  int exit_code = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SpecResult& r = results[i];
+    if (!r.err.empty()) {
+      if (spec_paths.size() > 1) {
+        std::fprintf(stderr, "== %s ==\n", spec_paths[i].c_str());
+      }
+      std::fprintf(stderr, "%s", r.err.c_str());
+    }
+    if (!r.out.empty()) {
+      std::fprintf(stdout, "%s", r.out.c_str());
+    }
+    if (r.exit_code > exit_code) exit_code = r.exit_code;
   }
 
-  if (lint_only) {
-    // Generation already linted every hardware AST (the engine refuses to
-    // proceed on findings), so reaching this point means a clean bill.
-    std::printf("lint: device '%s': %zu hardware module(s) clean, nothing "
-                "written\n",
-                artifacts->spec.target.device_name.c_str(),
-                artifacts->spec.functions.size() + 1);
-    return 0;
-  }
-  if (sim_stats) {
-    // Elaborate the validated spec onto the virtual platform (default stub
-    // behaviours), let the device idle for the requested cycles and report
-    // what the kernel actually did.
-    try {
-      splice::runtime::VirtualPlatform vp(artifacts->spec,
-                                          splice::elab::BehaviorMap{});
-      vp.sim().step(sim_cycles);
-      std::printf("%s", splice::rtl::render_stats(vp.sim()).c_str());
-    } catch (const splice::SpliceError& e) {
-      std::fprintf(stderr, "error: simulation failed: %s\n", e.what());
-      return 1;
+  if (opt.gen_stats) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::size_t failed = 0;
+    for (const auto& r : results) {
+      if (r.exit_code != 0) ++failed;
     }
-    return 0;
-  }
-  if (list_only) {
-    for (const auto& name : artifacts->filenames()) {
-      std::printf("%s\n", name.c_str());
+    std::printf("== generation stats ==\n");
+    std::printf("specs:      %zu (%zu ok, %zu failed)\n", results.size(),
+                results.size() - failed, failed);
+    std::printf("jobs:       %u\n", opt.jobs);
+    if (cache) {
+      const splice::CacheStats s = cache->stats();
+      std::printf("cache:      enabled (%s)\n", cache->dir().c_str());
+      std::printf("  hits:     %llu\n",
+                  static_cast<unsigned long long>(s.hits));
+      std::printf("  misses:   %llu\n",
+                  static_cast<unsigned long long>(s.misses));
+      std::printf("  stores:   %llu\n",
+                  static_cast<unsigned long long>(s.stores));
+      std::printf("  corrupt:  %llu\n",
+                  static_cast<unsigned long long>(s.corrupt));
+    } else {
+      std::printf("cache:      disabled\n");
     }
-    return 0;
+    std::printf("elapsed:    %.2f ms (%.1f specs/s)\n", ms,
+                ms > 0.0 ? 1000.0 * static_cast<double>(results.size()) / ms
+                         : 0.0);
   }
-  if (print_files) {
-    auto dump = [](const splice::codegen::GeneratedFile& f) {
-      std::printf("========== %s ==========\n%s\n", f.filename.c_str(),
-                  f.content.c_str());
-    };
-    for (const auto& f : artifacts->hardware) dump(f);
-    for (const auto& f : artifacts->software) dump(f);
-    return 0;
-  }
-
-  std::string dir;
-  try {
-    dir = artifacts->write_to(out_dir);
-  } catch (const splice::SpliceError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-  std::printf("device '%s': %zu files written to %s\n",
-              artifacts->spec.target.device_name.c_str(),
-              artifacts->filenames().size(), dir.c_str());
-  for (const auto& name : artifacts->filenames()) {
-    std::printf("  %s\n", name.c_str());
-  }
-  return 0;
+  return exit_code;
 }
