@@ -12,12 +12,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/splice.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -74,16 +76,21 @@ struct Sample {
   double specs_per_s = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Per-phase CPU-side wall time (us summed over all jobs) of the best
+  /// repetition, from the telemetry registry's snapshot diff.
+  std::map<std::string, std::uint64_t> phase_us;
 };
 
 /// One timed batch compile of the whole corpus, mirroring the CLI: a shared
 /// pool drives both the per-spec and the per-module fan-out.
 double run_batch(const std::vector<std::string>& corpus, unsigned jobs,
-                 ArtifactCache* cache) {
+                 ArtifactCache* cache,
+                 support::telemetry::MetricsRegistry* metrics) {
   support::JobPool pool(jobs > 1 ? jobs - 1 : 0);
   EngineOptions opt;
   opt.jobs = jobs;
   opt.pool = jobs > 1 ? &pool : nullptr;
+  opt.metrics = metrics;
   const Engine engine(adapters::AdapterRegistry::instance(), opt);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -103,12 +110,30 @@ double run_batch(const std::vector<std::string>& corpus, unsigned jobs,
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+/// Fold a snapshot diff into the per-phase map BENCH_gen.json reports:
+/// each engine phase's summed wall time plus the cache's I/O buckets.
+std::map<std::string, std::uint64_t> phase_times(
+    const support::telemetry::MetricsSnapshot& delta) {
+  std::map<std::string, std::uint64_t> out;
+  const std::pair<const char*, const char*> kPhases[] = {
+      {"parse", "gen.parse_us"},        {"validate", "gen.validate_us"},
+      {"codegen", "gen.codegen_us"},    {"drivergen", "gen.drivergen_us"},
+      {"merge", "gen.merge_us"},        {"cache_load", "cache.open_us"},
+      {"cache_store", "cache.rename_us"}};
+  for (const auto& [key, histogram] : kPhases) {
+    const auto it = delta.histograms.find(histogram);
+    out[key] = it == delta.histograms.end() ? 0 : it->second.sum;
+  }
+  return out;
+}
+
 Sample measure(const std::vector<std::string>& corpus, unsigned jobs,
                CacheMode mode, const fs::path& cache_root, int reps) {
   Sample s;
   s.jobs = jobs;
   s.mode = mode;
   s.ms = 1e300;
+  support::telemetry::MetricsRegistry metrics;
   for (int rep = 0; rep < reps; ++rep) {
     const fs::path dir =
         cache_root / ("c_" + std::to_string(jobs) + "_" +
@@ -116,15 +141,21 @@ Sample measure(const std::vector<std::string>& corpus, unsigned jobs,
                       std::to_string(mode == CacheMode::Warm ? 0 : rep));
     std::optional<ArtifactCache> cache;
     if (mode != CacheMode::Off) {
-      cache.emplace(dir.string());
+      cache.emplace(dir.string(), &metrics);
       if (mode == CacheMode::Warm && rep == 0) {
         // Populate once; the timed runs below then hit every entry.
-        run_batch(corpus, jobs, &*cache);
+        run_batch(corpus, jobs, &*cache, nullptr);
       }
     }
+    // Snapshot-diff around the timed batch: the best repetition's phase
+    // breakdown lands in the report alongside its wall-clock.
+    const auto before = metrics.snapshot();
     const double ms =
-        run_batch(corpus, jobs, cache ? &*cache : nullptr);
-    if (ms < s.ms) s.ms = ms;
+        run_batch(corpus, jobs, cache ? &*cache : nullptr, &metrics);
+    if (ms < s.ms) {
+      s.ms = ms;
+      s.phase_us = phase_times(metrics.snapshot().diff_since(before));
+    }
     if (cache) {
       s.hits = cache->stats().hits;
       s.misses = cache->stats().misses;
@@ -179,11 +210,18 @@ int main(int argc, char** argv) {
     const Sample& s = samples[i];
     std::fprintf(f,
                  "    {\"jobs\": %u, \"cache\": \"%s\", \"batch_ms\": %.3f, "
-                 "\"specs_per_s\": %.1f, \"hits\": %llu, \"misses\": %llu}%s\n",
+                 "\"specs_per_s\": %.1f, \"hits\": %llu, \"misses\": %llu, "
+                 "\"phase_us\": {",
                  s.jobs, mode_name(s.mode), s.ms, s.specs_per_s,
                  static_cast<unsigned long long>(s.hits),
-                 static_cast<unsigned long long>(s.misses),
-                 i + 1 < samples.size() ? "," : "");
+                 static_cast<unsigned long long>(s.misses));
+    bool first = true;
+    for (const auto& [phase, us] : s.phase_us) {
+      std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ", phase.c_str(),
+                   static_cast<unsigned long long>(us));
+      first = false;
+    }
+    std::fprintf(f, "}}%s\n", i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -1,5 +1,6 @@
 #include "core/artifact_cache.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
@@ -12,9 +13,18 @@ namespace splice {
 
 namespace fs = std::filesystem;
 
+namespace telemetry = support::telemetry;
+
 namespace {
 
 constexpr std::string_view kBlobMagic = "splice-cache 2";
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
 
 std::optional<std::string> read_file(const fs::path& p) {
   std::ifstream in(p, std::ios::binary | std::ios::ate);
@@ -56,6 +66,20 @@ std::string hex16(std::uint64_t v) {
 }
 
 }  // namespace
+
+ArtifactCache::ArtifactCache(std::string dir,
+                             telemetry::MetricsRegistry* metrics)
+    : dir_(std::move(dir)) {
+  if (metrics == nullptr) return;
+  m_hits_ = &metrics->counter("cache.hits");
+  m_misses_ = &metrics->counter("cache.misses");
+  m_stores_ = &metrics->counter("cache.stores");
+  m_corrupt_ = &metrics->counter("cache.corrupt");
+  m_load_bytes_ = &metrics->counter("cache.load_bytes");
+  m_store_bytes_ = &metrics->counter("cache.store_bytes");
+  m_open_us_ = &metrics->histogram("cache.open_us");
+  m_rename_us_ = &metrics->histogram("cache.rename_us");
+}
 
 const codegen::GeneratedFile* ArtifactSet::find(
     const std::string& filename) const {
@@ -119,7 +143,9 @@ std::string ArtifactCache::key_for(std::string_view spec_text,
 }
 
 std::optional<ArtifactSet> ArtifactCache::load(const std::string& key,
-                                               DiagnosticEngine& diags) {
+                                               DiagnosticEngine& diags,
+                                               CacheStats* local) {
+  telemetry::Span span("cache.load", "cache");
   const fs::path entry = fs::path(dir_) / key.substr(0, 2) / key;
   auto miss = [&](bool corrupt) -> std::optional<ArtifactSet> {
     if (corrupt) {
@@ -127,14 +153,24 @@ std::optional<ArtifactSet> ArtifactCache::load(const std::string& key,
       std::error_code ec;
       fs::remove(entry, ec);
     }
+    if (m_misses_ != nullptr) m_misses_->add();
+    if (corrupt && m_corrupt_ != nullptr) m_corrupt_->add();
+    if (local != nullptr) {
+      ++local->misses;
+      if (corrupt) ++local->corrupt;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
     if (corrupt) ++stats_.corrupt;
     return std::nullopt;
   };
 
+  const auto t_open = std::chrono::steady_clock::now();
   const auto blob = read_file(entry);
+  if (m_open_us_ != nullptr) m_open_us_->record(us_since(t_open));
   if (!blob) return miss(false);  // plain miss: nothing stored under key
+  span.arg("bytes", blob->size());
+  if (m_load_bytes_ != nullptr) m_load_bytes_->add(blob->size());
   const std::string_view text(*blob);
 
   ArtifactSet set;
@@ -260,13 +296,16 @@ std::optional<ArtifactSet> ArtifactCache::load(const std::string& key,
   for (auto& d : replay) {
     diags.report(d.sev, d.id, std::move(d.message), d.loc);
   }
+  if (m_hits_ != nullptr) m_hits_->add();
+  if (local != nullptr) ++local->hits;
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.hits;
   return set;
 }
 
 void ArtifactCache::store(const std::string& key, const ArtifactSet& set,
-                          const DiagnosticEngine& diags) {
+                          const DiagnosticEngine& diags, CacheStats* local) {
+  telemetry::Span span("cache.store", "cache");
   const fs::path shard = fs::path(dir_) / key.substr(0, 2);
   const fs::path entry = shard / key;
   // Stage as a sibling temp file, then rename: concurrent stores of the
@@ -329,15 +368,21 @@ void ArtifactCache::store(const std::string& key, const ArtifactSet& set,
   blob.append("\nend\n");
   blob.append(payload);
 
+  span.arg("bytes", blob.size());
+  const auto t_write = std::chrono::steady_clock::now();
   if (!write_file(tmp, blob)) {
     fs::remove(tmp, ec);
     return;
   }
   fs::rename(tmp, entry, ec);
+  if (m_rename_us_ != nullptr) m_rename_us_->record(us_since(t_write));
   if (ec) {
     fs::remove(tmp, ec);
     return;
   }
+  if (m_stores_ != nullptr) m_stores_->add();
+  if (m_store_bytes_ != nullptr) m_store_bytes_->add(blob.size());
+  if (local != nullptr) ++local->stores;
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.stores;
 }

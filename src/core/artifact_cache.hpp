@@ -34,6 +34,7 @@
 
 #include "codegen/hwgen.hpp"
 #include "support/diagnostics.hpp"
+#include "support/telemetry.hpp"
 
 namespace splice {
 
@@ -68,7 +69,12 @@ struct CacheStats {
 
 class ArtifactCache {
  public:
-  explicit ArtifactCache(std::string dir) : dir_(std::move(dir)) {}
+  /// `metrics` (optional) receives cache.{hits,misses,stores,corrupt}
+  /// counters, cache.{load,store}_bytes byte counters and
+  /// cache.{open,rename}_us I/O latency histograms; it must outlive the
+  /// cache.  Attach before concurrent use.
+  explicit ArtifactCache(std::string dir,
+                         support::telemetry::MetricsRegistry* metrics = nullptr);
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
@@ -83,21 +89,33 @@ class ArtifactCache {
   /// Load the entry for `key`; nullopt on miss.  Corrupt entries are
   /// dropped and reported as a miss.  Non-error diagnostics recorded at
   /// store time (e.g. validation warnings) are replayed into `diags` so a
-  /// cached compile reports exactly what the original did.
+  /// cached compile reports exactly what the original did.  When `local`
+  /// is non-null the outcome is additionally counted into it — the
+  /// caller-owned delta that lets a batch attribute hits/misses to one
+  /// spec without snapshotting the shared counters under contention.
   [[nodiscard]] std::optional<ArtifactSet> load(const std::string& key,
-                                                DiagnosticEngine& diags);
+                                                DiagnosticEngine& diags,
+                                                CacheStats* local = nullptr);
 
   /// Persist `set` under `key`, including `diags`' current non-error
   /// diagnostics.  Callers pass the per-spec engine of the compile that
   /// produced `set`.  I/O failures are swallowed: the entry is simply not
-  /// written.
+  /// written.  `local` as in load().
   void store(const std::string& key, const ArtifactSet& set,
-             const DiagnosticEngine& diags);
+             const DiagnosticEngine& diags, CacheStats* local = nullptr);
 
   [[nodiscard]] CacheStats stats() const;
 
  private:
   std::string dir_;
+  support::telemetry::Counter* m_hits_ = nullptr;
+  support::telemetry::Counter* m_misses_ = nullptr;
+  support::telemetry::Counter* m_stores_ = nullptr;
+  support::telemetry::Counter* m_corrupt_ = nullptr;
+  support::telemetry::Counter* m_load_bytes_ = nullptr;
+  support::telemetry::Counter* m_store_bytes_ = nullptr;
+  support::telemetry::Histogram* m_open_us_ = nullptr;
+  support::telemetry::Histogram* m_rename_us_ = nullptr;
   mutable std::mutex mu_;
   CacheStats stats_;
 };

@@ -1,5 +1,6 @@
 #include "core/splice.hpp"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
@@ -9,6 +10,42 @@
 #include "frontend/parser.hpp"
 
 namespace splice {
+
+namespace telemetry = support::telemetry;
+
+namespace {
+
+/// One instrumented pipeline phase: a trace span for the flame graph plus
+/// a wall-time sample into the engine's metrics registry (when attached).
+class Phase {
+ public:
+  Phase(telemetry::MetricsRegistry* metrics, std::string_view span_name,
+        const char* histogram_name)
+      : span_(span_name, "gen"),
+        metrics_(metrics),
+        histogram_name_(histogram_name),
+        t0_(std::chrono::steady_clock::now()) {}
+  ~Phase() {
+    if (metrics_ == nullptr) return;
+    metrics_->histogram(histogram_name_)
+        .record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0_)
+                .count()));
+  }
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+
+  telemetry::Span& span() { return span_; }
+
+ private:
+  telemetry::Span span_;
+  telemetry::MetricsRegistry* metrics_;
+  const char* histogram_name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
 
 const codegen::GeneratedFile* GeneratedArtifacts::find(
     const std::string& filename) const {
@@ -43,31 +80,42 @@ ArtifactSet GeneratedArtifacts::take_set() && {
 
 std::optional<GeneratedArtifacts> Engine::generate(
     std::string_view spec_text, DiagnosticEngine& diags) const {
-  auto spec = frontend::parse_spec(spec_text, diags);
+  std::optional<ir::DeviceSpec> spec;
+  {
+    // Lexing and parsing share one phase: the spec parser drives the lexer
+    // over the whole text before its directive/declaration passes.
+    Phase phase(options_.metrics, "gen.parse", "gen.parse_us");
+    phase.span().arg("bytes", spec_text.size());
+    spec = frontend::parse_spec(spec_text, diags);
+  }
   if (!spec) return std::nullopt;
   return generate(std::move(*spec), diags);
 }
 
 std::optional<GeneratedArtifacts> Engine::generate(
     ir::DeviceSpec spec, DiagnosticEngine& diags) const {
-  // Resolve the bus adapter (the lib<x>_interface.so lookup of §7.2).
-  const adapters::BusAdapter* adapter = registry_.find(spec.target.bus_type);
-  if (adapter == nullptr && !spec.target.bus_type.empty()) {
-    diags.error(DiagId::UnknownBusType,
-                "no interface library registered for bus '" +
-                    spec.target.bus_type + "' (expected " +
-                    adapters::library_filename(spec.target.bus_type) + ")");
-    return std::nullopt;
-  }
-  if (adapter == nullptr) {
-    diags.error(DiagId::MissingBusType, "%bus_type directive is required");
-    return std::nullopt;
-  }
+  const adapters::BusAdapter* adapter = nullptr;
+  {
+    Phase phase(options_.metrics, "gen.validate", "gen.validate_us");
+    // Resolve the bus adapter (the lib<x>_interface.so lookup of §7.2).
+    adapter = registry_.find(spec.target.bus_type);
+    if (adapter == nullptr && !spec.target.bus_type.empty()) {
+      diags.error(DiagId::UnknownBusType,
+                  "no interface library registered for bus '" +
+                      spec.target.bus_type + "' (expected " +
+                      adapters::library_filename(spec.target.bus_type) + ")");
+      return std::nullopt;
+    }
+    if (adapter == nullptr) {
+      diags.error(DiagId::MissingBusType, "%bus_type directive is required");
+      return std::nullopt;
+    }
 
-  // Parameter checking routine (§7.1.2): validates language rules and bus
-  // feasibility, assigns FUNC_IDs.  Serial: it mutates the spec that every
-  // downstream job reads.
-  if (!adapter->check_parameters(spec, diags)) return std::nullopt;
+    // Parameter checking routine (§7.1.2): validates language rules and
+    // bus feasibility, assigns FUNC_IDs.  Serial: it mutates the spec that
+    // every downstream job reads.
+    if (!adapter->check_parameters(spec, diags)) return std::nullopt;
+  }
 
   const codegen::ast::Dialect dialect =
       spec.target.hdl == ir::Hdl::Vhdl ? codegen::ast::Dialect::Vhdl
@@ -94,6 +142,7 @@ std::optional<GeneratedArtifacts> Engine::generate(
   auto run_job = [&](std::size_t i) {
     ModuleJob& job = jobs[i];
     if (i == 0) {
+      Phase phase(options_.metrics, "gen.arbiter", "gen.codegen_us");
       // Each AST is built once and feeds both the lint pass and the
       // printer (the serial pipeline used to elaborate it twice).
       codegen::ast::Module m = codegen::build_arbiter_ast(spec, dialect);
@@ -102,11 +151,13 @@ std::optional<GeneratedArtifacts> Engine::generate(
       job.files.push_back(codegen::render_arbiter_file(m, spec));
     } else if (i <= nfn) {
       const ir::FunctionDecl& fn = spec.functions[i - 1];
+      Phase phase(options_.metrics, "gen.stub:" + fn.name, "gen.codegen_us");
       codegen::ast::Module m = codegen::build_stub_ast(fn, spec, dialect);
       job.lint_clean = codegen::lint_module(m, job.diags);
       if (!job.lint_clean) return;
       job.files.push_back(codegen::render_stub_file(m, fn, spec));
     } else if (i == nfn + 1) {
+      Phase phase(options_.metrics, "gen.interface", "gen.codegen_us");
       // Stage 1 (§5.1): native bus interface, via the adapter's marker
       // loader and template expansion.  The engine is job-local: marker
       // handlers are stateless closures over the shared read-only spec.
@@ -114,6 +165,7 @@ std::optional<GeneratedArtifacts> Engine::generate(
       adapter->load_markers(engine);
       job.files = adapter->generate_interface(spec, engine, job.diags);
     } else {
+      Phase phase(options_.metrics, "gen.software", "gen.drivergen_us");
       // Software side (ch. 6): per-bus macro library + driver pair.
       job.files.push_back(
           {"splice_lib.h", adapter->macro_library(spec, options_.driver_os),
@@ -139,7 +191,18 @@ std::optional<GeneratedArtifacts> Engine::generate(
     ephemeral = std::make_unique<support::JobPool>(options_.jobs - 1);
     pool = ephemeral.get();
   }
-  support::parallel_for(pool, njobs, run_job);
+  {
+    // The fan-out's parent span: parallel_for carries it into the workers,
+    // so per-module job spans nest here in the trace.
+    telemetry::Span span("gen.modules", "gen");
+    span.arg("jobs", njobs);
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("gen.modules").add(njobs);
+    }
+    support::parallel_for(pool, njobs, run_job);
+  }
+
+  Phase merge_phase(options_.metrics, "gen.merge", "gen.merge_us");
 
   // AST lint verdict first (§3.2 spirit: refuse to proceed on findings —
   // a finding is a generator bug, not a user error, but refusing beats
@@ -179,17 +242,17 @@ std::string Engine::cache_config() const {
 }
 
 std::optional<ArtifactSet> Engine::generate_cached(
-    std::string_view spec_text, DiagnosticEngine& diags,
-    ArtifactCache* cache) const {
+    std::string_view spec_text, DiagnosticEngine& diags, ArtifactCache* cache,
+    CacheStats* spec_cache_stats) const {
   std::string key;
   if (cache != nullptr) {
     key = ArtifactCache::key_for(spec_text, cache_config());
-    if (auto hit = cache->load(key, diags)) return hit;
+    if (auto hit = cache->load(key, diags, spec_cache_stats)) return hit;
   }
   auto generated = generate(spec_text, diags);
   if (!generated) return std::nullopt;
   ArtifactSet set = std::move(*generated).take_set();
-  if (cache != nullptr) cache->store(key, set, diags);
+  if (cache != nullptr) cache->store(key, set, diags, spec_cache_stats);
   return set;
 }
 

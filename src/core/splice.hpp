@@ -30,6 +30,7 @@
 #include "ir/device.hpp"
 #include "support/diagnostics.hpp"
 #include "support/job_pool.hpp"
+#include "support/telemetry.hpp"
 
 namespace splice {
 
@@ -60,6 +61,13 @@ struct EngineOptions {
   /// does not own it.  Null with jobs > 1 spins up an ephemeral pool per
   /// generate call.
   support::JobPool* pool = nullptr;
+  /// Optional metrics sink (not owned; must outlive the engine).  When
+  /// set, generate() records per-phase wall time histograms —
+  /// gen.parse_us, gen.validate_us, gen.codegen_us (one sample per
+  /// hardware module job), gen.drivergen_us, gen.merge_us — plus the
+  /// gen.modules counter.  Span tracing is independent of this knob: it
+  /// follows the process-wide installed tracer.
+  support::telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class Engine {
@@ -82,10 +90,11 @@ class Engine {
   /// skipped entirely and stored warnings are replayed; on a miss the spec
   /// is compiled and the result stored.  `cache` may be null (plain
   /// compile).  `diags` should be private to this spec so cached warnings
-  /// stay attributable.
+  /// stay attributable.  `spec_cache_stats`, when non-null, receives this
+  /// call's own cache outcome (the per-spec delta batch reports print).
   [[nodiscard]] std::optional<ArtifactSet> generate_cached(
       std::string_view spec_text, DiagnosticEngine& diags,
-      ArtifactCache* cache) const;
+      ArtifactCache* cache, CacheStats* spec_cache_stats = nullptr) const;
 
   /// The part of the cache key that lives outside the spec text.
   [[nodiscard]] std::string cache_config() const;

@@ -5,11 +5,20 @@
 
 namespace splice::rtl {
 
+namespace telemetry = support::telemetry;
+
 namespace {
 [[noreturn]] void throw_unsettled() {
   throw SpliceError("combinational logic failed to settle (loop?)");
 }
 }  // namespace
+
+Simulator::Simulator() {
+  h_settle_iters_ = &metrics_.histogram("sim.settle_iters");
+  h_settle_evals_ = &metrics_.histogram("sim.settle_evals");
+  h_watch_churn_ = &metrics_.histogram("sim.watch_churn");
+  h_step_commits_ = &metrics_.histogram("sim.step_commits");
+}
 
 Signal& Simulator::signal(const std::string& name, unsigned width) {
   auto it = signal_index_.find(name);
@@ -51,6 +60,18 @@ void Simulator::rebuild_partition() {
 
 void Simulator::settle() {
   ++stats_.settles;
+  // Per-settle distributions, recorded on every exit path (including the
+  // unsettled throw) so the histograms always match the counters.
+  struct SettleSample {
+    Simulator* sim;
+    std::uint64_t iters0, evals0, pushes0;
+    ~SettleSample() {
+      sim->h_settle_iters_->record(sim->stats_.settle_iterations - iters0);
+      sim->h_settle_evals_->record(sim->stats_.evals - evals0);
+      sim->h_watch_churn_->record(sim->stats_.worklist_pushes - pushes0);
+    }
+  } sample{this, stats_.settle_iterations, stats_.evals,
+           stats_.worklist_pushes};
   if (mode_ == SettleMode::kFullPass) {
     settle_full_pass();
     return;
@@ -121,7 +142,9 @@ void Simulator::flush_commits() {
 void Simulator::step_cycle() {
   for (auto& fn : samplers_) fn(cycle_);
   for (auto& m : modules_) m->clock_edge();
+  const std::uint64_t commits0 = stats_.commits;
   flush_commits();
+  h_step_commits_->record(stats_.commits - commits0);
   settle();
   ++cycle_;
 }
@@ -150,31 +173,43 @@ void Simulator::reset() {
   cycle_ = 0;
 }
 
-std::string render_stats(const Simulator& sim) {
-  const Simulator::Stats& st = sim.stats();
-  std::ostringstream out;
-  out << "simulation kernel stats ("
-      << (sim.settle_mode() == Simulator::SettleMode::kEventDriven
-              ? "event-driven"
-              : "full-pass")
-      << " settle)\n";
-  out << "  cycles             " << sim.cycle() << "\n";
-  out << "  signals            " << sim.signals().size() << "\n";
-  out << "  modules            " << sim.modules().size() << "\n";
-  out << "  settles            " << st.settles << "\n";
-  out << "  settle iterations  " << st.settle_iterations << "\n";
-  out << "  eval_comb calls    " << st.evals << "\n";
-  out << "  fallback passes    " << st.fallback_passes << "\n";
-  out << "  worklist pushes    " << st.worklist_pushes << "\n";
-  out << "  signal changes     " << st.signal_changes << "\n";
-  out << "  commits            " << st.commits << "\n";
-  out << "  per-module eval_comb totals:\n";
-  for (const auto& m : sim.modules()) {
-    out << "    " << m->name()
-        << (m->sensitivity_declared() ? "" : "  [no sensitivities]") << "  "
-        << m->eval_count() << "\n";
+telemetry::MetricsSnapshot Simulator::metrics_snapshot() const {
+  telemetry::MetricsSnapshot snap = metrics_.snapshot();
+  snap.counters["sim.cycles"] = cycle_;
+  snap.counters["sim.settles"] = stats_.settles;
+  snap.counters["sim.settle_iterations"] = stats_.settle_iterations;
+  snap.counters["sim.eval_comb_calls"] = stats_.evals;
+  snap.counters["sim.fallback_passes"] = stats_.fallback_passes;
+  snap.counters["sim.worklist_pushes"] = stats_.worklist_pushes;
+  snap.counters["sim.signal_changes"] = stats_.signal_changes;
+  snap.counters["sim.commits"] = stats_.commits;
+  snap.gauges["sim.signals"] = static_cast<std::int64_t>(signals_.size());
+  snap.gauges["sim.modules"] = static_cast<std::int64_t>(modules_.size());
+  std::int64_t undeclared = 0;
+  for (const auto& m : modules_) {
+    // The per-module eval table of the old report, as counters; modules on
+    // the full-pass fallback path are flagged in the name.
+    snap.counters["sim.module_evals." + m->name() +
+                  (m->sensitivity_declared() ? "" : " [no sensitivities]")] =
+        m->eval_count();
+    if (!m->sensitivity_declared()) ++undeclared;
   }
-  return out.str();
+  snap.gauges["sim.modules_without_sensitivities"] = undeclared;
+  return snap;
+}
+
+std::string render_stats(const Simulator& sim, telemetry::Format format) {
+  const char* mode =
+      sim.settle_mode() == Simulator::SettleMode::kEventDriven
+          ? "event-driven"
+          : "full-pass";
+  const telemetry::MetricsSnapshot snap = sim.metrics_snapshot();
+  if (format == telemetry::Format::Json) {
+    return "{\"settle_mode\": \"" + std::string(mode) +
+           "\", \"metrics\": " + snap.render(format) + "}";
+  }
+  return "simulation kernel stats (" + std::string(mode) + " settle)\n" +
+         snap.render(format);
 }
 
 }  // namespace splice::rtl

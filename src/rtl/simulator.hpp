@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "rtl/signal.hpp"
+#include "support/telemetry.hpp"
 
 namespace splice::rtl {
 
@@ -104,7 +105,7 @@ class Simulator {
     std::uint64_t commits = 0;            ///< registered writes committed
   };
 
-  Simulator() = default;
+  Simulator();
 
   /// Create (or fetch, by exact name) a signal owned by the simulator.
   Signal& signal(const std::string& name, unsigned width = 1);
@@ -148,6 +149,20 @@ class Simulator {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
+
+  /// Per-instance metrics, live-fed by the kernel: distribution histograms
+  /// sim.settle_iters / sim.settle_evals (per settle), sim.watch_churn
+  /// (worklist pushes per settle — how hard the sensitivity wavefront
+  /// works) and sim.step_commits (registered writes per cycle).  The
+  /// monotonic Stats counters above are folded in at render time; see
+  /// metrics_snapshot().
+  [[nodiscard]] support::telemetry::MetricsRegistry& metrics() {
+    return metrics_;
+  }
+  /// The full kernel report as one snapshot: the live histograms plus the
+  /// Stats counters (sim.*), topology gauges and per-module
+  /// sim.module_evals.<name> counters — ready for MetricsSnapshot::render.
+  [[nodiscard]] support::telemetry::MetricsSnapshot metrics_snapshot() const;
 
  private:
   friend class Module;
@@ -194,6 +209,13 @@ class Simulator {
   std::vector<std::function<void(std::uint64_t)>> samplers_;
   SettleMode mode_ = SettleMode::kEventDriven;
   Stats stats_;
+  support::telemetry::MetricsRegistry metrics_;
+  // Cached histogram handles: record() is a few relaxed atomics, so the
+  // settle loop can feed them without name lookups.
+  support::telemetry::Histogram* h_settle_iters_ = nullptr;
+  support::telemetry::Histogram* h_settle_evals_ = nullptr;
+  support::telemetry::Histogram* h_watch_churn_ = nullptr;
+  support::telemetry::Histogram* h_step_commits_ = nullptr;
   std::uint64_t cycle_ = 0;
   bool settled_once_ = false;
 };
@@ -208,8 +230,12 @@ inline void Module::mark_dirty() {
   if (sim_ != nullptr) sim_->enqueue(*this);
 }
 
-/// Render the kernel instrumentation (global counters plus the per-module
-/// eval table) as a printable report.
-[[nodiscard]] std::string render_stats(const Simulator& sim);
+/// Render the kernel instrumentation (counters, per-module eval totals and
+/// the settle-distribution histograms) through the unified telemetry
+/// render path: Text is the human table report, Json one machine-readable
+/// object with stable key names (--sim-stats --stats-format json).
+[[nodiscard]] std::string render_stats(
+    const Simulator& sim,
+    support::telemetry::Format format = support::telemetry::Format::Text);
 
 }  // namespace splice::rtl

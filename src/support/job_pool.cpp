@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "support/telemetry.hpp"
+
 namespace splice::support {
 
 JobPool::JobPool(unsigned threads) {
@@ -62,12 +64,17 @@ struct ForState {
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
   std::vector<std::exception_ptr> errors;  // slot per index, distinct writers
+  /// The caller's active span at fan-out time: helper threads adopt it so
+  /// spans opened inside fn parent under the span that launched the range
+  /// and the fan-out renders as one flame graph.
+  std::uint64_t parent_span = 0;
 
   std::mutex mu;
   std::condition_variable cv;
   std::size_t done = 0;  // guarded by mu
 
   void drain() {
+    telemetry::ParentScope adopt(parent_span);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
@@ -101,6 +108,7 @@ void parallel_for(JobPool* pool, std::size_t n,
   state->n = n;
   state->fn = &fn;
   state->errors.resize(n);
+  state->parent_span = telemetry::current_span_id();
 
   // One helper per worker is enough: each helper loops until the range is
   // exhausted.  More would only queue no-ops.

@@ -10,6 +10,11 @@
 // index-addressed output slot).  When one or more indices throw, the
 // exception of the *lowest* failing index is rethrown after the whole range
 // has settled — the same exception a serial loop would have surfaced first.
+//
+// Telemetry: parallel_for captures the caller's active span
+// (support/telemetry) and adopts it inside every drain, so spans opened by
+// fn on pool workers parent under the launching span instead of appearing
+// as per-thread orphans in the trace.
 #pragma once
 
 #include <cstddef>

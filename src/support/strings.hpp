@@ -34,5 +34,8 @@ namespace splice::str {
 [[nodiscard]] std::string hex(std::uint64_t value, int min_digits = 1);
 /// Indent every line of `body` by `spaces` spaces.
 [[nodiscard]] std::string indent(std::string_view body, int spaces);
+/// Escape `s` for inclusion inside a JSON double-quoted string (quotes,
+/// backslashes, control characters; no outer quotes added).
+[[nodiscard]] std::string json_escape(std::string_view s);
 
 }  // namespace splice::str

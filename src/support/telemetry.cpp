@@ -1,0 +1,407 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace splice::support::telemetry {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+void Histogram::record(std::uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  const int bucket =
+      std::min(kBuckets - 1, static_cast<int>(std::bit_width(v)));
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) {
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::uint64_t Histogram::Snapshot::quantile_bound(double q) const {
+  if (count == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (seen > rank) {
+      // Bucket i holds values of bit width i: upper bound 2^i - 1, clamped
+      // to the observed maximum.
+      const std::uint64_t bound =
+          i >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+      return std::min(bound, max);
+    }
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot algebra and rendering
+
+MetricsSnapshot MetricsSnapshot::diff_since(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    const std::uint64_t before = it == earlier.counters.end() ? 0 : it->second;
+    if (value != before) out.counters.emplace(name, value - before);
+  }
+  out.gauges = gauges;
+  for (const auto& [name, snap] : histograms) {
+    const auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      if (snap.count != 0) out.histograms.emplace(name, snap);
+      continue;
+    }
+    if (snap.count == it->second.count) continue;
+    Histogram::Snapshot d = snap;  // min/max stay: extremes cannot subtract
+    d.count -= it->second.count;
+    d.sum -= it->second.sum;
+    for (std::size_t i = 0; i < d.buckets.size(); ++i) {
+      d.buckets[i] -= it->second.buckets[i];
+    }
+    out.histograms.emplace(name, d);
+  }
+  return out;
+}
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+void append_json_histogram(std::string& out, const Histogram::Snapshot& h) {
+  out += "{\"count\": " + std::to_string(h.count) +
+         ", \"sum\": " + std::to_string(h.sum) +
+         ", \"min\": " + std::to_string(h.min) +
+         ", \"max\": " + std::to_string(h.max) +
+         ", \"mean\": " + format_double(h.mean()) +
+         ", \"p50\": " + std::to_string(h.quantile_bound(0.50)) +
+         ", \"p95\": " + std::to_string(h.quantile_bound(0.95)) + "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::render(Format format) const {
+  if (format == Format::Json) {
+    std::string out = "{\"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + str::json_escape(name) + "\": " + std::to_string(value);
+    }
+    out += "}, \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : gauges) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + str::json_escape(name) + "\": " + std::to_string(value);
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const auto& [name, snap] : histograms) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + str::json_escape(name) + "\": ";
+      append_json_histogram(out, snap);
+    }
+    out += "}}";
+    return out;
+  }
+
+  std::string out;
+  if (!counters.empty() || !gauges.empty()) {
+    TextTable t;
+    t.set_header({"metric", "value"});
+    t.set_alignment({TextTable::Align::Left, TextTable::Align::Right});
+    for (const auto& [name, value] : counters) {
+      t.add_row({name, std::to_string(value)});
+    }
+    for (const auto& [name, value] : gauges) {
+      t.add_row({name, std::to_string(value)});
+    }
+    out += t.render();
+  }
+  if (!histograms.empty()) {
+    TextTable t;
+    t.set_header({"histogram", "count", "sum", "mean", "min", "max", "~p50",
+                  "~p95"});
+    std::vector<TextTable::Align> align(8, TextTable::Align::Right);
+    align[0] = TextTable::Align::Left;
+    t.set_alignment(align);
+    for (const auto& [name, h] : histograms) {
+      t.add_row({name, std::to_string(h.count), std::to_string(h.sum),
+                 format_double(h.mean()), std::to_string(h.min),
+                 std::to_string(h.max),
+                 std::to_string(h.quantile_bound(0.50)),
+                 std::to_string(h.quantile_bound(0.95))});
+    }
+    out += t.render();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) s.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace(name, h->snapshot());
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+std::atomic<std::uint64_t> g_epoch{0};
+
+/// Per-thread tracing state, lazily re-bound whenever the install epoch
+/// moves (so threads that outlive one tracer attach cleanly to the next).
+struct TlsState {
+  std::uint64_t epoch = 0;
+  Tracer::ThreadBuf* buf = nullptr;
+  std::uint64_t current = 0;  ///< innermost open span id on this thread
+  std::uint64_t adopted = 0;  ///< cross-thread parent (ParentScope)
+};
+
+thread_local TlsState g_tls;
+
+/// Reset the thread's cached state when the install epoch moved; returns
+/// the thread's buffer under the current epoch (null when unregistered).
+Tracer::ThreadBuf* bind_thread() {
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (g_tls.epoch != epoch) {
+    g_tls.epoch = epoch;
+    g_tls.buf = nullptr;
+    g_tls.current = 0;
+  }
+  return g_tls.buf;
+}
+
+}  // namespace
+
+Tracer::Tracer() : start_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() {
+  if (active() == this) install(nullptr);
+}
+
+void Tracer::install(Tracer* t) {
+  g_tracer.store(t, std::memory_order_release);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+Tracer* Tracer::active() {
+  return g_tracer.load(std::memory_order_acquire);
+}
+
+Tracer::ThreadBuf* Tracer::register_thread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.emplace_back();
+  buffers_.back().tid = static_cast<std::uint32_t>(buffers_.size() - 1);
+  return &buffers_.back();
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+std::vector<Tracer::SpanRecord> Tracer::spans() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      out.insert(out.end(), buf.spans.begin(), buf.spans.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.id < b.id;
+            });
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<SpanRecord> all = spans();
+
+  // tid of every span, for flow arrows on cross-thread parent edges.
+  std::map<std::uint64_t, std::uint32_t> tid_of;
+  for (const auto& s : all) tid_of.emplace(s.id, s.tid);
+
+  auto append_us = [](std::string& out, std::uint64_t ns) {
+    // Microseconds with nanosecond precision (Chrome ts/dur are doubles).
+    out += std::to_string(ns / 1000) + "." + [&] {
+      char frac[8];
+      std::snprintf(frac, sizeof(frac), "%03u",
+                    static_cast<unsigned>(ns % 1000));
+      return std::string(frac);
+    }();
+  };
+
+  std::string out;
+  out.reserve(256 + all.size() * 160);
+  out +=
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"splice\"}}";
+  for (const auto& s : all) {
+    out += ",\n{\"name\": \"" + str::json_escape(s.name) + "\", \"cat\": \"" +
+           str::json_escape(s.cat) + "\", \"ph\": \"X\", \"pid\": 1, "
+           "\"tid\": " + std::to_string(s.tid) + ", \"ts\": ";
+    append_us(out, s.start_ns);
+    out += ", \"dur\": ";
+    append_us(out, s.dur_ns);
+    out += ", \"args\": {\"span_id\": " + std::to_string(s.id) +
+           ", \"parent\": " + std::to_string(s.parent);
+    for (const auto& [key, value] : s.args) {
+      out += ", \"" + str::json_escape(key) + "\": " + std::to_string(value);
+    }
+    out += "}}";
+
+    // A parent on another thread cannot be drawn by slice nesting; emit a
+    // flow arrow from the parent's track to this span's start instead.
+    const auto parent_tid = tid_of.find(s.parent);
+    if (s.parent != 0 && parent_tid != tid_of.end() &&
+        parent_tid->second != s.tid) {
+      std::string ts;
+      append_us(ts, s.start_ns);
+      out += ",\n{\"name\": \"fan-out\", \"cat\": \"pool\", \"ph\": \"s\", "
+             "\"id\": " + std::to_string(s.id) +
+             ", \"pid\": 1, \"tid\": " + std::to_string(parent_tid->second) +
+             ", \"ts\": " + ts + "}";
+      out += ",\n{\"name\": \"fan-out\", \"cat\": \"pool\", \"ph\": \"f\", "
+             "\"bp\": \"e\", \"id\": " + std::to_string(s.id) +
+             ", \"pid\": 1, \"tid\": " + std::to_string(s.tid) +
+             ", \"ts\": " + ts + "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Span / ParentScope
+
+Span::Span(std::string_view name, std::string_view cat) {
+  Tracer* t = Tracer::active();
+  if (t == nullptr) return;
+  Tracer::ThreadBuf* buf = bind_thread();
+  if (buf == nullptr) {
+    buf = t->register_thread();
+    g_tls.buf = buf;
+  }
+  tracer_ = t;
+  buf_ = buf;
+  epoch_ = g_tls.epoch;
+  rec_.name.assign(name);
+  rec_.cat.assign(cat);
+  rec_.id = t->next_id();
+  rec_.parent = g_tls.current != 0 ? g_tls.current : g_tls.adopted;
+  rec_.tid = buf->tid;
+  saved_current_ = g_tls.current;
+  g_tls.current = rec_.id;
+  rec_.start_ns = t->now_ns();
+}
+
+Span::~Span() {
+  if (buf_ == nullptr) return;
+  // A tracer swap while this span was open orphans it: drop the record —
+  // the buffer may belong to a tracer that no longer exists.
+  if (g_epoch.load(std::memory_order_acquire) != epoch_) return;
+  rec_.dur_ns = tracer_->now_ns() - rec_.start_ns;
+  g_tls.current = saved_current_;
+  buf_->spans.push_back(std::move(rec_));
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (buf_ == nullptr) return;
+  rec_.args.emplace_back(std::string(key), value);
+}
+
+std::uint64_t current_span_id() {
+  if (Tracer::active() == nullptr) return 0;
+  if (g_tls.epoch != g_epoch.load(std::memory_order_acquire)) return 0;
+  return g_tls.current != 0 ? g_tls.current : g_tls.adopted;
+}
+
+ParentScope::ParentScope(std::uint64_t parent_id) {
+  // Re-bind first so a stale adopted value from a previous tracer epoch
+  // cannot leak into this scope's save/restore pair.
+  bind_thread();
+  saved_ = g_tls.adopted;
+  g_tls.adopted = parent_id;
+}
+
+ParentScope::~ParentScope() { g_tls.adopted = saved_; }
+
+}  // namespace splice::support::telemetry

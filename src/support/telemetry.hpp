@@ -1,0 +1,264 @@
+// Unified runtime telemetry: a span tracer and a metrics registry.
+//
+// The tracer records nested spans (name, category, wall-clock interval,
+// thread, counter args) into per-thread buffers that are merged at flush
+// and serialized as Chrome trace-event JSON — the format Perfetto and
+// chrome://tracing load directly.  Exactly one tracer is *installed*
+// process-wide at a time (the CLI installs one for `--trace-out`); opening
+// a span while none is installed costs a single relaxed atomic load, so
+// instrumentation can stay unconditionally in hot paths.
+//
+// Parenting: each thread keeps a stack of its open spans; a new span's
+// parent is the innermost open span.  Work that hops threads (the job
+// pool's `parallel_for`) carries the caller's span id across and adopts it
+// via ParentScope, so spans opened inside pool workers parent under the
+// span that issued the fan-out and the batch renders as one flame graph
+// instead of per-thread orphans.
+//
+// The metrics registry is the single registration point for counters,
+// gauges and histograms.  Metric objects are lock-free atomics; the
+// registry's name→metric maps are mutex-guarded get-or-create with stable
+// addresses, so callers hold onto `Counter*`/`Histogram*` and record from
+// any thread.  `snapshot()` captures a point-in-time view; snapshots
+// subtract (`diff_since`) for per-unit-of-work deltas (e.g. one spec's own
+// cache hits inside a batch) and render through one path as either a
+// text_table report or a JSON object with stable key names.
+//
+// Lifetime discipline for the tracer: install(nullptr) (or destroying an
+// installed tracer) before reading results, with no spans still open.
+// Threads that outlive a tracer re-register against the next one lazily —
+// installation bumps a process-wide epoch that invalidates every thread's
+// cached buffer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace splice::support::telemetry {
+
+enum class Format : std::uint8_t { Text, Json };
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram of unsigned samples.  Bucket i holds values
+/// whose bit width is i (0 in bucket 0, [2^(i-1), 2^i) in bucket i), which
+/// keeps record() a handful of relaxed atomic ops — cheap enough for the
+/// simulator's per-settle feed.  Quantiles are bucket-resolution estimates.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;  ///< covers values below 2^39
+
+  void record(std::uint64_t v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// Exact extremes of the recorded samples; not diffable (diff_since
+    /// keeps the later snapshot's values).
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    /// Upper bound of the bucket holding the q-quantile sample (q in [0,1]).
+    [[nodiscard]] std::uint64_t quantile_bound(double q) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time view of a registry (or a hand-assembled report: callers
+/// may insert extra entries before rendering — the simulator folds its
+/// kernel counters in this way).  Maps keep names sorted, so both render
+/// formats are deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+
+  /// Delta view: counters and histogram counts/sums/buckets subtract
+  /// (entries absent from `earlier` count from zero); gauges and histogram
+  /// min/max keep this snapshot's values.  Entries whose delta is zero are
+  /// dropped, so a per-spec diff lists only what that spec did.
+  [[nodiscard]] MetricsSnapshot diff_since(const MetricsSnapshot& earlier) const;
+
+  /// One rendering path for every stat surface: Text is a text_table
+  /// report (counters/gauges table, then a histogram table), Json is a
+  /// single object {"counters":{},"gauges":{},"histograms":{}} with stable
+  /// key names.
+  [[nodiscard]] std::string render(Format format) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create; the returned reference stays valid for the registry's
+  /// lifetime.  Safe to call concurrently.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::string render(Format format) const {
+    return snapshot().render(format);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// ---------------------------------------------------------------------------
+// Span tracer
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Install `t` as the process-wide active tracer (nullptr disables
+  /// tracing).  Not safe to call while spans are open on other threads.
+  static void install(Tracer* t);
+  [[nodiscard]] static Tracer* active();
+
+  /// A finished span as recorded in a thread buffer.  `tid` is a dense
+  /// per-tracer thread index in registration order (0 = first recording
+  /// thread); `parent` is 0 for roots.
+  struct SpanRecord {
+    std::string name;
+    std::string cat;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t start_ns = 0;  ///< since tracer construction
+    std::uint64_t dur_ns = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> args;
+  };
+
+  /// Merge every thread buffer and return the spans sorted by start time
+  /// (ties by id).  Call only after the producing work has been joined.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+  /// Chrome trace-event JSON ("X" complete events, plus "s"/"f" flow
+  /// arrows for spans whose parent ran on a different thread).  Loadable
+  /// in Perfetto / chrome://tracing.  Same join requirement as spans().
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// One recording thread's buffer: written only by its owning thread,
+  /// read at merge time after the producers joined.
+  struct ThreadBuf {
+    std::uint32_t tid = 0;
+    std::vector<SpanRecord> spans;
+  };
+
+ private:
+  friend class Span;
+
+  /// Register the calling thread; returns its buffer (stable address).
+  ThreadBuf* register_thread();
+  [[nodiscard]] std::uint64_t now_ns() const;
+  std::uint64_t next_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::deque<ThreadBuf> buffers_;  // deque: stable addresses for threads
+};
+
+/// RAII span against the installed tracer; a no-op (one atomic load) when
+/// none is installed.  Spans must be closed on the thread that opened them
+/// and strictly nest per thread — scope-bound usage guarantees both.
+class Span {
+ public:
+  Span(std::string_view name, std::string_view cat);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a counter argument (rendered into the trace event's "args").
+  void arg(std::string_view key, std::uint64_t value);
+
+  [[nodiscard]] bool recording() const { return buf_ != nullptr; }
+  /// This span's id (0 when not recording) — what parallel_for carries
+  /// across threads.
+  [[nodiscard]] std::uint64_t id() const { return rec_.id; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Tracer::ThreadBuf* buf_ = nullptr;
+  std::uint64_t epoch_ = 0;          ///< install epoch this span belongs to
+  std::uint64_t saved_current_ = 0;  ///< caller's innermost span, restored
+  Tracer::SpanRecord rec_;
+};
+
+/// The calling thread's innermost open span id — the adopted cross-thread
+/// parent when the thread's own stack is empty — or 0 when idle/untraced.
+[[nodiscard]] std::uint64_t current_span_id();
+
+/// Adopt `parent_id` as the parent for spans this thread opens at stack
+/// depth zero while the scope lives.  job_pool::parallel_for wraps worker
+/// drains in one of these so fanned-out work parents under the span that
+/// launched it.  Nests (saves and restores the previous adoption).
+class ParentScope {
+ public:
+  explicit ParentScope(std::uint64_t parent_id);
+  ~ParentScope();
+  ParentScope(const ParentScope&) = delete;
+  ParentScope& operator=(const ParentScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+}  // namespace splice::support::telemetry

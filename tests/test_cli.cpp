@@ -286,4 +286,171 @@ TEST(Cli, LinuxFlagSwitchesTheMacroLibrary) {
   fs::remove(spec);
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry surface: --stats-format and --trace-out
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(Cli, StatsFormatRejectsUnknownValue) {
+  const fs::path spec = write_spec("cli_sf_bad.splice", kTimerSpec);
+  auto r = run(spec.string() + " --gen-stats --stats-format bogus --list");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("expects 'text' or 'json'"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(run(spec.string() + " --stats-format").exit_code, 2);
+  fs::remove(spec);
+}
+
+TEST(Cli, StatsFormatJsonRequiresAStatsFlag) {
+  const fs::path spec = write_spec("cli_sf_nostats.splice", kTimerSpec);
+  auto r = run(spec.string() + " --stats-format json --list");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("requires --gen-stats or --sim-stats"),
+            std::string::npos)
+      << r.output;
+  // --print would interleave file dumps with the JSON object on stdout.
+  auto p = run(spec.string() + " --stats-format json --gen-stats --print");
+  EXPECT_EQ(p.exit_code, 2);
+  fs::remove(spec);
+}
+
+TEST(Cli, JsonGenStatsReportsPerSpecNonCumulativeCacheCounters) {
+  const fs::path a = write_spec("cli_json_a.splice", kTimerSpec);
+  const fs::path b = write_spec(
+      "cli_json_b.splice",
+      "%device_name json_b\n%bus_type opb\n%bus_width 32\n"
+      "%base_address 0x90000000\nint poke(int v);\n");
+  const fs::path cache_dir =
+      fs::temp_directory_path() /
+      ("splice_cli_json_cache_" + std::to_string(::getpid()));
+  const fs::path out_dir =
+      fs::temp_directory_path() /
+      ("splice_cli_json_out_" + std::to_string(::getpid()));
+  fs::remove_all(cache_dir);
+  fs::remove_all(out_dir);
+  const std::string common = a.string() + " " + b.string() +
+                             " --jobs 2 --gen-stats --stats-format json"
+                             " --cache-dir " + cache_dir.string() + " -o " +
+                             out_dir.string();
+
+  auto cold = run(common);
+  EXPECT_EQ(cold.exit_code, 0) << cold.output;
+  // One JSON object on stdout, no text report lines.
+  EXPECT_EQ(cold.output.find("== generation stats =="), std::string::npos);
+  EXPECT_EQ(cold.output.find("files written"), std::string::npos);
+  EXPECT_EQ(cold.output[0], '{') << cold.output;
+  // Each spec's own cold outcome: one miss, one store, zero hits.
+  EXPECT_NE(cold.output.find("\"cache\": {\"hits\": 0, \"misses\": 1, "
+                             "\"stores\": 1, \"corrupt\": 0}"),
+            std::string::npos)
+      << cold.output;
+  EXPECT_NE(cold.output.find("\"device\": \"hw_timer\""), std::string::npos);
+  EXPECT_NE(cold.output.find("\"misses\": 2"), std::string::npos)
+      << "shared totals should accumulate across the batch: " << cold.output;
+  EXPECT_NE(cold.output.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(cold.output.find("gen.parse_us"), std::string::npos);
+
+  auto warm = run(common);
+  EXPECT_EQ(warm.exit_code, 0) << warm.output;
+  // The fixed --gen-stats batch-mode bug: per-spec counters are the
+  // spec's own delta (one hit each), never the cumulative totals.
+  EXPECT_NE(warm.output.find("\"cache\": {\"hits\": 1, \"misses\": 0, "
+                             "\"stores\": 0, \"corrupt\": 0}"),
+            std::string::npos)
+      << warm.output;
+  EXPECT_EQ(warm.output.find("\"cache\": {\"hits\": 2"), std::string::npos)
+      << "per-spec counters must not be cumulative: " << warm.output;
+  fs::remove_all(cache_dir);
+  fs::remove_all(out_dir);
+  fs::remove(a);
+  fs::remove(b);
+}
+
+TEST(Cli, SimStatsRendersAsJsonWhenAsked) {
+  const fs::path spec = write_spec("cli_sim_json.splice", kTimerSpec);
+  auto r = run(spec.string() + " --sim-stats 25 --stats-format json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"settle_mode\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"sim.cycles\": 25"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("simulation kernel stats"), std::string::npos)
+      << "json mode must not print the text report";
+  fs::remove(spec);
+}
+
+TEST(Cli, TextGenStatsListsPerSpecCacheLinesInBatchMode) {
+  const fs::path a = write_spec("cli_pspec_a.splice", kTimerSpec);
+  const fs::path b = write_spec(
+      "cli_pspec_b.splice",
+      "%device_name pspec_b\n%bus_type opb\n%bus_width 32\n"
+      "%base_address 0x90000000\nint poke(int v);\n");
+  const fs::path cache_dir =
+      fs::temp_directory_path() /
+      ("splice_cli_pspec_cache_" + std::to_string(::getpid()));
+  fs::remove_all(cache_dir);
+  auto r = run(a.string() + " " + b.string() + " --jobs 2 --list" +
+               " --gen-stats --cache-dir " + cache_dir.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("per-spec cache (this run):"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("misses 1, stores 1"), std::string::npos)
+      << r.output;
+  // The phase timing table rides along with --gen-stats.
+  EXPECT_NE(r.output.find("gen.parse_us"), std::string::npos) << r.output;
+  fs::remove_all(cache_dir);
+  fs::remove(a);
+  fs::remove(b);
+}
+
+TEST(Cli, TraceOutWritesAValidTraceWithoutChangingArtifacts) {
+  const fs::path spec = write_spec("cli_trace.splice", kTimerSpec);
+  const fs::path base =
+      fs::temp_directory_path() /
+      ("splice_cli_trace_" + std::to_string(::getpid()));
+  fs::remove_all(base);
+  const fs::path trace = base / "trace.json";
+  fs::create_directories(base);
+
+  auto plain = run(spec.string() + " -o " + (base / "plain").string());
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+  auto traced = run(spec.string() + " -o " + (base / "traced").string() +
+                    " --trace-out " + trace.string());
+  ASSERT_EQ(traced.exit_code, 0) << traced.output;
+
+  // The trace exists, is non-trivial and carries the expected structure.
+  ASSERT_TRUE(fs::exists(trace));
+  const std::string json = read_file(trace);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"splice.batch\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("spec:"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+
+  // Determinism: tracing never changes the written artifact bytes.
+  for (const auto& entry :
+       fs::recursive_directory_iterator(base / "plain")) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path rel = fs::relative(entry.path(), base / "plain");
+    EXPECT_EQ(read_file(entry.path()), read_file(base / "traced" / rel))
+        << rel << " differs under tracing";
+  }
+  fs::remove_all(base);
+  fs::remove(spec);
+}
+
+TEST(Cli, TraceOutFailureIsReportedNotFatal) {
+  const fs::path spec = write_spec("cli_trace_fail.splice", kTimerSpec);
+  auto r = run(spec.string() + " --list --trace-out /nonexistent/dir/t.json");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("cannot write trace"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(run(spec.string() + " --trace-out").exit_code, 2);
+  fs::remove(spec);
+}
+
 }  // namespace

@@ -1,0 +1,466 @@
+// Tests of the unified telemetry layer (support/telemetry): metric
+// primitives and registry, snapshot diff algebra, span nesting and
+// cross-thread parent propagation through job_pool::parallel_for, Chrome
+// trace JSON well-formedness, and the determinism guard — tracing must
+// never change the generated artifact bytes (pinned against the golden
+// fixtures).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/artifact_cache.hpp"
+#include "core/splice.hpp"
+#include "support/job_pool.hpp"
+#include "support/telemetry.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace splice::support::telemetry;
+
+#ifndef SPLICE_GOLDEN_DIR
+#define SPLICE_GOLDEN_DIR "tests/golden"
+#endif
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(Metrics, CounterGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge g;
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.set(1000);
+  EXPECT_EQ(g.value(), 1000);
+}
+
+TEST(Metrics, HistogramSnapshotAndQuantiles) {
+  Histogram h;
+  for (std::uint64_t v : {1u, 2u, 3u, 100u, 1000u}) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 1106u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1106.0 / 5.0);
+  // Bucket-resolution bounds: the p50 sample (3) lives in bucket [2,4),
+  // the p95+ tail reaches the bucket holding 1000.
+  EXPECT_GE(s.quantile_bound(0.5), 3u);
+  EXPECT_LT(s.quantile_bound(0.5), 100u);
+  EXPECT_GE(s.quantile_bound(1.0), 1000u);
+}
+
+TEST(Metrics, RegistryGetOrCreateReturnsStableObjects) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&reg.counter("y"), &a);
+  Histogram& h1 = reg.histogram("h");
+  EXPECT_EQ(&h1, &reg.histogram("h"));
+  Gauge& g1 = reg.gauge("g");
+  EXPECT_EQ(&g1, &reg.gauge("g"));
+
+  a.add(2);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("x"), 2u);
+  EXPECT_EQ(snap.counters.at("y"), 0u);
+}
+
+TEST(Metrics, SnapshotDiffSubtractsAndDropsZeroDeltas) {
+  MetricsRegistry reg;
+  reg.counter("work").add(5);
+  reg.counter("idle").add(3);
+  reg.gauge("depth").set(2);
+  reg.histogram("lat").record(10);
+  const MetricsSnapshot before = reg.snapshot();
+
+  reg.counter("work").add(7);
+  reg.gauge("depth").set(9);
+  reg.histogram("lat").record(20);
+  reg.histogram("lat").record(30);
+  const MetricsSnapshot after = reg.snapshot();
+
+  const MetricsSnapshot delta = after.diff_since(before);
+  EXPECT_EQ(delta.counters.at("work"), 7u);
+  // Untouched counters drop out of the delta entirely.
+  EXPECT_EQ(delta.counters.count("idle"), 0u);
+  // Gauges keep the later value (a level, not a rate).
+  EXPECT_EQ(delta.gauges.at("depth"), 9);
+  EXPECT_EQ(delta.histograms.at("lat").count, 2u);
+  EXPECT_EQ(delta.histograms.at("lat").sum, 50u);
+}
+
+TEST(Metrics, JsonRenderHasStableTopLevelKeys) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  reg.histogram("h").record(4);
+  const std::string json = reg.render(Format::Json);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Span tracer
+
+TEST(Tracer, SpansAreNoopsWithoutInstalledTracer) {
+  ASSERT_EQ(Tracer::active(), nullptr);
+  Span s("orphan", "test");
+  EXPECT_FALSE(s.recording());
+  EXPECT_EQ(s.id(), 0u);
+  EXPECT_EQ(current_span_id(), 0u);
+}
+
+TEST(Tracer, RecordsNestedParentsOnOneThread) {
+  Tracer tracer;
+  Tracer::install(&tracer);
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    Span outer("outer", "test");
+    outer.arg("k", 7);
+    outer_id = outer.id();
+    EXPECT_EQ(current_span_id(), outer_id);
+    {
+      Span inner("inner", "test");
+      inner_id = inner.id();
+      EXPECT_EQ(current_span_id(), inner_id);
+    }
+    EXPECT_EQ(current_span_id(), outer_id);
+  }
+  Tracer::install(nullptr);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  std::map<std::uint64_t, Tracer::SpanRecord> by_id;
+  for (const auto& s : spans) by_id[s.id] = s;
+  EXPECT_EQ(by_id.at(outer_id).parent, 0u);
+  EXPECT_EQ(by_id.at(inner_id).parent, outer_id);
+  EXPECT_EQ(by_id.at(outer_id).name, "outer");
+  ASSERT_EQ(by_id.at(outer_id).args.size(), 1u);
+  EXPECT_EQ(by_id.at(outer_id).args[0].first, "k");
+  EXPECT_EQ(by_id.at(outer_id).args[0].second, 7u);
+  // The child is contained in the parent's interval.
+  EXPECT_GE(by_id.at(inner_id).start_ns, by_id.at(outer_id).start_ns);
+}
+
+TEST(Tracer, ParallelForPropagatesTheLaunchingSpanAsParent) {
+  Tracer tracer;
+  Tracer::install(&tracer);
+  splice::support::JobPool pool(3);
+  std::uint64_t root_id = 0;
+  {
+    Span root("root", "test");
+    root_id = root.id();
+    splice::support::parallel_for(&pool, 64, [](std::size_t) {
+      Span task("task", "test");
+    });
+  }
+  Tracer::install(nullptr);
+
+  const auto spans = tracer.spans();
+  std::size_t tasks = 0;
+  std::set<std::uint32_t> tids;
+  for (const auto& s : spans) {
+    if (s.name != "task") continue;
+    ++tasks;
+    tids.insert(s.tid);
+    // Every task span — whichever thread ran it — parents under the span
+    // that issued the fan-out: the whole batch is one tree, no orphans.
+    EXPECT_EQ(s.parent, root_id) << "task on tid " << s.tid;
+  }
+  EXPECT_EQ(tasks, 64u);
+  EXPECT_GE(tids.size(), 1u);
+}
+
+TEST(Tracer, NestedParallelForKeepsTheChain) {
+  Tracer tracer;
+  Tracer::install(&tracer);
+  splice::support::JobPool pool(2);
+  std::uint64_t root_id = 0;
+  {
+    Span root("root", "test");
+    root_id = root.id();
+    splice::support::parallel_for(&pool, 4, [&](std::size_t) {
+      Span mid("mid", "test");
+      // Inner fan-out (serial pool): leaves must parent under this mid
+      // span, not under the root.
+      splice::support::parallel_for(nullptr, 3, [](std::size_t) {
+        Span leaf("leaf", "test");
+      });
+    });
+  }
+  Tracer::install(nullptr);
+
+  std::map<std::uint64_t, Tracer::SpanRecord> by_id;
+  for (const auto& s : tracer.spans()) by_id[s.id] = s;
+  std::size_t mids = 0;
+  std::size_t leaves = 0;
+  for (const auto& [id, s] : by_id) {
+    if (s.name == "mid") {
+      ++mids;
+      EXPECT_EQ(s.parent, root_id);
+    } else if (s.name == "leaf") {
+      ++leaves;
+      ASSERT_NE(s.parent, 0u);
+      EXPECT_EQ(by_id.at(s.parent).name, "mid");
+    }
+  }
+  EXPECT_EQ(mids, 4u);
+  EXPECT_EQ(leaves, 12u);
+}
+
+// Minimal recursive-descent JSON validator: enough to prove the trace is
+// syntactically well-formed (what Perfetto's loader requires first).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Tracer, ChromeTraceJsonIsWellFormed) {
+  Tracer tracer;
+  Tracer::install(&tracer);
+  splice::support::JobPool pool(2);
+  {
+    Span root("batch", "cli");
+    root.arg("specs", 2);
+    splice::support::parallel_for(&pool, 8, [](std::size_t i) {
+      Span task("task \"quoted\\name\"", "gen");  // exercises escaping
+      task.arg("index", i);
+    });
+  }
+  Tracer::install(nullptr);
+
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"batch\""), std::string::npos);
+  // 9 spans were recorded; every one becomes an "X" complete event.
+  std::size_t x_events = 0;
+  for (std::size_t p = json.find("\"ph\": \"X\""); p != std::string::npos;
+       p = json.find("\"ph\": \"X\"", p + 1)) {
+    ++x_events;
+  }
+  EXPECT_EQ(x_events, 9u);
+}
+
+TEST(Tracer, ReinstallAfterUninstallStartsCleanEpoch) {
+  Tracer first;
+  Tracer::install(&first);
+  { Span s("one", "test"); }
+  Tracer::install(nullptr);
+
+  Tracer second;
+  Tracer::install(&second);
+  { Span s("two", "test"); }
+  Tracer::install(nullptr);
+
+  ASSERT_EQ(first.spans().size(), 1u);
+  ASSERT_EQ(second.spans().size(), 1u);
+  EXPECT_EQ(first.spans()[0].name, "one");
+  EXPECT_EQ(second.spans()[0].name, "two");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism guard: telemetry is pure observation
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+const char* kTimerSpec =
+    "%device_name t1\n%bus_type plb\n%bus_width 32\n"
+    "%base_address 0x80000000\n%user_type llong, unsigned long long, 64\n"
+    "void set(llong v);\nllong get();\n";
+
+TEST(Determinism, TracingNeverChangesArtifactBytes) {
+  splice::DiagnosticEngine diags_plain;
+  splice::Engine plain_engine;
+  auto plain = plain_engine.generate(kTimerSpec, diags_plain);
+  ASSERT_TRUE(plain.has_value()) << diags_plain.render();
+
+  // Same compile with the full observability stack on: installed tracer,
+  // metrics registry, parallel workers.
+  MetricsRegistry metrics;
+  Tracer tracer;
+  Tracer::install(&tracer);
+  splice::EngineOptions options;
+  options.jobs = 4;
+  options.metrics = &metrics;
+  splice::Engine traced_engine(splice::adapters::AdapterRegistry::instance(),
+                               options);
+  splice::DiagnosticEngine diags_traced;
+  auto traced = traced_engine.generate(kTimerSpec, diags_traced);
+  Tracer::install(nullptr);
+  ASSERT_TRUE(traced.has_value()) << diags_traced.render();
+
+  ASSERT_EQ(plain->filenames(), traced->filenames());
+  for (const auto& name : plain->filenames()) {
+    EXPECT_EQ(plain->find(name)->content, traced->find(name)->content)
+        << name << " differs under tracing";
+  }
+  // The traced compile actually recorded: phases in the registry, spans in
+  // the buffer — observation happened, output stayed put.
+  EXPECT_FALSE(tracer.spans().empty());
+  EXPECT_GE(metrics.snapshot().histograms.count("gen.parse_us"), 1u);
+
+  // And the bytes match the checked-in goldens, not just each other.
+  const fs::path golden = fs::path(SPLICE_GOLDEN_DIR) / "timer_plb_vhdl";
+  ASSERT_TRUE(fs::exists(golden)) << golden;
+  for (const auto& entry : fs::directory_iterator(golden)) {
+    const auto* file = traced->find(entry.path().filename().string());
+    ASSERT_NE(file, nullptr) << entry.path();
+    EXPECT_EQ(file->content, read_file(entry.path()))
+        << entry.path() << " differs under tracing";
+  }
+}
+
+TEST(Determinism, PerSpecCacheStatsAreThisCallsOwnDelta) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("splice_telemetry_cache_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  MetricsRegistry metrics;
+  splice::ArtifactCache cache(dir.string(), &metrics);
+  splice::Engine engine;
+
+  splice::DiagnosticEngine diags_cold;
+  splice::CacheStats cold{};
+  ASSERT_TRUE(engine.generate_cached(kTimerSpec, diags_cold, &cache, &cold)
+                  .has_value());
+  EXPECT_EQ(cold.misses, 1u);
+  EXPECT_EQ(cold.stores, 1u);
+  EXPECT_EQ(cold.hits, 0u);
+
+  splice::DiagnosticEngine diags_warm;
+  splice::CacheStats warm{};
+  ASSERT_TRUE(engine.generate_cached(kTimerSpec, diags_warm, &cache, &warm)
+                  .has_value());
+  // The warm call's own outcome — not the cumulative totals.
+  EXPECT_EQ(warm.hits, 1u);
+  EXPECT_EQ(warm.misses, 0u);
+  EXPECT_EQ(warm.stores, 0u);
+
+  const splice::CacheStats totals = cache.stats();
+  EXPECT_EQ(totals.hits, 1u);
+  EXPECT_EQ(totals.misses, 1u);
+  EXPECT_EQ(totals.stores, 1u);
+  // The registry mirrors the totals (the single registration point).
+  EXPECT_EQ(metrics.snapshot().counters.at("cache.hits"), 1u);
+  EXPECT_EQ(metrics.snapshot().counters.at("cache.misses"), 1u);
+  fs::remove_all(dir);
+}
+
+}  // namespace

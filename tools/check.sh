@@ -1,9 +1,11 @@
 #!/bin/sh
-# Full local verification: the tier-1 build + test pass, followed by the
-# same test suite under ASan+UBSan (the `asan` preset) and under
-# ThreadSanitizer (the `tsan` preset — the parallel generation pipeline
-# and the artifact cache are the interesting targets).  Run from the
-# repository root:
+# Full local verification: the tier-1 build + test pass, a telemetry
+# smoke stage (a traced two-spec batch whose trace and stats JSON are
+# structurally validated), followed by the same test suite under
+# ASan+UBSan (the `asan` preset) and under ThreadSanitizer (the `tsan`
+# preset — the parallel generation pipeline, the artifact cache and the
+# span tracer's per-thread buffers are the interesting targets).  Run
+# from the repository root:
 #
 #   tools/check.sh            # tier-1 + sanitizers
 #   tools/check.sh --fast     # tier-1 only
@@ -15,6 +17,74 @@ echo "== tier-1: configure + build + ctest =="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default
+
+echo "== telemetry smoke: traced batch + stats JSON validation =="
+# Drive the real binary the way the observability docs advertise it and
+# check the trace is structurally sound: valid JSON, every complete event
+# carries the required fields, every parent reference resolves, and child
+# spans sit inside their same-thread parent's interval.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/a.splice" <<'EOF'
+%device_name smoke_a
+%bus_type plb
+%bus_width 32
+%base_address 0x80000000
+int set(int v);
+int get();
+EOF
+cat > "$SMOKE_DIR/b.splice" <<'EOF'
+%device_name smoke_b
+%bus_type opb
+%bus_width 32
+%base_address 0x90000000
+int poke(int v);
+EOF
+build/tools/splice --jobs 2 --trace-out "$SMOKE_DIR/trace.json" \
+  --gen-stats --stats-format json --cache-dir "$SMOKE_DIR/cache" \
+  -o "$SMOKE_DIR/out" "$SMOKE_DIR/a.splice" "$SMOKE_DIR/b.splice" \
+  > "$SMOKE_DIR/stats.json"
+python3 - "$SMOKE_DIR/trace.json" "$SMOKE_DIR/stats.json" <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "trace has no complete events"
+for e in spans:
+    for field in ("name", "cat", "ts", "dur", "pid", "tid", "args"):
+        assert field in e, f"X event missing {field}: {e}"
+ids = {e["args"]["span_id"] for e in spans}
+by_id = {e["args"]["span_id"]: e for e in spans}
+eps = 0.5  # microsecond slack: ts/dur round independently
+for e in spans:
+    parent = e["args"]["parent"]
+    if parent == 0:
+        continue
+    assert parent in ids, f"unresolved parent {parent} in {e['name']}"
+    p = by_id[parent]
+    if p["tid"] == e["tid"]:  # same-thread children nest inside the parent
+        assert e["ts"] >= p["ts"] - eps, f"{e['name']} starts before parent"
+        assert e["ts"] + e["dur"] <= p["ts"] + p["dur"] + eps, \
+            f"{e['name']} outlives parent {p['name']}"
+roots = [e for e in spans if e["args"]["parent"] == 0]
+assert any(e["name"] == "splice.batch" for e in roots), \
+    "missing splice.batch root span"
+
+stats = json.load(open(sys.argv[2]))
+assert stats["jobs"] == 2
+assert len(stats["specs"]) == 2
+for spec in stats["specs"]:
+    assert spec["exit_code"] == 0, spec
+    assert spec["cache"] == {"hits": 0, "misses": 1, "stores": 1,
+                             "corrupt": 0}, spec
+assert stats["cache"]["misses"] == 2
+assert "gen.parse_us" in stats["metrics"]["histograms"]
+print(f"telemetry smoke OK: {len(spans)} spans, "
+      f"{len(stats['specs'])} specs")
+EOF
+rm -rf "$SMOKE_DIR"
+trap - EXIT
 
 if [ "${1:-}" = "--fast" ]; then
   echo "== skipping sanitizer pass (--fast) =="

@@ -20,11 +20,21 @@
 //     --sim-stats [N]  elaborate the device on the virtual platform, run N
 //                  idle cycles (default 2000) and print the simulation
 //                  kernel's instrumentation counters
+//     --stats-format {text,json}  how --gen-stats / --sim-stats render:
+//                  the human tables (default) or one machine-readable JSON
+//                  object on stdout
+//     --trace-out FILE  record a span trace of the whole run and write it
+//                  as Chrome trace-event JSON (load in Perfetto)
 //     -h, --help   this text
 //
 // Batch mode: several spec files compile concurrently on the --jobs pool;
 // each spec's report (its diagnostics, then its file listing) prints
 // contiguously in command-line order, never interleaved.
+//
+// Telemetry: one MetricsRegistry (owned here) collects the engine's
+// per-phase timings and the cache counters; --trace-out installs the
+// process-wide tracer around the batch.  Both are pure observation — the
+// generated artifact bytes are identical with or without them.
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -43,6 +53,10 @@
 #include "rtl/simulator.hpp"
 #include "runtime/platform.hpp"
 #include "support/job_pool.hpp"
+#include "support/strings.hpp"
+#include "support/telemetry.hpp"
+
+namespace telemetry = splice::support::telemetry;
 
 namespace {
 
@@ -65,6 +79,10 @@ void usage(const char* argv0) {
       "               without writing files\n"
       "  --sim-stats [N]  simulate N idle cycles (default 2000) and print\n"
       "               the kernel instrumentation counters\n"
+      "  --stats-format {text,json}  stats rendering: human tables\n"
+      "               (default) or one JSON object on stdout\n"
+      "  --trace-out FILE  write a Chrome trace-event JSON span trace of\n"
+      "               the run (load in Perfetto / chrome://tracing)\n"
       "  -h, --help   show this help\n",
       argv0);
 }
@@ -106,22 +124,37 @@ struct CliOptions {
   bool lint_only = false;
   bool sim_stats = false;
   bool gen_stats = false;
+  telemetry::Format stats_format = telemetry::Format::Text;
   std::uint64_t sim_cycles = 2000;
   unsigned jobs = 1;
   splice::EngineOptions engine;
 };
 
 /// Everything one spec's compile produced, buffered so batch output prints
-/// per-spec in input order regardless of completion order.
+/// per-spec in input order regardless of completion order.  The structured
+/// fields feed the --stats-format json report and the per-spec cache lines.
 struct SpecResult {
-  std::string out;   ///< stdout block
+  std::string out;   ///< stdout block (text mode)
   std::string err;   ///< stderr block (diagnostics)
   int exit_code = 0;
+  std::string device;              ///< device name once generation succeeded
+  std::vector<std::string> files;  ///< generated filenames
+  /// This spec's own cache outcome (non-cumulative: generate_cached fills
+  /// it from the call's own load/store, so concurrent batch specs never
+  /// bleed into each other's numbers).
+  splice::CacheStats cache;
+  bool cache_used = false;
+  std::string sim_json;  ///< render_stats(..., Json) when --sim-stats
 };
 
 void compile_one(const std::string& spec_path, const CliOptions& opt,
                  const splice::Engine& engine, splice::ArtifactCache* cache,
                  SpecResult& res) {
+  // One span per spec: in a --jobs batch these land on worker threads and
+  // parent under the splice.batch root via parallel_for's propagation.
+  const std::string span_name = "spec:" + spec_path;
+  telemetry::Span span(span_name, "cli");
+  const bool json = opt.stats_format == telemetry::Format::Json;
   std::ifstream in(spec_path);
   if (!in) {
     res.err = "error: cannot read '" + spec_path + "'\n";
@@ -145,6 +178,8 @@ void compile_one(const std::string& spec_path, const CliOptions& opt,
       res.exit_code = 1;
       return;
     }
+    res.device = artifacts->spec.target.device_name;
+    res.files = artifacts->filenames();
     if (opt.lint_only) {
       // Generation already linted every hardware AST (the engine refuses
       // to proceed on findings), so reaching this point means a clean
@@ -159,10 +194,17 @@ void compile_one(const std::string& spec_path, const CliOptions& opt,
     // behaviours), let the device idle for the requested cycles and report
     // what the kernel actually did.
     try {
+      telemetry::Span sim_span("sim.idle", "sim");
+      sim_span.arg("cycles", opt.sim_cycles);
       splice::runtime::VirtualPlatform vp(artifacts->spec,
                                           splice::elab::BehaviorMap{});
       vp.sim().step(opt.sim_cycles);
-      res.out = splice::rtl::render_stats(vp.sim());
+      if (json) {
+        res.sim_json = splice::rtl::render_stats(vp.sim(),
+                                                 telemetry::Format::Json);
+      } else {
+        res.out = splice::rtl::render_stats(vp.sim());
+      }
     } catch (const splice::SpliceError& e) {
       res.err += std::string("error: simulation failed: ") + e.what() + "\n";
       res.exit_code = 1;
@@ -170,7 +212,8 @@ void compile_one(const std::string& spec_path, const CliOptions& opt,
     return;
   }
 
-  auto artifacts = engine.generate_cached(spec_text, diags, cache);
+  res.cache_used = cache != nullptr;
+  auto artifacts = engine.generate_cached(spec_text, diags, cache, &res.cache);
   res.err = diags.render();
   if (!artifacts) {
     res.err += "error: interface generation aborted (" +
@@ -178,6 +221,9 @@ void compile_one(const std::string& spec_path, const CliOptions& opt,
     res.exit_code = 1;
     return;
   }
+
+  res.device = artifacts->device_name;
+  res.files = artifacts->filenames();
 
   if (opt.list_only) {
     for (const auto& name : artifacts->filenames()) {
@@ -197,7 +243,17 @@ void compile_one(const std::string& spec_path, const CliOptions& opt,
 
   std::string dir;
   try {
+    telemetry::Span write_span("emit.write", "emit");
+    write_span.arg("files", artifacts->filenames().size());
+    const auto w0 = std::chrono::steady_clock::now();
     dir = artifacts->write_to(opt.out_dir);
+    if (opt.engine.metrics != nullptr) {
+      opt.engine.metrics->histogram("emit.write_us")
+          .record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - w0)
+                  .count()));
+    }
   } catch (const splice::SpliceError& e) {
     res.err += std::string("error: ") + e.what() + "\n";
     res.exit_code = 1;
@@ -211,12 +267,76 @@ void compile_one(const std::string& spec_path, const CliOptions& opt,
   }
 }
 
+/// The single --stats-format json object (stdout).  Key names are stable
+/// API: generator, jobs, elapsed_ms, specs[].{file, exit_code, device,
+/// files, cache, sim}, the shared cache totals and the metrics registry
+/// snapshot.  Per-spec cache counters are each spec's own delta, not the
+/// cumulative totals (see SpecResult::cache).
+std::string render_json_stats(const std::vector<std::string>& spec_paths,
+                              const std::vector<SpecResult>& results,
+                              const CliOptions& opt, double elapsed_ms,
+                              splice::ArtifactCache* cache,
+                              const telemetry::MetricsRegistry& metrics) {
+  namespace str = splice::str;
+  std::string out = "{\"generator\": \"" +
+                    std::string(splice::kGeneratorVersion) +
+                    "\", \"jobs\": " + std::to_string(opt.jobs) +
+                    ", \"elapsed_ms\": ";
+  char ms[32];
+  std::snprintf(ms, sizeof ms, "%.2f", elapsed_ms);
+  out += ms;
+  out += ", \"specs\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SpecResult& r = results[i];
+    if (i != 0) out += ", ";
+    out += "{\"file\": \"" + str::json_escape(spec_paths[i]) +
+           "\", \"exit_code\": " + std::to_string(r.exit_code);
+    if (!r.device.empty()) {
+      out += ", \"device\": \"" + str::json_escape(r.device) + "\"";
+    }
+    if (!r.files.empty()) {
+      out += ", \"files\": [";
+      for (std::size_t k = 0; k < r.files.size(); ++k) {
+        if (k != 0) out += ", ";
+        out += "\"" + str::json_escape(r.files[k]) + "\"";
+      }
+      out += "]";
+    }
+    if (opt.gen_stats && r.cache_used) {
+      out += ", \"cache\": {\"hits\": " + std::to_string(r.cache.hits) +
+             ", \"misses\": " + std::to_string(r.cache.misses) +
+             ", \"stores\": " + std::to_string(r.cache.stores) +
+             ", \"corrupt\": " + std::to_string(r.cache.corrupt) + "}";
+    }
+    if (!r.sim_json.empty()) out += ", \"sim\": " + r.sim_json;
+    out += "}";
+  }
+  out += "]";
+  if (opt.gen_stats) {
+    if (cache != nullptr) {
+      const splice::CacheStats s = cache->stats();
+      out += ", \"cache\": {\"enabled\": true, \"dir\": \"" +
+             str::json_escape(cache->dir()) +
+             "\", \"hits\": " + std::to_string(s.hits) +
+             ", \"misses\": " + std::to_string(s.misses) +
+             ", \"stores\": " + std::to_string(s.stores) +
+             ", \"corrupt\": " + std::to_string(s.corrupt) + "}";
+    } else {
+      out += ", \"cache\": {\"enabled\": false}";
+    }
+    out += ", \"metrics\": " + metrics.render(telemetry::Format::Json);
+  }
+  out += "}\n";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> spec_paths;
   CliOptions opt;
   std::string cache_dir;
+  std::string trace_out;
   bool no_cache = false;
   if (const char* env = std::getenv("SPLICE_CACHE_DIR")) cache_dir = env;
 
@@ -245,6 +365,30 @@ int main(int argc, char** argv) {
         return 2;
       }
       cache_dir = argv[++i];
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --trace-out needs a file path\n");
+        return 2;
+      }
+      trace_out = argv[++i];
+    } else if (arg == "--stats-format") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "error: --stats-format needs 'text' or 'json'\n");
+        return 2;
+      }
+      const std::string value = argv[++i];
+      if (value == "text") {
+        opt.stats_format = telemetry::Format::Text;
+      } else if (value == "json") {
+        opt.stats_format = telemetry::Format::Json;
+      } else {
+        std::fprintf(stderr,
+                     "error: --stats-format expects 'text' or 'json', got "
+                     "'%s'\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (arg == "--jobs") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --jobs needs a worker count\n");
@@ -300,10 +444,29 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  if (opt.stats_format == telemetry::Format::Json) {
+    if (!opt.gen_stats && !opt.sim_stats) {
+      std::fprintf(stderr,
+                   "error: --stats-format json requires --gen-stats or "
+                   "--sim-stats\n");
+      return 2;
+    }
+    if (opt.print_files) {
+      std::fprintf(stderr,
+                   "error: --stats-format json cannot be combined with "
+                   "--print (stdout carries the JSON object)\n");
+      return 2;
+    }
+  }
+
+  // The run's single metrics registry: the engine's phase timings, the
+  // cache counters and the CLI's own emit.write_us all land here.
+  telemetry::MetricsRegistry metrics;
+  opt.engine.metrics = &metrics;
 
   std::unique_ptr<splice::ArtifactCache> cache;
   if (!no_cache && !cache_dir.empty()) {
-    cache = std::make_unique<splice::ArtifactCache>(cache_dir);
+    cache = std::make_unique<splice::ArtifactCache>(cache_dir, &metrics);
   }
 
   // One shared pool: per-spec fan-out (batch) and per-module fan-out
@@ -315,18 +478,49 @@ int main(int argc, char** argv) {
   splice::Engine engine(splice::adapters::AdapterRegistry::instance(),
                         opt.engine);
 
+  // --trace-out: install the process-wide tracer for the batch's lifetime.
+  std::unique_ptr<telemetry::Tracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<telemetry::Tracer>();
+    telemetry::Tracer::install(tracer.get());
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<SpecResult> results(spec_paths.size());
-  splice::support::parallel_for(
-      opt.engine.pool, spec_paths.size(), [&](std::size_t i) {
-        compile_one(spec_paths[i], opt, engine, cache.get(), results[i]);
-      });
+  {
+    // The batch root span: every per-spec span — and, through
+    // parallel_for's parent propagation, every engine phase on any worker
+    // — nests under it, so the trace renders the run as one flame graph.
+    telemetry::Span batch("splice.batch", "cli");
+    batch.arg("specs", spec_paths.size());
+    batch.arg("jobs", opt.jobs);
+    splice::support::parallel_for(
+        opt.engine.pool, spec_paths.size(), [&](std::size_t i) {
+          compile_one(spec_paths[i], opt, engine, cache.get(), results[i]);
+        });
+  }
   const auto t1 = std::chrono::steady_clock::now();
+
+  int exit_code = 0;
+  if (tracer) {
+    // Uninstall before reading: the pool threads are idle (parallel_for
+    // joined), so every span is closed and the merge is race-free.
+    telemetry::Tracer::install(nullptr);
+    std::ofstream f(trace_out, std::ios::binary);
+    f << tracer->chrome_trace_json();
+    f.flush();
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   trace_out.c_str());
+      exit_code = 1;
+    }
+  }
 
   // Aggregate per-spec, in input order: a spec's diagnostics and report
   // always print contiguously, prefixed with the file name when several
-  // specs were given.
-  int exit_code = 0;
+  // specs were given.  In json stats mode the per-spec stdout blocks are
+  // suppressed — stdout carries exactly one JSON object.
+  const bool json_stats = opt.stats_format == telemetry::Format::Json;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SpecResult& r = results[i];
     if (!r.err.empty()) {
@@ -335,15 +529,23 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "%s", r.err.c_str());
     }
-    if (!r.out.empty()) {
+    if (!json_stats && !r.out.empty()) {
       std::fprintf(stdout, "%s", r.out.c_str());
     }
     if (r.exit_code > exit_code) exit_code = r.exit_code;
   }
 
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (json_stats) {
+    const std::string report = render_json_stats(spec_paths, results, opt,
+                                                 elapsed_ms, cache.get(),
+                                                 metrics);
+    std::fputs(report.c_str(), stdout);
+    return exit_code;
+  }
   if (opt.gen_stats) {
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double ms = elapsed_ms;
     std::size_t failed = 0;
     for (const auto& r : results) {
       if (r.exit_code != 0) ++failed;
@@ -369,6 +571,25 @@ int main(int argc, char** argv) {
     std::printf("elapsed:    %.2f ms (%.1f specs/s)\n", ms,
                 ms > 0.0 ? 1000.0 * static_cast<double>(results.size()) / ms
                          : 0.0);
+    if (cache && results.size() > 1) {
+      // Each spec's own outcome (not cumulative totals): in a --jobs batch
+      // these come from the spec's private generate_cached delta.
+      std::printf("per-spec cache (this run):\n");
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const splice::CacheStats& s = results[i].cache;
+        std::printf("  %-24s hits %llu, misses %llu, stores %llu%s\n",
+                    spec_paths[i].c_str(),
+                    static_cast<unsigned long long>(s.hits),
+                    static_cast<unsigned long long>(s.misses),
+                    static_cast<unsigned long long>(s.stores),
+                    s.corrupt != 0 ? " (corrupt entries seen)" : "");
+      }
+    }
+    const std::string metrics_text =
+        metrics.render(telemetry::Format::Text);
+    if (!metrics_text.empty()) {
+      std::printf("== pipeline metrics ==\n%s", metrics_text.c_str());
+    }
   }
   return exit_code;
 }
