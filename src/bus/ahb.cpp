@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/diagnostics.hpp"
+
 namespace splice::bus {
 
 AhbPins AhbPins::create(rtl::Simulator& sim, const std::string& prefix,
@@ -60,6 +62,56 @@ void AhbBus::read(std::uint32_t fid, unsigned beats) {
   }
 }
 
+void AhbBus::enqueue_stream(bool is_read, std::uint32_t fid,
+                            const std::vector<std::uint64_t>* words,
+                            unsigned beat_total) {
+  unsigned issued = 0;
+  while (issued < beat_total) {
+    unsigned n = std::min(beat_total - issued, timing::kAhbMaxBurstBeats);
+    Burst b;
+    b.is_read = is_read;
+    b.fid = fid;
+    b.dma_stream = true;
+    b.beat_count = n;
+    if (words != nullptr) {
+      b.beats.assign(words->begin() + issued, words->begin() + issued + n);
+    }
+    queue_.push_back(std::move(b));
+    issued += n;
+  }
+}
+
+// The §9.2.1 DMA shape carries over from the PLB engine: a fixed number of
+// engine register transactions bracket the stream.  The stream itself rides
+// the native chained bursts, so the per-word cost is the memory prefetch
+// amortized over a full-length burst instead of one handshake per word.
+void AhbBus::dma_write(std::uint32_t fid, std::vector<std::uint64_t> words) {
+  if (!dma_enabled_) {
+    throw SpliceError("AHB DMA engine not enabled for this configuration");
+  }
+  for (unsigned i = 0; i < timing::kDmaSetupWrites; ++i) {
+    queue_.push_back(Burst{.engine = true, .engine_cycles = 1});
+  }
+  enqueue_stream(false, fid, &words, static_cast<unsigned>(words.size()));
+  for (unsigned i = 0; i < timing::kDmaTeardownReads; ++i) {
+    queue_.push_back(Burst{.engine = true, .engine_cycles = 1});
+  }
+}
+
+void AhbBus::dma_read(std::uint32_t fid, unsigned words) {
+  if (!dma_enabled_) {
+    throw SpliceError("AHB DMA engine not enabled for this configuration");
+  }
+  if (!busy()) read_data_.clear();
+  for (unsigned i = 0; i < timing::kDmaSetupWrites; ++i) {
+    queue_.push_back(Burst{.engine = true, .engine_cycles = 1});
+  }
+  enqueue_stream(true, fid, nullptr, words);
+  for (unsigned i = 0; i < timing::kDmaTeardownReads; ++i) {
+    queue_.push_back(Burst{.engine = true, .engine_cycles = 1});
+  }
+}
+
 void AhbBus::clock_edge() {
   if (pins_.rst.high()) {
     reset();
@@ -74,7 +126,17 @@ void AhbBus::clock_edge() {
         data_done_ = 0;
         data_phase_open_ = false;
         addr_pending_ = false;
-        countdown_ = timing::kAhbArbitrationCycles;
+        if (current_.engine) {
+          // Engine register access: holds the bus, never reaches the
+          // peripheral pins.
+          countdown_ = timing::kAhbArbitrationCycles + current_.engine_cycles;
+          state_ = St::Engine;
+          break;
+        }
+        // Engine-paced stream chunks prefetch a burst's worth from system
+        // memory before the first address phase goes out.
+        countdown_ = timing::kAhbArbitrationCycles +
+                     (current_.dma_stream ? timing::kDmaStreamFetchCycles : 0);
         state_ = countdown_ == 0 ? St::Transfer : St::Arb;
       }
       break;
@@ -82,6 +144,11 @@ void AhbBus::clock_edge() {
     case St::Arb:
       if (countdown_ > 0) --countdown_;
       if (countdown_ == 0) state_ = St::Transfer;
+      break;
+
+    case St::Engine:
+      if (countdown_ > 0) --countdown_;
+      if (countdown_ == 0) state_ = St::Idle;
       break;
 
     case St::Transfer: {

@@ -58,6 +58,14 @@ class AhbBus : public rtl::Module, public MasterPort {
     return timing::kAhbMaxBurstBeats;
   }
 
+  /// §10.2 / §2.3.1: an AHB DMA engine is simply another bus master that
+  /// chains full-length bursts.  Enabled when the spec asks for
+  /// %dma_support (the builtin AHB adapter advertises it).
+  void enable_dma() { dma_enabled_ = true; }
+  [[nodiscard]] bool supports_dma() const override { return dma_enabled_; }
+  void dma_write(std::uint32_t fid, std::vector<std::uint64_t> words) override;
+  void dma_read(std::uint32_t fid, unsigned words) override;
+
   // -- Module ---------------------------------------------------------------
   void clock_edge() override;
   void reset() override;
@@ -70,8 +78,20 @@ class AhbBus : public rtl::Module, public MasterPort {
     std::uint32_t fid = 0;
     std::vector<std::uint64_t> beats;
     unsigned beat_count = 0;
+    /// DMA engine register access: occupies the bus for `engine_cycles`
+    /// but never reaches the peripheral (the engine sits on its own
+    /// configuration port, like the PLB engine's EngineWrite/EngineRead).
+    bool engine = false;
+    unsigned engine_cycles = 0;
+    /// Engine-paced stream chunk: pays the memory prefetch latency up
+    /// front instead of CPU gaps between beats.
+    bool dma_stream = false;
   };
-  enum class St : std::uint8_t { Idle, Arb, Transfer };
+  enum class St : std::uint8_t { Idle, Arb, Transfer, Engine };
+
+  void enqueue_stream(bool is_read, std::uint32_t fid,
+                      const std::vector<std::uint64_t>* words,
+                      unsigned beat_total);
 
   AhbPins pins_;
   std::deque<Burst> queue_;
@@ -85,6 +105,7 @@ class AhbBus : public rtl::Module, public MasterPort {
   unsigned countdown_ = 0;
   std::vector<std::uint64_t> read_data_;
   std::uint64_t bursts_ = 0;
+  bool dma_enabled_ = false;
 };
 
 }  // namespace splice::bus

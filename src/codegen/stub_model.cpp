@@ -21,10 +21,13 @@ namespace {
 
 void add_param_hardware(StubModel& model, const ir::IoParam& p,
                         unsigned bus_width) {
-  // §5.3.1: packed / explicit arrays get a tracking register and a
-  // comparator; implicit arrays additionally store the runtime bound.
+  // §5.3.1: explicit arrays get a tracking register and a comparator;
+  // implicit arrays get the same plus a latched runtime bound.  The
+  // branches must stay exclusive: a packed *implicit* transfer used to
+  // match both and declare <name>_counter twice, tripping the E501 lint
+  // (packing never reaches here on a scalar — validation rejects it).
   const std::uint64_t max_elems = p.max_elements();
-  if (p.count_kind == ir::CountKind::Explicit || p.packed) {
+  if (p.count_kind == ir::CountKind::Explicit) {
     const unsigned w = bits::bits_for_value(
         std::max<std::uint64_t>(1, p.words_for(max_elems, bus_width)));
     model.registers.push_back(

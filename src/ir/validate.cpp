@@ -180,6 +180,18 @@ bool validate(DeviceSpec& spec, DiagnosticEngine& diags,
       diags.error(DiagId::ZeroInstanceCount,
                   "'" + fn.name + "' requests zero instances", fn.loc);
     }
+    // A nowait declaration with no inputs can never be enacted: the driver
+    // writes nothing to start the calculation and, being non-blocking,
+    // never reads anything back either — the stub would sit on a bus it
+    // never samples.  (A blocking void() is fine: the status read *is* the
+    // transaction.)
+    if (!fn.blocking() && fn.inputs.empty()) {
+      diags.error(DiagId::NowaitWithoutInputs,
+                  "'" + fn.name +
+                      "' is nowait but takes no inputs; the hardware could "
+                      "never be enacted (§3.1.2)",
+                  fn.loc);
+    }
     std::unordered_set<std::string> param_names;
     for (auto& p : fn.inputs) {
       if (!param_names.insert(p.name).second) {

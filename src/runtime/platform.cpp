@@ -72,6 +72,7 @@ VirtualPlatform::VirtualPlatform(ir::DeviceSpec spec,
     }
     case BusKind::Ahb: {
       auto& ahb = sim_->add<bus::AhbBus>(*sim_, "AHB_", width, fid_w);
+      if (spec_.target.dma_support) ahb.enable_dma();
       sim_->add<elab::AhbSisAdapter>(ahb.pins(), sis);
       port_ = &ahb;
       break;

@@ -15,6 +15,8 @@ void ProtocolChecker::reset() {
   txn_ = Txn::Idle;
   prev_io_enable_ = false;
   prev_io_done_ = false;
+  prev_calc_done_ = 0;
+  quiet_cycles_ = 0;
   cycle_ = 0;
 }
 
@@ -29,6 +31,8 @@ void ProtocolChecker::clock_edge() {
     txn_ = Txn::Idle;
     prev_io_enable_ = false;
     prev_io_done_ = false;
+    prev_calc_done_ = bus_.calc_done.get();
+    quiet_cycles_ = 0;
     ++cycle_;
     return;
   }
@@ -113,6 +117,18 @@ void ProtocolChecker::clock_edge() {
   if (io_done && prev_io_done_) {
     violate("IO_DONE held high for more than one cycle");
   }
+
+  // Axiom: a raised CALC_DONE bit stays raised until software consumes the
+  // result (§4.2.3) — it may only fall in response to bus activity (the
+  // completing read, or the enacting write of the next calculation, with a
+  // short pipeline allowance).  A bit falling on a quiet bus is a glitch.
+  const std::uint64_t calc = bus_.calc_done.get();
+  const std::uint64_t fell = prev_calc_done_ & ~calc;
+  if (fell != 0 && !enable && !io_done && quiet_cycles_ > 2) {
+    violate("CALC_DONE deasserted with no bus activity (glitch)");
+  }
+  quiet_cycles_ = (enable || io_done) ? 0 : quiet_cycles_ + 1;
+  prev_calc_done_ = calc;
 
   prev_io_enable_ = enable;
   prev_io_done_ = io_done;

@@ -40,6 +40,8 @@ class ProtocolChecker : public rtl::Module {
   std::uint64_t cycle_ = 0;
   bool prev_io_enable_ = false;
   bool prev_io_done_ = false;
+  std::uint64_t prev_calc_done_ = 0;
+  std::uint64_t quiet_cycles_ = 0;  ///< cycles since the last bus activity
 
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;

@@ -57,6 +57,7 @@ enum class DiagId : std::uint16_t {
   ZeroInstanceCount,
   ZeroElementCount,
   ReturnPointerImplicit,
+  NowaitWithoutInputs,
 
   // Target-specification semantics (thesis §3.2)
   MissingBusType = 300,

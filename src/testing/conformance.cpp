@@ -1,0 +1,262 @@
+#include "testing/conformance.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "codegen/hdl_builder.hpp"
+#include "core/splice.hpp"
+#include "rtl/trace.hpp"
+#include "rtl/vcd.hpp"
+#include "runtime/platform.hpp"
+#include "support/bits.hpp"
+#include "testing/equiv.hpp"
+#include "testing/rng.hpp"
+
+namespace splice::testing {
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t elem_mask(const ir::IoParam& p) {
+  return bits::low_mask(std::min(p.type.bits, 64u));
+}
+
+// The one deterministic calculation shared by the simulated hardware
+// behaviour and the host-side expectation.  It must be *pure* in
+// (function, instance, input elements): zero-input stubs re-run it at
+// every read (see IcobStub::serve_read), so any hidden state would make
+// hardware and expectation diverge by design rather than by bug.
+elab::CalcResult expected_calc(const ir::FunctionDecl& fn,
+                               std::uint32_t instance,
+                               const std::vector<std::vector<std::uint64_t>>&
+                                   inputs) {
+  std::uint64_t s = splitmix64(fnv1a(fn.name) ^ (0x5eedULL + instance));
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (std::size_t j = 0; j < inputs[i].size(); ++j) {
+      s = splitmix64(s ^ inputs[i][j] ^ ((i * 131 + j) * 0x9e3779b9ULL));
+    }
+  }
+
+  elab::CalcResult r;
+  r.calc_cycles = 1 + static_cast<unsigned>(s % 12);
+
+  if (fn.has_output()) {
+    const ir::IoParam& out = fn.output;
+    std::uint64_t count = 1;
+    if (out.count_kind == ir::CountKind::Explicit) {
+      count = out.explicit_count;
+    } else if (out.count_kind == ir::CountKind::Implicit) {
+      count = 0;
+      for (std::size_t j = 0; j < fn.inputs.size(); ++j) {
+        if (fn.inputs[j].name == out.index_var && !inputs[j].empty()) {
+          count = inputs[j][0];
+          break;
+        }
+      }
+    }
+    for (std::uint64_t k = 0; k < count; ++k) {
+      r.outputs.push_back(splitmix64(s ^ (0xa11ceULL + k)) & elem_mask(out));
+    }
+  }
+
+  const auto byref = fn.by_ref_params();
+  for (std::size_t k = 0; k < byref.size(); ++k) {
+    const ir::IoParam& p = fn.inputs[byref[k]];
+    std::vector<std::uint64_t> vals;
+    for (std::size_t j = 0; j < inputs[byref[k]].size(); ++j) {
+      vals.push_back(splitmix64(s ^ (0xbeefULL + byref[k] * 4096 + j)) &
+                     elem_mask(p));
+    }
+    r.byref.push_back(std::move(vals));
+  }
+  return r;
+}
+
+/// Random argument values for one call.  Index-typed scalars stay in
+/// [1, 8]: the implicit element count is the index's *value*, so large or
+/// zero values would blow up transfer sizes or exercise the (deliberately
+/// out-of-envelope) zero-length output path.
+drivergen::CallArgs make_args(Rng& rng, const ir::FunctionDecl& fn) {
+  drivergen::CallArgs args;
+  for (const ir::IoParam& p : fn.inputs) {
+    std::uint64_t count = 1;
+    if (p.count_kind == ir::CountKind::Explicit) {
+      count = p.explicit_count;
+    } else if (p.count_kind == ir::CountKind::Implicit) {
+      count = 1;
+      for (std::size_t j = 0; j < args.size(); ++j) {
+        if (fn.inputs[j].name == p.index_var && !args[j].empty()) {
+          count = args[j][0];
+          break;
+        }
+      }
+    }
+    std::vector<std::uint64_t> vals;
+    if (!p.is_array() && p.used_as_index) {
+      vals.push_back(rng.range(1, 8));
+    } else {
+      for (std::uint64_t k = 0; k < count; ++k) vals.push_back(rng.next());
+    }
+    args.push_back(std::move(vals));
+  }
+  return args;
+}
+
+std::string render_vec(const std::vector<std::uint64_t>& v) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "0x" << std::hex << v[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+void check_equivalence(const ir::DeviceSpec& spec, OracleResult& res) {
+  using codegen::ast::Dialect;
+  auto diffs =
+      structural_diff(codegen::build_arbiter_ast(spec, Dialect::Vhdl),
+                      codegen::build_arbiter_ast(spec, Dialect::Verilog));
+  res.failures.insert(res.failures.end(), diffs.begin(), diffs.end());
+  for (const ir::FunctionDecl& fn : spec.functions) {
+    diffs = structural_diff(codegen::build_stub_ast(fn, spec, Dialect::Vhdl),
+                            codegen::build_stub_ast(fn, spec, Dialect::Verilog));
+    res.failures.insert(res.failures.end(), diffs.begin(), diffs.end());
+  }
+}
+
+void simulate_spec(const ir::DeviceSpec& spec, const OracleOptions& opt,
+                   OracleResult& res) {
+  elab::BehaviorMap behaviors;
+  for (const ir::FunctionDecl& fn : spec.functions) {
+    behaviors.set(fn.name, [decl = fn](const elab::CallContext& ctx) {
+      return expected_calc(decl, ctx.instance_index, ctx.inputs);
+    });
+  }
+
+  runtime::VirtualPlatform vp(spec, std::move(behaviors));
+
+  std::unique_ptr<rtl::Trace> trace;
+  if (!opt.vcd_out.empty()) {
+    trace = std::make_unique<rtl::Trace>(vp.sim());
+    for (const rtl::Signal& s : vp.sim().signals()) trace->watch(s.name());
+  }
+
+  Rng rng(splitmix64(opt.call_seed));
+  for (const ir::FunctionDecl& fn : spec.functions) {
+    for (unsigned c = 0; c < opt.calls_per_function; ++c) {
+      const auto instance =
+          static_cast<std::uint32_t>(rng.range(0, fn.instances - 1));
+      const drivergen::CallArgs args = make_args(rng, fn);
+
+      // What the hardware behaviour will see: element values masked to the
+      // declared type width, exactly as the ICOB reassembles them.
+      std::vector<std::vector<std::uint64_t>> masked(args.size());
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        for (std::uint64_t v : args[i]) {
+          masked[i].push_back(v & elem_mask(fn.inputs[i]));
+        }
+      }
+      const elab::CalcResult want = expected_calc(fn, instance, masked);
+
+      try {
+        const runtime::CallResult got =
+            vp.call(fn.name, args, instance, opt.max_cycles);
+        ++res.calls;
+        res.bus_cycles += got.bus_cycles;
+        if (fn.blocking()) {
+          if (fn.has_output() && got.outputs != want.outputs) {
+            res.failures.push_back(
+                "'" + fn.name + "' instance " + std::to_string(instance) +
+                " call " + std::to_string(c) + ": outputs " +
+                render_vec(got.outputs) + " != expected " +
+                render_vec(want.outputs));
+          }
+          const auto byref = fn.by_ref_params();
+          for (std::size_t k = 0; k < byref.size(); ++k) {
+            const std::vector<std::uint64_t>& got_k =
+                k < got.byref_outputs.size() ? got.byref_outputs[k]
+                                             : std::vector<std::uint64_t>{};
+            if (got_k != want.byref[k]) {
+              res.failures.push_back(
+                  "'" + fn.name + "' instance " + std::to_string(instance) +
+                  " call " + std::to_string(c) + ": byref '" +
+                  fn.inputs[byref[k]].name + "' " + render_vec(got_k) +
+                  " != expected " + render_vec(want.byref[k]));
+            }
+          }
+        } else {
+          // Fire-and-forget: nothing to read back, but the in-flight
+          // calculation must drain before the next driver call so the stub
+          // is idle again (the thesis leaves nowait pacing to the user).
+          vp.sim().step(64);
+        }
+      } catch (const std::exception& e) {
+        ++res.calls;
+        res.failures.push_back("'" + fn.name + "' instance " +
+                               std::to_string(instance) + " call " +
+                               std::to_string(c) + ": " + e.what());
+      }
+      if (!res.failures.empty()) break;  // shrink from the first failure
+    }
+    if (!res.failures.empty()) break;
+  }
+
+  for (const std::string& v : vp.checker().violations()) {
+    res.failures.push_back("SIS protocol: " + v);
+  }
+
+  if (trace != nullptr) {
+    rtl::write_vcd_file(*trace, vp.sim(), opt.vcd_out,
+                        spec.target.device_name);
+  }
+}
+
+}  // namespace
+
+OracleResult run_conformance(const SpecModel& model,
+                             const OracleOptions& opt) {
+  OracleResult res;
+
+  // Full pipeline for both target languages: parse, validate, elaborate,
+  // lint, emit.  Any diagnostic-level rejection marks the candidate as
+  // invalid rather than failing.
+  Engine engine;
+  DiagnosticEngine diags_vhdl;
+  auto vhdl = engine.generate(model.render(ir::Hdl::Vhdl), diags_vhdl);
+  if (!vhdl.has_value()) {
+    res.spec_rejected = true;
+    res.failures.push_back("VHDL generation rejected the spec:\n" +
+                           diags_vhdl.render());
+    return res;
+  }
+  DiagnosticEngine diags_vlog;
+  auto verilog = engine.generate(model.render(ir::Hdl::Verilog), diags_vlog);
+  if (!verilog.has_value()) {
+    res.spec_rejected = true;
+    res.failures.push_back("Verilog generation rejected the spec:\n" +
+                           diags_vlog.render());
+    return res;
+  }
+  if (vhdl->hardware.size() != verilog->hardware.size()) {
+    res.failures.push_back(
+        "hardware file count differs: " +
+        std::to_string(vhdl->hardware.size()) + " (VHDL) vs " +
+        std::to_string(verilog->hardware.size()) + " (Verilog)");
+  }
+
+  if (opt.check_equivalence) check_equivalence(vhdl->spec, res);
+  if (opt.simulate) simulate_spec(vhdl->spec, opt, res);
+  return res;
+}
+
+}  // namespace splice::testing

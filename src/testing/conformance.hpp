@@ -1,0 +1,46 @@
+// The differential conformance oracle.  For one generated SpecModel it
+// (a) runs the full engine for both %target_hdl values and diffs the two
+// elaborations' HDL ASTs structurally, and (b) assembles the virtual
+// platform with deterministic pseudo-random calculation behaviours, replays
+// generated-driver calls with randomized argument values, and asserts that
+// every output and by-reference read-back matches the host-side
+// expectation while the SIS protocol checker stays clean.  Any discrepancy
+// becomes a human-readable failure line; the fuzzer shrinks against this
+// verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/spec_gen.hpp"
+
+namespace splice::testing {
+
+struct OracleOptions {
+  std::uint64_t call_seed = 1;       ///< argument-value stream seed
+  unsigned calls_per_function = 3;   ///< driver replays per declaration
+  std::uint64_t max_cycles = 2'000'000;
+  bool check_equivalence = true;     ///< VHDL vs Verilog AST diff
+  bool simulate = true;              ///< end-to-end platform replay
+  /// When non-empty, record every simulator signal and write a VCD here
+  /// (used when re-running a failing spec for the repro corpus).
+  std::string vcd_out;
+};
+
+struct OracleResult {
+  /// The frontend / validator refused the spec.  The shrinker treats a
+  /// rejected candidate as uninteresting (it must preserve *validity*
+  /// while hunting the oracle failure).
+  bool spec_rejected = false;
+  std::vector<std::string> failures;  ///< empty == conformant
+  std::uint64_t calls = 0;            ///< driver calls replayed
+  std::uint64_t bus_cycles = 0;       ///< simulated bus time consumed
+
+  [[nodiscard]] bool ok() const { return !spec_rejected && failures.empty(); }
+};
+
+[[nodiscard]] OracleResult run_conformance(const SpecModel& model,
+                                           const OracleOptions& options = {});
+
+}  // namespace splice::testing

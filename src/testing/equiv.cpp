@@ -1,0 +1,256 @@
+#include "testing/equiv.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace splice::testing {
+namespace {
+
+using codegen::ast::Constant;
+using codegen::ast::Module;
+using codegen::ast::Port;
+using codegen::ast::Process;
+using codegen::ast::SignalDecl;
+
+void diff_ports(const Module& a, const Module& b,
+                std::vector<std::string>& out) {
+  if (a.ports.size() != b.ports.size()) {
+    out.push_back("port count: " + std::to_string(a.ports.size()) + " vs " +
+                  std::to_string(b.ports.size()));
+  }
+  for (const Port& pa : a.ports) {
+    const Port* pb = b.find_port(pa.name);
+    if (pb == nullptr) {
+      out.push_back("port '" + pa.name + "' missing in second module");
+      continue;
+    }
+    if (pa.is_input != pb->is_input) {
+      out.push_back("port '" + pa.name + "' direction differs");
+    }
+    if (pa.width != pb->width) {
+      out.push_back("port '" + pa.name + "' width " +
+                    std::to_string(pa.width) + " vs " +
+                    std::to_string(pb->width));
+    }
+  }
+  for (const Port& pb : b.ports) {
+    if (a.find_port(pb.name) == nullptr) {
+      out.push_back("port '" + pb.name + "' missing in first module");
+    }
+  }
+}
+
+// Width-0 constants are the VHDL-only integer "guidance" values
+// (<param>_max_words etc.) — idiom, not structure.  Everything with a
+// width is real hardware and must agree exactly.
+std::vector<Constant> functional_constants(const Module& m) {
+  std::vector<Constant> out;
+  for (const Constant& c : m.constants) {
+    if (c.width > 0) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Constant& x, const Constant& y) { return x.name < y.name; });
+  return out;
+}
+
+void diff_constants(const Module& a, const Module& b,
+                    std::vector<std::string>& out) {
+  auto ca = functional_constants(a);
+  auto cb = functional_constants(b);
+  std::size_t ia = 0, ib = 0;
+  while (ia < ca.size() || ib < cb.size()) {
+    if (ib >= cb.size() || (ia < ca.size() && ca[ia].name < cb[ib].name)) {
+      out.push_back("constant '" + ca[ia].name + "' missing in second module");
+      ++ia;
+    } else if (ia >= ca.size() || cb[ib].name < ca[ia].name) {
+      out.push_back("constant '" + cb[ib].name + "' missing in first module");
+      ++ib;
+    } else {
+      if (ca[ia].width != cb[ib].width || ca[ia].value != cb[ib].value) {
+        std::ostringstream os;
+        os << "constant '" << ca[ia].name << "': " << ca[ia].value << "/"
+           << ca[ia].width << "b vs " << cb[ib].value << "/" << cb[ib].width
+           << "b";
+        out.push_back(os.str());
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+}
+
+void diff_fsm(const Module& a, const Module& b,
+              std::vector<std::string>& out) {
+  if (a.fsm.has_value() != b.fsm.has_value()) {
+    out.push_back(std::string("FSM present only in ") +
+                  (a.fsm.has_value() ? "first" : "second") + " module");
+    return;
+  }
+  if (!a.fsm.has_value()) return;
+  if (a.fsm->states != b.fsm->states) {
+    out.push_back("FSM state lists differ (" +
+                  std::to_string(a.fsm->states.size()) + " vs " +
+                  std::to_string(b.fsm->states.size()) + " states)");
+  }
+  if (a.fsm->user_entry_states != b.fsm->user_entry_states) {
+    out.push_back("FSM user-entry state lists differ");
+  }
+  if (a.fsm->state_width != b.fsm->state_width) {
+    out.push_back("FSM state width " + std::to_string(a.fsm->state_width) +
+                  " vs " + std::to_string(b.fsm->state_width));
+  }
+}
+
+// Flatten declarations to (name, width, is_reg) tuples; one VHDL decl may
+// introduce several names that Verilog declares separately (or vice
+// versa), so grouping is presentation, not structure.
+struct FlatSignal {
+  std::string name;
+  unsigned width;
+  bool is_reg;
+};
+
+std::vector<FlatSignal> flat_signals(const Module& m) {
+  std::vector<FlatSignal> out;
+  for (const SignalDecl& d : m.signals) {
+    for (const std::string& n : d.names) {
+      out.push_back({n, d.width, d.is_reg});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlatSignal& x, const FlatSignal& y) {
+              return x.name < y.name;
+            });
+  return out;
+}
+
+void diff_signals(const Module& a, const Module& b,
+                  std::vector<std::string>& out) {
+  auto sa = flat_signals(a);
+  auto sb = flat_signals(b);
+  std::size_t ia = 0, ib = 0;
+  while (ia < sa.size() || ib < sb.size()) {
+    if (ib >= sb.size() || (ia < sa.size() && sa[ia].name < sb[ib].name)) {
+      out.push_back("signal '" + sa[ia].name + "' missing in second module");
+      ++ia;
+    } else if (ia >= sa.size() || sb[ib].name < sa[ia].name) {
+      out.push_back("signal '" + sb[ib].name + "' missing in first module");
+      ++ib;
+    } else {
+      if (sa[ia].width != sb[ib].width) {
+        out.push_back("signal '" + sa[ia].name + "' width " +
+                      std::to_string(sa[ia].width) + " vs " +
+                      std::to_string(sb[ib].width));
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+}
+
+void collect_assign_targets(const std::vector<codegen::ast::Stmt>& body,
+                            std::vector<std::string>& out) {
+  using codegen::ast::Stmt;
+  for (const Stmt& s : body) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+        out.push_back(s.target);
+        break;
+      case Stmt::Kind::If:
+        collect_assign_targets(s.then_body, out);
+        collect_assign_targets(s.else_body, out);
+        break;
+      case Stmt::Kind::Case:
+        for (const auto& arm : s.arms) collect_assign_targets(arm.body, out);
+        break;
+      case Stmt::Kind::Comment:
+        break;
+    }
+  }
+}
+
+void diff_structure(const Module& a, const Module& b,
+                    std::vector<std::string>& out) {
+  if (a.comparators.size() != b.comparators.size()) {
+    out.push_back("comparator count: " + std::to_string(a.comparators.size()) +
+                  " vs " + std::to_string(b.comparators.size()));
+  }
+  if (a.instances.size() != b.instances.size()) {
+    out.push_back("instance count: " + std::to_string(a.instances.size()) +
+                  " vs " + std::to_string(b.instances.size()));
+  } else {
+    for (std::size_t i = 0; i < a.instances.size(); ++i) {
+      if (a.instances[i].module != b.instances[i].module ||
+          a.instances[i].label != b.instances[i].label) {
+        out.push_back("instance " + std::to_string(i) + ": " +
+                      a.instances[i].label + " of " + a.instances[i].module +
+                      " vs " + b.instances[i].label + " of " +
+                      b.instances[i].module);
+      }
+    }
+  }
+  // Process *grouping* is idiom — the VHDL arbiter keeps three historical
+  // mux processes where Verilog folds them into one always block — but the
+  // clocked machinery and the set of combinationally driven signals are
+  // structure and must agree.
+  auto clocked = [](const Module& m) {
+    return std::count_if(m.processes.begin(), m.processes.end(),
+                         [](const Process& p) {
+                           return p.kind == Process::Kind::Clocked;
+                         });
+  };
+  if (clocked(a) != clocked(b)) {
+    out.push_back("clocked process count: " + std::to_string(clocked(a)) +
+                  " vs " + std::to_string(clocked(b)));
+  }
+  auto comb_targets = [](const Module& m) {
+    std::vector<std::string> targets;
+    for (const Process& p : m.processes) {
+      if (p.kind != Process::Kind::Combinational) continue;
+      collect_assign_targets(p.body, targets);
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    return targets;
+  };
+  if (comb_targets(a) != comb_targets(b)) {
+    out.push_back("combinational processes drive different signal sets");
+  }
+  std::vector<std::string> ta, tb;
+  for (const auto& g : a.cont_assigns) {
+    for (const auto& ca : g.assigns) ta.push_back(ca.target);
+  }
+  for (const auto& g : b.cont_assigns) {
+    for (const auto& ca : g.assigns) tb.push_back(ca.target);
+  }
+  std::sort(ta.begin(), ta.end());
+  std::sort(tb.begin(), tb.end());
+  if (ta != tb) {
+    out.push_back("continuous-assignment target sets differ (" +
+                  std::to_string(ta.size()) + " vs " +
+                  std::to_string(tb.size()) + " targets)");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> structural_diff(const Module& a, const Module& b) {
+  std::vector<std::string> out;
+  if (a.name != b.name) {
+    out.push_back("module name '" + a.name + "' vs '" + b.name + "'");
+  }
+  diff_ports(a, b, out);
+  diff_constants(a, b, out);
+  diff_fsm(a, b, out);
+  diff_signals(a, b, out);
+  diff_structure(a, b, out);
+  // Prefix every line with the module under comparison so multi-module
+  // reports stay readable.
+  for (std::string& line : out) {
+    line = a.name + ": " + line;
+  }
+  return out;
+}
+
+}  // namespace splice::testing

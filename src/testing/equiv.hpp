@@ -1,0 +1,22 @@
+// Differential oracle over the language-neutral HDL AST: the VHDL and
+// Verilog pipelines must elaborate any spec into *structurally* equivalent
+// modules — same ports and widths, same FSM states, same signals, same
+// functional constants, same instantiations.  Dialects legitimately
+// diverge in idiom only (comment text, guard operand order, the VHDL-only
+// width-0 "guidance" constants, Verilog literal padding), so the diff
+// compares structure and deliberately ignores those channels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/hdl_ast.hpp"
+
+namespace splice::testing {
+
+/// Compare two elaborations of the same logical module.  Returns one
+/// human-readable line per structural difference; empty means equivalent.
+[[nodiscard]] std::vector<std::string> structural_diff(
+    const codegen::ast::Module& a, const codegen::ast::Module& b);
+
+}  // namespace splice::testing

@@ -1,0 +1,148 @@
+#include "testing/fuzz.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+namespace splice::testing {
+namespace {
+
+OracleOptions oracle_options(const FuzzOptions& opt, std::uint64_t index) {
+  OracleOptions o;
+  o.call_seed = splitmix64(opt.seed ^ (index * 0x9e3779b97f4a7c15ULL) ^
+                           0xca11ULL);
+  o.calls_per_function = opt.calls_per_function;
+  o.max_cycles = opt.max_cycles;
+  return o;
+}
+
+void persist_failure(const FuzzOptions& opt, FuzzFailure& failure,
+                     const std::vector<std::string>& lines) {
+  if (opt.corpus_dir.empty()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(opt.corpus_dir, ec);
+
+  const std::string stem = "fuzz_seed" + std::to_string(opt.seed) + "_i" +
+                           std::to_string(failure.index);
+  const fs::path base = fs::path(opt.corpus_dir) / stem;
+
+  failure.repro_path = (base.string() + ".splice");
+  std::ofstream spec_out(failure.repro_path);
+  spec_out << "// minimized repro: splice-fuzz --seed "
+           << std::to_string(opt.seed) << ", spec index " << failure.index
+           << "\n"
+           << failure.minimized.render();
+
+  std::ofstream report(base.string() + ".txt");
+  report << "spec seed: " << failure.spec_seed << "\n"
+         << "campaign:  --seed " << opt.seed << " index " << failure.index
+         << "\n\n";
+  for (const std::string& line : lines) report << line << "\n";
+
+  // Re-run the minimized spec with full waveform capture so the repro
+  // ships with evidence a human can open in a viewer.
+  failure.vcd_path = base.string() + ".vcd";
+  OracleOptions o = oracle_options(opt, failure.index);
+  o.vcd_out = failure.vcd_path;
+  (void)run_conformance(failure.minimized, o);
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& opt) {
+  using Clock = std::chrono::steady_clock;
+  namespace tel = support::telemetry;
+
+  FuzzReport report;
+  const Clock::time_point start = Clock::now();
+  const auto out_of_time = [&] {
+    if (opt.time_budget_ms == 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Clock::now() - start);
+    return static_cast<std::uint64_t>(elapsed.count()) >= opt.time_budget_ms;
+  };
+
+  tel::Span campaign("fuzz.campaign", "fuzz");
+  campaign.arg("seed", opt.seed);
+
+  for (std::uint64_t i = 0; i < opt.count; ++i) {
+    if (out_of_time()) {
+      report.time_boxed_out = true;
+      break;
+    }
+    const std::uint64_t spec_seed = splitmix64(opt.seed + i);
+
+    OracleResult result;
+    SpecModel model;
+    {
+      tel::Span span("fuzz.spec", "fuzz");
+      span.arg("index", i);
+      model = generate_spec(spec_seed, opt.gen);
+      result = run_conformance(model, oracle_options(opt, i));
+      span.arg("calls", result.calls);
+      span.arg("failures", result.failures.size());
+    }
+
+    ++report.specs_run;
+    report.calls += result.calls;
+    report.bus_cycles += result.bus_cycles;
+    if (opt.metrics != nullptr) {
+      opt.metrics->counter("fuzz.specs").add(1);
+      opt.metrics->counter("fuzz.calls").add(result.calls);
+      opt.metrics->counter("fuzz.bus_cycles").add(result.bus_cycles);
+    }
+
+    if (result.spec_rejected) {
+      // The generator's validity guarantee failed — that is itself a bug;
+      // surface it like any oracle failure (no shrinking: the predicate
+      // cannot distinguish "still rejected" from "rejected differently").
+      FuzzFailure f;
+      f.index = i;
+      f.spec_seed = spec_seed;
+      f.summary = result.failures.empty() ? "spec rejected"
+                                          : result.failures.front();
+      f.minimized = model;
+      persist_failure(opt, f, result.failures);
+      report.failures.push_back(std::move(f));
+      if (opt.metrics != nullptr) opt.metrics->counter("fuzz.failures").add(1);
+    } else if (!result.failures.empty()) {
+      const OracleOptions o = oracle_options(opt, i);
+      ShrinkStats stats;
+      SpecModel minimized;
+      {
+        tel::Span span("fuzz.shrink", "fuzz");
+        span.arg("index", i);
+        minimized = shrink(
+            model,
+            [&](const SpecModel& candidate) {
+              const OracleResult r = run_conformance(candidate, o);
+              return !r.spec_rejected && !r.failures.empty();
+            },
+            &stats, opt.shrink_attempts);
+        span.arg("attempts", stats.attempts);
+      }
+      report.shrink_attempts += stats.attempts;
+      if (opt.metrics != nullptr) {
+        opt.metrics->counter("fuzz.shrinks").add(stats.attempts);
+        opt.metrics->counter("fuzz.failures").add(1);
+      }
+
+      FuzzFailure f;
+      f.index = i;
+      f.spec_seed = spec_seed;
+      f.summary = result.failures.front();
+      f.minimized = std::move(minimized);
+      persist_failure(opt, f, result.failures);
+      report.failures.push_back(std::move(f));
+    }
+
+    if (opt.on_spec) opt.on_spec(i, result);
+  }
+
+  campaign.arg("specs", report.specs_run);
+  campaign.arg("failures", report.failures.size());
+  return report;
+}
+
+}  // namespace splice::testing

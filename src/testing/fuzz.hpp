@@ -1,0 +1,63 @@
+// The fuzz campaign driver: generate → conformance-check → (on failure)
+// shrink → persist a minimized repro.  Deterministic in FuzzOptions::seed:
+// spec i of a campaign is generated from splitmix64(seed + i) and replayed
+// with a call seed derived the same way, so any failure line's (seed,
+// index) pair reproduces bit-identically on any machine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/telemetry.hpp"
+#include "testing/conformance.hpp"
+#include "testing/shrink.hpp"
+#include "testing/spec_gen.hpp"
+
+namespace splice::testing {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t count = 200;       ///< specs to generate
+  std::uint64_t time_budget_ms = 0;  ///< 0 = no wall-clock box
+  std::string corpus_dir;          ///< where minimized repros land ("" = off)
+  unsigned calls_per_function = 3;
+  std::uint64_t max_cycles = 2'000'000;
+  std::uint64_t shrink_attempts = 400;
+  GenOptions gen;
+  /// Optional counters sink: fuzz.specs, fuzz.failures, fuzz.shrinks,
+  /// fuzz.calls, fuzz.bus_cycles.
+  support::telemetry::MetricsRegistry* metrics = nullptr;
+  /// Per-spec progress hook (CLI prints a line every N specs).
+  std::function<void(std::uint64_t index, const OracleResult&)> on_spec;
+};
+
+struct FuzzFailure {
+  std::uint64_t index = 0;         ///< campaign index of the failing spec
+  std::uint64_t spec_seed = 0;     ///< generate_spec() seed that made it
+  std::string summary;             ///< first oracle failure line
+  SpecModel minimized;             ///< shrunk repro
+  std::string repro_path;          ///< .splice written to the corpus ("" = off)
+  std::string vcd_path;            ///< waveform of the minimized failure
+};
+
+struct FuzzReport {
+  std::uint64_t specs_run = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t bus_cycles = 0;
+  std::uint64_t shrink_attempts = 0;
+  std::vector<FuzzFailure> failures;
+  bool time_boxed_out = false;     ///< stopped by the wall-clock budget
+
+  [[nodiscard]] bool clean() const { return failures.empty(); }
+};
+
+/// Run one campaign.  Every spec gets a "fuzz.spec" telemetry span (under
+/// the installed process tracer, if any) so a traced run shows where the
+/// time went; failures additionally run the shrinker and, when
+/// `corpus_dir` is set, write `<stem>.splice` + `<stem>.vcd` +
+/// `<stem>.txt` (the failure report) there.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);
+
+}  // namespace splice::testing

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random source for the spec fuzzer.  SplitMix64
+// (Steele et al.) — tiny, seedable, and stable across platforms, so a
+// failing spec's (seed, index) pair reproduces bit-identically anywhere.
+// std::mt19937 is avoided on purpose: distribution results are not
+// guaranteed identical across standard-library implementations, and the
+// whole value of the fuzzer's corpus is replayability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace splice::testing {
+
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t x = state_;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Uniform value in [lo, hi] (inclusive); lo when the range is empty.
+  [[nodiscard]] std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + next() % (hi - lo + 1);
+  }
+
+  /// True with probability percent/100.
+  [[nodiscard]] bool chance(unsigned percent) {
+    return next() % 100 < percent;
+  }
+
+  /// Pick one element of a non-empty vector.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) {
+    return v[next() % v.size()];
+  }
+
+  /// Weighted choice: returns the index of the chosen weight.
+  [[nodiscard]] std::size_t weighted(const std::vector<unsigned>& weights) {
+    std::uint64_t total = 0;
+    for (unsigned w : weights) total += w;
+    if (total == 0) return 0;
+    std::uint64_t roll = next() % total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (roll < weights[i]) return i;
+      roll -= weights[i];
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace splice::testing

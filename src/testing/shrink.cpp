@@ -1,0 +1,191 @@
+#include "testing/shrink.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace splice::testing {
+namespace {
+
+/// Re-point every implicit bound that referenced a now-removed input at an
+/// explicit count, so dropping a parameter never *introduces* a validation
+/// error that would mask the failure under minimization.
+void repair_implicit_refs(FunctionModel& fn, const std::string& gone) {
+  auto repair = [&](ParamModel& p) {
+    if (p.bound == ParamModel::Bound::Implicit && p.index_var == gone) {
+      p.bound = ParamModel::Bound::Explicit;
+      p.count = 2;
+      p.index_var.clear();
+    }
+  };
+  for (ParamModel& p : fn.inputs) repair(p);
+  if (fn.ret == FunctionModel::Ret::Value) repair(fn.output);
+}
+
+void retype_params(SpecModel& spec, const std::string& gone) {
+  auto repair = [&](ParamModel& p) {
+    if (p.type == gone) p.type = "int";
+  };
+  for (FunctionModel& fn : spec.functions) {
+    for (ParamModel& p : fn.inputs) repair(p);
+    if (fn.ret == FunctionModel::Ret::Value) repair(fn.output);
+  }
+}
+
+/// All single-step simplifications of `model`, smallest-first: structural
+/// deletions before feature strips before count reductions.
+std::vector<SpecModel> candidates(const SpecModel& model) {
+  std::vector<SpecModel> out;
+
+  // Drop whole declarations (never below one).
+  if (model.functions.size() > 1) {
+    for (std::size_t f = 0; f < model.functions.size(); ++f) {
+      SpecModel c = model;
+      c.functions.erase(c.functions.begin() + static_cast<long>(f));
+      out.push_back(std::move(c));
+    }
+  }
+
+  // Drop single inputs.
+  for (std::size_t f = 0; f < model.functions.size(); ++f) {
+    for (std::size_t i = 0; i < model.functions[f].inputs.size(); ++i) {
+      SpecModel c = model;
+      FunctionModel& fn = c.functions[f];
+      const std::string gone = fn.inputs[i].name;
+      fn.inputs.erase(fn.inputs.begin() + static_cast<long>(i));
+      repair_implicit_refs(fn, gone);
+      out.push_back(std::move(c));
+    }
+  }
+
+  // Per-function simplifications.
+  for (std::size_t f = 0; f < model.functions.size(); ++f) {
+    const FunctionModel& fn = model.functions[f];
+    if (fn.ret == FunctionModel::Ret::Value) {
+      SpecModel c = model;  // drop the return transfer
+      c.functions[f].ret = FunctionModel::Ret::Void;
+      c.functions[f].output = ParamModel{};
+      out.push_back(std::move(c));
+    }
+    if (fn.ret == FunctionModel::Ret::Nowait) {
+      SpecModel c = model;  // make it an ordinary blocking command
+      c.functions[f].ret = FunctionModel::Ret::Void;
+      out.push_back(std::move(c));
+    }
+    if (fn.instances > 1) {
+      SpecModel c = model;
+      c.functions[f].instances = 1;
+      out.push_back(std::move(c));
+    }
+  }
+
+  // Per-parameter feature strips (inputs and the return transfer).
+  for (std::size_t f = 0; f < model.functions.size(); ++f) {
+    const FunctionModel& fn = model.functions[f];
+    const std::size_t nslots =
+        fn.inputs.size() + (fn.ret == FunctionModel::Ret::Value ? 1 : 0);
+    for (std::size_t slot = 0; slot < nslots; ++slot) {
+      auto param_of = [&](SpecModel& c) -> ParamModel& {
+        FunctionModel& cf = c.functions[f];
+        return slot < cf.inputs.size() ? cf.inputs[slot] : cf.output;
+      };
+      const ParamModel& p =
+          slot < fn.inputs.size() ? fn.inputs[slot] : fn.output;
+
+      auto strip = [&](auto mutate) {
+        SpecModel c = model;
+        mutate(param_of(c));
+        out.push_back(std::move(c));
+      };
+      if (p.by_ref) strip([](ParamModel& q) { q.by_ref = false; });
+      if (p.dma) strip([](ParamModel& q) { q.dma = false; });
+      if (p.packed) strip([](ParamModel& q) { q.packed = false; });
+      if (p.bound == ParamModel::Bound::Implicit) {
+        strip([](ParamModel& q) {
+          q.bound = ParamModel::Bound::Explicit;
+          q.count = 2;
+          q.index_var.clear();
+        });
+      }
+      if (p.bound == ParamModel::Bound::Explicit && p.count > 1) {
+        strip([](ParamModel& q) { q.count = 1; });
+      }
+      if (p.is_array()) {
+        SpecModel c = model;
+        ParamModel& q = param_of(c);
+        const std::string name = q.name;
+        q = ParamModel{};  // collapse to a scalar int
+        q.name = name;
+        repair_implicit_refs(c.functions[f], name);
+        out.push_back(std::move(c));
+      }
+      if (p.type != "int") {
+        strip([](ParamModel& q) { q.type = "int"; });
+      }
+    }
+  }
+
+  // Directive-level simplifications.
+  if (model.dma_support) {
+    SpecModel c = model;
+    c.dma_support = false;  // must strip '^' everywhere to stay valid
+    for (FunctionModel& fn : c.functions) {
+      for (ParamModel& p : fn.inputs) p.dma = false;
+      fn.output.dma = false;
+    }
+    out.push_back(std::move(c));
+  }
+  if (model.packing_support) {
+    SpecModel c = model;
+    c.packing_support = false;
+    out.push_back(std::move(c));
+  }
+  if (model.burst_support) {
+    SpecModel c = model;
+    c.burst_support = false;
+    out.push_back(std::move(c));
+  }
+  if (model.irq_support) {
+    SpecModel c = model;
+    c.irq_support = false;
+    out.push_back(std::move(c));
+  }
+  if (model.bus_width == 64) {
+    SpecModel c = model;
+    c.bus_width = 32;
+    out.push_back(std::move(c));
+  }
+  for (std::size_t u = 0; u < model.user_types.size(); ++u) {
+    SpecModel c = model;
+    const std::string gone = c.user_types[u].name;
+    c.user_types.erase(c.user_types.begin() + static_cast<long>(u));
+    retype_params(c, gone);
+    out.push_back(std::move(c));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+SpecModel shrink(SpecModel model, const ShrinkPredicate& predicate,
+                 ShrinkStats* stats, std::uint64_t max_attempts) {
+  std::uint64_t attempts = 0;
+  bool progress = true;
+  while (progress && attempts < max_attempts) {
+    progress = false;
+    for (SpecModel& c : candidates(model)) {
+      if (attempts >= max_attempts) break;
+      ++attempts;
+      if (stats != nullptr) ++stats->attempts;
+      if (predicate(c)) {
+        if (stats != nullptr) ++stats->accepted;
+        model = std::move(c);
+        progress = true;
+        break;  // restart the pass from the smaller spec
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace splice::testing

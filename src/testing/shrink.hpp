@@ -1,0 +1,34 @@
+// Greedy spec minimizer.  Given a model that fails the conformance oracle,
+// repeatedly apply simplifying mutations — drop declarations, drop
+// parameters, strip feature extensions, shrink counts — keeping a mutation
+// whenever the smaller spec *still* fails, until a fixpoint.  The
+// predicate decides "still interesting"; the driver wires it to
+// run_conformance so minimized repros stay valid specs that reproduce the
+// original class of failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "testing/spec_gen.hpp"
+
+namespace splice::testing {
+
+/// True when the candidate still exhibits the failure being minimized.
+/// Candidates the frontend rejects must return false: the shrinker hunts
+/// oracle failures, not validation errors it introduced itself.
+using ShrinkPredicate = std::function<bool(const SpecModel&)>;
+
+struct ShrinkStats {
+  std::uint64_t attempts = 0;  ///< candidate specs tried
+  std::uint64_t accepted = 0;  ///< mutations that kept the failure
+};
+
+/// Minimize `model` under `predicate`; returns the smallest failing spec
+/// found within `max_attempts` oracle invocations.  `model` itself is
+/// assumed interesting (the caller observed it fail).
+[[nodiscard]] SpecModel shrink(SpecModel model, const ShrinkPredicate& predicate,
+                               ShrinkStats* stats = nullptr,
+                               std::uint64_t max_attempts = 400);
+
+}  // namespace splice::testing

@@ -1,0 +1,269 @@
+#include "testing/spec_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace splice::testing {
+namespace {
+
+// What each built-in adapter publishes (mirrors the BusCapabilities
+// records in src/adapters/) — the generator constrains its choices to
+// these so that every emitted spec validates cleanly.
+struct BusInfo {
+  const char* name;
+  bool wide;    ///< 64-bit width allowed
+  bool mapped;  ///< needs %base_address
+  bool dma;
+  bool burst;
+  bool irq;
+};
+
+constexpr BusInfo kBuses[] = {
+    {"plb", true, true, true, false, true},
+    {"opb", false, true, false, false, false},
+    {"fcb", false, false, false, true, false},
+    {"apb", false, true, false, false, true},
+    {"ahb", true, true, true, true, true},
+};
+
+const BusInfo* bus_info(const std::string& name) {
+  for (const auto& b : kBuses) {
+    if (name == b.name) return &b;
+  }
+  return nullptr;
+}
+
+// Built-in type pool: name, bit width, integer-kind (legal implicit index).
+struct TypeInfo {
+  const char* name;
+  unsigned bits;
+  bool integer;
+};
+
+constexpr TypeInfo kTypes[] = {
+    {"int", 32, true},   {"short", 16, true},    {"char", 8, true},
+    {"bool", 8, true},   {"unsigned", 32, true}, {"single", 32, false},
+    {"double", 64, false},
+};
+
+unsigned type_bits(const SpecModel& spec, const std::string& name) {
+  for (const auto& t : kTypes) {
+    if (name == t.name) return t.bits;
+  }
+  for (const auto& u : spec.user_types) {
+    if (name == u.name) return u.bits;
+  }
+  return 32;
+}
+
+}  // namespace
+
+std::string ParamModel::render_exts() const {
+  std::string s;
+  if (is_array()) s += "*";
+  if (bound == Bound::Explicit) {
+    s += ":" + std::to_string(count);
+  } else if (bound == Bound::Implicit) {
+    s += ":" + index_var;
+  }
+  if (packed) s += "+";
+  if (dma) s += "^";
+  if (by_ref) s += "&";
+  return s;
+}
+
+std::string FunctionModel::render() const {
+  std::string s;
+  switch (ret) {
+    case Ret::Nowait:
+      s = "nowait";
+      break;
+    case Ret::Void:
+      s = "void";
+      break;
+    case Ret::Value:
+      s = output.type + output.render_exts();
+      break;
+  }
+  s += " " + name + "(";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i != 0) s += ", ";
+    const ParamModel& p = inputs[i];
+    s += p.type + p.render_exts() + " " + p.name;
+  }
+  s += ")";
+  if (instances > 1) s += ":" + std::to_string(instances);
+  s += ";";
+  return s;
+}
+
+std::string SpecModel::render(std::optional<ir::Hdl> hdl) const {
+  std::string s;
+  s += "%device_name " + device_name + "\n";
+  s += "%bus_type " + bus_type + "\n";
+  s += "%bus_width " + std::to_string(bus_width) + "\n";
+  if (base_address.has_value()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%08llx",
+                  static_cast<unsigned long long>(*base_address));
+    s += std::string("%base_address ") + buf + "\n";
+  }
+  if (burst_support) s += "%burst_support true\n";
+  if (dma_support) s += "%dma_support true\n";
+  if (packing_support) s += "%packing_support true\n";
+  if (irq_support) s += "%irq_support true\n";
+  if (hdl.has_value()) {
+    s += std::string("%target_hdl ") +
+         (hdl == ir::Hdl::Verilog ? "verilog" : "vhdl") + "\n";
+  }
+  for (const auto& u : user_types) {
+    s += "%user_type " + u.name + ", " + u.c_spelling + ", " +
+         std::to_string(u.bits) + "\n";
+  }
+  s += "\n";
+  for (const auto& fn : functions) {
+    s += fn.render() + "\n";
+  }
+  return s;
+}
+
+namespace {
+
+/// Names of inputs declared before `limit` that are legal implicit indexes
+/// (§3.3: scalar, integer, transmitted earlier).
+std::vector<std::string> index_candidates(const SpecModel& spec,
+                                          const FunctionModel& fn,
+                                          std::size_t limit) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < limit && i < fn.inputs.size(); ++i) {
+    const ParamModel& p = fn.inputs[i];
+    if (p.is_array()) continue;
+    bool integer = false;
+    for (const auto& t : kTypes) {
+      if (p.type == t.name) integer = t.integer;
+    }
+    for (const auto& u : spec.user_types) {
+      if (p.type == u.name) integer = true;  // user types are integral
+    }
+    if (integer) out.push_back(p.name);
+  }
+  return out;
+}
+
+std::string pick_type(Rng& rng, const SpecModel& spec, bool integer_only) {
+  std::vector<std::string> pool;
+  for (const auto& t : kTypes) {
+    if (integer_only && !t.integer) continue;
+    pool.push_back(t.name);
+  }
+  for (const auto& u : spec.user_types) pool.push_back(u.name);
+  return rng.pick(pool);
+}
+
+ParamModel gen_param(Rng& rng, const SpecModel& spec, const FunctionModel& fn,
+                     std::size_t position, bool is_return, bool blocking,
+                     const GenOptions& opt) {
+  ParamModel p;
+  p.type = pick_type(rng, spec, /*integer_only=*/false);
+  if (!is_return) p.name = "a" + std::to_string(position);
+
+  const unsigned array_pct = is_return ? opt.pct_output_array : opt.pct_array;
+  if (rng.chance(array_pct)) {
+    // Returns are transferred last, so any input can index them; inputs
+    // may only reference earlier ones (§3.3 ordering rule).
+    auto idx = index_candidates(spec, fn,
+                                is_return ? fn.inputs.size() : position);
+    if (!idx.empty() && rng.chance(opt.pct_implicit)) {
+      p.bound = ParamModel::Bound::Implicit;
+      p.index_var = rng.pick(idx);
+    } else {
+      p.bound = ParamModel::Bound::Explicit;
+      p.count = static_cast<std::uint32_t>(
+          rng.range(1, opt.max_explicit_count));
+    }
+    // '^' and '+' are modelled as mutually exclusive, matching
+    // infer_global_packing which never packs a DMA transfer.
+    if (spec.dma_support && rng.chance(opt.pct_dma)) {
+      p.dma = true;
+    } else if (type_bits(spec, p.type) < spec.bus_width &&
+               rng.chance(opt.pct_packed)) {
+      p.packed = true;
+    }
+    if (!is_return && blocking && !p.dma && rng.chance(opt.pct_byref)) {
+      p.by_ref = true;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+SpecModel generate_spec(std::uint64_t seed, const GenOptions& opt) {
+  Rng rng(splitmix64(seed));
+  SpecModel spec;
+
+  const BusInfo* bus = bus_info(rng.pick(opt.buses));
+  assert(bus != nullptr && "unknown bus name in GenOptions::buses");
+  spec.bus_type = bus->name;
+  spec.bus_width = (bus->wide && rng.chance(opt.pct_wide_bus)) ? 64 : 32;
+  spec.device_name = "fuzz_" + std::string(bus->name);
+  if (bus->mapped) {
+    // Word-aligned address in a plausible peripheral window.
+    spec.base_address = 0x80000000ULL + (rng.range(0, 0xFFF) << 4);
+  }
+  spec.dma_support = bus->dma && rng.chance(opt.pct_dma_support);
+  spec.burst_support = bus->burst && rng.chance(opt.pct_burst_support);
+  spec.irq_support = bus->irq && rng.chance(opt.pct_irq_support);
+  spec.packing_support = rng.chance(opt.pct_packing_support);
+
+  if (rng.chance(opt.pct_user_types)) {
+    // Widths stay <= 64: the ICOB reassembles split transfers in a 64-bit
+    // accumulator, so wider user types are outside the simulated envelope.
+    static const std::vector<unsigned> kWidths = {4, 8, 12, 16, 24, 40, 48};
+    const unsigned n = static_cast<unsigned>(rng.range(1, 2));
+    for (unsigned i = 0; i < n; ++i) {
+      UserTypeModel u;
+      u.bits = rng.pick(kWidths);
+      u.name = "ut" + std::to_string(i) + "_" + std::to_string(u.bits);
+      u.c_spelling = u.bits > 32 ? "long" : "unsigned";
+      spec.user_types.push_back(u);
+    }
+  }
+
+  const unsigned nfuncs = static_cast<unsigned>(
+      rng.range(1, std::max(1u, opt.max_functions)));
+  for (unsigned f = 0; f < nfuncs; ++f) {
+    FunctionModel fn;
+    fn.name = "fn" + std::to_string(f);
+    if (rng.chance(opt.pct_nowait)) {
+      fn.ret = FunctionModel::Ret::Nowait;
+    } else if (rng.chance(opt.pct_void)) {
+      fn.ret = FunctionModel::Ret::Void;
+    } else {
+      fn.ret = FunctionModel::Ret::Value;
+    }
+    fn.instances = rng.chance(opt.pct_multi_instance)
+                       ? static_cast<std::uint32_t>(
+                             rng.range(2, std::max(2u, opt.max_instances)))
+                       : 1;
+
+    // Zero-input nowait functions are a validation error (they could never
+    // be enacted), so non-blocking declarations always get at least one.
+    const unsigned min_inputs = fn.ret == FunctionModel::Ret::Nowait ? 1 : 0;
+    const unsigned ninputs = static_cast<unsigned>(
+        rng.range(min_inputs, std::max(min_inputs, opt.max_inputs)));
+    for (unsigned i = 0; i < ninputs; ++i) {
+      fn.inputs.push_back(gen_param(rng, spec, fn, i, /*is_return=*/false,
+                                    fn.blocking(), opt));
+    }
+    if (fn.ret == FunctionModel::Ret::Value) {
+      fn.output = gen_param(rng, spec, fn, 0, /*is_return=*/true,
+                            /*blocking=*/true, opt);
+    }
+    spec.functions.push_back(std::move(fn));
+  }
+  return spec;
+}
+
+}  // namespace splice::testing

@@ -1,0 +1,115 @@
+// Property-based specification generator: a seeded random source of
+// *valid* Splice interface declarations sweeping every grammar feature of
+// thesis chapter 3 — explicit/implicit pointer bounds, packing '+', DMA
+// '^', by-reference '&', multiple instances, nowait — weighted so that
+// feature *combinations* (packed + multi-instance, implicit + DMA, ...)
+// appear, and constrained by the selected bus adapter's capabilities so
+// that every generated spec passes Section 3.3 validation by construction.
+//
+// The generator's canonical output is a SpecModel: a small mutable mirror
+// of the surface syntax that renders to `.splice` text.  The conformance
+// oracle consumes the rendered text (exercising the real frontend), and
+// the shrinker mutates the model — so a minimized failure is always a
+// parseable spec a human can re-run with the CLI.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/device.hpp"
+#include "testing/rng.hpp"
+
+namespace splice::testing {
+
+/// One input parameter or the return transfer of a declaration.
+struct ParamModel {
+  enum class Bound : std::uint8_t { Scalar, Explicit, Implicit };
+
+  std::string type = "int";  ///< declaration spelling
+  std::string name;          ///< empty for return transfers
+  Bound bound = Bound::Scalar;
+  std::uint32_t count = 1;   ///< Explicit bound
+  std::string index_var;     ///< Implicit bound (§3.1.2)
+  bool packed = false;       ///< '+' (§3.1.3)
+  bool dma = false;          ///< '^' (§3.1.5)
+  bool by_ref = false;       ///< '&' (§10.2)
+
+  [[nodiscard]] bool is_array() const { return bound != Bound::Scalar; }
+  /// The declaration-site spelling of the extensions: "*:4^+" etc.
+  [[nodiscard]] std::string render_exts() const;
+};
+
+struct FunctionModel {
+  enum class Ret : std::uint8_t { Value, Void, Nowait };
+
+  std::string name;
+  Ret ret = Ret::Void;
+  ParamModel output;  ///< meaningful when ret == Value
+  std::vector<ParamModel> inputs;
+  std::uint32_t instances = 1;
+
+  [[nodiscard]] bool blocking() const { return ret != Ret::Nowait; }
+  [[nodiscard]] std::string render() const;
+};
+
+struct UserTypeModel {
+  std::string name;
+  std::string c_spelling;
+  unsigned bits = 32;
+};
+
+/// A complete specification in surface-syntax terms.
+struct SpecModel {
+  std::string device_name = "fuzz_dev";
+  std::string bus_type = "plb";
+  unsigned bus_width = 32;
+  std::optional<std::uint64_t> base_address;
+  bool burst_support = false;
+  bool dma_support = false;
+  bool packing_support = false;
+  bool irq_support = false;
+  std::vector<UserTypeModel> user_types;
+  std::vector<FunctionModel> functions;
+
+  /// Render as `.splice` text.  `hdl` adds a %target_hdl directive; the
+  /// oracle renders the same model once per target language.
+  [[nodiscard]] std::string render(
+      std::optional<ir::Hdl> hdl = std::nullopt) const;
+};
+
+/// Generation weights (percent probabilities / inclusive ranges).  The
+/// defaults sweep every feature; tests narrow them to focus a dimension.
+struct GenOptions {
+  std::vector<std::string> buses = {"plb", "opb", "fcb", "apb", "ahb"};
+  unsigned max_functions = 4;
+  unsigned max_inputs = 4;
+  unsigned max_explicit_count = 8;
+  unsigned max_instances = 3;
+  unsigned pct_array = 40;        ///< a parameter gets a pointer bound
+  unsigned pct_implicit = 40;     ///< an array bound is implicit (given a
+                                  ///< legal earlier index exists)
+  unsigned pct_packed = 35;       ///< eligible array asks for '+'
+  unsigned pct_dma = 35;          ///< eligible array asks for '^'
+  unsigned pct_byref = 20;        ///< eligible array asks for '&'
+  unsigned pct_nowait = 20;
+  unsigned pct_void = 25;
+  unsigned pct_multi_instance = 25;
+  unsigned pct_dma_support = 50;  ///< when the bus can do DMA
+  unsigned pct_burst_support = 50;
+  unsigned pct_irq_support = 30;
+  unsigned pct_packing_support = 25;
+  unsigned pct_user_types = 35;   ///< spec declares user types
+  unsigned pct_output_array = 30;
+  unsigned pct_wide_bus = 30;     ///< pick 64-bit width when allowed
+};
+
+/// Generate one valid spec.  Deterministic in (seed, options): the same
+/// pair always yields the same model.  Specs honor the Section 3.3 rules
+/// and the selected bus's published capabilities, so `ir::validate` accepts
+/// them (the fuzzer's property tests assert exactly that).
+[[nodiscard]] SpecModel generate_spec(std::uint64_t seed,
+                                      const GenOptions& options = {});
+
+}  // namespace splice::testing

@@ -1,0 +1,235 @@
+// Property-based fuzzer tests: the generator's validity guarantee, the
+// structural-equivalence differ, the greedy shrinker, and the fixed-seed
+// conformance campaign that gates every commit (ISSUE: ≥200 specs, zero
+// oracle violations).
+#include <gtest/gtest.h>
+
+#include "codegen/hdl_builder.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "support/telemetry.hpp"
+#include "testing/conformance.hpp"
+#include "testing/equiv.hpp"
+#include "testing/fuzz.hpp"
+#include "testing/shrink.hpp"
+#include "testing/spec_gen.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::testing;
+
+/// Renders the model and pushes it through the real frontend + validator.
+bool model_is_valid(const SpecModel& model) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(model.render(), diags);
+  if (!spec.has_value()) return false;
+  return ir::validate(*spec, diags);
+}
+
+// --- generator --------------------------------------------------------------
+
+TEST(SpecGen, GeneratedSpecsAreValidByConstruction) {
+  // The generator's core property (§3.3): every spec it emits parses and
+  // validates.  Sweep enough seeds that every feature combination in the
+  // weight table appears at least once.
+  for (std::uint64_t seed = 0; seed < 80; ++seed) {
+    SpecModel m = generate_spec(splitmix64(seed));
+    EXPECT_TRUE(model_is_valid(m)) << "seed " << seed << ":\n" << m.render();
+  }
+}
+
+TEST(SpecGen, DeterministicInSeed) {
+  GenOptions opt;
+  EXPECT_EQ(generate_spec(42, opt).render(), generate_spec(42, opt).render());
+  EXPECT_NE(generate_spec(42, opt).render(), generate_spec(43, opt).render());
+}
+
+TEST(SpecGen, NowaitDeclarationsAlwaysHaveInputs) {
+  // Regression: a zero-input nowait can never be enacted and is now a
+  // validation error — the generator must never produce one.
+  GenOptions opt;
+  opt.pct_nowait = 100;  // force the non-blocking path
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    SpecModel m = generate_spec(splitmix64(0xA0 + seed), opt);
+    for (const auto& fn : m.functions) {
+      if (fn.ret == FunctionModel::Ret::Nowait) {
+        EXPECT_FALSE(fn.inputs.empty()) << m.render();
+      }
+    }
+  }
+}
+
+// --- structural equivalence differ -----------------------------------------
+
+ir::DeviceSpec parse_valid(const std::string& text) {
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  EXPECT_TRUE(spec.has_value()) << diags.render();
+  EXPECT_TRUE(ir::validate(*spec, diags)) << diags.render();
+  return std::move(*spec);
+}
+
+TEST(StructuralDiff, IdenticalDialectsAreEquivalent) {
+  auto spec = parse_valid(
+      "%device_name eqdev\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\n"
+      "int scale(int x, char*:4+ ys);\n");
+  auto vhdl = codegen::build_stub_ast(spec.functions[0], spec,
+                                      codegen::ast::Dialect::Vhdl);
+  auto vlog = codegen::build_stub_ast(spec.functions[0], spec,
+                                      codegen::ast::Dialect::Verilog);
+  EXPECT_TRUE(structural_diff(vhdl, vlog).empty())
+      << ::testing::PrintToString(structural_diff(vhdl, vlog));
+}
+
+TEST(StructuralDiff, DetectsSeededDivergence) {
+  auto spec = parse_valid(
+      "%device_name eqdev\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\n"
+      "int scale(int x, char*:4+ ys);\n");
+  auto a = codegen::build_stub_ast(spec.functions[0], spec,
+                                   codegen::ast::Dialect::Vhdl);
+
+  // A port-width mutation (the classic cross-dialect slip).
+  auto b = a;
+  ASSERT_FALSE(b.ports.empty());
+  b.ports.front().width += 7;
+  EXPECT_FALSE(structural_diff(a, b).empty());
+
+  // A lost register.
+  auto c = a;
+  ASSERT_FALSE(c.signals.empty());
+  c.signals.pop_back();
+  EXPECT_FALSE(structural_diff(a, c).empty());
+
+  // A diverged FSM.
+  auto d = a;
+  ASSERT_TRUE(d.fsm.has_value());
+  d.fsm->states.push_back("PHANTOM");
+  EXPECT_FALSE(structural_diff(a, d).empty());
+}
+
+// --- shrinker ---------------------------------------------------------------
+
+TEST(Shrink, MinimizesToThePredicateCore) {
+  // Build a deliberately fat spec and shrink against an artificial
+  // predicate: "still valid and still contains a packed parameter".  The
+  // fixpoint must be a single declaration with a single packed input.
+  SpecModel m;
+  m.device_name = "shrinkme";
+  m.bus_type = "plb";
+  m.bus_width = 32;
+  m.base_address = 0x80000000;
+
+  FunctionModel f0;
+  f0.name = "fn0";
+  f0.ret = FunctionModel::Ret::Value;
+  f0.output.type = "int";
+  f0.instances = 3;
+  f0.inputs.push_back({"int", "a0"});
+  ParamModel packed;
+  packed.type = "char";
+  packed.name = "a1";
+  packed.bound = ParamModel::Bound::Explicit;
+  packed.count = 6;
+  packed.packed = true;
+  f0.inputs.push_back(packed);
+  f0.inputs.push_back({"short", "a2"});
+  m.functions.push_back(f0);
+
+  FunctionModel f1;
+  f1.name = "fn1";
+  f1.ret = FunctionModel::Ret::Void;
+  f1.inputs.push_back({"int", "b0"});
+  m.functions.push_back(f1);
+
+  ASSERT_TRUE(model_is_valid(m));
+
+  auto has_packed = [](const SpecModel& s) {
+    for (const auto& fn : s.functions) {
+      for (const auto& p : fn.inputs) {
+        if (p.packed) return true;
+      }
+    }
+    return false;
+  };
+  ShrinkStats stats;
+  SpecModel minimized = shrink(
+      m,
+      [&](const SpecModel& s) { return model_is_valid(s) && has_packed(s); },
+      &stats);
+
+  EXPECT_TRUE(model_is_valid(minimized));
+  EXPECT_TRUE(has_packed(minimized));
+  ASSERT_EQ(minimized.functions.size(), 1u);
+  EXPECT_EQ(minimized.functions[0].inputs.size(), 1u);
+  EXPECT_EQ(minimized.functions[0].instances, 1u);
+  EXPECT_GT(stats.attempts, 0u);
+  EXPECT_GT(stats.accepted, 0u);
+}
+
+// --- single-spec oracle -----------------------------------------------------
+
+TEST(Conformance, HandWrittenSpecPassesOracle) {
+  SpecModel m;
+  m.device_name = "oracle_dev";
+  m.bus_type = "plb";
+  m.bus_width = 32;
+  m.base_address = 0x80000000;
+  FunctionModel fn;
+  fn.name = "fn0";
+  fn.ret = FunctionModel::Ret::Value;
+  fn.output.type = "int";
+  fn.inputs.push_back({"int", "a0"});
+  m.functions.push_back(fn);
+
+  OracleResult r = run_conformance(m);
+  EXPECT_TRUE(r.ok()) << ::testing::PrintToString(r.failures);
+  EXPECT_GT(r.calls, 0u);
+  EXPECT_GT(r.bus_cycles, 0u);
+}
+
+TEST(Conformance, RejectedSpecIsReportedNotFailed) {
+  SpecModel m;
+  m.device_name = "bad_dev";
+  m.bus_type = "plb";
+  m.bus_width = 32;
+  m.base_address = 0x80000000;
+  FunctionModel fn;
+  fn.name = "fn0";
+  fn.ret = FunctionModel::Ret::Nowait;  // zero-input nowait: invalid
+  m.functions.push_back(fn);
+
+  OracleResult r = run_conformance(m);
+  EXPECT_TRUE(r.spec_rejected);
+}
+
+// --- the commit gate --------------------------------------------------------
+
+TEST(FuzzCampaign, FixedSeed200SpecsZeroViolations) {
+  FuzzOptions opt;
+  opt.seed = 1;
+  opt.count = 200;
+  support::telemetry::MetricsRegistry metrics;
+  opt.metrics = &metrics;
+
+  FuzzReport report = run_fuzz(opt);
+
+  EXPECT_EQ(report.specs_run, 200u);
+  EXPECT_TRUE(report.clean()) << [&] {
+    std::string all;
+    for (const auto& f : report.failures) {
+      all += "spec " + std::to_string(f.index) + " (seed " +
+             std::to_string(f.spec_seed) + "): " + f.summary + "\n" +
+             f.minimized.render() + "\n";
+    }
+    return all;
+  }();
+  EXPECT_FALSE(report.time_boxed_out);
+  EXPECT_EQ(metrics.counter("fuzz.specs").value(), 200u);
+  EXPECT_EQ(metrics.counter("fuzz.failures").value(), 0u);
+  EXPECT_GT(metrics.counter("fuzz.calls").value(), 0u);
+}
+
+}  // namespace

@@ -9,11 +9,14 @@
 // then review the diff of tests/golden/ like any other code change.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "core/splice.hpp"
 
@@ -123,5 +126,47 @@ INSTANTIATE_TEST_SUITE_P(Corpus, HdlGolden, ::testing::ValuesIn(kCorpus),
                          [](const auto& info) {
                            return std::string(info.param.name);
                          });
+
+// --- specs/corpus: minimized fuzzer repros + representative feature mixes --
+//
+// Each .splice under specs/corpus/ is snapshotted the same way, under
+// tests/golden/corpus_<stem>_{vhdl,verilog}.  A fuzzer-minimized repro that
+// led to a fix gets committed there, so the exact generated hardware stays
+// pinned for the failure class it represents.
+
+#ifdef SPLICE_SPEC_CORPUS_DIR
+
+std::vector<Corpus> corpus_dir_specs() {
+  // gtest may evaluate the parameter generator more than once; a deque
+  // keeps earlier c_str() pointers stable across later growth.
+  static std::deque<std::string> storage;
+  std::vector<Corpus> out;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(SPLICE_SPEC_CORPUS_DIR)) {
+    if (entry.path().extension() == ".splice") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& p : files) {
+    storage.push_back("corpus_" + p.stem().string());
+    const char* name = storage.back().c_str();
+    storage.push_back(read_file(p));
+    out.push_back({name, storage.back().c_str()});
+  }
+  return out;
+}
+
+class CorpusGolden : public ::testing::TestWithParam<Corpus> {};
+
+TEST_P(CorpusGolden, VhdlMatchesFixtures) { check_case(GetParam(), false); }
+
+TEST_P(CorpusGolden, VerilogMatchesFixtures) { check_case(GetParam(), true); }
+
+INSTANTIATE_TEST_SUITE_P(SpecsCorpus, CorpusGolden,
+                         ::testing::ValuesIn(corpus_dir_specs()),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+#endif  // SPLICE_SPEC_CORPUS_DIR
 
 }  // namespace

@@ -237,6 +237,26 @@ TEST_P(BuilderLint, GeneratedAstsAreClean) {
   }
 }
 
+TEST(HdlLint, PackedImplicitParamLintsClean) {
+  // Fuzzer regression: a packed *implicit* transfer (char*:n+) matched both
+  // the explicit-counter and the implicit-counter branches of the stub
+  // model, declaring <name>_counter twice and tripping the duplicate-signal
+  // lint (E501).
+  std::string text =
+      "%device_name lintdev\n%bus_type opb\n%bus_width 32\n"
+      "%base_address 0x80000000\n"
+      "void fn0(unsigned a0, char*:a0+ a1, char a2, bool a3);\n";
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  ASSERT_TRUE(spec.has_value()) << diags.render();
+  ASSERT_TRUE(ir::validate(*spec, diags)) << diags.render();
+  for (ast::Dialect d : {ast::Dialect::Vhdl, ast::Dialect::Verilog}) {
+    EXPECT_TRUE(lint_module(build_stub_ast(spec->functions[0], *spec, d),
+                            diags))
+        << diags.render();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBuses, BuilderLint,
     ::testing::Combine(::testing::Values("plb", "opb", "fcb", "apb", "ahb"),

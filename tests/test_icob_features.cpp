@@ -192,6 +192,80 @@ TEST(IcobFeatures, StubIntrospectionMatchesDeclaration) {
   EXPECT_THROW(vp.device().func_id("missing"), SpliceError);
 }
 
+TEST(IcobFeatures, PackedArrayMultiInstanceRoundTrips) {
+  // Feature combination from the fuzzer's weight table: lane packing and
+  // multiple instances interact (each instance unpacks its own stream).
+  auto spec = spec_from("int sum(char*:6+ xs):2;\n");
+  elab::BehaviorMap b;
+  b.set("sum", [](const elab::CallContext& ctx) {
+    std::uint64_t s = ctx.instance_index * 1000;
+    for (auto v : ctx.array(0)) s += v;
+    return elab::CalcResult{1, {s}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  EXPECT_EQ(vp.call("sum", {{1, 2, 3, 4, 5, 6}}, 0).outputs.at(0), 21u);
+  EXPECT_EQ(vp.call("sum", {{6, 5, 4, 3, 2, 1}}, 1).outputs.at(0), 1021u);
+  EXPECT_TRUE(vp.checker().clean());
+}
+
+TEST(IcobFeatures, ImplicitPointerNowaitEnacts) {
+  // Implicit bound + nowait: the final element of the variable-length
+  // stream enacts the calculation; nothing is ever read back.
+  auto spec = spec_from("nowait push(char n, int*:n xs);\nint last();\n");
+  elab::BehaviorMap b;
+  auto seen = std::make_shared<std::vector<std::uint64_t>>();
+  b.set("push", [seen](const elab::CallContext& ctx) {
+    *seen = ctx.array(1);
+    return elab::CalcResult{1, {}};
+  });
+  b.set("last", [seen](const elab::CallContext&) {
+    return elab::CalcResult{1, {seen->empty() ? 0 : seen->back()}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  auto r = vp.call("push", {{3}, {7, 8, 9}});
+  EXPECT_TRUE(r.outputs.empty());
+  EXPECT_EQ(vp.checker().reads_observed(), 0u);
+  vp.sim().step(32);
+  EXPECT_EQ(*seen, (std::vector<std::uint64_t>{7, 8, 9}));
+  EXPECT_EQ(vp.call("last").outputs.at(0), 9u);
+  EXPECT_TRUE(vp.checker().clean());
+}
+
+TEST(IcobFeatures, AhbDmaRoundTrips) {
+  // Fuzzer regression (seed 1, spec 14): %dma_support on the AHB threw
+  // "this bus has no DMA capability" at the first '^' transfer — the
+  // adapter advertised DMA but the bus model never grew an engine.
+  auto spec = spec_from("int sum(int*:8^ xs);\n", "ahb",
+                        "%dma_support true\n");
+  elab::BehaviorMap b;
+  b.set("sum", [](const elab::CallContext& ctx) {
+    std::uint64_t s = 0;
+    for (auto v : ctx.array(0)) s += v;
+    return elab::CalcResult{1, {s}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  auto r = vp.call("sum", {{1, 2, 3, 4, 5, 6, 7, 8}});
+  EXPECT_EQ(r.outputs.at(0), 36u);
+  EXPECT_TRUE(vp.checker().clean())
+      << ::testing::PrintToString(vp.checker().violations());
+}
+
+TEST(IcobFeatures, AhbDmaWriteVoidCompletes) {
+  // The minimized fuzzer repro itself: blocking void, single-element DMA.
+  auto spec = spec_from("void f(int*:1^ x);\n", "ahb", "%dma_support true\n");
+  elab::BehaviorMap b;
+  std::uint64_t got = 0;
+  b.set("f", [&got](const elab::CallContext& ctx) {
+    got = ctx.array(0).at(0);
+    return elab::CalcResult{1, {}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  auto r = vp.call("f", {{0xABCD}});
+  EXPECT_TRUE(r.outputs.empty());
+  EXPECT_EQ(got, 0xABCDu);
+  EXPECT_TRUE(vp.checker().clean());
+}
+
 TEST(IcobFeatures, ActivationCountsAdvance) {
   auto spec = spec_from("int inc(int x);\n");
   elab::BehaviorMap b;

@@ -122,6 +122,49 @@ TEST(SisChecker, StrictWritesCompleteImmediately) {
   EXPECT_EQ(chk.writes_observed(), 2u);
 }
 
+TEST(SisChecker, IoDoneWithoutEnableFlagged) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);
+  f.sim.step(2);               // quiet bus, no transaction opened
+  f.bus.io_done.drive(true);   // spurious completion strobe
+  f.sim.step();
+  EXPECT_FALSE(chk.clean());
+  EXPECT_NE(chk.violations().front().find("no transaction in flight"),
+            std::string::npos);
+}
+
+TEST(SisChecker, CalcDoneGlitchFlagged) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);
+  f.bus.calc_done.drive(std::uint64_t{0b10});
+  f.sim.step(6);                              // bit raised, bus long quiet
+  f.bus.calc_done.drive(std::uint64_t{0});    // falls with no read/write
+  f.sim.step();
+  EXPECT_FALSE(chk.clean());
+  EXPECT_NE(chk.violations().front().find("CALC_DONE"), std::string::npos);
+}
+
+TEST(SisChecker, CalcDoneFallAfterReadClean) {
+  Fixture f;
+  auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);
+  f.bus.calc_done.drive(std::uint64_t{0b1});
+  f.sim.step(6);
+  // Software consumes the result: a compliant read transaction...
+  f.bus.io_enable.drive(true);
+  f.bus.func_id.drive(std::uint64_t{1});
+  f.sim.step();
+  f.bus.io_enable.drive(false);
+  f.bus.io_done.drive(true);
+  f.bus.data_out_valid.drive(true);
+  f.sim.step();
+  f.bus.io_done.drive(false);
+  f.bus.data_out_valid.drive(false);
+  // ...and the status bit may fall within the pipeline allowance.
+  f.bus.calc_done.drive(std::uint64_t{0});
+  f.sim.step(4);
+  EXPECT_TRUE(chk.clean()) << ::testing::PrintToString(chk.violations());
+}
+
 TEST(SisChecker, ResetClearsTransactionState) {
   Fixture f;
   auto& chk = f.sim.add<ProtocolChecker>(f.bus, ProtocolClass::PseudoAsynchronous);

@@ -129,6 +129,25 @@ TEST(Validate, DmaRequiresDirective) {
   EXPECT_TRUE(diags.contains(DiagId::DmaNotEnabled));
 }
 
+TEST(Validate, NowaitWithoutInputsRejected) {
+  // Found by the spec fuzzer: a zero-input nowait declaration generates a
+  // stub with no input and no output states — nothing ever enacts it, and
+  // the HDL lint rejects the dead bus interface downstream.  Catch it at
+  // validation instead.
+  auto spec = parse(kHeader + "nowait f();\n");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(validate(spec, diags));
+  EXPECT_TRUE(diags.contains(DiagId::NowaitWithoutInputs));
+}
+
+TEST(Validate, BlockingVoidWithoutInputsAccepted) {
+  // The blocking flavour stays legal: the synchronizing status read is a
+  // real transaction.
+  auto spec = parse(kHeader + "void f();\n");
+  DiagnosticEngine diags;
+  EXPECT_TRUE(validate(spec, diags)) << diags.render();
+}
+
 TEST(Validate, ZeroInstancesRejected) {
   auto spec = parse(kHeader + "void f(int x):0;\n");
   DiagnosticEngine diags;

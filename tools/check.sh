@@ -86,8 +86,38 @@ EOF
 rm -rf "$SMOKE_DIR"
 trap - EXIT
 
+echo "== fuzz: time-boxed random-seed conformance campaign =="
+# The fixed-seed 200-spec campaign already ran as part of ctest
+# (FuzzCampaign.FixedSeed200SpecsZeroViolations); this stage adds a fresh
+# random seed per check.sh run, time-boxed so the stage cost is bounded.
+# Failures write minimized .splice/.vcd repros to build/fuzz-corpus —
+# commit the repro with the fix.
+FUZZ_SEED="$(date +%s)"
+FUZZ_DIR="$(mktemp -d)"
+trap 'rm -rf "$FUZZ_DIR"' EXIT
+if ! build/tools/splice-fuzz --seed "$FUZZ_SEED" --count 4000 \
+    --time-budget 60000 --corpus-dir build/fuzz-corpus \
+    --trace-out "$FUZZ_DIR/fuzz_trace.json" --metrics; then
+  echo "fuzz campaign FAILED (replay: splice-fuzz --seed $FUZZ_SEED);" \
+       "minimized repros in build/fuzz-corpus" >&2
+  exit 1
+fi
+# The campaign is span-tracer instrumented: the trace must carry the
+# campaign root and one fuzz.spec span per spec checked.
+python3 - "$FUZZ_DIR/fuzz_trace.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+names = [e.get("name") for e in trace["traceEvents"] if e.get("ph") == "X"]
+assert "fuzz.campaign" in names, "missing fuzz.campaign span"
+specs = sum(1 for n in names if n == "fuzz.spec")
+assert specs > 0, "trace has no fuzz.spec spans"
+print(f"fuzz trace OK: {specs} fuzz.spec spans")
+EOF
+rm -rf "$FUZZ_DIR"
+trap - EXIT
+
 if [ "${1:-}" = "--fast" ]; then
-  echo "== skipping sanitizer pass (--fast) =="
+  echo "== skipping sanitizer + coverage passes (--fast) =="
   exit 0
 fi
 
@@ -95,10 +125,66 @@ echo "== sanitizers: ASan+UBSan build + ctest =="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 ctest --preset asan
+echo "== sanitizers: ASan+UBSan random-seed fuzz =="
+build-asan/tools/splice-fuzz --seed "$FUZZ_SEED" --count 400 \
+  --time-budget 60000 --corpus-dir build-asan/fuzz-corpus
 
 echo "== sanitizers: TSan build + ctest =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan
+echo "== sanitizers: TSan random-seed fuzz =="
+build-tsan/tools/splice-fuzz --seed "$FUZZ_SEED" --count 400 \
+  --time-budget 60000 --corpus-dir build-tsan/fuzz-corpus
+
+echo "== coverage: instrumented ctest + gcov line summary =="
+cmake --preset coverage
+cmake --build --preset coverage -j "$(nproc)"
+ctest --preset coverage
+# No gcovr/lcov in the container: aggregate the raw gcov JSON ourselves.
+python3 - build-coverage <<'EOF'
+import collections, json, os, subprocess, sys
+
+build_dir = sys.argv[1]
+gcda = []
+for root, _, files in os.walk(build_dir):
+    gcda += [os.path.join(root, f) for f in files if f.endswith(".gcda")]
+assert gcda, "no .gcda files — did ctest run in the coverage build?"
+
+# line -> hit, keyed by source path, merged across all object files.
+lines = collections.defaultdict(dict)
+for path in gcda:
+    out = subprocess.run(
+        ["gcov", "--json-format", "--stdout", os.path.basename(path)],
+        cwd=os.path.dirname(path), capture_output=True, check=False)
+    for doc in out.stdout.decode().splitlines():
+        if not doc.startswith("{"):
+            continue
+        for f in json.loads(doc).get("files", []):
+            src = f["file"]
+            if "/src/" not in src and not src.startswith("src/"):
+                continue
+            tracked = lines[src.split("/src/")[-1].removeprefix("src/")]
+            for ln in f["lines"]:
+                n = ln["line_number"]
+                tracked[n] = tracked.get(n, 0) + ln["count"]
+
+per_dir = collections.defaultdict(lambda: [0, 0])
+total = [0, 0]
+for src, tracked in sorted(lines.items()):
+    top = src.split("/")[0]
+    for _, count in tracked.items():
+        per_dir[top][1] += 1
+        total[1] += 1
+        if count > 0:
+            per_dir[top][0] += 1
+            total[0] += 1
+print("line coverage by subsystem (src/):")
+for top, (hit, all_) in sorted(per_dir.items()):
+    print(f"  {top:12s} {hit:6d}/{all_:<6d} {100.0 * hit / all_:5.1f}%")
+assert total[1] > 0
+print(f"  {'TOTAL':12s} {total[0]:6d}/{total[1]:<6d} "
+      f"{100.0 * total[0] / total[1]:5.1f}%")
+EOF
 
 echo "== all checks passed =="

@@ -1,0 +1,161 @@
+// splice-fuzz — the property-based conformance fuzzer's command line.
+// Generates valid random Splice specifications, runs each through the
+// differential oracle (VHDL/Verilog AST equivalence + end-to-end simulated
+// driver replay against the SIS protocol checker), shrinks any failure to
+// a minimized repro and writes it to the corpus directory.
+//
+// Usage:
+//   splice-fuzz [options]
+//     --seed N          campaign seed (default 1); every failure line
+//                       prints the (seed, index) pair that reproduces it
+//     --count N         specs to generate (default 200)
+//     --time-budget MS  stop after MS milliseconds even if --count remains
+//     --corpus-dir DIR  write minimized .splice/.vcd/.txt repros here
+//     --calls N         driver calls per declaration per spec (default 3)
+//     --trace-out FILE  Chrome trace-event JSON of the campaign spans
+//     --metrics         print the fuzz.* counters after the run
+//     -h, --help        this text
+//
+// Exit status: 0 clean campaign, 1 failures found, 2 usage error.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "support/telemetry.hpp"
+#include "testing/fuzz.hpp"
+
+namespace telemetry = splice::support::telemetry;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "splice-fuzz: property-based spec fuzzer + SIS conformance harness\n"
+      "usage: %s [options]\n"
+      "  --seed N          campaign seed (default 1)\n"
+      "  --count N         specs to generate (default 200)\n"
+      "  --time-budget MS  wall-clock box in milliseconds (default: none)\n"
+      "  --corpus-dir DIR  write minimized repros (.splice/.vcd/.txt)\n"
+      "  --calls N         driver calls per declaration (default 3)\n"
+      "  --trace-out FILE  write a Chrome trace-event JSON span trace\n"
+      "  --metrics         print fuzz.* counters after the run\n"
+      "  -h, --help        this text\n",
+      argv0);
+}
+
+bool parse_count(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  splice::testing::FuzzOptions opt;
+  std::string trace_out;
+  bool print_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--seed") {
+      if (!parse_count(need_value("--seed"), &opt.seed)) {
+        std::fprintf(stderr, "error: --seed expects a number\n");
+        return 2;
+      }
+    } else if (arg == "--count") {
+      if (!parse_count(need_value("--count"), &opt.count)) {
+        std::fprintf(stderr, "error: --count expects a number\n");
+        return 2;
+      }
+    } else if (arg == "--time-budget") {
+      if (!parse_count(need_value("--time-budget"), &opt.time_budget_ms)) {
+        std::fprintf(stderr, "error: --time-budget expects milliseconds\n");
+        return 2;
+      }
+    } else if (arg == "--corpus-dir") {
+      opt.corpus_dir = need_value("--corpus-dir");
+    } else if (arg == "--calls") {
+      std::uint64_t calls = 0;
+      if (!parse_count(need_value("--calls"), &calls) || calls == 0) {
+        std::fprintf(stderr, "error: --calls expects a positive number\n");
+        return 2;
+      }
+      opt.calls_per_function = static_cast<unsigned>(calls);
+    } else if (arg == "--trace-out") {
+      trace_out = need_value("--trace-out");
+    } else if (arg == "--metrics") {
+      print_metrics = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  telemetry::MetricsRegistry metrics;
+  opt.metrics = &metrics;
+  opt.on_spec = [&](std::uint64_t index,
+                    const splice::testing::OracleResult& r) {
+    if ((index + 1) % 50 == 0) {
+      std::printf("  ... %" PRIu64 " specs checked (last: %" PRIu64
+                  " calls)\n",
+                  index + 1, r.calls);
+      std::fflush(stdout);
+    }
+  };
+
+  std::unique_ptr<telemetry::Tracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<telemetry::Tracer>();
+    telemetry::Tracer::install(tracer.get());
+  }
+
+  std::printf("splice-fuzz: seed %" PRIu64 ", %" PRIu64 " specs%s\n",
+              opt.seed, opt.count,
+              opt.time_budget_ms != 0 ? " (time-boxed)" : "");
+  const splice::testing::FuzzReport report = splice::testing::run_fuzz(opt);
+
+  if (tracer) {
+    telemetry::Tracer::install(nullptr);
+    std::ofstream f(trace_out, std::ios::binary);
+    f << tracer->chrome_trace_json();
+  }
+
+  std::printf("ran %" PRIu64 " specs, %" PRIu64 " driver calls, %" PRIu64
+              " bus cycles%s\n",
+              report.specs_run, report.calls, report.bus_cycles,
+              report.time_boxed_out ? " (stopped by time budget)" : "");
+  for (const auto& f : report.failures) {
+    std::printf("FAIL spec %" PRIu64 " (seed %" PRIu64 "): %s\n", f.index,
+                f.spec_seed, f.summary.c_str());
+    if (!f.repro_path.empty()) {
+      std::printf("     minimized repro: %s\n", f.repro_path.c_str());
+    }
+  }
+  if (print_metrics) {
+    std::fputs(metrics.render(telemetry::Format::Text).c_str(), stdout);
+  }
+  if (report.failures.empty()) {
+    std::printf("clean: zero oracle violations\n");
+    return 0;
+  }
+  return 1;
+}
