@@ -179,6 +179,13 @@ int main(int argc, char** argv) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("gen_throughput: %zu specs, hardware_concurrency=%u\n\n",
               corpus.size(), hw);
+  if (hw <= 1) {
+    std::printf(
+        "warning: hardware_concurrency=%u — the --jobs sweep cannot show "
+        "parallel speedup on this machine; expect a flat (or slightly "
+        "regressing, from pool overhead) jobs axis\n\n",
+        hw);
+  }
   std::printf("%6s  %6s  %10s  %10s  %6s  %6s\n", "jobs", "cache",
               "batch-ms", "specs/s", "hits", "miss");
 
@@ -204,6 +211,12 @@ int main(int argc, char** argv) {
   std::fprintf(f, "{\n  \"bench\": \"gen_throughput\",\n");
   std::fprintf(f, "  \"corpus_specs\": %zu,\n", corpus.size());
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  if (hw <= 1) {
+    std::fprintf(f,
+                 "  \"note\": \"recorded on a single-CPU machine: the jobs "
+                 "sweep is expected to be flat and jobs >= 4 may regress "
+                 "from pool overhead\",\n");
+  }
   std::fprintf(f, "  \"timing\": \"best of 5 repetitions per cell\",\n");
   std::fprintf(f, "  \"samples\": [\n");
   for (std::size_t i = 0; i < samples.size(); ++i) {

@@ -1,0 +1,258 @@
+// Interpreter-vs-compiled backend comparison harness: idle stepping
+// (BM_SimulatorSteps), end-to-end driver calls (BM_EndToEndDriverCall, a
+// calculation-window workload plus transfer-bound companions), the fig9
+// interpolator scenarios, and a 12-spec fuzz-corpus replay.  Results are
+// written as JSON (BENCH_sim.json by default, or argv[1]) so runs can be
+// diffed in review.
+//
+// Custom main rather than google-benchmark: every workload must run the
+// *same* platform twice (once per backend) and the JSON report wants the
+// paired speedups in one process.  `--smoke` shrinks every loop to a
+// fraction of a second for tools/check.sh.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "devices/interpolator.hpp"
+#include "devices/timer.hpp"
+#include "runtime/platform.hpp"
+#include "testing/conformance.hpp"
+#include "testing/spec_gen.hpp"
+
+namespace {
+
+using namespace splice;
+using Clock = std::chrono::steady_clock;
+using Backend = rtl::Simulator::Backend;
+
+int g_reps = 5;
+double g_scale = 1.0;
+
+/// Best-of-reps wall time of fn() in nanoseconds, divided by `items`.
+template <typename Fn>
+double best_of(std::uint64_t items, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < g_reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const double dt =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    best = std::min(best, dt / static_cast<double>(items));
+  }
+  return best;
+}
+
+std::uint64_t scaled(std::uint64_t n) {
+  const auto s = static_cast<std::uint64_t>(static_cast<double>(n) * g_scale);
+  return s == 0 ? 1 : s;
+}
+
+struct Row {
+  std::string name;
+  std::string detail;
+  std::string unit;
+  double interp = 0;
+  double compiled = 0;
+
+  [[nodiscard]] double speedup() const {
+    return compiled > 0 ? interp / compiled : 0;
+  }
+};
+
+drivergen::CallArgs scenario_args(const devices::Scenario& sc) {
+  const devices::ScenarioInputs in = devices::make_inputs(sc);
+  return {{static_cast<std::uint64_t>(in.set1.size())}, in.set1,
+          {static_cast<std::uint64_t>(in.set2.size())}, in.set2,
+          {static_cast<std::uint64_t>(in.set3.size())}, in.set3};
+}
+
+/// Idle stepping on the enabled timer platform: the quiescent-cycle rate
+/// the clock-gating + settle fast paths were built for.
+double run_steps(Backend be) {
+  devices::TimerCore core;
+  runtime::VirtualPlatform vp(devices::make_timer_spec("plb"),
+                              devices::make_timer_behaviors(core));
+  vp.sim().add<devices::TimerTick>(core);
+  vp.sim().set_backend(be);
+  vp.call("enable");
+  const std::uint64_t cycles = scaled(200'000);
+  vp.sim().step(1000);  // warm: compile + settle once
+  return best_of(cycles, [&] { vp.sim().step(cycles); });
+}
+
+/// Transfer-bound companion: the cheapest real driver call (timer
+/// get_clock — one register read, no calculation window).
+double run_call_min(Backend be) {
+  devices::TimerCore core;
+  runtime::VirtualPlatform vp(devices::make_timer_spec("plb"),
+                              devices::make_timer_behaviors(core));
+  vp.sim().add<devices::TimerTick>(core);
+  vp.sim().set_backend(be);
+  vp.call("enable");
+  const std::uint64_t calls = scaled(20'000);
+  for (int i = 0; i < 100; ++i) vp.call("get_clock");
+  return best_of(calls, [&] {
+    for (std::uint64_t i = 0; i < calls; ++i) vp.call("get_clock");
+  });
+}
+
+/// The headline end-to-end call: the fig9 interpolator data transfer with
+/// a representative device calculation window (256 cycles — a DSP-class
+/// latency), so the measurement covers argument transfer, busy-wait
+/// quiescence, and result readback in realistic proportion.
+double run_call_calc(Backend be, unsigned calc_cycles) {
+  elab::BehaviorMap behaviors;
+  behaviors.set("interp", [calc_cycles](const elab::CallContext& ctx) {
+    const std::uint32_t result =
+        devices::interpolate(ctx.array(1), ctx.array(3), ctx.array(5));
+    return elab::CalcResult{calc_cycles, {result}};
+  });
+  runtime::VirtualPlatform vp(devices::make_interpolator_spec("plb", false,
+                                                              false),
+                              std::move(behaviors));
+  vp.sim().set_backend(be);
+  const drivergen::CallArgs args = scenario_args(devices::scenarios()[0]);
+  const std::uint64_t calls = scaled(2'000);
+  for (int i = 0; i < 20; ++i) vp.call("interp", args);
+  return best_of(calls, [&] {
+    for (std::uint64_t i = 0; i < calls; ++i) vp.call("interp", args);
+  });
+}
+
+/// One fig9 scenario exactly as published (paper-default calc latency).
+double run_fig9(Backend be, const devices::Scenario& sc) {
+  runtime::VirtualPlatform vp(
+      devices::make_interpolator_spec("plb", false, false),
+      devices::make_interpolator_behaviors());
+  vp.sim().set_backend(be);
+  const drivergen::CallArgs args = scenario_args(sc);
+  const std::uint64_t calls = scaled(1'000);
+  for (int i = 0; i < 20; ++i) vp.call("interp", args);
+  return best_of(calls, [&] {
+    for (std::uint64_t i = 0; i < calls; ++i) vp.call("interp", args);
+  });
+}
+
+/// Fuzz-corpus replay: 12 generated feature-mix specs through the full
+/// conformance path (platform build + driver replay, no HDL diff) — the
+/// fuzzer's specs/second multiplier.
+double run_corpus(Backend be) {
+  std::vector<testing::SpecModel> corpus;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    corpus.push_back(testing::generate_spec(seed));
+  }
+  testing::OracleOptions opt;
+  opt.backend = be == Backend::kCompiled ? testing::OracleBackend::kCompiled
+                                         : testing::OracleBackend::kInterp;
+  opt.check_equivalence = false;
+  const double ns = best_of(1, [&] {
+    for (const auto& model : corpus) {
+      const auto r = testing::run_conformance(model, opt);
+      if (!r.ok()) {
+        std::fprintf(stderr, "corpus replay failed: %s\n",
+                     r.failures.empty() ? "spec rejected"
+                                        : r.failures.front().c_str());
+        std::exit(1);
+      }
+    }
+  });
+  return ns / 1e6;  // ms per 12-spec batch
+}
+
+Row measure(const std::string& name, const std::string& detail,
+            const std::string& unit, double (*fn)(Backend)) {
+  Row row{name, detail, unit};
+  row.interp = fn(Backend::kInterp);
+  row.compiled = fn(Backend::kCompiled);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_sim.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  if (smoke) {
+    g_reps = 1;
+    g_scale = 0.02;
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("sim_backend: interp vs compiled, best of %d, "
+              "hardware_concurrency=%u%s\n\n",
+              g_reps, hw, smoke ? " (smoke)" : "");
+  if (hw <= 1) {
+    std::printf("warning: hardware_concurrency=%u — single-CPU container, "
+                "absolute numbers are conservative\n\n", hw);
+  }
+
+  std::vector<Row> rows;
+  rows.push_back(measure("BM_SimulatorSteps", "timer platform, idle stepping",
+                         "ns/cycle", run_steps));
+  rows.push_back(measure(
+      "BM_EndToEndDriverCall",
+      "fig9 interpolator transfer + 256-cycle device calculation window",
+      "ns/call", [](Backend be) { return run_call_calc(be, 256); }));
+  rows.push_back(measure("driver_call_min",
+                         "timer get_clock — transfer-bound, no calc window",
+                         "ns/call", run_call_min));
+  const auto& scenarios = devices::scenarios();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const devices::Scenario& sc = scenarios[i];
+    rows.push_back(Row{"fig9_scenario_" + std::to_string(i),
+                       "interpolator, paper-default calc latency", "ns/call",
+                       run_fig9(Backend::kInterp, sc),
+                       run_fig9(Backend::kCompiled, sc)});
+  }
+  rows.push_back(measure(
+      "fuzz_corpus_12",
+      "12 generated specs, conformance replay (one-shot: platform build "
+      "and program compile amortize over very few calls)",
+      "ms/batch", run_corpus));
+
+  std::printf("%-24s %12s %12s %9s  %s\n", "workload", "interp", "compiled",
+              "speedup", "unit");
+  for (const Row& r : rows) {
+    std::printf("%-24s %12.1f %12.1f %8.2fx  %s\n", r.name.c_str(), r.interp,
+                r.compiled, r.speedup(), r.unit.c_str());
+  }
+
+  if (smoke) {
+    std::printf("\nsmoke run: not writing %s\n", json_path.c_str());
+    return 0;
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sim_backend\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"timing\": \"best of %d repetitions\",\n", g_reps);
+  std::fprintf(f, "  \"workloads\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"detail\": \"%s\", \"unit\": "
+                 "\"%s\", \"interp\": %.1f, \"compiled\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.detail.c_str(), r.unit.c_str(), r.interp,
+                 r.compiled, r.speedup(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -28,6 +28,9 @@ AhbBus::AhbBus(rtl::Simulator& sim, const std::string& prefix,
       pins_(AhbPins::create(sim, prefix, data_width, func_id_width)) {
   pins_.hready.set(true);  // idle bus is ready
   watch_none();  // clocked-only: the master FSM drives pins on the edge
+  // Enqueues assert busy and reset must preempt; HREADY wakes a stalled
+  // transfer out of its event-gated sleep (see clock_edge).
+  watch_clocked_all(pins_.rst, pins_.hready);
 }
 
 bool AhbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
@@ -46,6 +49,7 @@ void AhbBus::write(std::uint32_t fid, std::vector<std::uint64_t> beats) {
     queue_.push_back(std::move(b));
     i += n;
   }
+  set_clock_busy(true);
 }
 
 void AhbBus::read(std::uint32_t fid, unsigned beats) {
@@ -60,6 +64,7 @@ void AhbBus::read(std::uint32_t fid, unsigned beats) {
     queue_.push_back(std::move(b));
     remaining -= n;
   }
+  set_clock_busy(true);
 }
 
 void AhbBus::enqueue_stream(bool is_read, std::uint32_t fid,
@@ -96,6 +101,7 @@ void AhbBus::dma_write(std::uint32_t fid, std::vector<std::uint64_t> words) {
   for (unsigned i = 0; i < timing::kDmaTeardownReads; ++i) {
     queue_.push_back(Burst{.engine = true, .engine_cycles = 1});
   }
+  set_clock_busy(true);
 }
 
 void AhbBus::dma_read(std::uint32_t fid, unsigned words) {
@@ -110,9 +116,24 @@ void AhbBus::dma_read(std::uint32_t fid, unsigned words) {
   for (unsigned i = 0; i < timing::kDmaTeardownReads; ++i) {
     queue_.push_back(Burst{.engine = true, .engine_cycles = 1});
   }
+  set_clock_busy(true);
 }
 
 void AhbBus::clock_edge() {
+  edge_impl();
+  const bool b = busy();
+  // The edge an operation train drains, hand completion to a CPU master
+  // sleeping on busy() (it runs after us this same cycle).
+  if (!b) wake_waiter();
+  // A transfer with HREADY low is completely frozen — every pin is held,
+  // nothing counts down — so sleep until the watched line changes.  All
+  // other states (arbitration, engine accesses, ready transfers) advance
+  // every cycle, as does reset.
+  const bool stall = state_ == St::Transfer && !pins_.hready.high();
+  set_clock_busy((b && !stall) || pins_.rst.high());
+}
+
+void AhbBus::edge_impl() {
   if (pins_.rst.high()) {
     reset();
     return;

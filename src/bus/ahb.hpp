@@ -89,6 +89,7 @@ class AhbBus : public rtl::Module, public MasterPort {
   };
   enum class St : std::uint8_t { Idle, Arb, Transfer, Engine };
 
+  void edge_impl();
   void enqueue_stream(bool is_read, std::uint32_t fid,
                       const std::vector<std::uint64_t>* words,
                       unsigned beat_total);

@@ -22,6 +22,7 @@ ApbBus::ApbBus(rtl::Simulator& sim, const std::string& prefix,
     : rtl::Module(prefix + "bus"),
       pins_(ApbPins::create(sim, prefix, data_width, func_id_width)) {
   watch_none();  // clocked-only: the master FSM drives pins on the edge
+  watch_clocked(pins_.rst);  // enqueues assert busy; reset must preempt
 }
 
 bool ApbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
@@ -30,6 +31,7 @@ void ApbBus::write(std::uint32_t fid, std::vector<std::uint64_t> beats) {
   for (std::uint64_t word : beats) {
     queue_.push_back(WordOp{false, fid, word});
   }
+  set_clock_busy(true);
 }
 
 void ApbBus::read(std::uint32_t fid, unsigned beats) {
@@ -37,9 +39,21 @@ void ApbBus::read(std::uint32_t fid, unsigned beats) {
   for (unsigned i = 0; i < beats; ++i) {
     queue_.push_back(WordOp{true, fid, 0});
   }
+  set_clock_busy(true);
 }
 
 void ApbBus::clock_edge() {
+  edge_impl();
+  const bool b = busy();
+  // The edge an operation train drains, hand completion to a CPU master
+  // sleeping on busy() (it runs after us this same cycle).  The APB FSM
+  // itself never stalls — strictly synchronous states advance every cycle —
+  // so there is no wait state to sleep in.
+  if (!b) wake_waiter();
+  set_clock_busy(b || pins_.rst.high());
+}
+
+void ApbBus::edge_impl() {
   if (pins_.rst.high()) {
     reset();
     return;

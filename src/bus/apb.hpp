@@ -64,6 +64,8 @@ class ApbBus : public rtl::Module, public MasterPort {
   };
   enum class St : std::uint8_t { Idle, Bridge, Setup, Enable, Sample };
 
+  void edge_impl();
+
   ApbPins pins_;
   std::deque<WordOp> queue_;
   St state_ = St::Idle;

@@ -25,6 +25,9 @@ FcbBus::FcbBus(rtl::Simulator& sim, const std::string& prefix,
     : rtl::Module(prefix + "bus"),
       pins_(FcbPins::create(sim, prefix, data_width, func_id_width)) {
   watch_none();  // clocked-only: the master FSM drives pins on the edge
+  // Enqueues assert busy and reset must preempt; the beat handshake lines
+  // wake the wait states out of their event-gated sleep (see clock_edge).
+  watch_clocked_all(pins_.rst, pins_.beat_ack, pins_.rd_valid);
 }
 
 bool FcbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
@@ -44,6 +47,7 @@ void FcbBus::write(std::uint32_t fid, std::vector<std::uint64_t> beats) {
     queue_.push_back(std::move(op));
     i += n;
   }
+  set_clock_busy(true);
 }
 
 void FcbBus::read(std::uint32_t fid, unsigned beats) {
@@ -58,14 +62,34 @@ void FcbBus::read(std::uint32_t fid, unsigned beats) {
     queue_.push_back(std::move(op));
     remaining -= n;
   }
+  set_clock_busy(true);
 }
 
 void FcbBus::clock_edge() {
+  edge_impl();
+  const bool b = busy();
+  // The edge an operation train drains, hand completion to a CPU master
+  // sleeping on busy() (it runs after us this same cycle).
+  if (!b) wake_waiter();
+  // WriteBeats waits for BEAT_ACK and ReadBeats for RD_VALID; once the
+  // one-cycle OP_VALID strobe has been lowered (the edge after Issue,
+  // tracked by strobed_) both are pure waits, so sleep until the watched
+  // handshake lines change.  FeedDelay counts down and must keep clocking,
+  // as must reset.
+  const bool beat_wait =
+      !strobed_ &&
+      ((state_ == St::WriteBeats && !pins_.beat_ack.high()) ||
+       (state_ == St::ReadBeats && !pins_.rd_valid.high()));
+  set_clock_busy((b && !beat_wait) || pins_.rst.high());
+}
+
+void FcbBus::edge_impl() {
   if (pins_.rst.high()) {
     reset();
     return;
   }
   pins_.op_valid.set(false);
+  strobed_ = false;
 
   switch (state_) {
     case St::Idle:
@@ -78,6 +102,7 @@ void FcbBus::clock_edge() {
       break;
 
     case St::Issue:
+      strobed_ = true;
       pins_.op_valid.set(true);
       pins_.op_read.set(current_.is_read);
       pins_.op_func.set(static_cast<std::uint64_t>(current_.fid));
@@ -135,6 +160,7 @@ void FcbBus::reset() {
   queue_.clear();
   state_ = St::Idle;
   beat_index_ = 0;
+  strobed_ = false;
   read_data_.clear();
   pins_.op_valid.set(false);
   pins_.op_read.set(false);

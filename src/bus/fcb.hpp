@@ -74,12 +74,17 @@ class FcbBus : public rtl::Module, public MasterPort {
   };
   enum class St : std::uint8_t { Idle, Issue, WriteBeats, FeedDelay, ReadBeats };
 
+  void edge_impl();
+
   FcbPins pins_;
   std::deque<Op> queue_;
   St state_ = St::Idle;
   Op current_{};
   unsigned beat_index_ = 0;
   unsigned feed_countdown_ = 0;
+  /// OP_VALID was strobed this edge; the next edge must run to lower it
+  /// before a beat-wait state may sleep.
+  bool strobed_ = false;
   std::vector<std::uint64_t> read_data_;
   std::uint64_t operations_ = 0;
 };

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "rtl/simulator.hpp"
+
 namespace splice::bus {
 
 /// Transfer widths of the thesis driver macros (Figure 7.2):
@@ -42,6 +44,24 @@ class MasterPort {
   [[nodiscard]] virtual bool supports_dma() const { return false; }
   virtual void dma_write(std::uint32_t fid, std::vector<std::uint64_t> words);
   virtual void dma_read(std::uint32_t fid, unsigned words);
+
+  /// Completion hand-off for the compiled backend's gated scheduler: the
+  /// CPU master sleeps while busy() holds, so the bus must request a clock
+  /// edge for it on the cycle the operation train drains.  The bus module
+  /// runs before the CPU in module order, making the wake same-cycle exact
+  /// against the interpreter's poll.  No-op when nothing registered (e.g.
+  /// benchmark harnesses driving the port directly).
+  void set_completion_waiter(rtl::Module& waiter) { waiter_ = &waiter; }
+
+ protected:
+  /// Bus implementations call this at the end of any clock edge on which
+  /// busy() is false (spurious calls while the waiter is awake are safe).
+  void wake_waiter() {
+    if (waiter_ != nullptr) waiter_->request_clock_edge();
+  }
+
+ private:
+  rtl::Module* waiter_ = nullptr;
 };
 
 }  // namespace splice::bus

@@ -32,6 +32,9 @@ PlbBus::PlbBus(rtl::Simulator& sim, const std::string& prefix,
     throw SpliceError("PLB model supports 1..64 one-hot slots");
   }
   watch_none();  // clocked-only: the master FSM drives pins on the edge
+  // Enqueues assert busy and reset must preempt; the acknowledges wake the
+  // WaitAck state out of its event-gated sleep (see clock_edge).
+  watch_clocked_all(pins_.rst, pins_.rd_ack, pins_.wr_ack);
 }
 
 bool PlbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
@@ -43,6 +46,7 @@ void PlbBus::write(std::uint32_t fid, std::vector<std::uint64_t> beats) {
   for (std::uint64_t word : beats) {
     queue_.push_back(WordOp{OpKind::DeviceWrite, fid, word});
   }
+  set_clock_busy(true);
 }
 
 void PlbBus::read(std::uint32_t fid, unsigned beats) {
@@ -53,6 +57,7 @@ void PlbBus::read(std::uint32_t fid, unsigned beats) {
   for (unsigned i = 0; i < beats; ++i) {
     queue_.push_back(WordOp{OpKind::DeviceRead, fid, 0});
   }
+  set_clock_busy(true);
 }
 
 void PlbBus::dma_write(std::uint32_t fid, std::vector<std::uint64_t> words) {
@@ -69,6 +74,7 @@ void PlbBus::dma_write(std::uint32_t fid, std::vector<std::uint64_t> words) {
   for (unsigned i = 0; i < timing::kDmaTeardownReads; ++i) {
     queue_.push_back(WordOp{OpKind::EngineRead, 0, 0});
   }
+  set_clock_busy(true);
 }
 
 void PlbBus::dma_read(std::uint32_t fid, unsigned words) {
@@ -86,6 +92,7 @@ void PlbBus::dma_read(std::uint32_t fid, unsigned words) {
   for (unsigned i = 0; i < timing::kDmaTeardownReads; ++i) {
     queue_.push_back(WordOp{OpKind::EngineRead, 0, 0});
   }
+  set_clock_busy(true);
 }
 
 void PlbBus::begin_next_op() {
@@ -101,6 +108,23 @@ void PlbBus::begin_next_op() {
 }
 
 void PlbBus::clock_edge() {
+  edge_impl();
+  const bool b = busy();
+  // The edge an operation train drains, hand completion to a CPU master
+  // sleeping on busy() (it runs after us this same cycle).
+  if (!b) wake_waiter();
+  // A non-engine WaitAck makes no progress until a slave acknowledge: once
+  // the one-cycle request strobe has been lowered (the edge after Request,
+  // tracked by strobed_) the state is a pure wait, so sleep until the
+  // watched RD_ACK/WR_ACK lines change.  Engine accesses count down and
+  // must keep clocking, as must reset.
+  const bool ack_wait = state_ == St::WaitAck && !is_engine(current_.kind) &&
+                        !strobed_ && !pins_.rd_ack.high() &&
+                        !pins_.wr_ack.high();
+  set_clock_busy((b && !ack_wait) || pins_.rst.high());
+}
+
+void PlbBus::edge_impl() {
   if (pins_.rst.high()) {
     reset();
     return;
@@ -109,6 +133,7 @@ void PlbBus::clock_edge() {
   // Request strobes are single-cycle; clear them every edge by default.
   pins_.rd_req.set(false);
   pins_.wr_req.set(false);
+  strobed_ = false;
 
   switch (state_) {
     case St::Idle:
@@ -140,6 +165,7 @@ void PlbBus::clock_edge() {
         pins_.wr_req.set(true);
       }
       pins_.be.set(bits::low_mask(pins_.data_width / 8));
+      strobed_ = true;
       state_ = St::WaitAck;
       break;
     }
@@ -192,6 +218,7 @@ void PlbBus::reset() {
   queue_.clear();
   state_ = St::Idle;
   countdown_ = 0;
+  strobed_ = false;
   read_data_.clear();
   dma_read_active_ = false;
   pins_.rd_req.set(false);

@@ -103,6 +103,7 @@ class PlbBus : public rtl::Module, public MasterPort {
   };
   enum class St : std::uint8_t { Idle, Arb, Request, WaitAck, Turnaround };
 
+  void edge_impl();
   void begin_next_op();
   [[nodiscard]] static bool is_engine(OpKind k) {
     return k == OpKind::EngineWrite || k == OpKind::EngineRead;
@@ -123,6 +124,9 @@ class PlbBus : public rtl::Module, public MasterPort {
   St state_ = St::Idle;
   WordOp current_{};
   unsigned countdown_ = 0;
+  /// A request strobe was driven this edge; the next edge must run to lower
+  /// it (strobes are single-cycle) before the WaitAck state may sleep.
+  bool strobed_ = false;
   bool dma_read_active_ = false;  ///< current read_data_ belongs to a DMA read
   std::vector<std::uint64_t> read_data_;
   std::uint64_t transactions_ = 0;

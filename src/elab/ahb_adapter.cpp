@@ -2,6 +2,8 @@
 
 #include <tuple>
 
+#include "rtl/compile/lowering.hpp"
+
 namespace splice::elab {
 
 void AhbSisAdapter::eval_comb() {
@@ -20,6 +22,31 @@ void AhbSisAdapter::eval_comb() {
   pins_.hready.drive(!data_phase_ || done_);
 }
 
+bool AhbSisAdapter::lower_comb(rtl::compile::CombBuilder& cb) {
+  {
+    auto& u = cb.unit("in");
+    u.out(sis_.rst, u.in(pins_.rst));
+    const auto data_phase = u.load(&data_phase_);
+    const auto dp_fid = u.load(&dp_fid_);
+    const auto is_status =
+        u.eq(dp_fid, u.imm(std::uint64_t{sis::kStatusFuncId}));
+    u.out(sis_.func_id, u.mux(data_phase, dp_fid, u.imm(std::uint64_t{0})));
+    u.out(sis_.data_in, u.in(pins_.hwdata));
+    u.out(sis_.data_in_valid, u.band(data_phase, u.load(&dp_write_)));
+    u.out(sis_.io_enable, u.band(u.load(&strobe_), u.lnot(is_status)));
+  }
+  {
+    auto& u = cb.unit("out");
+    const auto is_status =
+        u.eq(u.load(&dp_fid_), u.imm(std::uint64_t{sis::kStatusFuncId}));
+    u.out(pins_.hrdata,
+          u.mux(is_status, u.in(sis_.calc_done), u.load(&rd_value_)));
+    u.out(pins_.hready,
+          u.bor(u.lnot(u.load(&data_phase_)), u.load(&done_)));
+  }
+  return true;
+}
+
 void AhbSisAdapter::clock_edge() {
   const auto before = std::make_tuple(data_phase_, dp_write_, dp_fid_,
                                       strobe_, done_, rd_value_);
@@ -28,6 +55,9 @@ void AhbSisAdapter::clock_edge() {
                                 done_, rd_value_)) {
     mark_dirty();  // eval_comb reads these phase registers
   }
+  // An open data phase reads the SIS response lines on every edge until it
+  // closes; declared triggers only cover a fresh address phase.
+  set_clock_busy(data_phase_ || strobe_);
 }
 
 void AhbSisAdapter::edge_impl() {

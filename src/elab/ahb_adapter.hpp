@@ -21,9 +21,13 @@ class AhbSisAdapter : public rtl::Module {
     // eval_comb additionally reads the data/strobe phase registers; the
     // clock_edge marks the module dirty whenever those move.
     watch_all(pins_.rst, pins_.hwdata, sis_.calc_done);
+    // A new address phase is announced by HTRANS/HWRITE/HADDR moving; an
+    // open transfer keeps the module busy (set_clock_busy) until it closes.
+    watch_clocked_all(pins_.rst, pins_.htrans, pins_.hwrite, pins_.haddr);
   }
 
   void eval_comb() override;
+  bool lower_comb(rtl::compile::CombBuilder& cb) override;
   void clock_edge() override;
   void reset() override;
 

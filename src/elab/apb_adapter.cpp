@@ -1,5 +1,7 @@
 #include "elab/apb_adapter.hpp"
 
+#include "rtl/compile/lowering.hpp"
+
 namespace splice::elab {
 
 void ApbSisAdapter::eval_comb() {
@@ -22,6 +24,28 @@ void ApbSisAdapter::eval_comb() {
   // Reads are combinational: the stub's output state drives DATA_OUT
   // persistently, and FUNC_ID 0 exposes the CALC_DONE status register.
   pins_.prdata.drive(is_status ? sis_.calc_done.get() : sis_.data_out.get());
+}
+
+bool ApbSisAdapter::lower_comb(rtl::compile::CombBuilder& cb) {
+  {
+    auto& u = cb.unit("in");
+    u.out(sis_.rst, u.in(pins_.rst));
+    const auto setup = u.band(u.in(pins_.psel), u.lnot(u.in(pins_.penable)));
+    const auto fid = u.in(pins_.paddr);
+    const auto is_status = u.eq(fid, u.imm(std::uint64_t{sis::kStatusFuncId}));
+    u.out(sis_.func_id, fid);
+    u.out(sis_.data_in, u.in(pins_.pwdata));
+    u.out(sis_.data_in_valid, u.band(setup, u.in(pins_.pwrite)));
+    u.out(sis_.io_enable, u.band(setup, u.lnot(is_status)));
+  }
+  {
+    auto& u = cb.unit("out");
+    const auto is_status =
+        u.eq(u.in(pins_.paddr), u.imm(std::uint64_t{sis::kStatusFuncId}));
+    u.out(pins_.prdata,
+          u.mux(is_status, u.in(sis_.calc_done), u.in(sis_.data_out)));
+  }
+  return true;
 }
 
 }  // namespace splice::elab

@@ -20,9 +20,11 @@ class ApbSisAdapter : public rtl::Module {
       : rtl::Module("apb_interface"), pins_(pins), sis_(sis) {
     watch_all(pins_.rst, pins_.psel, pins_.penable, pins_.pwrite,
               pins_.paddr, pins_.pwdata, sis_.calc_done, sis_.data_out);
+    clocked_none();  // purely combinational: no clocked process at all
   }
 
   void eval_comb() override;
+  bool lower_comb(rtl::compile::CombBuilder& cb) override;
 
  private:
   bus::ApbPins& pins_;

@@ -1,5 +1,7 @@
 #include "elab/arbiter.hpp"
 
+#include "rtl/compile/lowering.hpp"
+
 namespace splice::elab {
 
 void Arbiter::eval_comb() {
@@ -27,6 +29,30 @@ void Arbiter::eval_comb() {
     sis_.data_out_valid.drive(false);
     sis_.io_done.drive(false);
   }
+}
+
+bool Arbiter::lower_comb(rtl::compile::CombBuilder& cb) {
+  auto& u = cb.unit("mux");
+  std::vector<std::pair<rtl::Signal*, unsigned>> done_bits;
+  std::vector<std::pair<std::uint64_t, rtl::Signal*>> data_cases;
+  std::vector<std::pair<std::uint64_t, rtl::Signal*>> valid_cases;
+  std::vector<std::pair<std::uint64_t, rtl::Signal*>> io_cases;
+  for (IcobStub* stub : stubs_) {
+    done_bits.emplace_back(&stub->ports().calc_done, stub->func_id());
+    data_cases.emplace_back(stub->func_id(), &stub->ports().data_out);
+    valid_cases.emplace_back(stub->func_id(), &stub->ports().data_out_valid);
+    io_cases.emplace_back(stub->func_id(), &stub->ports().io_done);
+  }
+  const auto calc = u.gather_bits(done_bits);
+  u.out(sis_.calc_done, calc);
+  if (irq_ != nullptr) u.out(*irq_, u.nonzero(calc));
+  const auto fid = u.in(sis_.func_id);
+  const auto zero = u.imm(std::uint64_t{0});
+  // select() keeps the last matching case, mirroring the loop above.
+  u.out(sis_.data_out, u.select(fid, data_cases, zero));
+  u.out(sis_.data_out_valid, u.nonzero(u.select(fid, valid_cases, zero)));
+  u.out(sis_.io_done, u.nonzero(u.select(fid, io_cases, zero)));
+  return true;
 }
 
 }  // namespace splice::elab

@@ -23,15 +23,20 @@ class Arbiter : public rtl::Module {
       watch_all(stub->ports().data_out, stub->ports().data_out_valid,
                 stub->ports().io_done, stub->ports().calc_done);
     }
+    clocked_none();  // pure combinational mux: no clocked process
   }
 
   void eval_comb() override;
+  bool lower_comb(rtl::compile::CombBuilder& cb) override;
 
   [[nodiscard]] const std::vector<IcobStub*>& stubs() const { return stubs_; }
 
   /// %irq_support (§10.2): drive `line` high whenever any instance's
   /// CALC_DONE is raised — the interrupt request toward the CPU.
-  void attach_irq(rtl::Signal& line) { irq_ = &line; }
+  void attach_irq(rtl::Signal& line) {
+    irq_ = &line;
+    invalidate_compile();  // the lowered mux gains an output
+  }
 
  private:
   sis::SisBus& sis_;

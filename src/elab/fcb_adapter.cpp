@@ -2,6 +2,8 @@
 
 #include <tuple>
 
+#include "rtl/compile/lowering.hpp"
+
 namespace splice::elab {
 
 void FcbSisAdapter::eval_comb() {
@@ -30,6 +32,45 @@ void FcbSisAdapter::eval_comb() {
   }
 }
 
+bool FcbSisAdapter::lower_comb(rtl::compile::CombBuilder& cb) {
+  {
+    auto& u = cb.unit("in");
+    u.out(sis_.rst, u.in(pins_.rst));
+    const auto op_active = u.load(&op_active_);
+    const auto op_read = u.load(&op_read_);
+    const auto op_fid = u.load(&op_fid_);
+    u.out(sis_.func_id, u.mux(op_active, op_fid, u.imm(std::uint64_t{0})));
+    u.out(sis_.data_in, u.in(pins_.wr_data));
+    const auto write_beat = u.band(u.band(op_active, u.lnot(op_read)),
+                                   u.in(pins_.wr_valid));
+    u.out(sis_.data_in_valid, write_beat);
+    const auto is_status =
+        u.eq(op_fid, u.imm(std::uint64_t{sis::kStatusFuncId}));
+    const auto strobe = u.bor(u.band(write_beat, u.lnot(u.load(&beat_open_))),
+                              u.load(&read_strobe_));
+    u.out(sis_.io_enable, u.band(strobe, u.lnot(is_status)));
+  }
+  {
+    auto& u = cb.unit("out");
+    const auto op_active = u.load(&op_active_);
+    const auto op_read = u.load(&op_read_);
+    const auto op_fid = u.load(&op_fid_);
+    const auto write_beat = u.band(u.band(op_active, u.lnot(op_read)),
+                                   u.in(pins_.wr_valid));
+    u.out(pins_.beat_ack, u.band(u.in(sis_.io_done), write_beat));
+    const auto is_status =
+        u.eq(op_fid, u.imm(std::uint64_t{sis::kStatusFuncId}));
+    const auto status_path = u.band(u.band(op_active, op_read), is_status);
+    u.out(pins_.rd_data, u.mux(status_path, u.in(sis_.calc_done),
+                               u.in(sis_.data_out)));
+    const auto data_valid =
+        u.band(u.band(op_active, op_read), u.in(sis_.data_out_valid));
+    u.out(pins_.rd_valid,
+          u.mux(status_path, u.load(&status_valid_), data_valid));
+  }
+  return true;
+}
+
 void FcbSisAdapter::clock_edge() {
   const auto before = std::make_tuple(op_active_, op_read_, op_fid_,
                                       beats_left_, beat_open_, read_strobe_,
@@ -39,6 +80,9 @@ void FcbSisAdapter::clock_edge() {
                                 beat_open_, read_strobe_, status_valid_)) {
     mark_dirty();  // eval_comb reads these operation-state registers
   }
+  // An active operation samples WR_VALID and the SIS response lines every
+  // edge; the strobe/valid registers self-clear one edge later.
+  set_clock_busy(op_active_ || read_strobe_ || status_valid_);
 }
 
 void FcbSisAdapter::edge_impl() {

@@ -22,9 +22,13 @@ class FcbSisAdapter : public rtl::Module {
     // clock_edge marks the module dirty whenever those move.
     watch_all(pins_.rst, pins_.wr_data, pins_.wr_valid, sis_.io_done,
               sis_.calc_done, sis_.data_out, sis_.data_out_valid);
+    // OP_VALID opens an operation; while one is active (or a strobe is
+    // pending) the module reports itself busy from clock_edge().
+    watch_clocked_all(pins_.rst, pins_.op_valid);
   }
 
   void eval_comb() override;
+  bool lower_comb(rtl::compile::CombBuilder& cb) override;
   void clock_edge() override;
   void reset() override;
 

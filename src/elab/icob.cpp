@@ -13,6 +13,7 @@ IcobStub::IcobStub(rtl::Simulator& sim, const ir::FunctionDecl& fn,
                    BehaviorFn behavior)
     : rtl::Module("func_" + fn.name + "_" + std::to_string(instance_index)),
       fn_(fn),
+      byref_params_(fn.by_ref_params()),
       target_(target),
       func_id_(func_id),
       instance_index_(instance_index),
@@ -25,6 +26,13 @@ IcobStub::IcobStub(rtl::Simulator& sim, const ir::FunctionDecl& fn,
           sim.signal(name() + ".CALC_DONE", 1),
       } {
   watch_none();  // clocked-only: the SMB advances on the edge (§5.3.2)
+  // The SMB reacts to requests on the broadcast SIS lines, and every
+  // request requires IO_ENABLE high: a rising strobe is a change event,
+  // and while it stays high the busy flag below keeps the stub clocking —
+  // so FUNC_ID / DATA_IN / DATA_IN_VALID need no triggers of their own
+  // (they only matter on cycles IO_ENABLE already covers).  Held-over
+  // pulse/advance state and an active calculation are busy conditions too.
+  watch_clocked_all(sis.rst, sis.io_enable);
   start_over();
 }
 
@@ -35,7 +43,7 @@ unsigned IcobStub::state_count() const {
   // functions have no output states.
   unsigned states = static_cast<unsigned>(fn_.inputs.size()) + 1;
   if (fn_.blocking()) {
-    states += 1 + static_cast<unsigned>(fn_.by_ref_params().size());
+    states += 1 + static_cast<unsigned>(byref_params_.size());
   }
   return states;
 }
@@ -154,7 +162,7 @@ void IcobStub::build_output_words() {
 
   // §10.2 '&' by-reference parameters stream back first, in declaration
   // order, using each parameter's own packing/splitting rules.
-  const auto byref = fn_.by_ref_params();
+  const auto& byref = byref_params_;
   for (std::size_t k = 0; k < byref.size(); ++k) {
     const ir::IoParam& p = fn_.inputs[byref[k]];
     std::vector<std::uint64_t> elems =
@@ -236,6 +244,16 @@ void IcobStub::serve_read() {
 }
 
 void IcobStub::clock_edge() {
+  edge_impl();
+  // Self-sustained activity the declared triggers cannot see: a running
+  // calculation, pulse bookkeeping, a stalled read.  IO_ENABLE held high
+  // counts too — back-to-back beats at the same FUNC_ID produce no signal
+  // change — and so does reset (the clocked core may tick under reset).
+  set_clock_busy(phase_ == Phase::Calc || pulse_clear_ || advance_out_ ||
+                 pending_read_ || sis_.rst.high() || sis_.io_enable.high());
+}
+
+void IcobStub::edge_impl() {
   if (sis_.rst.high()) {
     reset();
     return;

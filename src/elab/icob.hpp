@@ -56,6 +56,7 @@ class IcobStub : public rtl::Module {
   // calculation, and finally to output").
   enum class Phase : std::uint8_t { Input, Calc, Output };
 
+  void edge_impl();
   void start_over();
   [[nodiscard]] std::uint64_t expected_elements(std::size_t input_idx) const;
   void consume_word(std::uint64_t word);
@@ -64,6 +65,7 @@ class IcobStub : public rtl::Module {
   void serve_read();
 
   const ir::FunctionDecl fn_;   // owned copy: stable across spec lifetime
+  const std::vector<std::size_t> byref_params_;  // fn_.by_ref_params(), once
   const ir::TargetSpec target_;
   std::uint32_t func_id_;
   std::uint32_t instance_index_;

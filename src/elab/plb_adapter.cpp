@@ -1,5 +1,6 @@
 #include "elab/plb_adapter.hpp"
 
+#include "rtl/compile/lowering.hpp"
 #include "support/bits.hpp"
 
 namespace splice::elab {
@@ -31,6 +32,39 @@ void PlbSisAdapter::eval_comb() {
     pins_.rd_data.drive(sis_.data_out.get());
     pins_.rd_ack.drive(sis_.data_out_valid.high() && rd_ce != 0);
   }
+}
+
+bool PlbSisAdapter::lower_comb(rtl::compile::CombBuilder& cb) {
+  // Split at the SIS boundary: the master->slave direction feeds the user
+  // logic, the slave->master direction feeds from it.  The scheduler can
+  // then order pins -> SIS -> stubs -> arbiter -> pins as one acyclic pass.
+  {
+    auto& u = cb.unit("in");
+    u.out(sis_.rst, u.in(pins_.rst));
+    const auto rd_ce = u.in(pins_.rd_ce);
+    const auto wr_ce = u.in(pins_.wr_ce);
+    u.out(sis_.func_id, u.one_hot(u.bor(rd_ce, wr_ce)));
+    u.out(sis_.data_in, u.in(pins_.wr_data));
+    u.out(sis_.data_in_valid, u.nonzero(wr_ce));
+    const auto status_select = u.band(rd_ce, u.imm(std::uint64_t{1}));
+    const auto req = u.bor(u.in(pins_.wr_req), u.in(pins_.rd_req));
+    u.out(sis_.io_enable, u.band(u.nonzero(req), u.lnot(status_select)));
+  }
+  {
+    auto& u = cb.unit("out");
+    const auto rd_ce = u.in(pins_.rd_ce);
+    const auto wr_ce = u.in(pins_.wr_ce);
+    u.out(pins_.wr_ack,
+          u.band(u.in(sis_.io_done), u.nonzero(wr_ce)));
+    const auto status_select = u.band(rd_ce, u.imm(std::uint64_t{1}));
+    u.out(pins_.rd_data, u.mux(status_select, u.in(sis_.calc_done),
+                               u.in(sis_.data_out)));
+    const auto data_ack =
+        u.band(u.in(sis_.data_out_valid), u.nonzero(rd_ce));
+    u.out(pins_.rd_ack,
+          u.mux(status_select, u.load(&status_ack_), data_ack));
+  }
+  return true;
 }
 
 void PlbSisAdapter::clock_edge() {

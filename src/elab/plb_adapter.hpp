@@ -22,9 +22,13 @@ class PlbSisAdapter : public rtl::Module {
     watch_all(pins_.rst, pins_.rd_req, pins_.wr_req, pins_.rd_ce,
               pins_.wr_ce, pins_.wr_data, sis_.io_done, sis_.calc_done,
               sis_.data_out, sis_.data_out_valid);
+    // clock_edge() only tracks the status-read register, a pure function
+    // of RD_REQ / RD_CE; a change on either is the only reason to run it.
+    watch_clocked_all(pins_.rd_req, pins_.rd_ce);
   }
 
   void eval_comb() override;
+  bool lower_comb(rtl::compile::CombBuilder& cb) override;
   void clock_edge() override;
   void reset() override;
 

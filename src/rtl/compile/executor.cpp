@@ -1,0 +1,335 @@
+#include "rtl/compile/executor.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "rtl/compile/lowering.hpp"
+#include "rtl/compile/scheduler.hpp"
+#include "rtl/simulator.hpp"
+
+namespace splice::rtl::compile {
+
+Executor::Executor(Simulator& sim) : sim_(sim) {
+  prog_ = ProgramBuilder(sim).build();
+  schedule(prog_);
+
+  arena_ = prog_.init;
+  epoch_.assign(prog_.n_slots, 0);
+  unit_dirty_.assign(prog_.units.size(), 1);
+  external_mark_.assign(prog_.n_signals, 0);
+  external_.reserve(prog_.n_signals);
+
+  // Signal slot -> dependent units, CSR.
+  dep_offset_.assign(prog_.n_signals + 1, 0);
+  for (const Unit& u : prog_.units) {
+    for (Slot s : u.inputs) ++dep_offset_[s + 1];
+  }
+  for (std::size_t i = 1; i < dep_offset_.size(); ++i) {
+    dep_offset_[i] += dep_offset_[i - 1];
+  }
+  dep_unit_.resize(dep_offset_.back());
+  std::vector<std::uint32_t> cursor(dep_offset_.begin(),
+                                    dep_offset_.end() - 1);
+  for (std::uint32_t i = 0; i < prog_.units.size(); ++i) {
+    for (Slot s : prog_.units[i].inputs) dep_unit_[cursor[s]++] = i;
+  }
+
+  for (std::uint32_t i = 0; i < prog_.units.size(); ++i) {
+    const Unit& u = prog_.units[i];
+    if (u.module != nullptr) module_units_[u.module].push_back(i);
+    has_always_ = has_always_ || u.always;
+  }
+  for (const auto& m : sim_.modules_) {
+    (m->clocked_declared_ ? clocked_gated_ : clocked_always_)
+        .push_back(m.get());
+    // First compiled cycle clocks everything: the program has no change
+    // history yet, and a spurious clock_edge() is always safe.
+    m->clock_event_ = true;
+  }
+  use_mask_ = clocked_gated_.size() <= 64;
+  for (std::uint32_t i = 0; i < clocked_gated_.size(); ++i) {
+    clocked_gated_[i]->gate_bit_ = use_mask_ ? i : Module::kNoGateBit;
+  }
+  for (Module* m : clocked_always_) m->gate_bit_ = Module::kNoGateBit;
+  gated_mask_all_ =
+      use_mask_ && !clocked_gated_.empty()
+          ? ~std::uint64_t{0} >> (64 - clocked_gated_.size())
+          : 0;
+  gated_pending_ = gated_mask_all_;  // first cycle runs everything
+  pending_ = true;
+}
+
+void Executor::wake_clocked(const Signal& s) {
+  for (Module* m : s.clocked_fanout_) {
+    m->clock_event_ = true;
+    if (m->gate_bit_ != Module::kNoGateBit) {
+      gated_pending_ |= std::uint64_t{1} << m->gate_bit_;
+    }
+  }
+}
+
+void Executor::note_busy(Module& m) {
+  if (m.gate_bit_ != Module::kNoGateBit) {
+    gated_pending_ |= std::uint64_t{1} << m.gate_bit_;
+  }
+}
+
+void Executor::note_signal(Signal& s) {
+  pending_ = true;
+  const std::uint32_t slot = s.slot_;
+  if (external_mark_[slot] == 0) {
+    external_mark_[slot] = 1;
+    external_.push_back(&s);
+  }
+  wake_clocked(s);
+}
+
+void Executor::mark_module_dirty(Module& m) {
+  pending_ = true;
+  auto it = module_units_.find(&m);
+  if (it != module_units_.end()) {
+    for (std::uint32_t idx : it->second) unit_dirty_[idx] = 1;
+  }
+}
+
+void Executor::mark_all_dirty() {
+  pending_ = true;
+  std::fill(unit_dirty_.begin(), unit_dirty_.end(), 1);
+  for (const auto& m : sim_.modules_) m->clock_event_ = true;
+  gated_pending_ = gated_mask_all_;
+  for (std::size_t i = 0; i < prog_.n_signals; ++i) {
+    const std::uint64_t v = prog_.slot_sig[i]->cur_;
+    if (arena_[i] != v) {
+      arena_[i] = v;
+      epoch_[i] = ++now_;
+    }
+  }
+}
+
+void Executor::drain_external() {
+  for (Signal* s : external_) {
+    const std::uint32_t slot = s->slot_;
+    external_mark_[slot] = 0;
+    const std::uint64_t v = s->cur_;
+    if (arena_[slot] != v) {
+      arena_[slot] = v;
+      epoch_[slot] = ++now_;
+      wake_dependents(static_cast<Slot>(slot));
+    }
+  }
+  external_.clear();
+}
+
+void Executor::settle() {
+  ++sim_.stats_.settles;
+  // Fast path: nothing changed since the last settle, nothing to do.
+  // Undeclared dynamic units forfeit it — the interpreter re-runs them
+  // every settle, so the compiled backend must too.
+  if (!pending_ && !has_always_) {
+    ++stats_.settle_skips;
+    return;
+  }
+  settle_epoch0_ = now_ + 1;
+  for (int iter = 0; iter < Simulator::kMaxSettleIterations; ++iter) {
+    pending_ = false;
+    drain_external();
+    run_regions();
+    // Dynamic evals (and mark_dirty calls from them) feed changes back in
+    // through note_signal; re-propagate until the wavefront dies out.
+    if (external_.empty() && !pending_) return;
+  }
+  throw SpliceError("combinational logic failed to settle (loop?)");
+}
+
+void Executor::run_regions() {
+  for (const Region& r : prog_.regions) {
+    const std::uint32_t b = r.first_unit;
+    const std::uint32_t e = r.first_unit + r.unit_count;
+    if (!r.cyclic) {
+      // Levelized: topological order guarantees one pass suffices.
+      for (std::uint32_t i = b; i < e; ++i) maybe_run(i);
+    } else {
+      for (int it = 0;; ++it) {
+        bool any = false;
+        for (std::uint32_t i = b; i < e; ++i) any = maybe_run(i) || any;
+        if (!any) break;
+        ++stats_.region_iterations;
+        if (it >= Simulator::kMaxSettleIterations) {
+          throw SpliceError(
+              "combinational loop failed to settle in compiled region: " +
+              r.cycle_desc);
+        }
+      }
+    }
+  }
+}
+
+bool Executor::maybe_run(std::uint32_t idx) {
+  const Unit& u = prog_.units[idx];
+  if (unit_dirty_[idx] == 0 && !u.always) return false;
+  unit_dirty_[idx] = 0;
+  ++stats_.unit_runs;
+  if (u.dynamic) {
+    ++stats_.dynamic_evals;
+    sim_.run_eval(*u.module);
+  } else {
+    run_native(u);
+  }
+  return true;
+}
+
+void Executor::run_native(const Unit& u) {
+  std::uint64_t* const a = arena_.data();
+  const Instr* ip = prog_.code.data() + u.first_instr;
+  const Instr* const end = ip + u.instr_count;
+  stats_.native_instrs += u.instr_count;
+  for (; ip != end; ++ip) {
+    const Instr& in = *ip;
+    switch (in.op) {
+      case Op::kCopy: a[in.dst] = a[in.a]; break;
+      case Op::kAnd: a[in.dst] = a[in.a] & a[in.b]; break;
+      case Op::kOr: a[in.dst] = a[in.a] | a[in.b]; break;
+      case Op::kXor: a[in.dst] = a[in.a] ^ a[in.b]; break;
+      case Op::kNotBool: a[in.dst] = a[in.a] == 0 ? 1 : 0; break;
+      case Op::kNonZero: a[in.dst] = a[in.a] != 0 ? 1 : 0; break;
+      case Op::kEq: a[in.dst] = a[in.a] == a[in.b] ? 1 : 0; break;
+      case Op::kNe: a[in.dst] = a[in.a] != a[in.b] ? 1 : 0; break;
+      case Op::kLt: a[in.dst] = a[in.a] < a[in.b] ? 1 : 0; break;
+      case Op::kAdd: a[in.dst] = a[in.a] + a[in.b]; break;
+      case Op::kSub: a[in.dst] = a[in.a] - a[in.b]; break;
+      case Op::kShl: a[in.dst] = a[in.a] << (a[in.b] & 63); break;
+      case Op::kShr: a[in.dst] = a[in.a] >> (a[in.b] & 63); break;
+      case Op::kMux: a[in.dst] = a[in.a] != 0 ? a[in.b] : a[in.c]; break;
+      case Op::kOneHot: {
+        const std::uint64_t x = a[in.a];
+        a[in.dst] =
+            x != 0 ? static_cast<std::uint64_t>(std::countr_zero(x)) : 0;
+        break;
+      }
+      case Op::kEdge:
+        a[in.dst] = epoch_[in.a] >= settle_epoch0_ ? 1 : 0;
+        break;
+      case Op::kSmbLoad: {
+        const ExtState& e = prog_.ext[in.aux];
+        a[in.dst] = e.kind == ExtState::Kind::kBool
+                        ? static_cast<std::uint64_t>(
+                              *static_cast<const bool*>(e.ptr) ? 1 : 0)
+                        : *static_cast<const std::uint64_t*>(e.ptr);
+        break;
+      }
+      case Op::kGatherBits: {
+        const std::uint32_t off = table_offset(in.aux);
+        const std::uint32_t cnt = table_count(in.aux);
+        std::uint64_t v = 0;
+        for (std::uint32_t k = 0; k < cnt; ++k) {
+          const TableEntry& t = prog_.table[off + k];
+          v |= static_cast<std::uint64_t>(a[t.slot] != 0) << t.imm;
+        }
+        a[in.dst] = v;
+        break;
+      }
+      case Op::kSelectTable: {
+        const std::uint32_t off = table_offset(in.aux);
+        const std::uint32_t cnt = table_count(in.aux);
+        const std::uint64_t sel = a[in.a];
+        std::uint64_t v = a[in.b];  // default; last match wins
+        for (std::uint32_t k = 0; k < cnt; ++k) {
+          const TableEntry& t = prog_.table[off + k];
+          if (t.imm == sel) v = a[t.slot];
+        }
+        a[in.dst] = v;
+        break;
+      }
+      case Op::kOut: {
+        const std::uint64_t v = a[in.a] & prog_.mask[in.dst];
+        if (v != a[in.dst]) {
+          a[in.dst] = v;
+          epoch_[in.dst] = ++now_;
+          wake_dependents(in.dst);
+          // Keep the Signal object coherent: samplers, traces, dynamic
+          // modules and clocked processes all read cur_ directly.
+          Signal* s = prog_.slot_sig[in.dst];
+          s->cur_ = v;
+          ++sim_.stats_.signal_changes;
+          wake_clocked(*s);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Executor::step_cycle() {
+  for (auto& fn : sim_.samplers_) fn(sim_.cycle_);
+  for (Module* m : clocked_always_) m->clock_edge();
+  stats_.clock_edges_run += clocked_always_.size();
+  if (use_mask_) {
+    // Wake-mask walk, in module (interpreter) order.  Bits set *during* an
+    // edge for modules later in the order run this same cycle (the
+    // interpreter's scan would reach them after their waker); bits for
+    // modules already passed — and busy re-arms recorded in `next` — wait
+    // for the following cycle.  Wholly idle cycles are one zero test.
+    std::uint64_t next = 0;
+    std::uint32_t ran = 0;
+    unsigned cursor = 0;
+    while (cursor < 64) {
+      const std::uint64_t ahead = gated_pending_ & (~std::uint64_t{0} << cursor);
+      if (ahead == 0) break;
+      const unsigned idx = static_cast<unsigned>(std::countr_zero(ahead));
+      gated_pending_ &= ~(std::uint64_t{1} << idx);
+      Module* m = clocked_gated_[idx];
+      m->clock_event_ = false;
+      m->clock_edge();
+      ++ran;
+      if (m->clock_busy_) next |= std::uint64_t{1} << idx;
+      cursor = idx + 1;
+    }
+    gated_pending_ |= next;  // plus any below-cursor wakes still in the mask
+    stats_.clock_edges_run += ran;
+    stats_.clock_edges_skipped += clocked_gated_.size() - ran;
+  } else {
+    step_gated_scan();
+  }
+  sim_.flush_commits();
+  if (has_always_) pending_ = true;
+  settle();
+}
+
+void Executor::step_gated_scan() {
+  for (Module* m : clocked_gated_) {
+    // A spurious clock_edge() is always safe (the interpreter clocks every
+    // module every cycle); only a *missed* one can diverge, and the
+    // declared trigger set plus the busy flag must rule that out.
+    if (m->clock_busy_ || m->clock_event_) {
+      m->clock_event_ = false;
+      m->clock_edge();
+      ++stats_.clock_edges_run;
+    } else {
+      ++stats_.clock_edges_skipped;
+    }
+  }
+}
+
+void Executor::add_metrics(support::telemetry::MetricsSnapshot& snap) const {
+  snap.counters["sim.compiled.unit_runs"] = stats_.unit_runs;
+  snap.counters["sim.compiled.native_instrs"] = stats_.native_instrs;
+  snap.counters["sim.compiled.dynamic_evals"] = stats_.dynamic_evals;
+  snap.counters["sim.compiled.settle_skips"] = stats_.settle_skips;
+  snap.counters["sim.compiled.region_iterations"] = stats_.region_iterations;
+  snap.counters["sim.compiled.clock_edges_run"] = stats_.clock_edges_run;
+  snap.counters["sim.compiled.clock_edges_skipped"] =
+      stats_.clock_edges_skipped;
+  snap.gauges["sim.compiled.units"] =
+      static_cast<std::int64_t>(prog_.units.size());
+  std::int64_t dyn = 0;
+  for (const Unit& u : prog_.units) dyn += u.dynamic ? 1 : 0;
+  snap.gauges["sim.compiled.dynamic_units"] = dyn;
+  snap.gauges["sim.compiled.instrs"] =
+      static_cast<std::int64_t>(prog_.code.size());
+  snap.gauges["sim.compiled.regions"] =
+      static_cast<std::int64_t>(prog_.regions.size());
+  snap.gauges["sim.compiled.arena_slots"] =
+      static_cast<std::int64_t>(prog_.n_slots);
+}
+
+}  // namespace splice::rtl::compile

@@ -1,0 +1,117 @@
+// Run-time engine for compiled step programs.
+//
+// Owns the bit-packed signal arena and executes the statically scheduled
+// unit stream.  Instead of the interpreter's dynamic worklist, each signal
+// slot carries a precomputed list of dependent units (CSR layout); a value
+// change flips those units' dirty bytes and the settle pass walks the
+// region list in schedule order, running exactly the dirty units.  Acyclic
+// regions need one pass by construction; cyclic regions iterate to a
+// bounded fix point and throw a diagnostic naming the loop if they
+// diverge.  Clock edges are gated too: a module that declared its clocked
+// triggers (Module::watch_clocked / clocked_none + set_clock_busy) is
+// skipped on cycles where nothing it watches changed and it is not busy.
+//
+// The executor synchronises with the Signal objects both ways: native
+// kOut writes update Signal::cur_ directly (so samplers, traces and
+// dynamic modules observe them), while changes made from outside the
+// program (registered commits, dynamic eval_comb drives, test pokes) are
+// queued by note_signal() and imported into the arena at the next settle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/compile/program.hpp"
+#include "support/telemetry.hpp"
+
+namespace splice::rtl {
+
+class Module;
+class Signal;
+class Simulator;
+
+namespace compile {
+
+class Executor {
+ public:
+  /// Per-backend instrumentation (sim.compiled.* in metrics snapshots).
+  struct Stats {
+    std::uint64_t unit_runs = 0;
+    std::uint64_t native_instrs = 0;
+    std::uint64_t dynamic_evals = 0;
+    std::uint64_t settle_skips = 0;  ///< settles with no pending work
+    std::uint64_t region_iterations = 0;  ///< cyclic-region fix-point passes
+    std::uint64_t clock_edges_run = 0;
+    std::uint64_t clock_edges_skipped = 0;
+  };
+
+  /// Lowers and schedules sim's elaborated design; the executor is bound
+  /// to the current structure (signals/modules/watches) — the simulator
+  /// discards it on any structural change.
+  explicit Executor(Simulator& sim);
+
+  /// One clock cycle: samplers, gated clock edges, commit flush, settle.
+  void step_cycle();
+  /// Propagate combinational logic to a fix point (no-op fast path when
+  /// nothing changed since the last settle).
+  void settle();
+
+  /// Signal changed outside the program: import at next settle.
+  void note_signal(Signal& s);
+  /// Module state changed (mark_dirty): force its units.
+  void mark_module_dirty(Module& m);
+  /// Module reported a not-busy -> busy transition: run its clock_edge()
+  /// on the next cycle (Simulator::note_clock_busy routes here).
+  void note_busy(Module& m);
+  /// Reset-style invalidation: re-import everything, run everything.
+  void mark_all_dirty();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const StepProgram& program() const { return prog_; }
+  void add_metrics(support::telemetry::MetricsSnapshot& snap) const;
+
+ private:
+  void drain_external();
+  void run_regions();
+  bool maybe_run(std::uint32_t idx);
+  void run_native(const Unit& u);
+  void step_gated_scan();
+  /// Mark every unit that reads signal slot `s` dirty.
+  void wake_dependents(Slot s) {
+    const std::uint32_t b = dep_offset_[s], e = dep_offset_[s + 1];
+    for (std::uint32_t k = b; k < e; ++k) unit_dirty_[dep_unit_[k]] = 1;
+  }
+  /// A signal changed: flag its clocked watchers for the next edge.
+  void wake_clocked(const Signal& s);
+
+  Simulator& sim_;
+  StepProgram prog_;
+  std::vector<std::uint64_t> arena_;
+  std::vector<std::uint64_t> epoch_;  ///< per-slot change stamp (kEdge)
+  std::uint64_t now_ = 0;
+  std::uint64_t settle_epoch0_ = 0;   ///< epoch floor of the current settle
+  // Signal slot -> dependent unit ids, CSR layout.
+  std::vector<std::uint32_t> dep_offset_;
+  std::vector<std::uint32_t> dep_unit_;
+  std::vector<std::uint8_t> unit_dirty_;
+  std::vector<Signal*> external_;          ///< changed outside the program
+  std::vector<std::uint8_t> external_mark_;  ///< per signal slot, dedup
+  bool pending_ = false;      ///< any dirty unit or queued external
+  bool has_always_ = false;   ///< any undeclared dynamic unit exists
+  std::vector<Module*> clocked_always_;  ///< no clocked declaration
+  std::vector<Module*> clocked_gated_;   ///< in module (interp) order
+  // Gated-edge wake mask: bit i set means clocked_gated_[i] must run at the
+  // next edge (a clock-watched signal changed, or it reported itself busy).
+  // Idle cycles reduce to one zero test instead of a scan; designs with
+  // more than 64 gated modules fall back to the scan (use_mask_ == false).
+  bool use_mask_ = false;
+  std::uint64_t gated_pending_ = 0;
+  std::uint64_t gated_mask_all_ = 0;  ///< one bit per gated module
+  std::unordered_map<Module*, std::vector<std::uint32_t>> module_units_;
+  Stats stats_;
+};
+
+}  // namespace compile
+}  // namespace splice::rtl

@@ -1,0 +1,269 @@
+#include "rtl/compile/lowering.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "rtl/simulator.hpp"
+
+namespace splice::rtl::compile {
+
+namespace {
+
+std::uint64_t fold(Op op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case Op::kAnd: return a & b;
+    case Op::kOr: return a | b;
+    case Op::kXor: return a ^ b;
+    case Op::kNotBool: return a == 0 ? 1 : 0;
+    case Op::kNonZero: return a != 0 ? 1 : 0;
+    case Op::kEq: return a == b ? 1 : 0;
+    case Op::kNe: return a != b ? 1 : 0;
+    case Op::kLt: return a < b ? 1 : 0;
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kShl: return a << (b & 63);
+    case Op::kShr: return a >> (b & 63);
+    case Op::kOneHot:
+      return a != 0 ? static_cast<std::uint64_t>(std::countr_zero(a)) : 0;
+    default: break;
+  }
+  throw SpliceError("lowering: op is not foldable");
+}
+
+}  // namespace
+
+// -- UnitBuilder --------------------------------------------------------------
+
+UnitBuilder::UnitBuilder(ProgramBuilder& pb, Module& mod, std::string name)
+    : pb_(pb), mod_(mod), name_(std::move(name)) {}
+
+void UnitBuilder::add_input(const Signal& s) {
+  const Slot slot = static_cast<Slot>(s.slot_);
+  if (std::find(inputs_.begin(), inputs_.end(), slot) == inputs_.end()) {
+    inputs_.push_back(slot);
+  }
+}
+
+Val UnitBuilder::in(Signal& s) {
+  add_input(s);
+  return Val{static_cast<Slot>(s.slot_), false, 0};
+}
+
+Val UnitBuilder::imm(std::uint64_t v) { return Val{kNoSlot, true, v}; }
+
+Slot UnitBuilder::materialize(Val v) {
+  if (!v.is_const) return v.slot;
+  return pb_.alloc_const(v.cval);
+}
+
+Slot UnitBuilder::temp() { return pb_.alloc_temp(); }
+
+Val UnitBuilder::load_ext(ExtState e) {
+  const Slot dst = temp();
+  code_.push_back(Instr{Op::kSmbLoad, dst, kNoSlot, kNoSlot, kNoSlot,
+                        pb_.add_ext(e)});
+  return Val{dst};
+}
+
+Val UnitBuilder::load(const bool* p) {
+  return load_ext(ExtState{p, ExtState::Kind::kBool});
+}
+
+Val UnitBuilder::load(const std::uint64_t* p) {
+  return load_ext(ExtState{p, ExtState::Kind::kU64});
+}
+
+Val UnitBuilder::binop(Op op, Val a, Val b) {
+  if (a.is_const && b.is_const) return imm(fold(op, a.cval, b.cval));
+  const Slot dst = temp();
+  code_.push_back(Instr{op, dst, materialize(a), materialize(b), kNoSlot, 0});
+  return Val{dst};
+}
+
+Val UnitBuilder::unop(Op op, Val a) {
+  if (a.is_const) return imm(fold(op, a.cval, 0));
+  const Slot dst = temp();
+  code_.push_back(Instr{op, dst, a.slot, kNoSlot, kNoSlot, 0});
+  return Val{dst};
+}
+
+Val UnitBuilder::mux(Val sel, Val t, Val f) {
+  if (sel.is_const) return sel.cval != 0 ? t : f;
+  const Slot dst = temp();
+  code_.push_back(
+      Instr{Op::kMux, dst, sel.slot, materialize(t), materialize(f), 0});
+  return Val{dst};
+}
+
+Val UnitBuilder::one_hot(Val a) { return unop(Op::kOneHot, a); }
+
+Val UnitBuilder::changed(Signal& s) {
+  add_input(s);
+  const Slot dst = temp();
+  code_.push_back(
+      Instr{Op::kEdge, dst, static_cast<Slot>(s.slot_), kNoSlot, kNoSlot, 0});
+  return Val{dst};
+}
+
+Val UnitBuilder::gather_bits(
+    const std::vector<std::pair<Signal*, unsigned>>& srcs) {
+  if (srcs.empty()) return imm(std::uint64_t{0});
+  std::vector<TableEntry> entries;
+  entries.reserve(srcs.size());
+  for (const auto& [sig, bit] : srcs) {
+    add_input(*sig);
+    entries.push_back(TableEntry{bit, static_cast<Slot>(sig->slot_)});
+  }
+  const Slot dst = temp();
+  code_.push_back(Instr{Op::kGatherBits, dst, kNoSlot, kNoSlot, kNoSlot,
+                        pb_.add_table(entries)});
+  return Val{dst};
+}
+
+Val UnitBuilder::select(
+    Val sel, const std::vector<std::pair<std::uint64_t, Signal*>>& cases,
+    Val def) {
+  if (sel.is_const) {
+    // Last matching case wins, like the arbiter's sequential compare chain.
+    Signal* hit = nullptr;
+    for (const auto& [match, sig] : cases) {
+      if (match == sel.cval) hit = sig;
+    }
+    return hit != nullptr ? in(*hit) : def;
+  }
+  if (cases.empty()) return def;
+  std::vector<TableEntry> entries;
+  entries.reserve(cases.size());
+  for (const auto& [match, sig] : cases) {
+    add_input(*sig);
+    entries.push_back(TableEntry{match, static_cast<Slot>(sig->slot_)});
+  }
+  const Slot dst = temp();
+  code_.push_back(Instr{Op::kSelectTable, dst, sel.slot, materialize(def),
+                        kNoSlot, pb_.add_table(entries)});
+  return Val{dst};
+}
+
+void UnitBuilder::out(Signal& s, Val v) {
+  const Slot dst = static_cast<Slot>(s.slot_);
+  code_.push_back(Instr{Op::kOut, dst, materialize(v), kNoSlot, kNoSlot, 0});
+  if (std::find(outputs_.begin(), outputs_.end(), dst) == outputs_.end()) {
+    outputs_.push_back(dst);
+  }
+}
+
+// -- CombBuilder --------------------------------------------------------------
+
+UnitBuilder& CombBuilder::unit(std::string name) {
+  close();
+  cur_.reset(new UnitBuilder(pb_, mod_, mod_.name() + "." + std::move(name)));
+  return *cur_;
+}
+
+void CombBuilder::close() {
+  if (cur_ == nullptr) return;
+  UnitBuilder& ub = *cur_;
+  if (!ub.code_.empty()) {
+    Unit u;
+    u.name = std::move(ub.name_);
+    u.module = &mod_;
+    u.first_instr = static_cast<std::uint32_t>(pb_.prog_.code.size());
+    u.instr_count = static_cast<std::uint32_t>(ub.code_.size());
+    u.inputs = std::move(ub.inputs_);
+    u.outputs = std::move(ub.outputs_);
+    pb_.prog_.code.insert(pb_.prog_.code.end(), ub.code_.begin(),
+                          ub.code_.end());
+    pb_.prog_.units.push_back(std::move(u));
+  }
+  cur_.reset();
+}
+
+// -- ProgramBuilder -----------------------------------------------------------
+
+Slot ProgramBuilder::alloc_slot(std::uint64_t init) {
+  if (prog_.n_slots >= kMaxSlots) {
+    throw SpliceError("compiled backend: design exceeds " +
+                      std::to_string(kMaxSlots) + " arena slots");
+  }
+  const Slot s = static_cast<Slot>(prog_.n_slots++);
+  prog_.init.push_back(init);
+  prog_.mask.push_back(~std::uint64_t{0});
+  return s;
+}
+
+Slot ProgramBuilder::alloc_const(std::uint64_t v) {
+  for (const auto& [cv, slot] : const_pool_) {
+    if (cv == v) return slot;
+  }
+  const Slot s = alloc_slot(v);
+  const_pool_.emplace_back(v, s);
+  return s;
+}
+
+Slot ProgramBuilder::alloc_temp() { return alloc_slot(0); }
+
+std::uint32_t ProgramBuilder::add_ext(ExtState e) {
+  const auto idx = static_cast<std::uint32_t>(prog_.ext.size());
+  prog_.ext.push_back(e);
+  return idx;
+}
+
+std::uint32_t ProgramBuilder::add_table(
+    const std::vector<TableEntry>& entries) {
+  if (entries.size() > 0xFF) {
+    throw SpliceError("compiled backend: operand table exceeds 255 entries");
+  }
+  const std::size_t off = prog_.table.size();
+  prog_.table.insert(prog_.table.end(), entries.begin(), entries.end());
+  return pack_table(off, entries.size());
+}
+
+StepProgram ProgramBuilder::build() {
+  auto& signals = sim_.signals_;
+  if (signals.size() >= kMaxSlots) {
+    throw SpliceError("compiled backend: design exceeds " +
+                      std::to_string(kMaxSlots) + " signals");
+  }
+  prog_.n_signals = signals.size();
+  prog_.slot_sig.reserve(signals.size());
+  for (Signal& s : signals) {
+    s.slot_ = static_cast<std::uint32_t>(prog_.n_slots);
+    prog_.slot_sig.push_back(&s);
+    alloc_slot(s.cur_);
+    prog_.mask.back() = s.mask_;
+  }
+
+  for (const auto& mp : sim_.modules_) {
+    Module& m = *mp;
+    {
+      CombBuilder cb(*this, m);
+      if (m.lower_comb(cb)) {
+        cb.close();
+        continue;
+      }
+      // lower_comb declined: drop any partially built unit (its buffered
+      // instructions never reach the program).
+    }
+    // Dynamic fallback: eval_comb() through virtual dispatch, triggered by
+    // the module's declared watch set.
+    Unit u;
+    u.name = m.name() + " [dynamic]";
+    u.module = &m;
+    u.dynamic = true;
+    u.always = !m.sensitivity_declared();
+    for (Signal& s : signals) {
+      const auto& fan = s.fanout_;
+      if (std::find(fan.begin(), fan.end(), &m) != fan.end()) {
+        u.inputs.push_back(static_cast<Slot>(s.slot_));
+      }
+    }
+    if (m.sensitivity_declared() && u.inputs.empty()) {
+      // watch_none(): no combinational process at all.
+      continue;
+    }
+    prog_.units.push_back(std::move(u));
+  }
+  return std::move(prog_);
+}
+
+}  // namespace splice::rtl::compile

@@ -1,0 +1,149 @@
+// Lowering from elaborated modules into the step program.
+//
+// A module opts into native compilation by overriding
+// Module::lower_comb(CombBuilder&): it splits its combinational process
+// into one or more named *units* (CombBuilder::unit) and re-expresses each
+// as dataflow over Vals — SSA-style handles produced by the UnitBuilder
+// ops below.  The builder constant-folds as it goes (a Val is either an
+// arena slot or a compile-time constant), so zero-width/tied-off inputs
+// cost nothing at run time, and it records exactly which signals each unit
+// reads, which is what the static scheduler orders and the executor gates
+// on.  The lowered units must reproduce eval_comb() bit-for-bit — the
+// interpreter remains the differential oracle that checks they do.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtl/compile/program.hpp"
+
+namespace splice::rtl {
+
+class Module;
+class Signal;
+class Simulator;
+
+namespace compile {
+
+class ProgramBuilder;
+
+/// A lowered value: an arena slot or a folded constant.
+struct Val {
+  Slot slot = kNoSlot;
+  bool is_const = false;
+  std::uint64_t cval = 0;
+};
+
+/// Builds one unit's instruction run.  All reads must come in through
+/// in()/changed()/load()/gather_bits()/select() so the unit's trigger set
+/// is complete — reading a signal through a captured raw value would
+/// compile, but the unit would never re-run when that signal changes.
+class UnitBuilder {
+ public:
+  /// Read a signal (registers it as a unit input).
+  Val in(Signal& s);
+  /// Compile-time constant.
+  Val imm(std::uint64_t v);
+  Val imm(bool v) { return imm(static_cast<std::uint64_t>(v ? 1 : 0)); }
+  /// Read module-internal state (kSmbLoad).  The module must mark_dirty()
+  /// whenever the pointed-to state changes.
+  Val load(const bool* p);
+  Val load(const std::uint64_t* p);
+
+  Val band(Val a, Val b) { return binop(Op::kAnd, a, b); }
+  Val bor(Val a, Val b) { return binop(Op::kOr, a, b); }
+  Val bxor(Val a, Val b) { return binop(Op::kXor, a, b); }
+  Val lnot(Val a) { return unop(Op::kNotBool, a); }
+  Val nonzero(Val a) { return unop(Op::kNonZero, a); }
+  Val eq(Val a, Val b) { return binop(Op::kEq, a, b); }
+  Val ne(Val a, Val b) { return binop(Op::kNe, a, b); }
+  Val lt(Val a, Val b) { return binop(Op::kLt, a, b); }
+  Val add(Val a, Val b) { return binop(Op::kAdd, a, b); }
+  Val sub(Val a, Val b) { return binop(Op::kSub, a, b); }
+  Val shl(Val a, Val b) { return binop(Op::kShl, a, b); }
+  Val shr(Val a, Val b) { return binop(Op::kShr, a, b); }
+  Val mux(Val sel, Val t, Val f);
+  /// Lowest set bit index, 0 for 0 (bits::one_hot_index semantics in every
+  /// context the generated logic uses it: the result is only consumed when
+  /// the operand is known non-zero).
+  Val one_hot(Val a);
+  /// 1 iff `s` changed during the current settle (edge detect).
+  Val changed(Signal& s);
+  /// OR over (src != 0) << bit for each {src, bit} pair.
+  Val gather_bits(const std::vector<std::pair<Signal*, unsigned>>& srcs);
+  /// Value of the LAST matching case (match value -> source signal), or
+  /// `def` when none matches — the arbiter's fan-in mux shape.
+  Val select(Val sel,
+             const std::vector<std::pair<std::uint64_t, Signal*>>& cases,
+             Val def);
+
+  /// Drive `s` with `v` (combinational output; masked to the signal width).
+  void out(Signal& s, Val v);
+
+ private:
+  friend class CombBuilder;
+
+  UnitBuilder(ProgramBuilder& pb, Module& mod, std::string name);
+
+  Val binop(Op op, Val a, Val b);
+  Val unop(Op op, Val a);
+  Slot materialize(Val v);
+  Slot temp();
+  void add_input(const Signal& s);
+  Val load_ext(ExtState e);
+
+  ProgramBuilder& pb_;
+  Module& mod_;
+  std::string name_;
+  std::vector<Instr> code_;
+  std::vector<Slot> inputs_;
+  std::vector<Slot> outputs_;
+};
+
+/// Handed to Module::lower_comb.  unit() closes the previous unit and
+/// opens a new one; splitting a module into several units lets the
+/// scheduler break module-level cycles (e.g. an adapter's pins->SIS and
+/// SIS->pins directions) into acyclic single-pass regions.
+class CombBuilder {
+ public:
+  UnitBuilder& unit(std::string name);
+
+ private:
+  friend class ProgramBuilder;
+
+  CombBuilder(ProgramBuilder& pb, Module& mod) : pb_(pb), mod_(mod) {}
+  void close();
+
+  ProgramBuilder& pb_;
+  Module& mod_;
+  std::unique_ptr<UnitBuilder> cur_;
+};
+
+/// Lowers a whole simulator: native units from lower_comb() overrides,
+/// dynamic fallback units for everything else.  Output still needs
+/// schedule() (scheduler.hpp) before execution.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(Simulator& sim) : sim_(sim) {}
+  [[nodiscard]] StepProgram build();
+
+ private:
+  friend class UnitBuilder;
+  friend class CombBuilder;
+
+  Slot alloc_const(std::uint64_t v);
+  Slot alloc_temp();
+  Slot alloc_slot(std::uint64_t init);
+  std::uint32_t add_ext(ExtState e);
+  std::uint32_t add_table(const std::vector<TableEntry>& entries);
+
+  Simulator& sim_;
+  StepProgram prog_;
+  std::vector<std::pair<std::uint64_t, Slot>> const_pool_;
+};
+
+}  // namespace compile
+}  // namespace splice::rtl

@@ -1,0 +1,72 @@
+#include "rtl/compile/program.hpp"
+
+#include <sstream>
+
+#include "rtl/signal.hpp"
+
+namespace splice::rtl::compile {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kCopy: return "copy";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kNotBool: return "not";
+    case Op::kNonZero: return "nonzero";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kMux: return "mux";
+    case Op::kOneHot: return "onehot";
+    case Op::kEdge: return "edge";
+    case Op::kSmbLoad: return "smbload";
+    case Op::kGatherBits: return "gather";
+    case Op::kSelectTable: return "select";
+    case Op::kOut: return "out";
+  }
+  return "?";
+}
+
+std::string StepProgram::dump() const {
+  std::ostringstream os;
+  os << "step program: " << n_slots << " slots (" << n_signals
+     << " signals), " << code.size() << " instrs, " << units.size()
+     << " units, " << regions.size() << " regions\n";
+  auto slot_name = [this](Slot s) -> std::string {
+    if (s == kNoSlot) return "-";
+    if (s < n_signals) return "%" + std::to_string(s) + ":" +
+                              slot_sig[s]->name();
+    return "%" + std::to_string(s);
+  };
+  for (const Region& r : regions) {
+    os << "region [" << r.first_unit << ".." << r.first_unit + r.unit_count
+       << ")" << (r.cyclic ? " cyclic" : "") << (r.dynamic ? " dynamic" : "")
+       << "\n";
+    for (std::uint32_t ui = r.first_unit; ui < r.first_unit + r.unit_count;
+         ++ui) {
+      const Unit& u = units[ui];
+      os << "  unit " << ui << " '" << u.name << "'"
+         << (u.dynamic ? " [dynamic]" : "") << (u.always ? " [always]" : "")
+         << " inputs:";
+      for (Slot s : u.inputs) os << " " << slot_name(s);
+      os << "\n";
+      for (std::uint32_t k = u.first_instr; k < u.first_instr + u.instr_count;
+           ++k) {
+        const Instr& in = code[k];
+        os << "    " << op_name(in.op) << " " << slot_name(in.dst) << ", "
+           << slot_name(in.a) << ", " << slot_name(in.b) << ", "
+           << slot_name(in.c);
+        if (in.aux != 0) os << " aux=" << in.aux;
+        os << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace splice::rtl::compile

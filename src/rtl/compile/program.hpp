@@ -1,0 +1,144 @@
+// Flat "step program" representation for the compiled simulation backend.
+//
+// After elaboration the design is lowered once into this form: every
+// signal's two-state value lives in one contiguous bit-packed arena
+// (vector<uint64_t>, one slot per signal/constant/temporary), and each
+// module's combinational process becomes a *unit* — a contiguous run of
+// instructions over a small opcode set (assign/mux/arith/compare/
+// SMB-state-load/edge-detect) plus table-driven gather/select ops for the
+// arbiter-style fan-in muxes.  Units carry their input signal slots so the
+// executor can gate re-evaluation statically instead of consulting the
+// interpreter's dynamic worklist; the scheduler orders them topologically
+// along the sensitivity graph and groups them into levelized regions
+// (single-pass for acyclic logic, bounded fix-point only where true cycles
+// remain).  Modules that do not lower natively are wrapped as *dynamic*
+// units: the executor calls their eval_comb() through the usual virtual
+// dispatch, gated by the same input-slot tracking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace splice::rtl {
+
+class Module;
+class Signal;
+
+namespace compile {
+
+/// Arena slot index.  16 bits bound the arena at 65535 slots — orders of
+/// magnitude above any elaborated Splice design, and it keeps Instr at
+/// 12 bytes so a unit's instruction run stays in one or two cache lines.
+using Slot = std::uint16_t;
+inline constexpr Slot kNoSlot = 0xFFFFu;
+inline constexpr std::size_t kMaxSlots = 0xFFFFu;  // kNoSlot is reserved
+
+enum class Op : std::uint8_t {
+  kCopy,     ///< dst = a
+  kAnd,      ///< dst = a & b
+  kOr,       ///< dst = a | b
+  kXor,      ///< dst = a ^ b
+  kNotBool,  ///< dst = (a == 0)
+  kNonZero,  ///< dst = (a != 0)
+  kEq,       ///< dst = (a == b)
+  kNe,       ///< dst = (a != b)
+  kLt,       ///< dst = (a < b), unsigned
+  kAdd,      ///< dst = a + b (mod 2^64; masked at kOut)
+  kSub,      ///< dst = a - b (mod 2^64; masked at kOut)
+  kShl,      ///< dst = a << (b & 63)
+  kShr,      ///< dst = a >> (b & 63)
+  kMux,      ///< dst = a ? b : c
+  kOneHot,   ///< dst = a ? countr_zero(a) : 0 (lowest set bit index)
+  kEdge,     ///< dst = 1 iff slot `a` changed during this settle
+  kSmbLoad,  ///< dst = ext-state load; ext[aux] names {ptr, kind}
+  kGatherBits,    ///< dst = OR over table[off..off+n): (slot!=0) << imm
+  kSelectTable,   ///< dst = value of LAST table entry with imm == a, else b
+  kOut,      ///< drive signal slot dst with a & mask[dst] (see executor)
+};
+
+[[nodiscard]] const char* op_name(Op op);
+
+struct Instr {
+  Op op;
+  Slot dst = kNoSlot;
+  Slot a = kNoSlot;
+  Slot b = kNoSlot;
+  Slot c = kNoSlot;
+  /// Table ops: (offset << 8) | count, count <= 255.  kSmbLoad: ext index.
+  std::uint32_t aux = 0;
+};
+
+[[nodiscard]] inline std::uint32_t pack_table(std::size_t offset,
+                                              std::size_t count) {
+  return static_cast<std::uint32_t>(offset << 8 | count);
+}
+[[nodiscard]] inline std::uint32_t table_offset(std::uint32_t aux) {
+  return aux >> 8;
+}
+[[nodiscard]] inline std::uint32_t table_count(std::uint32_t aux) {
+  return aux & 0xFFu;
+}
+
+/// One row of the shared operand table (kGatherBits / kSelectTable).
+struct TableEntry {
+  std::uint64_t imm = 0;  ///< bit position (gather) or match value (select)
+  Slot slot = kNoSlot;    ///< source arena slot
+};
+
+/// Module-internal state read by a lowered comb process (kSmbLoad).  The
+/// pointer stays valid for the program's lifetime: modules are owned by the
+/// simulator and a structural change recompiles.  Consistency contract: a
+/// module whose ext state changes must call mark_dirty() (the same contract
+/// the interpreter's event scheduler already imposes).
+struct ExtState {
+  enum class Kind : std::uint8_t { kBool, kU64 };
+  const void* ptr = nullptr;
+  Kind kind = Kind::kBool;
+};
+
+/// A gated re-evaluation unit: one contiguous instruction run (native) or
+/// one eval_comb() call (dynamic), triggered when any input slot changes.
+struct Unit {
+  std::string name;
+  Module* module = nullptr;
+  std::uint32_t first_instr = 0;
+  std::uint32_t instr_count = 0;
+  bool dynamic = false;
+  /// Dynamic unit without declared sensitivities: run every settle pass
+  /// (the compiled mirror of the interpreter's full-pass fallback).
+  bool always = false;
+  std::vector<Slot> inputs;   ///< signal slots that trigger this unit
+  std::vector<Slot> outputs;  ///< signal slots written (scheduling only)
+};
+
+/// A maximal schedulable run of units.  Acyclic regions evaluate in one
+/// topologically ordered pass; cyclic regions (a strongly connected
+/// component of the unit graph) iterate to a bounded fix point.  Dynamic
+/// units trail in their own region — their outputs are unknown statically,
+/// so the executor's outer settle loop re-propagates whatever they drive.
+struct Region {
+  std::uint32_t first_unit = 0;
+  std::uint32_t unit_count = 0;
+  bool cyclic = false;
+  bool dynamic = false;
+  std::string cycle_desc;  ///< unit names, for the loop diagnostic
+};
+
+struct StepProgram {
+  std::size_t n_signals = 0;  ///< slots [0, n_signals) mirror Simulator signals
+  std::size_t n_slots = 0;    ///< total arena size (signals + consts + temps)
+  std::vector<std::uint64_t> init;  ///< initial arena image (size n_slots)
+  std::vector<std::uint64_t> mask;  ///< per-slot write masks (size n_slots)
+  std::vector<Instr> code;
+  std::vector<TableEntry> table;
+  std::vector<ExtState> ext;
+  std::vector<Unit> units;    ///< in final scheduled order
+  std::vector<Region> regions;
+  std::vector<Signal*> slot_sig;  ///< size n_signals; slot -> signal
+
+  [[nodiscard]] std::string dump() const;
+};
+
+}  // namespace compile
+}  // namespace splice::rtl

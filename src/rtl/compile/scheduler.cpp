@@ -1,0 +1,174 @@
+#include "rtl/compile/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace splice::rtl::compile {
+
+namespace {
+
+struct SccResult {
+  std::vector<std::uint32_t> comp_of;            // unit -> component id
+  std::vector<std::vector<std::uint32_t>> comps; // component -> unit ids
+};
+
+/// Tarjan over the native-unit graph.  Components come out in reverse
+/// topological order; we re-derive a deterministic order with Kahn below,
+/// so only the grouping matters here.
+SccResult tarjan(std::size_t n,
+                 const std::vector<std::vector<std::uint32_t>>& succ) {
+  SccResult res;
+  res.comp_of.assign(n, 0);
+  std::vector<std::uint32_t> index(n, 0), low(n, 0);
+  std::vector<bool> on_stack(n, false), visited(n, false);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t next_index = 1;
+
+  std::function<void(std::uint32_t)> strongconnect = [&](std::uint32_t v) {
+    index[v] = low[v] = next_index++;
+    visited[v] = true;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (std::uint32_t w : succ[v]) {
+      if (!visited[w]) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      const auto comp = static_cast<std::uint32_t>(res.comps.size());
+      res.comps.emplace_back();
+      for (;;) {
+        const std::uint32_t w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        res.comp_of[w] = comp;
+        res.comps[comp].push_back(w);
+        if (w == v) break;
+      }
+    }
+  };
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!visited[v]) strongconnect(v);
+  }
+  return res;
+}
+
+}  // namespace
+
+void schedule(StepProgram& prog) {
+  std::vector<Unit> native;
+  std::vector<Unit> dynamic;
+  for (Unit& u : prog.units) {
+    (u.dynamic ? dynamic : native).push_back(std::move(u));
+  }
+  const std::size_t n = native.size();
+
+  // Producing unit(s) for every signal slot.  A well-formed design has one
+  // combinational driver per signal; tolerate several (last writer wins at
+  // run time, both become scheduling edges).
+  std::vector<std::vector<std::uint32_t>> def(prog.n_signals);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (Slot s : native[i].outputs) def[s].push_back(i);
+  }
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  std::vector<bool> self_loop(n, false);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (Slot s : native[v].inputs) {
+      for (std::uint32_t u : def[s]) {
+        if (u == v) {
+          self_loop[v] = true;
+        } else if (std::find(succ[u].begin(), succ[u].end(), v) ==
+                   succ[u].end()) {
+          succ[u].push_back(v);
+        }
+      }
+    }
+  }
+
+  SccResult scc = tarjan(n, succ);
+  const std::size_t nc = scc.comps.size();
+  for (auto& comp : scc.comps) std::sort(comp.begin(), comp.end());
+
+  // Condensation in-degrees, then a deterministic Kahn order: among ready
+  // components always pick the one containing the smallest unit index, so
+  // the schedule is stable across runs and platforms.
+  std::vector<std::uint32_t> indeg(nc, 0);
+  std::vector<std::vector<std::uint32_t>> csucc(nc);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v : succ[u]) {
+      const std::uint32_t cu = scc.comp_of[u], cv = scc.comp_of[v];
+      if (cu == cv) continue;
+      if (std::find(csucc[cu].begin(), csucc[cu].end(), cv) ==
+          csucc[cu].end()) {
+        csucc[cu].push_back(cv);
+        ++indeg[cv];
+      }
+    }
+  }
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t c = 0; c < nc; ++c) {
+    if (indeg[c] == 0) ready.push_back(c);
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(nc);
+  while (!ready.empty()) {
+    auto best = std::min_element(
+        ready.begin(), ready.end(), [&](std::uint32_t a, std::uint32_t b) {
+          return scc.comps[a].front() < scc.comps[b].front();
+        });
+    const std::uint32_t c = *best;
+    ready.erase(best);
+    order.push_back(c);
+    for (std::uint32_t d : csucc[c]) {
+      if (--indeg[d] == 0) ready.push_back(d);
+    }
+  }
+
+  std::vector<Unit> ordered;
+  ordered.reserve(prog.units.size());
+  std::vector<Region> regions;
+  for (std::uint32_t c : order) {
+    const auto& comp = scc.comps[c];
+    const bool cyclic = comp.size() > 1 || self_loop[comp.front()];
+    if (cyclic) {
+      Region r;
+      r.first_unit = static_cast<std::uint32_t>(ordered.size());
+      r.unit_count = static_cast<std::uint32_t>(comp.size());
+      r.cyclic = true;
+      for (std::uint32_t u : comp) {
+        if (!r.cycle_desc.empty()) r.cycle_desc += " -> ";
+        r.cycle_desc += native[u].name;
+        ordered.push_back(std::move(native[u]));
+      }
+      regions.push_back(std::move(r));
+    } else {
+      if (regions.empty() || regions.back().cyclic || regions.back().dynamic) {
+        Region r;
+        r.first_unit = static_cast<std::uint32_t>(ordered.size());
+        r.unit_count = 0;
+        regions.push_back(std::move(r));
+      }
+      ++regions.back().unit_count;
+      ordered.push_back(std::move(native[comp.front()]));
+    }
+  }
+  if (!dynamic.empty()) {
+    Region r;
+    r.first_unit = static_cast<std::uint32_t>(ordered.size());
+    r.unit_count = static_cast<std::uint32_t>(dynamic.size());
+    r.dynamic = true;
+    regions.push_back(std::move(r));
+    for (Unit& u : dynamic) ordered.push_back(std::move(u));
+  }
+
+  prog.units = std::move(ordered);
+  prog.regions = std::move(regions);
+}
+
+}  // namespace splice::rtl::compile

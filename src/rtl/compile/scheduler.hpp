@@ -1,0 +1,21 @@
+// Static scheduler for step programs.
+//
+// Orders the lowered units along the sensitivity graph (unit A feeds unit
+// B when an output slot of A is an input slot of B) and groups them into
+// regions: Tarjan condenses the graph into strongly connected components,
+// a deterministic Kahn pass topologically orders the condensation, and
+// consecutive acyclic components merge into one levelized single-pass
+// region.  True combinational cycles survive as their own cyclic regions
+// — the executor iterates just those to a bounded fix point instead of
+// running a global worklist.  Dynamic (uncompiled) units always trail in
+// one final region because their outputs are unknown statically.
+#pragma once
+
+#include "rtl/compile/program.hpp"
+
+namespace splice::rtl::compile {
+
+/// Reorders prog.units in place and fills prog.regions.
+void schedule(StepProgram& prog);
+
+}  // namespace splice::rtl::compile

@@ -24,4 +24,16 @@ void Signal::add_watcher(Module& m) {
   }
 }
 
+void Signal::add_clocked_watcher(Module& m) {
+  if (owner_ == nullptr) {
+    throw SpliceError("module '" + m.name() +
+                      "' cannot clock-watch free signal '" + name_ +
+                      "': no simulator owns it");
+  }
+  if (std::find(clocked_fanout_.begin(), clocked_fanout_.end(), &m) ==
+      clocked_fanout_.end()) {
+    clocked_fanout_.push_back(&m);
+  }
+}
+
 }  // namespace splice::rtl

@@ -23,6 +23,12 @@ namespace splice::rtl {
 class Module;
 class Simulator;
 
+namespace compile {
+class Executor;
+class ProgramBuilder;
+class UnitBuilder;
+}  // namespace compile
+
 class Signal {
  public:
   Signal(std::string name, unsigned width)
@@ -66,6 +72,9 @@ class Signal {
  private:
   friend class Module;
   friend class Simulator;
+  friend class compile::Executor;
+  friend class compile::ProgramBuilder;
+  friend class compile::UnitBuilder;
 
   /// Apply a pending registered write; returns true on change.
   bool commit() {
@@ -84,6 +93,10 @@ class Signal {
   /// Add `m` to the fanout list; throws for signals not owned by a
   /// simulator (there is no scheduler to deliver the events).
   void add_watcher(Module& m);
+  /// Add `m` to the clocked fanout list (Module::watch_clocked): the
+  /// compiled backend runs m's clock_edge() on the cycle after this signal
+  /// changes.  Ignored by the interpreter, which clocks every module.
+  void add_clocked_watcher(Module& m);
 
   std::string name_;
   unsigned width_;
@@ -93,6 +106,9 @@ class Signal {
   bool pending_ = false;
   Simulator* owner_ = nullptr;
   std::vector<Module*> fanout_;
+  std::vector<Module*> clocked_fanout_;
+  /// Arena slot under the compiled backend; reassigned on each compile.
+  std::uint32_t slot_ = 0;
 };
 
 }  // namespace splice::rtl

@@ -1,7 +1,10 @@
 #include "rtl/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+
+#include "rtl/compile/executor.hpp"
 
 namespace splice::rtl {
 
@@ -20,6 +23,49 @@ Simulator::Simulator() {
   h_step_commits_ = &metrics_.histogram("sim.step_commits");
 }
 
+Simulator::~Simulator() = default;
+
+void Simulator::set_backend(Backend backend) {
+  if (backend == backend_) return;
+  backend_ = backend;
+  // Leaving the compiled backend (or entering it with a stale program from
+  // a previous selection) drops the program; kCompiled rebuilds lazily at
+  // the next settle via ensure_program().
+  if (backend_ == Backend::kInterp) invalidate_program();
+}
+
+void Simulator::ensure_program() {
+  if (exec_ != nullptr) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  exec_ = std::make_unique<compile::Executor>(*this);
+  compile_us_total_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  // The static schedule supersedes the interpreter's worklist; the
+  // executor starts with every unit dirty, so nothing queued is lost.
+  for (Module* m : worklist_) m->queued_ = false;
+  worklist_.clear();
+}
+
+void Simulator::invalidate_program() {
+  if (exec_ == nullptr) return;
+  exec_.reset();
+  // Restore the interpreter's invariant that pending work lives on the
+  // worklist: re-evaluate everything at the next settle.
+  for (auto& m : modules_) enqueue(*m);
+}
+
+void Simulator::module_dirty_compiled(Module& m) {
+  exec_->mark_module_dirty(m);
+}
+
+void Simulator::notify_compiled(Signal& s) { exec_->note_signal(s); }
+
+void Simulator::note_clock_busy(Module& m) {
+  if (exec_ != nullptr) exec_->note_busy(m);
+}
+
 Signal& Simulator::signal(const std::string& name, unsigned width) {
   auto it = signal_index_.find(name);
   if (it != signal_index_.end()) {
@@ -34,6 +80,7 @@ Signal& Simulator::signal(const std::string& name, unsigned width) {
   signals_.emplace_back(name, width);
   signals_.back().owner_ = this;
   signal_index_.emplace(name, signals_.size() - 1);
+  structure_changed();  // a live step program has no slot for it
   return signals_.back();
 }
 
@@ -44,7 +91,7 @@ Signal* Simulator::find_signal(const std::string& name) {
 
 void Simulator::adopt(Module& m) {
   m.sim_ = this;
-  partition_stale_ = true;
+  structure_changed();
   // A fresh module has never run: evaluate it at the next settle so its
   // outputs reflect its initial state even if no watched signal changes.
   enqueue(m);
@@ -59,6 +106,11 @@ void Simulator::rebuild_partition() {
 }
 
 void Simulator::settle() {
+  if (use_compiled()) {
+    ensure_program();
+    exec_->settle();  // bumps stats_.settles itself
+    return;
+  }
   ++stats_.settles;
   // Per-settle distributions, recorded on every exit path (including the
   // unsettled throw) so the histograms always match the counters.
@@ -140,6 +192,14 @@ void Simulator::flush_commits() {
 }
 
 void Simulator::step_cycle() {
+  if (use_compiled()) {
+    // ensure_program() already ran (step/step_until/ensure_settled).  The
+    // executor's cycle skips the per-cycle histograms: its hot loop stays
+    // free of atomics, and the monotonic Stats counters still track it.
+    exec_->step_cycle();
+    ++cycle_;
+    return;
+  }
   for (auto& fn : samplers_) fn(cycle_);
   for (auto& m : modules_) m->clock_edge();
   const std::uint64_t commits0 = stats_.commits;
@@ -150,12 +210,43 @@ void Simulator::step_cycle() {
 }
 
 void Simulator::step(std::uint64_t n) {
+  if (use_compiled()) {
+    ensure_program();
+    const auto t0 = std::chrono::steady_clock::now();
+    ensure_settled();
+    for (std::uint64_t k = 0; k < n; ++k) step_cycle();
+    step_us_total_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return;
+  }
   ensure_settled();
   for (std::uint64_t k = 0; k < n; ++k) step_cycle();
 }
 
 bool Simulator::step_until(const std::function<bool()>& pred,
                            std::uint64_t max_cycles) {
+  if (use_compiled()) {
+    ensure_program();
+    const auto t0 = std::chrono::steady_clock::now();
+    bool hit = false;
+    ensure_settled();
+    std::uint64_t k = 0;
+    for (; k < max_cycles; ++k) {
+      if (pred()) {
+        hit = true;
+        break;
+      }
+      step_cycle();
+    }
+    if (!hit && k == max_cycles) hit = pred();
+    step_us_total_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return hit;
+  }
   ensure_settled();
   for (std::uint64_t k = 0; k < max_cycles; ++k) {
     if (pred()) return true;
@@ -168,7 +259,11 @@ void Simulator::reset() {
   for (auto& m : modules_) m->reset();
   flush_commits();
   // Every module's state changed: schedule a full re-evaluation.
-  for (auto& m : modules_) enqueue(*m);
+  if (exec_ != nullptr) {
+    exec_->mark_all_dirty();
+  } else {
+    for (auto& m : modules_) enqueue(*m);
+  }
   settled_once_ = false;
   cycle_ = 0;
 }
@@ -195,6 +290,9 @@ telemetry::MetricsSnapshot Simulator::metrics_snapshot() const {
     if (!m->sensitivity_declared()) ++undeclared;
   }
   snap.gauges["sim.modules_without_sensitivities"] = undeclared;
+  snap.counters["sim.compile_us"] = compile_us_total_;
+  snap.counters["sim.step_us"] = step_us_total_;
+  if (exec_ != nullptr) exec_->add_metrics(snap);
   return snap;
 }
 
@@ -203,13 +301,15 @@ std::string render_stats(const Simulator& sim, telemetry::Format format) {
       sim.settle_mode() == Simulator::SettleMode::kEventDriven
           ? "event-driven"
           : "full-pass";
+  const char* backend =
+      sim.backend() == Simulator::Backend::kCompiled ? "compiled" : "interp";
   const telemetry::MetricsSnapshot snap = sim.metrics_snapshot();
   if (format == telemetry::Format::Json) {
-    return "{\"settle_mode\": \"" + std::string(mode) +
-           "\", \"metrics\": " + snap.render(format) + "}";
+    return "{\"settle_mode\": \"" + std::string(mode) + "\", \"backend\": \"" +
+           backend + "\", \"metrics\": " + snap.render(format) + "}";
   }
-  return "simulation kernel stats (" + std::string(mode) + " settle)\n" +
-         snap.render(format);
+  return "simulation kernel stats (backend: " + std::string(backend) + ", " +
+         mode + " settle)\n" + snap.render(format);
 }
 
 }  // namespace splice::rtl

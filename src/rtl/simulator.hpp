@@ -35,6 +35,12 @@
 
 namespace splice::rtl {
 
+namespace compile {
+class CombBuilder;
+class Executor;
+class ProgramBuilder;
+}  // namespace compile
+
 class Module {
  public:
   explicit Module(std::string name) : name_(std::move(name)) {}
@@ -68,6 +74,40 @@ class Module {
   void watch_none() { sensitive_ = true; }
   [[nodiscard]] bool sensitivity_declared() const { return sensitive_; }
 
+  // -- Clocked-process scheduling (compiled backend) ------------------------
+  /// Declare that clock_edge() must run on the cycle after `s` changes.
+  /// Once any clocked declaration is made the compiled backend skips this
+  /// module's clock_edge() on cycles where no clock-watched signal changed
+  /// and the module did not report itself busy (set_clock_busy).  The
+  /// interpreter ignores these declarations and clocks every module, so a
+  /// wrong declaration shows up as a backend trace divergence.
+  void watch_clocked(Signal& s);
+  template <typename... Signals>
+  void watch_clocked_all(Signals&... signals) {
+    (watch_clocked(signals), ...);
+  }
+  /// Declare that clock_edge() needs no external triggers at all (it is a
+  /// no-op, or self-sustained activity is fully covered by set_clock_busy).
+  void clocked_none() { clocked_declared_ = true; }
+  [[nodiscard]] bool clocked_declared() const { return clocked_declared_; }
+
+  /// External wake: run this module's clock_edge() at the next opportunity
+  /// even though no clock-watched signal changed (same cycle when the
+  /// requester precedes it in module order, otherwise the next one).  Used
+  /// for module-to-module completion hand-off: a bus whose operation train
+  /// just drained wakes the CPU master sleeping on MasterPort::busy().
+  /// The interpreter clocks every module anyway, so this is a no-op there.
+  void request_clock_edge() {
+    clock_event_ = true;
+    if (sim_ != nullptr) note_busy_transition();
+  }
+
+  /// Lower this module's combinational process into the compiled backend's
+  /// step program.  Return true after emitting units that reproduce
+  /// eval_comb() exactly; the default keeps dynamic dispatch (eval_comb is
+  /// then called from the compiled settle loop like the interpreter does).
+  virtual bool lower_comb(compile::CombBuilder&) { return false; }
+
   /// eval_comb() invocations so far (kernel instrumentation).
   [[nodiscard]] std::uint64_t eval_count() const { return evals_; }
 
@@ -76,14 +116,40 @@ class Module {
   /// (typically in clock_edge): request a re-evaluation at the next settle
   /// even though no watched signal changed.
   void mark_dirty();
+  /// Clocked FSM is mid-activity (countdowns, open transactions): keep
+  /// running clock_edge() every cycle while true, regardless of events.
+  /// Becoming busy outside this module's own clock_edge() (an enqueue from
+  /// another module or from test/driver code) must reach the compiled
+  /// scheduler, which tracks runnable modules in a wake mask.
+  void set_clock_busy(bool busy) {
+    if (busy && !clock_busy_ && sim_ != nullptr) note_busy_transition();
+    clock_busy_ = busy;
+  }
+  /// Current simulation cycle (0 when not yet adopted).  During clock_edge
+  /// this is the cycle being clocked; gated modules use it to fold skipped
+  /// quiet cycles into their per-cycle counters.
+  [[nodiscard]] std::uint64_t sim_cycle() const;
+  /// Structural mux inputs changed after elaboration (e.g. an IRQ line was
+  /// attached): force the compiled backend to re-lower before its next use.
+  void invalidate_compile();
 
  private:
   friend class Simulator;
+  friend class compile::Executor;
+  friend class compile::ProgramBuilder;
+
+  static constexpr std::uint32_t kNoGateBit = ~0u;
+
+  void note_busy_transition();
 
   std::string name_;
   Simulator* sim_ = nullptr;  ///< set when the simulator takes ownership
   bool sensitive_ = false;    ///< any sensitivity declaration was made
   bool queued_ = false;       ///< already on the settle worklist
+  bool clocked_declared_ = false;  ///< any clocked declaration was made
+  bool clock_busy_ = false;   ///< self-reported clocked activity
+  bool clock_event_ = true;   ///< a clock-watched signal changed
+  std::uint32_t gate_bit_ = kNoGateBit;  ///< compiled wake-mask position
   std::uint64_t evals_ = 0;
 };
 
@@ -93,6 +159,13 @@ class Simulator {
   /// sensitivities; kFullPass forces the legacy every-module fix point for
   /// all modules regardless of declarations (equivalence testing).
   enum class SettleMode : std::uint8_t { kEventDriven, kFullPass };
+
+  /// Execution backend.  kInterp walks the module tree each settle (the
+  /// reference semantics); kCompiled lowers the elaborated design once into
+  /// a statically scheduled step program (src/rtl/compile/) and is selected
+  /// per simulator (CLI: --sim-backend).  SettleMode::kFullPass overrides
+  /// the compiled backend back to the interpreter (equivalence testing).
+  enum class Backend : std::uint8_t { kInterp, kCompiled };
 
   /// Kernel instrumentation counters (monotonic; see reset_stats).
   struct Stats {
@@ -106,6 +179,7 @@ class Simulator {
   };
 
   Simulator();
+  ~Simulator();
 
   /// Create (or fetch, by exact name) a signal owned by the simulator.
   Signal& signal(const std::string& name, unsigned width = 1);
@@ -147,6 +221,17 @@ class Simulator {
   void set_settle_mode(SettleMode mode) { mode_ = mode; }
   [[nodiscard]] SettleMode settle_mode() const { return mode_; }
 
+  /// Select the execution backend.  Switching is legal at any point between
+  /// cycles; the compiled program is (re)built lazily at the next settle
+  /// and the interpreter's worklist invariants are restored on the way back.
+  void set_backend(Backend backend);
+  [[nodiscard]] Backend backend() const { return backend_; }
+  /// The live compiled program, or nullptr while the interpreter is active
+  /// (or before the first compiled settle).  Test/introspection hook.
+  [[nodiscard]] const compile::Executor* compiled() const {
+    return exec_.get();
+  }
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
 
@@ -167,6 +252,8 @@ class Simulator {
  private:
   friend class Module;
   friend class Signal;
+  friend class compile::Executor;
+  friend class compile::ProgramBuilder;
 
   static constexpr int kMaxSettleIterations = 64;
 
@@ -179,6 +266,27 @@ class Simulator {
       settled_once_ = true;
     }
   }
+  /// True when step/settle should take the compiled path.
+  [[nodiscard]] bool use_compiled() const {
+    return backend_ == Backend::kCompiled && mode_ != SettleMode::kFullPass;
+  }
+  /// (Re)build the step program if absent or stale.
+  void ensure_program();
+  /// Drop the compiled program and restore interpreter worklist invariants.
+  void invalidate_program();
+  /// Structure changed (new signal/module/watch): any compiled program is
+  /// stale.  Also rebuilds the interpreter's fallback partition.
+  void structure_changed() {
+    partition_stale_ = true;
+    invalidate_program();
+  }
+  /// mark_dirty() routing while the compiled program is live.
+  void module_dirty_compiled(Module& m);
+  /// on_signal_changed() routing while the compiled program is live.
+  void notify_compiled(Signal& s);
+  /// set_clock_busy(false -> true) routing: wake `m` in the compiled
+  /// scheduler's gated mask.
+  void note_clock_busy(Module& m);
   void run_eval(Module& m) {
     m.eval_comb();
     ++m.evals_;
@@ -191,9 +299,15 @@ class Simulator {
     worklist_.push_back(&m);
     ++stats_.worklist_pushes;
   }
-  /// Scheduler hook: `s` changed value; wake its fanout.
+  /// Scheduler hook: `s` changed value; wake its fanout.  While a compiled
+  /// program is live, changes instead flow into its arena import queue and
+  /// clocked-event flags (the static schedule replaces the worklist).
   void on_signal_changed(Signal& s) {
     ++stats_.signal_changes;
+    if (exec_ != nullptr) {
+      notify_compiled(s);
+      return;
+    }
     for (Module* m : s.fanout_) enqueue(*m);
   }
   void flush_commits();
@@ -208,6 +322,11 @@ class Simulator {
   std::vector<Signal*> pending_commits_;
   std::vector<std::function<void(std::uint64_t)>> samplers_;
   SettleMode mode_ = SettleMode::kEventDriven;
+  Backend backend_ = Backend::kInterp;
+  std::unique_ptr<compile::Executor> exec_;
+  bool program_stale_ = true;
+  std::uint64_t compile_us_total_ = 0;  ///< sim.compile_us
+  std::uint64_t step_us_total_ = 0;     ///< sim.step_us (compiled stepping)
   Stats stats_;
   support::telemetry::MetricsRegistry metrics_;
   // Cached histogram handles: record() is a few relaxed atomics, so the
@@ -223,11 +342,32 @@ class Simulator {
 inline void Module::watch(Signal& s) {
   s.add_watcher(*this);
   sensitive_ = true;
-  if (sim_ != nullptr) sim_->partition_stale_ = true;
+  if (sim_ != nullptr) sim_->structure_changed();
+}
+
+inline void Module::watch_clocked(Signal& s) {
+  s.add_clocked_watcher(*this);
+  clocked_declared_ = true;
+  if (sim_ != nullptr) sim_->structure_changed();
 }
 
 inline void Module::mark_dirty() {
-  if (sim_ != nullptr) sim_->enqueue(*this);
+  if (sim_ == nullptr) return;
+  if (sim_->exec_ != nullptr) {
+    sim_->module_dirty_compiled(*this);
+    return;
+  }
+  sim_->enqueue(*this);
+}
+
+inline void Module::invalidate_compile() {
+  if (sim_ != nullptr) sim_->structure_changed();
+}
+
+inline void Module::note_busy_transition() { sim_->note_clock_busy(*this); }
+
+inline std::uint64_t Module::sim_cycle() const {
+  return sim_ != nullptr ? sim_->cycle_ : 0;
 }
 
 /// Render the kernel instrumentation (counters, per-module eval totals and

@@ -6,6 +6,7 @@ using drivergen::OpCode;
 
 void CpuMaster::run(drivergen::DriverProgram program) {
   programs_.push_back(std::move(program));
+  set_clock_busy(true);
 }
 
 void CpuMaster::start_op() {
@@ -80,6 +81,23 @@ void CpuMaster::finish_op() {
 }
 
 void CpuMaster::clock_edge() {
+  edge_impl();
+  // Waits sleep instead of polling: a port wait is woken same-cycle by the
+  // bus through MasterPort::set_completion_waiter the edge its operation
+  // train drains (the bus precedes the CPU in module order), and an IRQ
+  // wait is triggered by the watched interrupt line itself.  If edge_impl
+  // left the FSM in a wait state the awaited condition was false on this
+  // edge, so sleeping until the corresponding event is exact.  Everything
+  // else — issue states, gap countdowns, queued programs — keeps clocking.
+  const bool port_wait =
+      (state_ == St::WaitPort || state_ == St::PollWait) && port_.busy();
+  const bool irq_wait =
+      state_ == St::IrqWait && irq_ != nullptr && !irq_->high();
+  set_clock_busy(!port_wait && !irq_wait &&
+                 (state_ != St::Idle || !programs_.empty()));
+}
+
+void CpuMaster::edge_impl() {
   switch (state_) {
     case St::Idle:
       if (!programs_.empty()) start_op();

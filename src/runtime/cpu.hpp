@@ -21,6 +21,12 @@ class CpuMaster : public rtl::Module {
   CpuMaster(bus::MasterPort& port, sis::ProtocolClass protocol)
       : rtl::Module("cpu_master"), port_(port), protocol_(protocol) {
     watch_none();  // clocked-only: drives the bus from its program FSM
+    // No external triggers: run() asserts busy and the FSM keeps itself
+    // busy while it is actively issuing or paying gap cycles.  Waits are
+    // event-gated instead of polled: the port hands completion back via
+    // the waiter hook, and attach_irq() adds the IRQ line as a trigger.
+    clocked_none();
+    port_.set_completion_waiter(*this);
   }
 
   /// Enqueue a driver call; multiple queued programs run back to back.
@@ -41,7 +47,10 @@ class CpuMaster : public rtl::Module {
   /// sleeps until the device raises this line instead of polling the
   /// CALC_DONE register; each taken interrupt pays the ISR entry cost plus
   /// one identifying status read.
-  void attach_irq(rtl::Signal& line) { irq_ = &line; }
+  void attach_irq(rtl::Signal& line) {
+    irq_ = &line;
+    watch_clocked(line);  // IrqWait sleeps until the device raises it
+  }
 
   void clock_edge() override;
   void reset() override;
@@ -58,6 +67,7 @@ class CpuMaster : public rtl::Module {
     IsrEntry,    ///< exception entry / handler prologue
   };
 
+  void edge_impl();
   void start_op();
   void finish_op();
 

@@ -101,8 +101,7 @@ CallResult VirtualPlatform::call(const std::string& function,
     throw SpliceError("unknown function '" + function + "'");
   }
   drivergen::DriverBuilder builder(spec_, *fn);
-  return run_program(function, builder.build_call(args, instance), args,
-                     max_cycles);
+  return run_call(*fn, builder.build_call(args, instance), args, max_cycles);
 }
 
 CallResult VirtualPlatform::run_program(const std::string& function,
@@ -113,6 +112,13 @@ CallResult VirtualPlatform::run_program(const std::string& function,
   if (fn == nullptr) {
     throw SpliceError("unknown function '" + function + "'");
   }
+  return run_call(*fn, std::move(program), args, max_cycles);
+}
+
+CallResult VirtualPlatform::run_call(const ir::FunctionDecl& fn,
+                                     drivergen::DriverProgram program,
+                                     const drivergen::CallArgs& args,
+                                     std::uint64_t max_cycles) {
   cpu_->clear_read_words();
   cpu_->run(std::move(program));
 
@@ -120,14 +126,14 @@ CallResult VirtualPlatform::run_program(const std::string& function,
   const bool finished =
       sim_->step_until([this] { return cpu_->done(); }, max_cycles);
   if (!finished) {
-    throw SpliceError("call to '" + function + "' did not complete within " +
+    throw SpliceError("call to '" + fn.name + "' did not complete within " +
                       std::to_string(max_cycles) + " cycles");
   }
 
   CallResult result;
   result.bus_cycles = sim_->cycle() - start;
   result.cpu_cycles = result.bus_cycles * bus::timing::kCpuClockRatio;
-  drivergen::DriverBuilder builder(spec_, *fn);
+  drivergen::DriverBuilder builder(spec_, fn);
   drivergen::CallOutputs decoded =
       builder.decode_call(cpu_->read_words(), args);
   result.outputs = std::move(decoded.outputs);

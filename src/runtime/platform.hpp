@@ -69,6 +69,11 @@ class VirtualPlatform {
   [[nodiscard]] sis::ProtocolClass protocol() const { return protocol_; }
 
  private:
+  CallResult run_call(const ir::FunctionDecl& fn,
+                      drivergen::DriverProgram program,
+                      const drivergen::CallArgs& args,
+                      std::uint64_t max_cycles);
+
   ir::DeviceSpec spec_;
   BusKind kind_;
   sis::ProtocolClass protocol_;

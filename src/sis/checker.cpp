@@ -5,6 +5,15 @@ namespace splice::sis {
 ProtocolChecker::ProtocolChecker(const SisBus& bus, ProtocolClass protocol)
     : rtl::Module("sis_checker"), bus_(bus), protocol_(protocol) {
   watch_none();  // clocked-only observer: samples the bundle on the edge
+  // Every axiom is a predicate over the SIS lines below plus one-cycle
+  // history: on a cycle where none of them changed, the edge body is a
+  // no-op except for the cycle_/quiet_cycles_ counters, which clock_edge
+  // folds in arithmetically when the compiled backend skips quiet cycles.
+  // Held-high detection (IO_ENABLE/IO_DONE across two unchanged cycles)
+  // needs one extra run after any active cycle: set_clock_busy below.
+  watch_clocked_all(bus.rst, bus.io_enable, bus.io_done, bus.data_in_valid,
+                    bus.data_in, bus.func_id, bus.data_out_valid,
+                    bus.calc_done);
 }
 
 void ProtocolChecker::violate(const std::string& what) {
@@ -15,12 +24,33 @@ void ProtocolChecker::reset() {
   txn_ = Txn::Idle;
   prev_io_enable_ = false;
   prev_io_done_ = false;
+  prev_rst_ = false;
   prev_calc_done_ = 0;
   quiet_cycles_ = 0;
   cycle_ = 0;
+  last_edge_cycle_ = 0;
+  seen_edge_ = false;
 }
 
 void ProtocolChecker::clock_edge() {
+  // Catch up over edges the compiled backend skipped.  Skipped cycles had
+  // no change on any watched line, so they carried the previous run's
+  // values: under reset (or right after bus activity) they zero the quiet
+  // counter, otherwise each one is a quiet cycle.  cycle_ advances either
+  // way, keeping violation timestamps identical to the interpreter's.
+  const std::uint64_t now = sim_cycle();
+  if (seen_edge_ && now > last_edge_cycle_ + 1) {
+    const std::uint64_t gap = now - last_edge_cycle_ - 1;
+    cycle_ += gap;
+    if (prev_rst_ || prev_io_enable_ || prev_io_done_) {
+      quiet_cycles_ = 0;
+    } else {
+      quiet_cycles_ += gap;
+    }
+  }
+  last_edge_cycle_ = now;
+  seen_edge_ = true;
+
   const bool enable = bus_.io_enable.high();
   const bool din_valid = bus_.data_in_valid.high();
   const bool io_done = bus_.io_done.high();
@@ -31,11 +61,14 @@ void ProtocolChecker::clock_edge() {
     txn_ = Txn::Idle;
     prev_io_enable_ = false;
     prev_io_done_ = false;
+    prev_rst_ = true;
     prev_calc_done_ = bus_.calc_done.get();
     quiet_cycles_ = 0;
     ++cycle_;
+    set_clock_busy(false);
     return;
   }
+  prev_rst_ = false;
 
   // Axiom: IO_ENABLE is strobed for a single cycle per request (§4.2.1).
   if (enable && prev_io_enable_) {
@@ -133,6 +166,10 @@ void ProtocolChecker::clock_edge() {
   prev_io_enable_ = enable;
   prev_io_done_ = io_done;
   ++cycle_;
+  // A strobe high *now* must be re-examined next cycle even if nothing
+  // changes (the held-for-more-than-one-cycle axioms compare against the
+  // one-cycle history recorded above).
+  set_clock_busy(enable || io_done);
 }
 
 }  // namespace splice::sis

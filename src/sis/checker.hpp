@@ -40,8 +40,14 @@ class ProtocolChecker : public rtl::Module {
   std::uint64_t cycle_ = 0;
   bool prev_io_enable_ = false;
   bool prev_io_done_ = false;
+  bool prev_rst_ = false;
   std::uint64_t prev_calc_done_ = 0;
   std::uint64_t quiet_cycles_ = 0;  ///< cycles since the last bus activity
+  // Gated-edge bookkeeping (compiled backend): the sim cycle of the last
+  // edge actually run, so skipped quiet cycles can be folded into cycle_
+  // and quiet_cycles_ exactly as if they had executed.
+  std::uint64_t last_edge_cycle_ = 0;
+  bool seen_edge_ = false;
 
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;

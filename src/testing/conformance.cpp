@@ -136,14 +136,42 @@ void check_equivalence(const ir::DeviceSpec& spec, OracleResult& res) {
 
 void simulate_spec(const ir::DeviceSpec& spec, const OracleOptions& opt,
                    OracleResult& res) {
-  elab::BehaviorMap behaviors;
-  for (const ir::FunctionDecl& fn : spec.functions) {
-    behaviors.set(fn.name, [decl = fn](const elab::CallContext& ctx) {
-      return expected_calc(decl, ctx.instance_index, ctx.inputs);
-    });
-  }
+  auto make_behaviors = [&spec]() {
+    elab::BehaviorMap behaviors;
+    for (const ir::FunctionDecl& fn : spec.functions) {
+      behaviors.set(fn.name, [decl = fn](const elab::CallContext& ctx) {
+        return expected_calc(decl, ctx.instance_index, ctx.inputs);
+      });
+    }
+    return behaviors;
+  };
 
-  runtime::VirtualPlatform vp(spec, std::move(behaviors));
+  runtime::VirtualPlatform vp(spec, make_behaviors());
+  vp.sim().set_backend(opt.backend == OracleBackend::kCompiled
+                           ? rtl::Simulator::Backend::kCompiled
+                           : rtl::Simulator::Backend::kInterp);
+
+  // Lockstep mode: a second platform on the compiled backend replays the
+  // identical call stream; full-signal traces on both sides make the
+  // comparison cycle-exact rather than just end-result-exact.
+  std::unique_ptr<runtime::VirtualPlatform> shadow;
+  std::unique_ptr<rtl::Trace> lock_trace;
+  std::unique_ptr<rtl::Trace> shadow_trace;
+  if (opt.backend == OracleBackend::kLockstep) {
+    shadow = std::make_unique<runtime::VirtualPlatform>(spec,
+                                                        make_behaviors());
+    shadow->sim().set_backend(rtl::Simulator::Backend::kCompiled);
+    lock_trace = std::make_unique<rtl::Trace>(vp.sim());
+    shadow_trace = std::make_unique<rtl::Trace>(shadow->sim());
+    for (const rtl::Signal& s : vp.sim().signals()) {
+      lock_trace->watch(s.name());
+      shadow_trace->watch(s.name());
+    }
+  }
+  auto diverged = [&res](std::string msg) {
+    ++res.backend_mismatches;
+    res.failures.push_back("backend divergence: " + std::move(msg));
+  };
 
   std::unique_ptr<rtl::Trace> trace;
   if (!opt.vcd_out.empty()) {
@@ -173,6 +201,31 @@ void simulate_spec(const ir::DeviceSpec& spec, const OracleOptions& opt,
             vp.call(fn.name, args, instance, opt.max_cycles);
         ++res.calls;
         res.bus_cycles += got.bus_cycles;
+        if (shadow != nullptr) {
+          try {
+            const runtime::CallResult sgot =
+                shadow->call(fn.name, args, instance, opt.max_cycles);
+            if (sgot.outputs != got.outputs) {
+              diverged("'" + fn.name + "' call " + std::to_string(c) +
+                       ": compiled outputs " + render_vec(sgot.outputs) +
+                       " != interp " + render_vec(got.outputs));
+            }
+            if (sgot.byref_outputs != got.byref_outputs) {
+              diverged("'" + fn.name + "' call " + std::to_string(c) +
+                       ": by-reference read-backs differ between backends");
+            }
+            if (sgot.bus_cycles != got.bus_cycles) {
+              diverged("'" + fn.name + "' call " + std::to_string(c) +
+                       ": compiled took " + std::to_string(sgot.bus_cycles) +
+                       " bus cycles, interp " +
+                       std::to_string(got.bus_cycles));
+            }
+          } catch (const std::exception& e) {
+            diverged("'" + fn.name + "' call " + std::to_string(c) +
+                     ": compiled backend threw where the interpreter "
+                     "succeeded: " + e.what());
+          }
+        }
         if (fn.blocking()) {
           if (fn.has_output() && got.outputs != want.outputs) {
             res.failures.push_back(
@@ -199,6 +252,7 @@ void simulate_spec(const ir::DeviceSpec& spec, const OracleOptions& opt,
           // calculation must drain before the next driver call so the stub
           // is idle again (the thesis leaves nowait pacing to the user).
           vp.sim().step(64);
+          if (shadow != nullptr) shadow->sim().step(64);
         }
       } catch (const std::exception& e) {
         ++res.calls;
@@ -213,6 +267,34 @@ void simulate_spec(const ir::DeviceSpec& spec, const OracleOptions& opt,
 
   for (const std::string& v : vp.checker().violations()) {
     res.failures.push_back("SIS protocol: " + v);
+  }
+
+  if (shadow != nullptr) {
+    // Cycle-exact trace equivalence: every recorded signal history must
+    // match sample for sample, and the protocol checker must have reached
+    // the same verdicts (including identical violation text — the cycle
+    // numbers inside prove the checker saw events at the same time).
+    if (shadow->sim().cycle() != vp.sim().cycle()) {
+      diverged("simulated " + std::to_string(shadow->sim().cycle()) +
+               " cycles on the compiled backend vs " +
+               std::to_string(vp.sim().cycle()) + " on the interpreter");
+    }
+    for (const rtl::Signal& s : vp.sim().signals()) {
+      const auto& want = lock_trace->history(s.name());
+      const auto& got = shadow_trace->history(s.name());
+      if (want == got) continue;
+      std::size_t at = 0;
+      const std::size_t n = std::min(want.size(), got.size());
+      while (at < n && want[at] == got[at]) ++at;
+      diverged("signal '" + s.name() + "' history differs from cycle " +
+               std::to_string(at) + " (interp " +
+               std::to_string(want.size()) + " samples, compiled " +
+               std::to_string(got.size()) + ")");
+      if (res.backend_mismatches >= 8) break;  // enough to diagnose
+    }
+    if (shadow->checker().violations() != vp.checker().violations()) {
+      diverged("protocol checker verdicts differ between backends");
+    }
   }
 
   if (trace != nullptr) {

@@ -17,12 +17,20 @@
 
 namespace splice::testing {
 
+/// Which simulation backend(s) the platform replay runs on.  kLockstep
+/// builds two platforms — interpreter and compiled — replays every call on
+/// both, and diffs call results, per-cycle signal histories and protocol
+/// verdicts; the interpreter thereby acts as differential oracle for the
+/// compiled backend.
+enum class OracleBackend : std::uint8_t { kInterp, kCompiled, kLockstep };
+
 struct OracleOptions {
   std::uint64_t call_seed = 1;       ///< argument-value stream seed
   unsigned calls_per_function = 3;   ///< driver replays per declaration
   std::uint64_t max_cycles = 2'000'000;
   bool check_equivalence = true;     ///< VHDL vs Verilog AST diff
   bool simulate = true;              ///< end-to-end platform replay
+  OracleBackend backend = OracleBackend::kInterp;
   /// When non-empty, record every simulator signal and write a VCD here
   /// (used when re-running a failing spec for the repro corpus).
   std::string vcd_out;
@@ -36,6 +44,9 @@ struct OracleResult {
   std::vector<std::string> failures;  ///< empty == conformant
   std::uint64_t calls = 0;            ///< driver calls replayed
   std::uint64_t bus_cycles = 0;       ///< simulated bus time consumed
+  /// Divergences between the interpreter and the compiled backend seen
+  /// during a kLockstep replay (also counted in `failures`).
+  std::uint64_t backend_mismatches = 0;
 
   [[nodiscard]] bool ok() const { return !spec_rejected && failures.empty(); }
 };

@@ -13,6 +13,7 @@ OracleOptions oracle_options(const FuzzOptions& opt, std::uint64_t index) {
                            0xca11ULL);
   o.calls_per_function = opt.calls_per_function;
   o.max_cycles = opt.max_cycles;
+  o.backend = opt.backend;
   return o;
 }
 
@@ -91,6 +92,10 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
       opt.metrics->counter("fuzz.specs").add(1);
       opt.metrics->counter("fuzz.calls").add(result.calls);
       opt.metrics->counter("fuzz.bus_cycles").add(result.bus_cycles);
+      if (result.backend_mismatches != 0) {
+        opt.metrics->counter("fuzz.backend_mismatch")
+            .add(result.backend_mismatches);
+      }
     }
 
     if (result.spec_rejected) {

@@ -25,9 +25,14 @@ struct FuzzOptions {
   unsigned calls_per_function = 3;
   std::uint64_t max_cycles = 2'000'000;
   std::uint64_t shrink_attempts = 400;
+  /// Backend(s) to replay on.  The default runs every spec in lockstep —
+  /// interpreter and compiled backend side by side with cycle-exact trace
+  /// comparison — so the fuzzer doubles as the compiled backend's
+  /// differential test rig.
+  OracleBackend backend = OracleBackend::kLockstep;
   GenOptions gen;
   /// Optional counters sink: fuzz.specs, fuzz.failures, fuzz.shrinks,
-  /// fuzz.calls, fuzz.bus_cycles.
+  /// fuzz.calls, fuzz.bus_cycles, fuzz.backend_mismatch.
   support::telemetry::MetricsRegistry* metrics = nullptr;
   /// Per-spec progress hook (CLI prints a line every N specs).
   std::function<void(std::uint64_t index, const OracleResult&)> on_spec;

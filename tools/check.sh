@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full local verification: the tier-1 build + test pass, a telemetry
 # smoke stage (a traced two-spec batch whose trace and stats JSON are
-# structurally validated), followed by the same test suite under
+# structurally validated), a backend-comparison bench smoke
+# (bench/sim_backend --smoke), followed by the same test suite under
 # ASan+UBSan (the `asan` preset) and under ThreadSanitizer (the `tsan`
 # preset — the parallel generation pipeline, the artifact cache and the
 # span tracer's per-thread buffers are the interesting targets).  Run
@@ -86,6 +87,13 @@ EOF
 rm -rf "$SMOKE_DIR"
 trap - EXIT
 
+echo "== bench smoke: interp vs compiled backend comparison =="
+# One abbreviated pass of the backend-comparison harness: catches
+# compiled-backend crashes or gross regressions on every workload shape
+# (idle stepping, driver calls, fig9 scenarios, corpus replay) without
+# the full best-of-5 recording cost.  Does not rewrite BENCH_sim.json.
+build/bench/sim_backend --smoke
+
 echo "== fuzz: time-boxed random-seed conformance campaign =="
 # The fixed-seed 200-spec campaign already ran as part of ctest
 # (FuzzCampaign.FixedSeed200SpecsZeroViolations); this stage adds a fresh
@@ -121,21 +129,27 @@ if [ "${1:-}" = "--fast" ]; then
   exit 0
 fi
 
+# Both sanitizer passes cover the compiled simulation backend twice
+# over: ctest includes test_compile_backend (executor arena, static
+# scheduler, lockstep platform equivalence), and the fuzz stages run
+# `--backend both`, replaying every generated spec on the interpreter
+# AND the compiled executor in lockstep — the bit-packed arena and
+# threaded dispatch are exactly where UB hides.
 echo "== sanitizers: ASan+UBSan build + ctest =="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 ctest --preset asan
-echo "== sanitizers: ASan+UBSan random-seed fuzz =="
+echo "== sanitizers: ASan+UBSan random-seed fuzz (lockstep backends) =="
 build-asan/tools/splice-fuzz --seed "$FUZZ_SEED" --count 400 \
-  --time-budget 60000 --corpus-dir build-asan/fuzz-corpus
+  --backend both --time-budget 60000 --corpus-dir build-asan/fuzz-corpus
 
 echo "== sanitizers: TSan build + ctest =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan
-echo "== sanitizers: TSan random-seed fuzz =="
+echo "== sanitizers: TSan random-seed fuzz (lockstep backends) =="
 build-tsan/tools/splice-fuzz --seed "$FUZZ_SEED" --count 400 \
-  --time-budget 60000 --corpus-dir build-tsan/fuzz-corpus
+  --backend both --time-budget 60000 --corpus-dir build-tsan/fuzz-corpus
 
 echo "== coverage: instrumented ctest + gcov line summary =="
 cmake --preset coverage

@@ -20,6 +20,9 @@
 //     --sim-stats [N]  elaborate the device on the virtual platform, run N
 //                  idle cycles (default 2000) and print the simulation
 //                  kernel's instrumentation counters
+//     --sim-backend {interp,compiled}  simulation backend for --sim-stats:
+//                  the dynamic-worklist interpreter (default) or the
+//                  statically scheduled compiled step program
 //     --stats-format {text,json}  how --gen-stats / --sim-stats render:
 //                  the human tables (default) or one machine-readable JSON
 //                  object on stdout
@@ -79,6 +82,8 @@ void usage(const char* argv0) {
       "               without writing files\n"
       "  --sim-stats [N]  simulate N idle cycles (default 2000) and print\n"
       "               the kernel instrumentation counters\n"
+      "  --sim-backend {interp,compiled}  backend for --sim-stats\n"
+      "               (default interp)\n"
       "  --stats-format {text,json}  stats rendering: human tables\n"
       "               (default) or one JSON object on stdout\n"
       "  --trace-out FILE  write a Chrome trace-event JSON span trace of\n"
@@ -126,6 +131,8 @@ struct CliOptions {
   bool gen_stats = false;
   telemetry::Format stats_format = telemetry::Format::Text;
   std::uint64_t sim_cycles = 2000;
+  splice::rtl::Simulator::Backend sim_backend =
+      splice::rtl::Simulator::Backend::kInterp;
   unsigned jobs = 1;
   splice::EngineOptions engine;
 };
@@ -198,6 +205,7 @@ void compile_one(const std::string& spec_path, const CliOptions& opt,
       sim_span.arg("cycles", opt.sim_cycles);
       splice::runtime::VirtualPlatform vp(artifacts->spec,
                                           splice::elab::BehaviorMap{});
+      vp.sim().set_backend(opt.sim_backend);
       vp.sim().step(opt.sim_cycles);
       if (json) {
         res.sim_json = splice::rtl::render_stats(vp.sim(),
@@ -425,6 +433,24 @@ int main(int argc, char** argv) {
                        text);
           return 2;
         }
+      }
+    } else if (arg == "--sim-backend") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "error: --sim-backend needs 'interp' or 'compiled'\n");
+        return 2;
+      }
+      const std::string backend = argv[++i];
+      if (backend == "interp") {
+        opt.sim_backend = splice::rtl::Simulator::Backend::kInterp;
+      } else if (backend == "compiled") {
+        opt.sim_backend = splice::rtl::Simulator::Backend::kCompiled;
+      } else {
+        std::fprintf(stderr,
+                     "error: --sim-backend expects 'interp' or 'compiled', "
+                     "got '%s'\n",
+                     backend.c_str());
+        return 2;
       }
     } else if (arg == "-o") {
       if (i + 1 >= argc) {

@@ -12,6 +12,9 @@
 //     --time-budget MS  stop after MS milliseconds even if --count remains
 //     --corpus-dir DIR  write minimized .splice/.vcd/.txt repros here
 //     --calls N         driver calls per declaration per spec (default 3)
+//     --backend B       simulation backend to replay on: interp, compiled,
+//                       or both (default both — lockstep differential run
+//                       with cycle-exact trace comparison)
 //     --trace-out FILE  Chrome trace-event JSON of the campaign spans
 //     --metrics         print the fuzz.* counters after the run
 //     -h, --help        this text
@@ -41,6 +44,8 @@ void usage(const char* argv0) {
       "  --time-budget MS  wall-clock box in milliseconds (default: none)\n"
       "  --corpus-dir DIR  write minimized repros (.splice/.vcd/.txt)\n"
       "  --calls N         driver calls per declaration (default 3)\n"
+      "  --backend B       interp, compiled, or both (default both:\n"
+      "                    lockstep differential replay of the backends)\n"
       "  --trace-out FILE  write a Chrome trace-event JSON span trace\n"
       "  --metrics         print fuzz.* counters after the run\n"
       "  -h, --help        this text\n",
@@ -99,6 +104,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.calls_per_function = static_cast<unsigned>(calls);
+    } else if (arg == "--backend") {
+      const std::string b = need_value("--backend");
+      if (b == "interp") {
+        opt.backend = splice::testing::OracleBackend::kInterp;
+      } else if (b == "compiled") {
+        opt.backend = splice::testing::OracleBackend::kCompiled;
+      } else if (b == "both") {
+        opt.backend = splice::testing::OracleBackend::kLockstep;
+      } else {
+        std::fprintf(stderr,
+                     "error: --backend expects interp, compiled or both\n");
+        return 2;
+      }
     } else if (arg == "--trace-out") {
       trace_out = need_value("--trace-out");
     } else if (arg == "--metrics") {
@@ -128,8 +146,14 @@ int main(int argc, char** argv) {
     telemetry::Tracer::install(tracer.get());
   }
 
-  std::printf("splice-fuzz: seed %" PRIu64 ", %" PRIu64 " specs%s\n",
-              opt.seed, opt.count,
+  const char* backend_name =
+      opt.backend == splice::testing::OracleBackend::kInterp ? "interp"
+      : opt.backend == splice::testing::OracleBackend::kCompiled
+          ? "compiled"
+          : "both (lockstep)";
+  std::printf("splice-fuzz: seed %" PRIu64 ", %" PRIu64
+              " specs, backend %s%s\n",
+              opt.seed, opt.count, backend_name,
               opt.time_budget_ms != 0 ? " (time-boxed)" : "");
   const splice::testing::FuzzReport report = splice::testing::run_fuzz(opt);
 
