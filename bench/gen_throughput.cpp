@@ -7,6 +7,7 @@
 // Custom main rather than google-benchmark: the quantity of interest is
 // end-to-end batch wall-clock under different scheduler/cache settings, and
 // the JSON report needs the whole sweep in one process.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -15,6 +16,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -74,6 +76,10 @@ struct Sample {
   CacheMode mode = CacheMode::Off;
   double ms = 0;            // best-of-repetitions batch wall-clock
   double specs_per_s = 0;
+  /// Median of the timed repetitions: robust to one lucky (or unlucky)
+  /// run, which is what regression diffs should compare.
+  double median_ms = 0;
+  double median_specs_per_s = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   /// Per-phase CPU-side wall time (us summed over all jobs) of the best
@@ -133,6 +139,8 @@ Sample measure(const std::vector<std::string>& corpus, unsigned jobs,
   s.jobs = jobs;
   s.mode = mode;
   s.ms = 1e300;
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
   support::telemetry::MetricsRegistry metrics;
   for (int rep = 0; rep < reps; ++rep) {
     const fs::path dir =
@@ -152,6 +160,7 @@ Sample measure(const std::vector<std::string>& corpus, unsigned jobs,
     const auto before = metrics.snapshot();
     const double ms =
         run_batch(corpus, jobs, cache ? &*cache : nullptr, &metrics);
+    times.push_back(ms);
     if (ms < s.ms) {
       s.ms = ms;
       s.phase_us = phase_times(metrics.snapshot().diff_since(before));
@@ -163,13 +172,32 @@ Sample measure(const std::vector<std::string>& corpus, unsigned jobs,
     if (mode == CacheMode::Cold) fs::remove_all(dir);
   }
   s.specs_per_s = 1000.0 * static_cast<double>(corpus.size()) / s.ms;
+  // Median of the sorted repetition times (mean of the middle pair for an
+  // even count).
+  std::sort(times.begin(), times.end());
+  const std::size_t n = times.size();
+  s.median_ms = n % 2 == 1 ? times[n / 2]
+                           : (times[n / 2 - 1] + times[n / 2]) / 2.0;
+  s.median_specs_per_s =
+      1000.0 * static_cast<double>(corpus.size()) / s.median_ms;
   return s;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_gen.json";
+  // --smoke: one cell (jobs=1, cache off, 3 reps) for the check.sh
+  // perf-regression gate; everything else identical to the full sweep so
+  // the phase_us numbers stay comparable with the checked-in recording.
+  bool smoke = false;
+  std::string json_path = "BENCH_gen.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
   const std::vector<std::string> corpus = build_corpus();
   const fs::path cache_root =
       fs::temp_directory_path() / "splice_gen_throughput_cache";
@@ -186,16 +214,24 @@ int main(int argc, char** argv) {
         "regressing, from pool overhead) jobs axis\n\n",
         hw);
   }
-  std::printf("%6s  %6s  %10s  %10s  %6s  %6s\n", "jobs", "cache",
-              "batch-ms", "specs/s", "hits", "miss");
+  std::printf("%6s  %6s  %10s  %10s  %10s  %10s  %6s  %6s\n", "jobs",
+              "cache", "batch-ms", "specs/s", "med-ms", "med-sp/s", "hits",
+              "miss");
 
+  const std::vector<unsigned> jobs_axis =
+      smoke ? std::vector<unsigned>{1u} : std::vector<unsigned>{1u, 2u, 4u, 8u};
+  const std::vector<CacheMode> mode_axis =
+      smoke ? std::vector<CacheMode>{CacheMode::Off}
+            : std::vector<CacheMode>{CacheMode::Off, CacheMode::Cold,
+                                     CacheMode::Warm};
+  const int reps = smoke ? 3 : 5;
   std::vector<Sample> samples;
-  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
-    for (const CacheMode mode :
-         {CacheMode::Off, CacheMode::Cold, CacheMode::Warm}) {
-      const Sample s = measure(corpus, jobs, mode, cache_root, 5);
-      std::printf("%6u  %6s  %10.2f  %10.1f  %6llu  %6llu\n", s.jobs,
-                  mode_name(s.mode), s.ms, s.specs_per_s,
+  for (const unsigned jobs : jobs_axis) {
+    for (const CacheMode mode : mode_axis) {
+      const Sample s = measure(corpus, jobs, mode, cache_root, reps);
+      std::printf("%6u  %6s  %10.2f  %10.1f  %10.2f  %10.1f  %6llu  %6llu\n",
+                  s.jobs, mode_name(s.mode), s.ms, s.specs_per_s, s.median_ms,
+                  s.median_specs_per_s,
                   static_cast<unsigned long long>(s.hits),
                   static_cast<unsigned long long>(s.misses));
       samples.push_back(s);
@@ -217,15 +253,20 @@ int main(int argc, char** argv) {
                  "sweep is expected to be flat and jobs >= 4 may regress "
                  "from pool overhead\",\n");
   }
-  std::fprintf(f, "  \"timing\": \"best of 5 repetitions per cell\",\n");
+  std::fprintf(f,
+               "  \"timing\": \"best and median of %d repetitions per "
+               "cell\",\n",
+               reps);
   std::fprintf(f, "  \"samples\": [\n");
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
     std::fprintf(f,
                  "    {\"jobs\": %u, \"cache\": \"%s\", \"batch_ms\": %.3f, "
-                 "\"specs_per_s\": %.1f, \"hits\": %llu, \"misses\": %llu, "
-                 "\"phase_us\": {",
-                 s.jobs, mode_name(s.mode), s.ms, s.specs_per_s,
+                 "\"specs_per_s\": %.1f, \"median_batch_ms\": %.3f, "
+                 "\"median_specs_per_s\": %.1f, \"hits\": %llu, "
+                 "\"misses\": %llu, \"phase_us\": {",
+                 s.jobs, mode_name(s.mode), s.ms, s.specs_per_s, s.median_ms,
+                 s.median_specs_per_s,
                  static_cast<unsigned long long>(s.hits),
                  static_cast<unsigned long long>(s.misses));
     bool first = true;

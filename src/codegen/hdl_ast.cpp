@@ -1,124 +1,348 @@
 #include "codegen/hdl_ast.hpp"
 
+#include <algorithm>
+
+#include "support/hash.hpp"
+
 namespace splice::codegen::ast {
 
-Expr Expr::signal(std::string name) {
-  Expr e;
-  e.kind = Kind::SignalRef;
-  e.name = std::move(name);
-  return e;
+namespace {
+
+using support::hash_bytes;
+using support::Hasher;
+
+// Every string stored in a node went through str() on this context, so
+// equal contents share one arena copy: identity of the data pointer IS
+// content equality, and hashing a name costs one word, not one pass.
+bool same_sv(std::string_view a, std::string_view b) {
+  return a.data() == b.data() && a.size() == b.size();
 }
 
-Expr Expr::constant(std::string name) {
-  Expr e;
-  e.kind = Kind::ConstRef;
-  e.name = std::move(name);
-  return e;
+std::uint64_t hash_expr(const Expr& e) {
+  Hasher h;
+  h.u64(static_cast<std::uint64_t>(e.kind) |
+        (static_cast<std::uint64_t>(e.width) << 8));
+  h.ptr(e.name.data());
+  h.u64(e.value);
+  for (const Expr* op : e.operands) h.ptr(op);
+  return h.h;
 }
 
-Expr Expr::state(std::string name) {
-  Expr e;
-  e.kind = Kind::StateRef;
-  e.name = std::move(name);
-  return e;
+// Children are already interned, so operand identity is operand equality —
+// the comparison never recurses.
+bool same_expr(const Expr& a, const Expr& b) {
+  return a.kind == b.kind && same_sv(a.name, b.name) && a.value == b.value &&
+         a.width == b.width &&
+         std::equal(a.operands.begin(), a.operands.end(), b.operands.begin(),
+                    b.operands.end());
 }
 
-Expr Expr::placeholder(std::string name) {
-  Expr e;
-  e.kind = Kind::Placeholder;
-  e.name = std::move(name);
-  return e;
+std::uint64_t hash_stmt(const Stmt& s) {
+  Hasher h;
+  h.u64(static_cast<std::uint64_t>(s.kind) |
+        (static_cast<std::uint64_t>(s.pad) << 8) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.index))
+         << 32));
+  for (std::string_view line : s.text) h.ptr(line.data());
+  h.ptr(s.target.data());
+  h.ptr(s.rhs);
+  h.ptr(s.cond);
+  for (const Stmt* t : s.then_body) h.ptr(t);
+  h.u64(0x1d);  // separator: {a|b} vs {a}{b} must hash apart
+  for (const Stmt* t : s.else_body) h.ptr(t);
+  h.ptr(s.selector);
+  for (const CaseArm& a : s.arms) {
+    h.ptr(a.label);
+    h.ptr(a.comment.data());
+    for (const Stmt* t : a.body) h.ptr(t);
+    h.u64(0x1e);
+  }
+  return h.h;
 }
 
-Expr Expr::bit(unsigned value) {
+bool same_arm(const CaseArm& a, const CaseArm& b) {
+  return a.label == b.label && same_sv(a.comment, b.comment) &&
+         std::equal(a.body.begin(), a.body.end(), b.body.begin(),
+                    b.body.end());
+}
+
+bool same_stmt(const Stmt& a, const Stmt& b) {
+  return a.kind == b.kind &&
+         std::equal(a.text.begin(), a.text.end(), b.text.begin(),
+                    b.text.end(), same_sv) &&
+         same_sv(a.target, b.target) && a.index == b.index && a.pad == b.pad &&
+         a.rhs == b.rhs && a.cond == b.cond &&
+         std::equal(a.then_body.begin(), a.then_body.end(),
+                    b.then_body.begin(), b.then_body.end()) &&
+         std::equal(a.else_body.begin(), a.else_body.end(),
+                    b.else_body.begin(), b.else_body.end()) &&
+         a.selector == b.selector &&
+         std::equal(a.arms.begin(), a.arms.end(), b.arms.begin(),
+                    b.arms.end(), same_arm);
+}
+
+/// Probe `t` for an entry with hash `h` accepted by `match`; when absent,
+/// insert `make()`.  `occupied` tests slot liveness (null pointer / null
+/// data mark empties).  Sets *hit so callers can count CSE reuse.
+template <typename Table, typename Occupied, typename Match, typename Make>
+auto intern_into(Table& t, std::uint64_t h, Occupied occupied, Match match,
+                 Make make, bool* hit) {
+  if (t.slots.empty()) t.slots.resize(64);
+  std::size_t mask = t.slots.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (occupied(t.slots[i].value)) {
+    if (t.slots[i].hash == h && match(t.slots[i].value)) {
+      *hit = true;
+      return t.slots[i].value;
+    }
+    i = (i + 1) & mask;
+  }
+  *hit = false;
+  auto value = make();
+  t.slots[i] = {h, value};
+  if (++t.count * 4 >= t.slots.size() * 3) {
+    std::vector<typename Table::Slot> old = std::move(t.slots);
+    t.slots.assign(old.size() * 2, {});
+    mask = t.slots.size() - 1;
+    for (const auto& s : old) {
+      if (!occupied(s.value)) continue;
+      std::size_t j = static_cast<std::size_t>(s.hash) & mask;
+      while (occupied(t.slots[j].value)) j = (j + 1) & mask;
+      t.slots[j] = s;
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view AstContext::str(std::string_view s) {
+  if (s.empty()) return {};
+  const std::uint64_t h = hash_bytes(s.data(), s.size());
+  bool hit = false;
+  return intern_into(
+      strings_, h, [](std::string_view v) { return v.data() != nullptr; },
+      [&](std::string_view v) { return v == s; },
+      [&] { return arena_.copy_string(s); }, &hit);
+}
+
+std::string_view AstContext::concat(
+    std::initializer_list<std::string_view> parts) {
+  std::string joined;
+  std::size_t total = 0;
+  for (std::string_view p : parts) total += p.size();
+  joined.reserve(total);
+  for (std::string_view p : parts) joined.append(p);
+  return str(joined);
+}
+
+const Expr* AstContext::intern_expr(const Expr& candidate) {
+  bool hit = false;
+  const Expr* stored = intern_into(
+      exprs_, hash_expr(candidate), [](const Expr* v) { return v != nullptr; },
+      [&](const Expr* v) { return same_expr(*v, candidate); },
+      [&]() -> const Expr* { return arena_.create<Expr>(candidate); },
+      &hit);
+  if (hit) {
+    ++stats_.cse_hits;
+  } else {
+    ++stats_.expr_nodes;
+  }
+  return stored;
+}
+
+const Stmt* AstContext::intern_stmt(const Stmt& candidate) {
+  bool hit = false;
+  const Stmt* stored = intern_into(
+      stmts_, hash_stmt(candidate), [](const Stmt* v) { return v != nullptr; },
+      [&](const Stmt* v) { return same_stmt(*v, candidate); },
+      [&]() -> const Stmt* { return arena_.create<Stmt>(candidate); },
+      &hit);
+  if (hit) {
+    ++stats_.cse_hits;
+  } else {
+    ++stats_.stmt_nodes;
+  }
+  return stored;
+}
+
+const Expr* AstContext::named(Expr::Kind kind, std::string_view name) {
   Expr e;
-  e.kind = Kind::BitLit;
-  e.value = value;
+  e.kind = kind;
+  e.name = str(name);
+  return intern_expr(e);
+}
+
+const Expr* AstContext::signal(std::string_view name) {
+  return named(Expr::Kind::SignalRef, name);
+}
+
+const Expr* AstContext::constant(std::string_view name) {
+  return named(Expr::Kind::ConstRef, name);
+}
+
+const Expr* AstContext::state(std::string_view name) {
+  return named(Expr::Kind::StateRef, name);
+}
+
+const Expr* AstContext::placeholder(std::string_view name) {
+  return named(Expr::Kind::Placeholder, name);
+}
+
+const Expr* AstContext::bit(unsigned value) {
+  Expr e;
+  e.kind = Expr::Kind::BitLit;
+  e.value = value ? 1 : 0;
   e.width = 1;
-  return e;
+  return intern_expr(e);
 }
 
-Expr Expr::vec_lit(std::uint64_t value, unsigned width) {
+const Expr* AstContext::vec_lit(std::uint64_t value, unsigned width) {
   Expr e;
-  e.kind = Kind::VectorLit;
+  e.kind = Expr::Kind::VectorLit;
   e.value = value;
   e.width = width;
-  return e;
+  return intern_expr(e);
 }
 
-Expr Expr::zeros(unsigned width) {
+const Expr* AstContext::zeros(unsigned width) {
   Expr e;
-  e.kind = Kind::ZeroVector;
+  e.kind = Expr::Kind::ZeroVector;
   e.width = width;
-  return e;
+  return intern_expr(e);
 }
 
-Expr Expr::eq(Expr a, Expr b) {
+const Expr* AstContext::eq(const Expr* a, const Expr* b) {
+  // Constant fold: both sides literal bits.  Generated skeletons never
+  // build this shape, so emitted bytes are unaffected.
+  if (a->kind == Expr::Kind::BitLit && b->kind == Expr::Kind::BitLit) {
+    ++stats_.folds;
+    return bit(a->value == b->value ? 1 : 0);
+  }
+  const Expr* ops[2] = {a, b};
   Expr e;
-  e.kind = Kind::Eq;
-  e.operands.push_back(std::move(a));
-  e.operands.push_back(std::move(b));
-  return e;
+  e.kind = Expr::Kind::Eq;
+  e.operands = arena_.copy_array(ops, 2);
+  return intern_expr(e);
 }
 
-Expr Expr::all_of(std::vector<Expr> operands) {
+const Expr* AstContext::all_of(std::initializer_list<const Expr*> operands) {
+  return all_of(
+      std::span<const Expr* const>(operands.begin(), operands.size()));
+}
+
+const Expr* AstContext::all_of(std::span<const Expr* const> operands) {
+  // Peephole: conjunction is associative and both printers emit flat
+  // " and " / " && " chains, so flattening nested Ands and collapsing a
+  // single-operand And print byte-identically.
+  std::vector<const Expr*> flat;
+  flat.reserve(operands.size());
+  for (const Expr* op : operands) {
+    if (op->kind == Expr::Kind::And) {
+      ++stats_.folds;
+      flat.insert(flat.end(), op->operands.begin(), op->operands.end());
+    } else {
+      flat.push_back(op);
+    }
+  }
+  if (flat.size() == 1) {
+    ++stats_.folds;
+    return flat.front();
+  }
   Expr e;
-  e.kind = Kind::And;
-  e.operands = std::move(operands);
-  return e;
+  e.kind = Expr::Kind::And;
+  e.operands = arena_.copy_array(flat.data(), flat.size());
+  return intern_expr(e);
 }
 
-Expr Expr::not_of(Expr a) {
+const Expr* AstContext::not_of(const Expr* a) {
+  if (a->kind == Expr::Kind::Not) {  // double negation
+    ++stats_.folds;
+    return a->operands[0];
+  }
+  if (a->kind == Expr::Kind::BitLit) {
+    ++stats_.folds;
+    return bit(a->value ? 0 : 1);
+  }
+  const Expr* ops[1] = {a};
   Expr e;
-  e.kind = Kind::Not;
-  e.operands.push_back(std::move(a));
-  return e;
+  e.kind = Expr::Kind::Not;
+  e.operands = arena_.copy_array(ops, 1);
+  return intern_expr(e);
 }
 
-Expr Expr::any_bit(Expr a) {
+const Expr* AstContext::any_bit(const Expr* a) {
+  const Expr* ops[1] = {a};
   Expr e;
-  e.kind = Kind::AnyBitSet;
-  e.operands.push_back(std::move(a));
-  return e;
+  e.kind = Expr::Kind::AnyBitSet;
+  e.operands = arena_.copy_array(ops, 1);
+  return intern_expr(e);
 }
 
-Stmt Stmt::comment(std::vector<std::string> lines) {
+const Stmt* AstContext::comment(
+    std::initializer_list<std::string_view> lines) {
+  std::vector<std::string_view> interned;
+  interned.reserve(lines.size());
+  for (std::string_view line : lines) interned.push_back(str(line));
   Stmt s;
-  s.kind = Kind::Comment;
-  s.text = std::move(lines);
-  return s;
+  s.kind = Stmt::Kind::Comment;
+  s.text = arena_.copy_array(interned.data(), interned.size());
+  return intern_stmt(s);
 }
 
-Stmt Stmt::assign(std::string target, Expr rhs, unsigned pad) {
+const Stmt* AstContext::assign(std::string_view target, const Expr* rhs,
+                               unsigned pad, int index) {
   Stmt s;
-  s.kind = Kind::Assign;
-  s.target = std::move(target);
-  s.rhs = std::move(rhs);
+  s.kind = Stmt::Kind::Assign;
+  s.target = str(target);
+  s.index = index;
   s.pad = pad;
-  return s;
+  s.rhs = rhs;
+  return intern_stmt(s);
 }
 
-Stmt Stmt::if_then(Expr cond, std::vector<Stmt> then_body,
-                   std::vector<Stmt> else_body) {
+const Stmt* AstContext::if_then(const Expr* cond, StmtList then_body,
+                                StmtList else_body) {
   Stmt s;
-  s.kind = Kind::If;
-  s.cond = std::move(cond);
-  s.then_body = std::move(then_body);
-  s.else_body = std::move(else_body);
-  return s;
+  s.kind = Stmt::Kind::If;
+  s.cond = cond;
+  s.then_body = then_body;
+  s.else_body = else_body;
+  return intern_stmt(s);
 }
 
-Stmt Stmt::case_of(Expr selector, std::vector<CaseArm> arms) {
+const Stmt* AstContext::case_of(const Expr* selector, CaseArmList arms) {
   Stmt s;
-  s.kind = Kind::Case;
-  s.selector = std::move(selector);
-  s.arms = std::move(arms);
-  return s;
+  s.kind = Stmt::Kind::Case;
+  s.selector = selector;
+  s.arms = arms;
+  return intern_stmt(s);
 }
 
-const Port* Module::find_port(const std::string& name) const {
-  for (const auto& p : ports) {
-    if (p.name == name) return &p;
+StmtList AstContext::stmts(std::initializer_list<const Stmt*> body) {
+  return arena_.copy_array(body.begin(), body.size());
+}
+
+StmtList AstContext::stmts(const std::vector<const Stmt*>& body) {
+  return arena_.copy_array(body.data(), body.size());
+}
+
+CaseArm AstContext::arm(const Expr* label, std::string_view comment,
+                        StmtList body) {
+  CaseArm a;
+  a.label = label;
+  a.comment = str(comment);
+  a.body = body;
+  return a;
+}
+
+CaseArmList AstContext::arms(const std::vector<CaseArm>& list) {
+  return arena_.copy_array(list.data(), list.size());
+}
+
+const Port* Module::find_port(std::string_view port_name) const {
+  for (const Port& p : ports) {
+    if (p.name == port_name) return &p;
   }
   return nullptr;
 }

@@ -11,20 +11,48 @@
 // differ in idiom (guard operand order, comment text, which skeleton
 // statements appear) — those choices live in one place, the builder, while
 // the printers own nothing but syntax.
+//
+// Storage model: the expression/statement tree is immutable and arena-
+// allocated.  Every Expr, Stmt and CaseArm is created through an
+// AstContext, which hash-conses nodes (structural interning): building the
+// same guard for ten case arms, or the same per-state skeleton for N
+// instances, yields one shared node.  Node identity therefore doubles as
+// structural equality, names are interned `string_view`s into the
+// context's arena, and destroying the context frees the whole tree at
+// once.  Module-level declarations (ports, constants, signal decls,
+// instances, processes) stay plain value structs — they are small, per-
+// module, and tests mutate them freely — but each Module keeps its
+// context alive through a shared_ptr so the tree it references cannot
+// dangle.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "support/arena.hpp"
 
 namespace splice::codegen::ast {
 
 enum class Dialect { Vhdl, Verilog };
 
+struct Expr;
+struct Stmt;
+struct CaseArm;
+
+/// Child lists are immutable pointer spans into the owning context's arena.
+using ExprList = std::span<const Expr* const>;
+using StmtList = std::span<const Stmt* const>;
+using CaseArmList = std::span<const CaseArm>;
+
 /// Expressions in conditions, assignment right-hand sides and case labels.
+/// Immutable once created; construct via AstContext.
 struct Expr {
-  enum class Kind {
+  enum class Kind : std::uint8_t {
     SignalRef,    ///< a declared signal or port
     ConstRef,     ///< a declared constant / localparam
     StateRef,     ///< an FSM state name
@@ -39,62 +67,137 @@ struct Expr {
   };
 
   Kind kind = Kind::SignalRef;
-  std::string name;          ///< SignalRef/ConstRef/StateRef/Placeholder
+  std::string_view name;     ///< SignalRef/ConstRef/StateRef/Placeholder
   std::uint64_t value = 0;   ///< BitLit/VectorLit
   unsigned width = 0;        ///< VectorLit/ZeroVector
-  std::vector<Expr> operands;
-
-  static Expr signal(std::string name);
-  static Expr constant(std::string name);
-  static Expr state(std::string name);
-  static Expr placeholder(std::string name);
-  static Expr bit(unsigned value);
-  static Expr vec_lit(std::uint64_t value, unsigned width);
-  static Expr zeros(unsigned width);
-  static Expr eq(Expr a, Expr b);
-  static Expr all_of(std::vector<Expr> operands);
-  static Expr not_of(Expr a);
-  static Expr any_bit(Expr a);
+  ExprList operands;
 };
 
-struct Stmt;
-
-/// One arm of a case statement; no label means the default/others arm.
+/// One arm of a case statement; a null label means the default/others arm.
 struct CaseArm {
-  std::optional<Expr> label;
-  std::string comment;  ///< printed on its own line before the arm
-  std::vector<Stmt> body;
+  const Expr* label = nullptr;
+  std::string_view comment;  ///< printed on its own line before the arm
+  StmtList body;
 };
 
-/// Sequential statement inside a process body.
+/// Sequential statement inside a process body.  Immutable once created;
+/// construct via AstContext.
 struct Stmt {
-  enum class Kind { Comment, Assign, If, Case };
+  enum class Kind : std::uint8_t { Comment, Assign, If, Case };
 
   Kind kind = Kind::Comment;
 
   // Comment
-  std::vector<std::string> text;
+  std::span<const std::string_view> text;
 
   // Assign
-  std::string target;
+  std::string_view target;
   int index = -1;    ///< >= 0: single-bit element of a vector target
   unsigned pad = 0;  ///< column to left-justify the target to (0 = none)
-  Expr rhs;
+  const Expr* rhs = nullptr;
 
   // If
-  Expr cond;
-  std::vector<Stmt> then_body;
-  std::vector<Stmt> else_body;
+  const Expr* cond = nullptr;
+  StmtList then_body;
+  StmtList else_body;
 
   // Case
-  Expr selector;
-  std::vector<CaseArm> arms;
+  const Expr* selector = nullptr;
+  CaseArmList arms;
+};
 
-  static Stmt comment(std::vector<std::string> lines);
-  static Stmt assign(std::string target, Expr rhs, unsigned pad = 0);
-  static Stmt if_then(Expr cond, std::vector<Stmt> then_body,
-                      std::vector<Stmt> else_body = {});
-  static Stmt case_of(Expr selector, std::vector<CaseArm> arms);
+static_assert(std::is_trivially_destructible_v<Expr> &&
+                  std::is_trivially_destructible_v<Stmt> &&
+                  std::is_trivially_destructible_v<CaseArm>,
+              "tree nodes live in the context arena, which never runs "
+              "destructors");
+
+/// Node factory and owner for one module's expression/statement tree.
+///
+/// Every factory hash-conses: a structurally identical node returns the
+/// previously created pointer (counted in stats().cse_hits), which is what
+/// lets N case arms or N instances share one subtree and lets the lint
+/// pass memoize by node identity.  A thin peephole runs inside the
+/// factories — only folds whose printed output is byte-identical to the
+/// unfolded tree are applied (And-flattening, single-operand And collapse,
+/// double negation, constant Not/Eq over bit literals that generated code
+/// never prints anyway); anything affecting emitted bytes is out of
+/// bounds.  Not thread-safe: one context per building thread.
+class AstContext {
+ public:
+  struct Stats {
+    std::uint64_t expr_nodes = 0;  ///< unique Expr nodes allocated
+    std::uint64_t stmt_nodes = 0;  ///< unique Stmt nodes allocated
+    std::uint64_t cse_hits = 0;    ///< factory calls answered by interning
+    std::uint64_t folds = 0;       ///< peephole rewrites applied
+  };
+
+  AstContext() = default;
+  AstContext(const AstContext&) = delete;
+  AstContext& operator=(const AstContext&) = delete;
+
+  /// Intern a string: the returned view lives as long as the context.
+  std::string_view str(std::string_view s);
+  /// Arena-resident concatenation (interned, so repeated concatenations of
+  /// the same pieces share storage).
+  std::string_view concat(std::initializer_list<std::string_view> parts);
+
+  // --- expressions --------------------------------------------------------
+  const Expr* signal(std::string_view name);
+  const Expr* constant(std::string_view name);
+  const Expr* state(std::string_view name);
+  const Expr* placeholder(std::string_view name);
+  const Expr* bit(unsigned value);
+  const Expr* vec_lit(std::uint64_t value, unsigned width);
+  const Expr* zeros(unsigned width);
+  const Expr* eq(const Expr* a, const Expr* b);
+  const Expr* all_of(std::initializer_list<const Expr*> operands);
+  const Expr* all_of(std::span<const Expr* const> operands);
+  const Expr* not_of(const Expr* a);
+  const Expr* any_bit(const Expr* a);
+
+  // --- statements ---------------------------------------------------------
+  const Stmt* comment(std::initializer_list<std::string_view> lines);
+  const Stmt* assign(std::string_view target, const Expr* rhs,
+                     unsigned pad = 0, int index = -1);
+  const Stmt* if_then(const Expr* cond, StmtList then_body,
+                      StmtList else_body = {});
+  const Stmt* case_of(const Expr* selector, CaseArmList arms);
+
+  // --- list builders (copy into the arena; return stable spans) -----------
+  StmtList stmts(std::initializer_list<const Stmt*> body);
+  StmtList stmts(const std::vector<const Stmt*>& body);
+  CaseArm arm(const Expr* label, std::string_view comment, StmtList body);
+  CaseArmList arms(const std::vector<CaseArm>& list);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t bytes_used() const { return arena_.bytes_used(); }
+
+ private:
+  /// Open-addressed intern table: {hash, value} slots, linear probing,
+  /// power-of-two capacity.  A null value marks an empty slot.  The
+  /// node-based std::unordered_map buckets dominated the build profile
+  /// (one heap node per entry plus a vector per hash); this flat layout
+  /// allocates only when the slot array doubles.
+  template <typename T>
+  struct Table {
+    struct Slot {
+      std::uint64_t hash = 0;
+      T value{};
+    };
+    std::vector<Slot> slots;
+    std::size_t count = 0;
+  };
+
+  const Expr* intern_expr(const Expr& candidate);
+  const Stmt* intern_stmt(const Stmt& candidate);
+  const Expr* named(Expr::Kind kind, std::string_view name);
+
+  support::Arena arena_;
+  Table<std::string_view> strings_;  ///< interned names (empty: null data)
+  Table<const Expr*> exprs_;
+  Table<const Stmt*> stmts_;
+  Stats stats_;
 };
 
 struct Port {
@@ -179,14 +282,14 @@ struct Process {
   std::vector<std::string> comment;
   std::string clock = "CLK";             ///< Clocked only
   std::vector<std::string> sensitivity;  ///< Combinational only
-  std::vector<Stmt> body;
+  StmtList body;
 };
 
 /// Concurrent / continuous assignment.
 struct ContAssign {
   std::string target;
   int index = -1;
-  Expr rhs;
+  const Expr* rhs = nullptr;
   std::string trailing_comment;
 };
 
@@ -202,6 +305,10 @@ struct Module {
   std::string arch_name;  ///< VHDL architecture name
   std::vector<std::string> banner;  ///< header comment lines
 
+  /// Keeps the expression/statement tree (and every interned name) alive;
+  /// copying a Module shares the immutable tree instead of cloning it.
+  std::shared_ptr<AstContext> ctx;
+
   std::vector<Port> ports;
   std::string const_comment;
   std::vector<Constant> constants;
@@ -215,7 +322,7 @@ struct Module {
   std::vector<Process> processes;
   std::vector<ContAssignGroup> cont_assigns;
 
-  [[nodiscard]] const Port* find_port(const std::string& name) const;
+  [[nodiscard]] const Port* find_port(std::string_view name) const;
 };
 
 }  // namespace splice::codegen::ast

@@ -1,10 +1,13 @@
 #include "codegen/hdl_lint.hpp"
 
-#include <map>
 #include <optional>
-#include <set>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
+
+#include "support/hash.hpp"
 
 namespace splice::codegen {
 
@@ -16,6 +19,9 @@ using ast::Stmt;
 
 /// One declared identifier: port, signal, constant or the FSM state
 /// register halves.  width 0 means "any width" (integer constants).
+/// Read/written usage is folded into the symbol record so one table lookup
+/// serves lookup, usage marking and width checking alike — the separate
+/// read/written sets used to triple-hash every reference on the hot path.
 struct Symbol {
   unsigned width = 0;
   bool is_input = false;
@@ -23,8 +29,19 @@ struct Symbol {
   bool is_signal = false;
   bool is_constant = false;
   bool user_driven = false;
+  bool read = false;
+  bool written = false;
 };
 
+// The linter runs on every module before it is written, so its bookkeeping
+// is keyed by string_view into the module's own storage (declaration
+// strings and arena-interned node names — both stable for the walk).
+// Symbols live in a declaration-order vector with an open-addressed
+// {hash, index} side table: the module's symbol count is known up front,
+// so the table is sized once and never rehashes, and deterministic
+// diagnostic order falls out of walking the vector.  Because the tree is
+// hash-consed, checking is memoized by node identity: a statement or
+// expression shared by N case arms (or N instances) is verified once.
 class Linter {
  public:
   Linter(const Module& m, DiagnosticEngine& diags) : m_(m), diags_(diags) {}
@@ -38,17 +55,18 @@ class Linter {
     }
     for (const auto& g : m_.cont_assigns) {
       for (const auto& a : g.assigns) {
-        check_assign(a.target, a.index, a.rhs);
+        check_assign(a.target, a.index, *a.rhs);
       }
     }
     for (const auto& inst : m_.instances) {
       for (const auto& group : inst.groups) {
         for (const auto& c : group) {
-          require_known(c.signal);
+          Symbol* sym = lookup(c.signal);
+          if (sym == nullptr) continue;
           if (c.is_output) {
-            written_.insert(c.signal);
+            sym->written = true;
           } else {
-            mark_read(c.signal);
+            sym->read = true;
           }
         }
       }
@@ -59,23 +77,60 @@ class Linter {
   }
 
  private:
+  struct Entry {
+    std::string_view name;
+    Symbol sym;
+  };
+
+  /// One side-table slot: `index` is the entry position plus one, so zero
+  /// marks an empty slot.
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t index = 0;
+  };
+
   void error(DiagId id, std::string message) {
     clean_ = false;
     diags_.error(id, m_.name + ": " + std::move(message));
   }
 
-  void declare(const std::string& name, Symbol sym, bool is_port) {
-    if (symbols_.count(name) != 0) {
+  /// Probe for `name`; returns the slot where it lives or would go.
+  Slot& probe(std::string_view name, std::uint64_t h) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (slots_[i].index != 0) {
+      if (slots_[i].hash == h && entries_[slots_[i].index - 1].name == name) {
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+    return slots_[i];
+  }
+
+  void declare(std::string_view name, Symbol sym, bool is_port) {
+    const std::uint64_t h = support::hash_string(name);
+    Slot& slot = probe(name, h);
+    if (slot.index != 0) {
       error(is_port ? DiagId::LintDuplicatePortName
                     : DiagId::LintDuplicateSignalName,
-            std::string(is_port ? "port" : "declaration") + " '" + name +
-                "' collides with an earlier declaration");
+            std::string(is_port ? "port" : "declaration") + " '" +
+                std::string(name) + "' collides with an earlier declaration");
       return;
     }
-    symbols_.emplace(name, sym);
+    entries_.push_back({name, sym});
+    slot.hash = h;
+    slot.index = static_cast<std::uint32_t>(entries_.size());
   }
 
   void collect_symbols() {
+    std::size_t n = m_.ports.size() + m_.constants.size() + 2;
+    for (const auto& decl : m_.signals) n += decl.names.size();
+    entries_.reserve(n);
+    // Sized for the full declaration set at < 50% load; inserts stop once
+    // the declarations are collected, so the table never rehashes.
+    std::size_t cap = 16;
+    while (cap < n * 2) cap *= 2;
+    slots_.assign(cap, {});
     for (const auto& p : m_.ports) {
       Symbol s;
       s.width = p.width;
@@ -115,36 +170,50 @@ class Linter {
     }
   }
 
-  void require_known(const std::string& name) {
-    if (symbols_.count(name) == 0 && unknown_.insert(name).second) {
+  /// Find a declared symbol; report (once) and return null when unknown.
+  Symbol* lookup(std::string_view name) {
+    Slot& slot = probe(name, support::hash_string(name));
+    if (slot.index != 0) return &entries_[slot.index - 1].sym;
+    if (unknown_.insert(name).second) {
       error(DiagId::LintUnknownSignal,
-            "reference to undeclared signal '" + name + "'");
+            "reference to undeclared signal '" + std::string(name) + "'");
     }
+    return nullptr;
   }
 
-  void mark_read(const std::string& name) {
-    require_known(name);
-    read_.insert(name);
+  void require_known(std::string_view name) { lookup(name); }
+
+  void mark_read(std::string_view name) {
+    if (Symbol* sym = lookup(name)) sym->read = true;
   }
 
   /// Width of an expression, marking every referenced name as read.
   /// nullopt means "matches anything" (placeholders, integer constants).
+  /// Memoized on node identity: interning guarantees a shared node always
+  /// yields the same verdict, and read-marking is idempotent.
   std::optional<unsigned> visit(const Expr& e) {
+    if (std::optional<unsigned>* seen = expr_memo_.find(&e)) return *seen;
+    const std::optional<unsigned> w = visit_uncached(e);
+    expr_memo_.insert(&e, w);
+    return w;
+  }
+
+  std::optional<unsigned> visit_uncached(const Expr& e) {
     using K = Expr::Kind;
     switch (e.kind) {
       case K::SignalRef:
       case K::ConstRef: {
-        mark_read(e.name);
-        auto it = symbols_.find(e.name);
-        if (it == symbols_.end() || it->second.width == 0) {
-          return std::nullopt;
-        }
-        return it->second.width;
+        Symbol* sym = lookup(e.name);
+        if (sym == nullptr) return std::nullopt;
+        sym->read = true;
+        if (sym->width == 0) return std::nullopt;
+        return sym->width;
       }
       case K::StateRef:
-        if (states_.count(e.name) == 0) {
+        if (!states_.contains(e.name)) {
           error(DiagId::LintUnknownSignal,
-                "reference to undeclared FSM state '" + e.name + "'");
+                "reference to undeclared FSM state '" + std::string(e.name) +
+                    "'");
           return std::nullopt;
         }
         return m_.fsm ? m_.fsm->state_width : 1;
@@ -156,8 +225,8 @@ class Linter {
       case K::ZeroVector:
         return e.width;
       case K::Eq: {
-        const auto a = visit(e.operands[0]);
-        const auto b = visit(e.operands[1]);
+        const auto a = visit(*e.operands[0]);
+        const auto b = visit(*e.operands[1]);
         if (a && b && *a != *b) {
           error(DiagId::LintWidthMismatch,
                 "comparison of a " + std::to_string(*a) + "-bit value with "
@@ -167,8 +236,8 @@ class Linter {
       }
       case K::And:
       case K::Not:
-        for (const auto& op : e.operands) {
-          const auto w = visit(op);
+        for (const Expr* op : e.operands) {
+          const auto w = visit(*op);
           if (w && *w != 1) {
             error(DiagId::LintWidthMismatch,
                   "logical operator applied to a " + std::to_string(*w) +
@@ -177,31 +246,30 @@ class Linter {
         }
         return 1;
       case K::AnyBitSet:
-        visit(e.operands[0]);
+        visit(*e.operands[0]);
         return 1;
     }
     return std::nullopt;
   }
 
-  void check_assign(const std::string& target, int index, const Expr& rhs) {
-    require_known(target);
-    written_.insert(target);
+  void check_assign(std::string_view target, int index, const Expr& rhs) {
+    Symbol* sym = lookup(target);
+    if (sym != nullptr) sym->written = true;
     const auto rhs_width = visit(rhs);
 
-    auto it = symbols_.find(target);
-    if (it == symbols_.end()) return;
-    const unsigned declared = it->second.width;
+    if (sym == nullptr) return;
+    const unsigned declared = sym->width;
     if (index >= 0) {
       if (declared != 0 && static_cast<unsigned>(index) >= declared) {
         error(DiagId::LintWidthMismatch,
-              "bit " + std::to_string(index) + " of '" + target +
+              "bit " + std::to_string(index) + " of '" + std::string(target) +
                   "' is out of range for its " + std::to_string(declared) +
                   "-bit declaration");
       }
       if (rhs_width && *rhs_width != 1) {
         error(DiagId::LintWidthMismatch,
               "assignment of a " + std::to_string(*rhs_width) +
-                  "-bit value to single bit '" + target + "'");
+                  "-bit value to single bit '" + std::string(target) + "'");
       }
       return;
     }
@@ -209,26 +277,36 @@ class Linter {
       error(DiagId::LintWidthMismatch,
             "assignment of a " + std::to_string(*rhs_width) +
                 "-bit value to " + std::to_string(declared) + "-bit '" +
-                target + "'");
+                std::string(target) + "'");
     }
   }
 
-  void check_stmts(const std::vector<Stmt>& body) {
-    for (const auto& s : body) {
-      switch (s.kind) {
+  void check_stmts(ast::StmtList body) {
+    for (const Stmt* s : body) {
+      // A statement subtree shared across arms or instances needs checking
+      // once: the verdict is a function of the node, and usage marking
+      // (read/written) is idempotent.  One caveat keeps this sound: an
+      // assignment's written-bit must be set on every pass even when the
+      // subtree is skipped, and it is — check_stmt's assign case marks the
+      // target before any memoizable work, and Assign statements to the
+      // same target/rhs are one interned node anyway.
+      if (s->kind != Stmt::Kind::Comment && !stmt_memo_.insert_new(s)) {
+        continue;
+      }
+      switch (s->kind) {
         case Stmt::Kind::Comment:
           break;
         case Stmt::Kind::Assign:
-          check_assign(s.target, s.index, s.rhs);
+          check_assign(s->target, s->index, *s->rhs);
           break;
         case Stmt::Kind::If:
-          visit(s.cond);
-          check_stmts(s.then_body);
-          check_stmts(s.else_body);
+          visit(*s->cond);
+          check_stmts(s->then_body);
+          check_stmts(s->else_body);
           break;
         case Stmt::Kind::Case: {
-          const auto sel = visit(s.selector);
-          for (const auto& arm : s.arms) {
+          const auto sel = visit(*s->selector);
+          for (const auto& arm : s->arms) {
             if (arm.label) {
               const auto lw = visit(*arm.label);
               if (sel && lw && *sel != *lw) {
@@ -247,37 +325,40 @@ class Linter {
   }
 
   void check_driven_and_read() {
-    for (const auto& [name, sym] : symbols_) {
+    for (const Entry& entry : entries_) {
+      const std::string_view name = entry.name;
+      const Symbol& sym = entry.sym;
       if (sym.user_driven || sym.is_constant) continue;
       const bool needs_drive = sym.is_output || sym.is_signal;
-      if (needs_drive && written_.count(name) == 0) {
+      if (needs_drive && !sym.written) {
         error(DiagId::LintUndrivenSignal,
-              "'" + name + "' is never driven");
+              "'" + std::string(name) + "' is never driven");
       }
       const bool needs_read = sym.is_input || sym.is_signal;
-      if (needs_read && read_.count(name) == 0) {
-        error(DiagId::LintUnreadSignal, "'" + name + "' is never read");
+      if (needs_read && !sym.read) {
+        error(DiagId::LintUnreadSignal,
+              "'" + std::string(name) + "' is never read");
       }
     }
   }
 
   /// Collect every `next_state <= <state>` in `body`, recursively.
-  void next_states_in(const std::vector<Stmt>& body,
-                      std::set<std::string>& out) const {
-    for (const auto& s : body) {
-      switch (s.kind) {
+  void next_states_in(ast::StmtList body,
+                      std::unordered_set<std::string_view>& out) const {
+    for (const Stmt* s : body) {
+      switch (s->kind) {
         case Stmt::Kind::Assign:
-          if (s.target == "next_state" &&
-              s.rhs.kind == Expr::Kind::StateRef) {
-            out.insert(s.rhs.name);
+          if (s->target == "next_state" &&
+              s->rhs->kind == Expr::Kind::StateRef) {
+            out.insert(s->rhs->name);
           }
           break;
         case Stmt::Kind::If:
-          next_states_in(s.then_body, out);
-          next_states_in(s.else_body, out);
+          next_states_in(s->then_body, out);
+          next_states_in(s->else_body, out);
           break;
         case Stmt::Kind::Case:
-          for (const auto& arm : s.arms) next_states_in(arm.body, out);
+          for (const auto& arm : s->arms) next_states_in(arm.body, out);
           break;
         case Stmt::Kind::Comment:
           break;
@@ -289,26 +370,28 @@ class Linter {
     if (!m_.fsm || m_.fsm->states.empty()) return;
     // Transitions come from the case over cur_state: each arm labelled
     // with a state contributes edges to every state it assigns next_state.
-    std::map<std::string, std::set<std::string>> edges;
+    std::unordered_map<std::string_view,
+                       std::unordered_set<std::string_view>>
+        edges;
     for (const auto& p : m_.processes) {
       collect_edges(p.body, edges);
     }
-    std::set<std::string> reachable = {m_.fsm->states.front()};
-    std::vector<std::string> frontier = {m_.fsm->states.front()};
+    std::unordered_set<std::string_view> reachable = {m_.fsm->states.front()};
+    std::vector<std::string_view> frontier = {m_.fsm->states.front()};
     for (const auto& st : m_.fsm->user_entry_states) {
-      if (states_.count(st) != 0 && reachable.insert(st).second) {
+      if (states_.contains(st) && reachable.insert(st).second) {
         frontier.push_back(st);
       }
     }
     while (!frontier.empty()) {
-      const std::string state = std::move(frontier.back());
+      const std::string_view state = frontier.back();
       frontier.pop_back();
       for (const auto& next : edges[state]) {
         if (reachable.insert(next).second) frontier.push_back(next);
       }
     }
     for (const auto& st : m_.fsm->states) {
-      if (reachable.count(st) == 0) {
+      if (!reachable.contains(st)) {
         error(DiagId::LintUnreachableState,
               "FSM state '" + st + "' is unreachable from reset state '" +
                   m_.fsm->states.front() + "'");
@@ -316,27 +399,28 @@ class Linter {
     }
   }
 
-  void collect_edges(const std::vector<Stmt>& body,
-                     std::map<std::string, std::set<std::string>>& edges)
-      const {
-    for (const auto& s : body) {
-      switch (s.kind) {
+  void collect_edges(ast::StmtList body,
+                     std::unordered_map<std::string_view,
+                                        std::unordered_set<std::string_view>>&
+                         edges) const {
+    for (const Stmt* s : body) {
+      switch (s->kind) {
         case Stmt::Kind::Case:
-          if (s.selector.kind == Expr::Kind::SignalRef &&
-              s.selector.name == "cur_state") {
-            for (const auto& arm : s.arms) {
+          if (s->selector->kind == Expr::Kind::SignalRef &&
+              s->selector->name == "cur_state") {
+            for (const auto& arm : s->arms) {
               if (!arm.label || arm.label->kind != Expr::Kind::StateRef) {
                 continue;
               }
               next_states_in(arm.body, edges[arm.label->name]);
             }
           } else {
-            for (const auto& arm : s.arms) collect_edges(arm.body, edges);
+            for (const auto& arm : s->arms) collect_edges(arm.body, edges);
           }
           break;
         case Stmt::Kind::If:
-          collect_edges(s.then_body, edges);
-          collect_edges(s.else_body, edges);
+          collect_edges(s->then_body, edges);
+          collect_edges(s->else_body, edges);
           break;
         default:
           break;
@@ -344,13 +428,74 @@ class Linter {
     }
   }
 
+  /// Open-addressed pointer-keyed memo; interned node addresses are the
+  /// keys, so one multiply hashes them.
+  template <typename V>
+  struct PtrMemo {
+    struct MemoSlot {
+      const void* key = nullptr;
+      V value{};
+    };
+    std::vector<MemoSlot> slots;
+    std::size_t count = 0;
+
+    static std::size_t spot(const void* k, std::size_t mask) {
+      support::Hasher h;
+      h.ptr(k);
+      return static_cast<std::size_t>(h.h) & mask;
+    }
+
+    V* find(const void* k) {
+      if (slots.empty()) return nullptr;
+      const std::size_t mask = slots.size() - 1;
+      for (std::size_t i = spot(k, mask); slots[i].key != nullptr;
+           i = (i + 1) & mask) {
+        if (slots[i].key == k) return &slots[i].value;
+      }
+      return nullptr;
+    }
+
+    void insert(const void* k, V v) {
+      if (slots.empty()) slots.resize(64);
+      std::size_t mask = slots.size() - 1;
+      std::size_t i = spot(k, mask);
+      while (slots[i].key != nullptr && slots[i].key != k) i = (i + 1) & mask;
+      if (slots[i].key == nullptr) {
+        slots[i] = {k, v};
+        if (++count * 4 >= slots.size() * 3) grow();
+      }
+    }
+
+    /// Returns false when `k` was already present.
+    bool insert_new(const void* k) {
+      if (find(k) != nullptr) return false;
+      insert(k, V{});
+      return true;
+    }
+
+    void grow() {
+      std::vector<MemoSlot> old = std::move(slots);
+      slots.assign(old.size() * 2, {});
+      const std::size_t mask = slots.size() - 1;
+      for (const auto& s : old) {
+        if (s.key == nullptr) continue;
+        std::size_t j = spot(s.key, mask);
+        while (slots[j].key != nullptr) j = (j + 1) & mask;
+        slots[j] = s;
+      }
+    }
+  };
+
+  struct Unit {};
+
   const Module& m_;
   DiagnosticEngine& diags_;
-  std::map<std::string, Symbol> symbols_;
-  std::set<std::string> states_;
-  std::set<std::string> read_;
-  std::set<std::string> written_;
-  std::set<std::string> unknown_;
+  std::vector<Entry> entries_;  ///< symbols in declaration order
+  std::vector<Slot> slots_;     ///< name → entries_ index side table
+  PtrMemo<std::optional<unsigned>> expr_memo_;
+  PtrMemo<Unit> stmt_memo_;
+  std::unordered_set<std::string_view> states_;
+  std::unordered_set<std::string_view> unknown_;
   bool clean_ = true;
 };
 

@@ -5,9 +5,11 @@
 #include "support/strings.hpp"
 
 // Like the VHDL printer, this emitter appends into one pre-reserved
-// std::string rather than an std::ostringstream — emission is on the
+// buffer rather than an std::ostringstream — emission is on the
 // per-module hot path and the stream's locale plumbing plus the per-line
-// spaces()/ljust() temporaries dominated its profile.
+// spaces()/ljust() temporaries dominated its profile.  print_module reuses
+// a thread-local buffer across calls so only the exact-size result copy
+// allocates after warm-up.
 namespace splice::codegen::verilog {
 
 namespace {
@@ -20,6 +22,20 @@ using ast::Stmt;
 
 void append_indent(std::string& out, unsigned n) { out.append(n, ' '); }
 
+void append_upper(std::string& out, std::string_view s) {
+  for (char c : s) {
+    out.push_back(c >= 'a' && c <= 'z' ? static_cast<char>(c - 'a' + 'A')
+                                       : c);
+  }
+}
+
+void append_vec(std::string& out, unsigned width) {
+  if (width <= 1) return;
+  out.push_back('[');
+  out += std::to_string(width - 1);
+  out += ":0] ";
+}
+
 void append_expr(std::string& out, const Expr& e) {
   using K = Expr::Kind;
   switch (e.kind) {
@@ -29,7 +45,7 @@ void append_expr(std::string& out, const Expr& e) {
       out += e.name;
       return;
     case K::StateRef:
-      out += str::to_upper(e.name);
+      append_upper(out, e.name);
       return;
     case K::BitLit:
       out += e.value != 0 ? "1'b1" : "1'b0";
@@ -42,32 +58,32 @@ void append_expr(std::string& out, const Expr& e) {
       out += "'d0";
       return;
     case K::Eq:
-      append_expr(out, e.operands[0]);
+      append_expr(out, *e.operands[0]);
       out += " == ";
-      append_expr(out, e.operands[1]);
+      append_expr(out, *e.operands[1]);
       return;
     case K::And: {
       bool first = true;
-      for (const auto& op : e.operands) {
+      for (const Expr* op : e.operands) {
         if (!first) out += " && ";
         first = false;
-        append_expr(out, op);
+        append_expr(out, *op);
       }
       return;
     }
     case K::Not:
       out.push_back('!');
-      append_expr(out, e.operands[0]);
+      append_expr(out, *e.operands[0]);
       return;
     case K::AnyBitSet:
       out.push_back('|');
-      append_expr(out, e.operands[0]);
+      append_expr(out, *e.operands[0]);
       return;
   }
   throw SpliceError("expression kind not renderable as a Verilog operand");
 }
 
-void append_target(std::string& out, const std::string& name, int index) {
+void append_target(std::string& out, std::string_view name, int index) {
   out += name;
   if (index >= 0) {
     out.push_back('[');
@@ -87,21 +103,21 @@ void append_assign(std::string& out, const Stmt& s, bool blocking) {
     out.push_back(' ');
   }
   out += blocking ? "= " : "<= ";
-  append_expr(out, s.rhs);
+  append_expr(out, *s.rhs);
   out.push_back(';');
 }
 
 void append_stmt(std::string& out, const Stmt& s, unsigned ind,
                  bool blocking);
 
-void append_stmts(std::string& out, const std::vector<Stmt>& body,
-                  unsigned ind, bool blocking) {
-  for (const auto& s : body) append_stmt(out, s, ind, blocking);
+void append_stmts(std::string& out, ast::StmtList body, unsigned ind,
+                  bool blocking) {
+  for (const Stmt* s : body) append_stmt(out, *s, ind, blocking);
 }
 
-bool all_assigns(const std::vector<Stmt>& body) {
-  for (const auto& s : body) {
-    if (s.kind != Stmt::Kind::Assign) return false;
+bool all_assigns(ast::StmtList body) {
+  for (const Stmt* s : body) {
+    if (s->kind != Stmt::Kind::Assign) return false;
   }
   return !body.empty();
 }
@@ -110,7 +126,7 @@ void append_stmt(std::string& out, const Stmt& s, unsigned ind,
                  bool blocking) {
   switch (s.kind) {
     case Stmt::Kind::Comment:
-      for (const auto& line : s.text) {
+      for (std::string_view line : s.text) {
         append_indent(out, ind);
         out += "// ";
         out += line;
@@ -124,30 +140,30 @@ void append_stmt(std::string& out, const Stmt& s, unsigned ind,
       return;
     case Stmt::Kind::If: {
       const bool compact = s.then_body.size() == 1 &&
-                           s.then_body[0].kind == Stmt::Kind::Assign &&
+                           s.then_body[0]->kind == Stmt::Kind::Assign &&
                            s.else_body.size() == 1 &&
-                           s.else_body[0].kind == Stmt::Kind::Assign;
+                           s.else_body[0]->kind == Stmt::Kind::Assign;
       if (compact) {
         // The else keyword is padded to the width of "if (<cond>) " so the
         // two assignments line up column-wise.
         append_indent(out, ind);
         const std::size_t head_start = out.size();
         out += "if (";
-        append_expr(out, s.cond);
+        append_expr(out, *s.cond);
         out += ") ";
         const std::size_t head_len = out.size() - head_start;
-        append_assign(out, s.then_body[0], blocking);
+        append_assign(out, *s.then_body[0], blocking);
         out.push_back('\n');
         append_indent(out, ind);
         out += "else";
         if (head_len > 4) out.append(head_len - 4, ' ');
-        append_assign(out, s.else_body[0], blocking);
+        append_assign(out, *s.else_body[0], blocking);
         out.push_back('\n');
         return;
       }
       append_indent(out, ind);
       out += "if (";
-      append_expr(out, s.cond);
+      append_expr(out, *s.cond);
       out += ") begin\n";
       append_stmts(out, s.then_body, ind + 4, blocking);
       if (!s.else_body.empty()) {
@@ -162,7 +178,7 @@ void append_stmt(std::string& out, const Stmt& s, unsigned ind,
     case Stmt::Kind::Case: {
       append_indent(out, ind);
       out += "case (";
-      append_expr(out, s.selector);
+      append_expr(out, *s.selector);
       out += ")\n";
       for (const CaseArm& arm : s.arms) {
         if (!arm.comment.empty()) {
@@ -179,9 +195,9 @@ void append_stmt(std::string& out, const Stmt& s, unsigned ind,
         }
         if (all_assigns(arm.body)) {
           out += ": begin";
-          for (const auto& a : arm.body) {
+          for (const Stmt* a : arm.body) {
             out.push_back(' ');
-            append_assign(out, a, blocking);
+            append_assign(out, *a, blocking);
           }
           out += " end\n";
         } else {
@@ -221,7 +237,7 @@ void append_ports(std::string& out, const Module& m) {
     out += "    ";
     out += p.is_input ? "input  wire "
                       : (p.reg ? "output reg  " : "output wire ");
-    out += vec(p.width);
+    append_vec(out, p.width);
     out += p.name;
     if (i + 1 < m.ports.size()) out.push_back(',');
     out.push_back('\n');
@@ -239,19 +255,19 @@ void append_decls(std::string& out, const Module& m) {
   if (m.fsm) {
     for (std::size_t i = 0; i < m.fsm->states.size(); ++i) {
       out += "    localparam ";
-      out += str::to_upper(m.fsm->states[i]);
+      append_upper(out, m.fsm->states[i]);
       out += " = ";
       out += std::to_string(i);
       out += ";\n";
     }
     out += "    reg ";
-    out += vec(m.fsm->state_width);
+    append_vec(out, m.fsm->state_width);
     out += "cur_state, next_state;\n";
   }
   for (const auto& s : m.signals) {
     out += "    ";
     out += s.is_reg ? "reg " : "wire ";
-    out += vec(s.width);
+    append_vec(out, s.width);
     out += str::join(s.names, ", ");
     out.push_back(';');
     if (!s.purpose.empty()) {
@@ -315,7 +331,7 @@ void append_cont_assign_group(std::string& out,
     out += "    assign ";
     append_target(out, a.target, a.index);
     out += " = ";
-    append_expr(out, a.rhs);
+    append_expr(out, *a.rhs);
     out.push_back(';');
     if (!a.trailing_comment.empty()) {
       out += " // ";
@@ -342,13 +358,18 @@ std::size_t estimate_size(const Module& m) {
 }  // namespace
 
 std::string vec(unsigned width) {
-  if (width <= 1) return "";
-  return "[" + std::to_string(width - 1) + ":0] ";
+  std::string out;
+  append_vec(out, width);
+  return out;
 }
 
 std::string print_module(const Module& m) {
-  std::string out;
-  out.reserve(estimate_size(m));
+  // Reused across calls: after warm-up the only allocation left is the
+  // exact-size copy handed back to the caller.
+  thread_local std::string out;
+  out.clear();
+  const std::size_t est = estimate_size(m);
+  if (out.capacity() < est) out.reserve(est);
   append_header_comment(out, m);
   out += "module ";
   out += m.name;

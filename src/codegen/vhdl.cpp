@@ -6,8 +6,10 @@
 
 // Emission is a hot path (every module prints once per compile, twice per
 // template-macro expansion), so this printer appends into one pre-reserved
-// std::string instead of streaming through std::ostringstream: no locale
+// buffer instead of streaming through std::ostringstream: no locale
 // machinery, no per-line temporary indent strings, one growing buffer.
+// print_module reuses a thread-local buffer across calls — after the first
+// module on a thread, printing allocates only the exact-size result copy.
 namespace splice::codegen::vhdl {
 
 namespace {
@@ -18,12 +20,22 @@ using ast::Module;
 using ast::Process;
 using ast::Stmt;
 
-void append_ljust(std::string& out, const std::string& s, std::size_t width) {
+void append_ljust(std::string& out, std::string_view s, std::size_t width) {
   out += s;
   if (s.size() < width) out.append(width - s.size(), ' ');
 }
 
 void append_indent(std::string& out, unsigned n) { out.append(n, ' '); }
+
+void append_slv(std::string& out, unsigned width) {
+  if (width <= 1) {
+    out += "std_logic";
+    return;
+  }
+  out += "std_logic_vector(0 to ";
+  out += std::to_string(width - 1);
+  out.push_back(')');
+}
 
 void append_bit_string(std::string& out, std::uint64_t value,
                        unsigned width) {
@@ -53,22 +65,22 @@ void append_expr(std::string& out, const Expr& e) {
       out += "(others => '0')";
       return;
     case K::Eq:
-      append_expr(out, e.operands[0]);
+      append_expr(out, *e.operands[0]);
       out += " = ";
-      append_expr(out, e.operands[1]);
+      append_expr(out, *e.operands[1]);
       return;
     case K::And: {
       bool first = true;
-      for (const auto& op : e.operands) {
+      for (const Expr* op : e.operands) {
         if (!first) out += " and ";
         first = false;
-        append_expr(out, op);
+        append_expr(out, *op);
       }
       return;
     }
     case K::Not:
       out += "not ";
-      append_expr(out, e.operands[0]);
+      append_expr(out, *e.operands[0]);
       return;
     case K::AnyBitSet:
       // Only legal as a full assignment right-hand side ("'1' when ...").
@@ -77,7 +89,7 @@ void append_expr(std::string& out, const Expr& e) {
   throw SpliceError("expression kind not renderable as a VHDL operand");
 }
 
-void append_target(std::string& out, const std::string& name, int index) {
+void append_target(std::string& out, std::string_view name, int index) {
   out += name;
   if (index >= 0) {
     out.push_back('(');
@@ -91,7 +103,7 @@ void append_target(std::string& out, const std::string& name, int index) {
 void append_rhs(std::string& out, const Expr& e) {
   if (e.kind == Expr::Kind::AnyBitSet) {
     out += "'1' when ";
-    append_expr(out, e.operands[0]);
+    append_expr(out, *e.operands[0]);
     out += " /= 0 else '0'";
     return;
   }
@@ -101,21 +113,20 @@ void append_rhs(std::string& out, const Expr& e) {
 void append_assign(std::string& out, const Stmt& s) {
   append_target(out, s.target, s.index);
   out += " <= ";
-  append_rhs(out, s.rhs);
+  append_rhs(out, *s.rhs);
   out.push_back(';');
 }
 
 void append_stmt(std::string& out, const Stmt& s, unsigned ind);
 
-void append_stmts(std::string& out, const std::vector<Stmt>& body,
-                  unsigned ind) {
-  for (const auto& s : body) append_stmt(out, s, ind);
+void append_stmts(std::string& out, ast::StmtList body, unsigned ind) {
+  for (const Stmt* s : body) append_stmt(out, *s, ind);
 }
 
 void append_stmt(std::string& out, const Stmt& s, unsigned ind) {
   switch (s.kind) {
     case Stmt::Kind::Comment:
-      for (const auto& line : s.text) {
+      for (std::string_view line : s.text) {
         append_indent(out, ind);
         out += "-- ";
         out += line;
@@ -130,7 +141,7 @@ void append_stmt(std::string& out, const Stmt& s, unsigned ind) {
     case Stmt::Kind::If:
       append_indent(out, ind);
       out += "if (";
-      append_expr(out, s.cond);
+      append_expr(out, *s.cond);
       out += ") then\n";
       append_stmts(out, s.then_body, ind + 4);
       if (!s.else_body.empty()) {
@@ -144,7 +155,7 @@ void append_stmt(std::string& out, const Stmt& s, unsigned ind) {
     case Stmt::Kind::Case: {
       append_indent(out, ind);
       out += "case (";
-      append_expr(out, s.selector);
+      append_expr(out, *s.selector);
       out += ") is\n";
       for (const CaseArm& arm : s.arms) {
         if (!arm.comment.empty()) {
@@ -161,10 +172,10 @@ void append_stmt(std::string& out, const Stmt& s, unsigned ind) {
           out += "others";
         }
         const bool inline_arm =
-            arm.body.size() == 1 && arm.body[0].kind == Stmt::Kind::Assign;
+            arm.body.size() == 1 && arm.body[0]->kind == Stmt::Kind::Assign;
         if (inline_arm) {
           out += " => ";
-          append_assign(out, arm.body[0]);
+          append_assign(out, *arm.body[0]);
           out.push_back('\n');
         } else {
           out += " =>\n";
@@ -200,7 +211,7 @@ void append_ports(std::string& out, const Module& m) {
     append_ljust(out, p.name, 15);
     out += ": ";
     out += p.is_input ? "in  " : "out ";
-    out += slv(p.width);
+    append_slv(out, p.width);
     if (i + 1 < m.ports.size()) out.push_back(';');
     out.push_back('\n');
   }
@@ -219,12 +230,12 @@ void append_components(std::string& out, const Module& m) {
         out += " : ";
         out += g.is_input ? "in" : "out";
         out.push_back(' ');
-        out += slv(g.width);
+        append_slv(out, g.width);
       } else {
         append_ljust(out, g.names.front(), 9);
         out += ": ";
         out += g.is_input ? "in  " : "out ";
-        out += slv(g.width);
+        append_slv(out, g.width);
       }
       if (i + 1 < comp.groups.size()) out.push_back(';');
       out.push_back('\n');
@@ -267,7 +278,7 @@ void append_constants(std::string& out, const Module& m) {
       out += "    constant ";
       out += c.name;
       out += " : ";
-      out += slv(c.width);
+      append_slv(out, c.width);
       out += " := ";
       append_bit_string(out, c.value, c.width);
       out += ";\n";
@@ -302,7 +313,7 @@ void append_signal_decls(std::string& out, const Module& m) {
     out += "    signal ";
     out += str::join(s.names, ", ");
     out += " : ";
-    out += slv(s.width);
+    append_slv(out, s.width);
     out.push_back(';');
     if (!s.purpose.empty()) {
       out += " -- ";
@@ -350,7 +361,7 @@ void append_cont_assign_group(std::string& out,
     out += "    ";
     append_target(out, a.target, a.index);
     out += " <= ";
-    append_rhs(out, a.rhs);
+    append_rhs(out, *a.rhs);
     out.push_back(';');
     if (!a.trailing_comment.empty()) {
       out += " -- ";
@@ -378,8 +389,9 @@ std::size_t estimate_size(const Module& m) {
 }  // namespace
 
 std::string slv(unsigned width) {
-  if (width <= 1) return "std_logic";
-  return "std_logic_vector(0 to " + std::to_string(width - 1) + ")";
+  std::string out;
+  append_slv(out, width);
+  return out;
 }
 
 std::string print_constants(const Module& m) {
@@ -411,8 +423,12 @@ std::string print_cont_assign_group(const ast::ContAssignGroup& g) {
 }
 
 std::string print_module(const Module& m) {
-  std::string out;
-  out.reserve(estimate_size(m));
+  // Reused across calls: after warm-up the only allocation left is the
+  // exact-size copy handed back to the caller.
+  thread_local std::string out;
+  out.clear();
+  const std::size_t est = estimate_size(m);
+  if (out.capacity() < est) out.reserve(est);
   append_header_comment(out, m);
   out += "entity ";
   out += m.name;

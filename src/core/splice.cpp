@@ -45,6 +45,33 @@ class Phase {
   std::chrono::steady_clock::time_point t0_;
 };
 
+/// Reusable per-adapter template engine.  Marker handlers are stateless
+/// closures (the spec reaches them through MacroContext at expand time),
+/// so the standard-set + load_markers construction — an unordered_map of
+/// std::functions rebuilt on every generate before this cache — is safe
+/// to do once per adapter per thread.  Entries are validated against the
+/// adapter's name so a recycled allocation address cannot resurrect a
+/// stale engine; thread-locality keeps lookups lock-free.
+const codegen::TemplateEngine& engine_for(
+    const adapters::BusAdapter& adapter) {
+  struct CachedEngine {
+    const adapters::BusAdapter* adapter;
+    std::string name;
+    codegen::TemplateEngine engine;
+  };
+  thread_local std::vector<CachedEngine> cache;
+  for (auto& entry : cache) {
+    if (entry.adapter == &adapter && entry.name == adapter.name()) {
+      return entry.engine;
+    }
+  }
+  CachedEngine entry{&adapter, adapter.name(),
+                     codegen::make_standard_engine()};
+  adapter.load_markers(entry.engine);
+  cache.push_back(std::move(entry));
+  return cache.back().engine;
+}
+
 }  // namespace
 
 const codegen::GeneratedFile* GeneratedArtifacts::find(
@@ -146,6 +173,10 @@ std::optional<GeneratedArtifacts> Engine::generate(
       // Each AST is built once and feeds both the lint pass and the
       // printer (the serial pipeline used to elaborate it twice).
       codegen::ast::Module m = codegen::build_arbiter_ast(spec, dialect);
+      if (options_.metrics != nullptr && m.ctx != nullptr) {
+        options_.metrics->counter("gen.hdl_cse_hits")
+            .add(m.ctx->stats().cse_hits);
+      }
       job.lint_clean = codegen::lint_module(m, job.diags);
       if (!job.lint_clean) return;
       job.files.push_back(codegen::render_arbiter_file(m, spec));
@@ -153,17 +184,21 @@ std::optional<GeneratedArtifacts> Engine::generate(
       const ir::FunctionDecl& fn = spec.functions[i - 1];
       Phase phase(options_.metrics, "gen.stub:" + fn.name, "gen.codegen_us");
       codegen::ast::Module m = codegen::build_stub_ast(fn, spec, dialect);
+      if (options_.metrics != nullptr && m.ctx != nullptr) {
+        options_.metrics->counter("gen.hdl_cse_hits")
+            .add(m.ctx->stats().cse_hits);
+      }
       job.lint_clean = codegen::lint_module(m, job.diags);
       if (!job.lint_clean) return;
       job.files.push_back(codegen::render_stub_file(m, fn, spec));
     } else if (i == nfn + 1) {
       Phase phase(options_.metrics, "gen.interface", "gen.codegen_us");
       // Stage 1 (§5.1): native bus interface, via the adapter's marker
-      // loader and template expansion.  The engine is job-local: marker
-      // handlers are stateless closures over the shared read-only spec.
-      codegen::TemplateEngine engine = codegen::make_standard_engine();
-      adapter->load_markers(engine);
-      job.files = adapter->generate_interface(spec, engine, job.diags);
+      // loader and template expansion.  Marker handlers are stateless
+      // closures over the MacroContext, so the loaded engine is cached
+      // per adapter per thread.
+      job.files =
+          adapter->generate_interface(spec, engine_for(*adapter), job.diags);
     } else {
       Phase phase(options_.metrics, "gen.software", "gen.drivergen_us");
       // Software side (ch. 6): per-bus macro library + driver pair.

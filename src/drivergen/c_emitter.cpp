@@ -1,7 +1,5 @@
 #include "drivergen/c_emitter.hpp"
 
-#include <sstream>
-
 #include "support/strings.hpp"
 
 namespace splice::drivergen {
@@ -53,7 +51,7 @@ unsigned words_per_element(const ir::IoParam& p, unsigned bus_width) {
   return static_cast<unsigned>(p.words_per_element(bus_width));
 }
 
-void emit_param_writes(std::ostringstream& os, const ir::DeviceSpec& spec,
+void emit_param_writes(str::Appender& os, const ir::DeviceSpec& spec,
                        const ir::IoParam& p) {
   const unsigned bw = spec.target.bus_width;
   const std::string count = element_count_expr(p);
@@ -130,7 +128,7 @@ void emit_param_writes(std::ostringstream& os, const ir::DeviceSpec& spec,
   }
 }
 
-void emit_output_reads(std::ostringstream& os, const ir::DeviceSpec& spec,
+void emit_output_reads(str::Appender& os, const ir::DeviceSpec& spec,
                        const ir::FunctionDecl& fn) {
   if (fn.return_kind == ir::ReturnKind::Void) {
     os << "    /* Blocking call: read the pseudo output word to"
@@ -192,7 +190,7 @@ void emit_output_reads(std::ostringstream& os, const ir::DeviceSpec& spec,
 std::string c_prototype(const ir::DeviceSpec& spec,
                         const ir::FunctionDecl& fn) {
   (void)spec;
-  std::ostringstream os;
+  str::Appender os;
   os << return_spelling(fn) << " " << fn.name << "(";
   bool first = true;
   for (const auto& p : fn.inputs) {
@@ -208,7 +206,7 @@ std::string c_prototype(const ir::DeviceSpec& spec,
   }
   if (first) os << "void";
   os << ")";
-  return os.str();
+  return std::move(os).str();
 }
 
 DriverSources emit_driver_sources(const ir::DeviceSpec& spec) {
@@ -220,7 +218,7 @@ DriverSources emit_driver_sources(const ir::DeviceSpec& spec) {
 
   // ---- header -------------------------------------------------------------
   {
-    std::ostringstream os;
+    str::Appender os;
     os << "/* Generated by Splice for device '" << dev << "' (bus: "
        << spec.target.bus_type << ") */\n"
        << "#ifndef " << guard << "\n#define " << guard << "\n\n";
@@ -233,12 +231,12 @@ DriverSources emit_driver_sources(const ir::DeviceSpec& spec) {
       os << c_prototype(spec, fn) << ";\n";
     }
     os << "\n#endif /* " << guard << " */\n";
-    out.header = os.str();
+    out.header = std::move(os).str();
   }
 
   // ---- source -------------------------------------------------------------
   {
-    std::ostringstream os;
+    str::Appender os;
     os << "/* Generated by Splice for device '" << dev << "' (bus: "
        << spec.target.bus_type << ") */\n"
        << "#include <stdlib.h>\n"
@@ -302,7 +300,7 @@ DriverSources emit_driver_sources(const ir::DeviceSpec& spec) {
       }
       os << "}\n\n";
     }
-    out.source = os.str();
+    out.source = std::move(os).str();
   }
   return out;
 }

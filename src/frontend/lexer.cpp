@@ -1,9 +1,5 @@
 #include "frontend/lexer.hpp"
 
-#include <cctype>
-
-#include "support/strings.hpp"
-
 namespace splice::frontend {
 
 std::string_view token_name(Tok kind) {
@@ -28,44 +24,94 @@ std::string_view token_name(Tok kind) {
   return "?";
 }
 
+namespace {
+
+// Precompiled dispatch tables: one character-class lookup replaces the
+// chain of isspace/isalpha/isdigit calls, and the punctuation table maps
+// a byte straight to its token kind.
+enum : std::uint8_t {
+  kOther = 0,
+  kSpace,       // isspace set of the "C" locale
+  kIdentStart,  // [A-Za-z_]
+  kDigit,       // [0-9]
+  kPunct,       // single-character tokens
+};
+
+struct Tables {
+  std::uint8_t cls[256] = {};
+  Tok punct[256] = {};
+  bool ident_cont[256] = {};  // [A-Za-z0-9_]
+  std::int8_t hexval[256] = {};
+};
+
+constexpr Tables make_tables() {
+  Tables t{};
+  for (int c = 0; c < 256; ++c) t.hexval[c] = -1;
+  for (unsigned char c : {' ', '\t', '\n', '\v', '\f', '\r'})
+    t.cls[c] = kSpace;
+  for (int c = 'a'; c <= 'z'; ++c) {
+    t.cls[c] = kIdentStart;
+    t.ident_cont[c] = true;
+  }
+  for (int c = 'A'; c <= 'Z'; ++c) {
+    t.cls[c] = kIdentStart;
+    t.ident_cont[c] = true;
+  }
+  t.cls[static_cast<unsigned char>('_')] = kIdentStart;
+  t.ident_cont[static_cast<unsigned char>('_')] = true;
+  for (int c = '0'; c <= '9'; ++c) {
+    t.cls[c] = kDigit;
+    t.ident_cont[c] = true;
+    t.hexval[c] = static_cast<std::int8_t>(c - '0');
+  }
+  for (int c = 'a'; c <= 'f'; ++c)
+    t.hexval[c] = static_cast<std::int8_t>(c - 'a' + 10);
+  for (int c = 'A'; c <= 'F'; ++c)
+    t.hexval[c] = static_cast<std::int8_t>(c - 'A' + 10);
+  constexpr std::pair<char, Tok> punct[] = {
+      {'*', Tok::Star},   {':', Tok::Colon},  {'+', Tok::Plus},
+      {'^', Tok::Caret},  {'&', Tok::Amp},    {'(', Tok::LParen},
+      {')', Tok::RParen}, {'{', Tok::LBrace}, {'}', Tok::RBrace},
+      {',', Tok::Comma},  {';', Tok::Semi},   {'%', Tok::Percent},
+  };
+  for (auto [c, k] : punct) {
+    t.cls[static_cast<unsigned char>(c)] = kPunct;
+    t.punct[static_cast<unsigned char>(c)] = k;
+  }
+  return t;
+}
+
+constexpr Tables kT = make_tables();
+
+constexpr unsigned char uc(char c) { return static_cast<unsigned char>(c); }
+
+}  // namespace
+
 Lexer::Lexer(std::string_view text, DiagnosticEngine& diags)
     : text_(text), diags_(diags) {}
 
-char Lexer::peek(std::size_t ahead) const {
-  return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
-}
-
-char Lexer::advance() {
-  char c = text_[pos_++];
-  if (c == '\n') {
-    ++line_;
-    column_ = 1;
-  } else {
-    ++column_;
-  }
-  return c;
-}
-
 void Lexer::skip_trivia() {
-  while (!at_end()) {
-    char c = peek();
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      advance();
-    } else if (c == '/' && peek(1) == '/') {
-      while (!at_end() && peek() != '\n') advance();
-    } else if (c == '/' && peek(1) == '*') {
-      SourceLoc start = here();
-      advance();
-      advance();
+  const std::size_t n = text_.size();
+  while (pos_ < n) {
+    const char c = text_[pos_];
+    if (kT.cls[uc(c)] == kSpace) {
+      if (c == '\n') newline();
+      ++pos_;
+    } else if (c == '/' && pos_ + 1 < n && text_[pos_ + 1] == '/') {
+      pos_ += 2;
+      while (pos_ < n && text_[pos_] != '\n') ++pos_;
+    } else if (c == '/' && pos_ + 1 < n && text_[pos_ + 1] == '*') {
+      const SourceLoc start = here();
+      pos_ += 2;
       bool closed = false;
-      while (!at_end()) {
-        if (peek() == '*' && peek(1) == '/') {
-          advance();
-          advance();
+      while (pos_ < n) {
+        if (text_[pos_] == '*' && pos_ + 1 < n && text_[pos_ + 1] == '/') {
+          pos_ += 2;
           closed = true;
           break;
         }
-        advance();
+        if (text_[pos_] == '\n') newline();
+        ++pos_;
       }
       if (!closed) {
         diags_.error(DiagId::UnterminatedComment,
@@ -81,71 +127,71 @@ Token Lexer::next() {
   skip_trivia();
   Token tok;
   tok.loc = here();
-  if (at_end()) {
-    tok.kind = Tok::EndOfInput;
-    return tok;
-  }
-  char c = peek();
+  if (at_end()) return tok;  // kind defaults to EndOfInput
+  const std::size_t n = text_.size();
+  const char c = text_[pos_];
 
-  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-    std::string word;
-    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
-                         peek() == '_')) {
-      word += advance();
+  switch (kT.cls[uc(c)]) {
+    case kIdentStart: {
+      const std::size_t start = pos_++;
+      while (pos_ < n && kT.ident_cont[uc(text_[pos_])]) ++pos_;
+      tok.kind = Tok::Ident;
+      tok.text = text_.substr(start, pos_ - start);
+      return tok;
     }
-    tok.kind = Tok::Ident;
-    tok.text = std::move(word);
-    return tok;
-  }
 
-  if (std::isdigit(static_cast<unsigned char>(c))) {
-    std::string digits;
-    bool hex = false;
-    if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
-      advance();
-      advance();
-      hex = true;
-      while (!at_end() &&
-             std::isxdigit(static_cast<unsigned char>(peek()))) {
-        digits += advance();
+    case kDigit: {
+      if (c == '0' && pos_ + 1 < n &&
+          (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+        pos_ += 2;
+        const std::size_t start = pos_;
+        while (pos_ < n && kT.hexval[uc(text_[pos_])] >= 0) ++pos_;
+        tok.kind = Tok::HexNumber;
+        tok.text = text_.substr(start, pos_ - start);
+        if (tok.text.empty()) {
+          diags_.error(DiagId::MalformedNumber, "'0x' with no hex digits",
+                       tok.loc);
+        } else if (tok.text.size() <= 16) {  // >16 digits overflows: value 0
+          std::uint64_t v = 0;
+          for (char d : tok.text) {
+            v = (v << 4) | static_cast<std::uint64_t>(kT.hexval[uc(d)]);
+          }
+          tok.value = v;
+        }
+      } else {
+        const std::size_t start = pos_;
+        while (pos_ < n && kT.cls[uc(text_[pos_])] == kDigit) ++pos_;
+        tok.kind = Tok::Number;
+        tok.text = text_.substr(start, pos_ - start);
+        std::uint64_t v = 0;
+        bool overflow = false;
+        for (char d : tok.text) {
+          const auto digit = static_cast<std::uint64_t>(d - '0');
+          if (v > (UINT64_MAX - digit) / 10) {
+            overflow = true;
+            break;
+          }
+          v = v * 10 + digit;
+        }
+        if (overflow) {
+          diags_.error(DiagId::MalformedNumber,
+                       "numeric literal out of range: " +
+                           std::string(tok.text),
+                       tok.loc);
+        } else {
+          tok.value = v;
+        }
       }
-      if (digits.empty()) {
-        diags_.error(DiagId::MalformedNumber, "'0x' with no hex digits",
-                     tok.loc);
-      }
-      tok.kind = Tok::HexNumber;
-      tok.value = splice::str::parse_hex(digits).value_or(0);
-    } else {
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
-        digits += advance();
-      }
-      tok.kind = Tok::Number;
-      auto v = splice::str::parse_u64(digits);
-      if (!v) {
-        diags_.error(DiagId::MalformedNumber,
-                     "numeric literal out of range: " + digits, tok.loc);
-      }
-      tok.value = v.value_or(0);
+      return tok;
     }
-    tok.text = std::move(digits);
-    return tok;
-  }
 
-  advance();
-  switch (c) {
-    case '*': tok.kind = Tok::Star; return tok;
-    case ':': tok.kind = Tok::Colon; return tok;
-    case '+': tok.kind = Tok::Plus; return tok;
-    case '^': tok.kind = Tok::Caret; return tok;
-    case '&': tok.kind = Tok::Amp; return tok;
-    case '(': tok.kind = Tok::LParen; return tok;
-    case ')': tok.kind = Tok::RParen; return tok;
-    case '{': tok.kind = Tok::LBrace; return tok;
-    case '}': tok.kind = Tok::RBrace; return tok;
-    case ',': tok.kind = Tok::Comma; return tok;
-    case ';': tok.kind = Tok::Semi; return tok;
-    case '%': tok.kind = Tok::Percent; return tok;
+    case kPunct:
+      tok.kind = kT.punct[uc(c)];
+      ++pos_;
+      return tok;
+
     default:
+      ++pos_;
       diags_.error(DiagId::UnexpectedCharacter,
                    std::string("unexpected character '") + c + "'", tok.loc);
       return next();  // skip and continue
@@ -154,11 +200,21 @@ Token Lexer::next() {
 
 std::vector<Token> Lexer::tokenize() {
   std::vector<Token> out;
+  out.reserve(text_.size() / 4 + 4);
   while (true) {
     out.push_back(next());
     if (out.back().kind == Tok::EndOfInput) break;
   }
   return out;
+}
+
+std::span<const Token> Lexer::tokenize(support::Arena& arena) {
+  support::ArenaVector<Token> out(arena, text_.size() / 4 + 4);
+  while (true) {
+    out.push_back(next());
+    if (out.back().kind == Tok::EndOfInput) break;
+  }
+  return out.span();
 }
 
 }  // namespace splice::frontend

@@ -1,12 +1,20 @@
 // Tokenizer for the Splice specification language (thesis chapter 3).
 // Comments use the C++ styles shown throughout the thesis listings.
+//
+// The lexer is zero-copy: `Token::text` is a view into the spec source
+// buffer, which must therefore outlive the tokens.  Character
+// classification and punctuation dispatch run off precompiled 256-entry
+// tables instead of per-character ctype calls, and no token ever touches
+// the heap; callers that want the whole stream in one allocation can
+// tokenize into a bump-pointer arena.
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <span>
 #include <string_view>
 #include <vector>
 
+#include "support/arena.hpp"
 #include "support/diagnostics.hpp"
 
 namespace splice::frontend {
@@ -32,7 +40,8 @@ enum class Tok : std::uint8_t {
 
 struct Token {
   Tok kind = Tok::EndOfInput;
-  std::string text;          // identifier spelling / literal digits
+  std::string_view text;     // identifier spelling / literal digits (a view
+                             // into the spec source; zero-copy)
   std::uint64_t value = 0;   // numeric value for Number / HexNumber
   SourceLoc loc;
 
@@ -41,6 +50,9 @@ struct Token {
     return kind == Tok::Ident && text == s;
   }
 };
+
+static_assert(std::is_trivially_copyable_v<Token>,
+              "tokens live in arenas and span slices");
 
 [[nodiscard]] std::string_view token_name(Tok kind);
 
@@ -54,19 +66,27 @@ class Lexer {
   /// Produce all tokens including the trailing EndOfInput.
   [[nodiscard]] std::vector<Token> tokenize();
 
+  /// Same stream, but placed in `arena` (one stable allocation whose
+  /// lifetime the caller controls; the parser slices it into spans).
+  [[nodiscard]] std::span<const Token> tokenize(support::Arena& arena);
+
  private:
   void skip_trivia();
   [[nodiscard]] Token next();
-  [[nodiscard]] char peek(std::size_t ahead = 0) const;
-  char advance();
   [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
-  [[nodiscard]] SourceLoc here() const { return {line_, column_}; }
+  [[nodiscard]] SourceLoc here() const {
+    return {line_, static_cast<std::uint32_t>(pos_ - line_start_ + 1)};
+  }
+  void newline() {
+    ++line_;
+    line_start_ = pos_ + 1;
+  }
 
   std::string_view text_;
   DiagnosticEngine& diags_;
   std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;  // offset of the current line's first byte
   std::uint32_t line_ = 1;
-  std::uint32_t column_ = 1;
 };
 
 }  // namespace splice::frontend

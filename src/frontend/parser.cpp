@@ -1,9 +1,11 @@
 #include "frontend/parser.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_set>
 
 #include "frontend/lexer.hpp"
+#include "support/arena.hpp"
 #include "support/strings.hpp"
 
 namespace splice::frontend {
@@ -36,47 +38,66 @@ enum class DirectiveKind {
 
 struct DirectiveLine {
   DirectiveKind kind = DirectiveKind::Unknown;
-  std::vector<Token> args;  ///< tokens after the keyword
+  std::span<const Token> args;  ///< tokens after the keyword (slice of the
+                                ///< arena-resident stream; nothing copied)
   SourceLoc loc;
   std::string keyword_spelling;
 };
 
+// Split an identifier spelling on '_' exactly like str::split (empty pieces
+// included), but into string_views — no allocation per piece.
+void split_ident(std::string_view text, std::vector<std::string_view>& out) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '_') {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+}
+
+std::size_t count_pieces(std::string_view text) {
+  return static_cast<std::size_t>(std::count(text.begin(), text.end(), '_')) +
+         1;
+}
+
 // The thesis writes directives both with underscores (%bus_type, §3.2.1) and
 // with spaces (Figure 8.2: "% bus type plb").  We normalize identifiers into
 // words and match the longest known keyword sequence.
-DirectiveKind match_keyword(const std::vector<std::string>& words,
+struct Keyword {
+  std::string_view w0;
+  std::string_view w1;  // empty for one-word keywords
+  DirectiveKind kind;
+};
+
+constexpr Keyword kKeywords[] = {
+    {"device", "name", DirectiveKind::DeviceName},
+    {"name", "", DirectiveKind::DeviceName},
+    {"bus", "type", DirectiveKind::BusType},
+    {"bus", "width", DirectiveKind::BusWidth},
+    {"base", "address", DirectiveKind::BaseAddress},
+    {"burst", "support", DirectiveKind::BurstSupport},
+    {"dma", "support", DirectiveKind::DmaSupport},
+    {"packing", "support", DirectiveKind::PackingSupport},
+    {"irq", "support", DirectiveKind::IrqSupport},
+    {"interrupt", "support", DirectiveKind::IrqSupport},
+    {"target", "hdl", DirectiveKind::TargetHdl},
+    {"hdl", "type", DirectiveKind::TargetHdl},
+    {"user", "type", DirectiveKind::UserType},
+};
+
+DirectiveKind match_keyword(std::span<const std::string_view> words,
                             std::size_t& consumed) {
-  static const std::vector<std::pair<std::vector<std::string>, DirectiveKind>>
-      table = {
-          {{"device", "name"}, DirectiveKind::DeviceName},
-          {{"name"}, DirectiveKind::DeviceName},
-          {{"bus", "type"}, DirectiveKind::BusType},
-          {{"bus", "width"}, DirectiveKind::BusWidth},
-          {{"base", "address"}, DirectiveKind::BaseAddress},
-          {{"burst", "support"}, DirectiveKind::BurstSupport},
-          {{"dma", "support"}, DirectiveKind::DmaSupport},
-          {{"packing", "support"}, DirectiveKind::PackingSupport},
-          {{"irq", "support"}, DirectiveKind::IrqSupport},
-          {{"interrupt", "support"}, DirectiveKind::IrqSupport},
-          {{"target", "hdl"}, DirectiveKind::TargetHdl},
-          {{"hdl", "type"}, DirectiveKind::TargetHdl},
-          {{"user", "type"}, DirectiveKind::UserType},
-      };
   // Longest match first.
   for (std::size_t len = 2; len >= 1; --len) {
-    if (words.size() < len) continue;
-    for (const auto& [kw, kind] : table) {
-      if (kw.size() != len) continue;
-      bool ok = true;
-      for (std::size_t i = 0; i < len; ++i) {
-        if (!str::iequals(words[i], kw[i])) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) {
+    if (words.size() >= len) {
+      for (const Keyword& kw : kKeywords) {
+        const std::size_t kw_len = kw.w1.empty() ? 1 : 2;
+        if (kw_len != len) continue;
+        if (!str::iequals(words[0], kw.w0)) continue;
+        if (len == 2 && !str::iequals(words[1], kw.w1)) continue;
         consumed = len;
-        return kind;
+        return kw.kind;
       }
     }
     if (len == 1) break;
@@ -91,16 +112,20 @@ DirectiveKind match_keyword(const std::vector<std::string>& words,
 
 class Cursor {
  public:
-  Cursor(const std::vector<Token>& toks, DiagnosticEngine& diags)
-      : toks_(toks), diags_(diags) {}
+  /// Walk `toks` (which need not contain a trailing EndOfInput token);
+  /// `eoi` is what peek/advance yield once the span is exhausted.
+  Cursor(std::span<const Token> toks, Token eoi, DiagnosticEngine& diags)
+      : toks_(toks), eoi_(eoi), diags_(diags) {
+    eoi_.kind = Tok::EndOfInput;
+  }
 
   [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
-    std::size_t idx = std::min(i_ + ahead, toks_.size() - 1);
-    return toks_[idx];
+    const std::size_t idx = i_ + ahead;
+    return idx < toks_.size() ? toks_[idx] : eoi_;
   }
   const Token& advance() {
     const Token& t = peek();
-    if (i_ + 1 < toks_.size()) ++i_;
+    if (i_ < toks_.size()) ++i_;
     return t;
   }
   [[nodiscard]] bool at_end() const {
@@ -134,10 +159,20 @@ class Cursor {
   }
 
  private:
-  const std::vector<Token>& toks_;
+  std::span<const Token> toks_;
+  Token eoi_;
   DiagnosticEngine& diags_;
   std::size_t i_ = 0;
 };
+
+/// End-of-input token anchored at the last real token of a statement, so
+/// "expected ';'"-style messages point at the statement, not offset 0.
+Token eoi_after(std::span<const Token> toks) {
+  Token end;
+  end.kind = Tok::EndOfInput;
+  if (!toks.empty()) end.loc = toks.back().loc;
+  return end;
+}
 
 // ---------------------------------------------------------------------------
 // Prototype parsing (Figures 3.1 - 3.8)
@@ -183,7 +218,7 @@ class ProtoParser {
       ret_type = types_.find(type_tok.text);
       if (!ret_type) {
         diags_.error(DiagId::ExpectedType,
-                     "unknown type '" + type_tok.text +
+                     "unknown type '" + std::string(type_tok.text) +
                          "' (declare it with %user_type, §3.2.3)",
                      type_tok.loc);
         ok = false;
@@ -198,7 +233,7 @@ class ProtoParser {
       cur_.accept(Tok::Semi);
       return std::nullopt;
     }
-    fn.name = cur_.advance().text;
+    fn.name = std::string(cur_.advance().text);
 
     // The thesis' own example specification (Figure 8.2) writes parameter
     // lists in braces; chapter 3 uses parentheses.  Accept both.
@@ -295,7 +330,7 @@ class ProtoParser {
           e.explicit_count = static_cast<std::uint32_t>(bound.value);
         } else {
           e.bound_kind = CountKind::Implicit;
-          e.index_var = bound.text;
+          e.index_var = std::string(bound.text);
         }
       } else {
         break;
@@ -358,7 +393,7 @@ class ProtoParser {
     auto type = types_.find(type_tok.text);
     if (!type) {
       diags_.error(DiagId::ExpectedType,
-                   "unknown type '" + type_tok.text +
+                   "unknown type '" + std::string(type_tok.text) +
                        "' (declare it with %user_type, §3.2.3)",
                    type_tok.loc);
       cur_.recover_to({Tok::Comma, Tok::RParen, Tok::RBrace, Tok::Semi});
@@ -375,7 +410,7 @@ class ProtoParser {
     const Token name_tok = cur_.advance();
     Extensions post = parse_extensions();
     Extensions e = merge(pre, post, diags_, name_tok.loc);
-    return make_param(*type, e, name_tok.text, type_tok.loc);
+    return make_param(*type, e, std::string(name_tok.text), type_tok.loc);
   }
 
   Cursor& cur_;
@@ -391,7 +426,7 @@ class SpecParser {
  public:
   SpecParser(std::string_view text, DiagnosticEngine& diags) : diags_(diags) {
     Lexer lexer(text, diags);
-    toks_ = lexer.tokenize();
+    toks_ = lexer.tokenize(arena_);
   }
 
   std::optional<DeviceSpec> parse() {
@@ -407,8 +442,8 @@ class SpecParser {
       if (d.kind != DirectiveKind::UserType) apply_directive(d);
     }
     // Pass 3: prototypes.
-    for (auto& stmt : statements_) {
-      Cursor cur(stmt, diags_);
+    for (auto stmt : statements_) {
+      Cursor cur(stmt, eoi_after(stmt), diags_);
       ProtoParser pp(cur, spec_.types, diags_);
       auto fn = pp.parse();
       if (fn) spec_.functions.push_back(std::move(*fn));
@@ -420,6 +455,8 @@ class SpecParser {
  private:
   // Separate the token stream into directive lines (a '%' and every token on
   // the same source line) and prototype statements (token runs ending at ';').
+  // Both are index-range slices of the arena-resident stream — split_stream
+  // copies no tokens.
   void split_stream() {
     std::size_t i = 0;
     while (i < toks_.size() && toks_[i].kind != Tok::EndOfInput) {
@@ -428,57 +465,47 @@ class SpecParser {
         line.loc = toks_[i].loc;
         const std::uint32_t src_line = toks_[i].loc.line;
         ++i;
-        std::vector<Token> words;
+        const std::size_t first = i;
         while (i < toks_.size() && toks_[i].kind != Tok::EndOfInput &&
                toks_[i].loc.line == src_line) {
-          words.push_back(toks_[i]);
           ++i;
         }
-        classify(line, words);
+        classify(line, toks_.subspan(first, i - first));
         directives_.push_back(std::move(line));
       } else {
-        std::vector<Token> stmt;
+        const std::size_t first = i;
         while (i < toks_.size() && toks_[i].kind != Tok::EndOfInput &&
                toks_[i].kind != Tok::Percent) {
-          stmt.push_back(toks_[i]);
-          bool done = toks_[i].kind == Tok::Semi;
+          const bool done = toks_[i].kind == Tok::Semi;
           ++i;
           if (done) break;
         }
-        // Terminate the slice for the Cursor.
-        Token end;
-        end.kind = Tok::EndOfInput;
-        end.loc = stmt.empty() ? SourceLoc{} : stmt.back().loc;
-        stmt.push_back(end);
-        statements_.push_back(std::move(stmt));
+        statements_.push_back(toks_.subspan(first, i - first));
       }
     }
   }
 
-  void classify(DirectiveLine& line, const std::vector<Token>& words) {
+  void classify(DirectiveLine& line, std::span<const Token> words) {
     // Expand keyword words: identifiers may themselves contain underscores.
-    std::vector<std::string> kw_words;
-    std::size_t tok_used = 0;
+    std::vector<std::string_view> kw_words;
     for (const Token& t : words) {
       if (!t.is(Tok::Ident)) break;
-      auto pieces = str::split(t.text, '_');
-      kw_words.insert(kw_words.end(), pieces.begin(), pieces.end());
-      ++tok_used;
+      split_ident(t.text, kw_words);
       if (kw_words.size() >= 2) break;
     }
     std::size_t consumed_words = 0;
     line.kind = match_keyword(kw_words, consumed_words);
-    line.keyword_spelling = str::join(
-        std::vector<std::string>(kw_words.begin(),
-                                 kw_words.begin() +
-                                     static_cast<long>(std::min(
-                                         consumed_words, kw_words.size()))),
-        "_");
+    line.keyword_spelling.clear();
+    const std::size_t spell_n = std::min(consumed_words, kw_words.size());
+    for (std::size_t w = 0; w < spell_n; ++w) {
+      if (w != 0) line.keyword_spelling += '_';
+      line.keyword_spelling += kw_words[w];
+    }
     if (line.kind == DirectiveKind::Unknown) {
       diags_.error(DiagId::UnknownDirective,
                    "unknown directive '%" +
                        (kw_words.empty() ? std::string("<empty>")
-                                         : kw_words.front()) +
+                                         : std::string(kw_words.front())) +
                        "'",
                    line.loc);
       return;
@@ -488,12 +515,10 @@ class SpecParser {
     std::size_t toks_consumed = 0;
     for (const Token& t : words) {
       if (!t.is(Tok::Ident) || words_seen >= consumed_words) break;
-      words_seen += str::split(t.text, '_').size();
+      words_seen += count_pieces(t.text);
       ++toks_consumed;
     }
-    (void)tok_used;
-    line.args.assign(words.begin() + static_cast<long>(toks_consumed),
-                     words.end());
+    line.args = words.subspan(toks_consumed);
   }
 
   void check_duplicate(const DirectiveLine& d) {
@@ -507,10 +532,13 @@ class SpecParser {
 
   void apply_user_type(const DirectiveLine& d) {
     // %user_type name, underlying c spelling, bits   (Figure 3.17)
-    std::vector<std::vector<Token>> groups(1);
-    for (const Token& t : d.args) {
-      if (t.is(Tok::Comma)) groups.emplace_back();
-      else groups.back().push_back(t);
+    std::vector<std::span<const Token>> groups;
+    std::size_t group_start = 0;
+    for (std::size_t i = 0; i <= d.args.size(); ++i) {
+      if (i == d.args.size() || d.args[i].is(Tok::Comma)) {
+        groups.push_back(d.args.subspan(group_start, i - group_start));
+        group_start = i + 1;
+      }
     }
     if (groups.size() != 3 || groups[0].size() != 1 ||
         !groups[0][0].is(Tok::Ident) || groups[1].empty() ||
@@ -521,8 +549,8 @@ class SpecParser {
                    d.loc);
       return;
     }
-    std::string name = groups[0][0].text;
-    std::vector<std::string> spelling_words;
+    const std::string name(groups[0][0].text);
+    std::string spelling;
     for (const Token& t : groups[1]) {
       if (!t.is(Tok::Ident)) {
         diags_.error(DiagId::MalformedDirective,
@@ -530,9 +558,9 @@ class SpecParser {
                      t.loc);
         return;
       }
-      spelling_words.push_back(t.text);
+      if (!spelling.empty()) spelling += ' ';
+      spelling += t.text;
     }
-    const std::string spelling = str::join(spelling_words, " ");
     const std::uint64_t bits = groups[2][0].value;
     if (bits == 0 || bits > 1024) {
       diags_.error(DiagId::BadUserTypeWidth,
@@ -573,22 +601,26 @@ class SpecParser {
         return;  // already reported
       case DirectiveKind::DeviceName: {
         check_duplicate(d);
-        std::vector<std::string> words;
+        std::string name;
+        bool any = false;
         for (const Token& t : d.args) {
-          if (t.is(Tok::Ident) || t.is(Tok::Number)) words.push_back(t.text);
-          else {
+          if (t.is(Tok::Ident) || t.is(Tok::Number)) {
+            if (any) name += '_';
+            name += t.text;
+            any = true;
+          } else {
             diags_.error(DiagId::MalformedDirective,
                          "%device_name expects an identifier", d.loc);
             return;
           }
         }
-        if (words.empty()) {
+        if (!any) {
           diags_.error(DiagId::MalformedDirective,
                        "%device_name expects an identifier", d.loc);
           return;
         }
         // Figure 8.2 writes "% name hw timer" for device hw_timer.
-        spec_.target.device_name = str::join(words, "_");
+        spec_.target.device_name = std::move(name);
         return;
       }
       case DirectiveKind::BusType: {
@@ -671,9 +703,10 @@ class SpecParser {
   }
 
   DiagnosticEngine& diags_;
-  std::vector<Token> toks_;
+  support::Arena arena_;  // owns the token stream; declared before the spans
+  std::span<const Token> toks_;
   std::vector<DirectiveLine> directives_;
-  std::vector<std::vector<Token>> statements_;
+  std::vector<std::span<const Token>> statements_;
   DeviceSpec spec_;
   std::unordered_set<int> seen_;
 };
@@ -690,9 +723,10 @@ std::optional<ir::FunctionDecl> parse_prototype(std::string_view text,
                                                 const ir::TypeTable& types,
                                                 DiagnosticEngine& diags) {
   const std::size_t errors_before = diags.error_count();
+  support::Arena arena;
   Lexer lexer(text, diags);
-  std::vector<Token> toks = lexer.tokenize();
-  Cursor cur(toks, diags);
+  std::span<const Token> toks = lexer.tokenize(arena);
+  Cursor cur(toks, eoi_after(toks), diags);
   ProtoParser pp(cur, types, diags);
   auto fn = pp.parse();
   if (diags.error_count() != errors_before) return std::nullopt;

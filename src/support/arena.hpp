@@ -1,0 +1,172 @@
+// Bump-pointer arena allocator for phase-scoped object graphs: the
+// frontend's token stream / parse structures and the HDL AST both allocate
+// thousands of small, identically-lived nodes per generated module, and a
+// general-purpose heap pays lock + header + free-list costs on every one.
+// An Arena hands out pointers from large chunks and frees everything at
+// once when it is destroyed.
+//
+// Restrictions, enforced at compile time where possible:
+//  - destructors are never run: only trivially-destructible types may be
+//    placed in an arena (string_view/span-based node structs qualify);
+//  - individual deallocation is impossible by design;
+//  - the arena is not thread-safe — one arena per building thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace splice::support {
+
+class Arena {
+ public:
+  /// First chunk size; later chunks double up to kMaxChunk so one-off
+  /// giant parses don't thrash while small specs stay cheap.
+  static constexpr std::size_t kFirstChunk = 16 * 1024;
+  static constexpr std::size_t kMaxChunk = 512 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Raw aligned allocation.  Never returns nullptr (throws bad_alloc).
+  void* allocate(std::size_t size, std::size_t align) {
+    char* p = align_up(cur_, align);
+    if (p + size > end_) {
+      grow(size + align);
+      p = align_up(cur_, align);
+    }
+    cur_ = p + size;
+    bytes_used_ += size;
+    return p;
+  }
+
+  /// Construct a single T in the arena.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Uninitialized array of n Ts (caller fills every slot).
+  template <typename T>
+  T* alloc_array_uninit(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    if (n == 0) return nullptr;
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Copy a contiguous range into the arena; returns the stable span.
+  template <typename T>
+  std::span<const T> copy_array(const T* src, std::size_t n) {
+    if (n == 0) return {};
+    T* dst = alloc_array_uninit<T>(n);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(dst, src, n * sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) ::new (dst + i) T(src[i]);
+    }
+    return {dst, n};
+  }
+
+  template <typename T>
+  std::span<const T> copy_span(std::span<const T> src) {
+    return copy_array(src.data(), src.size());
+  }
+
+  /// Copy a string into the arena; the returned view stays valid for the
+  /// arena's lifetime (the backbone of zero-copy interning).
+  std::string_view copy_string(std::string_view s) {
+    if (s.empty()) return {};
+    char* dst = alloc_array_uninit<char>(s.size());
+    std::memcpy(dst, s.data(), s.size());
+    return {dst, s.size()};
+  }
+
+  /// Total bytes handed out (not counting chunk slack).
+  [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  static char* align_up(char* p, std::size_t align) {
+    const auto v = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t aligned = (v + align - 1) & ~(align - 1);
+    return p + (aligned - v);
+  }
+
+  void grow(std::size_t at_least) {
+    std::size_t size = chunks_.empty() ? kFirstChunk
+                                       : std::min(kMaxChunk, chunks_.back().size * 2);
+    if (size < at_least) size = at_least;
+    chunks_.push_back({std::make_unique<char[]>(size), size});
+    cur_ = chunks_.back().data.get();
+    end_ = cur_ + size;
+  }
+
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  std::size_t bytes_used_ = 0;
+};
+
+/// A push_back-growable array backed by an Arena: geometric growth, old
+/// blocks are simply abandoned to the arena (they are reclaimed when the
+/// arena dies).  For trivially-copyable element types only.  Used where
+/// the element count is unknown up front (token streams, statement lists).
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "growth relocates elements with memcpy");
+
+ public:
+  explicit ArenaVector(Arena& arena, std::size_t initial_capacity = 8)
+      : arena_(&arena) {
+    reserve(initial_capacity);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) reserve(cap_ == 0 ? 8 : cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap <= cap_) return;
+    T* next = arena_->alloc_array_uninit<T>(cap);
+    if (size_ != 0) std::memcpy(next, data_, size_ * sizeof(T));
+    data_ = next;
+    cap_ = cap;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::span<const T> span() const { return {data_, size_}; }
+
+ private:
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace splice::support

@@ -1,0 +1,50 @@
+// Shared word-at-a-time hashing for the generation hot path.  Both the
+// HDL-AST interner and the lint pass key open-addressed tables by name;
+// the per-byte FNV they started with showed up at the top of the build
+// profile, so the mixer below works a word at a time.  The final state
+// feeds power-of-two tables, so every step finishes with a high-to-low
+// xor to spread entropy into the index bits.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace splice::support {
+
+/// Multiply-xor mixer over 64-bit words.
+struct Hasher {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+
+  void u64(std::uint64_t v) {
+    h ^= v;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 29;
+  }
+  void ptr(const void* p) { u64(reinterpret_cast<std::uintptr_t>(p)); }
+};
+
+/// Content hash, eight bytes per mixing step.
+inline std::uint64_t hash_bytes(const char* p, std::size_t n) {
+  Hasher h;
+  h.u64(n);
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    h.u64(v);
+    p += 8;
+    n -= 8;
+  }
+  if (n != 0) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, n);
+    h.u64(v);
+  }
+  return h.h;
+}
+
+inline std::uint64_t hash_string(std::string_view s) {
+  return hash_bytes(s.data(), s.size());
+}
+
+}  // namespace splice::support

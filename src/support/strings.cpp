@@ -139,6 +139,13 @@ bool is_identifier(std::string_view s) {
   });
 }
 
+std::string lhex(std::uint64_t value) {
+  char buf[17];
+  const int n = std::snprintf(buf, sizeof buf, "%llx",
+                              static_cast<unsigned long long>(value));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
 std::string hex(std::uint64_t value, int min_digits) {
   std::ostringstream os;
   os << std::hex << std::uppercase << value;

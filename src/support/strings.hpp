@@ -5,9 +5,50 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace splice::str {
+
+/// Stream-free output buffer for generated text: `<<` appends straight
+/// into one std::string (integers via to_string), so emitters keep their
+/// chained style without std::ostringstream's locale and virtual-streambuf
+/// overhead, which was measurable on the generation hot path.
+class Appender {
+ public:
+  Appender() = default;
+  explicit Appender(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  Appender& operator<<(std::string_view v) {
+    buf_ += v;
+    return *this;
+  }
+  Appender& operator<<(const char* v) {
+    buf_ += v;
+    return *this;
+  }
+  Appender& operator<<(char c) {
+    buf_ += c;
+    return *this;
+  }
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, char> &&
+             !std::is_same_v<T, bool>)
+  Appender& operator<<(T v) {
+    buf_ += std::to_string(v);
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const& { return buf_; }
+  [[nodiscard]] std::string str() && { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Lowercase hex digits with no prefix and no padding — what
+/// `os << std::hex << v` used to print.
+[[nodiscard]] std::string lhex(std::uint64_t value);
 
 [[nodiscard]] std::string_view trim(std::string_view s);
 [[nodiscard]] std::string to_lower(std::string_view s);

@@ -148,20 +148,20 @@ void diff_signals(const Module& a, const Module& b,
   }
 }
 
-void collect_assign_targets(const std::vector<codegen::ast::Stmt>& body,
+void collect_assign_targets(codegen::ast::StmtList body,
                             std::vector<std::string>& out) {
   using codegen::ast::Stmt;
-  for (const Stmt& s : body) {
-    switch (s.kind) {
+  for (const Stmt* s : body) {
+    switch (s->kind) {
       case Stmt::Kind::Assign:
-        out.push_back(s.target);
+        out.emplace_back(s->target);
         break;
       case Stmt::Kind::If:
-        collect_assign_targets(s.then_body, out);
-        collect_assign_targets(s.else_body, out);
+        collect_assign_targets(s->then_body, out);
+        collect_assign_targets(s->else_body, out);
         break;
       case Stmt::Kind::Case:
-        for (const auto& arm : s.arms) collect_assign_targets(arm.body, out);
+        for (const auto& arm : s->arms) collect_assign_targets(arm.body, out);
         break;
       case Stmt::Kind::Comment:
         break;

@@ -7,6 +7,7 @@
 
 #include "core/splice.hpp"
 #include "devices/timer.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -117,6 +118,64 @@ TEST(Engine, VerilogTargetProducesDotVFiles) {
   // The native interface template library is VHDL-based (as in the
   // thesis); user logic follows %target_hdl.
   EXPECT_NE(artifacts->find("plb_interface.vhd"), nullptr);
+}
+
+TEST(Engine, MultiInstanceSharesStubStructure) {
+  // The HDL AST is hash-consed: a 9-instance declaration must not
+  // re-elaborate the stub per instance.  Two observable guarantees: the
+  // per-instance HDL text (the one stub file all nine instantiations
+  // share) is byte-identical to the stub of a single-instance spec with
+  // the same FUNC_ID space (8 filler functions keep the id width at 4
+  // bits), and the gen.hdl_cse_hits counter proves subtree sharing
+  // actually engaged — more hits with 9 instances than with 1, because
+  // the arbiter's per-instance wiring collapses onto interned nodes.
+  constexpr const char* kHeader =
+      "%device_name cse_dev\n%bus_type plb\n%bus_width 32\n"
+      "%base_address 0x80000000\n";
+  const std::string one = std::string(kHeader) +
+                          "int accum(int v);\n"
+                          "int p1(int v);\nint p2(int v);\nint p3(int v);\n"
+                          "int p4(int v);\nint p5(int v);\nint p6(int v);\n"
+                          "int p7(int v);\nint p8(int v);\n";
+  const std::string nine = std::string(kHeader) + "int accum(int v):9;\n";
+
+  auto run = [](const std::string& spec, support::telemetry::MetricsRegistry&
+                                             metrics) {
+    EngineOptions options;
+    options.metrics = &metrics;
+    Engine engine(adapters::AdapterRegistry::instance(), options);
+    DiagnosticEngine diags;
+    auto artifacts = engine.generate(spec, diags);
+    EXPECT_TRUE(artifacts.has_value()) << diags.render();
+    return artifacts;
+  };
+
+  const std::string solo = std::string(kHeader) + "int accum(int v);\n";
+
+  support::telemetry::MetricsRegistry metrics_one;
+  support::telemetry::MetricsRegistry metrics_nine;
+  support::telemetry::MetricsRegistry metrics_solo;
+  auto a = run(one, metrics_one);
+  auto b = run(nine, metrics_nine);
+  auto c = run(solo, metrics_solo);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(c.has_value());
+
+  const auto* stub_one = a->find("func_accum.vhd");
+  const auto* stub_nine = b->find("func_accum.vhd");
+  ASSERT_NE(stub_one, nullptr);
+  ASSERT_NE(stub_nine, nullptr);
+  EXPECT_EQ(stub_one->content, stub_nine->content)
+      << "per-instance stub text must not depend on the instance count";
+
+  const std::uint64_t hits_nine =
+      metrics_nine.snapshot().counters.at("gen.hdl_cse_hits");
+  const std::uint64_t hits_solo =
+      metrics_solo.snapshot().counters.at("gen.hdl_cse_hits");
+  EXPECT_GT(hits_nine, 0u) << "interning never fired on the 9-instance spec";
+  EXPECT_GT(hits_nine, hits_solo)
+      << "9 instances should share strictly more subtrees than 1";
 }
 
 TEST(Engine, LinuxDriverOption) {

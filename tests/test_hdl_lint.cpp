@@ -16,6 +16,8 @@ using namespace splice::codegen;
 /// Minimal clean module: an 8-bit register with synchronous clear.
 ast::Module base_module() {
   ast::Module m;
+  m.ctx = std::make_shared<ast::AstContext>();
+  ast::AstContext& c = *m.ctx;
   m.name = "lint_probe";
   m.arch_name = "Behavioral";
   m.ports = {
@@ -27,18 +29,28 @@ ast::Module base_module() {
   ast::Process p;
   p.kind = ast::Process::Kind::Clocked;
   p.label = "reg";
-  p.body.push_back(ast::Stmt::if_then(
-      ast::Expr::signal("RST"),
-      {ast::Stmt::assign("Q", ast::Expr::zeros(8))},
-      {ast::Stmt::assign("Q", ast::Expr::signal("D"))}));
+  p.body = c.stmts({c.if_then(
+      c.signal("RST"), c.stmts({c.assign("Q", c.zeros(8))}),
+      c.stmts({c.assign("Q", c.signal("D"))}))});
   m.processes.push_back(std::move(p));
   return m;
+}
+
+/// Append one statement to a process body (spans are immutable, so the
+/// extended list is re-materialized through the module's context).
+void append_stmt(ast::Module& m, std::size_t pi, const ast::Stmt* s) {
+  std::vector<const ast::Stmt*> body(m.processes[pi].body.begin(),
+                                     m.processes[pi].body.end());
+  body.push_back(s);
+  m.processes[pi].body = m.ctx->stmts(body);
 }
 
 /// Three-state FSM skeleton; `loop_back` reroutes S1 to S0 so that S2
 /// loses its only incoming transition.
 ast::Module fsm_module(bool loop_back) {
   ast::Module m;
+  m.ctx = std::make_shared<ast::AstContext>();
+  ast::AstContext& c = *m.ctx;
   m.name = "fsm_probe";
   m.arch_name = "Behavioral";
   m.ports = {
@@ -53,28 +65,25 @@ ast::Module fsm_module(bool loop_back) {
   ast::Process reg;
   reg.kind = ast::Process::Kind::Clocked;
   reg.label = "state_reg";
-  reg.body.push_back(ast::Stmt::if_then(
-      ast::Expr::signal("RST"),
-      {ast::Stmt::assign("cur_state", ast::Expr::state("S0"))},
-      {ast::Stmt::assign("cur_state", ast::Expr::signal("next_state"))}));
+  reg.body = c.stmts({c.if_then(
+      c.signal("RST"), c.stmts({c.assign("cur_state", c.state("S0"))}),
+      c.stmts({c.assign("cur_state", c.signal("next_state"))}))});
   m.processes.push_back(std::move(reg));
 
   ast::Process next;
   next.kind = ast::Process::Kind::Combinational;
   next.label = "next_logic";
   next.sensitivity = {"cur_state"};
-  std::vector<ast::CaseArm> arms(3);
-  arms[0].label = ast::Expr::state("S0");
-  arms[0].body.push_back(
-      ast::Stmt::assign("next_state", ast::Expr::state("S1")));
-  arms[1].label = ast::Expr::state("S1");
-  arms[1].body.push_back(ast::Stmt::assign(
-      "next_state", ast::Expr::state(loop_back ? "S0" : "S2")));
-  arms[2].label = ast::Expr::state("S2");
-  arms[2].body.push_back(
-      ast::Stmt::assign("next_state", ast::Expr::state("S0")));
-  next.body.push_back(ast::Stmt::case_of(ast::Expr::signal("cur_state"),
-                                         std::move(arms)));
+  std::vector<ast::CaseArm> arms;
+  arms.push_back(c.arm(c.state("S0"), "",
+                       c.stmts({c.assign("next_state", c.state("S1"))})));
+  arms.push_back(c.arm(
+      c.state("S1"), "",
+      c.stmts({c.assign("next_state", c.state(loop_back ? "S0" : "S2"))})));
+  arms.push_back(c.arm(c.state("S2"), "",
+                       c.stmts({c.assign("next_state", c.state("S0"))})));
+  next.body =
+      c.stmts({c.case_of(c.signal("cur_state"), c.arms(arms))});
   m.processes.push_back(std::move(next));
   return m;
 }
@@ -113,8 +122,7 @@ TEST(HdlLint, SignalCollidingWithPortIsReported) {
 
 TEST(HdlLint, UnknownSignalReference) {
   ast::Module m = base_module();
-  m.processes[0].body.push_back(
-      ast::Stmt::assign("Q", ast::Expr::signal("ghost")));
+  append_stmt(m, 0, m.ctx->assign("Q", m.ctx->signal("ghost")));
   DiagnosticEngine diags;
   EXPECT_FALSE(lint_module(m, diags));
   EXPECT_TRUE(diags.contains(DiagId::LintUnknownSignal));
@@ -124,9 +132,10 @@ TEST(HdlLint, UndrivenSignal) {
   ast::Module m = base_module();
   m.signals.push_back({{"pending"}, 1, "", true, false});
   // Read it so only the driven rule fires.
-  m.processes[0].body.push_back(ast::Stmt::if_then(
-      ast::Expr::signal("pending"),
-      {ast::Stmt::assign("Q", ast::Expr::zeros(8))}));
+  append_stmt(m, 0,
+              m.ctx->if_then(m.ctx->signal("pending"),
+                             m.ctx->stmts({m.ctx->assign(
+                                 "Q", m.ctx->zeros(8))})));
   DiagnosticEngine diags;
   EXPECT_FALSE(lint_module(m, diags));
   EXPECT_TRUE(diags.contains(DiagId::LintUndrivenSignal));
@@ -136,8 +145,7 @@ TEST(HdlLint, UndrivenSignal) {
 TEST(HdlLint, UnreadSignal) {
   ast::Module m = base_module();
   m.signals.push_back({{"scratch"}, 8, "", true, false});
-  m.processes[0].body.push_back(
-      ast::Stmt::assign("scratch", ast::Expr::signal("D")));
+  append_stmt(m, 0, m.ctx->assign("scratch", m.ctx->signal("D")));
   DiagnosticEngine diags;
   EXPECT_FALSE(lint_module(m, diags));
   EXPECT_TRUE(diags.contains(DiagId::LintUnreadSignal));
@@ -154,8 +162,7 @@ TEST(HdlLint, UserDrivenMachineryIsExempt) {
 
 TEST(HdlLint, AssignmentWidthMismatch) {
   ast::Module m = base_module();
-  m.processes[0].body.push_back(
-      ast::Stmt::assign("Q", ast::Expr::zeros(4)));
+  append_stmt(m, 0, m.ctx->assign("Q", m.ctx->zeros(4)));
   DiagnosticEngine diags;
   EXPECT_FALSE(lint_module(m, diags));
   EXPECT_TRUE(diags.contains(DiagId::LintWidthMismatch));
@@ -163,9 +170,10 @@ TEST(HdlLint, AssignmentWidthMismatch) {
 
 TEST(HdlLint, ComparisonWidthMismatch) {
   ast::Module m = base_module();
-  m.processes[0].body.push_back(ast::Stmt::if_then(
-      ast::Expr::eq(ast::Expr::signal("D"), ast::Expr::signal("RST")),
-      {ast::Stmt::assign("Q", ast::Expr::zeros(8))}));
+  append_stmt(
+      m, 0,
+      m.ctx->if_then(m.ctx->eq(m.ctx->signal("D"), m.ctx->signal("RST")),
+                     m.ctx->stmts({m.ctx->assign("Q", m.ctx->zeros(8))})));
   DiagnosticEngine diags;
   EXPECT_FALSE(lint_module(m, diags));
   EXPECT_TRUE(diags.contains(DiagId::LintWidthMismatch));
@@ -177,7 +185,7 @@ TEST(HdlLint, BitIndexOutOfRange) {
   ast::ContAssign a;
   a.target = "Q";
   a.index = 8;  // Q is [7:0]
-  a.rhs = ast::Expr::bit(0);
+  a.rhs = m.ctx->bit(0);
   g.assigns.push_back(std::move(a));
   m.cont_assigns.push_back(std::move(g));
   DiagnosticEngine diags;

@@ -2,7 +2,9 @@
 # Full local verification: the tier-1 build + test pass, a telemetry
 # smoke stage (a traced two-spec batch whose trace and stats JSON are
 # structurally validated), a backend-comparison bench smoke
-# (bench/sim_backend --smoke), followed by the same test suite under
+# (bench/sim_backend --smoke), a generation perf smoke (one cell of
+# bench/gen_throughput gated against the checked-in BENCH_gen.json
+# phase_us recording), followed by the same test suite under
 # ASan+UBSan (the `asan` preset) and under ThreadSanitizer (the `tsan`
 # preset — the parallel generation pipeline, the artifact cache and the
 # span tracer's per-thread buffers are the interesting targets).  Run
@@ -93,6 +95,45 @@ echo "== bench smoke: interp vs compiled backend comparison =="
 # (idle stepping, driver calls, fig9 scenarios, corpus replay) without
 # the full best-of-5 recording cost.  Does not rewrite BENCH_sim.json.
 build/bench/sim_backend --smoke
+
+echo "== perf smoke: phase_us regression gate vs BENCH_gen.json =="
+# One jobs=1 cache-off cell of the throughput bench (best of 3) over the
+# same 12-spec corpus the checked-in recording used, compared phase by
+# phase against BENCH_gen.json.  A >1.5x regression of the parse or
+# codegen phase fails the check: the threshold is wide enough to absorb
+# the noisy single-CPU recording machine but catches an accidental
+# return to per-generate engine rebuilds, stringstream emission, or
+# quadratic symbol lookups.  Does not rewrite BENCH_gen.json.
+PERF_DIR="$(mktemp -d)"
+trap 'rm -rf "$PERF_DIR"' EXIT
+build/bench/gen_throughput --smoke "$PERF_DIR/gen_smoke.json"
+python3 - BENCH_gen.json "$PERF_DIR/gen_smoke.json" <<'EOF'
+import json, sys
+
+def cell(path):
+    doc = json.load(open(path))
+    for s in doc["samples"]:
+        if s["jobs"] == 1 and s["cache"] == "off":
+            return s
+    raise SystemExit(f"{path}: no jobs=1 cache=off sample")
+
+recorded, fresh = cell(sys.argv[1]), cell(sys.argv[2])
+failed = False
+for phase in ("parse", "codegen"):
+    base = recorded["phase_us"][phase]
+    now = fresh["phase_us"][phase]
+    ratio = now / base if base else float("inf")
+    flag = "FAIL" if ratio > 1.5 else "ok"
+    print(f"  gen.{phase}_us: recorded {base} fresh {now} "
+          f"({ratio:.2f}x) {flag}")
+    failed |= ratio > 1.5
+if failed:
+    raise SystemExit("perf smoke FAILED: phase regression >1.5x vs "
+                     "BENCH_gen.json (re-record only if intentional)")
+print("perf smoke OK")
+EOF
+rm -rf "$PERF_DIR"
+trap - EXIT
 
 echo "== fuzz: time-boxed random-seed conformance campaign =="
 # The fixed-seed 200-spec campaign already ran as part of ctest
