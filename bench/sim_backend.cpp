@@ -19,6 +19,7 @@
 
 #include "devices/interpolator.hpp"
 #include "devices/timer.hpp"
+#include "rtl/observe/platform_observer.hpp"
 #include "runtime/platform.hpp"
 #include "testing/conformance.hpp"
 #include "testing/spec_gen.hpp"
@@ -57,6 +58,13 @@ struct Row {
   std::string unit;
   double interp = 0;
   double compiled = 0;
+  /// Decoded bus-activity shape of one call (workloads that report it):
+  /// completed transfers and wait-state cycles per call.  Cycle-exact and
+  /// backend-independent, so review can tell a timing regression (same
+  /// transactions, slower wall clock) from a workload change.
+  bool has_bus_shape = false;
+  std::uint64_t transactions = 0;
+  std::uint64_t stall_cycles = 0;
 
   [[nodiscard]] double speedup() const {
     return compiled > 0 ? interp / compiled : 0;
@@ -137,6 +145,22 @@ double run_fig9(Backend be, const devices::Scenario& sc) {
   });
 }
 
+/// One instrumented (non-timed) fig9 call with the transaction decoders
+/// attached: fills in the per-call bus shape for the row.  Runs outside
+/// the measured loops so observability costs never touch the timings.
+void fill_fig9_bus_shape(const devices::Scenario& sc, Row& row) {
+  runtime::VirtualPlatform vp(
+      devices::make_interpolator_spec("plb", false, false),
+      devices::make_interpolator_behaviors());
+  rtl::observe::PlatformObserver observer(vp);
+  observer.begin_call("interp", 0);
+  vp.call("interp", scenario_args(sc));
+  observer.end_call();
+  row.has_bus_shape = true;
+  row.transactions = observer.transactions();
+  row.stall_cycles = observer.stall_cycles();
+}
+
 /// Fuzz-corpus replay: 12 generated feature-mix specs through the full
 /// conformance path (platform build + driver replay, no HDL diff) — the
 /// fuzzer's specs/second multiplier.
@@ -214,6 +238,7 @@ int main(int argc, char** argv) {
                        "interpolator, paper-default calc latency", "ns/call",
                        run_fig9(Backend::kInterp, sc),
                        run_fig9(Backend::kCompiled, sc)});
+    fill_fig9_bus_shape(sc, rows.back());
   }
   rows.push_back(measure(
       "fuzz_corpus_12",
@@ -224,8 +249,14 @@ int main(int argc, char** argv) {
   std::printf("%-24s %12s %12s %9s  %s\n", "workload", "interp", "compiled",
               "speedup", "unit");
   for (const Row& r : rows) {
-    std::printf("%-24s %12.1f %12.1f %8.2fx  %s\n", r.name.c_str(), r.interp,
+    std::printf("%-24s %12.1f %12.1f %8.2fx  %s", r.name.c_str(), r.interp,
                 r.compiled, r.speedup(), r.unit.c_str());
+    if (r.has_bus_shape) {
+      std::printf("  (%llu txns, %llu stall cycles/call)",
+                  static_cast<unsigned long long>(r.transactions),
+                  static_cast<unsigned long long>(r.stall_cycles));
+    }
+    std::printf("\n");
   }
 
   if (smoke) {
@@ -247,9 +278,15 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"detail\": \"%s\", \"unit\": "
                  "\"%s\", \"interp\": %.1f, \"compiled\": %.1f, "
-                 "\"speedup\": %.2f}%s\n",
+                 "\"speedup\": %.2f",
                  r.name.c_str(), r.detail.c_str(), r.unit.c_str(), r.interp,
-                 r.compiled, r.speedup(), i + 1 < rows.size() ? "," : "");
+                 r.compiled, r.speedup());
+    if (r.has_bus_shape) {
+      std::fprintf(f, ", \"transactions\": %llu, \"stall_cycles\": %llu",
+                   static_cast<unsigned long long>(r.transactions),
+                   static_cast<unsigned long long>(r.stall_cycles));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 
 #include "rtl/compile/lowering.hpp"
 #include "rtl/compile/scheduler.hpp"
@@ -57,6 +58,9 @@ Executor::Executor(Simulator& sim) : sim_(sim) {
           : 0;
   gated_pending_ = gated_mask_all_;  // first cycle runs everything
   pending_ = true;
+
+  region_runs_.assign(prog_.regions.size(), 0);
+  region_iters_.assign(prog_.regions.size(), 0);
 }
 
 void Executor::wake_clocked(const Signal& s) {
@@ -142,23 +146,39 @@ void Executor::settle() {
 }
 
 void Executor::run_regions() {
-  for (const Region& r : prog_.regions) {
+  const bool prof = sim_.profiling_;
+  for (std::size_t ri = 0; ri < prog_.regions.size(); ++ri) {
+    const Region& r = prog_.regions[ri];
     const std::uint32_t b = r.first_unit;
     const std::uint32_t e = r.first_unit + r.unit_count;
     if (!r.cyclic) {
-      // Levelized: topological order guarantees one pass suffices.
-      for (std::uint32_t i = b; i < e; ++i) maybe_run(i);
+      // Levelized: topological order guarantees one pass suffices.  The
+      // profiled variant collects "did anything run"; the default loop
+      // stays free of that bookkeeping.
+      if (prof) {
+        bool any = false;
+        for (std::uint32_t i = b; i < e; ++i) any = maybe_run(i) || any;
+        if (any) ++region_runs_[ri];
+      } else {
+        for (std::uint32_t i = b; i < e; ++i) maybe_run(i);
+      }
     } else {
+      std::uint64_t iters = 0;
       for (int it = 0;; ++it) {
         bool any = false;
         for (std::uint32_t i = b; i < e; ++i) any = maybe_run(i) || any;
         if (!any) break;
+        ++iters;
         ++stats_.region_iterations;
         if (it >= Simulator::kMaxSettleIterations) {
           throw SpliceError(
               "combinational loop failed to settle in compiled region: " +
               r.cycle_desc);
         }
+      }
+      if (prof && iters > 0) {
+        ++region_runs_[ri];
+        region_iters_[ri] += iters;
       }
     }
   }
@@ -310,6 +330,25 @@ void Executor::step_gated_scan() {
   }
 }
 
+std::vector<Executor::RegionProfile> Executor::region_profiles() const {
+  std::vector<RegionProfile> out;
+  out.reserve(prog_.regions.size());
+  for (std::size_t ri = 0; ri < prog_.regions.size(); ++ri) {
+    const Region& r = prog_.regions[ri];
+    RegionProfile p;
+    p.name = prog_.units[r.first_unit].name;
+    if (r.unit_count > 1) {
+      p.name += " +" + std::to_string(r.unit_count - 1) + " more";
+    }
+    p.cyclic = r.cyclic;
+    p.units = r.unit_count;
+    p.runs = region_runs_[ri];
+    p.iterations = region_iters_[ri];
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
 void Executor::add_metrics(support::telemetry::MetricsSnapshot& snap) const {
   snap.counters["sim.compiled.unit_runs"] = stats_.unit_runs;
   snap.counters["sim.compiled.native_instrs"] = stats_.native_instrs;
@@ -330,6 +369,18 @@ void Executor::add_metrics(support::telemetry::MetricsSnapshot& snap) const {
       static_cast<std::int64_t>(prog_.regions.size());
   snap.gauges["sim.compiled.arena_slots"] =
       static_cast<std::int64_t>(prog_.n_slots);
+  if (sim_.profiling_) {
+    // sim.prof.region.NNN.* keys appear only under profiling, matching the
+    // interpreter's sim.prof.wakes.* gating.  Zero-padded index keeps the
+    // sorted metrics render in schedule order.
+    char idx[8];
+    for (std::size_t ri = 0; ri < region_runs_.size(); ++ri) {
+      std::snprintf(idx, sizeof idx, "%03zu", ri);
+      const std::string base = "sim.prof.region." + std::string(idx);
+      snap.counters[base + ".runs"] = region_runs_[ri];
+      snap.counters[base + ".iterations"] = region_iters_[ri];
+    }
+  }
 }
 
 }  // namespace splice::rtl::compile

@@ -36,6 +36,17 @@ namespace compile {
 
 class Executor {
  public:
+  /// Per-region hotspot sample (--sim-profile / sim.prof.region.* keys).
+  /// Counters accumulate only while Simulator profiling is enabled, so the
+  /// region loop stays free of bookkeeping in the default configuration.
+  struct RegionProfile {
+    std::string name;  ///< first unit's name (+ "+N more" for wider regions)
+    bool cyclic = false;
+    std::uint32_t units = 0;
+    std::uint64_t runs = 0;        ///< passes that ran at least one unit
+    std::uint64_t iterations = 0;  ///< fix-point iterations (cyclic only)
+  };
+
   /// Per-backend instrumentation (sim.compiled.* in metrics snapshots).
   struct Stats {
     std::uint64_t unit_runs = 0;
@@ -70,6 +81,9 @@ class Executor {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const StepProgram& program() const { return prog_; }
+  /// Snapshot of the per-region profiling counters (zeros unless the
+  /// simulator had profiling enabled while stepping).
+  [[nodiscard]] std::vector<RegionProfile> region_profiles() const;
   void add_metrics(support::telemetry::MetricsSnapshot& snap) const;
 
  private:
@@ -110,6 +124,10 @@ class Executor {
   std::uint64_t gated_pending_ = 0;
   std::uint64_t gated_mask_all_ = 0;  ///< one bit per gated module
   std::unordered_map<Module*, std::vector<std::uint32_t>> module_units_;
+  // Per-region profiling accumulators, indexed like prog_.regions; written
+  // only under Simulator profiling (run_regions checks the flag once).
+  std::vector<std::uint64_t> region_runs_;
+  std::vector<std::uint64_t> region_iters_;
   Stats stats_;
 };
 

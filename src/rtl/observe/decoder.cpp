@@ -1,0 +1,160 @@
+#include "rtl/observe/decoder.hpp"
+
+#include <bit>
+
+namespace splice::rtl::observe {
+
+std::uint64_t BusDecoder::transactions() const {
+  std::uint64_t n = 0;
+  for (const BusEvent& e : events()) {
+    n += (e.kind == EventKind::Read || e.kind == EventKind::Write) ? 1 : 0;
+  }
+  return n;
+}
+
+std::uint64_t BusDecoder::stall_cycles() const {
+  std::uint64_t n = 0;
+  for (const BusEvent& e : events()) n += e.wait_cycles;
+  return n;
+}
+
+void PlbDecoder::clock_edge() {
+  if (pins_.rst.high()) {
+    open_ = false;
+    return;
+  }
+  if (!open_) {
+    const bool rd = pins_.rd_req.high();
+    const bool wr = pins_.wr_req.high();
+    if (rd || wr) {
+      open_ = true;
+      is_read_ = rd;
+      const std::uint64_t ce = rd ? pins_.rd_ce.get() : pins_.wr_ce.get();
+      fid_ = ce != 0
+                 ? static_cast<std::uint32_t>(std::countr_zero(ce))
+                 : 0;
+      data_ = wr ? pins_.wr_data.get() : 0;
+      start_ = sim_cycle();
+    }
+  }
+  // A slave may acknowledge on the strobe cycle itself, so the completion
+  // check runs in the same invocation that opened the transfer.
+  if (open_) {
+    const bool acked =
+        is_read_ ? pins_.rd_ack.high() : pins_.wr_ack.high();
+    if (acked) {
+      if (is_read_) data_ = pins_.rd_data.get();
+      const std::uint64_t now = sim_cycle();
+      emit(is_read_ ? EventKind::Read : EventKind::Write, start_, now, fid_,
+           1, data_, static_cast<unsigned>(now - start_));
+      open_ = false;
+    }
+  }
+}
+
+void AhbDecoder::clock_edge() {
+  if (pins_.rst.high()) {
+    open_ = false;
+    pending_data_ = false;
+    return;
+  }
+  if (!pins_.hready.high()) {
+    // Every pin is frozen; the open transfer pays a wait state.
+    if (open_) ++wait_;
+    return;
+  }
+  if (pending_data_) {
+    const std::uint64_t word =
+        is_read_ ? pins_.hrdata.get() : pins_.hwdata.get();
+    if (beats_done_ == 0) data_ = word;
+    ++beats_done_;
+    pending_data_ = false;
+  }
+  const std::uint64_t trans = pins_.htrans.get();
+  if (trans == bus::kHtransNonseq) {
+    open_ = true;
+    is_read_ = !pins_.hwrite.high();
+    fid_ = static_cast<std::uint32_t>(pins_.haddr.get());
+    expected_ = static_cast<unsigned>(pins_.hburst.get());
+    beats_done_ = 0;
+    wait_ = 0;
+    data_ = 0;
+    start_ = sim_cycle();
+    pending_data_ = true;  // this beat's data phase rides the next cycle
+  } else if (trans == bus::kHtransSeq) {
+    pending_data_ = true;
+  }
+  if (open_ && beats_done_ >= expected_ && !pending_data_) {
+    emit(is_read_ ? EventKind::Read : EventKind::Write, start_, sim_cycle(),
+         fid_, beats_done_, data_, wait_);
+    open_ = false;
+  }
+}
+
+void ApbDecoder::clock_edge() {
+  if (pins_.rst.high()) return;
+  const bool sel = pins_.psel.high();
+  const bool enable = pins_.penable.high();
+  if (sel && !enable) setup_ = sim_cycle();
+  if (sel && enable) {
+    // The access cycle: address, direction and (for reads) PRDATA are all
+    // valid now; the APB never stalls (§2.3.1).
+    const bool write = pins_.pwrite.high();
+    emit(write ? EventKind::Write : EventKind::Read, setup_, sim_cycle(),
+         static_cast<std::uint32_t>(pins_.paddr.get()), 1,
+         write ? pins_.pwdata.get() : pins_.prdata.get(), 0);
+  }
+}
+
+void FcbDecoder::clock_edge() {
+  if (pins_.rst.high()) {
+    open_ = false;
+    return;
+  }
+  if (!open_ && pins_.op_valid.high()) {
+    open_ = true;
+    is_read_ = pins_.op_read.high();
+    fid_ = static_cast<std::uint32_t>(pins_.op_func.get());
+    expected_ = static_cast<unsigned>(pins_.op_beats.get());
+    beats_done_ = 0;
+    wait_ = 0;
+    data_ = 0;
+    start_ = sim_cycle();
+  }
+  if (!open_) return;
+  if (is_read_) {
+    if (pins_.rd_valid.high()) {
+      if (beats_done_ == 0) data_ = pins_.rd_data.get();
+      ++beats_done_;
+    } else {
+      ++wait_;  // device has not produced the next read beat
+    }
+  } else {
+    if (pins_.wr_valid.high()) {
+      if (pins_.beat_ack.high()) {
+        if (beats_done_ == 0) data_ = pins_.wr_data.get();
+        ++beats_done_;
+      } else {
+        ++wait_;  // beat presented but not yet accepted
+      }
+    }
+    // WR_VALID low mid-operation is the CPU staging the next operand
+    // (FeedDelay), not a device wait state.
+  }
+  if (beats_done_ >= expected_) {
+    emit(is_read_ ? EventKind::Read : EventKind::Write, start_, sim_cycle(),
+         fid_, beats_done_, data_, wait_);
+    open_ = false;
+  }
+}
+
+void IrqDecoder::clock_edge() {
+  const bool high = line_.high();
+  if (high == prev_) return;
+  prev_ = high;
+  const std::uint64_t now = sim_cycle();
+  emit(high ? EventKind::IrqAssert : EventKind::IrqAck, now, now, 0, 0,
+       high ? 1 : 0, 0);
+}
+
+}  // namespace splice::rtl::observe

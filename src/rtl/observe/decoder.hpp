@@ -1,0 +1,157 @@
+// Pin-level transaction decoders, one per bus protocol.
+//
+// A decoder is a pure-observer Module attached to the same simulator as the
+// bus it watches: it samples the settled pre-edge pin wavefront in
+// clock_edge() — exactly the state the SIS protocol checker and the bus
+// FSMs themselves read — and reconstructs completed transfers as BusEvents.
+// Decoders never drive or schedule a signal and never assert clock-busy, so
+// attaching one cannot perturb the simulation.
+//
+// Backend determinism: decoders declare watch_none() (no combinational
+// process) and deliberately make NO clocked declaration, so the interpreter
+// clocks them every cycle and the compiled executor places them in its
+// always-clocked set.  Both backends therefore decode the identical
+// wavefront in the identical module order, making the event stream
+// byte-comparable across backends — the lockstep conformance harness
+// asserts exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/ahb.hpp"
+#include "bus/apb.hpp"
+#include "bus/fcb.hpp"
+#include "bus/plb.hpp"
+#include "rtl/observe/txn.hpp"
+#include "rtl/simulator.hpp"
+
+namespace splice::rtl::observe {
+
+class BusDecoder : public rtl::Module {
+ public:
+  explicit BusDecoder(std::string name) : rtl::Module(std::move(name)) {
+    watch_none();  // observer: no combinational process
+    // No clocked declaration: run every cycle on both backends (see above).
+  }
+
+  [[nodiscard]] const std::vector<BusEvent>& events() const { return events_; }
+  /// Completed read/write transfers (DMA brackets and IRQ edges excluded).
+  [[nodiscard]] std::uint64_t transactions() const;
+  /// Total wait-state cycles accumulated inside completed transfers.
+  [[nodiscard]] std::uint64_t stall_cycles() const;
+
+ protected:
+  void emit(EventKind kind, std::uint64_t start, std::uint64_t end,
+            std::uint32_t fid, unsigned beats, std::uint64_t data,
+            unsigned wait) {
+    events_.push_back(BusEvent{kind, start, end, fid, beats, data, wait});
+  }
+
+ private:
+  std::vector<BusEvent> events_;
+};
+
+/// CoreConnect request/acknowledge handshake (PLB; the OPB model reuses the
+/// same pins, so this decoder covers both).  A transfer opens when a
+/// one-cycle RD_REQ/WR_REQ strobe appears (fid from the held one-hot chip
+/// enable, write data from DATA_IN) and completes on the matching
+/// acknowledge; wait counts the request-to-acknowledge latency.
+class PlbDecoder : public BusDecoder {
+ public:
+  explicit PlbDecoder(const bus::PlbPins& pins)
+      : BusDecoder("observe.plb"), pins_(pins) {}
+  void clock_edge() override;
+  void reset() override { open_ = false; }
+
+ private:
+  bus::PlbPins pins_;  // copy of the reference bundle; aliases the signals
+  bool open_ = false;
+  bool is_read_ = false;
+  std::uint32_t fid_ = 0;
+  std::uint64_t data_ = 0;
+  std::uint64_t start_ = 0;
+};
+
+/// AMBA AHB pipelined transfers: a NONSEQ address phase opens a burst
+/// (expected beat count from the HBURST model signal), every subsequent
+/// ready cycle with an open data phase completes one beat, and HREADY low
+/// while a burst is open counts as a wait state.  DMA engine register
+/// accesses never reach the pins and are invisible here by design.
+class AhbDecoder : public BusDecoder {
+ public:
+  explicit AhbDecoder(const bus::AhbPins& pins)
+      : BusDecoder("observe.ahb"), pins_(pins) {}
+  void clock_edge() override;
+  void reset() override {
+    open_ = false;
+    pending_data_ = false;
+  }
+
+ private:
+  bus::AhbPins pins_;
+  bool open_ = false;
+  bool pending_data_ = false;  ///< next ready cycle carries a data phase
+  bool is_read_ = false;
+  std::uint32_t fid_ = 0;
+  unsigned expected_ = 0;
+  unsigned beats_done_ = 0;
+  unsigned wait_ = 0;
+  std::uint64_t data_ = 0;
+  std::uint64_t start_ = 0;
+};
+
+/// AMBA APB setup/access pair: PSEL without PENABLE marks the setup cycle,
+/// PSEL with PENABLE the single access cycle (the strictly synchronous
+/// slave may never stall, so wait is always zero).
+class ApbDecoder : public BusDecoder {
+ public:
+  explicit ApbDecoder(const bus::ApbPins& pins)
+      : BusDecoder("observe.apb"), pins_(pins) {}
+  void clock_edge() override;
+
+ private:
+  bus::ApbPins pins_;
+  std::uint64_t setup_ = 0;
+};
+
+/// Xilinx FCB operations: a one-cycle OP_VALID header opens the operation
+/// (direction, function id and beat count ride along), write beats complete
+/// on WR_VALID+BEAT_ACK (a presented-but-unacknowledged beat is a wait
+/// state), read beats on RD_VALID (a cycle without one is a wait state).
+class FcbDecoder : public BusDecoder {
+ public:
+  explicit FcbDecoder(const bus::FcbPins& pins)
+      : BusDecoder("observe.fcb"), pins_(pins) {}
+  void clock_edge() override;
+  void reset() override { open_ = false; }
+
+ private:
+  bus::FcbPins pins_;
+  bool open_ = false;
+  bool is_read_ = false;
+  std::uint32_t fid_ = 0;
+  unsigned expected_ = 0;
+  unsigned beats_done_ = 0;
+  unsigned wait_ = 0;
+  std::uint64_t data_ = 0;
+  std::uint64_t start_ = 0;
+};
+
+/// Interrupt line edges (%irq_support): a rise is an IrqAssert instant, a
+/// fall — the device clearing its request after the ISR's status read — an
+/// IrqAck instant.
+class IrqDecoder : public BusDecoder {
+ public:
+  explicit IrqDecoder(rtl::Signal& line)
+      : BusDecoder("observe.irq"), line_(line) {}
+  void clock_edge() override;
+  void reset() override { prev_ = false; }
+
+ private:
+  rtl::Signal& line_;
+  bool prev_ = false;
+};
+
+}  // namespace splice::rtl::observe

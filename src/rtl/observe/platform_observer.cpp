@@ -1,0 +1,127 @@
+#include "rtl/observe/platform_observer.hpp"
+
+#include <algorithm>
+
+#include "runtime/cpu.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::rtl::observe {
+namespace {
+
+template <typename Bus>
+Bus& bus_as(runtime::VirtualPlatform& vp) {
+  auto* bus = dynamic_cast<Bus*>(&vp.port());
+  if (bus == nullptr) {
+    throw SpliceError("platform bus does not match its declared kind");
+  }
+  return *bus;
+}
+
+}  // namespace
+
+PlatformObserver::PlatformObserver(runtime::VirtualPlatform& vp) : vp_(vp) {
+  rtl::Simulator& sim = vp.sim();
+  switch (vp.bus_kind()) {
+    case runtime::BusKind::Plb:
+    case runtime::BusKind::Opb:
+      decoder_ = &sim.add<PlbDecoder>(bus_as<bus::PlbBus>(vp).pins());
+      break;
+    case runtime::BusKind::Ahb:
+      decoder_ = &sim.add<AhbDecoder>(bus_as<bus::AhbBus>(vp).pins());
+      break;
+    case runtime::BusKind::Apb:
+      decoder_ = &sim.add<ApbDecoder>(bus_as<bus::ApbBus>(vp).pins());
+      break;
+    case runtime::BusKind::Fcb:
+      decoder_ = &sim.add<FcbDecoder>(bus_as<bus::FcbBus>(vp).pins());
+      break;
+  }
+  if (rtl::Signal* irq_line = sim.find_signal("IRQ")) {
+    irq_ = &sim.add<IrqDecoder>(*irq_line);
+  }
+  vp.cpu().set_observer(&timeline_);
+}
+
+PlatformObserver::~PlatformObserver() { vp_.cpu().set_observer(nullptr); }
+
+void PlatformObserver::begin_call(const std::string& function,
+                                  std::size_t index) {
+  timeline_.begin_call(function, index, vp_.sim().cycle());
+}
+
+void PlatformObserver::end_call() { timeline_.end_call(vp_.sim().cycle()); }
+
+std::vector<BusEvent> PlatformObserver::merged_events() const {
+  std::vector<BusEvent> all = decoder_->events();
+  if (irq_ != nullptr) {
+    all.insert(all.end(), irq_->events().begin(), irq_->events().end());
+  }
+  all.insert(all.end(), timeline_.dma_events().begin(),
+             timeline_.dma_events().end());
+  // Each source is cycle-ordered; a stable sort over the fixed source
+  // concatenation is a pure function of the event data.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const BusEvent& a, const BusEvent& b) {
+                     if (a.end_cycle != b.end_cycle) {
+                       return a.end_cycle < b.end_cycle;
+                     }
+                     return a.start_cycle < b.start_cycle;
+                   });
+  return all;
+}
+
+std::string PlatformObserver::bus_stream() const {
+  return render_events(merged_events());
+}
+
+std::string PlatformObserver::trace_events(int pid) const {
+  return sim_trace_events(timeline_.calls(), merged_events(), pid);
+}
+
+std::string PlatformObserver::trace_json() const {
+  return sim_trace_json(timeline_.calls(), merged_events());
+}
+
+std::size_t exercise_device(runtime::VirtualPlatform& vp,
+                            PlatformObserver& observer,
+                            std::uint64_t max_cycles) {
+  std::size_t calls = 0;
+  for (const ir::FunctionDecl& fn : vp.spec().functions) {
+    drivergen::CallArgs args;
+    for (std::size_t i = 0; i < fn.inputs.size(); ++i) {
+      const ir::IoParam& p = fn.inputs[i];
+      std::uint64_t count = 1;
+      if (p.count_kind == ir::CountKind::Explicit) {
+        count = p.explicit_count;
+      } else if (p.count_kind == ir::CountKind::Implicit) {
+        for (std::size_t j = 0; j < args.size(); ++j) {
+          if (fn.inputs[j].name == p.index_var && !args[j].empty()) {
+            count = args[j][0];
+            break;
+          }
+        }
+      }
+      std::vector<std::uint64_t> vals;
+      if (!p.is_array() && p.used_as_index) {
+        vals.push_back(4);  // keeps implicit element counts small
+      } else {
+        for (std::uint64_t k = 0; k < count; ++k) {
+          vals.push_back(0x2a + 31 * i + 7 * k);
+        }
+      }
+      args.push_back(std::move(vals));
+    }
+    observer.begin_call(fn.name, calls);
+    vp.call(fn.name, args, 0, max_cycles);
+    observer.end_call();
+    ++calls;
+    if (!fn.blocking()) {
+      // Fire-and-forget: drain the in-flight calculation so the stub is
+      // idle before the next call (nowait pacing is the user's job).
+      vp.sim().step(64);
+    }
+  }
+  return calls;
+}
+
+}  // namespace splice::rtl::observe

@@ -1,0 +1,71 @@
+// One-call attachment of the observability layer to a VirtualPlatform:
+// picks the matching pin decoder for the platform's bus, watches the IRQ
+// line when %irq_support wired one up, and registers a CallTimeline with
+// the CPU master.  The decoder modules are owned by the platform's
+// simulator (they must be clocked every cycle); the observer itself only
+// holds the timeline, so it must be destroyed — or simply go out of scope —
+// before the platform it watches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/observe/decoder.hpp"
+#include "rtl/observe/timeline.hpp"
+#include "runtime/platform.hpp"
+
+namespace splice::rtl::observe {
+
+class PlatformObserver {
+ public:
+  explicit PlatformObserver(runtime::VirtualPlatform& vp);
+  ~PlatformObserver();
+  PlatformObserver(const PlatformObserver&) = delete;
+  PlatformObserver& operator=(const PlatformObserver&) = delete;
+
+  /// Bracket one driver call (call before/after VirtualPlatform::call).
+  void begin_call(const std::string& function, std::size_t index);
+  void end_call();
+
+  [[nodiscard]] const CallTimeline& timeline() const { return timeline_; }
+  [[nodiscard]] const BusDecoder& decoder() const { return *decoder_; }
+
+  /// Pin transactions, IRQ edges and DMA brackets merged into one
+  /// cycle-ordered stream (a pure sort, so backend-deterministic).
+  [[nodiscard]] std::vector<BusEvent> merged_events() const;
+
+  /// Canonical streams for the lockstep byte-comparison.
+  [[nodiscard]] std::string bus_stream() const;
+  [[nodiscard]] std::string timeline_stream() const {
+    return timeline_.render();
+  }
+
+  /// Chrome trace events / full trace file for this platform's activity.
+  [[nodiscard]] std::string trace_events(int pid) const;
+  [[nodiscard]] std::string trace_json() const;
+
+  [[nodiscard]] std::uint64_t transactions() const {
+    return decoder_->transactions();
+  }
+  [[nodiscard]] std::uint64_t stall_cycles() const {
+    return decoder_->stall_cycles();
+  }
+
+ private:
+  runtime::VirtualPlatform& vp_;
+  CallTimeline timeline_;
+  BusDecoder* decoder_ = nullptr;  // owned by the platform's simulator
+  IrqDecoder* irq_ = nullptr;      // owned by the platform's simulator
+};
+
+/// Deterministic smoke workload for CLI tracing/profiling: one driver call
+/// per declared function (instance 0) with fixed argument values —
+/// index-typed scalars get a small constant so implicit counts stay
+/// reasonable.  Non-blocking calls are drained before the next one.
+/// Returns the number of calls issued.
+std::size_t exercise_device(runtime::VirtualPlatform& vp,
+                            PlatformObserver& observer,
+                            std::uint64_t max_cycles = 200000);
+
+}  // namespace splice::rtl::observe

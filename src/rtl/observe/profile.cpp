@@ -1,0 +1,106 @@
+#include "rtl/observe/profile.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "rtl/compile/executor.hpp"
+
+namespace splice::rtl::observe {
+namespace {
+
+struct ModuleRow {
+  const std::string* name;
+  std::uint64_t evals;
+  std::uint64_t wakes;
+};
+
+std::vector<ModuleRow> module_rows(const Simulator& sim) {
+  std::vector<ModuleRow> rows;
+  for (const auto& m : sim.modules()) {
+    rows.push_back(ModuleRow{&m->name(), m->eval_count(), m->wake_count()});
+  }
+  std::sort(rows.begin(), rows.end(), [](const ModuleRow& a,
+                                         const ModuleRow& b) {
+    if (a.evals != b.evals) return a.evals > b.evals;
+    if (a.wakes != b.wakes) return a.wakes > b.wakes;
+    return *a.name < *b.name;
+  });
+  return rows;
+}
+
+void json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string render_profile(const Simulator& sim,
+                           support::telemetry::Format format) {
+  using support::telemetry::Format;
+  const auto rows = module_rows(sim);
+  const compile::Executor* exec = sim.compiled();
+  const bool compiled = sim.backend() == Simulator::Backend::kCompiled;
+
+  if (format == Format::Json) {
+    std::ostringstream os;
+    os << "{\"backend\":\"" << (compiled ? "compiled" : "interp")
+       << "\",\"profiling\":" << (sim.profiling() ? "true" : "false")
+       << ",\"modules\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "{\"name\":";
+      json_string(os, *rows[i].name);
+      os << ",\"evals\":" << rows[i].evals << ",\"wakes\":" << rows[i].wakes
+         << "}";
+    }
+    os << "],\"regions\":[";
+    if (exec != nullptr) {
+      const auto regions = exec->region_profiles();
+      for (std::size_t i = 0; i < regions.size(); ++i) {
+        if (i != 0) os << ",";
+        os << "{\"index\":" << i << ",\"name\":";
+        json_string(os, regions[i].name);
+        os << ",\"cyclic\":" << (regions[i].cyclic ? "true" : "false")
+           << ",\"units\":" << regions[i].units
+           << ",\"runs\":" << regions[i].runs
+           << ",\"iterations\":" << regions[i].iterations << "}";
+      }
+    }
+    os << "]}";
+    return os.str();
+  }
+
+  std::ostringstream os;
+  os << "simulation profile (" << (compiled ? "compiled" : "interpreter")
+     << " backend, profiling " << (sim.profiling() ? "on" : "off") << ")\n";
+  os << "  " << std::left << std::setw(32) << "module" << std::right
+     << std::setw(12) << "evals" << std::setw(12) << "wakes" << "\n";
+  for (const ModuleRow& r : rows) {
+    os << "  " << std::left << std::setw(32) << *r.name << std::right
+       << std::setw(12) << r.evals << std::setw(12) << r.wakes << "\n";
+  }
+  if (exec != nullptr) {
+    os << "  compiled regions:\n";
+    os << "  " << std::left << std::setw(6) << "idx" << std::setw(8) << "kind"
+       << std::right << std::setw(8) << "units" << std::setw(12) << "runs"
+       << std::setw(12) << "iters" << "  name\n";
+    const auto regions = exec->region_profiles();
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      const auto& r = regions[i];
+      os << "  " << std::left << std::setw(6) << i << std::setw(8)
+         << (r.cyclic ? "cyclic" : "level") << std::right << std::setw(8)
+         << r.units << std::setw(12) << r.runs << std::setw(12)
+         << r.iterations << "  " << r.name << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace splice::rtl::observe

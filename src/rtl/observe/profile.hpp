@@ -1,0 +1,26 @@
+// The --sim-profile report: where simulation time goes, for either backend.
+//
+// Interpreter: per-module eval_comb() totals plus wake statistics (worklist
+// pushes while Simulator::set_profiling(true) was active) show which
+// modules the settle wavefront keeps re-evaluating.  Compiled backend:
+// per-region execution and fix-point iteration counts (gathered by the
+// executor under the same profiling flag) show which statically scheduled
+// regions run hot and which cyclic regions iterate.  The same numbers are
+// surfaced as sim.prof.* metrics through Simulator::metrics_snapshot().
+#pragma once
+
+#include <string>
+
+#include "rtl/simulator.hpp"
+#include "support/telemetry.hpp"
+
+namespace splice::rtl::observe {
+
+/// Render the hotspot profile of `sim` (Text: human table; Json: one
+/// stable-keyed object).  Meaningful after stepping with profiling enabled;
+/// without it the wake/region counters read zero but eval totals still show.
+[[nodiscard]] std::string render_profile(
+    const Simulator& sim,
+    support::telemetry::Format format = support::telemetry::Format::Text);
+
+}  // namespace splice::rtl::observe

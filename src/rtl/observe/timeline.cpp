@@ -1,0 +1,304 @@
+#include "rtl/observe/timeline.hpp"
+
+#include <optional>
+#include <sstream>
+
+namespace splice::rtl::observe {
+namespace {
+
+using drivergen::OpCode;
+
+/// ICOB phase of one op; nullopt for neutral ops (SetAddress is address
+/// arithmetic that belongs to whichever transfer phase surrounds it).
+std::optional<IcobPhase> op_phase(OpCode op) {
+  switch (op) {
+    case OpCode::SetAddress:
+      return std::nullopt;
+    case OpCode::WriteSingle:
+    case OpCode::WriteDouble:
+    case OpCode::WriteQuad:
+    case OpCode::WriteDma:
+      return IcobPhase::Input;
+    case OpCode::WaitForResults:
+      return IcobPhase::Calc;
+    case OpCode::ReadSingle:
+    case OpCode::ReadDouble:
+    case OpCode::ReadQuad:
+    case OpCode::ReadDma:
+      return IcobPhase::Output;
+  }
+  return std::nullopt;
+}
+
+unsigned op_beats(const drivergen::DriverOp& op) {
+  switch (op.op) {
+    case OpCode::WriteSingle:
+    case OpCode::WriteDouble:
+    case OpCode::WriteQuad:
+    case OpCode::WriteDma:
+      return static_cast<unsigned>(op.data.size());
+    case OpCode::ReadSingle:
+    case OpCode::ReadDouble:
+    case OpCode::ReadQuad:
+    case OpCode::ReadDma:
+      return op.read_words;
+    case OpCode::SetAddress:
+    case OpCode::WaitForResults:
+      return 0;
+  }
+  return 0;
+}
+
+bool is_dma(OpCode op) {
+  return op == OpCode::WriteDma || op == OpCode::ReadDma;
+}
+
+void json_escape(std::ostringstream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* icob_phase_name(IcobPhase phase) {
+  switch (phase) {
+    case IcobPhase::Input: return "input";
+    case IcobPhase::Calc: return "calc";
+    case IcobPhase::Output: return "output";
+  }
+  return "?";
+}
+
+std::vector<PhaseSpan> CallSpan::phases() const {
+  // Resolve neutral ops to the nearest following phase-bearing op (or the
+  // preceding one at the tail), then merge contiguous same-phase runs.
+  std::vector<PhaseSpan> out;
+  std::vector<IcobPhase> resolved(ops.size(), IcobPhase::Input);
+  IcobPhase next = IcobPhase::Input;
+  for (std::size_t i = ops.size(); i-- > 0;) {
+    if (auto p = op_phase(ops[i].op)) next = *p;
+    resolved[i] = next;
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!out.empty() && out.back().phase == resolved[i]) {
+      out.back().end = ops[i].end;
+    } else {
+      out.push_back(PhaseSpan{resolved[i], ops[i].start, ops[i].end});
+    }
+  }
+  return out;
+}
+
+CallSpan& CallTimeline::ensure_open(std::uint64_t cycle) {
+  if (!open_) {
+    CallSpan c;
+    c.index = calls_.size();
+    c.start = cycle;
+    c.end = cycle;
+    calls_.push_back(std::move(c));
+    open_ = true;
+  }
+  return calls_.back();
+}
+
+void CallTimeline::begin_call(std::string function, std::size_t index,
+                              std::uint64_t cycle) {
+  CallSpan c;
+  c.function = std::move(function);
+  c.index = index;
+  c.start = cycle;
+  c.end = cycle;
+  calls_.push_back(std::move(c));
+  open_ = true;
+}
+
+void CallTimeline::end_call(std::uint64_t cycle) {
+  if (!open_) return;
+  calls_.back().end = cycle;
+  open_ = false;
+}
+
+void CallTimeline::on_op_start(const drivergen::DriverOp& op,
+                               std::size_t index, std::uint64_t cycle) {
+  CallSpan& call = ensure_open(cycle);
+  call.ops.push_back(OpSpan{op.op, op.fid, index, op_beats(op), cycle, cycle});
+  if (is_dma(op.op)) {
+    dma_.push_back(BusEvent{EventKind::BurstBegin, cycle, cycle, op.fid,
+                            op_beats(op), 0, 0});
+  }
+}
+
+void CallTimeline::on_op_finish(std::size_t index, std::uint64_t cycle) {
+  (void)index;
+  if (calls_.empty() || calls_.back().ops.empty()) return;
+  CallSpan& call = calls_.back();
+  OpSpan& op = call.ops.back();
+  op.end = cycle;
+  call.end = cycle;
+  if (is_dma(op.op)) {
+    dma_.push_back(
+        BusEvent{EventKind::BurstEnd, cycle, cycle, op.fid, op.beats, 0, 0});
+  }
+}
+
+void CallTimeline::on_poll(std::uint64_t cycle) {
+  if (open_) {
+    ++calls_.back().polls;
+    calls_.back().end = cycle;
+  }
+}
+
+void CallTimeline::on_irq(std::uint64_t cycle) {
+  if (open_) {
+    ++calls_.back().irqs;
+    calls_.back().end = cycle;
+  }
+}
+
+std::string CallTimeline::render() const {
+  std::ostringstream os;
+  for (const CallSpan& c : calls_) {
+    os << "call " << (c.function.empty() ? "(anonymous)" : c.function) << "#"
+       << c.index << " [" << c.start << ".." << c.end
+       << "] polls=" << c.polls << " irqs=" << c.irqs << "\n";
+    for (const OpSpan& op : c.ops) {
+      os << "  op " << op.index << ":" << drivergen::opcode_name(op.op)
+         << " fid=" << op.fid << " beats=" << op.beats << " [" << op.start
+         << ".." << op.end << "]\n";
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace emission (simulated-time axis, 1 cycle = 1 us)
+
+namespace {
+
+class EventWriter {
+ public:
+  explicit EventWriter(int pid) : pid_(pid) {}
+
+  void span(std::string_view name, std::string_view cat, std::uint64_t start,
+            std::uint64_t end, std::string_view args_json) {
+    begin(name, cat, "X", start);
+    os_ << ",\"dur\":" << (end - start);
+    finish(args_json);
+  }
+
+  void instant(std::string_view name, std::string_view cat,
+               std::uint64_t cycle, std::string_view args_json) {
+    begin(name, cat, "i", cycle);
+    os_ << ",\"s\":\"t\"";
+    finish(args_json);
+  }
+
+  void metadata(std::string_view name, std::string_view value) {
+    comma();
+    os_ << "{\"name\":\"" << name << "\",\"ph\":\"M\",\"pid\":" << pid_
+        << ",\"tid\":0,\"args\":{\"name\":\"";
+    json_escape(os_, value);
+    os_ << "\"}}";
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  void begin(std::string_view name, std::string_view cat, const char* ph,
+             std::uint64_t ts) {
+    comma();
+    os_ << "{\"name\":\"";
+    json_escape(os_, name);
+    os_ << "\",\"cat\":\"" << cat << "\",\"ph\":\"" << ph
+        << "\",\"ts\":" << ts << ",\"pid\":" << pid_ << ",\"tid\":0";
+  }
+  void finish(std::string_view args_json) {
+    os_ << ",\"args\":{" << args_json << "}}";
+  }
+  void comma() {
+    if (!first_) os_ << ",";
+    first_ = false;
+  }
+
+  std::ostringstream os_;
+  int pid_;
+  bool first_ = true;
+};
+
+std::string u64_args(
+    std::initializer_list<std::pair<const char*, std::uint64_t>> kv) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : kv) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << k << "\":" << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string sim_trace_events(const std::vector<CallSpan>& calls,
+                             const std::vector<BusEvent>& events, int pid) {
+  EventWriter w(pid);
+  w.metadata("process_name", "simulation (1 cycle = 1us)");
+  w.metadata("thread_name", "driver timeline");
+  for (const CallSpan& c : calls) {
+    w.span("call " + (c.function.empty() ? "(anonymous)" : c.function),
+           "sim.call", c.start, c.end,
+           u64_args({{"index", c.index}, {"polls", c.polls},
+                     {"irqs", c.irqs}}));
+    for (const PhaseSpan& p : c.phases()) {
+      w.span(icob_phase_name(p.phase), "sim.phase", p.start, p.end, "");
+    }
+    for (const OpSpan& op : c.ops) {
+      w.span(drivergen::opcode_name(op.op), "sim.op", op.start, op.end,
+             u64_args({{"fid", op.fid}, {"beats", op.beats}}));
+    }
+  }
+  for (const BusEvent& e : events) {
+    const std::string name =
+        std::string(event_kind_name(e.kind)) + " fid=" + std::to_string(e.fid);
+    switch (e.kind) {
+      case EventKind::Read:
+      case EventKind::Write:
+        w.span(name, "sim.bus", e.start_cycle, e.end_cycle,
+               u64_args({{"fid", e.fid},
+                         {"beats", e.beats},
+                         {"data", e.data},
+                         {"wait", e.wait_cycles}}));
+        break;
+      case EventKind::BurstBegin:
+      case EventKind::BurstEnd:
+        w.instant(name, "sim.dma", e.start_cycle,
+                  u64_args({{"fid", e.fid}, {"beats", e.beats}}));
+        break;
+      case EventKind::IrqAssert:
+      case EventKind::IrqAck:
+        w.instant(event_kind_name(e.kind), "sim.irq", e.start_cycle, "");
+        break;
+    }
+  }
+  return w.str();
+}
+
+std::string sim_trace_json(const std::vector<CallSpan>& calls,
+                           const std::vector<BusEvent>& events) {
+  return "{\"traceEvents\":[" + sim_trace_events(calls, events, 1) + "]}\n";
+}
+
+}  // namespace splice::rtl::observe

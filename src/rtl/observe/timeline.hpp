@@ -1,0 +1,110 @@
+// The SIS call timeline: driver calls, their ICOB phases and driver ops on
+// the simulated-time axis.
+//
+// A CallTimeline is a CpuObserver: the CPU master reports op boundaries,
+// status polls and taken interrupts as it executes driver programs, and the
+// harness brackets each driver call with begin_call/end_call.  Ops map onto
+// the thesis' ICOB phases — writes are the input phase, WAIT_FOR_RESULTS
+// (with its polls or interrupt sleep) the calc phase, reads the output
+// phase — and contiguous same-phase ops merge into phase spans, giving the
+// call -> phase -> op nesting the Chrome trace renders.  DMA ops
+// additionally emit BurstBegin/BurstEnd bracket events with exact beat
+// counts (the pin stream cannot distinguish a streamed word from a PIO one;
+// the op stream can).
+//
+// Determinism: callbacks fire on op-transition cycles, which the lockstep
+// harness proves identical across simulation backends, so a rendered
+// timeline is byte-comparable between the interpreter and compiled backend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "drivergen/program.hpp"
+#include "rtl/observe/txn.hpp"
+#include "runtime/cpu.hpp"
+
+namespace splice::rtl::observe {
+
+enum class IcobPhase : std::uint8_t { Input, Calc, Output };
+
+[[nodiscard]] const char* icob_phase_name(IcobPhase phase);
+
+struct OpSpan {
+  drivergen::OpCode op = drivergen::OpCode::SetAddress;
+  std::uint32_t fid = 0;
+  std::size_t index = 0;  ///< op index within the driver program
+  unsigned beats = 0;     ///< words this op moves (0 for address/wait ops)
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+struct PhaseSpan {
+  IcobPhase phase = IcobPhase::Input;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+struct CallSpan {
+  std::string function;
+  std::size_t index = 0;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t irqs = 0;
+  std::vector<OpSpan> ops;
+
+  /// Contiguous same-phase op runs merged into ICOB phase spans.
+  /// SetAddress ops are neutral and fold into the adjacent phase.
+  [[nodiscard]] std::vector<PhaseSpan> phases() const;
+};
+
+class CallTimeline final : public runtime::CpuObserver {
+ public:
+  /// Bracket one driver call.  Ops reported while no call is open fall into
+  /// an implicit anonymous call (harnesses that drive the CPU directly).
+  void begin_call(std::string function, std::size_t index,
+                  std::uint64_t cycle);
+  void end_call(std::uint64_t cycle);
+
+  // -- CpuObserver ----------------------------------------------------------
+  void on_op_start(const drivergen::DriverOp& op, std::size_t index,
+                   std::uint64_t cycle) override;
+  void on_op_finish(std::size_t index, std::uint64_t cycle) override;
+  void on_poll(std::uint64_t cycle) override;
+  void on_irq(std::uint64_t cycle) override;
+
+  [[nodiscard]] const std::vector<CallSpan>& calls() const { return calls_; }
+  /// DMA BurstBegin/BurstEnd bracket events, in cycle order.
+  [[nodiscard]] const std::vector<BusEvent>& dma_events() const {
+    return dma_;
+  }
+
+  /// Canonical one-call-per-block rendering; the lockstep harness
+  /// byte-compares this between backends.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  CallSpan& ensure_open(std::uint64_t cycle);
+
+  std::vector<CallSpan> calls_;
+  std::vector<BusEvent> dma_;
+  bool open_ = false;
+};
+
+/// Chrome trace-event JSON for the simulated-time axis (1 cycle = 1 us):
+/// call spans nest phase spans nest op spans nest bus transactions on one
+/// track, with DMA brackets and IRQ edges as instant events.  Returns the
+/// comma-joined event objects *without* the enclosing array, so callers can
+/// either wrap them (sim_trace_json) or splice them into an existing trace
+/// (Tracer::chrome_trace_json's extra_events) under a distinct pid.
+[[nodiscard]] std::string sim_trace_events(
+    const std::vector<CallSpan>& calls, const std::vector<BusEvent>& events,
+    int pid);
+
+/// A complete standalone trace file (--sim-trace-out).
+[[nodiscard]] std::string sim_trace_json(const std::vector<CallSpan>& calls,
+                                         const std::vector<BusEvent>& events);
+
+}  // namespace splice::rtl::observe

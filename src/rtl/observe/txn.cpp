@@ -1,0 +1,30 @@
+#include "rtl/observe/txn.hpp"
+
+#include <sstream>
+
+namespace splice::rtl::observe {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::Read: return "RD";
+    case EventKind::Write: return "WR";
+    case EventKind::BurstBegin: return "DMA+";
+    case EventKind::BurstEnd: return "DMA-";
+    case EventKind::IrqAssert: return "IRQ+";
+    case EventKind::IrqAck: return "IRQ-";
+  }
+  return "?";
+}
+
+std::string render_events(const std::vector<BusEvent>& events) {
+  std::ostringstream os;
+  for (const BusEvent& e : events) {
+    os << event_kind_name(e.kind) << " [" << e.start_cycle << ".."
+       << e.end_cycle << "] fid=" << e.fid << " beats=" << e.beats
+       << " data=0x" << std::hex << e.data << std::dec
+       << " wait=" << e.wait_cycles << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace splice::rtl::observe

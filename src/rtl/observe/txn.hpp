@@ -1,0 +1,45 @@
+// Transaction-level vocabulary of the simulation observability layer.
+//
+// A BusEvent is one decoded unit of bus activity: a completed word or burst
+// transfer, a DMA stream bracket, or an interrupt edge.  Events carry the
+// simulated-cycle interval they occupied on the wire, so the same records
+// feed three consumers: the canonical text stream the lockstep harness
+// byte-compares across backends, the Chrome/Perfetto trace emission, and
+// the bench counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace splice::rtl::observe {
+
+enum class EventKind : std::uint8_t {
+  Read,        ///< completed read transfer (beats words)
+  Write,       ///< completed write transfer
+  BurstBegin,  ///< DMA stream bracket: engine setup done, stream starting
+  BurstEnd,    ///< DMA stream bracket: stream drained
+  IrqAssert,   ///< interrupt line rose
+  IrqAck,      ///< interrupt line fell (device acknowledged / cleared)
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+
+struct BusEvent {
+  EventKind kind = EventKind::Read;
+  std::uint64_t start_cycle = 0;  ///< request first visible on the pins
+  std::uint64_t end_cycle = 0;    ///< completion (== start for instants)
+  std::uint32_t fid = 0;          ///< target function slot
+  unsigned beats = 0;             ///< words transferred (bursts: beat count)
+  std::uint64_t data = 0;         ///< first/only data word
+  unsigned wait_cycles = 0;       ///< stall cycles inside the transfer
+
+  bool operator==(const BusEvent&) const = default;
+};
+
+/// Canonical one-line-per-event rendering.  This is the stream the lockstep
+/// conformance harness byte-compares between the interpreter and the
+/// compiled backend, so the format must stay a pure function of the events.
+[[nodiscard]] std::string render_events(const std::vector<BusEvent>& events);
+
+}  // namespace splice::rtl::observe

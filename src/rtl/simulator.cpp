@@ -290,6 +290,13 @@ telemetry::MetricsSnapshot Simulator::metrics_snapshot() const {
     if (!m->sensitivity_declared()) ++undeclared;
   }
   snap.gauges["sim.modules_without_sensitivities"] = undeclared;
+  if (profiling_) {
+    // Hotspot profiling keys (sim.prof.*): only present with profiling on,
+    // so the default stats surface stays stable and overhead-free.
+    for (const auto& m : modules_) {
+      snap.counters["sim.prof.wakes." + m->name()] = m->wake_count();
+    }
+  }
   snap.counters["sim.compile_us"] = compile_us_total_;
   snap.counters["sim.step_us"] = step_us_total_;
   if (exec_ != nullptr) exec_->add_metrics(snap);

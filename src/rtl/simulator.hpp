@@ -110,6 +110,9 @@ class Module {
 
   /// eval_comb() invocations so far (kernel instrumentation).
   [[nodiscard]] std::uint64_t eval_count() const { return evals_; }
+  /// Event-driven worklist wakes recorded while Simulator::set_profiling
+  /// was on (hotspot profiling; always 0 otherwise).
+  [[nodiscard]] std::uint64_t wake_count() const { return wakes_; }
 
  protected:
   /// Internal state read by eval_comb() changed outside the settle phase
@@ -151,6 +154,7 @@ class Module {
   bool clock_event_ = true;   ///< a clock-watched signal changed
   std::uint32_t gate_bit_ = kNoGateBit;  ///< compiled wake-mask position
   std::uint64_t evals_ = 0;
+  std::uint64_t wakes_ = 0;  ///< worklist pushes while profiling was on
 };
 
 class Simulator {
@@ -235,6 +239,16 @@ class Simulator {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
 
+  /// Hotspot profiling (--sim-profile): while on, the interpreter charges
+  /// worklist wakes to the woken module (Module::wake_count) and the
+  /// compiled executor keeps per-region run and fix-point iteration counts.
+  /// Off by default — the hot paths then pay a single predictable branch —
+  /// so the counters read zero unless enabled before stepping.  The
+  /// gathered numbers surface as sim.prof.* keys in metrics_snapshot() and
+  /// feed observe::render_profile.
+  void set_profiling(bool on) { profiling_ = on; }
+  [[nodiscard]] bool profiling() const { return profiling_; }
+
   /// Per-instance metrics, live-fed by the kernel: distribution histograms
   /// sim.settle_iters / sim.settle_evals (per settle), sim.watch_churn
   /// (worklist pushes per settle — how hard the sensitivity wavefront
@@ -298,6 +312,7 @@ class Simulator {
     m.queued_ = true;
     worklist_.push_back(&m);
     ++stats_.worklist_pushes;
+    if (profiling_) ++m.wakes_;
   }
   /// Scheduler hook: `s` changed value; wake its fanout.  While a compiled
   /// program is live, changes instead flow into its arena import queue and
@@ -325,6 +340,7 @@ class Simulator {
   Backend backend_ = Backend::kInterp;
   std::unique_ptr<compile::Executor> exec_;
   bool program_stale_ = true;
+  bool profiling_ = false;  ///< sim.prof.* gathering (set_profiling)
   std::uint64_t compile_us_total_ = 0;  ///< sim.compile_us
   std::uint64_t step_us_total_ = 0;     ///< sim.step_us (compiled stepping)
   Stats stats_;

@@ -19,6 +19,7 @@ void CpuMaster::start_op() {
   }
   const drivergen::DriverOp& op = prog.ops[op_idx_];
   collect_read_ = false;
+  if (observer_ != nullptr) observer_->on_op_start(op, op_idx_, sim_cycle());
 
   switch (op.op) {
     case OpCode::SetAddress:
@@ -69,6 +70,7 @@ void CpuMaster::start_op() {
 }
 
 void CpuMaster::finish_op() {
+  if (observer_ != nullptr) observer_->on_op_finish(op_idx_, sim_cycle());
   ++op_idx_;
   auto& prog = programs_.front();
   if (op_idx_ >= prog.ops.size()) {
@@ -124,6 +126,7 @@ void CpuMaster::edge_impl() {
     case St::PollIssue:
       port_.read(sis::kStatusFuncId, 1);
       ++polls_;
+      if (observer_ != nullptr) observer_->on_poll(sim_cycle());
       state_ = St::PollWait;
       break;
 
@@ -150,6 +153,7 @@ void CpuMaster::edge_impl() {
       // raises its interrupt request.
       if (irq_ != nullptr && irq_->high()) {
         ++irqs_;
+        if (observer_ != nullptr) observer_->on_irq(sim_cycle());
         gap_ = bus::timing::kIsrEntryCycles;
         state_ = St::IsrEntry;
       }

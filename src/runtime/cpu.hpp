@@ -16,6 +16,22 @@
 
 namespace splice::runtime {
 
+/// Observer hook for the driver-call timeline (src/rtl/observe): the CPU
+/// master reports op boundaries, status polls and taken interrupts as they
+/// happen on the simulated clock.  Callbacks fire inside clock_edge() with
+/// the pre-edge cycle number; op transitions occur on identical cycles on
+/// both simulation backends (the lockstep harness asserts exactly that), so
+/// an observer stream is backend-deterministic by construction.
+class CpuObserver {
+ public:
+  virtual ~CpuObserver() = default;
+  virtual void on_op_start(const drivergen::DriverOp& op, std::size_t index,
+                           std::uint64_t cycle) = 0;
+  virtual void on_op_finish(std::size_t index, std::uint64_t cycle) = 0;
+  virtual void on_poll(std::uint64_t cycle) = 0;
+  virtual void on_irq(std::uint64_t cycle) = 0;
+};
+
 class CpuMaster : public rtl::Module {
  public:
   CpuMaster(bus::MasterPort& port, sis::ProtocolClass protocol)
@@ -52,6 +68,10 @@ class CpuMaster : public rtl::Module {
     watch_clocked(line);  // IrqWait sleeps until the device raises it
   }
 
+  /// Attach (or detach, with nullptr) the timeline observer.  The observer
+  /// must outlive every subsequent clock edge or be detached first.
+  void set_observer(CpuObserver* observer) { observer_ = observer; }
+
   void clock_edge() override;
   void reset() override;
 
@@ -80,6 +100,7 @@ class CpuMaster : public rtl::Module {
   bool collect_read_ = false;
   std::uint32_t poll_fid_ = 0;
   rtl::Signal* irq_ = nullptr;
+  CpuObserver* observer_ = nullptr;
   std::vector<std::uint64_t> read_words_;
   std::uint64_t polls_ = 0;
   std::uint64_t irqs_ = 0;

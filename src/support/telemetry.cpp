@@ -291,7 +291,7 @@ std::vector<Tracer::SpanRecord> Tracer::spans() const {
   return out;
 }
 
-std::string Tracer::chrome_trace_json() const {
+std::string Tracer::chrome_trace_json(std::string_view extra_events) const {
   const std::vector<SpanRecord> all = spans();
 
   // tid of every span, for flow arrows on cross-thread parent edges.
@@ -344,6 +344,13 @@ std::string Tracer::chrome_trace_json() const {
              ", \"pid\": 1, \"tid\": " + std::to_string(s.tid) +
              ", \"ts\": " + ts + "}";
     }
+  }
+  if (!extra_events.empty()) {
+    // Caller-prerendered events (e.g. the simulated-time spans from
+    // rtl/observe) ride in the same traceEvents array; the process_name
+    // metadata event above guarantees a predecessor for the comma.
+    out += ",\n";
+    out += extra_events;
   }
   out += "\n]}\n";
   return out;

@@ -191,7 +191,12 @@ class Tracer {
   /// Chrome trace-event JSON ("X" complete events, plus "s"/"f" flow
   /// arrows for spans whose parent ran on a different thread).  Loadable
   /// in Perfetto / chrome://tracing.  Same join requirement as spans().
-  [[nodiscard]] std::string chrome_trace_json() const;
+  /// `extra_events` is a caller-prerendered, comma-joined run of trace
+  /// events (no surrounding array) appended to the traceEvents list — how
+  /// the simulated-time observability spans share a file with wall-clock
+  /// generation spans (distinct pid).
+  [[nodiscard]] std::string chrome_trace_json(
+      std::string_view extra_events = {}) const;
 
   /// One recording thread's buffer: written only by its owning thread,
   /// read at merge time after the producers joined.

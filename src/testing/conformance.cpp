@@ -1,15 +1,18 @@
 #include "testing/conformance.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <sstream>
 
 #include "codegen/hdl_builder.hpp"
 #include "core/splice.hpp"
+#include "rtl/observe/platform_observer.hpp"
 #include "rtl/trace.hpp"
 #include "rtl/vcd.hpp"
 #include "runtime/platform.hpp"
 #include "support/bits.hpp"
+#include "support/telemetry.hpp"
 #include "testing/equiv.hpp"
 #include "testing/rng.hpp"
 
@@ -179,7 +182,23 @@ void simulate_spec(const ir::DeviceSpec& spec, const OracleOptions& opt,
     for (const rtl::Signal& s : vp.sim().signals()) trace->watch(s.name());
   }
 
+  // Observability layer: always attached in lockstep mode, where the two
+  // platforms' decoded transaction streams must match byte for byte (the
+  // decoders watch the same wavefront the SIS checker sees, so identical
+  // streams prove the backends presented identical pin activity).  Also
+  // attached when the caller wants a simulated-time trace file.  Declared
+  // after the platforms so the destructors detach before teardown.
+  std::unique_ptr<rtl::observe::PlatformObserver> obs;
+  std::unique_ptr<rtl::observe::PlatformObserver> shadow_obs;
+  if (opt.backend == OracleBackend::kLockstep || !opt.sim_trace_out.empty()) {
+    obs = std::make_unique<rtl::observe::PlatformObserver>(vp);
+    if (shadow != nullptr) {
+      shadow_obs = std::make_unique<rtl::observe::PlatformObserver>(*shadow);
+    }
+  }
+
   Rng rng(splitmix64(opt.call_seed));
+  std::size_t call_index = 0;
   for (const ir::FunctionDecl& fn : spec.functions) {
     for (unsigned c = 0; c < opt.calls_per_function; ++c) {
       const auto instance =
@@ -197,14 +216,27 @@ void simulate_spec(const ir::DeviceSpec& spec, const OracleOptions& opt,
       const elab::CalcResult want = expected_calc(fn, instance, masked);
 
       try {
+        // One wall-clock span per replayed driver call (visible in the
+        // fuzzer's --trace-out file); args carry the call index and the
+        // checker verdict so a failing call is findable in the trace.
+        support::telemetry::Span call_span("conf.call", "conf");
+        call_span.arg("call", call_index);
+        if (obs != nullptr) obs->begin_call(fn.name, call_index);
         const runtime::CallResult got =
             vp.call(fn.name, args, instance, opt.max_cycles);
+        if (obs != nullptr) obs->end_call();
         ++res.calls;
         res.bus_cycles += got.bus_cycles;
+        call_span.arg("bus_cycles", got.bus_cycles);
+        call_span.arg("violations", vp.checker().violations().size());
         if (shadow != nullptr) {
           try {
+            if (shadow_obs != nullptr) {
+              shadow_obs->begin_call(fn.name, call_index);
+            }
             const runtime::CallResult sgot =
                 shadow->call(fn.name, args, instance, opt.max_cycles);
+            if (shadow_obs != nullptr) shadow_obs->end_call();
             if (sgot.outputs != got.outputs) {
               diverged("'" + fn.name + "' call " + std::to_string(c) +
                        ": compiled outputs " + render_vec(sgot.outputs) +
@@ -260,6 +292,7 @@ void simulate_spec(const ir::DeviceSpec& spec, const OracleOptions& opt,
                                std::to_string(instance) + " call " +
                                std::to_string(c) + ": " + e.what());
       }
+      ++call_index;
       if (!res.failures.empty()) break;  // shrink from the first failure
     }
     if (!res.failures.empty()) break;
@@ -295,6 +328,24 @@ void simulate_spec(const ir::DeviceSpec& spec, const OracleOptions& opt,
     if (shadow->checker().violations() != vp.checker().violations()) {
       diverged("protocol checker verdicts differ between backends");
     }
+  }
+
+  if (shadow_obs != nullptr) {
+    // Decoded observability streams must be byte-identical: the bus stream
+    // (pin transactions + IRQ edges + DMA brackets, cycle-ordered) and the
+    // driver-call timeline (op spans, poll/irq counts) are pure functions
+    // of the pin wavefront and the CPU op sequence respectively.
+    if (shadow_obs->bus_stream() != obs->bus_stream()) {
+      diverged("decoded bus-transaction streams differ between backends");
+    }
+    if (shadow_obs->timeline_stream() != obs->timeline_stream()) {
+      diverged("driver-call timelines differ between backends");
+    }
+  }
+
+  if (obs != nullptr && !opt.sim_trace_out.empty()) {
+    std::ofstream f(opt.sim_trace_out, std::ios::binary);
+    f << obs->trace_json();
   }
 
   if (trace != nullptr) {

@@ -34,6 +34,9 @@ struct OracleOptions {
   /// When non-empty, record every simulator signal and write a VCD here
   /// (used when re-running a failing spec for the repro corpus).
   std::string vcd_out;
+  /// When non-empty, attach the observability layer and write the decoded
+  /// simulated-time trace (Chrome/Perfetto JSON) of the replay here.
+  std::string sim_trace_out;
 };
 
 struct OracleResult {

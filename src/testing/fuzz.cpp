@@ -14,6 +14,7 @@ OracleOptions oracle_options(const FuzzOptions& opt, std::uint64_t index) {
   o.calls_per_function = opt.calls_per_function;
   o.max_cycles = opt.max_cycles;
   o.backend = opt.backend;
+  if (index == 0) o.sim_trace_out = opt.sim_trace_out;
   return o;
 }
 

@@ -30,6 +30,10 @@ struct FuzzOptions {
   /// comparison — so the fuzzer doubles as the compiled backend's
   /// differential test rig.
   OracleBackend backend = OracleBackend::kLockstep;
+  /// When non-empty, the first spec of the campaign writes its decoded
+  /// simulated-time trace (Chrome/Perfetto JSON) here — a sampled look at
+  /// what the replayed drivers actually did on the bus.
+  std::string sim_trace_out;
   GenOptions gen;
   /// Optional counters sink: fuzz.specs, fuzz.failures, fuzz.shrinks,
   /// fuzz.calls, fuzz.bus_cycles, fuzz.backend_mismatch.

@@ -310,7 +310,8 @@ TEST(Cli, StatsFormatJsonRequiresAStatsFlag) {
   const fs::path spec = write_spec("cli_sf_nostats.splice", kTimerSpec);
   auto r = run(spec.string() + " --stats-format json --list");
   EXPECT_EQ(r.exit_code, 2);
-  EXPECT_NE(r.output.find("requires --gen-stats or --sim-stats"),
+  EXPECT_NE(r.output.find("requires --gen-stats, --sim-stats or "
+                          "--sim-profile"),
             std::string::npos)
       << r.output;
   // --print would interleave file dumps with the JSON object on stdout.

@@ -1,0 +1,411 @@
+// The simulation observability layer: pin-level transaction decoders, the
+// SIS call timeline (ICOB phase spans), DMA burst brackets, IRQ edges, the
+// hotspot profiler, and the simulated-time Chrome trace emission.  The
+// load-bearing property throughout is backend determinism — every decoded
+// stream must be byte-identical between the interpreter and the compiled
+// executor, because the lockstep conformance harness asserts exactly that
+// over the whole fuzz campaign.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/splice.hpp"
+#include "devices/timer.hpp"
+#include "rtl/compile/executor.hpp"
+#include "rtl/observe/platform_observer.hpp"
+#include "rtl/observe/profile.hpp"
+#include "rtl/observe/txn.hpp"
+#include "rtl/simulator.hpp"
+#include "runtime/platform.hpp"
+#include "testing/conformance.hpp"
+#include "testing/spec_gen.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::rtl;
+namespace obs = splice::rtl::observe;
+namespace st = splice::testing;
+
+// ---------------------------------------------------------------------------
+// Timer platform helpers (the chapter-8 worked example on every bus).
+
+struct ObservedRun {
+  std::string bus_stream;
+  std::string timeline_stream;
+  std::uint64_t transactions = 0;
+  std::uint64_t stall_cycles = 0;
+  std::vector<obs::BusEvent> events;
+  std::vector<obs::CallSpan> calls;
+  std::string trace_json;
+};
+
+ObservedRun run_timer_observed(const std::string& bus,
+                               Simulator::Backend be) {
+  devices::TimerCore core;
+  runtime::VirtualPlatform vp(devices::make_timer_spec(bus),
+                              devices::make_timer_behaviors(core));
+  vp.sim().add<devices::TimerTick>(core);
+  vp.sim().set_backend(be);
+  obs::PlatformObserver observer(vp);
+
+  const std::vector<std::pair<std::string, drivergen::CallArgs>> script = {
+      {"enable", {}},        {"set_threshold", {{25}}},
+      {"get_threshold", {}}, {"get_snapshot", {}},
+      {"get_status", {}},    {"disable", {}},
+  };
+  std::size_t index = 0;
+  for (const auto& [fn, args] : script) {
+    observer.begin_call(fn, index++);
+    vp.call(fn, args);
+    observer.end_call();
+  }
+  EXPECT_TRUE(vp.checker().clean())
+      << bus << ": " << vp.checker().violations().front();
+
+  ObservedRun run;
+  run.bus_stream = observer.bus_stream();
+  run.timeline_stream = observer.timeline_stream();
+  run.transactions = observer.transactions();
+  run.stall_cycles = observer.stall_cycles();
+  run.events = observer.merged_events();
+  run.calls = observer.timeline().calls();
+  run.trace_json = observer.trace_json();
+  return run;
+}
+
+const char* const kBuses[] = {"plb", "opb", "apb", "ahb", "fcb"};
+
+// ---------------------------------------------------------------------------
+// Generated-spec helper: full frontend pipeline, then a platform with a
+// fixed calculation behaviour so Value-returning functions answer.
+
+struct GeneratedPlatform {
+  ir::DeviceSpec spec;
+  std::unique_ptr<runtime::VirtualPlatform> vp;
+};
+
+GeneratedPlatform build_platform(const st::SpecModel& model) {
+  Engine engine;
+  DiagnosticEngine diags;
+  auto artifacts = engine.generate(model.render(), diags);
+  EXPECT_TRUE(artifacts.has_value()) << diags.render();
+  GeneratedPlatform gp;
+  gp.spec = artifacts->spec;
+  elab::BehaviorMap behaviors;
+  for (const ir::FunctionDecl& fn : gp.spec.functions) {
+    behaviors.set(fn.name, [](const elab::CallContext&) {
+      return elab::CalcResult{3, {0x5A}};
+    });
+  }
+  gp.vp = std::make_unique<runtime::VirtualPlatform>(gp.spec,
+                                                     std::move(behaviors));
+  return gp;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Observe, TimerPlatformDecodesTransactionsOnEveryBus) {
+  for (const std::string bus : kBuses) {
+    SCOPED_TRACE(bus);
+    const ObservedRun run =
+        run_timer_observed(bus, Simulator::Backend::kInterp);
+    // Every declaration moves at least one word, so the decoder must have
+    // reconstructed transfers on every protocol.
+    EXPECT_GT(run.transactions, 0u);
+    EXPECT_FALSE(run.events.empty());
+    EXPECT_FALSE(run.bus_stream.empty());
+    // set_threshold writes a 64-bit value: at least one decoded Write.
+    EXPECT_NE(run.bus_stream.find("WR"), std::string::npos);
+    // get_threshold reads one back: at least one decoded Read.
+    EXPECT_NE(run.bus_stream.find("RD"), std::string::npos);
+    for (const obs::BusEvent& e : run.events) {
+      EXPECT_LE(e.start_cycle, e.end_cycle);
+    }
+    // merged_events is sorted by (end, start) — the stream the harness
+    // byte-compares must be a pure function of the events.
+    EXPECT_TRUE(std::is_sorted(
+        run.events.begin(), run.events.end(),
+        [](const obs::BusEvent& a, const obs::BusEvent& b) {
+          return a.end_cycle != b.end_cycle ? a.end_cycle < b.end_cycle
+                                            : a.start_cycle < b.start_cycle;
+        }));
+  }
+}
+
+TEST(Observe, StreamsByteIdenticalAcrossBackendsOnEveryBus) {
+  for (const std::string bus : kBuses) {
+    SCOPED_TRACE(bus);
+    const ObservedRun interp =
+        run_timer_observed(bus, Simulator::Backend::kInterp);
+    const ObservedRun compiled =
+        run_timer_observed(bus, Simulator::Backend::kCompiled);
+    EXPECT_EQ(interp.bus_stream, compiled.bus_stream);
+    EXPECT_EQ(interp.timeline_stream, compiled.timeline_stream);
+    EXPECT_EQ(interp.transactions, compiled.transactions);
+    EXPECT_EQ(interp.stall_cycles, compiled.stall_cycles);
+    // Even the rendered Chrome trace (simulated-time axis only) matches.
+    EXPECT_EQ(interp.trace_json, compiled.trace_json);
+  }
+}
+
+TEST(Observe, TimelineNestsPhasesAndOpsInsideCalls) {
+  const ObservedRun run =
+      run_timer_observed("plb", Simulator::Backend::kInterp);
+  ASSERT_EQ(run.calls.size(), 6u);
+  EXPECT_EQ(run.calls[0].function, "enable");
+  EXPECT_EQ(run.calls[1].function, "set_threshold");
+  for (const obs::CallSpan& call : run.calls) {
+    SCOPED_TRACE(call.function);
+    EXPECT_LE(call.start, call.end);
+    ASSERT_FALSE(call.ops.empty());
+    const auto phases = call.phases();
+    ASSERT_FALSE(phases.empty());
+    for (const obs::PhaseSpan& p : phases) {
+      EXPECT_GE(p.start, call.start);
+      EXPECT_LE(p.end, call.end);
+      EXPECT_LE(p.start, p.end);
+    }
+    for (std::size_t i = 1; i < phases.size(); ++i) {
+      // Phase spans tile the call left to right and never repeat a phase
+      // back to back (contiguous same-phase ops merge).
+      EXPECT_GE(phases[i].start, phases[i - 1].end);
+      EXPECT_NE(phases[i].phase, phases[i - 1].phase);
+    }
+    for (const obs::OpSpan& op : call.ops) {
+      EXPECT_GE(op.start, call.start);
+      EXPECT_LE(op.end, call.end);
+    }
+  }
+  // A Value-returning declaration walks the full ICOB: the read-back is an
+  // Output phase preceded by the Calc wait.
+  const obs::CallSpan& get = run.calls[2];  // get_threshold
+  const auto phases = get.phases();
+  bool saw_calc = false, saw_output = false;
+  for (const obs::PhaseSpan& p : phases) {
+    saw_calc |= p.phase == obs::IcobPhase::Calc;
+    saw_output |= p.phase == obs::IcobPhase::Output;
+  }
+  EXPECT_TRUE(saw_calc);
+  EXPECT_TRUE(saw_output);
+  // set_threshold pushes a 64-bit input: its first phase is Input.
+  EXPECT_EQ(run.calls[1].phases().front().phase, obs::IcobPhase::Input);
+}
+
+TEST(Observe, DmaTransfersEmitBurstBracketsWithBeatCounts) {
+  st::SpecModel model;
+  model.device_name = "dma_dev";
+  model.bus_type = "plb";
+  model.base_address = 0x40000000;
+  model.dma_support = true;
+  st::FunctionModel f;
+  f.name = "stream_in";
+  f.ret = st::FunctionModel::Ret::Value;
+  f.output.type = "int";
+  st::ParamModel p;
+  p.type = "int";
+  p.name = "data";
+  p.bound = st::ParamModel::Bound::Explicit;
+  p.count = 4;
+  p.dma = true;
+  f.inputs = {p};
+  model.functions = {f};
+
+  GeneratedPlatform gp = build_platform(model);
+  obs::PlatformObserver observer(*gp.vp);
+  observer.begin_call("stream_in", 0);
+  gp.vp->call("stream_in", {{1, 2, 3, 4}});
+  observer.end_call();
+  EXPECT_TRUE(gp.vp->checker().clean());
+
+  const std::vector<obs::BusEvent>& dma = observer.timeline().dma_events();
+  ASSERT_EQ(dma.size(), 2u);
+  EXPECT_EQ(dma[0].kind, obs::EventKind::BurstBegin);
+  EXPECT_EQ(dma[1].kind, obs::EventKind::BurstEnd);
+  EXPECT_EQ(dma[0].beats, 4u);
+  EXPECT_EQ(dma[1].beats, 4u);
+  EXPECT_LE(dma[0].start_cycle, dma[1].start_cycle);
+  // The brackets flow into the merged stream and its rendering.
+  EXPECT_NE(observer.bus_stream().find("DMA+"), std::string::npos);
+  EXPECT_NE(observer.bus_stream().find("DMA-"), std::string::npos);
+}
+
+TEST(Observe, IrqDrivenCallsEmitInterruptEdges) {
+  // APB is the strictly synchronous protocol: WAIT_FOR_RESULTS really
+  // waits (on PLB-family buses it collapses to a NULL statement, §6.1.1),
+  // and %irq_support turns that wait into a sleep on the interrupt line.
+  st::SpecModel model;
+  model.device_name = "irq_dev";
+  model.bus_type = "apb";
+  model.base_address = 0x40000000;
+  model.irq_support = true;
+  st::FunctionModel f;
+  f.name = "compute";
+  f.ret = st::FunctionModel::Ret::Value;
+  f.output.type = "int";
+  st::ParamModel p;
+  p.type = "int";
+  p.name = "a";
+  f.inputs = {p};
+  model.functions = {f};
+
+  GeneratedPlatform gp = build_platform(model);
+  obs::PlatformObserver observer(*gp.vp);
+  observer.begin_call("compute", 0);
+  gp.vp->call("compute", {{7}});
+  observer.end_call();
+  EXPECT_TRUE(gp.vp->checker().clean());
+
+  // With %irq_support the calc wait sleeps on the interrupt line instead of
+  // polling: the timeline counts the taken IRQ and the line decoder sees
+  // the assert/clear edge pair.
+  ASSERT_EQ(observer.timeline().calls().size(), 1u);
+  EXPECT_GE(observer.timeline().calls().front().irqs, 1u);
+  bool assert_seen = false, ack_seen = false;
+  for (const obs::BusEvent& e : observer.merged_events()) {
+    assert_seen |= e.kind == obs::EventKind::IrqAssert;
+    ack_seen |= e.kind == obs::EventKind::IrqAck;
+  }
+  EXPECT_TRUE(assert_seen);
+  EXPECT_TRUE(ack_seen);
+  EXPECT_NE(observer.bus_stream().find("IRQ+"), std::string::npos);
+}
+
+TEST(Observe, SimTraceJsonCarriesNestedSpanCategories) {
+  const ObservedRun run =
+      run_timer_observed("plb", Simulator::Backend::kInterp);
+  // Structural smoke over the Chrome trace-event JSON: one span category
+  // per nesting level, complete-span phase markers, and the trailing
+  // close of the traceEvents array.
+  EXPECT_NE(run.trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"cat\":\"sim.call\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"cat\":\"sim.phase\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"cat\":\"sim.op\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"cat\":\"sim.bus\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"ph\":\"X\""), std::string::npos);
+  // Phase names from the thesis' ICOB vocabulary appear as span names.
+  EXPECT_NE(run.trace_json.find("\"name\":\"input\""), std::string::npos);
+}
+
+TEST(Observe, ProfilerCountersOnlySurfaceWhenEnabled) {
+  devices::TimerCore core;
+  runtime::VirtualPlatform vp(devices::make_timer_spec("plb"),
+                              devices::make_timer_behaviors(core));
+  vp.sim().add<devices::TimerTick>(core);
+
+  vp.call("enable");
+  auto snap = vp.sim().metrics_snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(name.rfind("sim.prof.", 0), std::string::npos)
+        << name << " leaked into the default stats surface";
+  }
+
+  vp.sim().set_profiling(true);
+  vp.call("set_threshold", {{25}});
+  snap = vp.sim().metrics_snapshot();
+  bool saw_wake = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("sim.prof.wakes.", 0) == 0 && value > 0) saw_wake = true;
+  }
+  EXPECT_TRUE(saw_wake);
+
+  // The rendered report names the hot modules in both formats.
+  const std::string text = obs::render_profile(vp.sim());
+  EXPECT_NE(text.find("interp"), std::string::npos);
+  const std::string json = obs::render_profile(
+      vp.sim(), support::telemetry::Format::Json);
+  EXPECT_NE(json.find("\"backend\""), std::string::npos);
+  EXPECT_NE(json.find("\"modules\""), std::string::npos);
+}
+
+TEST(Observe, CompiledProfilerCountsRegionRuns) {
+  devices::TimerCore core;
+  runtime::VirtualPlatform vp(devices::make_timer_spec("plb"),
+                              devices::make_timer_behaviors(core));
+  vp.sim().add<devices::TimerTick>(core);
+  vp.sim().set_backend(Simulator::Backend::kCompiled);
+  vp.sim().set_profiling(true);
+  vp.call("enable");
+  vp.call("get_status");
+
+  const compile::Executor* exec = vp.sim().compiled();
+  ASSERT_NE(exec, nullptr);
+  const auto regions = exec->region_profiles();
+  ASSERT_FALSE(regions.empty());
+  std::uint64_t total_runs = 0;
+  for (const auto& r : regions) total_runs += r.runs;
+  EXPECT_GT(total_runs, 0u);
+
+  auto snap = vp.sim().metrics_snapshot();
+  bool saw_region = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("sim.prof.region.", 0) == 0) saw_region = true;
+  }
+  EXPECT_TRUE(saw_region);
+  const std::string json = obs::render_profile(
+      vp.sim(), support::telemetry::Format::Json);
+  EXPECT_NE(json.find("\"regions\""), std::string::npos);
+  EXPECT_NE(json.find("\"backend\":\"compiled\""), std::string::npos);
+}
+
+TEST(Observe, ObserverAttachmentDoesNotPerturbTheSimulation) {
+  // Same platform, same script, with and without the observer: identical
+  // call outputs and bus-cycle counts.  Decoders must be pure observers.
+  auto run = [](bool observed) {
+    devices::TimerCore core;
+    runtime::VirtualPlatform vp(devices::make_timer_spec("plb"),
+                                devices::make_timer_behaviors(core));
+    vp.sim().add<devices::TimerTick>(core);
+    std::unique_ptr<obs::PlatformObserver> observer;
+    if (observed) observer = std::make_unique<obs::PlatformObserver>(vp);
+    std::vector<std::uint64_t> sig;
+    for (const char* fn : {"enable", "get_status", "get_clock"}) {
+      auto r = vp.call(fn);
+      sig.push_back(r.bus_cycles);
+      for (std::uint64_t v : r.outputs) sig.push_back(v);
+    }
+    return sig;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Observe, ExerciseDeviceIssuesOneCallPerDeclaration) {
+  devices::TimerCore core;
+  runtime::VirtualPlatform vp(devices::make_timer_spec("plb"),
+                              devices::make_timer_behaviors(core));
+  vp.sim().add<devices::TimerTick>(core);
+  obs::PlatformObserver observer(vp);
+  const std::size_t calls = obs::exercise_device(vp, observer);
+  EXPECT_EQ(calls, vp.spec().functions.size());
+  EXPECT_EQ(observer.timeline().calls().size(), calls);
+  EXPECT_TRUE(vp.checker().clean());
+}
+
+TEST(Observe, ConformanceOracleWritesSimTraceFile) {
+  const st::SpecModel model = st::generate_spec(7);
+  st::OracleOptions opt;
+  opt.backend = st::OracleBackend::kLockstep;
+  opt.check_equivalence = false;
+  const std::string path =
+      ::testing::TempDir() + "observe_conf_trace.json";
+  opt.sim_trace_out = path;
+  const st::OracleResult res = st::run_conformance(model, opt);
+  EXPECT_TRUE(res.ok()) << (res.failures.empty() ? "rejected"
+                                                 : res.failures.front());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string trace = ss.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"sim.call\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Schema guard for the statistics surface: the sorted set of gen.* and
+// sim.* key names (as --stats-format json emits them) is pinned against
+// tests/golden/stats_keys.txt.  Downstream dashboards and the bench
+// harness key on these names, so adding, renaming or dropping one must be
+// a conscious, reviewed change — this test fails with a full diff and
+// update instructions when the surface drifts.
+//
+// Per-module and per-region keys embed elaborated names, which depend on
+// the spec under simulation; those are normalized to a placeholder
+// (`sim.module_evals.<module>`, `sim.prof.region.<region>.runs`, ...) so
+// the golden pins the schema, not one device's module list.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/splice.hpp"
+#include "devices/timer.hpp"
+#include "runtime/platform.hpp"
+#include "support/telemetry.hpp"
+
+namespace {
+
+using namespace splice;
+
+std::string normalize(const std::string& name) {
+  auto rewrite = [&](const char* prefix,
+                     const char* placeholder) -> std::string {
+    const std::string p(prefix);
+    if (name.rfind(p, 0) != 0) return {};
+    // Keep a known trailing component (".runs"/".iterations") when the
+    // dynamic segment sits in the middle of the key.
+    const std::string rest = name.substr(p.size());
+    const std::size_t dot = rest.rfind('.');
+    if (dot != std::string::npos &&
+        (rest.substr(dot) == ".runs" || rest.substr(dot) == ".iterations")) {
+      return p + placeholder + rest.substr(dot);
+    }
+    return p + placeholder;
+  };
+  if (auto s = rewrite("sim.module_evals.", "<module>"); !s.empty()) return s;
+  if (auto s = rewrite("sim.prof.wakes.", "<module>"); !s.empty()) return s;
+  if (auto s = rewrite("sim.prof.region.", "<region>"); !s.empty()) return s;
+  return name;
+}
+
+void collect(const support::telemetry::MetricsSnapshot& snap,
+             std::set<std::string>& keys) {
+  for (const auto& [name, v] : snap.counters) {
+    keys.insert("counter " + normalize(name));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    keys.insert("gauge " + normalize(name));
+  }
+  for (const auto& [name, v] : snap.histograms) {
+    keys.insert("histogram " + normalize(name));
+  }
+}
+
+std::set<std::string> current_schema() {
+  std::set<std::string> keys;
+
+  // gen.* — one full engine run with the metrics sink attached.
+  {
+    support::telemetry::MetricsRegistry metrics;
+    EngineOptions eopts;
+    eopts.metrics = &metrics;
+    Engine engine(adapters::AdapterRegistry::instance(), eopts);
+    DiagnosticEngine diags;
+    auto artifacts = engine.generate(devices::timer_spec_text(), diags);
+    EXPECT_TRUE(artifacts.has_value()) << diags.render();
+    collect(metrics.snapshot(), keys);
+  }
+
+  // sim.* — the timer platform on both backends, profiling enabled so the
+  // sim.prof.* families are part of the pinned surface too.
+  for (const auto backend : {rtl::Simulator::Backend::kInterp,
+                             rtl::Simulator::Backend::kCompiled}) {
+    devices::TimerCore core;
+    runtime::VirtualPlatform vp(devices::make_timer_spec("plb"),
+                                devices::make_timer_behaviors(core));
+    vp.sim().add<devices::TimerTick>(core);
+    vp.sim().set_backend(backend);
+    vp.sim().set_profiling(true);
+    vp.call("enable");
+    vp.call("set_threshold", {{25}});
+    vp.call("get_status");
+    collect(vp.sim().metrics_snapshot(), keys);
+  }
+  return keys;
+}
+
+TEST(StatsSchema, KeyNamesMatchGolden) {
+  const std::set<std::string> keys = current_schema();
+  std::ostringstream rendered;
+  for (const std::string& k : keys) rendered << k << '\n';
+
+  const std::string golden_path =
+      std::string(SPLICE_GOLDEN_DIR) + "/stats_keys.txt";
+  std::ifstream f(golden_path);
+  ASSERT_TRUE(f.good()) << "missing golden fixture " << golden_path;
+  std::stringstream golden;
+  golden << f.rdbuf();
+
+  EXPECT_EQ(golden.str(), rendered.str())
+      << "The gen.*/sim.* statistics key schema changed.  If the change is "
+         "intentional, update the fixture:\n  tests/golden/stats_keys.txt\n"
+         "with the 'current schema' printed above (left side of the diff "
+         "is the golden, right side is the code's current surface), and "
+         "mention the schema change in the PR description — bench harness "
+         "and dashboards key on these names.";
+}
+
+}  // namespace

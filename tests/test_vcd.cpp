@@ -1,0 +1,117 @@
+// VCD writer edge cases: empty watch lists, designs wide enough to need
+// multi-character identifier codes, and initial values at time 0 — the
+// $dumpvars section must dump every watched signal unconditionally, or a
+// value equal to the writer's internal "unseen" state would be suppressed
+// and viewers would render never-changing signals as 'x' forever.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rtl/simulator.hpp"
+#include "rtl/trace.hpp"
+#include "rtl/vcd.hpp"
+
+namespace {
+
+using namespace splice::rtl;
+
+// A no-op module so the simulator has something to clock.
+class Idle : public Module {
+ public:
+  Idle() : Module("idle") {
+    watch_none();
+    clocked_none();
+  }
+};
+
+TEST(Vcd, ZeroSignalModuleEmitsHeaderOnly) {
+  Simulator sim;
+  sim.add<Idle>();
+  Trace trace(sim);  // nothing watched
+  sim.step(3);
+  const std::string vcd = to_vcd(trace, sim, "empty");
+  EXPECT_NE(vcd.find("$scope module empty $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_EQ(vcd.find("$var"), std::string::npos);
+  // With no channels there are no recorded cycles; the end-of-trace
+  // timestamp still closes the (empty) waveform.
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+}
+
+TEST(Vcd, MoreThan94SignalsGetMultiCharIdCodes) {
+  Simulator sim;
+  sim.add<Idle>();
+  Trace trace(sim);
+  for (int i = 0; i < 100; ++i) {
+    Signal& s = sim.signal("sig" + std::to_string(i), 8);
+    s.drive(static_cast<std::uint64_t>(i));
+    trace.watch(s);
+  }
+  sim.step(2);
+  const std::string vcd = to_vcd(trace, sim, "wide");
+  // Signal 0 gets "!", signal 94 wraps to the two-character code "!\"".
+  EXPECT_NE(vcd.find("$var wire 8 ! sig0 $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 8 !\" sig94 $end"), std::string::npos);
+  // Every signal's initial value appears in the $dumpvars section with its
+  // (possibly multi-char) code.
+  EXPECT_NE(vcd.find("b01011110 !\""), std::string::npos);  // sig94 == 94
+}
+
+TEST(Vcd, InitialValuesDumpedAtTimeZero) {
+  Simulator sim;
+  sim.add<Idle>();
+  Signal& never = sim.signal("never_changes", 8);
+  never.drive(std::uint64_t{0x42});
+  Signal& zero = sim.signal("zero", 1);
+  Trace trace(sim);
+  trace.watch(never);
+  trace.watch(zero);
+  sim.step(3);
+  const std::string vcd = to_vcd(trace, sim, "top");
+  const std::size_t dump = vcd.find("$dumpvars");
+  ASSERT_NE(dump, std::string::npos);
+  const std::size_t end = vcd.find("$end", dump);
+  const std::string initial = vcd.substr(dump, end - dump);
+  // Both signals appear in the initial dump even though neither ever
+  // changes — including the one whose value is 0.
+  EXPECT_NE(initial.find("b01000010 !"), std::string::npos);
+  EXPECT_NE(initial.find("0\""), std::string::npos);
+}
+
+TEST(Vcd, AllOnes64BitValueAtTimeZeroIsNotSuppressed) {
+  Simulator sim;
+  sim.add<Idle>();
+  Signal& wide = sim.signal("wide", 64);
+  wide.drive(~std::uint64_t{0});
+  Trace trace(sim);
+  trace.watch(wide);
+  sim.step(2);
+  const std::string vcd = to_vcd(trace, sim, "top");
+  // 64 ones, dumped at time 0 despite matching any internal sentinel.
+  EXPECT_NE(vcd.find("b" + std::string(64, '1') + " !"), std::string::npos);
+}
+
+TEST(Vcd, ChangeAtTimeZeroThenTogglesRecordedOnce) {
+  Simulator sim;
+  Signal& s = sim.signal("s", 1);
+  s.drive(std::uint64_t{1});
+  sim.add<Idle>();
+  Trace trace(sim);
+  trace.watch(s);
+  sim.step();      // cycle 0 sampled high
+  s.drive(std::uint64_t{0});
+  sim.step();      // cycle 1 sampled low
+  sim.step();      // cycle 2 unchanged
+  const std::string vcd = to_vcd(trace, sim, "top");
+  // High at #0 (inside $dumpvars), one change to low at #1, nothing at #2.
+  const std::size_t t0 = vcd.find("#0");
+  const std::size_t t1 = vcd.find("#1");
+  ASSERT_NE(t0, std::string::npos);
+  ASSERT_NE(t1, std::string::npos);
+  EXPECT_NE(vcd.find("1!", t0), std::string::npos);
+  EXPECT_NE(vcd.find("0!", t1), std::string::npos);
+  EXPECT_EQ(vcd.find("#2"), std::string::npos);  // no change, no timestamp
+  EXPECT_NE(vcd.find("#3"), std::string::npos);  // end-of-trace marker
+}
+
+}  // namespace

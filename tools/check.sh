@@ -89,6 +89,76 @@ EOF
 rm -rf "$SMOKE_DIR"
 trap - EXIT
 
+echo "== sim-trace smoke: decoded simulated-time trace + profile =="
+# Drive the simulation observability layer end to end: one spec simulated
+# with --sim-trace-out (standalone Perfetto trace on the simulated-time
+# axis), --sim-profile (hotspot report + sim.prof.* metrics) and a
+# combined --trace-out (the wall-clock generation trace with the sim
+# events embedded under their own pid).  Validate structure, nesting and
+# key gating with python.
+SIM_DIR="$(mktemp -d)"
+trap 'rm -rf "$SIM_DIR"' EXIT
+cat > "$SIM_DIR/dev.splice" <<'EOF'
+%device_name sim_smoke
+%bus_type plb
+%bus_width 32
+%base_address 0x80000000
+int set(int v);
+int get();
+EOF
+build/tools/splice --sim-trace-out "$SIM_DIR/sim_trace.json" \
+  --sim-profile --sim-stats --stats-format json \
+  --trace-out "$SIM_DIR/combined.json" \
+  -o "$SIM_DIR/out" "$SIM_DIR/dev.splice" > "$SIM_DIR/stats.json"
+python3 - "$SIM_DIR/sim_trace.json" "$SIM_DIR/stats.json" \
+  "$SIM_DIR/combined.json" <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+by_cat = {}
+for e in spans:
+    by_cat.setdefault(e["cat"], []).append(e)
+for cat in ("sim.call", "sim.phase", "sim.op", "sim.bus"):
+    assert by_cat.get(cat), f"sim trace has no {cat} spans"
+# The simulated-time axis nests: every phase sits inside a call, every op
+# inside a phase (exact containment — cycle timestamps don't round).
+def inside(e, parents):
+    return any(p["ts"] <= e["ts"] and
+               e["ts"] + e["dur"] <= p["ts"] + p["dur"] for p in parents)
+for e in by_cat["sim.phase"]:
+    assert inside(e, by_cat["sim.call"]), f"phase outside any call: {e}"
+for e in by_cat["sim.op"]:
+    assert inside(e, by_cat["sim.phase"]), f"op outside any phase: {e}"
+icob = {e["name"] for e in by_cat["sim.phase"]}
+assert icob <= {"input", "calc", "output"}, icob
+
+stats = json.load(open(sys.argv[2]))
+spec = stats["specs"][0]
+assert spec["exit_code"] == 0, spec
+counters = spec["sim"]["metrics"]["counters"]
+prof_keys = [k for k in counters if k.startswith("sim.prof.")]
+assert prof_keys, "no sim.prof.* counters despite --sim-profile"
+profile = spec["profile"]
+assert profile["profiling"] is True
+assert profile["modules"], "profile reports no modules"
+
+combined = json.load(open(sys.argv[3]))
+cevents = combined["traceEvents"]
+sim_pids = {e["pid"] for e in cevents
+            if str(e.get("cat", "")).startswith("sim.")}
+gen_pids = {e["pid"] for e in cevents
+            if e.get("ph") == "X" and e.get("cat") == "gen"}
+assert sim_pids, "combined trace carries no embedded sim.* events"
+assert gen_pids and sim_pids.isdisjoint(gen_pids), \
+    "sim events must live under their own pid next to the wall-clock trace"
+print(f"sim-trace smoke OK: {len(spans)} sim spans, "
+      f"{len(prof_keys)} sim.prof keys, "
+      f"{sum(len(v) for v in by_cat.values())} events")
+EOF
+rm -rf "$SIM_DIR"
+trap - EXIT
+
 echo "== bench smoke: interp vs compiled backend comparison =="
 # One abbreviated pass of the backend-comparison harness: catches
 # compiled-backend crashes or gross regressions on every workload shape

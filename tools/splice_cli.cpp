@@ -23,6 +23,15 @@
 //     --sim-backend {interp,compiled}  simulation backend for --sim-stats:
 //                  the dynamic-worklist interpreter (default) or the
 //                  statically scheduled compiled step program
+//     --sim-trace-out FILE  elaborate the device, replay one driver call
+//                  per declared function and write the decoded activity —
+//                  driver calls, ICOB phases, bus transactions, IRQ/DMA
+//                  events — as Chrome trace-event JSON on a simulated-time
+//                  axis (1 cycle = 1 us).  With several specs the device
+//                  name is appended to FILE.
+//     --sim-profile  enable hotspot profiling (per-module wake counts,
+//                  per-region execution counts) during the simulation and
+//                  print the profile report
 //     --stats-format {text,json}  how --gen-stats / --sim-stats render:
 //                  the human tables (default) or one machine-readable JSON
 //                  object on stdout
@@ -53,6 +62,8 @@
 #include "adapters/registry.hpp"
 #include "core/artifact_cache.hpp"
 #include "core/splice.hpp"
+#include "rtl/observe/platform_observer.hpp"
+#include "rtl/observe/profile.hpp"
 #include "rtl/simulator.hpp"
 #include "runtime/platform.hpp"
 #include "support/job_pool.hpp"
@@ -84,6 +95,11 @@ void usage(const char* argv0) {
       "               the kernel instrumentation counters\n"
       "  --sim-backend {interp,compiled}  backend for --sim-stats\n"
       "               (default interp)\n"
+      "  --sim-trace-out FILE  replay one driver call per function and\n"
+      "               write the decoded bus/driver activity as Chrome\n"
+      "               trace-event JSON on a simulated-time axis\n"
+      "  --sim-profile  profile the simulation (module wakes, compiled\n"
+      "               regions) and print the hotspot report\n"
       "  --stats-format {text,json}  stats rendering: human tables\n"
       "               (default) or one JSON object on stdout\n"
       "  --trace-out FILE  write a Chrome trace-event JSON span trace of\n"
@@ -129,12 +145,22 @@ struct CliOptions {
   bool lint_only = false;
   bool sim_stats = false;
   bool gen_stats = false;
+  bool sim_profile = false;
+  std::string sim_trace_out;
+  /// --trace-out is active: collect the simulated-time events so they can
+  /// ride in the wall-clock trace file (distinct pid) too.
+  bool embed_sim_trace = false;
   telemetry::Format stats_format = telemetry::Format::Text;
   std::uint64_t sim_cycles = 2000;
   splice::rtl::Simulator::Backend sim_backend =
       splice::rtl::Simulator::Backend::kInterp;
   unsigned jobs = 1;
   splice::EngineOptions engine;
+
+  /// Any of the simulation modes: they share the elaborate-and-step path.
+  [[nodiscard]] bool sim_requested() const {
+    return sim_stats || sim_profile || !sim_trace_out.empty();
+  }
 };
 
 /// Everything one spec's compile produced, buffered so batch output prints
@@ -151,7 +177,10 @@ struct SpecResult {
   /// bleed into each other's numbers).
   splice::CacheStats cache;
   bool cache_used = false;
-  std::string sim_json;  ///< render_stats(..., Json) when --sim-stats
+  std::string sim_json;       ///< render_stats(..., Json) when --sim-stats
+  std::string profile_json;   ///< render_profile(..., Json) when --sim-profile
+  std::string sim_trace;      ///< full trace file body for --sim-trace-out
+  std::string sim_trace_events;  ///< pid-2 events for --trace-out embedding
 };
 
 void compile_one(const std::string& spec_path, const CliOptions& opt,
@@ -176,7 +205,7 @@ void compile_one(const std::string& spec_path, const CliOptions& opt,
 
   // Modes that need the elaborated spec (lint summary, simulation) bypass
   // the cache: a cache hit deliberately skips elaboration.
-  if (opt.lint_only || opt.sim_stats) {
+  if (opt.lint_only || opt.sim_requested()) {
     auto artifacts = engine.generate(spec_text, diags);
     res.err = diags.render();
     if (!artifacts) {
@@ -206,12 +235,42 @@ void compile_one(const std::string& spec_path, const CliOptions& opt,
       splice::runtime::VirtualPlatform vp(artifacts->spec,
                                           splice::elab::BehaviorMap{});
       vp.sim().set_backend(opt.sim_backend);
+      if (opt.sim_profile) vp.sim().set_profiling(true);
+
+      // --sim-trace-out (or --trace-out alongside a sim mode): attach the
+      // observability layer and replay one driver call per declared
+      // function so the trace shows real bus activity, not just idling.
+      std::unique_ptr<splice::rtl::observe::PlatformObserver> observer;
+      if (!opt.sim_trace_out.empty() || opt.embed_sim_trace) {
+        observer =
+            std::make_unique<splice::rtl::observe::PlatformObserver>(vp);
+        const std::size_t calls =
+            splice::rtl::observe::exercise_device(vp, *observer);
+        sim_span.arg("driver_calls", calls);
+      }
       vp.sim().step(opt.sim_cycles);
-      if (json) {
-        res.sim_json = splice::rtl::render_stats(vp.sim(),
-                                                 telemetry::Format::Json);
-      } else {
-        res.out = splice::rtl::render_stats(vp.sim());
+
+      if (observer != nullptr) {
+        if (!opt.sim_trace_out.empty()) res.sim_trace = observer->trace_json();
+        if (opt.embed_sim_trace) {
+          res.sim_trace_events = observer->trace_events(/*pid=*/2);
+        }
+      }
+      if (opt.sim_profile) {
+        if (json) {
+          res.profile_json = splice::rtl::observe::render_profile(
+              vp.sim(), telemetry::Format::Json);
+        } else {
+          res.out += splice::rtl::observe::render_profile(vp.sim());
+        }
+      }
+      if (opt.sim_stats) {
+        if (json) {
+          res.sim_json = splice::rtl::render_stats(vp.sim(),
+                                                   telemetry::Format::Json);
+        } else {
+          res.out += splice::rtl::render_stats(vp.sim());
+        }
       }
     } catch (const splice::SpliceError& e) {
       res.err += std::string("error: simulation failed: ") + e.what() + "\n";
@@ -317,6 +376,7 @@ std::string render_json_stats(const std::vector<std::string>& spec_paths,
              ", \"corrupt\": " + std::to_string(r.cache.corrupt) + "}";
     }
     if (!r.sim_json.empty()) out += ", \"sim\": " + r.sim_json;
+    if (!r.profile_json.empty()) out += ", \"profile\": " + r.profile_json;
     out += "}";
   }
   out += "]";
@@ -434,6 +494,14 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
+    } else if (arg == "--sim-profile") {
+      opt.sim_profile = true;
+    } else if (arg == "--sim-trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --sim-trace-out needs a file path\n");
+        return 2;
+      }
+      opt.sim_trace_out = argv[++i];
     } else if (arg == "--sim-backend") {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
@@ -471,10 +539,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (opt.stats_format == telemetry::Format::Json) {
-    if (!opt.gen_stats && !opt.sim_stats) {
+    if (!opt.gen_stats && !opt.sim_stats && !opt.sim_profile) {
       std::fprintf(stderr,
-                   "error: --stats-format json requires --gen-stats or "
-                   "--sim-stats\n");
+                   "error: --stats-format json requires --gen-stats, "
+                   "--sim-stats or --sim-profile\n");
       return 2;
     }
     if (opt.print_files) {
@@ -505,10 +573,13 @@ int main(int argc, char** argv) {
                         opt.engine);
 
   // --trace-out: install the process-wide tracer for the batch's lifetime.
+  // When a simulation mode runs too, its simulated-time spans are embedded
+  // in the same trace file under their own pid.
   std::unique_ptr<telemetry::Tracer> tracer;
   if (!trace_out.empty()) {
     tracer = std::make_unique<telemetry::Tracer>();
     telemetry::Tracer::install(tracer.get());
+    opt.embed_sim_trace = opt.sim_requested();
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -532,13 +603,41 @@ int main(int argc, char** argv) {
     // Uninstall before reading: the pool threads are idle (parallel_for
     // joined), so every span is closed and the merge is race-free.
     telemetry::Tracer::install(nullptr);
+    std::string sim_events;
+    for (const SpecResult& r : results) {
+      if (r.sim_trace_events.empty()) continue;
+      if (!sim_events.empty()) sim_events += ",\n";
+      sim_events += r.sim_trace_events;
+    }
     std::ofstream f(trace_out, std::ios::binary);
-    f << tracer->chrome_trace_json();
+    f << tracer->chrome_trace_json(sim_events);
     f.flush();
     if (!f) {
       std::fprintf(stderr, "error: cannot write trace to '%s'\n",
                    trace_out.c_str());
       exit_code = 1;
+    }
+  }
+
+  // --sim-trace-out: one standalone simulated-time trace per spec.  A
+  // single spec writes exactly the requested path; a batch appends the
+  // device name so the files stay distinct.
+  if (!opt.sim_trace_out.empty()) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const SpecResult& r = results[i];
+      if (r.sim_trace.empty()) continue;
+      std::string path = opt.sim_trace_out;
+      if (results.size() > 1) {
+        path += "." + (r.device.empty() ? std::to_string(i) : r.device);
+      }
+      std::ofstream f(path, std::ios::binary);
+      f << r.sim_trace;
+      f.flush();
+      if (!f) {
+        std::fprintf(stderr, "error: cannot write sim trace to '%s'\n",
+                     path.c_str());
+        exit_code = 1;
+      }
     }
   }
 

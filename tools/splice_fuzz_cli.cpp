@@ -16,6 +16,11 @@
 //                       or both (default both — lockstep differential run
 //                       with cycle-exact trace comparison)
 //     --trace-out FILE  Chrome trace-event JSON of the campaign spans
+//                       (per-spec and per-driver-call, with the call index
+//                       and checker verdict in each call span's args)
+//     --sim-trace-out FILE  write the first spec's decoded simulated-time
+//                       trace (driver calls, ICOB phases, bus
+//                       transactions) as Chrome trace-event JSON
 //     --metrics         print the fuzz.* counters after the run
 //     -h, --help        this text
 //
@@ -47,6 +52,8 @@ void usage(const char* argv0) {
       "  --backend B       interp, compiled, or both (default both:\n"
       "                    lockstep differential replay of the backends)\n"
       "  --trace-out FILE  write a Chrome trace-event JSON span trace\n"
+      "  --sim-trace-out FILE  write the first spec's decoded\n"
+      "                    simulated-time trace (Chrome trace-event JSON)\n"
       "  --metrics         print fuzz.* counters after the run\n"
       "  -h, --help        this text\n",
       argv0);
@@ -119,6 +126,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--trace-out") {
       trace_out = need_value("--trace-out");
+    } else if (arg == "--sim-trace-out") {
+      opt.sim_trace_out = need_value("--sim-trace-out");
     } else if (arg == "--metrics") {
       print_metrics = true;
     } else {
