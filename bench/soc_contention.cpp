@@ -1,0 +1,254 @@
+// SoC contention/saturation rows alongside the fig9 table: the same
+// two-device workload pushed through the scenario matrix — one master vs
+// two contending masters, flat root-bus topology vs a device behind the
+// PLB<->OPB bridge, and nowait completion by status polling vs the
+// interrupt fabric.  Every workload runs on both simulation backends
+// (paired interp/compiled timings, like sim_backend.cpp) and each row
+// also records its cycle-exact per-round bus time, so review can separate
+// a timing regression from a workload change.  Results append the
+// "soc_contention" object to BENCH_sim.json (or argv[1]); `--smoke`
+// shrinks the loops for tools/check.sh.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "runtime/soc.hpp"
+#include "support/diagnostics.hpp"
+
+namespace {
+
+using namespace splice;
+using Clock = std::chrono::steady_clock;
+using Backend = rtl::Simulator::Backend;
+
+int g_reps = 5;
+double g_scale = 1.0;
+
+template <typename Fn>
+double best_of(std::uint64_t items, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < g_reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const double dt =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    best = std::min(best, dt / static_cast<double>(items));
+  }
+  return best;
+}
+
+std::uint64_t scaled(std::uint64_t n) {
+  const auto s = static_cast<std::uint64_t>(static_cast<double>(n) * g_scale);
+  return s == 0 ? 1 : s;
+}
+
+struct Row {
+  std::string name;
+  std::string detail;
+  double interp = 0;    ///< ns per round, interpreter backend
+  double compiled = 0;  ///< ns per round, compiled backend
+  /// Simulated bus cycles one round consumes — deterministic and
+  /// backend-independent (the lockstep tests assert as much).
+  std::uint64_t cycles = 0;
+
+  [[nodiscard]] double speedup() const {
+    return compiled > 0 ? interp / compiled : 0;
+  }
+};
+
+ir::DeviceSpec make_spec(const std::string& name, const std::string& body) {
+  std::string text = "%device_name " + name +
+                     "\n%bus_type plb\n%bus_width 32\n"
+                     "%base_address 0x80000000\n\n" + body + "\n";
+  DiagnosticEngine diags;
+  auto spec = frontend::parse_spec(text, diags);
+  if (!spec.has_value() || !ir::validate(*spec, diags)) {
+    std::fprintf(stderr, "bench spec rejected:\n%s", diags.render().c_str());
+    std::exit(1);
+  }
+  return std::move(*spec);
+}
+
+runtime::SocDevice make_device(const std::string& name,
+                               const std::string& body, unsigned segment,
+                               unsigned calc_cycles) {
+  runtime::SocDevice dev;
+  dev.spec = make_spec(name, body);
+  dev.segment = segment;
+  for (const ir::FunctionDecl& fn : dev.spec.functions) {
+    dev.behaviors.set(fn.name, [calc_cycles](const elab::CallContext& ctx) {
+      return elab::CalcResult{calc_cycles, {ctx.scalar(0) * 2}};
+    });
+  }
+  return dev;
+}
+
+/// The contention workload: two devices, one round = one `int f(int)` call
+/// to each.  With one master the calls run back to back; with two masters
+/// both are queued first and drained concurrently through the round-robin
+/// mux, so the round's cost shows what arbitration saves (wall clock) and
+/// charges (contended grant cycles).
+double run_two_device_round(Backend be, unsigned masters, bool bridged,
+                            std::uint64_t* cycles_out) {
+  runtime::SocConfig config;
+  config.devices.push_back(make_device("alpha", "int f(int x);", 0, 4));
+  config.devices.push_back(
+      make_device("beta", "int g(int x);", bridged ? 1 : 0, 4));
+  config.masters = masters;
+
+  runtime::SocPlatform soc(config);
+  soc.sim().set_backend(be);
+
+  auto round = [&] {
+    if (masters == 1) {
+      soc.call(0, "f", {{7}});
+      soc.call(1, "g", {{9}});
+    } else {
+      soc.start_call(0, "f", {{7}}, 0, 0);
+      soc.start_call(1, "g", {{9}}, 0, 1);
+      soc.drain();
+    }
+  };
+
+  round();  // warm: compile + settle once
+  if (cycles_out != nullptr) {
+    const std::uint64_t c0 = soc.sim().cycle();
+    round();
+    *cycles_out = soc.sim().cycle() - c0;
+  }
+  const std::uint64_t rounds = scaled(2'000);
+  return best_of(rounds, [&] {
+    for (std::uint64_t i = 0; i < rounds; ++i) round();
+  });
+}
+
+/// The nowait-completion workload: one round = launch a 40-cycle nowait
+/// calculation, then wait for completion — spinning on the status register
+/// (polled) or sleeping until the interrupt fabric wakes the CPU (irq).
+double run_nowait_round(Backend be, bool irq, std::uint64_t* cycles_out) {
+  runtime::SocConfig config;
+  config.devices.push_back(make_device("worker", "nowait f(int x);", 0, 40));
+  config.irq = irq;
+
+  runtime::SocPlatform soc(config);
+  soc.sim().set_backend(be);
+
+  auto round = [&] {
+    soc.call(0, "f", {{7}});
+    soc.wait_completion(0, "f", 0, irq);
+  };
+
+  round();
+  if (cycles_out != nullptr) {
+    const std::uint64_t c0 = soc.sim().cycle();
+    round();
+    *cycles_out = soc.sim().cycle() - c0;
+  }
+  const std::uint64_t rounds = scaled(2'000);
+  return best_of(rounds, [&] {
+    for (std::uint64_t i = 0; i < rounds; ++i) round();
+  });
+}
+
+Row measure(const std::string& name, const std::string& detail,
+            unsigned masters, bool bridged) {
+  Row row{name, detail};
+  row.interp = run_two_device_round(Backend::kInterp, masters, bridged,
+                                    &row.cycles);
+  row.compiled =
+      run_two_device_round(Backend::kCompiled, masters, bridged, nullptr);
+  return row;
+}
+
+Row measure_nowait(const std::string& name, const std::string& detail,
+                   bool irq) {
+  Row row{name, detail};
+  row.interp = run_nowait_round(Backend::kInterp, irq, &row.cycles);
+  row.compiled = run_nowait_round(Backend::kCompiled, irq, nullptr);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_sim.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  if (smoke) {
+    g_reps = 1;
+    g_scale = 0.02;
+  }
+
+  std::printf("soc_contention: SoC scenario matrix, best of %d%s\n\n",
+              g_reps, smoke ? " (smoke)" : "");
+
+  std::vector<Row> rows;
+  rows.push_back(measure(
+      "soc_flat_1master",
+      "two root-bus devices, one master, calls back to back", 1, false));
+  rows.push_back(measure(
+      "soc_flat_2masters",
+      "two root-bus devices, two contending masters through the mux", 2,
+      false));
+  rows.push_back(measure(
+      "soc_bridged_1master",
+      "second device behind the PLB<->OPB bridge, one master", 1, true));
+  rows.push_back(measure(
+      "soc_bridged_2masters",
+      "second device behind the bridge, two contending masters", 2, true));
+  rows.push_back(measure_nowait(
+      "soc_nowait_polled",
+      "40-cycle nowait calculation, status-register polling", false));
+  rows.push_back(measure_nowait(
+      "soc_nowait_irq",
+      "40-cycle nowait calculation, interrupt-driven completion", true));
+
+  std::printf("%-24s %12s %12s %9s %12s\n", "workload", "interp(ns)",
+              "compiled(ns)", "speedup", "cycles/round");
+  for (const Row& r : rows) {
+    std::printf("%-24s %12.1f %12.1f %8.2fx %12llu\n", r.name.c_str(),
+                r.interp, r.compiled, r.speedup(),
+                static_cast<unsigned long long>(r.cycles));
+  }
+
+  if (smoke) {
+    std::printf("\nsmoke run: not writing %s\n", json_path.c_str());
+    return 0;
+  }
+
+  // Append alongside sim_backend's object: BENCH_sim.json accumulates one
+  // JSON object per bench line (concatenated objects, newline-separated).
+  std::FILE* f = std::fopen(json_path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"soc_contention\",\n");
+  std::fprintf(f, "  \"timing\": \"best of %d repetitions\",\n", g_reps);
+  std::fprintf(f, "  \"workloads\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"detail\": \"%s\", \"unit\": "
+                 "\"ns/round\", \"interp\": %.1f, \"compiled\": %.1f, "
+                 "\"speedup\": %.2f, \"cycles_per_round\": %llu}%s\n",
+                 r.name.c_str(), r.detail.c_str(), r.interp, r.compiled,
+                 r.speedup(), static_cast<unsigned long long>(r.cycles),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nappended to %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "bus/bridge.hpp"
+
+#include "support/bits.hpp"
+
+namespace splice::bus {
+
+PlbOpbBridge::PlbOpbBridge(PlbPins& upstream, MasterPort& downstream,
+                           unsigned timeout_cycles)
+    : rtl::Module("plb_opb_bridge"),
+      up_(upstream),
+      down_(downstream),
+      timeout_cycles_(timeout_cycles) {
+  watch_none();  // clocked-only: latches requests, drives registered acks
+  // Idle sleeps; an upstream request strobe (or reset) wakes it.  The
+  // forwarded operation keeps the bridge clock-busy until the upstream
+  // acknowledge has been driven and lowered again.
+  watch_clocked_all(up_.rst, up_.rd_req, up_.wr_req);
+}
+
+void PlbOpbBridge::route_irq(rtl::Signal& source, rtl::Signal& target) {
+  irq_src_ = &source;
+  irq_dst_ = &target;
+  watch_clocked(source);  // IRQ edges wake the idle bridge
+}
+
+void PlbOpbBridge::inject_fault(Fault fault, unsigned delay_cycles) {
+  fault_ = fault;
+  fault_countdown_ = delay_cycles == 0 ? 1 : delay_cycles;
+  set_clock_busy(true);  // the countdown must keep clocking
+}
+
+void PlbOpbBridge::complete_upstream(std::uint64_t read_word) {
+  if (fwd_read_) {
+    up_.rd_data.set(read_word);
+    up_.rd_ack.set(true);
+  } else {
+    up_.wr_ack.set(true);
+  }
+  state_ = St::AckHold;
+}
+
+void PlbOpbBridge::clock_edge() {
+  edge_impl();
+  const bool irq_pending =
+      phantom_hold_ > 0 ||
+      (irq_src_ != nullptr && irq_dst_ != nullptr &&
+       irq_src_->high() != irq_out_);
+  set_clock_busy(state_ != St::Idle || fault_countdown_ > 0 || irq_pending ||
+                 abandoned_ || up_.rst.high());
+}
+
+void PlbOpbBridge::edge_impl() {
+  if (up_.rst.high()) {
+    reset();
+    return;
+  }
+
+  // Registered interrupt crossing: copy the sub-segment level upstream
+  // with one bridge cycle of latency.  The phantom fault overrides it.
+  if (irq_dst_ != nullptr) {
+    bool level = irq_src_ != nullptr && irq_src_->high();
+    if (phantom_hold_ > 0) {
+      --phantom_hold_;
+      level = true;
+    }
+    if (level != irq_out_) {
+      irq_dst_->set(level);
+      irq_out_ = level;
+    }
+  }
+
+  // Armed fault countdowns.
+  if (fault_countdown_ > 0 && --fault_countdown_ == 0) {
+    if (fault_ == Fault::WildRequest) {
+      // Downstream traffic no upstream grant ever asked for: a one-word
+      // status read of the first sub-segment slave.  The bridge does not
+      // track it — the cross-device checker must.
+      down_.read(0, 1);
+    } else if (fault_ == Fault::PhantomIrq) {
+      phantom_hold_ = 8;
+    }
+  }
+
+  // A watchdog-abandoned operation eventually drains on the sub-segment
+  // (or never does, for a truly unmapped slave); ignore its completion.
+  if (abandoned_ && !down_.busy()) abandoned_ = false;
+
+  switch (state_) {
+    case St::Idle: {
+      const bool rd = up_.rd_req.high();
+      const bool wr = up_.wr_req.high();
+      if (!rd && !wr) break;
+      fwd_read_ = rd;
+      const std::uint64_t ce = rd ? up_.rd_ce.get() : up_.wr_ce.get();
+      const std::uint32_t fid = bits::one_hot_index(ce);
+      if (rd) {
+        down_.read(fid, 1);
+      } else {
+        down_.write(fid, {up_.wr_data.get()});
+      }
+      ++grants_;
+      watchdog_ = timeout_cycles_;
+      state_ = St::Forward;
+      break;
+    }
+
+    case St::Forward:
+      if (!down_.busy()) {
+        std::uint64_t word = 0;
+        if (fwd_read_ && !down_.read_data().empty()) {
+          word = down_.read_data().back();
+        }
+        complete_upstream(word);
+      } else if (watchdog_ > 0 && --watchdog_ == 0) {
+        ++timeouts_;
+        abandoned_ = true;  // a late sub-segment completion is discarded
+        complete_upstream(bits::low_mask(up_.data_width));
+      }
+      break;
+
+    case St::AckHold:
+      // The acknowledge is a single-cycle strobe toward the upstream bus.
+      up_.rd_ack.set(false);
+      up_.wr_ack.set(false);
+      state_ = St::Idle;
+      break;
+  }
+}
+
+void PlbOpbBridge::reset() {
+  state_ = St::Idle;
+  fwd_read_ = false;
+  watchdog_ = 0;
+  abandoned_ = false;
+  irq_out_ = false;
+  fault_ = Fault::None;
+  fault_countdown_ = 0;
+  phantom_hold_ = 0;
+  up_.rd_ack.set(false);
+  up_.wr_ack.set(false);
+  if (irq_dst_ != nullptr) irq_dst_->set(false);
+}
+
+}  // namespace splice::bus

@@ -1,0 +1,91 @@
+// PLB -> OPB bridge (the ML-403 hierarchy of thesis §2.2: peripherals on
+// the OPB are reached from the PLB through a shared-access bridge).
+//
+// The bridge is a slave on the upstream PLB — it occupies an address
+// window (PlbBus::add_window) and answers that window's CE/REQ protocol —
+// and a master on the downstream OPB, which it drives through the ordinary
+// MasterPort request API.  Each upstream request is latched, forwarded as
+// one downstream word operation, and acknowledged upstream only when the
+// sub-segment acknowledge returns, so the full OPB crossing latency is
+// visible to the CPU.  A watchdog error-completes requests the sub-segment
+// never acknowledges (unmapped slave, wedged device) with an all-ones word
+// instead of hanging the upstream bus.
+//
+// The bridge also carries the interrupt path across segments: route_irq()
+// registers a downstream IRQ line into an upstream one with one bridge
+// register of latency.
+//
+// Clocked-only module: it behaves identically on the interpreter and the
+// compiled backend (no combinational process to lower), and sleeps while
+// idle — upstream request strobes and downstream IRQ edges wake it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bus/master_port.hpp"
+#include "bus/plb.hpp"
+#include "bus/timing.hpp"
+#include "rtl/simulator.hpp"
+
+namespace splice::bus {
+
+class PlbOpbBridge : public rtl::Module {
+ public:
+  /// Deliberately-broken variants for checker-axiom tests: a healthy
+  /// bridge never originates downstream traffic or upstream interrupts.
+  enum class Fault : std::uint8_t {
+    None,
+    WildRequest,  ///< spontaneous downstream read with no upstream grant
+    PhantomIrq,   ///< upstream IRQ pulse with no downstream source
+  };
+
+  /// `upstream` is the bridge's slave-select window on the PLB (created
+  /// with PlbBus::add_window); `downstream` the sub-segment bus mastered
+  /// by the bridge.
+  PlbOpbBridge(PlbPins& upstream, MasterPort& downstream,
+               unsigned timeout_cycles = timing::kBridgeTimeoutCycles);
+
+  /// Forward `source` (a device IRQ on the sub-segment) onto `target` (the
+  /// upstream interrupt line), registered: one bridge cycle of latency.
+  void route_irq(rtl::Signal& source, rtl::Signal& target);
+
+  /// Arm a fault `delay_cycles` from now (see Fault).
+  void inject_fault(Fault fault, unsigned delay_cycles = 8);
+
+  /// Requests forwarded to the sub-segment (granted bridge crossings).
+  [[nodiscard]] std::uint64_t grants() const { return grants_; }
+  /// Upstream transactions error-completed by the watchdog.
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+  void clock_edge() override;
+  void reset() override;
+
+ private:
+  enum class St : std::uint8_t { Idle, Forward, AckHold };
+
+  void edge_impl();
+  void complete_upstream(std::uint64_t read_word);
+
+  PlbPins& up_;
+  MasterPort& down_;
+  unsigned timeout_cycles_;
+
+  St state_ = St::Idle;
+  bool fwd_read_ = false;
+  unsigned watchdog_ = 0;
+  bool abandoned_ = false;  ///< watchdog fired; ignore a late completion
+
+  rtl::Signal* irq_src_ = nullptr;
+  rtl::Signal* irq_dst_ = nullptr;
+  bool irq_out_ = false;
+
+  Fault fault_ = Fault::None;
+  unsigned fault_countdown_ = 0;
+  unsigned phantom_hold_ = 0;  ///< cycles the phantom IRQ stays raised
+
+  std::uint64_t grants_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace splice::bus

@@ -1,0 +1,53 @@
+// Interrupt hub: ORs any number of per-device interrupt request lines onto
+// one CPU-facing line, registered (one cycle of combiner latency, like the
+// OR gate + flop a platform generator would drop in front of the INTC).
+//
+// Clocked-only module: no combinational process to lower, so it behaves
+// identically on the interpreter and the compiled backend.  It sleeps until
+// one of its source lines changes.
+#pragma once
+
+#include <vector>
+
+#include "rtl/simulator.hpp"
+
+namespace splice::bus {
+
+class IrqHub : public rtl::Module {
+ public:
+  explicit IrqHub(rtl::Signal& out) : rtl::Module("irq_hub"), out_(out) {
+    watch_none();
+    clocked_none();  // add_source() declares the triggers
+  }
+
+  /// Add one interrupt request source (device arbiter IRQ, bridged IRQ...).
+  void add_source(rtl::Signal& line) {
+    sources_.push_back(&line);
+    watch_clocked(line);
+  }
+
+  [[nodiscard]] std::size_t source_count() const { return sources_.size(); }
+
+  void clock_edge() override {
+    bool v = false;
+    for (const rtl::Signal* s : sources_) v = v || s->high();
+    if (v != value_) {
+      value_ = v;
+      out_.set(v);
+    }
+    // Pure function of the watched sources: edge-triggered only.
+    set_clock_busy(false);
+  }
+
+  void reset() override {
+    if (value_) out_.set(false);
+    value_ = false;
+  }
+
+ private:
+  rtl::Signal& out_;
+  std::vector<const rtl::Signal*> sources_;
+  bool value_ = false;
+};
+
+}  // namespace splice::bus

@@ -1,0 +1,143 @@
+#include "bus/master_mux.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace splice::bus {
+
+BusMasterMux::BusMasterMux(MasterPort& inner, unsigned ports)
+    : rtl::Module("master_mux"), inner_(inner) {
+  if (ports == 0) throw SpliceError("bus master mux needs at least one port");
+  watch_none();
+  clocked_none();  // woken by channel requests and downstream completion
+  for (unsigned i = 0; i < ports; ++i) {
+    channels_.emplace_back();
+    channels_.back().mux = this;
+  }
+  // The downstream bus wakes the mux the cycle an operation train drains;
+  // the mux then wakes the granted channel's own waiter (the CPU master).
+  inner_.set_completion_waiter(*this);
+}
+
+MasterPort& BusMasterMux::port(unsigned idx) { return channels_.at(idx); }
+
+std::uint64_t BusMasterMux::grants(unsigned idx) const {
+  return channels_.at(idx).granted;
+}
+
+void BusMasterMux::Channel::enqueue(Op op, std::uint32_t f,
+                                    std::vector<std::uint64_t> d,
+                                    unsigned b) {
+  if (busy()) throw SpliceError("bus master mux channel is busy");
+  pending = op;
+  fid = f;
+  payload = std::move(d);
+  beats = b;
+  mux->request_clock_edge();
+  mux->set_clock_busy(true);
+}
+
+void BusMasterMux::Channel::write(std::uint32_t f,
+                                  std::vector<std::uint64_t> b) {
+  enqueue(Op::Write, f, std::move(b), 0);
+}
+
+void BusMasterMux::Channel::read(std::uint32_t f, unsigned b) {
+  enqueue(Op::Read, f, {}, b);
+}
+
+void BusMasterMux::Channel::dma_write(std::uint32_t f,
+                                      std::vector<std::uint64_t> w) {
+  enqueue(Op::DmaWrite, f, std::move(w), 0);
+}
+
+void BusMasterMux::Channel::dma_read(std::uint32_t f, unsigned w) {
+  enqueue(Op::DmaRead, f, {}, w);
+}
+
+unsigned BusMasterMux::Channel::max_burst_beats() const {
+  return mux->inner_.max_burst_beats();
+}
+
+unsigned BusMasterMux::Channel::cpu_gap_cycles() const {
+  return mux->inner_.cpu_gap_cycles();
+}
+
+bool BusMasterMux::Channel::supports_dma() const {
+  return mux->inner_.supports_dma();
+}
+
+void BusMasterMux::Channel::finish(const MasterPort& inner) {
+  if (in_flight == Op::Read || in_flight == Op::DmaRead) {
+    captured = inner.read_data();
+  }
+  in_flight = Op::None;
+  active = false;
+  wake_waiter();
+}
+
+void BusMasterMux::issue(Channel& ch) {
+  switch (ch.pending) {
+    case Op::Write:
+      inner_.write(ch.fid, std::move(ch.payload));
+      break;
+    case Op::Read:
+      inner_.read(ch.fid, ch.beats);
+      break;
+    case Op::DmaWrite:
+      inner_.dma_write(ch.fid, std::move(ch.payload));
+      break;
+    case Op::DmaRead:
+      inner_.dma_read(ch.fid, ch.beats);
+      break;
+    case Op::None:
+      return;
+  }
+  ch.in_flight = ch.pending;
+  ch.pending = Op::None;
+  ch.payload.clear();
+  ch.active = true;
+  ++ch.granted;
+}
+
+void BusMasterMux::clock_edge() {
+  // Hand a drained operation back to its channel first so the grant below
+  // can go back-to-back on the same edge.
+  if (owner_ >= 0 && !inner_.busy()) {
+    channels_[static_cast<std::size_t>(owner_)].finish(inner_);
+    owner_ = -1;
+  }
+  if (owner_ < 0) {
+    const unsigned n = static_cast<unsigned>(channels_.size());
+    for (unsigned k = 0; k < n; ++k) {
+      const unsigned idx = (next_ + k) % n;
+      Channel& ch = channels_[idx];
+      if (ch.pending == Op::None) continue;
+      issue(ch);
+      owner_ = static_cast<int>(idx);
+      next_ = (idx + 1) % n;
+      break;
+    }
+  }
+  bool any_pending = false;
+  for (const Channel& ch : channels_) {
+    if (ch.pending != Op::None) {
+      any_pending = true;
+      ++contended_;  // lost arbitration this cycle
+    }
+  }
+  set_clock_busy(owner_ >= 0 || any_pending);
+}
+
+void BusMasterMux::reset() {
+  for (Channel& ch : channels_) {
+    ch.pending = Op::None;
+    ch.in_flight = Op::None;
+    ch.active = false;
+    ch.payload.clear();
+    ch.captured.clear();
+  }
+  owner_ = -1;
+  next_ = 0;
+}
+
+}  // namespace splice::bus

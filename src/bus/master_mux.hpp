@@ -1,0 +1,85 @@
+// Multi-master front end for a single bus: N MasterPort channels feed one
+// downstream port through a round-robin grant stage, modelling several bus
+// masters (CPU cores, DMA engines) contending for the same segment.  Each
+// channel holds at most one in-flight operation; a channel whose request
+// loses arbitration simply waits, and the cycles it spends waiting are
+// accumulated as contention.
+//
+// Clocked-only module (no combinational process): identical behaviour on
+// both simulation backends.  The grant stage adds one bus cycle between a
+// channel's request and the downstream issue — the arbitration register a
+// real shared-bus attachment pays.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bus/master_port.hpp"
+#include "rtl/simulator.hpp"
+
+namespace splice::bus {
+
+class BusMasterMux : public rtl::Module {
+ public:
+  BusMasterMux(MasterPort& inner, unsigned ports);
+
+  /// The master-facing side of channel `idx` (give one to each CPU).
+  [[nodiscard]] MasterPort& port(unsigned idx);
+
+  /// Operations granted to channel `idx` so far.
+  [[nodiscard]] std::uint64_t grants(unsigned idx) const;
+  /// Total cycles requests spent queued behind another master's grant.
+  [[nodiscard]] std::uint64_t contended_cycles() const { return contended_; }
+
+  void clock_edge() override;
+  void reset() override;
+
+ private:
+  enum class Op : std::uint8_t { None, Write, Read, DmaWrite, DmaRead };
+
+  struct Channel : MasterPort {
+    BusMasterMux* mux = nullptr;
+
+    Op pending = Op::None;  ///< queued request awaiting grant
+    Op in_flight = Op::None;
+    bool active = false;    ///< owns the downstream port right now
+    std::uint32_t fid = 0;
+    std::vector<std::uint64_t> payload;
+    unsigned beats = 0;
+    std::vector<std::uint64_t> captured;
+    std::uint64_t granted = 0;
+
+    [[nodiscard]] bool busy() const override {
+      return pending != Op::None || active;
+    }
+    void write(std::uint32_t f, std::vector<std::uint64_t> b) override;
+    void read(std::uint32_t f, unsigned b) override;
+    [[nodiscard]] const std::vector<std::uint64_t>& read_data()
+        const override {
+      return captured;
+    }
+    [[nodiscard]] unsigned max_burst_beats() const override;
+    [[nodiscard]] unsigned cpu_gap_cycles() const override;
+    [[nodiscard]] bool supports_dma() const override;
+    void dma_write(std::uint32_t f, std::vector<std::uint64_t> w) override;
+    void dma_read(std::uint32_t f, unsigned w) override;
+
+    /// Called by the mux when the downstream operation drains.
+    void finish(const MasterPort& inner);
+
+   private:
+    void enqueue(Op op, std::uint32_t f, std::vector<std::uint64_t> d,
+                 unsigned b);
+  };
+
+  void issue(Channel& ch);
+
+  MasterPort& inner_;
+  std::deque<Channel> channels_;  // stable addresses: ports are handed out
+  int owner_ = -1;
+  unsigned next_ = 0;  ///< round-robin pointer
+  std::uint64_t contended_ = 0;
+};
+
+}  // namespace splice::bus

@@ -26,15 +26,42 @@ PlbPins PlbPins::create(rtl::Simulator& sim, const std::string& prefix,
 PlbBus::PlbBus(rtl::Simulator& sim, const std::string& prefix,
                unsigned data_width, unsigned slots, MemMappedBusConfig config)
     : rtl::Module(prefix + "bus"),
+      sim_(sim),
       pins_(PlbPins::create(sim, prefix, data_width, slots)),
       config_(config) {
   if (slots == 0 || slots > 64) {
     throw SpliceError("PLB model supports 1..64 one-hot slots");
   }
+  windows_.push_back(Window{pins_, 0});
+  fid_limit_ = slots;
+  cur_pins_ = &windows_.front().pins;
   watch_none();  // clocked-only: the master FSM drives pins on the edge
   // Enqueues assert busy and reset must preempt; the acknowledges wake the
   // WaitAck state out of its event-gated sleep (see clock_edge).
   watch_clocked_all(pins_.rst, pins_.rd_ack, pins_.wr_ack);
+}
+
+std::uint32_t PlbBus::add_window(const std::string& prefix, unsigned slots) {
+  if (slots == 0 || slots > 64) {
+    throw SpliceError("PLB model supports 1..64 one-hot slots per window");
+  }
+  const std::uint32_t base = fid_limit_;
+  windows_.push_back(
+      Window{PlbPins::create(sim_, prefix, pins_.data_width, slots), base});
+  fid_limit_ += slots;
+  // The new window's acknowledges must wake the WaitAck sleep too.
+  PlbPins& p = windows_.back().pins;
+  watch_clocked_all(p.rd_ack, p.wr_ack);
+  invalidate_compile();
+  return base;
+}
+
+PlbBus::Window& PlbBus::window_for(std::uint32_t fid) {
+  for (Window& w : windows_) {
+    if (fid >= w.base && fid < w.base + w.pins.slots) return w;
+  }
+  throw SpliceError("PLB operation targets unmapped function id " +
+                    std::to_string(fid));
 }
 
 bool PlbBus::busy() const { return state_ != St::Idle || !queue_.empty(); }
@@ -119,8 +146,8 @@ void PlbBus::clock_edge() {
   // watched RD_ACK/WR_ACK lines change.  Engine accesses count down and
   // must keep clocking, as must reset.
   const bool ack_wait = state_ == St::WaitAck && !is_engine(current_.kind) &&
-                        !strobed_ && !pins_.rd_ack.high() &&
-                        !pins_.wr_ack.high();
+                        !strobed_ && !cur_pins_->rd_ack.high() &&
+                        !cur_pins_->wr_ack.high();
   set_clock_busy((b && !ack_wait) || pins_.rst.high());
 }
 
@@ -131,8 +158,10 @@ void PlbBus::edge_impl() {
   }
 
   // Request strobes are single-cycle; clear them every edge by default.
-  pins_.rd_req.set(false);
-  pins_.wr_req.set(false);
+  for (Window& w : windows_) {
+    w.pins.rd_req.set(false);
+    w.pins.wr_req.set(false);
+  }
   strobed_ = false;
 
   switch (state_) {
@@ -155,16 +184,19 @@ void PlbBus::edge_impl() {
         state_ = St::WaitAck;
         break;
       }
-      const std::uint64_t onehot = std::uint64_t{1} << current_.fid;
+      Window& w = window_for(current_.fid);
+      cur_pins_ = &w.pins;
+      const std::uint64_t onehot = std::uint64_t{1}
+                                   << (current_.fid - w.base);
       if (is_read(current_.kind)) {
-        pins_.rd_ce.set(onehot);
-        pins_.rd_req.set(true);
+        w.pins.rd_ce.set(onehot);
+        w.pins.rd_req.set(true);
       } else {
-        pins_.wr_ce.set(onehot);
-        pins_.wr_data.set(current_.data);
-        pins_.wr_req.set(true);
+        w.pins.wr_ce.set(onehot);
+        w.pins.wr_data.set(current_.data);
+        w.pins.wr_req.set(true);
       }
-      pins_.be.set(bits::low_mask(pins_.data_width / 8));
+      w.pins.be.set(bits::low_mask(w.pins.data_width / 8));
       strobed_ = true;
       state_ = St::WaitAck;
       break;
@@ -176,18 +208,18 @@ void PlbBus::edge_impl() {
         if (countdown_ > 0) --countdown_;
         acked = countdown_ == 0;
       } else if (is_read(current_.kind)) {
-        if (pins_.rd_ack.high()) {
-          read_data_.push_back(pins_.rd_data.get());
+        if (cur_pins_->rd_ack.high()) {
+          read_data_.push_back(cur_pins_->rd_data.get());
           acked = true;
         }
       } else {
-        acked = pins_.wr_ack.high();
+        acked = cur_pins_->wr_ack.high();
       }
       if (acked) {
         ++transactions_;
-        pins_.rd_ce.set(std::uint64_t{0});
-        pins_.wr_ce.set(std::uint64_t{0});
-        pins_.be.set(std::uint64_t{0});
+        cur_pins_->rd_ce.set(std::uint64_t{0});
+        cur_pins_->wr_ce.set(std::uint64_t{0});
+        cur_pins_->be.set(std::uint64_t{0});
         // Streamed beats chain without a turnaround; the engine holds the
         // grant for the whole block.
         const bool chain = is_stream(current_.kind) && !queue_.empty() &&
@@ -221,12 +253,14 @@ void PlbBus::reset() {
   strobed_ = false;
   read_data_.clear();
   dma_read_active_ = false;
-  pins_.rd_req.set(false);
-  pins_.wr_req.set(false);
-  pins_.rd_ce.set(std::uint64_t{0});
-  pins_.wr_ce.set(std::uint64_t{0});
-  pins_.be.set(std::uint64_t{0});
-  pins_.wr_data.set(std::uint64_t{0});
+  for (Window& w : windows_) {
+    w.pins.rd_req.set(false);
+    w.pins.wr_req.set(false);
+    w.pins.rd_ce.set(std::uint64_t{0});
+    w.pins.wr_ce.set(std::uint64_t{0});
+    w.pins.be.set(std::uint64_t{0});
+    w.pins.wr_data.set(std::uint64_t{0});
+  }
 }
 
 }  // namespace splice::bus

@@ -62,6 +62,20 @@ class PlbBus : public rtl::Module, public MasterPort {
   [[nodiscard]] PlbPins& pins() { return pins_; }
   [[nodiscard]] const PlbPins& pins() const { return pins_; }
 
+  /// Attach an additional address window (a further slave select region on
+  /// the shared bus).  Operations targeting a *global* function id in
+  /// [base, base + slots) drive the new window's pins with the local
+  /// one-hot chip enable `1 << (fid - base)`; the original constructor pins
+  /// remain window 0 with base 0.  Returns the window's global base.
+  std::uint32_t add_window(const std::string& prefix, unsigned slots);
+  [[nodiscard]] std::size_t window_count() const { return windows_.size(); }
+  [[nodiscard]] PlbPins& window(std::size_t idx) { return windows_[idx].pins; }
+  [[nodiscard]] std::uint32_t window_base(std::size_t idx) const {
+    return windows_[idx].base;
+  }
+  /// One past the largest decodable global function id.
+  [[nodiscard]] std::uint32_t fid_limit() const { return fid_limit_; }
+
   // -- MasterPort -----------------------------------------------------------
   [[nodiscard]] bool busy() const override;
   void write(std::uint32_t fid, std::vector<std::uint64_t> beats) override;
@@ -103,8 +117,14 @@ class PlbBus : public rtl::Module, public MasterPort {
   };
   enum class St : std::uint8_t { Idle, Arb, Request, WaitAck, Turnaround };
 
+  struct Window {
+    PlbPins pins;
+    std::uint32_t base;
+  };
+
   void edge_impl();
   void begin_next_op();
+  [[nodiscard]] Window& window_for(std::uint32_t fid);
   [[nodiscard]] static bool is_engine(OpKind k) {
     return k == OpKind::EngineWrite || k == OpKind::EngineRead;
   }
@@ -116,9 +136,15 @@ class PlbBus : public rtl::Module, public MasterPort {
     return k == OpKind::StreamWrite || k == OpKind::StreamRead;
   }
 
+  rtl::Simulator& sim_;
   PlbPins pins_;
   MemMappedBusConfig config_;
   bool dma_enabled_ = false;
+  /// Address windows; windows_[0] aliases pins_ (same signals, base 0).
+  std::deque<Window> windows_;
+  std::uint32_t fid_limit_ = 0;
+  /// Pins of the window the in-flight operation targets.
+  PlbPins* cur_pins_ = nullptr;
 
   std::deque<WordOp> queue_;
   St state_ = St::Idle;

@@ -37,6 +37,13 @@ inline constexpr unsigned kPlbTurnaroundCycles = 1;   // CE/BE lowering
 // ---------------------------------------------------------------------------
 inline constexpr unsigned kOpbBridgeCycles = 3;  // per direction
 
+// PLB->OPB bridge module (the ML-403 hierarchy of §2.2): cycles a
+// forwarded request may sit unacknowledged on the sub-segment before the
+// bridge gives up and error-completes the upstream transaction with an
+// all-ones word.  Generous — a healthy slave answers within tens of
+// cycles; only an unmapped or wedged slave ever reaches it.
+inline constexpr unsigned kBridgeTimeoutCycles = 4096;
+
 // ---------------------------------------------------------------------------
 // FCB (§2.3.2): co-processor interconnect, not memory mapped, accessed via
 // dedicated opcodes — no address decode, no bus arbitration, native double

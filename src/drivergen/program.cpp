@@ -17,6 +17,8 @@ std::string_view opcode_name(OpCode op) {
     case OpCode::ReadQuad: return "READ_QUAD";
     case OpCode::ReadDma: return "READ_DMA";
     case OpCode::WaitForResults: return "WAIT_FOR_RESULTS";
+    case OpCode::PollStatus: return "POLL_STATUS";
+    case OpCode::WaitIrq: return "WAIT_IRQ";
   }
   return "?";
 }
@@ -180,6 +182,32 @@ DriverProgram DriverBuilder::build_call(const CallArgs& args,
     }
     emit_reads(read_words, fn_.has_output() && fn_.output.dma);
   }
+  return program;
+}
+
+DriverProgram DriverBuilder::build_completion_wait(std::uint32_t instance,
+                                                   bool irq) const {
+  if (fn_.blocking()) {
+    throw SpliceError("'" + fn_.name +
+                      "' is blocking; completion waits apply to nowait "
+                      "declarations only");
+  }
+  if (instance >= fn_.instances) {
+    throw SpliceError("'" + fn_.name + "' instance index out of range");
+  }
+  DriverProgram program;
+  program.function_name = fn_.name;
+  program.fid = fn_.func_id + instance;
+  program.ops.push_back(DriverOp{OpCode::SetAddress, program.fid, {}, 0});
+  program.ops.push_back(
+      DriverOp{irq ? OpCode::WaitIrq : OpCode::PollStatus, program.fid,
+               {}, 0});
+  // Acknowledge the latched CALC_DONE bit: one status-register write with
+  // the completion's bit as the clear mask.
+  program.ops.push_back(DriverOp{OpCode::WriteSingle,
+                                 std::uint32_t{sis::kStatusFuncId},
+                                 {std::uint64_t{1} << program.fid},
+                                 0});
   return program;
 }
 

@@ -29,6 +29,8 @@ enum class OpCode : std::uint8_t {
   ReadQuad,        ///< READ_QUAD
   ReadDma,         ///< READ_DMA
   WaitForResults,  ///< WAIT_FOR_RESULTS (polls on strictly sync buses)
+  PollStatus,      ///< POLL_STATUS: spin on CALC_DONE for a nowait call
+  WaitIrq,         ///< WAIT_IRQ: sleep until the device interrupt (§10.2)
 };
 
 [[nodiscard]] std::string_view opcode_name(OpCode op);
@@ -38,6 +40,10 @@ struct DriverOp {
   std::uint32_t fid = 0;
   std::vector<std::uint64_t> data;  ///< write payload (bus words)
   unsigned read_words = 0;          ///< words expected by a read op
+  /// Bus address of the device's CALC_DONE status register.  0 for a
+  /// single-device platform; the device's window base on a multi-device
+  /// SoC.  Wait/poll ops read it and test bit (fid - status_addr).
+  std::uint32_t status_addr = 0;
 };
 
 struct DriverProgram {
@@ -75,6 +81,13 @@ class DriverBuilder {
   /// argument's value).  Throws SpliceError on arity mismatch.
   [[nodiscard]] DriverProgram build_call(const CallArgs& args,
                                          std::uint32_t instance = 0) const;
+
+  /// Completion wait for a nowait call issued earlier: WAIT_IRQ (sleep on
+  /// the device interrupt, §10.2) or POLL_STATUS (spin on CALC_DONE),
+  /// followed by the status write acknowledging the latched completion
+  /// bit.  Throws SpliceError for blocking declarations.
+  [[nodiscard]] DriverProgram build_completion_wait(
+      std::uint32_t instance = 0, bool irq = false) const;
 
   /// Turn the words a call's reads produced back into output elements.
   [[nodiscard]] std::vector<std::uint64_t> decode_output(

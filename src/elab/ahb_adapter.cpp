@@ -12,8 +12,13 @@ void AhbSisAdapter::eval_comb() {
   const bool is_status = dp_fid_ == sis::kStatusFuncId;
   sis_.func_id.drive(data_phase_ ? dp_fid_ : 0);
   sis_.data_in.drive(pins_.hwdata.get());
-  sis_.data_in_valid.drive(data_phase_ && dp_write_);
+  sis_.data_in_valid.drive(data_phase_ && dp_write_ && !is_status);
   sis_.io_enable.drive(strobe_ && !is_status);
+  // Status writes acknowledge latched nowait completions: HWDATA is the
+  // STATUS_CLEAR mask for exactly the (zero-wait-state) data-phase cycle.
+  sis_.status_clear.drive(data_phase_ && dp_write_ && is_status
+                              ? pins_.hwdata.get()
+                              : std::uint64_t{0});
 
   pins_.hrdata.drive(is_status ? sis_.calc_done.get() : rd_value_);
   // HREADY: an idle slave is always ready (it latches the presented address
@@ -32,8 +37,12 @@ bool AhbSisAdapter::lower_comb(rtl::compile::CombBuilder& cb) {
         u.eq(dp_fid, u.imm(std::uint64_t{sis::kStatusFuncId}));
     u.out(sis_.func_id, u.mux(data_phase, dp_fid, u.imm(std::uint64_t{0})));
     u.out(sis_.data_in, u.in(pins_.hwdata));
-    u.out(sis_.data_in_valid, u.band(data_phase, u.load(&dp_write_)));
+    const auto dp_write = u.band(data_phase, u.load(&dp_write_));
+    u.out(sis_.data_in_valid, u.band(dp_write, u.lnot(is_status)));
     u.out(sis_.io_enable, u.band(u.load(&strobe_), u.lnot(is_status)));
+    u.out(sis_.status_clear,
+          u.mux(u.band(dp_write, is_status), u.in(pins_.hwdata),
+                u.imm(std::uint64_t{0})));
   }
   {
     auto& u = cb.unit("out");
@@ -81,9 +90,12 @@ void AhbSisAdapter::edge_impl() {
       dp_write_ = pins_.hwrite.high();
       dp_fid_ = pins_.haddr.get();
       strobe_ = true;
-      if (dp_fid_ == sis::kStatusFuncId && !dp_write_) {
-        rd_value_ = sis_.calc_done.get();
-        done_ = true;  // status reads take no wait states
+      if (dp_fid_ == sis::kStatusFuncId) {
+        // Status accesses take no wait states: reads answer from the
+        // CALC_DONE register, writes strobe STATUS_CLEAR off HWDATA during
+        // their single data-phase cycle.
+        if (!dp_write_) rd_value_ = sis_.calc_done.get();
+        done_ = true;
       }
       return;
     }

@@ -18,8 +18,13 @@ void ApbSisAdapter::eval_comb() {
 
   sis_.func_id.drive(fid);
   sis_.data_in.drive(pins_.pwdata.get());
-  sis_.data_in_valid.drive(setup && pins_.pwrite.high());
+  sis_.data_in_valid.drive(setup && pins_.pwrite.high() && !is_status);
   sis_.io_enable.drive(setup && !is_status);
+  // A status write acknowledges latched nowait completions: PWDATA is the
+  // one-cycle STATUS_CLEAR mask (strobed off the setup cycle, like writes).
+  sis_.status_clear.drive(setup && pins_.pwrite.high() && is_status
+                              ? pins_.pwdata.get()
+                              : std::uint64_t{0});
 
   // Reads are combinational: the stub's output state drives DATA_OUT
   // persistently, and FUNC_ID 0 exposes the CALC_DONE status register.
@@ -35,8 +40,12 @@ bool ApbSisAdapter::lower_comb(rtl::compile::CombBuilder& cb) {
     const auto is_status = u.eq(fid, u.imm(std::uint64_t{sis::kStatusFuncId}));
     u.out(sis_.func_id, fid);
     u.out(sis_.data_in, u.in(pins_.pwdata));
-    u.out(sis_.data_in_valid, u.band(setup, u.in(pins_.pwrite)));
+    const auto setup_write = u.band(setup, u.in(pins_.pwrite));
+    u.out(sis_.data_in_valid, u.band(setup_write, u.lnot(is_status)));
     u.out(sis_.io_enable, u.band(setup, u.lnot(is_status)));
+    u.out(sis_.status_clear,
+          u.mux(u.band(setup_write, is_status), u.in(pins_.pwdata),
+                u.imm(std::uint64_t{0})));
   }
   {
     auto& u = cb.unit("out");

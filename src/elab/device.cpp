@@ -25,7 +25,7 @@ ElaboratedDevice::ElaboratedDevice(rtl::Simulator& sim,
     BehaviorFn behavior = behaviors.find_or_default(fn.name);
     for (std::uint32_t inst = 0; inst < fn.instances; ++inst) {
       auto& stub = sim.add<IcobStub>(sim, fn, fn.func_id + inst, inst,
-                                     spec.target, sis_, behavior);
+                                     spec.target, sis_, behavior, prefix);
       stubs_.push_back(&stub);
     }
   }

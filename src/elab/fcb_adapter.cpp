@@ -12,15 +12,20 @@ void FcbSisAdapter::eval_comb() {
   sis_.data_in.drive(pins_.wr_data.get());
 
   const bool write_beat = op_active_ && !op_read_ && pins_.wr_valid.high();
-  sis_.data_in_valid.drive(write_beat);
   // A fresh IO_ENABLE strobe opens each beat: for writes the first cycle a
-  // beat is presented, for reads an explicit request strobe.
+  // beat is presented, for reads an explicit request strobe.  Status beats
+  // never reach the user logic: reads answer from CALC_DONE, writes strobe
+  // the STATUS_CLEAR acknowledge mask.
   const bool is_status = op_fid_ == sis::kStatusFuncId;
+  sis_.data_in_valid.drive(write_beat && !is_status);
   sis_.io_enable.drive(((write_beat && !beat_open_) || read_strobe_) &&
                        !is_status);
+  sis_.status_clear.drive(write_beat && is_status ? pins_.wr_data.get()
+                                                  : std::uint64_t{0});
 
-  // Beat acknowledgement back to the FCB master.
-  pins_.beat_ack.drive(sis_.io_done.high() && write_beat);
+  // Beat acknowledgement back to the FCB master (status writes ack in the
+  // presenting cycle; they carry no SIS handshake).
+  pins_.beat_ack.drive((sis_.io_done.high() || is_status) && write_beat);
 
   if (op_active_ && op_read_ && is_status) {
     pins_.rd_data.drive(sis_.calc_done.get());
@@ -43,12 +48,15 @@ bool FcbSisAdapter::lower_comb(rtl::compile::CombBuilder& cb) {
     u.out(sis_.data_in, u.in(pins_.wr_data));
     const auto write_beat = u.band(u.band(op_active, u.lnot(op_read)),
                                    u.in(pins_.wr_valid));
-    u.out(sis_.data_in_valid, write_beat);
     const auto is_status =
         u.eq(op_fid, u.imm(std::uint64_t{sis::kStatusFuncId}));
+    u.out(sis_.data_in_valid, u.band(write_beat, u.lnot(is_status)));
     const auto strobe = u.bor(u.band(write_beat, u.lnot(u.load(&beat_open_))),
                               u.load(&read_strobe_));
     u.out(sis_.io_enable, u.band(strobe, u.lnot(is_status)));
+    u.out(sis_.status_clear,
+          u.mux(u.band(write_beat, is_status), u.in(pins_.wr_data),
+                u.imm(std::uint64_t{0})));
   }
   {
     auto& u = cb.unit("out");
@@ -57,9 +65,10 @@ bool FcbSisAdapter::lower_comb(rtl::compile::CombBuilder& cb) {
     const auto op_fid = u.load(&op_fid_);
     const auto write_beat = u.band(u.band(op_active, u.lnot(op_read)),
                                    u.in(pins_.wr_valid));
-    u.out(pins_.beat_ack, u.band(u.in(sis_.io_done), write_beat));
     const auto is_status =
         u.eq(op_fid, u.imm(std::uint64_t{sis::kStatusFuncId}));
+    u.out(pins_.beat_ack,
+          u.band(u.bor(u.in(sis_.io_done), is_status), write_beat));
     const auto status_path = u.band(u.band(op_active, op_read), is_status);
     u.out(pins_.rd_data, u.mux(status_path, u.in(sis_.calc_done),
                                u.in(sis_.data_out)));
@@ -109,6 +118,12 @@ void FcbSisAdapter::edge_impl() {
   }
 
   if (!op_read_) {
+    if (op_fid_ == sis::kStatusFuncId) {
+      // Status writes never open an SIS transfer: each presented word is a
+      // STATUS_CLEAR mask, acknowledged combinationally in its own cycle.
+      if (pins_.wr_valid.high() && --beats_left_ == 0) op_active_ = false;
+      return;
+    }
     // Writes: a beat is open once its strobe fired; it closes when the
     // user logic raises IO_DONE (mirrored to BEAT_ACK combinationally).
     if (pins_.wr_valid.high() && !beat_open_) {

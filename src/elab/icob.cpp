@@ -10,8 +10,9 @@ namespace splice::elab {
 IcobStub::IcobStub(rtl::Simulator& sim, const ir::FunctionDecl& fn,
                    std::uint32_t func_id, std::uint32_t instance_index,
                    const ir::TargetSpec& target, const sis::SisBus& sis,
-                   BehaviorFn behavior)
-    : rtl::Module("func_" + fn.name + "_" + std::to_string(instance_index)),
+                   BehaviorFn behavior, const std::string& name_prefix)
+    : rtl::Module(name_prefix + "func_" + fn.name + "_" +
+                  std::to_string(instance_index)),
       fn_(fn),
       byref_params_(fn.by_ref_params()),
       target_(target),
@@ -32,7 +33,9 @@ IcobStub::IcobStub(rtl::Simulator& sim, const ir::FunctionDecl& fn,
   // so FUNC_ID / DATA_IN / DATA_IN_VALID need no triggers of their own
   // (they only matter on cycles IO_ENABLE already covers).  Held-over
   // pulse/advance state and an active calculation are busy conditions too.
-  watch_clocked_all(sis.rst, sis.io_enable);
+  // A status-clear acknowledge arrives without an IO_ENABLE strobe, so the
+  // clear mask is its own trigger.
+  watch_clocked_all(sis.rst, sis.io_enable, sis.status_clear);
   start_over();
 }
 
@@ -258,6 +261,12 @@ void IcobStub::edge_impl() {
     reset();
     return;
   }
+  // Software acknowledge of a latched nowait completion (a write to the
+  // reserved status register with this instance's bit set).  Blocking
+  // functions ignore it: their CALC_DONE is consumed by the output drain.
+  if (!fn_.blocking() && ((sis_.status_clear.get() >> func_id_) & 1) != 0) {
+    ports_.calc_done.set(false);
+  }
   if (pulse_clear_) {
     ports_.io_done.set(false);
     ports_.data_out_valid.set(false);
@@ -282,6 +291,9 @@ void IcobStub::edge_impl() {
   switch (phase_) {
     case Phase::Input:
       if (my_request && is_write && input_idx_ < fn_.inputs.size()) {
+        // The next activation's input traffic implicitly acknowledges a
+        // still-latched nowait completion.
+        if (!fn_.blocking()) ports_.calc_done.set(false);
         consume_word(sis_.data_in.get());
         ports_.io_done.set(true);
         pulse_clear_ = true;
@@ -298,9 +310,14 @@ void IcobStub::edge_impl() {
       if (calc_countdown_ == 0) {
         build_output_words();
         if (!fn_.blocking()) {
-          // nowait (§3.1.7): no output state; rearm for the next call.
+          // nowait (§3.1.7): no output state; rearm for the next call and
+          // latch the completion on CALC_DONE so interrupt-driven (or
+          // polled) completion waits can observe it.  The latch clears on
+          // a status-clear acknowledge or the next activation's first
+          // input word.
           ++activations_;
           start_over();
+          ports_.calc_done.set(true);
           break;
         }
         phase_ = Phase::Output;

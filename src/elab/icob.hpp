@@ -30,10 +30,14 @@ struct FuncPorts {
 
 class IcobStub : public rtl::Module {
  public:
+  /// `name_prefix` qualifies the stub's module (and port-signal) names —
+  /// multi-device simulations pass the device's SIS prefix so stubs of
+  /// same-named functions on different devices never alias each other's
+  /// port signals in the simulator's by-name registry.
   IcobStub(rtl::Simulator& sim, const ir::FunctionDecl& fn,
            std::uint32_t func_id, std::uint32_t instance_index,
            const ir::TargetSpec& target, const sis::SisBus& sis,
-           BehaviorFn behavior);
+           BehaviorFn behavior, const std::string& name_prefix = "");
 
   [[nodiscard]] FuncPorts& ports() { return ports_; }
   [[nodiscard]] std::uint32_t func_id() const { return func_id_; }

@@ -15,16 +15,23 @@ void PlbSisAdapter::eval_comb() {
   // One-hot chip enable -> binary FUNC_ID (§4.3.2).
   sis_.func_id.drive(ce != 0 ? bits::one_hot_index(ce) : std::uint64_t{0});
   sis_.data_in.drive(pins_.wr_data.get());
-  sis_.data_in_valid.drive(wr_ce != 0);
   // RD_REQ / WR_REQ play exactly the role of IO_ENABLE (Figure 4.7): a
-  // single-cycle strobe announcing a new request.  Status reads (CE bit 0)
-  // are served by the adapter itself and do not reach the user logic.
+  // single-cycle strobe announcing a new request.  Status accesses (CE
+  // bit 0) are served by the adapter itself and do not reach the user
+  // logic: reads return the CALC_DONE vector, writes acknowledge latched
+  // nowait completions through the STATUS_CLEAR mask.
   const bool status_select = (rd_ce & 1) != 0;
+  const bool status_write = (wr_ce & 1) != 0;
+  sis_.data_in_valid.drive(wr_ce != 0 && !status_write);
   sis_.io_enable.drive((pins_.wr_req.high() || pins_.rd_req.high()) &&
-                       !status_select);
+                       !status_select && !status_write);
+  sis_.status_clear.drive(status_write && pins_.wr_req.high()
+                              ? pins_.wr_data.get()
+                              : std::uint64_t{0});
 
   // Slave -> master direction.
-  pins_.wr_ack.drive(sis_.io_done.high() && wr_ce != 0);
+  pins_.wr_ack.drive(status_write ? status_wr_ack_
+                                  : sis_.io_done.high() && wr_ce != 0);
   if (status_select) {
     pins_.rd_data.drive(sis_.calc_done.get());
     pins_.rd_ack.drive(status_ack_);
@@ -45,17 +52,26 @@ bool PlbSisAdapter::lower_comb(rtl::compile::CombBuilder& cb) {
     const auto wr_ce = u.in(pins_.wr_ce);
     u.out(sis_.func_id, u.one_hot(u.bor(rd_ce, wr_ce)));
     u.out(sis_.data_in, u.in(pins_.wr_data));
-    u.out(sis_.data_in_valid, u.nonzero(wr_ce));
     const auto status_select = u.band(rd_ce, u.imm(std::uint64_t{1}));
+    const auto status_write = u.band(wr_ce, u.imm(std::uint64_t{1}));
+    u.out(sis_.data_in_valid,
+          u.band(u.nonzero(wr_ce), u.lnot(status_write)));
     const auto req = u.bor(u.in(pins_.wr_req), u.in(pins_.rd_req));
-    u.out(sis_.io_enable, u.band(u.nonzero(req), u.lnot(status_select)));
+    u.out(sis_.io_enable,
+          u.band(u.nonzero(req),
+                 u.lnot(u.bor(status_select, status_write))));
+    u.out(sis_.status_clear,
+          u.mux(u.band(status_write, u.in(pins_.wr_req)),
+                u.in(pins_.wr_data), u.imm(std::uint64_t{0})));
   }
   {
     auto& u = cb.unit("out");
     const auto rd_ce = u.in(pins_.rd_ce);
     const auto wr_ce = u.in(pins_.wr_ce);
+    const auto status_write = u.band(wr_ce, u.imm(std::uint64_t{1}));
     u.out(pins_.wr_ack,
-          u.band(u.in(sis_.io_done), u.nonzero(wr_ce)));
+          u.mux(status_write, u.load(&status_wr_ack_),
+                u.band(u.in(sis_.io_done), u.nonzero(wr_ce))));
     const auto status_select = u.band(rd_ce, u.imm(std::uint64_t{1}));
     u.out(pins_.rd_data, u.mux(status_select, u.in(sis_.calc_done),
                                u.in(sis_.data_out)));
@@ -69,17 +85,23 @@ bool PlbSisAdapter::lower_comb(rtl::compile::CombBuilder& cb) {
 
 void PlbSisAdapter::clock_edge() {
   // The CALC_DONE status register answers one cycle after its request
-  // strobe (it is a plain register read, §4.2.2).
+  // strobe (it is a plain register read/write, §4.2.2).
   const bool next = pins_.rd_req.high() && (pins_.rd_ce.get() & 1) != 0;
   if (next != status_ack_) {
     status_ack_ = next;
     mark_dirty();  // RD_ACK depends on this register
   }
+  const bool next_w = pins_.wr_req.high() && (pins_.wr_ce.get() & 1) != 0;
+  if (next_w != status_wr_ack_) {
+    status_wr_ack_ = next_w;
+    mark_dirty();  // WR_ACK depends on this register
+  }
 }
 
 void PlbSisAdapter::reset() {
-  if (status_ack_) mark_dirty();
+  if (status_ack_ || status_wr_ack_) mark_dirty();
   status_ack_ = false;
+  status_wr_ack_ = false;
 }
 
 }  // namespace splice::elab

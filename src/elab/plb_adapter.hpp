@@ -22,9 +22,10 @@ class PlbSisAdapter : public rtl::Module {
     watch_all(pins_.rst, pins_.rd_req, pins_.wr_req, pins_.rd_ce,
               pins_.wr_ce, pins_.wr_data, sis_.io_done, sis_.calc_done,
               sis_.data_out, sis_.data_out_valid);
-    // clock_edge() only tracks the status-read register, a pure function
-    // of RD_REQ / RD_CE; a change on either is the only reason to run it.
-    watch_clocked_all(pins_.rd_req, pins_.rd_ce);
+    // clock_edge() only tracks the status ack registers, pure functions of
+    // the request strobes and CE vectors; a change on one of those is the
+    // only reason to run it.
+    watch_clocked_all(pins_.rd_req, pins_.rd_ce, pins_.wr_req, pins_.wr_ce);
   }
 
   void eval_comb() override;
@@ -36,6 +37,7 @@ class PlbSisAdapter : public rtl::Module {
   bus::PlbPins& pins_;
   sis::SisBus& sis_;
   bool status_ack_ = false;  ///< serve the FUNC_ID-0 status read this cycle
+  bool status_wr_ack_ = false;  ///< ack the FUNC_ID-0 status write this cycle
 };
 
 }  // namespace splice::elab

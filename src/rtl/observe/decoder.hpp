@@ -60,8 +60,9 @@ class BusDecoder : public rtl::Module {
 /// acknowledge; wait counts the request-to-acknowledge latency.
 class PlbDecoder : public BusDecoder {
  public:
-  explicit PlbDecoder(const bus::PlbPins& pins)
-      : BusDecoder("observe.plb"), pins_(pins) {}
+  explicit PlbDecoder(const bus::PlbPins& pins,
+                      std::string name = "observe.plb")
+      : BusDecoder(std::move(name)), pins_(pins) {}
   void clock_edge() override;
   void reset() override { open_ = false; }
 
@@ -144,8 +145,8 @@ class FcbDecoder : public BusDecoder {
 /// IrqAck instant.
 class IrqDecoder : public BusDecoder {
  public:
-  explicit IrqDecoder(rtl::Signal& line)
-      : BusDecoder("observe.irq"), line_(line) {}
+  explicit IrqDecoder(rtl::Signal& line, std::string name = "observe.irq")
+      : BusDecoder(std::move(name)), line_(line) {}
   void clock_edge() override;
   void reset() override { prev_ = false; }
 

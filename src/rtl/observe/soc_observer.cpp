@@ -1,0 +1,67 @@
+#include "rtl/observe/soc_observer.hpp"
+
+#include "runtime/cpu.hpp"
+
+namespace splice::rtl::observe {
+
+SocObserver::SocObserver(runtime::SocPlatform& soc) : soc_(soc) {
+  rtl::Simulator& sim = soc.sim();
+  for (std::size_t i = 0; i < soc.device_count(); ++i) {
+    decoders_.push_back(&sim.add<PlbDecoder>(
+        soc.device_window(i), "observe.plb.d" + std::to_string(i)));
+  }
+  if (rtl::Signal* line = soc.irq_line()) {
+    irq_ = &sim.add<IrqDecoder>(*line);
+  }
+  for (unsigned m = 0; m < soc.master_count(); ++m) {
+    timelines_.emplace_back();
+    soc.cpu(m).set_observer(&timelines_.back());
+  }
+}
+
+SocObserver::~SocObserver() {
+  for (unsigned m = 0; m < soc_.master_count(); ++m) {
+    soc_.cpu(m).set_observer(nullptr);
+  }
+}
+
+void SocObserver::begin_call(const std::string& function, std::size_t index,
+                             unsigned master) {
+  timelines_.at(master).begin_call(function, index, soc_.sim().cycle());
+}
+
+void SocObserver::end_call(unsigned master) {
+  timelines_.at(master).end_call(soc_.sim().cycle());
+}
+
+std::string SocObserver::bus_stream() const {
+  std::string out;
+  for (std::size_t i = 0; i < decoders_.size(); ++i) {
+    out += "= device " + std::to_string(i) + " (" +
+           soc_.spec(i).target.device_name + ") seg" +
+           std::to_string(soc_.device_segment(i)) + " =\n";
+    out += render_events(decoders_[i]->events());
+  }
+  if (irq_ != nullptr) {
+    out += "= irq =\n";
+    out += render_events(irq_->events());
+  }
+  return out;
+}
+
+std::string SocObserver::timeline_stream() const {
+  std::string out;
+  for (std::size_t m = 0; m < timelines_.size(); ++m) {
+    out += "= master " + std::to_string(m) + " =\n";
+    out += timelines_[m].render();
+  }
+  return out;
+}
+
+std::uint64_t SocObserver::transactions() const {
+  std::uint64_t n = 0;
+  for (const BusDecoder* d : decoders_) n += d->transactions();
+  return n;
+}
+
+}  // namespace splice::rtl::observe

@@ -1,0 +1,56 @@
+// Observability for a multi-device SocPlatform: one PLB window decoder per
+// device (root devices on their root-bus window, sub-segment devices on
+// their OPB window — each sees local function slots), the CPU interrupt
+// line when the SoC wired one, and a CallTimeline per master.  The decoded
+// per-device streams are concatenated under stable device headers, so the
+// whole SoC's bus activity is one canonical string the lockstep harness
+// byte-compares between the interpreter and the compiled backend.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "rtl/observe/decoder.hpp"
+#include "rtl/observe/timeline.hpp"
+#include "runtime/soc.hpp"
+
+namespace splice::rtl::observe {
+
+class SocObserver {
+ public:
+  explicit SocObserver(runtime::SocPlatform& soc);
+  ~SocObserver();
+  SocObserver(const SocObserver&) = delete;
+  SocObserver& operator=(const SocObserver&) = delete;
+
+  /// Bracket one driver call on `master` (before/after SocPlatform::call).
+  void begin_call(const std::string& function, std::size_t index,
+                  unsigned master = 0);
+  void end_call(unsigned master = 0);
+
+  [[nodiscard]] const BusDecoder& device_decoder(std::size_t i) const {
+    return *decoders_.at(i);
+  }
+  [[nodiscard]] const CallTimeline& timeline(unsigned master = 0) const {
+    return timelines_.at(master);
+  }
+
+  /// Per-device decoded transactions plus IRQ edges, concatenated under
+  /// device headers — the canonical cross-backend comparison stream.
+  [[nodiscard]] std::string bus_stream() const;
+  /// Per-master call timelines, concatenated under master headers.
+  [[nodiscard]] std::string timeline_stream() const;
+
+  /// Completed transfers summed over every device window.
+  [[nodiscard]] std::uint64_t transactions() const;
+
+ private:
+  runtime::SocPlatform& soc_;
+  std::deque<CallTimeline> timelines_;  // stable addresses for set_observer
+  std::vector<BusDecoder*> decoders_;   // owned by the SoC's simulator
+  IrqDecoder* irq_ = nullptr;           // owned by the SoC's simulator
+};
+
+}  // namespace splice::rtl::observe

@@ -20,6 +20,8 @@ std::optional<IcobPhase> op_phase(OpCode op) {
     case OpCode::WriteDma:
       return IcobPhase::Input;
     case OpCode::WaitForResults:
+    case OpCode::PollStatus:
+    case OpCode::WaitIrq:
       return IcobPhase::Calc;
     case OpCode::ReadSingle:
     case OpCode::ReadDouble:
@@ -44,6 +46,8 @@ unsigned op_beats(const drivergen::DriverOp& op) {
       return op.read_words;
     case OpCode::SetAddress:
     case OpCode::WaitForResults:
+    case OpCode::PollStatus:
+    case OpCode::WaitIrq:
       return 0;
   }
   return 0;

@@ -61,10 +61,22 @@ void CpuMaster::start_op() {
         finish_op();
         return;
       }
-      poll_fid_ = op.fid;
+      [[fallthrough]];
+    case OpCode::WaitIrq:
+      poll_addr_ = op.status_addr;
+      poll_bit_ = op.fid - op.status_addr;
       // §10.2 interrupt extension: sleep on the IRQ line instead of
       // spinning on the status register when the device provides one.
+      // (WAIT_IRQ degrades to polling when no line is attached.)
+      irq_return_ = irq_ != nullptr;
       state_ = irq_ != nullptr ? St::IrqWait : St::PollIssue;
+      return;
+
+    case OpCode::PollStatus:
+      poll_addr_ = op.status_addr;
+      poll_bit_ = op.fid - op.status_addr;
+      irq_return_ = false;
+      state_ = St::PollIssue;
       return;
   }
 }
@@ -124,7 +136,7 @@ void CpuMaster::edge_impl() {
       break;
 
     case St::PollIssue:
-      port_.read(sis::kStatusFuncId, 1);
+      port_.read(poll_addr_, 1);
       ++polls_;
       if (observer_ != nullptr) observer_->on_poll(sim_cycle());
       state_ = St::PollWait;
@@ -134,8 +146,12 @@ void CpuMaster::edge_impl() {
       if (!port_.busy()) {
         const auto& data = port_.read_data();
         const std::uint64_t status = data.empty() ? 0 : data.back();
-        if (((status >> poll_fid_) & 1) != 0) {
+        if (((status >> poll_bit_) & 1) != 0) {
           finish_op();
+        } else if (irq_return_ && irq_ != nullptr && !irq_->high()) {
+          // Spurious wake: the interrupt belonged to another source and
+          // the line has dropped again — go back to sleep.
+          state_ = St::IrqWait;
         } else {
           gap_ = bus::timing::kPollLoopGapCycles;
           state_ = St::PollGap;
@@ -177,6 +193,9 @@ void CpuMaster::reset() {
   state_ = St::Idle;
   gap_ = 0;
   collect_read_ = false;
+  poll_addr_ = 0;
+  poll_bit_ = 0;
+  irq_return_ = false;
   read_words_.clear();
   polls_ = 0;
   irqs_ = 0;

@@ -98,7 +98,9 @@ class CpuMaster : public rtl::Module {
   St state_ = St::Idle;
   unsigned gap_ = 0;
   bool collect_read_ = false;
-  std::uint32_t poll_fid_ = 0;
+  std::uint32_t poll_addr_ = 0;  ///< status-register address being polled
+  std::uint32_t poll_bit_ = 0;   ///< CALC_DONE bit awaited (local to device)
+  bool irq_return_ = false;      ///< spurious wake: go back to sleep
   rtl::Signal* irq_ = nullptr;
   CpuObserver* observer_ = nullptr;
   std::vector<std::uint64_t> read_words_;

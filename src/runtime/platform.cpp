@@ -115,6 +115,30 @@ CallResult VirtualPlatform::run_program(const std::string& function,
   return run_call(*fn, std::move(program), args, max_cycles);
 }
 
+CallResult VirtualPlatform::wait_completion(const std::string& function,
+                                            std::uint32_t instance, bool irq,
+                                            std::uint64_t max_cycles) {
+  const ir::FunctionDecl* fn = spec_.find_function(function);
+  if (fn == nullptr) {
+    throw SpliceError("unknown function '" + function + "'");
+  }
+  drivergen::DriverBuilder builder(spec_, *fn);
+  cpu_->run(builder.build_completion_wait(instance, irq));
+
+  const std::uint64_t start = sim_->cycle();
+  const bool finished =
+      sim_->step_until([this] { return cpu_->done(); }, max_cycles);
+  if (!finished) {
+    throw SpliceError("completion wait for '" + function +
+                      "' did not finish within " +
+                      std::to_string(max_cycles) + " cycles");
+  }
+  CallResult result;
+  result.bus_cycles = sim_->cycle() - start;
+  result.cpu_cycles = result.bus_cycles * bus::timing::kCpuClockRatio;
+  return result;
+}
+
 CallResult VirtualPlatform::run_call(const ir::FunctionDecl& fn,
                                      drivergen::DriverProgram program,
                                      const drivergen::CallArgs& args,

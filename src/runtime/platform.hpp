@@ -57,6 +57,14 @@ class VirtualPlatform {
                          const drivergen::CallArgs& args,
                          std::uint64_t max_cycles = 1'000'000);
 
+  /// Wait for a nowait call issued earlier to complete: sleeps on the
+  /// device interrupt when `irq` is set (and %irq_support wired one up),
+  /// else polls CALC_DONE; either way the latched completion bit is
+  /// acknowledged through a status write.  Returns the wait's cycle cost.
+  CallResult wait_completion(const std::string& function,
+                             std::uint32_t instance = 0, bool irq = false,
+                             std::uint64_t max_cycles = 1'000'000);
+
   [[nodiscard]] rtl::Simulator& sim() { return *sim_; }
   [[nodiscard]] const ir::DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] elab::ElaboratedDevice& device() { return *device_; }

@@ -1,0 +1,309 @@
+#include "runtime/soc.hpp"
+
+#include "bus/timing.hpp"
+#include "elab/plb_adapter.hpp"
+#include "runtime/cpu.hpp"
+#include "support/diagnostics.hpp"
+
+namespace splice::runtime {
+
+// ---------------------------------------------------------------------------
+// SocChecker
+
+void SocChecker::clock_edge() {
+  // Axiom 1: sub-segment traffic must be bridge-forwarded.  The root bus
+  // holds the bridge window's chip enable from the request until the
+  // bridge acknowledges, which covers the whole downstream operation.
+  if (bridge_up_ != nullptr) {
+    bool sub_req = false;
+    for (const bus::PlbPins* w : sub_windows_) {
+      sub_req = sub_req || w->rd_req.high() || w->wr_req.high();
+    }
+    if (sub_req && bridge_up_->rd_ce.get() == 0 &&
+        bridge_up_->wr_ce.get() == 0) {
+      violations_.push_back(
+          "cycle " + std::to_string(sim_cycle()) +
+          ": sub-segment request with no bridge grant on the root bus");
+    }
+  }
+
+  // Axiom 2: an interrupt needs a CALC_DONE source (within the pipeline
+  // slack of the hub/bridge registers).
+  bool busy = false;
+  if (irq_ != nullptr) {
+    bool any_calc = false;
+    for (const sis::SisBus* d : devices_) {
+      any_calc = any_calc || d->calc_done.get() != 0;
+    }
+    if (irq_->high() && !any_calc) {
+      if (++orphan_cycles_ == kIrqPipelineSlack) {
+        violations_.push_back("cycle " + std::to_string(sim_cycle()) +
+                              ": interrupt asserted with no CALC_DONE "
+                              "source (phantom IRQ)");
+      }
+    } else {
+      orphan_cycles_ = 0;
+    }
+    busy = irq_->high();  // keep counting while the line is raised
+  }
+  set_clock_busy(busy);
+}
+
+void SocChecker::reset() { orphan_cycles_ = 0; }
+
+// ---------------------------------------------------------------------------
+// SocPlatform
+
+SocPlatform::SocPlatform(SocConfig config)
+    : sim_(std::make_unique<rtl::Simulator>()) {
+  if (config.devices.empty()) {
+    throw SpliceError("an SoC needs at least one device");
+  }
+  if (config.masters == 0 || config.masters > 8) {
+    throw SpliceError("SoC master count must be in [1, 8]");
+  }
+  const unsigned width = config.devices.front().spec.target.bus_width;
+  for (const SocDevice& d : config.devices) {
+    if (d.spec.target.bus_width != width) {
+      throw SpliceError("all SoC devices must share one bus width");
+    }
+    if (d.segment > 1) {
+      throw SpliceError("SoC segment must be 0 (root PLB) or 1 (OPB)");
+    }
+  }
+
+  // Elaborate every device first (stubs + arbiter in device order).
+  for (std::size_t i = 0; i < config.devices.size(); ++i) {
+    SocDevice& d = config.devices[i];
+    Dev dev;
+    dev.spec = std::move(d.spec);
+    dev.segment = d.segment;
+    dev.dev = std::make_unique<elab::ElaboratedDevice>(
+        *sim_, dev.spec, d.behaviors, "SIS" + std::to_string(i) + "_");
+    devices_.push_back(std::move(dev));
+  }
+
+  std::vector<std::size_t> root_devs;
+  std::vector<std::size_t> sub_devs;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    (devices_[i].segment == 0 ? root_devs : sub_devs).push_back(i);
+  }
+  if (root_devs.empty()) {
+    throw SpliceError("the root segment needs at least one device");
+  }
+
+  auto slots = [this](std::size_t i) {
+    return devices_[i].spec.total_instances() + 1;  // slot 0 == status
+  };
+
+  // Root bus: the first root device is window 0, the rest follow.
+  root_ = &sim_->add<bus::PlbBus>(*sim_, "PLB_", width, slots(root_devs[0]));
+  if (config.dma) root_->enable_dma();
+  devices_[root_devs[0]].base = 0;
+  devices_[root_devs[0]].window_idx = 0;
+  for (std::size_t k = 1; k < root_devs.size(); ++k) {
+    const std::size_t i = root_devs[k];
+    devices_[i].base = root_->add_window(
+        "PLB_W" + std::to_string(i) + "_", slots(i));
+    devices_[i].window_idx = root_->window_count() - 1;
+  }
+
+  // OPB sub-segment + bridge.
+  if (!sub_devs.empty()) {
+    opb_ = &sim_->add<bus::OpbBus>(*sim_, "OPB_", width, slots(sub_devs[0]));
+    devices_[sub_devs[0]].window_idx = 0;
+    std::vector<std::uint32_t> sub_base(sub_devs.size(), 0);
+    for (std::size_t k = 1; k < sub_devs.size(); ++k) {
+      const std::size_t i = sub_devs[k];
+      sub_base[k] = opb_->add_window("OPB_W" + std::to_string(i) + "_",
+                                     slots(i));
+      devices_[i].window_idx = opb_->window_count() - 1;
+    }
+    const std::uint32_t bridge_base =
+        root_->add_window("BRG_", opb_->fid_limit());
+    bridge_window_ = root_->window_count() - 1;
+    bridge_ = &sim_->add<bus::PlbOpbBridge>(root_->window(bridge_window_),
+                                            *opb_);
+    for (std::size_t k = 0; k < sub_devs.size(); ++k) {
+      devices_[sub_devs[k]].base = bridge_base + sub_base[k];
+    }
+  }
+
+  // Native adapters: every device answers the CoreConnect window protocol.
+  for (Dev& dev : devices_) {
+    bus::PlbBus& seg = dev.segment == 0 ? *root_ : *opb_;
+    sim_->add<elab::PlbSisAdapter>(seg.window(dev.window_idx),
+                                   dev.dev->sis());
+  }
+
+  // Checkers: one SIS protocol checker per device + the cross-device one.
+  for (Dev& dev : devices_) {
+    dev.checker = &sim_->add<sis::ProtocolChecker>(
+        dev.dev->sis(), sis::ProtocolClass::PseudoAsynchronous);
+  }
+  soc_checker_ = &sim_->add<SocChecker>();
+  for (const Dev& dev : devices_) soc_checker_->add_device(dev.dev->sis());
+  if (bridge_ != nullptr) {
+    soc_checker_->attach_bridge(root_->window(bridge_window_));
+    for (std::size_t w = 0; w < opb_->window_count(); ++w) {
+      soc_checker_->add_sub_window(opb_->window(w));
+    }
+  }
+
+  // Interrupt fabric: per-device arbiter IRQs, OPB-side hub, bridge
+  // crossing, root hub onto the CPU line.
+  if (config.irq) {
+    irq_line_ = &sim_->signal("IRQ", 1);
+    hub_ = &sim_->add<bus::IrqHub>(*irq_line_);
+    rtl::Signal* sub_irq = nullptr;
+    bus::IrqHub* sub_hub = nullptr;
+    if (!sub_devs.empty()) {
+      sub_irq = &sim_->signal("OPB_IRQ", 1);
+      sub_hub = &sim_->add<bus::IrqHub>(*sub_irq);
+      rtl::Signal& bridged = sim_->signal("IRQ_BRG", 1);
+      bridge_->route_irq(*sub_irq, bridged);
+      hub_->add_source(bridged);
+    }
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      Dev& dev = devices_[i];
+      rtl::Signal& line = sim_->signal("IRQ_D" + std::to_string(i), 1);
+      dev.dev->arbiter().attach_irq(line);
+      (dev.segment == 0 ? hub_ : sub_hub)->add_source(line);
+    }
+    soc_checker_->attach_irq(*irq_line_);
+  }
+
+  // CPU masters, through the round-robin mux when there are several.
+  if (config.masters > 1) {
+    mux_ = &sim_->add<bus::BusMasterMux>(*root_, config.masters);
+  }
+  for (unsigned m = 0; m < config.masters; ++m) {
+    bus::MasterPort& port = mux_ != nullptr ? mux_->port(m) : *root_;
+    cpus_.push_back(&sim_->add<CpuMaster>(
+        port, sis::ProtocolClass::PseudoAsynchronous));
+  }
+  if (irq_line_ != nullptr) cpus_.front()->attach_irq(*irq_line_);
+}
+
+bus::PlbPins& SocPlatform::device_window(std::size_t i) {
+  Dev& dev = devices_.at(i);
+  bus::PlbBus& seg = dev.segment == 0 ? *root_ : *opb_;
+  return seg.window(dev.window_idx);
+}
+
+drivergen::DriverProgram SocPlatform::rebase(drivergen::DriverProgram program,
+                                             std::uint32_t base) const {
+  for (drivergen::DriverOp& op : program.ops) {
+    op.fid += base;
+    op.status_addr += base;
+  }
+  program.fid += base;
+  return program;
+}
+
+CallResult SocPlatform::run_master(unsigned master,
+                                   drivergen::DriverProgram program,
+                                   const std::string& what,
+                                   std::uint64_t max_cycles) {
+  CpuMaster& cpu = *cpus_.at(master);
+  cpu.run(std::move(program));
+  const std::uint64_t start = sim_->cycle();
+  const bool finished =
+      sim_->step_until([&cpu] { return cpu.done(); }, max_cycles);
+  if (!finished) {
+    throw SpliceError(what + " did not complete within " +
+                      std::to_string(max_cycles) + " cycles");
+  }
+  CallResult result;
+  result.bus_cycles = sim_->cycle() - start;
+  result.cpu_cycles = result.bus_cycles * bus::timing::kCpuClockRatio;
+  return result;
+}
+
+CallResult SocPlatform::call(std::size_t device, const std::string& function,
+                             const drivergen::CallArgs& args,
+                             std::uint32_t instance, unsigned master,
+                             std::uint64_t max_cycles) {
+  Dev& dev = devices_.at(device);
+  const ir::FunctionDecl* fn = dev.spec.find_function(function);
+  if (fn == nullptr) {
+    throw SpliceError("unknown function '" + function + "'");
+  }
+  drivergen::DriverBuilder builder(dev.spec, *fn);
+  CpuMaster& cpu = *cpus_.at(master);
+  cpu.clear_read_words();
+  CallResult result =
+      run_master(master, rebase(builder.build_call(args, instance), dev.base),
+                 "call to '" + function + "'", max_cycles);
+  drivergen::CallOutputs decoded = builder.decode_call(cpu.read_words(), args);
+  result.outputs = std::move(decoded.outputs);
+  result.byref_outputs = std::move(decoded.byref);
+  return result;
+}
+
+CallResult SocPlatform::wait_completion(std::size_t device,
+                                        const std::string& function,
+                                        std::uint32_t instance, bool irq,
+                                        unsigned master,
+                                        std::uint64_t max_cycles) {
+  Dev& dev = devices_.at(device);
+  const ir::FunctionDecl* fn = dev.spec.find_function(function);
+  if (fn == nullptr) {
+    throw SpliceError("unknown function '" + function + "'");
+  }
+  drivergen::DriverBuilder builder(dev.spec, *fn);
+  return run_master(
+      master, rebase(builder.build_completion_wait(instance, irq), dev.base),
+      "completion wait for '" + function + "'", max_cycles);
+}
+
+void SocPlatform::start_call(std::size_t device, const std::string& function,
+                             const drivergen::CallArgs& args,
+                             std::uint32_t instance, unsigned master) {
+  Dev& dev = devices_.at(device);
+  const ir::FunctionDecl* fn = dev.spec.find_function(function);
+  if (fn == nullptr) {
+    throw SpliceError("unknown function '" + function + "'");
+  }
+  drivergen::DriverBuilder builder(dev.spec, *fn);
+  cpus_.at(master)->run(rebase(builder.build_call(args, instance), dev.base));
+}
+
+std::uint64_t SocPlatform::drain(std::uint64_t max_cycles) {
+  const std::uint64_t start = sim_->cycle();
+  const bool finished = sim_->step_until(
+      [this] {
+        for (const CpuMaster* cpu : cpus_) {
+          if (!cpu->done()) return false;
+        }
+        return true;
+      },
+      max_cycles);
+  if (!finished) {
+    throw SpliceError("SoC drain did not complete within " +
+                      std::to_string(max_cycles) + " cycles");
+  }
+  return sim_->cycle() - start;
+}
+
+bool SocPlatform::clean() const {
+  for (const Dev& dev : devices_) {
+    if (!dev.checker->clean()) return false;
+  }
+  return soc_checker_->clean();
+}
+
+std::vector<std::string> SocPlatform::violations() const {
+  std::vector<std::string> all;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    for (const std::string& v : devices_[i].checker->violations()) {
+      all.push_back("device " + std::to_string(i) + ": " + v);
+    }
+  }
+  for (const std::string& v : soc_checker_->violations()) {
+    all.push_back("soc: " + v);
+  }
+  return all;
+}
+
+}  // namespace splice::runtime

@@ -1,0 +1,204 @@
+// Multi-device SoC assembly: N elaborated devices spread across a root PLB
+// segment and an optional OPB sub-segment behind a PLB->OPB bridge, with
+// one or more CPU masters contending for the root bus and an optional
+// interrupt fabric (per-device arbiter IRQs combined through hubs and the
+// bridge onto the CPU's line).  This is the full ML-403-style hierarchy of
+// thesis §2.2, against which the single-device VirtualPlatform is the
+// degenerate one-device case.
+//
+// Address map: every device occupies one slave-select window of
+// total_instances()+1 function slots (slot 0 = its CALC_DONE status
+// register).  Root-segment windows are allocated first, in device order;
+// the bridge then takes one root window spanning the whole sub-segment,
+// inside which OPB-segment devices are allocated in device order.  A
+// device's global base address is its window base (root) or the bridge
+// base plus its OPB window base.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/bridge.hpp"
+#include "bus/irq_hub.hpp"
+#include "bus/master_mux.hpp"
+#include "bus/opb.hpp"
+#include "bus/plb.hpp"
+#include "drivergen/program.hpp"
+#include "elab/device.hpp"
+#include "ir/device.hpp"
+#include "rtl/simulator.hpp"
+#include "runtime/platform.hpp"
+#include "sis/checker.hpp"
+
+namespace splice::runtime {
+
+/// One device of the SoC and where it sits.
+struct SocDevice {
+  ir::DeviceSpec spec;
+  elab::BehaviorMap behaviors;
+  unsigned segment = 0;  ///< 0 = root PLB, 1 = OPB behind the bridge
+};
+
+struct SocConfig {
+  std::vector<SocDevice> devices;
+  unsigned masters = 1;  ///< CPU masters contending for the root bus
+  bool irq = false;      ///< wire device interrupts to CPU master 0
+  bool dma = false;      ///< enable the root bus DMA engine
+};
+
+/// Cross-device protocol observer.  Two axioms the per-device SIS checkers
+/// cannot see:
+///  1. Provenance of sub-segment traffic: a transaction strobing on the
+///     OPB must trace back to a bridge grant — the bridge's root-bus
+///     window holds its chip enable for the whole forwarded operation, so
+///     an OPB request with that window idle is bridge-originated traffic.
+///  2. Provenance of interrupts: the CPU's IRQ line may only be high while
+///     some device holds a CALC_DONE bit (modulo the short hub/bridge
+///     register pipeline) — a longer orphan interrupt is a phantom.
+class SocChecker : public rtl::Module {
+ public:
+  /// Cycles an interrupt may outlive (or precede) every CALC_DONE source
+  /// before it is flagged: hub register + bridge register + slack.
+  static constexpr unsigned kIrqPipelineSlack = 4;
+
+  SocChecker() : rtl::Module("soc_checker") {
+    watch_none();
+    clocked_none();  // triggers declared as the topology is attached
+  }
+
+  void attach_bridge(const bus::PlbPins& upstream_window) {
+    bridge_up_ = &upstream_window;
+    watch_clocked_all(upstream_window.rd_ce, upstream_window.wr_ce);
+  }
+  void add_sub_window(const bus::PlbPins& pins) {
+    sub_windows_.push_back(&pins);
+    watch_clocked_all(pins.rd_req, pins.wr_req);
+  }
+  void add_device(const sis::SisBus& sis) {
+    devices_.push_back(&sis);
+    watch_clocked(sis.calc_done);
+  }
+  void attach_irq(rtl::Signal& line) {
+    irq_ = &line;
+    watch_clocked(line);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+
+  void clock_edge() override;
+  void reset() override;
+
+ private:
+  const bus::PlbPins* bridge_up_ = nullptr;
+  std::vector<const bus::PlbPins*> sub_windows_;
+  std::vector<const sis::SisBus*> devices_;
+  const rtl::Signal* irq_ = nullptr;
+  unsigned orphan_cycles_ = 0;
+  std::vector<std::string> violations_;
+};
+
+class SocPlatform {
+ public:
+  explicit SocPlatform(SocConfig config);
+
+  /// Run one generated driver call on `master` against device `device`;
+  /// steps the simulator until the call returns and decodes its outputs.
+  CallResult call(std::size_t device, const std::string& function,
+                  const drivergen::CallArgs& args = {},
+                  std::uint32_t instance = 0, unsigned master = 0,
+                  std::uint64_t max_cycles = 1'000'000);
+
+  /// Completion wait for an earlier nowait call (see
+  /// VirtualPlatform::wait_completion); `irq` sleeps on the interrupt line.
+  CallResult wait_completion(std::size_t device, const std::string& function,
+                             std::uint32_t instance = 0, bool irq = false,
+                             unsigned master = 0,
+                             std::uint64_t max_cycles = 1'000'000);
+
+  /// Enqueue a call on `master` WITHOUT stepping the simulator — queue work
+  /// on several masters, then drain() to run them concurrently.  Read-back
+  /// decoding is not available for queued calls.
+  void start_call(std::size_t device, const std::string& function,
+                  const drivergen::CallArgs& args = {},
+                  std::uint32_t instance = 0, unsigned master = 0);
+
+  /// Step until every master's program queue is empty; returns the cycles
+  /// spent.  Throws when `max_cycles` is exceeded.
+  std::uint64_t drain(std::uint64_t max_cycles = 1'000'000);
+
+  [[nodiscard]] rtl::Simulator& sim() { return *sim_; }
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] elab::ElaboratedDevice& device(std::size_t i) {
+    return *devices_.at(i).dev;
+  }
+  [[nodiscard]] const ir::DeviceSpec& spec(std::size_t i) const {
+    return devices_.at(i).spec;
+  }
+  [[nodiscard]] std::uint32_t device_base(std::size_t i) const {
+    return devices_.at(i).base;
+  }
+  [[nodiscard]] unsigned device_segment(std::size_t i) const {
+    return devices_.at(i).segment;
+  }
+  /// The root-bus window pins serving device `i` (root devices only get a
+  /// root window; sub-segment devices answer on the OPB).
+  [[nodiscard]] bus::PlbPins& device_window(std::size_t i);
+
+  [[nodiscard]] bus::PlbBus& root() { return *root_; }
+  [[nodiscard]] bus::OpbBus* opb() { return opb_; }
+  [[nodiscard]] bus::PlbOpbBridge* bridge() { return bridge_; }
+  [[nodiscard]] bus::BusMasterMux* mux() { return mux_; }
+  [[nodiscard]] rtl::Signal* irq_line() { return irq_line_; }
+  [[nodiscard]] unsigned master_count() const {
+    return static_cast<unsigned>(cpus_.size());
+  }
+  [[nodiscard]] CpuMaster& cpu(unsigned master = 0) {
+    return *cpus_.at(master);
+  }
+  [[nodiscard]] const sis::ProtocolChecker& checker(std::size_t i) const {
+    return *devices_.at(i).checker;
+  }
+  [[nodiscard]] SocChecker& soc_checker() { return *soc_checker_; }
+  [[nodiscard]] const SocChecker& soc_checker() const {
+    return *soc_checker_;
+  }
+
+  /// All checkers (per-device SIS + cross-device) clean?
+  [[nodiscard]] bool clean() const;
+  /// Merged violation list, each entry prefixed with its source.
+  [[nodiscard]] std::vector<std::string> violations() const;
+
+ private:
+  struct Dev {
+    ir::DeviceSpec spec;
+    unsigned segment = 0;
+    std::unique_ptr<elab::ElaboratedDevice> dev;
+    std::uint32_t base = 0;        ///< global base address (window start)
+    std::size_t window_idx = 0;    ///< window index on its segment's bus
+    sis::ProtocolChecker* checker = nullptr;  // owned by the simulator
+  };
+
+  [[nodiscard]] drivergen::DriverProgram rebase(
+      drivergen::DriverProgram program, std::uint32_t base) const;
+  CallResult run_master(unsigned master, drivergen::DriverProgram program,
+                        const std::string& what, std::uint64_t max_cycles);
+
+  std::unique_ptr<rtl::Simulator> sim_;
+  std::vector<Dev> devices_;
+  bus::PlbBus* root_ = nullptr;          // owned by the simulator
+  bus::OpbBus* opb_ = nullptr;           // "
+  bus::PlbOpbBridge* bridge_ = nullptr;  // "
+  std::size_t bridge_window_ = 0;        ///< bridge's window index on root
+  bus::BusMasterMux* mux_ = nullptr;     // "
+  bus::IrqHub* hub_ = nullptr;           // "
+  rtl::Signal* irq_line_ = nullptr;
+  SocChecker* soc_checker_ = nullptr;
+  std::vector<CpuMaster*> cpus_;
+};
+
+}  // namespace splice::runtime

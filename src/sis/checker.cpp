@@ -13,7 +13,7 @@ ProtocolChecker::ProtocolChecker(const SisBus& bus, ProtocolClass protocol)
   // needs one extra run after any active cycle: set_clock_busy below.
   watch_clocked_all(bus.rst, bus.io_enable, bus.io_done, bus.data_in_valid,
                     bus.data_in, bus.func_id, bus.data_out_valid,
-                    bus.calc_done);
+                    bus.calc_done, bus.status_clear);
 }
 
 void ProtocolChecker::violate(const std::string& what) {
@@ -25,6 +25,7 @@ void ProtocolChecker::reset() {
   prev_io_enable_ = false;
   prev_io_done_ = false;
   prev_rst_ = false;
+  prev_status_clear_ = false;
   prev_calc_done_ = 0;
   quiet_cycles_ = 0;
   cycle_ = 0;
@@ -42,7 +43,7 @@ void ProtocolChecker::clock_edge() {
   if (seen_edge_ && now > last_edge_cycle_ + 1) {
     const std::uint64_t gap = now - last_edge_cycle_ - 1;
     cycle_ += gap;
-    if (prev_rst_ || prev_io_enable_ || prev_io_done_) {
+    if (prev_rst_ || prev_io_enable_ || prev_io_done_ || prev_status_clear_) {
       quiet_cycles_ = 0;
     } else {
       quiet_cycles_ += gap;
@@ -55,12 +56,14 @@ void ProtocolChecker::clock_edge() {
   const bool din_valid = bus_.data_in_valid.high();
   const bool io_done = bus_.io_done.high();
   const bool dout_valid = bus_.data_out_valid.high();
+  const bool sclr = bus_.status_clear.get() != 0;
   const std::uint64_t fid = bus_.func_id.get();
 
   if (bus_.rst.high()) {
     txn_ = Txn::Idle;
     prev_io_enable_ = false;
     prev_io_done_ = false;
+    prev_status_clear_ = false;
     prev_rst_ = true;
     prev_calc_done_ = bus_.calc_done.get();
     quiet_cycles_ = 0;
@@ -153,23 +156,25 @@ void ProtocolChecker::clock_edge() {
 
   // Axiom: a raised CALC_DONE bit stays raised until software consumes the
   // result (§4.2.3) — it may only fall in response to bus activity (the
-  // completing read, or the enacting write of the next calculation, with a
-  // short pipeline allowance).  A bit falling on a quiet bus is a glitch.
+  // completing read, the enacting write of the next calculation, or a
+  // status-clear acknowledge, with a short pipeline allowance).  A bit
+  // falling on a quiet bus is a glitch.
   const std::uint64_t calc = bus_.calc_done.get();
   const std::uint64_t fell = prev_calc_done_ & ~calc;
-  if (fell != 0 && !enable && !io_done && quiet_cycles_ > 2) {
+  if (fell != 0 && !enable && !io_done && !sclr && quiet_cycles_ > 2) {
     violate("CALC_DONE deasserted with no bus activity (glitch)");
   }
-  quiet_cycles_ = (enable || io_done) ? 0 : quiet_cycles_ + 1;
+  quiet_cycles_ = (enable || io_done || sclr) ? 0 : quiet_cycles_ + 1;
   prev_calc_done_ = calc;
 
   prev_io_enable_ = enable;
   prev_io_done_ = io_done;
+  prev_status_clear_ = sclr;
   ++cycle_;
   // A strobe high *now* must be re-examined next cycle even if nothing
   // changes (the held-for-more-than-one-cycle axioms compare against the
   // one-cycle history recorded above).
-  set_clock_busy(enable || io_done);
+  set_clock_busy(enable || io_done || sclr);
 }
 
 }  // namespace splice::sis

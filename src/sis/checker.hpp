@@ -41,6 +41,7 @@ class ProtocolChecker : public rtl::Module {
   bool prev_io_enable_ = false;
   bool prev_io_done_ = false;
   bool prev_rst_ = false;
+  bool prev_status_clear_ = false;
   std::uint64_t prev_calc_done_ = 0;
   std::uint64_t quiet_cycles_ = 0;  ///< cycles since the last bus activity
   // Gated-edge bookkeeping (compiled backend): the sim cycle of the last

@@ -23,6 +23,7 @@ SisBus SisBus::create(rtl::Simulator& sim, const std::string& prefix,
       sim.signal(name("DATA_OUT_VALID"), 1),
       sim.signal(name("IO_DONE"), 1),
       sim.signal(name("CALC_DONE"), calc_vector_width),
+      sim.signal(name("STATUS_CLEAR"), calc_vector_width),
   };
 }
 

@@ -52,6 +52,11 @@ struct SisBus {
   rtl::Signal& data_out_valid;
   rtl::Signal& io_done;
   rtl::Signal& calc_done;  ///< status vector, bit i == instance i done
+  /// One-cycle acknowledge mask: bit i high clears instance i's *latched*
+  /// nowait CALC_DONE bit (§10.2 interrupt-completion extension).  Driven
+  /// by the adapter when software writes the reserved status register;
+  /// blocking functions ignore it (their CALC_DONE clears at output drain).
+  rtl::Signal& status_clear;
 
   /// Create the bundle on `sim` with `prefix`-qualified signal names.
   static SisBus create(rtl::Simulator& sim, const std::string& prefix,

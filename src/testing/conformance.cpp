@@ -7,8 +7,12 @@
 
 #include "codegen/hdl_builder.hpp"
 #include "core/splice.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
 #include "rtl/observe/platform_observer.hpp"
+#include "rtl/observe/soc_observer.hpp"
 #include "rtl/trace.hpp"
+#include "runtime/soc.hpp"
 #include "rtl/vcd.hpp"
 #include "runtime/platform.hpp"
 #include "support/bits.hpp"
@@ -389,6 +393,184 @@ OracleResult run_conformance(const SpecModel& model,
 
   if (opt.check_equivalence) check_equivalence(vhdl->spec, res);
   if (opt.simulate) simulate_spec(vhdl->spec, opt, res);
+  return res;
+}
+
+OracleResult run_soc_conformance(const SocModel& model,
+                                 const OracleOptions& opt) {
+  OracleResult res;
+
+  // Every device spec runs through the real frontend + validator; a
+  // refusal marks the whole topology invalid (the generator's validity
+  // guarantee covers each device it emits).
+  runtime::SocConfig config;
+  for (std::size_t d = 0; d < model.devices.size(); ++d) {
+    DiagnosticEngine diags;
+    auto spec = frontend::parse_spec(model.devices[d].render(), diags);
+    if (!spec.has_value() || !ir::validate(*spec, diags)) {
+      res.spec_rejected = true;
+      res.failures.push_back("device " + std::to_string(d) +
+                             " rejected:\n" + diags.render());
+      return res;
+    }
+    if (opt.check_equivalence) check_equivalence(*spec, res);
+
+    runtime::SocDevice dev;
+    dev.segment = model.segments.at(d);
+    for (const ir::FunctionDecl& fn : spec->functions) {
+      dev.behaviors.set(fn.name, [decl = fn](const elab::CallContext& ctx) {
+        return expected_calc(decl, ctx.instance_index, ctx.inputs);
+      });
+    }
+    dev.spec = std::move(*spec);
+    config.devices.push_back(std::move(dev));
+  }
+  config.masters = model.masters;
+  config.irq = model.irq;
+  if (!opt.simulate) return res;
+
+  runtime::SocPlatform soc(config);
+  soc.sim().set_backend(opt.backend == OracleBackend::kCompiled
+                            ? rtl::Simulator::Backend::kCompiled
+                            : rtl::Simulator::Backend::kInterp);
+  std::unique_ptr<runtime::SocPlatform> shadow;
+  if (opt.backend == OracleBackend::kLockstep) {
+    shadow = std::make_unique<runtime::SocPlatform>(config);
+    shadow->sim().set_backend(rtl::Simulator::Backend::kCompiled);
+  }
+  auto diverged = [&res](std::string msg) {
+    ++res.backend_mismatches;
+    res.failures.push_back("backend divergence: " + std::move(msg));
+  };
+
+  // Observability: in lockstep mode the per-device decoded streams and
+  // per-master call timelines must be byte-identical across backends.
+  std::unique_ptr<rtl::observe::SocObserver> obs;
+  std::unique_ptr<rtl::observe::SocObserver> shadow_obs;
+  if (shadow != nullptr) {
+    obs = std::make_unique<rtl::observe::SocObserver>(soc);
+    shadow_obs = std::make_unique<rtl::observe::SocObserver>(*shadow);
+  }
+
+  // Interleaved cross-device schedule: round-robin over devices inside
+  // each call round, so segment-A and segment-B traffic, bridge crossings
+  // and master arbitration mix rather than running device by device.
+  Rng rng(splitmix64(opt.call_seed ^ 0x50cULL));
+  std::size_t call_index = 0;
+  for (unsigned c = 0; c < opt.calls_per_function && res.failures.empty();
+       ++c) {
+    for (std::size_t d = 0;
+         d < soc.device_count() && res.failures.empty(); ++d) {
+      for (const ir::FunctionDecl& fn : soc.spec(d).functions) {
+        const auto instance =
+            static_cast<std::uint32_t>(rng.range(0, fn.instances - 1));
+        const drivergen::CallArgs args = make_args(rng, fn);
+        const auto master = static_cast<unsigned>(
+            model.masters > 1 ? rng.range(0, model.masters - 1) : 0);
+        // Interrupt-driven completion only wakes master 0 (the CPU the
+        // fabric targets); other masters poll.
+        const bool irq_wait = model.irq && master == 0;
+
+        std::vector<std::vector<std::uint64_t>> masked(args.size());
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          for (std::uint64_t v : args[i]) {
+            masked[i].push_back(v & elem_mask(fn.inputs[i]));
+          }
+        }
+        const elab::CalcResult want = expected_calc(fn, instance, masked);
+
+        const std::string what = "device " + std::to_string(d) + " '" +
+                                 fn.name + "' call " + std::to_string(c);
+        try {
+          if (obs != nullptr) obs->begin_call(fn.name, call_index, master);
+          const runtime::CallResult got =
+              soc.call(d, fn.name, args, instance, master, opt.max_cycles);
+          if (obs != nullptr) obs->end_call(master);
+          ++res.calls;
+          res.bus_cycles += got.bus_cycles;
+
+          runtime::CallResult sgot;
+          if (shadow != nullptr) {
+            shadow_obs->begin_call(fn.name, call_index, master);
+            sgot = shadow->call(d, fn.name, args, instance, master,
+                                opt.max_cycles);
+            shadow_obs->end_call(master);
+            if (sgot.outputs != got.outputs) {
+              diverged(what + ": compiled outputs " +
+                       render_vec(sgot.outputs) + " != interp " +
+                       render_vec(got.outputs));
+            }
+            if (sgot.bus_cycles != got.bus_cycles) {
+              diverged(what + ": compiled took " +
+                       std::to_string(sgot.bus_cycles) +
+                       " bus cycles, interp " +
+                       std::to_string(got.bus_cycles));
+            }
+          }
+
+          if (fn.blocking()) {
+            if (fn.has_output() && got.outputs != want.outputs) {
+              res.failures.push_back(what + ": outputs " +
+                                     render_vec(got.outputs) +
+                                     " != expected " +
+                                     render_vec(want.outputs));
+            }
+          } else {
+            // Nowait: the call returned before the calculation finished;
+            // its completion wait (interrupt-driven on master 0 when the
+            // fabric is wired, polled otherwise) must drain the latch.
+            const auto wres = soc.wait_completion(
+                d, fn.name, instance, irq_wait, master, opt.max_cycles);
+            res.bus_cycles += wres.bus_cycles;
+            if (shadow != nullptr) {
+              const auto swres = shadow->wait_completion(
+                  d, fn.name, instance, irq_wait, master, opt.max_cycles);
+              if (swres.bus_cycles != wres.bus_cycles) {
+                diverged(what + ": completion wait took " +
+                         std::to_string(swres.bus_cycles) +
+                         " bus cycles compiled, " +
+                         std::to_string(wres.bus_cycles) + " interp");
+              }
+            }
+          }
+        } catch (const std::exception& e) {
+          ++res.calls;
+          res.failures.push_back(what + ": " + e.what());
+        }
+        ++call_index;
+        if (!res.failures.empty()) break;
+      }
+    }
+  }
+
+  soc.sim().step(64);  // settle trailing strobes / IRQ drops
+  if (shadow != nullptr) shadow->sim().step(64);
+
+  for (const std::string& v : soc.violations()) {
+    res.failures.push_back("SoC checker: " + v);
+  }
+  if (soc.bridge() != nullptr && soc.bridge()->timeouts() != 0) {
+    res.failures.push_back("bridge watchdog fired " +
+                           std::to_string(soc.bridge()->timeouts()) +
+                           " time(s) on a healthy topology");
+  }
+
+  if (shadow != nullptr) {
+    if (shadow->sim().cycle() != soc.sim().cycle()) {
+      diverged("simulated " + std::to_string(shadow->sim().cycle()) +
+               " cycles on the compiled backend vs " +
+               std::to_string(soc.sim().cycle()) + " on the interpreter");
+    }
+    if (shadow->violations() != soc.violations()) {
+      diverged("checker verdicts differ between backends");
+    }
+    if (shadow_obs->bus_stream() != obs->bus_stream()) {
+      diverged("decoded SoC bus streams differ between backends");
+    }
+    if (shadow_obs->timeline_stream() != obs->timeline_stream()) {
+      diverged("SoC driver-call timelines differ between backends");
+    }
+  }
   return res;
 }
 

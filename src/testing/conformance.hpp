@@ -57,4 +57,17 @@ struct OracleResult {
 [[nodiscard]] OracleResult run_conformance(const SpecModel& model,
                                            const OracleOptions& options = {});
 
+/// The SoC oracle: assembles the generated multi-device topology on a
+/// SocPlatform (root PLB + bridged OPB sub-segment, master mux, interrupt
+/// fabric), replays an interleaved cross-device call schedule — nowait
+/// calls followed by their polled or interrupt-driven completion waits —
+/// and checks every output against the host expectation while the
+/// per-device SIS checkers and the cross-device axioms stay clean.  In
+/// lockstep mode the whole SoC runs twice (interpreter + compiled backend)
+/// and the decoded per-device bus streams, call timelines, cycle counts
+/// and checker verdicts must match exactly.
+[[nodiscard]] OracleResult run_soc_conformance(const SocModel& model,
+                                               const OracleOptions& options =
+                                                   {});
+
 }  // namespace splice::testing

@@ -50,6 +50,31 @@ void persist_failure(const FuzzOptions& opt, FuzzFailure& failure,
   (void)run_conformance(failure.minimized, o);
 }
 
+void persist_soc_failure(const FuzzOptions& opt, FuzzFailure& failure,
+                         const std::vector<std::string>& lines) {
+  if (opt.corpus_dir.empty()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(opt.corpus_dir, ec);
+
+  const std::string stem = "fuzz_soc_seed" + std::to_string(opt.seed) +
+                           "_i" + std::to_string(failure.index);
+  const fs::path base = fs::path(opt.corpus_dir) / stem;
+
+  failure.repro_path = (base.string() + ".splice");
+  std::ofstream spec_out(failure.repro_path);
+  spec_out << "// SoC repro: splice-fuzz --soc --seed "
+           << std::to_string(opt.seed) << ", config index " << failure.index
+           << "\n"
+           << failure.soc_repro;
+
+  std::ofstream report(base.string() + ".txt");
+  report << "config seed: " << failure.spec_seed << "\n"
+         << "campaign:    --soc --seed " << opt.seed << " index "
+         << failure.index << "\n\n";
+  for (const std::string& line : lines) report << line << "\n";
+}
+
 }  // namespace
 
 FuzzReport run_fuzz(const FuzzOptions& opt) {
@@ -77,11 +102,17 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
 
     OracleResult result;
     SpecModel model;
+    SocModel soc_model;
     {
       tel::Span span("fuzz.spec", "fuzz");
       span.arg("index", i);
-      model = generate_spec(spec_seed, opt.gen);
-      result = run_conformance(model, oracle_options(opt, i));
+      if (opt.soc) {
+        soc_model = generate_soc(spec_seed, opt.gen);
+        result = run_soc_conformance(soc_model, oracle_options(opt, i));
+      } else {
+        model = generate_spec(spec_seed, opt.gen);
+        result = run_conformance(model, oracle_options(opt, i));
+      }
       span.arg("calls", result.calls);
       span.arg("failures", result.failures.size());
     }
@@ -99,7 +130,19 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
       }
     }
 
-    if (result.spec_rejected) {
+    if (opt.soc && !result.ok()) {
+      // SoC failures are reported un-shrunk: the topology is the repro
+      // (the shrinker's SpecModel mutations don't model segments/masters).
+      FuzzFailure f;
+      f.index = i;
+      f.spec_seed = spec_seed;
+      f.summary = result.failures.empty() ? "SoC config rejected"
+                                          : result.failures.front();
+      f.soc_repro = soc_model.render();
+      persist_soc_failure(opt, f, result.failures);
+      report.failures.push_back(std::move(f));
+      if (opt.metrics != nullptr) opt.metrics->counter("fuzz.failures").add(1);
+    } else if (result.spec_rejected) {
       // The generator's validity guarantee failed — that is itself a bug;
       // surface it like any oracle failure (no shrinking: the predicate
       // cannot distinguish "still rejected" from "rejected differently").

@@ -30,6 +30,11 @@ struct FuzzOptions {
   /// comparison — so the fuzzer doubles as the compiled backend's
   /// differential test rig.
   OracleBackend backend = OracleBackend::kLockstep;
+  /// SoC mode: generate whole multi-device topologies (generate_soc) and
+  /// run them through the SoC oracle instead of single-device specs.
+  /// Failures are reported un-shrunk — the repro text carries the full
+  /// topology (every device spec plus the segment/master/irq header).
+  bool soc = false;
   /// When non-empty, the first spec of the campaign writes its decoded
   /// simulated-time trace (Chrome/Perfetto JSON) here — a sampled look at
   /// what the replayed drivers actually did on the bus.
@@ -46,7 +51,8 @@ struct FuzzFailure {
   std::uint64_t index = 0;         ///< campaign index of the failing spec
   std::uint64_t spec_seed = 0;     ///< generate_spec() seed that made it
   std::string summary;             ///< first oracle failure line
-  SpecModel minimized;             ///< shrunk repro
+  SpecModel minimized;             ///< shrunk repro (single-device campaigns)
+  std::string soc_repro;           ///< rendered topology (SoC campaigns)
   std::string repro_path;          ///< .splice written to the corpus ("" = off)
   std::string vcd_path;            ///< waveform of the minimized failure
 };

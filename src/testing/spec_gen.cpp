@@ -266,4 +266,49 @@ SpecModel generate_spec(std::uint64_t seed, const GenOptions& opt) {
   return spec;
 }
 
+std::string SocModel::render() const {
+  std::string out = "// soc: " + std::to_string(devices.size()) +
+                    " devices, " + std::to_string(masters) + " master(s)" +
+                    (irq ? ", irq fabric" : "") + "\n";
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    out += "// --- device " + std::to_string(i) + " (segment " +
+           std::to_string(segments[i]) + ") ---\n";
+    out += devices[i].render();
+  }
+  return out;
+}
+
+SocModel generate_soc(std::uint64_t seed, const GenOptions& opt) {
+  Rng rng(splitmix64(seed ^ 0x50cULL));
+  SocModel soc;
+
+  // Narrow the per-device envelope to what the SoC fabric exercises: the
+  // CoreConnect window protocol (every device answers a PLB/OPB window via
+  // the native adapter), word transfers only.  The single-device campaign
+  // keeps covering DMA, bursts and the other bus protocols.
+  GenOptions dev_opt = opt;
+  dev_opt.buses = {"plb"};
+  dev_opt.max_functions = std::min(opt.max_functions, 3u);
+  dev_opt.max_inputs = std::min(opt.max_inputs, 3u);
+  dev_opt.max_instances = std::min(opt.max_instances, 2u);
+  dev_opt.pct_dma_support = 0;
+  dev_opt.pct_burst_support = 0;
+  dev_opt.pct_irq_support = 0;  // the SoC assembly wires the fabric itself
+  dev_opt.pct_wide_bus = 0;     // one shared width across the topology
+  dev_opt.pct_nowait = std::max(opt.pct_nowait, 30u);  // completion paths
+
+  const unsigned n = static_cast<unsigned>(rng.range(2, 4));
+  for (unsigned i = 0; i < n; ++i) {
+    SpecModel dev = generate_spec(splitmix64(seed + 0x1000 + i), dev_opt);
+    dev.device_name = "soc_d" + std::to_string(i);
+    soc.devices.push_back(std::move(dev));
+    // Device 0 anchors the root segment; the rest scatter across the
+    // bridge so most topologies exercise both segments.
+    soc.segments.push_back(i == 0 ? 0u : (rng.chance(60) ? 1u : 0u));
+  }
+  soc.masters = rng.chance(50) ? 2 : 1;
+  soc.irq = rng.chance(60);
+  return soc;
+}
+
 }  // namespace splice::testing

@@ -112,4 +112,26 @@ struct GenOptions {
 [[nodiscard]] SpecModel generate_spec(std::uint64_t seed,
                                       const GenOptions& options = {});
 
+/// A whole generated SoC topology: several devices spread over the root
+/// PLB segment and (usually) an OPB sub-segment behind the bridge, with a
+/// master count and interrupt-fabric flag for the platform assembly.
+struct SocModel {
+  std::vector<SpecModel> devices;
+  std::vector<unsigned> segments;  ///< parallel to devices; 0 root, 1 OPB
+  unsigned masters = 1;
+  bool irq = false;
+
+  /// Human-readable repro text: the topology header plus every device's
+  /// rendered `.splice` spec under a banner line.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Generate one valid SoC configuration (2..4 devices, device 0 always on
+/// the root segment, unique device names).  Deterministic in (seed,
+/// options).  Per-device specs are narrowed to the CoreConnect window
+/// protocol the SoC fabric speaks — bus type plb, no DMA/burst — while
+/// still sweeping arrays, packing, by-reference, instances and nowait.
+[[nodiscard]] SocModel generate_soc(std::uint64_t seed,
+                                    const GenOptions& options = {});
+
 }  // namespace splice::testing

@@ -1,0 +1,110 @@
+// The SoC fuzz campaign: the topology generator's validity guarantee and
+// the fixed-seed 200-config lockstep commit gate — every generated
+// multi-device SoC replayed on the interpreter and the compiled backend
+// side by side, with cross-device checker axioms, byte-compared decoded
+// streams, and zero oracle violations.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
+#include "support/telemetry.hpp"
+#include "testing/conformance.hpp"
+#include "testing/fuzz.hpp"
+#include "testing/spec_gen.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::testing;
+
+// --- generator --------------------------------------------------------------
+
+TEST(SocGen, GeneratedTopologiesAreValidByConstruction) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const SocModel soc = generate_soc(splitmix64(seed));
+    ASSERT_GE(soc.devices.size(), 2u) << "seed " << seed;
+    ASSERT_LE(soc.devices.size(), 4u) << "seed " << seed;
+    ASSERT_EQ(soc.devices.size(), soc.segments.size());
+    EXPECT_EQ(soc.segments[0], 0u) << "device 0 anchors the root segment";
+    EXPECT_GE(soc.masters, 1u);
+    EXPECT_LE(soc.masters, 2u);
+    for (std::size_t d = 0; d < soc.devices.size(); ++d) {
+      DiagnosticEngine diags;
+      auto spec = frontend::parse_spec(soc.devices[d].render(), diags);
+      ASSERT_TRUE(spec.has_value())
+          << "seed " << seed << " device " << d << ":\n" << diags.render();
+      EXPECT_TRUE(ir::validate(*spec, diags))
+          << "seed " << seed << " device " << d << ":\n" << diags.render();
+      // Names must be unique: they become distinct address windows.
+      for (std::size_t e = d + 1; e < soc.devices.size(); ++e) {
+        EXPECT_NE(soc.devices[d].device_name, soc.devices[e].device_name);
+      }
+    }
+  }
+}
+
+TEST(SocGen, DeterministicInSeed) {
+  EXPECT_EQ(generate_soc(7).render(), generate_soc(7).render());
+  EXPECT_NE(generate_soc(7).render(), generate_soc(8).render());
+}
+
+TEST(SocGen, TopologyDiversityAcrossSeeds) {
+  // The campaign must actually sweep the matrix: bridged and flat
+  // topologies, single- and dual-master configs, irq fabric on and off.
+  bool bridged = false, flat = false, dual = false, single = false,
+       irq = false, polled = false;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const SocModel soc = generate_soc(splitmix64(seed));
+    bool any_sub = false;
+    for (unsigned s : soc.segments) any_sub = any_sub || s == 1;
+    (any_sub ? bridged : flat) = true;
+    (soc.masters > 1 ? dual : single) = true;
+    (soc.irq ? irq : polled) = true;
+  }
+  EXPECT_TRUE(bridged && flat && dual && single && irq && polled);
+}
+
+// --- single-config oracle sanity -------------------------------------------
+
+TEST(SocOracle, CleanConfigPassesLockstep) {
+  const SocModel soc = generate_soc(3);
+  OracleOptions opt;
+  opt.backend = OracleBackend::kLockstep;
+  const OracleResult r = run_soc_conformance(soc, opt);
+  EXPECT_FALSE(r.spec_rejected);
+  EXPECT_TRUE(r.failures.empty())
+      << r.failures.front() << "\n" << soc.render();
+  EXPECT_GT(r.calls, 0u);
+  EXPECT_GT(r.bus_cycles, 0u);
+}
+
+// --- the commit gate --------------------------------------------------------
+
+TEST(SocFuzzCampaign, FixedSeed200ConfigsZeroViolations) {
+  FuzzOptions opt;
+  opt.seed = 1;
+  opt.count = 200;
+  opt.soc = true;
+  support::telemetry::MetricsRegistry metrics;
+  opt.metrics = &metrics;
+
+  const FuzzReport report = run_fuzz(opt);
+
+  EXPECT_EQ(report.specs_run, 200u);
+  EXPECT_TRUE(report.clean()) << [&] {
+    std::string all;
+    for (const auto& f : report.failures) {
+      all += "config " + std::to_string(f.index) + " (seed " +
+             std::to_string(f.spec_seed) + "): " + f.summary + "\n" +
+             f.soc_repro + "\n";
+    }
+    return all;
+  }();
+  EXPECT_FALSE(report.time_boxed_out);
+  EXPECT_EQ(metrics.counter("fuzz.specs").value(), 200u);
+  EXPECT_EQ(metrics.counter("fuzz.failures").value(), 0u);
+  EXPECT_GT(metrics.counter("fuzz.calls").value(), 0u);
+  EXPECT_EQ(metrics.counter("fuzz.backend_mismatch").value(), 0u);
+}
+
+}  // namespace

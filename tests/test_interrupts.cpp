@@ -10,6 +10,7 @@
 #include "ir/validate.hpp"
 #include "runtime/cpu.hpp"
 #include "runtime/platform.hpp"
+#include "support/diagnostics.hpp"
 
 namespace {
 
@@ -145,6 +146,96 @@ TEST(Interrupts, IrqSavesBusTrafficForLongCalculations) {
   // Interrupt-driven completion should not be slower, and the bus is idle
   // during the calculation instead of carrying poll reads.
   EXPECT_LE(run(true), run(false) + bus::timing::kIsrEntryCycles);
+}
+
+// ---------------------------------------------------------------------------
+// Interrupt-driven completion of nowait calls: the device latches
+// CALC_DONE, raises IRQ, and the driver's wait-for-completion program
+// sleeps on the line instead of spinning on the status register.
+
+elab::BehaviorMap nowait_behavior(unsigned cycles) {
+  elab::BehaviorMap b;
+  b.set("f", [cycles](const elab::CallContext& ctx) {
+    return elab::CalcResult{cycles, {ctx.scalar(0)}};
+  });
+  return b;
+}
+
+TEST(Interrupts, NowaitIrqCompletionOnEveryIrqBus) {
+  for (const char* bus : {"plb", "apb", "ahb"}) {
+    SCOPED_TRACE(bus);
+    auto spec = spec_from(bus, true, "nowait f(int x);\n");
+    runtime::VirtualPlatform vp(std::move(spec), nowait_behavior(60));
+    vp.call("f", {{5}});  // returns before the calculation finishes
+    const auto wait = vp.wait_completion("f", 0, /*irq=*/true);
+    EXPECT_GT(wait.bus_cycles, 0u);
+    EXPECT_EQ(vp.cpu().interrupts_taken(), 1u);
+    // One identifying status read, no spin across the 60 calc cycles.
+    EXPECT_EQ(vp.cpu().polls_performed(), 1u);
+    EXPECT_TRUE(vp.checker().clean())
+        << bus << ": " << vp.checker().violations().front();
+    // The completion ack cleared the CALC_DONE latch: line back down.
+    vp.sim().step(8);
+    EXPECT_FALSE(vp.sim().find_signal("IRQ")->high());
+  }
+}
+
+TEST(Interrupts, NowaitPolledCompletionSpins) {
+  auto spec = spec_from("plb", false, "nowait f(int x);\n");
+  runtime::VirtualPlatform vp(std::move(spec), nowait_behavior(120));
+  vp.call("f", {{5}});
+  (void)vp.wait_completion("f");
+  EXPECT_EQ(vp.cpu().interrupts_taken(), 0u);
+  EXPECT_GT(vp.cpu().polls_performed(), 1u);
+  EXPECT_TRUE(vp.checker().clean());
+}
+
+TEST(Interrupts, IrqBeforeWaitIsNotMissed) {
+  auto spec = spec_from("plb", true, "nowait f(int x);\n");
+  runtime::VirtualPlatform vp(std::move(spec), nowait_behavior(20));
+  vp.call("f", {{5}});
+  vp.sim().step(400);  // completion long before anyone waits
+  ASSERT_TRUE(vp.sim().find_signal("IRQ")->high());
+  const auto wait = vp.wait_completion("f", 0, /*irq=*/true);
+  // The latched level is still up, so the wait returns immediately.
+  EXPECT_EQ(vp.cpu().interrupts_taken(), 1u);
+  EXPECT_LT(wait.bus_cycles, 200u);
+  vp.sim().step(8);
+  EXPECT_FALSE(vp.sim().find_signal("IRQ")->high());
+  EXPECT_TRUE(vp.checker().clean());
+}
+
+TEST(Interrupts, ForeignLatchIrqFallsBackToPolling) {
+  // Two nowait calculations in flight; the fast one raises the line first.
+  // Waiting on the SLOW one takes the early interrupt, finds its own bit
+  // clear, sees the line still held high by the other latch, and must fall
+  // back to polling rather than re-arming the sleep (livelock guard).
+  auto spec = spec_from("plb", true, "nowait f(int x);\nnowait g(int x);\n");
+  elab::BehaviorMap b;
+  b.set("f", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{10, {ctx.scalar(0)}};
+  });
+  b.set("g", [](const elab::CallContext& ctx) {
+    return elab::CalcResult{400, {ctx.scalar(0)}};
+  });
+  runtime::VirtualPlatform vp(std::move(spec), b);
+  vp.call("f", {{1}});
+  vp.call("g", {{2}});
+  (void)vp.wait_completion("g", 0, /*irq=*/true);
+  EXPECT_EQ(vp.cpu().interrupts_taken(), 1u);
+  EXPECT_GT(vp.cpu().polls_performed(), 1u);  // the fallback spin
+  // f's latch is still pending; its own wait completes and drops the line.
+  (void)vp.wait_completion("f", 0, /*irq=*/true);
+  vp.sim().step(8);
+  EXPECT_FALSE(vp.sim().find_signal("IRQ")->high());
+  EXPECT_TRUE(vp.checker().clean())
+      << vp.checker().violations().front();
+}
+
+TEST(Interrupts, WaitCompletionRejectsBlockingFunctions) {
+  auto spec = spec_from("plb", true);  // blocking f
+  runtime::VirtualPlatform vp(std::move(spec), nowait_behavior(4));
+  EXPECT_THROW((void)vp.wait_completion("f"), SpliceError);
 }
 
 TEST(Interrupts, RepeatedCallsStayConsistent) {

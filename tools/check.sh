@@ -159,12 +159,71 @@ EOF
 rm -rf "$SIM_DIR"
 trap - EXIT
 
+echo "== soc smoke: bridged multi-device platform, lockstep backends =="
+# Assemble a 3-device 2-segment SoC (two plb devices on the root bus, one
+# opb device behind the bridge) with contending masters and the interrupt
+# fabric, run it on BOTH simulation backends, and byte-compare the decoded
+# per-device bus streams + per-master call timelines.  Any divergence —
+# ordering, payloads, cycle stamps, IRQ edges — fails the stage.  A
+# --sim-profile pass sanity-checks the profiler on the multi-device sim.
+SOC_DIR="$(mktemp -d)"
+trap 'rm -rf "$SOC_DIR"' EXIT
+cat > "$SOC_DIR/alpha.splice" <<'EOF'
+%device_name soc_alpha
+%bus_type plb
+%bus_width 32
+%base_address 0x80000000
+int dbl(int x);
+nowait slow(int x);
+EOF
+cat > "$SOC_DIR/beta.splice" <<'EOF'
+%device_name soc_beta
+%bus_type plb
+%bus_width 32
+%base_address 0x80001000
+int tpl(int x):2;
+EOF
+cat > "$SOC_DIR/gamma.splice" <<'EOF'
+%device_name soc_gamma
+%bus_type opb
+%bus_width 32
+%base_address 0x80002000
+int qdr(int x);
+nowait far(int x);
+EOF
+build/tools/splice "$SOC_DIR/alpha.splice" "$SOC_DIR/beta.splice" \
+  "$SOC_DIR/gamma.splice" --platform --platform-masters 2 --platform-irq \
+  --sim-backend interp --sim-trace-out "$SOC_DIR/streams_interp.txt"
+build/tools/splice "$SOC_DIR/alpha.splice" "$SOC_DIR/beta.splice" \
+  "$SOC_DIR/gamma.splice" --platform --platform-masters 2 --platform-irq \
+  --sim-backend compiled --sim-trace-out "$SOC_DIR/streams_compiled.txt" \
+  > /dev/null
+cmp "$SOC_DIR/streams_interp.txt" "$SOC_DIR/streams_compiled.txt" || {
+  echo "soc smoke FAILED: decoded streams differ between backends" >&2
+  exit 1
+}
+grep -q "= device 2 (soc_gamma) seg1 =" "$SOC_DIR/streams_interp.txt" || {
+  echo "soc smoke FAILED: bridged device missing from decoded stream" >&2
+  exit 1
+}
+build/tools/splice "$SOC_DIR/alpha.splice" "$SOC_DIR/gamma.splice" \
+  --platform --sim-profile | grep -q "simulation profile" || {
+  echo "soc smoke FAILED: --sim-profile produced no profile report" >&2
+  exit 1
+}
+echo "soc smoke OK: decoded streams byte-identical across backends"
+rm -rf "$SOC_DIR"
+trap - EXIT
+
 echo "== bench smoke: interp vs compiled backend comparison =="
 # One abbreviated pass of the backend-comparison harness: catches
 # compiled-backend crashes or gross regressions on every workload shape
 # (idle stepping, driver calls, fig9 scenarios, corpus replay) without
 # the full best-of-5 recording cost.  Does not rewrite BENCH_sim.json.
 build/bench/sim_backend --smoke
+# The SoC scenario matrix (masters/bridge/completion-mode rows) — same
+# abbreviated pass, same no-rewrite rule.
+build/bench/soc_contention --smoke
 
 echo "== perf smoke: phase_us regression gate vs BENCH_gen.json =="
 # One jobs=1 cache-off cell of the throughput bench (best of 3) over the
@@ -235,6 +294,21 @@ EOF
 rm -rf "$FUZZ_DIR"
 trap - EXIT
 
+echo "== fuzz: time-boxed random-seed SoC topology campaign =="
+# SoC mode: whole multi-device topologies (2-4 devices, bridged segments,
+# contending masters, interrupt fabric) generated per seed and replayed in
+# interpreter/compiled lockstep under the cross-device checker axioms.
+# The fixed-seed 200-config campaign already ran as part of ctest
+# (SocFuzzCampaign.FixedSeed200ConfigsZeroViolations); this adds a fresh
+# seed per run.  Failures write the full topology repro to
+# build/fuzz-corpus.
+if ! build/tools/splice-fuzz --soc --seed "$FUZZ_SEED" --count 400 \
+    --time-budget 60000 --corpus-dir build/fuzz-corpus --metrics; then
+  echo "SoC fuzz campaign FAILED (replay: splice-fuzz --soc --seed" \
+       "$FUZZ_SEED); topology repros in build/fuzz-corpus" >&2
+  exit 1
+fi
+
 if [ "${1:-}" = "--fast" ]; then
   echo "== skipping sanitizer + coverage passes (--fast) =="
   exit 0
@@ -253,6 +327,8 @@ ctest --preset asan
 echo "== sanitizers: ASan+UBSan random-seed fuzz (lockstep backends) =="
 build-asan/tools/splice-fuzz --seed "$FUZZ_SEED" --count 400 \
   --backend both --time-budget 60000 --corpus-dir build-asan/fuzz-corpus
+build-asan/tools/splice-fuzz --soc --seed "$FUZZ_SEED" --count 60 \
+  --time-budget 60000 --corpus-dir build-asan/fuzz-corpus
 
 echo "== sanitizers: TSan build + ctest =="
 cmake --preset tsan
@@ -261,6 +337,8 @@ ctest --preset tsan
 echo "== sanitizers: TSan random-seed fuzz (lockstep backends) =="
 build-tsan/tools/splice-fuzz --seed "$FUZZ_SEED" --count 400 \
   --backend both --time-budget 60000 --corpus-dir build-tsan/fuzz-corpus
+build-tsan/tools/splice-fuzz --soc --seed "$FUZZ_SEED" --count 60 \
+  --time-budget 60000 --corpus-dir build-tsan/fuzz-corpus
 
 echo "== coverage: instrumented ctest + gcov line summary =="
 cmake --preset coverage

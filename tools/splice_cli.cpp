@@ -32,6 +32,23 @@
 //     --sim-profile  enable hotspot profiling (per-module wake counts,
 //                  per-region execution counts) during the simulation and
 //                  print the profile report
+//     --platform   SoC platform mode: assemble ALL spec files into one
+//                  multi-device platform instead of compiling them
+//                  separately — plb specs share the root bus, opb specs
+//                  sit on a sub-segment behind the PLB<->OPB bridge
+//                  (other bus types are not routable).  Replays one
+//                  driver call per declared function (nowait calls get a
+//                  completion wait), prints the topology and traffic
+//                  summary, and composes with --sim-backend, --sim-stats,
+//                  --sim-profile and --sim-trace-out (which then writes
+//                  the decoded per-device bus streams and per-master call
+//                  timelines as text).
+//     --platform-masters N  number of contending bus masters on the root
+//                  segment in --platform mode (1-8, default 1)
+//     --platform-irq  wire the interrupt fabric in --platform mode:
+//                  per-device IRQ lines, bridge crossing, CPU line;
+//                  master 0 then sleeps on interrupts for nowait
+//                  completion waits instead of polling
 //     --stats-format {text,json}  how --gen-stats / --sim-stats render:
 //                  the human tables (default) or one machine-readable JSON
 //                  object on stdout
@@ -62,10 +79,14 @@
 #include "adapters/registry.hpp"
 #include "core/artifact_cache.hpp"
 #include "core/splice.hpp"
+#include "frontend/parser.hpp"
+#include "ir/validate.hpp"
 #include "rtl/observe/platform_observer.hpp"
 #include "rtl/observe/profile.hpp"
+#include "rtl/observe/soc_observer.hpp"
 #include "rtl/simulator.hpp"
 #include "runtime/platform.hpp"
+#include "runtime/soc.hpp"
 #include "support/job_pool.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
@@ -100,6 +121,13 @@ void usage(const char* argv0) {
       "               trace-event JSON on a simulated-time axis\n"
       "  --sim-profile  profile the simulation (module wakes, compiled\n"
       "               regions) and print the hotspot report\n"
+      "  --platform   assemble all specs into ONE multi-device SoC\n"
+      "               platform (plb specs on the root bus, opb specs\n"
+      "               behind the bridge), replay one call per function\n"
+      "               and print the topology/traffic summary\n"
+      "  --platform-masters N  contending root-bus masters in --platform\n"
+      "               mode (1-8, default 1)\n"
+      "  --platform-irq  wire the interrupt fabric in --platform mode\n"
       "  --stats-format {text,json}  stats rendering: human tables\n"
       "               (default) or one JSON object on stdout\n"
       "  --trace-out FILE  write a Chrome trace-event JSON span trace of\n"
@@ -154,6 +182,9 @@ struct CliOptions {
   std::uint64_t sim_cycles = 2000;
   splice::rtl::Simulator::Backend sim_backend =
       splice::rtl::Simulator::Backend::kInterp;
+  bool platform = false;
+  unsigned platform_masters = 1;
+  bool platform_irq = false;
   unsigned jobs = 1;
   splice::EngineOptions engine;
 
@@ -334,6 +365,167 @@ void compile_one(const std::string& spec_path, const CliOptions& opt,
   }
 }
 
+/// One driver-call argument set per function, mirroring exercise_device's
+/// deterministic values so platform traffic is reproducible run to run.
+splice::drivergen::CallArgs default_args(const splice::ir::FunctionDecl& fn) {
+  namespace ir = splice::ir;
+  splice::drivergen::CallArgs args;
+  for (std::size_t i = 0; i < fn.inputs.size(); ++i) {
+    const ir::IoParam& p = fn.inputs[i];
+    std::uint64_t count = 1;
+    if (p.count_kind == ir::CountKind::Explicit) {
+      count = p.explicit_count;
+    } else if (p.count_kind == ir::CountKind::Implicit) {
+      for (std::size_t j = 0; j < args.size(); ++j) {
+        if (fn.inputs[j].name == p.index_var && !args[j].empty()) {
+          count = args[j][0];
+          break;
+        }
+      }
+    }
+    std::vector<std::uint64_t> vals;
+    if (!p.is_array() && p.used_as_index) {
+      vals.push_back(4);  // keeps implicit element counts small
+    } else {
+      for (std::uint64_t k = 0; k < count; ++k) {
+        vals.push_back(0x2a + 31 * i + 7 * k);
+      }
+    }
+    args.push_back(std::move(vals));
+  }
+  return args;
+}
+
+/// --platform: every positional spec becomes one device of a single SoC —
+/// plb specs on the root bus, opb specs on the bridged sub-segment.  One
+/// driver call per declared function (nowait calls followed by their
+/// completion wait, interrupt-driven on master 0 when --platform-irq),
+/// then the topology/traffic summary and any requested stats/profile/
+/// decoded-stream reports.
+int run_platform(const std::vector<std::string>& spec_paths,
+                 const CliOptions& opt) {
+  namespace runtime = splice::runtime;
+  namespace observe = splice::rtl::observe;
+
+  runtime::SocConfig config;
+  for (const std::string& path : spec_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    splice::DiagnosticEngine diags;
+    auto spec = splice::frontend::parse_spec(buffer.str(), diags);
+    if (!spec.has_value() || !splice::ir::validate(*spec, diags)) {
+      std::fprintf(stderr, "== %s ==\n%serror: spec rejected\n",
+                   path.c_str(), diags.render().c_str());
+      return 1;
+    }
+    const std::string& bus = spec->target.bus_type;
+    runtime::SocDevice dev;
+    if (bus == "plb") {
+      dev.segment = 0;
+    } else if (bus == "opb") {
+      dev.segment = 1;
+    } else {
+      std::fprintf(stderr,
+                   "error: %s: platform mode routes plb specs to the root "
+                   "segment and opb specs behind the bridge; '%s' devices "
+                   "are not routable\n",
+                   path.c_str(), bus.c_str());
+      return 2;
+    }
+    dev.spec = std::move(*spec);
+    config.devices.push_back(std::move(dev));
+  }
+  config.masters = opt.platform_masters;
+  config.irq = opt.platform_irq;
+
+  try {
+    runtime::SocPlatform soc(config);
+    soc.sim().set_backend(opt.sim_backend);
+    if (opt.sim_profile) soc.sim().set_profiling(true);
+    observe::SocObserver observer(soc);
+
+    // One call per declared function, masters round-robin; nowait calls
+    // complete before the next one starts (the latch vector stays clean).
+    std::size_t calls = 0;
+    for (std::size_t d = 0; d < soc.device_count(); ++d) {
+      for (const splice::ir::FunctionDecl& fn : soc.spec(d).functions) {
+        const auto master =
+            static_cast<unsigned>(calls % opt.platform_masters);
+        observer.begin_call(fn.name, calls, master);
+        soc.call(d, fn.name, default_args(fn), 0, master);
+        if (!fn.blocking()) {
+          soc.wait_completion(d, fn.name, 0,
+                              opt.platform_irq && master == 0, master);
+        }
+        observer.end_call(master);
+        ++calls;
+      }
+    }
+    soc.sim().step(opt.sim_stats ? opt.sim_cycles : 64);
+
+    std::printf("== platform ==\n");
+    for (std::size_t d = 0; d < soc.device_count(); ++d) {
+      const auto& spec = soc.spec(d);
+      std::printf(
+          "device %zu '%s': segment %u (%s), base slot %u, %zu function "
+          "declaration(s)\n",
+          d, spec.target.device_name.c_str(), soc.device_segment(d),
+          soc.device_segment(d) == 0 ? "root plb" : "bridged opb",
+          soc.device_base(d), spec.functions.size());
+    }
+    std::printf("masters:      %u%s\n", opt.platform_masters,
+                opt.platform_masters > 1 ? " (round-robin mux)" : "");
+    std::printf("irq fabric:   %s\n",
+                opt.platform_irq ? "wired" : "absent (polled completion)");
+    std::printf("driver calls: %zu\n", calls);
+    std::printf("transactions: %llu\n",
+                static_cast<unsigned long long>(observer.transactions()));
+    std::printf("cycles:       %llu\n",
+                static_cast<unsigned long long>(soc.sim().cycle()));
+    if (soc.bridge() != nullptr) {
+      std::printf("bridge:       %llu crossing(s), %llu timeout(s)\n",
+                  static_cast<unsigned long long>(soc.bridge()->grants()),
+                  static_cast<unsigned long long>(soc.bridge()->timeouts()));
+    }
+
+    if (!opt.sim_trace_out.empty()) {
+      std::ofstream f(opt.sim_trace_out, std::ios::binary);
+      f << observer.bus_stream() << observer.timeline_stream();
+      f.flush();
+      if (!f) {
+        std::fprintf(stderr, "error: cannot write sim trace to '%s'\n",
+                     opt.sim_trace_out.c_str());
+        return 1;
+      }
+    }
+    if (opt.sim_profile) {
+      std::fputs(observe::render_profile(soc.sim()).c_str(), stdout);
+    }
+    if (opt.sim_stats) {
+      std::fputs(splice::rtl::render_stats(soc.sim()).c_str(), stdout);
+    }
+
+    const auto violations = soc.violations();
+    if (!violations.empty()) {
+      for (const std::string& v : violations) {
+        std::fprintf(stderr, "checker: %s\n", v.c_str());
+      }
+      return 1;
+    }
+  } catch (const splice::SpliceError& e) {
+    std::fprintf(stderr, "error: platform simulation failed: %s\n",
+                 e.what());
+    return 1;
+  }
+  return 0;
+}
+
 /// The single --stats-format json object (stdout).  Key names are stable
 /// API: generator, jobs, elapsed_ms, specs[].{file, exit_code, device,
 /// files, cache, sim}, the shared cache totals and the metrics registry
@@ -496,6 +688,24 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--sim-profile") {
       opt.sim_profile = true;
+    } else if (arg == "--platform") {
+      opt.platform = true;
+    } else if (arg == "--platform-irq") {
+      opt.platform_irq = true;
+    } else if (arg == "--platform-masters") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --platform-masters needs a count\n");
+        return 2;
+      }
+      const auto n = parse_count(argv[++i]);
+      if (!n || *n == 0 || *n > 8) {
+        std::fprintf(stderr,
+                     "error: --platform-masters expects a master count "
+                     "between 1 and 8, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      opt.platform_masters = static_cast<unsigned>(*n);
     } else if (arg == "--sim-trace-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --sim-trace-out needs a file path\n");
@@ -537,6 +747,29 @@ int main(int argc, char** argv) {
   if (spec_paths.empty()) {
     usage(argv[0]);
     return 2;
+  }
+  if (!opt.platform &&
+      (opt.platform_masters != 1 || opt.platform_irq)) {
+    std::fprintf(stderr,
+                 "error: --platform-masters / --platform-irq require "
+                 "--platform\n");
+    return 2;
+  }
+  if (opt.platform) {
+    if (opt.print_files || opt.list_only || opt.lint_only ||
+        opt.gen_stats) {
+      std::fprintf(stderr,
+                   "error: --platform is a simulation-only mode; it cannot "
+                   "be combined with --print/--list/--lint/--gen-stats\n");
+      return 2;
+    }
+    if (opt.stats_format == telemetry::Format::Json) {
+      std::fprintf(stderr,
+                   "error: --platform reports are text-only (one platform, "
+                   "not a per-spec array)\n");
+      return 2;
+    }
+    return run_platform(spec_paths, opt);
   }
   if (opt.stats_format == telemetry::Format::Json) {
     if (!opt.gen_stats && !opt.sim_stats && !opt.sim_profile) {

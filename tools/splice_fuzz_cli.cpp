@@ -15,6 +15,10 @@
 //     --backend B       simulation backend to replay on: interp, compiled,
 //                       or both (default both — lockstep differential run
 //                       with cycle-exact trace comparison)
+//     --soc             SoC mode: generate whole multi-device topologies
+//                       (root PLB + bridged OPB segment, master mux,
+//                       interrupt fabric) and run them through the
+//                       cross-device SoC oracle
 //     --trace-out FILE  Chrome trace-event JSON of the campaign spans
 //                       (per-spec and per-driver-call, with the call index
 //                       and checker verdict in each call span's args)
@@ -51,6 +55,7 @@ void usage(const char* argv0) {
       "  --calls N         driver calls per declaration (default 3)\n"
       "  --backend B       interp, compiled, or both (default both:\n"
       "                    lockstep differential replay of the backends)\n"
+      "  --soc             fuzz whole multi-device SoC topologies\n"
       "  --trace-out FILE  write a Chrome trace-event JSON span trace\n"
       "  --sim-trace-out FILE  write the first spec's decoded\n"
       "                    simulated-time trace (Chrome trace-event JSON)\n"
@@ -124,6 +129,8 @@ int main(int argc, char** argv) {
                      "error: --backend expects interp, compiled or both\n");
         return 2;
       }
+    } else if (arg == "--soc") {
+      opt.soc = true;
     } else if (arg == "--trace-out") {
       trace_out = need_value("--trace-out");
     } else if (arg == "--sim-trace-out") {
@@ -160,9 +167,9 @@ int main(int argc, char** argv) {
       : opt.backend == splice::testing::OracleBackend::kCompiled
           ? "compiled"
           : "both (lockstep)";
-  std::printf("splice-fuzz: seed %" PRIu64 ", %" PRIu64
-              " specs, backend %s%s\n",
-              opt.seed, opt.count, backend_name,
+  std::printf("splice-fuzz: seed %" PRIu64 ", %" PRIu64 " %s, backend %s%s\n",
+              opt.seed, opt.count,
+              opt.soc ? "SoC configs" : "specs", backend_name,
               opt.time_budget_ms != 0 ? " (time-boxed)" : "");
   const splice::testing::FuzzReport report = splice::testing::run_fuzz(opt);
 
